@@ -1,0 +1,58 @@
+package warr
+
+import (
+	"crypto/rsa"
+
+	"github.com/dslab-epfl/warr/internal/auser"
+)
+
+// This file exposes AUsER, the paper's automatic user experience
+// reporting tool (§VI): when a user hits a bug, the application's
+// developers receive the recorded WaRR Commands, a textual description,
+// the console output, and a (possibly partial) snapshot of the final
+// page. Privacy mitigations from §IV-D are included: keystroke
+// redaction, snapshot clipping, and public-key encryption of reports so
+// only developers can read them.
+
+// UserReport is one user experience report.
+type UserReport = auser.Report
+
+// ReportOptions configure report generation (snapshot clipping,
+// redaction).
+type ReportOptions = auser.Options
+
+// ReportEnvelope is an encrypted report in transit.
+type ReportEnvelope = auser.Envelope
+
+// NewUserReport assembles a report from the user's description, the
+// recorded trace, and the tab showing the bug.
+func NewUserReport(description string, tr Trace, tab *Tab, opts ReportOptions) (*UserReport, error) {
+	return auser.New(description, tr, tab, opts)
+}
+
+// RedactAllTyped replaces every printable keystroke with "*", keeping
+// the interaction structure intact.
+func RedactAllTyped(tr Trace) Trace { return auser.RedactAllTyped(tr) }
+
+// RedactMatching redacts keystrokes typed into elements whose XPath
+// contains any of the substrings (e.g. "pass" strips passwords).
+func RedactMatching(substrings ...string) func(Trace) Trace {
+	return auser.RedactMatching(substrings...)
+}
+
+// GenerateDeveloperKey creates the developers' RSA key pair (2048-bit
+// minimum).
+func GenerateDeveloperKey(bits int) (*rsa.PrivateKey, error) {
+	return auser.GenerateDeveloperKey(bits)
+}
+
+// SealReport encrypts a report to the developers' public key (hybrid
+// RSA-OAEP + AES-GCM).
+func SealReport(r *UserReport, pub *rsa.PublicKey) (*ReportEnvelope, error) {
+	return auser.Seal(r, pub)
+}
+
+// OpenReport decrypts an envelope with the developers' private key.
+func OpenReport(env *ReportEnvelope, priv *rsa.PrivateKey) (*UserReport, error) {
+	return auser.Open(env, priv)
+}

@@ -1,0 +1,111 @@
+// Command auser demonstrates AUsER, the automatic user experience
+// reporting flow (paper §VI): a user hits the Google Sites timing bug,
+// presses the report button, and an encrypted report — redacted trace,
+// bug description, console output, partial page snapshot — is produced
+// for the application's developers, who decrypt and read it.
+//
+// Usage:
+//
+//	auser                         # full flow, report printed after decryption
+//	auser -envelope report.bin    # also write the sealed envelope
+//	auser -redact all             # redact every keystroke (default: passwords)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	envelopePath := flag.String("envelope", "", "write the sealed report to this file")
+	redact := flag.String("redact", "passwords", "trace redaction: none, passwords, all")
+	flag.Parse()
+
+	if err := run(*envelopePath, *redact); err != nil {
+		fmt.Fprintln(os.Stderr, "auser:", err)
+		os.Exit(1)
+	}
+}
+
+func run(envelopePath, redact string) error {
+	var redactor func(warr.Trace) warr.Trace
+	switch redact {
+	case "none":
+	case "passwords":
+		redactor = warr.RedactMatching("pass")
+	case "all":
+		redactor = warr.RedactAllTyped
+	default:
+		return fmt.Errorf("unknown -redact %q (want none, passwords, all)", redact)
+	}
+
+	// --- the user's side ---
+	fmt.Println("user session: editing a Google Sites page, impatiently")
+	env := warr.NewDemoEnv(warr.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(warr.SitesURL); err != nil {
+		return err
+	}
+	rec := warr.NewRecorder(env.Clock)
+	rec.Attach(tab)
+
+	// The user clicks Edit and saves immediately — before the editor's
+	// asynchronously loaded module arrives (§V-C).
+	doc := tab.MainFrame().Doc()
+	x, y := tab.Layout().Center(doc.GetElementByID("start"))
+	tab.Click(x, y)
+	for _, d := range doc.Root().ElementsByTag("div") {
+		if strings.TrimSpace(d.TextContent()) == "Save" {
+			sx, sy := tab.Layout().Center(d)
+			tab.Click(sx, sy)
+			break
+		}
+	}
+	if errs := tab.ConsoleErrors(); len(errs) > 0 {
+		fmt.Printf("bug manifests: %s\n", errs[0].Message)
+	}
+
+	fmt.Println("user presses the AUsER report button")
+	report, err := warr.NewUserReport(
+		"I clicked Save but my changes were not saved.",
+		rec.Trace(), tab, warr.ReportOptions{
+			Redact:        redactor,
+			SnapshotXPath: `//table[@id="editor"]`, // only the editor, not the whole page
+		})
+	if err != nil {
+		return err
+	}
+
+	key, err := warr.GenerateDeveloperKey(2048)
+	if err != nil {
+		return err
+	}
+	sealed, err := warr.SealReport(report, &key.PublicKey)
+	if err != nil {
+		return err
+	}
+	encoded, err := sealed.Encode()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("report sealed for the developers (%d bytes)\n", len(encoded))
+	if envelopePath != "" {
+		if err := os.WriteFile(envelopePath, encoded, 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("envelope written to %s\n", envelopePath)
+	}
+
+	// --- the developers' side ---
+	fmt.Println("\ndevelopers decrypt the report:")
+	opened, err := warr.OpenReport(sealed, key)
+	if err != nil {
+		return err
+	}
+	fmt.Println(opened.Text())
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command warr-bench regenerates every table and figure of the paper's
+// evaluation from the simulated substrate:
+//
+//	warr-bench -experiment all
+//	warr-bench -experiment table1      # Table I: typo detection rates
+//	warr-bench -experiment table2      # Table II: recording completeness
+//	warr-bench -experiment fig3        # Fig. 3: click-handling stack trace
+//	warr-bench -experiment fig4        # Fig. 4: edit-site command trace
+//	warr-bench -experiment fig6        # Fig. 6: inferred task tree
+//	warr-bench -experiment grammar     # the grammar behind Fig. 6
+//	warr-bench -experiment overhead    # §VI: recorder logging overhead
+//	warr-bench -experiment sitesbug    # §V-C: the Google Sites timing bug
+//
+// EXPERIMENTS.md records the paper-reported values next to the outputs
+// of this command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/experiments"
+)
+
+// experimentOrder is the -experiment=all sequence.
+var experimentOrder = []string{"fig3", "fig4", "fig6", "grammar", "table1", "table2", "overhead", "sitesbug"}
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment to run: all, "+strings.Join(experimentOrder, ", "))
+	seed := flag.Int64("seed", 2011, "random seed for typo injection (Table I)")
+	full := flag.Bool("full-pipeline", false,
+		"route Table I through full record-and-replay instead of live sessions")
+	flag.Parse()
+
+	names := experimentOrder
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(strings.TrimSpace(name), *seed, *full); err != nil {
+			fmt.Fprintln(os.Stderr, "warr-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, seed int64, fullPipeline bool) error {
+	switch name {
+	case "fig3":
+		stack, err := experiments.Fig3Stack()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 3: stack trace fragment when handling a mouse click")
+		for _, frame := range stack {
+			fmt.Printf("  %s\n", frame)
+		}
+	case "fig4":
+		tr, err := experiments.Fig4Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 4: WaRR Commands recorded while editing a Google Sites page")
+		fmt.Print(tr.CommandsText())
+	case "fig6":
+		tree, err := experiments.Fig6Tree()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 6: task tree inferred for the edit-site session")
+		fmt.Print(tree.String())
+	case "grammar":
+		g, err := experiments.Fig6Grammar()
+		if err != nil {
+			return err
+		}
+		fmt.Println("User-interaction grammar derived from the Fig. 6 task tree")
+		fmt.Print(g.String())
+	case "table1":
+		rows, err := experiments.Table1(experiments.Table1Options{Seed: seed, FullPipeline: fullPipeline})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Println("(paper: Google 100%, Bing 59.1%, Yahoo! 84.4%)")
+	case "table2":
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+		fmt.Println("(paper: WaRR C,C,C,C; Selenium IDE P,P,C,P)")
+	case "overhead":
+		r, err := experiments.Overhead()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatOverhead(r))
+	case "sitesbug":
+		r, err := experiments.SitesBug()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSitesBug(r))
+	default:
+		return fmt.Errorf("unknown experiment %q (want all, %s)",
+			name, strings.Join(experimentOrder, ", "))
+	}
+	return nil
+}

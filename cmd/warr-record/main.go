@@ -1,0 +1,91 @@
+// Command warr-record records a user session against one of the
+// simulated web applications and writes the resulting WaRR Command trace
+// (Fig. 1, steps 1-2).
+//
+// Usage:
+//
+//	warr-record -scenario edit-site -o edit.warr
+//	warr-record -scenario compose-email -print
+//
+// The trace file is the text format of the paper's Fig. 4 and is
+// consumed by warr-replay and weberr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	scenario := flag.String("scenario", "edit-site",
+		"session to record: "+strings.Join(warr.ScenarioNames(), ", "))
+	out := flag.String("o", "", "trace output file (default: stdout summary only)")
+	print := flag.Bool("print", false, "print the recorded commands (Fig. 4 style)")
+	nondet := flag.Bool("nondet", false,
+		"also log nondeterminism sources (timers, network) and print the annotated trace")
+	flag.Parse()
+
+	if err := run(*scenario, *out, *print, *nondet); err != nil {
+		fmt.Fprintln(os.Stderr, "warr-record:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, out string, print, nondet bool) error {
+	sc, ok := warr.ScenarioByName(scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (want one of %s)",
+			scenario, strings.Join(warr.ScenarioNames(), ", "))
+	}
+
+	var tr warr.Trace
+	var err error
+	if nondet {
+		// Record with the nondeterminism extension attached: the
+		// annotated trace shows what the application did between the
+		// user's actions (timer firings, AJAX completions).
+		env := warr.NewDemoEnv(warr.UserMode)
+		log := warr.NewNondetLog(env)
+		tab := env.Browser.NewTab()
+		if err := tab.Navigate(sc.StartURL); err != nil {
+			return err
+		}
+		rec := warr.NewRecorder(env.Clock)
+		rec.Attach(tab)
+		start := env.Clock.Now()
+		if err := sc.Run(env, tab); err != nil {
+			return err
+		}
+		tr = rec.Trace()
+		fmt.Printf("recorded %q against %s: %d commands, %d nondeterminism events\n",
+			sc.Name, sc.App, len(tr.Commands), len(log.Events()))
+		fmt.Print(log.Annotate(tr, start))
+	} else {
+		tr, err = warr.RecordSession(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded %q against %s: %d commands, %s of interaction\n",
+			sc.Name, sc.App, len(tr.Commands), tr.Duration())
+	}
+
+	if print && !nondet {
+		fmt.Print(tr.CommandsText())
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := tr.WriteTo(f); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace written to %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command warr-replay replays a recorded WaRR Command trace against a
+// fresh instance of the simulated world (Fig. 1, step 3) and reports how
+// each command resolved: direct XPath match, relaxation heuristic,
+// coordinate fallback, or failure.
+//
+// Usage:
+//
+//	warr-replay -trace edit.warr
+//	warr-replay -trace edit.warr -pace none          # impatient-user stress (§V-B)
+//	warr-replay -trace edit.warr -mode user          # degraded user-mode browser
+//	warr-replay -trace edit.warr -no-relaxation      # ablation (§IV-C)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	trace := flag.String("trace", "", "trace file recorded by warr-record (required)")
+	mode := flag.String("mode", "developer", "browser build: developer or user")
+	pace := flag.String("pace", "recorded", "command pacing: recorded or none")
+	noRelax := flag.Bool("no-relaxation", false, "disable progressive XPath relaxation")
+	noCoord := flag.Bool("no-coordinates", false, "disable the click-coordinate fallback")
+	flag.Parse()
+
+	if err := run(*trace, *mode, *pace, *noRelax, *noCoord); err != nil {
+		fmt.Fprintln(os.Stderr, "warr-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, mode, pace string, noRelax, noCoord bool) error {
+	if path == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := warr.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+
+	browserMode := warr.DeveloperMode
+	switch mode {
+	case "developer":
+	case "user":
+		browserMode = warr.UserMode
+	default:
+		return fmt.Errorf("unknown -mode %q (want developer or user)", mode)
+	}
+	opts := warr.ReplayOptions{
+		DisableRelaxation:         noRelax,
+		DisableCoordinateFallback: noCoord,
+	}
+	switch pace {
+	case "recorded":
+		opts.Pacing = warr.PaceRecorded
+	case "none":
+		opts.Pacing = warr.PaceNone
+	default:
+		return fmt.Errorf("unknown -pace %q (want recorded or none)", pace)
+	}
+
+	env := warr.NewDemoEnv(browserMode)
+	res, tab, err := warr.NewReplayer(env.Browser, opts).Replay(tr)
+	if err != nil {
+		return err
+	}
+
+	for _, s := range res.Steps {
+		switch s.Status {
+		case warr.StepOK:
+			fmt.Printf("  ok       %s\n", s.Cmd)
+		case warr.StepRelaxed:
+			fmt.Printf("  relaxed  %s  (%s -> %s)\n", s.Cmd, s.Heuristic, s.UsedXPath)
+		case warr.StepByCoordinates:
+			fmt.Printf("  coords   %s\n", s.Cmd)
+		case warr.StepFailed:
+			fmt.Printf("  FAILED   %s  (%v)\n", s.Cmd, s.Err)
+		}
+	}
+	fmt.Printf("replayed %d/%d commands (%d failed", res.Played, len(tr.Commands), res.Failed)
+	if res.Halted {
+		fmt.Printf(", replay halted")
+	}
+	fmt.Println(")")
+
+	if errs := tab.ConsoleErrors(); len(errs) > 0 {
+		fmt.Println("console errors observed during replay:")
+		for _, e := range errs {
+			fmt.Printf("  %s\n", e.Message)
+		}
+	}
+	fmt.Printf("final page: %s (%s)\n", tab.URL(), tab.Title())
+	if !res.Complete() {
+		os.Exit(2)
+	}
+	return nil
+}

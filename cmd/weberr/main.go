@@ -1,0 +1,96 @@
+// Command weberr tests a simulated web application against realistic
+// human errors (paper §V, Fig. 5): it records a correct session, infers
+// the user-interaction grammar, injects navigation errors (forget,
+// reorder, substitute — confined to single grammar rules) and timing
+// errors (no wait time), replays the erroneous traces in fresh
+// environments, and reports what the oracle found.
+//
+// Usage:
+//
+//	weberr -scenario edit-site                 # both campaigns
+//	weberr -scenario edit-site -campaign timing
+//	weberr -scenario compose-email -campaign navigation -show-tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	scenario := flag.String("scenario", "edit-site",
+		"session to test: "+strings.Join(warr.ScenarioNames(), ", "))
+	campaign := flag.String("campaign", "both", "navigation, timing, or both")
+	showTree := flag.Bool("show-tree", false, "print the inferred task tree (Fig. 6)")
+	showGrammar := flag.Bool("show-grammar", false, "print the inferred grammar")
+	maxTraces := flag.Int("max-traces", 0, "bound the navigation campaign (0 = all mutants)")
+	flag.Parse()
+
+	if err := run(*scenario, *campaign, *showTree, *showGrammar, *maxTraces); err != nil {
+		fmt.Fprintln(os.Stderr, "weberr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, campaign string, showTree, showGrammar bool, maxTraces int) error {
+	sc, ok := warr.ScenarioByName(scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (want one of %s)",
+			scenario, strings.Join(warr.ScenarioNames(), ", "))
+	}
+	fmt.Printf("recording correct interaction: %s / %s\n", sc.App, sc.Name)
+	tr, err := warr.RecordSession(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d commands\n", len(tr.Commands))
+
+	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+
+	bugs := 0
+	if campaign == "navigation" || campaign == "both" {
+		tree, err := warr.InferTaskTree(fresh, tr)
+		if err != nil {
+			return fmt.Errorf("inferring task tree: %w", err)
+		}
+		if showTree {
+			fmt.Println("\ninferred task tree (Fig. 6):")
+			fmt.Print(tree.String())
+		}
+		g := warr.GrammarFromTaskTree(tree)
+		if showGrammar {
+			fmt.Println("\ninferred interaction grammar:")
+			fmt.Print(g.String())
+		}
+
+		fmt.Println("\nnavigation-error campaign (forget / reorder / substitute):")
+		rep := warr.RunNavigationCampaign(fresh, g, warr.CampaignOptions{MaxTraces: maxTraces})
+		bugs += printReport(rep)
+	}
+
+	if campaign == "timing" || campaign == "both" {
+		fmt.Println("\ntiming-error campaign (impatient users):")
+		rep := warr.RunTimingCampaign(fresh, tr, warr.CampaignOptions{})
+		bugs += printReport(rep)
+	}
+
+	if bugs > 0 {
+		fmt.Printf("\n%d potential bug(s) found\n", bugs)
+		os.Exit(3)
+	}
+	fmt.Println("\nno bugs found")
+	return nil
+}
+
+func printReport(rep *warr.CampaignReport) int {
+	fmt.Printf("  traces generated: %d, replayed: %d, pruned: %d, replay failures: %d\n",
+		rep.Generated, rep.Replayed, rep.Pruned, rep.ReplayFailures)
+	for _, f := range rep.Findings {
+		fmt.Printf("  FINDING [%s]\n    %v\n", f.Injection, f.Observed)
+	}
+	return len(rep.Findings)
+}

@@ -1,0 +1,67 @@
+package warr
+
+import (
+	"github.com/dslab-epfl/warr/internal/apps"
+)
+
+// DemoEnv is a self-contained simulated world: a virtual clock, an
+// in-memory network, a browser, and the five web applications the
+// paper's evaluation uses (Google Sites, GMail, the Yahoo! portal,
+// Google Docs, and three web search engines). Each DemoEnv is fully
+// isolated — fresh server state, fresh clock — which is what makes
+// record-in-one-environment, replay-in-another meaningful.
+type DemoEnv = apps.Env
+
+// Scenario is a scripted user session against a demo application, with
+// a built-in oracle (Verify) deciding whether the session's observable
+// effect happened.
+type Scenario = apps.Scenario
+
+// NewDemoEnv builds an isolated environment with all demo applications
+// registered, hosting a browser of the given mode.
+func NewDemoEnv(mode Mode) *DemoEnv { return apps.NewEnv(mode) }
+
+// Demo application start URLs.
+const (
+	SitesURL   = apps.SitesURL
+	GMailURL   = apps.GMailURL
+	YahooURL   = apps.YahooURL
+	DocsURL    = apps.DocsURL
+	GoogleURL  = apps.GoogleURL
+	BingURL    = apps.BingURL
+	YSearchURL = apps.YSearchURL
+)
+
+// Demo scenarios — the workloads of the paper's Table II.
+var (
+	EditSiteScenario        = apps.EditSiteScenario
+	ComposeEmailScenario    = apps.ComposeEmailScenario
+	AuthenticateScenario    = apps.AuthenticateScenario
+	EditSpreadsheetScenario = apps.EditSpreadsheetScenario
+	SearchScenario          = apps.SearchScenario
+	TableIIScenarios        = apps.TableIIScenarios
+)
+
+// ScenarioByName resolves a scenario name ("edit-site", "compose-email",
+// "authenticate", "edit-spreadsheet"); ScenarioNames lists them.
+var (
+	ScenarioByName = apps.ScenarioByName
+	ScenarioNames  = apps.ScenarioNames
+)
+
+// RecordSession records a scenario end to end: it creates a fresh
+// user-mode environment, navigates a tab to the scenario's start page,
+// attaches a Recorder, runs the scenario, and returns the trace.
+func RecordSession(sc Scenario) (Trace, error) {
+	env := NewDemoEnv(UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		return Trace{}, err
+	}
+	rec := NewRecorder(env.Clock)
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		return Trace{}, err
+	}
+	return rec.Trace(), nil
+}

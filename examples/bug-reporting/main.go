@@ -1,0 +1,78 @@
+// Bug reporting with AUsER (paper §VI): an always-on recorder means
+// that when a bug manifests, the complete bug-triggering interaction is
+// already captured. The user files a report with one click; sensitive
+// keystrokes are redacted and the report is encrypted so only the
+// application's developers can read it (§IV-D).
+//
+// The session here: a user signs in to the Yahoo! portal (typing a
+// password!), then hits a bug. The password keystrokes are stripped from
+// the shared trace while every other command survives, so developers
+// can still drive the application down the same path.
+//
+//	go run ./examples/bug-reporting
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	// The user's ordinary session — recording is always on.
+	env := warr.NewDemoEnv(warr.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(warr.YahooURL); err != nil {
+		log.Fatal(err)
+	}
+	recorder := warr.NewRecorder(env.Clock)
+	recorder.Attach(tab)
+
+	scenario := warr.AuthenticateScenario()
+	if err := scenario.Run(env, tab); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user signed in (the trace now contains their password)")
+
+	// The user hits a bug and presses the report button. The trace is
+	// redacted before it leaves the machine: keystrokes into elements
+	// whose XPath mentions "pass" become "*".
+	report, err := warr.NewUserReport(
+		"After signing in, the page looks wrong.",
+		recorder.Trace(), tab,
+		warr.ReportOptions{Redact: warr.RedactMatching("pass")},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if strings.Contains(report.Trace.Text(), "epfl2011") {
+		log.Fatal("password leaked into the report")
+	}
+	fmt.Println("password keystrokes redacted; user-visible actions preserved")
+
+	// Encrypt to the developers' public key: hybrid RSA-OAEP + AES-GCM.
+	devKey, err := warr.GenerateDeveloperKey(2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	envelope, err := warr.SealReport(report, &devKey.PublicKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := envelope.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sealed report: %d bytes on the wire\n\n", len(wire))
+
+	// Developers decrypt and read.
+	received, err := warr.OpenReport(envelope, devKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("developers received:")
+	fmt.Println(received.Text())
+}

@@ -1,0 +1,81 @@
+// Nondeterminism tracing (paper §III-A): because the WaRR Recorder
+// lives inside the browser engine, it "can easily be extended to record
+// various sources of nondeterminism (e.g., timers)". This example
+// records the same Google Sites editing session twice — once patient,
+// once impatient — with the nondeterminism log attached, and prints the
+// annotated traces side by side.
+//
+// The annotations make the §V-C bug's cause visible at a glance: in the
+// passing run the editor-module fetch and its timer land *between* the
+// Edit click and the first keystroke; in the failing run the Save click
+// arrives before any module traffic, so the Save handler dereferences
+// the uninitialized editor variable.
+//
+//	go run ./examples/nondet-tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	fmt.Println("=== patient user (editor loads before typing) ===")
+	patient, err := annotatedSession(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(patient)
+
+	fmt.Println("=== impatient user (saves before the editor module arrives) ===")
+	impatient, err := annotatedSession(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(impatient)
+
+	if !strings.Contains(impatient, "TypeError") {
+		log.Fatal("expected the impatient run to hit the §V-C bug")
+	}
+}
+
+// annotatedSession records an edit-site interaction with the
+// nondeterminism log attached and returns the annotated trace (plus the
+// console outcome).
+func annotatedSession(patient bool) (string, error) {
+	env := warr.NewDemoEnv(warr.UserMode)
+	ndlog := warr.NewNondetLog(env)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(warr.SitesURL); err != nil {
+		return "", err
+	}
+	rec := warr.NewRecorder(env.Clock)
+	rec.Attach(tab)
+	start := env.Clock.Now()
+	tab.AdvanceTime(100 * time.Millisecond) // the user reads the page first
+
+	doc := tab.MainFrame().Doc()
+	x, y := tab.Layout().Center(doc.GetElementByID("start"))
+	tab.Click(x, y)
+	if patient {
+		tab.AdvanceTime(2 * warr.NewDemoEnv(warr.UserMode).Network.Latency())
+		tab.TypeText("hi")
+	}
+	for _, d := range doc.Root().ElementsByTag("div") {
+		if strings.TrimSpace(d.TextContent()) == "Save" {
+			sx, sy := tab.Layout().Center(d)
+			tab.Click(sx, sy)
+			break
+		}
+	}
+
+	out := ndlog.Annotate(rec.Trace(), start)
+	for _, e := range tab.ConsoleErrors() {
+		out += "console: " + e.Message + "\n"
+	}
+	return out, nil
+}

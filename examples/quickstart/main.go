@@ -1,0 +1,51 @@
+// Quickstart: record a user session and replay it — Fig. 1 of the paper
+// in ~40 lines.
+//
+// A user edits a Google Sites page ("Hello world!") in a user-mode
+// browser while the WaRR Recorder, embedded at the browser's engine
+// layer, logs every click and keystroke as WaRR Commands. The trace is
+// then replayed by the WaRR Replayer in a completely fresh environment
+// (new server state, new browser — developer mode), and the replayed
+// session produces the same observable effect: the page is saved with
+// the typed text.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+func main() {
+	// 1. Record: run the edit-site session with the recorder attached.
+	scenario := warr.EditSiteScenario()
+	trace, err := warr.RecordSession(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d WaRR Commands:\n\n%s\n", len(trace.Commands), trace.CommandsText())
+
+	// 2. The trace is a durable text artifact (paper Fig. 4 format).
+	parsed, err := warr.ParseTrace(trace.Text())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Replay in a brand-new environment with a developer-mode
+	// browser (settable event properties — §IV-C).
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	result, tab, err := warr.Replay(env.Browser, parsed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d/%d commands\n", result.Played, len(parsed.Commands))
+
+	// 4. The replayed session reproduces the user's effect.
+	if err := scenario.Verify(env, tab); err != nil {
+		log.Fatalf("replay did not reproduce the session: %v", err)
+	}
+	fmt.Printf("verified: page now reads %q\n", env.Sites.PageContent("home"))
+}

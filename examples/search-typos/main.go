@@ -1,0 +1,78 @@
+// Search-engine typo tolerance (paper Table I, in miniature): type
+// mistyped queries into the three simulated search engines through the
+// full record-and-replay pipeline and see which engines detect and fix
+// the typos.
+//
+// The engines differ exactly where the real ones did in 2011: the
+// Google-shaped engine corrects whole queries against its query logs,
+// the Yahoo-shaped engine corrects words within edit distance 2 over a
+// slightly gappy dictionary, and the Bing-shaped engine only reaches
+// edit distance 1 — so transposition typos (distance 2) escape it.
+//
+//	go run ./examples/search-typos
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+// typos pairs correct queries with mistyped variants (substitution,
+// omission, transposition — the humanerr models).
+var typos = []struct{ original, typoed string }{
+	{"facebook privacy settings", "facebook pricavy settings"},       // transposition
+	{"harry potter deathly hallows", "harry pottre deathly hallows"}, // transposition
+	{"android phones comparison", "android phnes comparison"},        // omission
+	{"world cup south africa", "world cup sputh africa"},             // substitution
+}
+
+func main() {
+	engines := []struct{ name, url string }{
+		{"Google", warr.GoogleURL},
+		{"Bing", warr.BingURL},
+		{"Yahoo!", warr.YSearchURL},
+	}
+
+	fmt.Printf("%-28s %-10s %-10s %s\n", "typoed query", "Google", "Bing", "Yahoo!")
+	for _, q := range typos {
+		verdicts := make([]string, 0, len(engines))
+		for _, eng := range engines {
+			fixed, err := searchAndCheck(eng.url, q.typoed, q.original)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fixed {
+				verdicts = append(verdicts, "fixed")
+			} else {
+				verdicts = append(verdicts, "missed")
+			}
+		}
+		fmt.Printf("%-28s %-10s %-10s %s\n", q.typoed, verdicts[0], verdicts[1], verdicts[2])
+	}
+}
+
+// searchAndCheck records a session typing the typoed query, replays it
+// in a fresh environment, and checks whether the engine's results page
+// shows the original query.
+func searchAndCheck(engineURL, typoed, original string) (bool, error) {
+	trace, err := warr.RecordSession(warr.SearchScenario(engineURL, typoed))
+	if err != nil {
+		return false, err
+	}
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	res, tab, err := warr.Replay(env.Browser, trace)
+	if err != nil {
+		return false, err
+	}
+	if !res.Complete() {
+		return false, fmt.Errorf("replay incomplete: %d failed", res.Failed)
+	}
+	banner := tab.MainFrame().Doc().GetElementByID("corrected")
+	if banner == nil {
+		return false, nil
+	}
+	return strings.TrimSpace(banner.TextContent()) == original, nil
+}

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/webapp"
+)
+
+// Docs rows and columns of the simulated spreadsheet.
+const (
+	DocsRows = 3
+	DocsCols = 3
+)
+
+// Docs simulates a Google Docs spreadsheet. Editing a cell requires a
+// double click (the reason WaRR adds double-click support to
+// ChromeDriver, §IV-C: "web applications that use them, such as Google
+// Docs, are increasingly popular"), and committing the edit requires an
+// Enter keystroke whose keyCode the handler inspects — so replay fidelity
+// depends on the developer-mode browser's settable KeyboardEvent
+// properties.
+type Docs struct {
+	srv *webapp.Server
+
+	mu    sync.Mutex
+	cells map[string]string
+}
+
+// NewDocs returns a spreadsheet with seeded first-column labels.
+func NewDocs() *Docs {
+	d := &Docs{cells: map[string]string{
+		"r1c1": "Item",
+		"r2c1": "Travel",
+		"r3c1": "Office",
+	}}
+	srv := webapp.NewServer("docs")
+	srv.Handle("/", d.sheet)
+	srv.Handle("/set", d.set)
+	d.srv = srv
+	return d
+}
+
+// Server returns the application's HTTP handler.
+func (d *Docs) Server() *webapp.Server { return d.srv }
+
+// Cell returns the stored value of the cell named e.g. "r1c2".
+func (d *Docs) Cell(name string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cells[name]
+}
+
+// Cells returns a sorted snapshot of all non-empty cells as "name=value".
+func (d *Docs) Cells() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.cells))
+	for k, v := range d.cells {
+		out = append(out, k+"="+v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sheet renders the spreadsheet grid. Each cell is a div (not a form
+// control): double-clicking makes it editable, and Enter commits.
+func (d *Docs) sheet(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	d.mu.Lock()
+	snapshot := make(map[string]string, len(d.cells))
+	for k, v := range d.cells {
+		snapshot[k] = v
+	}
+	d.mu.Unlock()
+
+	var rows strings.Builder
+	for r := 1; r <= DocsRows; r++ {
+		rows.WriteString("<tr>")
+		for c := 1; c <= DocsCols; c++ {
+			name := fmt.Sprintf("r%dc%d", r, c)
+			fmt.Fprintf(&rows,
+				`<td><div class="cell" id="%s" ondblclick="editCell('%s')" onkeydown="cellKey(event, '%s')">%s</div></td>`,
+				name, name, name, htmlEscape(snapshot[name]))
+		}
+		rows.WriteString("</tr>")
+	}
+
+	body := fmt.Sprintf(`
+<div id="title">Budget - Google Docs</div>
+<table id="sheet"><tbody>%s</tbody></table>
+<div id="hint">Double-click a cell to edit; Enter commits.</div>`, rows.String())
+
+	script := `
+function editCell(id) {
+	var c = document.getElementById(id);
+	c.setAttribute("contenteditable", "true");
+	c.textContent = "";
+	c.focus();
+}
+function cellKey(event, id) {
+	if (event.keyCode == 13) {
+		event.preventDefault();
+		var c = document.getElementById(id);
+		window.location = "/set?cell=" + id + "&v=" + encodeURIComponent(c.textContent);
+	}
+}
+`
+	return netsim.OK(webapp.Page("Budget - Google Docs", body, script))
+}
+
+// set commits one cell value and re-renders the sheet.
+func (d *Docs) set(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	cell := req.Form.Get("cell")
+	if cell == "" {
+		return netsim.NotFound()
+	}
+	d.mu.Lock()
+	d.cells[cell] = req.Form.Get("v")
+	d.mu.Unlock()
+	return webapp.Redirect("/")
+}

@@ -1,0 +1,113 @@
+// Package apps implements the five simulated web applications the
+// paper's evaluation runs against: Google Sites (edit a site, §V-C and
+// Fig. 4), GMail (compose an email, §VI), the Yahoo! portal
+// (authenticate), Google Docs (edit a spreadsheet), and the three web
+// search engines of Table I (Google-, Bing-, and Yahoo-shaped typo
+// correctors).
+//
+// Each application is written against the webapp server framework and
+// runs real client-side code in the simulated browser. Every application
+// reproduces the specific property its experiment needs:
+//
+//   - Sites loads its editor asynchronously, so an impatient user hits an
+//     uninitialized JavaScript variable — the bug the paper found (§V-C);
+//   - GMail regenerates element ids on every page load, which is what
+//     forces the replayer's progressive XPath relaxation (§IV-C), and its
+//     compose flow includes a window drag and contenteditable typing that
+//     page-level recorders miss (Table II);
+//   - Yahoo authenticates through a plain form, the one scenario both
+//     WaRR and the Selenium-IDE-style baseline record completely;
+//   - Docs requires a double click to edit a cell and an Enter keystroke
+//     whose keyCode the commit handler inspects — replay fidelity
+//     therefore depends on the developer-mode browser (§IV-C);
+//   - the search engines differ in spelling-correction power, producing
+//     the Table I spread.
+package apps
+
+import (
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// Application hosts. GMail is served over HTTPS, so a Fiddler-style proxy
+// observer sees only connection metadata for it (§II).
+const (
+	SitesHost   = "sites.test"
+	GMailHost   = "gmail.test"
+	YahooHost   = "yahoo.test"
+	DocsHost    = "docs.test"
+	GoogleHost  = "google.test"
+	BingHost    = "bing.test"
+	YSearchHost = "search.yahoo.test"
+)
+
+// Start URLs for the recorded scenarios.
+const (
+	SitesURL   = "http://" + SitesHost + "/"
+	GMailURL   = "https://" + GMailHost + "/mail"
+	YahooURL   = "http://" + YahooHost + "/"
+	DocsURL    = "http://" + DocsHost + "/"
+	GoogleURL  = "http://" + GoogleHost + "/"
+	BingURL    = "http://" + BingHost + "/"
+	YSearchURL = "http://" + YSearchHost + "/"
+)
+
+// DefaultAJAXLatency is the one-way network latency for asynchronous
+// loads. The Sites editor takes this long to become usable after the Edit
+// click — the window in which timing errors strike (§V-B).
+const DefaultAJAXLatency = 150 * time.Millisecond
+
+// Env bundles a fresh virtual clock, network, browser, and one instance
+// of every simulated application. Each Env is fully isolated; replaying a
+// trace in a new Env starts every application from its initial state.
+type Env struct {
+	Clock   *vclock.Clock
+	Network *netsim.Network
+	Browser *browser.Browser
+
+	Sites   *Sites
+	GMail   *GMail
+	Yahoo   *Yahoo
+	Docs    *Docs
+	Google  *SearchEngine
+	Bing    *SearchEngine
+	YSearch *SearchEngine
+}
+
+// NewEnv builds an isolated environment with all applications registered
+// on the network and a browser of the given mode.
+func NewEnv(mode browser.Mode) *Env {
+	clock := vclock.New()
+	network := netsim.New(clock)
+	network.SetLatency(DefaultAJAXLatency)
+
+	e := &Env{
+		Clock:   clock,
+		Network: network,
+		Sites:   NewSites(),
+		GMail:   NewGMail(),
+		Yahoo:   NewYahoo(),
+		Docs:    NewDocs(),
+		Google:  NewGoogleSearch(),
+		Bing:    NewBingSearch(),
+		YSearch: NewYahooSearch(),
+	}
+	network.Register(SitesHost, e.Sites.Server())
+	network.Register(GMailHost, e.GMail.Server())
+	network.Register(YahooHost, e.Yahoo.Server())
+	network.Register(DocsHost, e.Docs.Server())
+	network.Register(GoogleHost, e.Google.Server())
+	network.Register(BingHost, e.Bing.Server())
+	network.Register(YSearchHost, e.YSearch.Server())
+
+	e.Browser = browser.New(clock, network, mode)
+	return e
+}
+
+// SearchEngines returns the three Table I engines in presentation order.
+func (e *Env) SearchEngines() []*SearchEngine {
+	return []*SearchEngine{e.Google, e.Bing, e.YSearch}
+}

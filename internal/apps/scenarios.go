@@ -1,0 +1,338 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// Scenario pacing: users act a few hundred milliseconds apart, matching
+// the elapsed-tick magnitudes of the paper's Fig. 4 trace. ActionGap must
+// exceed DefaultAJAXLatency so patient users find asynchronously loaded
+// functionality ready.
+const (
+	ActionGap = 300 * time.Millisecond
+	KeyGap    = 200 * time.Millisecond
+)
+
+// Scenario is one scripted user session: the workloads of Table II and
+// the §VI overhead experiment. Run drives hardware-level input against a
+// tab already on StartURL; Verify is the test oracle deciding whether the
+// session's observable effect happened (it is applied to the recording
+// environment and again to any environment a trace was replayed in).
+type Scenario struct {
+	// Name is the interaction, e.g. "Edit site" (Table II's Scenario column).
+	Name string
+	// App is the application, e.g. "Google Sites" (Table II's Application column).
+	App string
+	// StartURL is the page the session starts on.
+	StartURL string
+	// Run performs the user actions.
+	Run func(env *Env, tab *browser.Tab) error
+	// Verify checks the session's effect on the application.
+	Verify func(env *Env, tab *browser.Tab) error
+}
+
+// ScenarioByName resolves a command-line scenario name.
+func ScenarioByName(name string) (Scenario, bool) {
+	switch name {
+	case "edit-site":
+		return EditSiteScenario(), true
+	case "compose-email":
+		return ComposeEmailScenario(), true
+	case "authenticate":
+		return AuthenticateScenario(), true
+	case "edit-spreadsheet":
+		return EditSpreadsheetScenario(), true
+	default:
+		return Scenario{}, false
+	}
+}
+
+// ScenarioNames lists the names ScenarioByName accepts.
+func ScenarioNames() []string {
+	return []string{"edit-site", "compose-email", "authenticate", "edit-spreadsheet"}
+}
+
+// TableIIScenarios returns the four recording-fidelity scenarios in the
+// paper's row order: Google Sites / Edit site, GMail / Compose email,
+// Yahoo / Authenticate, Google Docs / Edit spreadsheet.
+func TableIIScenarios() []Scenario {
+	return []Scenario{
+		EditSiteScenario(),
+		ComposeEmailScenario(),
+		AuthenticateScenario(),
+		EditSpreadsheetScenario(),
+	}
+}
+
+// EditSiteScenario is the Fig. 4 session: open the Google Sites editor,
+// wait for it to load, type "Hello world!", and save.
+func EditSiteScenario() Scenario {
+	const text = "Hello world!"
+	return Scenario{
+		Name:     "Edit site",
+		App:      "Google Sites",
+		StartURL: SitesURL,
+		Run: func(env *Env, tab *browser.Tab) error {
+			if err := clickID(tab, "start"); err != nil {
+				return err
+			}
+			// A patient user waits for the editor to load (ActionGap >
+			// the AJAX latency); the editor focuses itself when ready.
+			tab.AdvanceTime(ActionGap)
+			typeSlow(tab, text, KeyGap)
+			tab.AdvanceTime(ActionGap)
+			return clickText(tab, "div", "Save")
+		},
+		Verify: func(env *Env, tab *browser.Tab) error {
+			if got := env.Sites.PageContent("home"); got != text {
+				return fmt.Errorf("sites page content = %q, want %q", got, text)
+			}
+			return nil
+		},
+	}
+}
+
+// ComposeEmailScenario composes and sends a GMail message: open the
+// composer, fill To and Subject, type the body into the contenteditable
+// message area, drag the compose window header aside, and send.
+func ComposeEmailScenario() Scenario {
+	want := Mail{To: "alice", Subject: "Hi", Body: "Lunch?"}
+	return Scenario{
+		Name:     "Compose email",
+		App:      "GMail",
+		StartURL: GMailURL,
+		Run: func(env *Env, tab *browser.Tab) error {
+			if err := clickName(tab, "compose"); err != nil {
+				return err
+			}
+			tab.AdvanceTime(ActionGap)
+			if err := clickName(tab, "to"); err != nil {
+				return err
+			}
+			typeSlow(tab, want.To, KeyGap)
+			tab.AdvanceTime(ActionGap)
+			if err := clickName(tab, "subject"); err != nil {
+				return err
+			}
+			typeSlow(tab, want.Subject, KeyGap)
+			tab.AdvanceTime(ActionGap)
+			if err := clickName(tab, "body"); err != nil {
+				return err
+			}
+			typeSlow(tab, want.Body, KeyGap)
+			tab.AdvanceTime(ActionGap)
+			if err := dragName(tab, "composehdr", 30, 20); err != nil {
+				return err
+			}
+			tab.AdvanceTime(ActionGap)
+			return clickName(tab, "send")
+		},
+		Verify: func(env *Env, tab *browser.Tab) error {
+			got, ok := env.GMail.LastSent()
+			if !ok {
+				return fmt.Errorf("no mail was sent")
+			}
+			if got != want {
+				return fmt.Errorf("sent mail = %+v, want %+v", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// AuthenticateScenario signs in to the Yahoo! portal through its login
+// form — plain form controls throughout.
+func AuthenticateScenario() Scenario {
+	const user, pass = "silviu", "epfl2011"
+	return Scenario{
+		Name:     "Authenticate",
+		App:      "Yahoo",
+		StartURL: YahooURL,
+		Run: func(env *Env, tab *browser.Tab) error {
+			if err := clickID(tab, "u"); err != nil {
+				return err
+			}
+			typeSlow(tab, user, KeyGap)
+			tab.AdvanceTime(ActionGap)
+			if err := clickID(tab, "p"); err != nil {
+				return err
+			}
+			typeSlow(tab, pass, KeyGap)
+			tab.AdvanceTime(ActionGap)
+			return clickName(tab, "signin")
+		},
+		Verify: func(env *Env, tab *browser.Tab) error {
+			if got := env.Yahoo.Logins(); got != 1 {
+				return fmt.Errorf("logins = %d, want 1", got)
+			}
+			return nil
+		},
+	}
+}
+
+// EditSpreadsheetScenario edits two Google Docs cells: double-click to
+// open the cell editor, type the value, commit with Enter.
+func EditSpreadsheetScenario() Scenario {
+	edits := []struct{ cell, value string }{
+		{"r2c2", "42"},
+		{"r3c2", "350"},
+	}
+	return Scenario{
+		Name:     "Edit spreadsheet",
+		App:      "Google Docs",
+		StartURL: DocsURL,
+		Run: func(env *Env, tab *browser.Tab) error {
+			for _, e := range edits {
+				if err := doubleClickID(tab, e.cell); err != nil {
+					return err
+				}
+				tab.AdvanceTime(ActionGap)
+				typeSlow(tab, e.value, KeyGap)
+				tab.AdvanceTime(KeyGap)
+				pressEnter(tab)
+				tab.AdvanceTime(ActionGap)
+			}
+			return nil
+		},
+		Verify: func(env *Env, tab *browser.Tab) error {
+			for _, e := range edits {
+				if got := env.Docs.Cell(e.cell); got != e.value {
+					return fmt.Errorf("cell %s = %q, want %q", e.cell, got, e.value)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SearchScenario types a query into the engine at startURL and submits
+// the search — the Table I workload.
+func SearchScenario(startURL, query string) Scenario {
+	return Scenario{
+		Name:     "Search",
+		App:      "Search engine",
+		StartURL: startURL,
+		Run: func(env *Env, tab *browser.Tab) error {
+			if err := clickID(tab, "q"); err != nil {
+				return err
+			}
+			typeSlow(tab, query, KeyGap)
+			tab.AdvanceTime(KeyGap)
+			return clickName(tab, "btn")
+		},
+		Verify: func(env *Env, tab *browser.Tab) error {
+			if el := findFirst(tab, byID("query")); el == nil {
+				return fmt.Errorf("no results page rendered")
+			}
+			return nil
+		},
+	}
+}
+
+// ---- input helpers (hardware-level, so the engine recorder sees them) ----
+
+// nodePredicate selects a target element.
+type nodePredicate func(*dom.Node) bool
+
+func byID(id string) nodePredicate {
+	return func(n *dom.Node) bool { return n.Type == dom.ElementNode && n.ID() == id }
+}
+
+func byName(name string) nodePredicate {
+	return func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && n.AttrOr("name", "") == name
+	}
+}
+
+func byTagText(tag, text string) nodePredicate {
+	return func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && n.Tag == tag &&
+			strings.TrimSpace(n.TextContent()) == text
+	}
+}
+
+// locate finds the first matching element across all frames, returning
+// its frame.
+func locate(tab *browser.Tab, pred nodePredicate) (*browser.Frame, *dom.Node) {
+	for _, f := range tab.MainFrame().Descendants() {
+		if f.Doc() == nil {
+			continue
+		}
+		if n := f.Doc().Root().Find(pred); n != nil {
+			return f, n
+		}
+	}
+	return nil, nil
+}
+
+func findFirst(tab *browser.Tab, pred nodePredicate) *dom.Node {
+	_, n := locate(tab, pred)
+	return n
+}
+
+// clickAt clicks the center of the located element through the tab's
+// hardware input path.
+func clickAt(tab *browser.Tab, pred nodePredicate, what string, double bool) error {
+	frame, n := locate(tab, pred)
+	if n == nil {
+		return fmt.Errorf("apps: no element %s on %s", what, tab.URL())
+	}
+	x, y, ok := tab.AbsoluteCenter(frame, n)
+	if !ok {
+		return fmt.Errorf("apps: element %s has no layout box", what)
+	}
+	if double {
+		tab.DoubleClick(x, y)
+	} else {
+		tab.Click(x, y)
+	}
+	return nil
+}
+
+func clickID(tab *browser.Tab, id string) error {
+	return clickAt(tab, byID(id), "#"+id, false)
+}
+
+func clickName(tab *browser.Tab, name string) error {
+	return clickAt(tab, byName(name), "[name="+name+"]", false)
+}
+
+func clickText(tab *browser.Tab, tag, text string) error {
+	return clickAt(tab, byTagText(tag, text), tag+"["+text+"]", false)
+}
+
+func doubleClickID(tab *browser.Tab, id string) error {
+	return clickAt(tab, byID(id), "#"+id, true)
+}
+
+// dragName drags the located element by (dx, dy).
+func dragName(tab *browser.Tab, name string, dx, dy int) error {
+	frame, n := locate(tab, byName(name))
+	if n == nil {
+		return fmt.Errorf("apps: no element [name=%s] on %s", name, tab.URL())
+	}
+	x, y, ok := tab.AbsoluteCenter(frame, n)
+	if !ok {
+		return fmt.Errorf("apps: element [name=%s] has no layout box", name)
+	}
+	tab.Drag(x, y, dx, dy)
+	return nil
+}
+
+// typeSlow types text one keystroke per gap of virtual time, giving the
+// recorded trace realistic per-key elapsed ticks.
+func typeSlow(tab *browser.Tab, text string, gap time.Duration) {
+	for _, ch := range text {
+		tab.AdvanceTime(gap)
+		tab.TypeText(string(ch))
+	}
+}
+
+func pressEnter(tab *browser.Tab) {
+	tab.PressKey(browser.KeyEnter, browser.NamedKeyCode(browser.KeyEnter), browser.KeyMods{})
+}

@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/humanerr"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/spell"
+	"github.com/dslab-epfl/warr/internal/webapp"
+)
+
+// Correcting is the spelling-correction strategy a search engine plugs
+// in. Both spell.Corrector (word-level) and spell.QueryCorrector
+// (query-level) satisfy it.
+type Correcting interface {
+	Correct(query string) (corrected string, changed bool)
+}
+
+// SearchEngine simulates one of the three Table I web search engines: a
+// query form, a results page, and a spelling corrector whose power
+// determines how many injected typos the engine detects and fixes.
+//
+// The three engines differ exactly where real ones do:
+//
+//   - Google corrects whole queries against its query logs (here, the 186
+//     frequent-query corpus), so any single typo snaps back to the
+//     original query — 100% in Table I;
+//   - Yahoo corrects word-by-word within edit distance 2, but its
+//     dictionary misses a slice of rarer terms — 84.4% in the paper;
+//   - Bing corrects word-by-word within edit distance 1, so transposition
+//     typos (Levenshtein distance 2) escape it — 59.1% in the paper.
+type SearchEngine struct {
+	// EngineName is the engine's display name ("Google", "Bing", "Yahoo!").
+	EngineName string
+
+	srv       *webapp.Server
+	corrector Correcting
+
+	mu      sync.Mutex
+	queries []string
+}
+
+// queryCorpus is the shared frequent-query corpus the engines' language
+// models are built from.
+var queryCorpus = humanerr.Queries186
+
+// NewGoogleSearch returns the Google-shaped engine: query-level
+// correction over the full query corpus with a word-level fallback.
+func NewGoogleSearch() *SearchEngine {
+	dict := spell.NewDictionary(queryCorpus)
+	word := spell.NewCorrector("google-words", dict, 2)
+	return newSearchEngine("Google",
+		spell.NewQueryCorrector("google", queryCorpus, 4, word))
+}
+
+// NewBingSearch returns the Bing-shaped engine: word-level correction
+// limited to edit distance 1.
+func NewBingSearch() *SearchEngine {
+	dict := spell.NewDictionary(queryCorpus)
+	return newSearchEngine("Bing", spell.NewCorrector("bing", dict, 1))
+}
+
+// NewYahooSearch returns the Yahoo-shaped engine: word-level correction
+// to edit distance 2 over a dictionary missing roughly one word in
+// fifteen — the coverage that lands its detection rate in the paper's
+// 84.4% band (the calibration is recorded in EXPERIMENTS.md).
+func NewYahooSearch() *SearchEngine {
+	dict := spell.NewDictionary(queryCorpus).WithoutTail(15)
+	return newSearchEngine("Yahoo!", spell.NewCorrector("yahoo", dict, 2))
+}
+
+func newSearchEngine(name string, c Correcting) *SearchEngine {
+	e := &SearchEngine{EngineName: name, corrector: c}
+	srv := webapp.NewServer(name)
+	srv.Handle("/", e.home)
+	srv.Handle("/search", e.search)
+	e.srv = srv
+	return e
+}
+
+// Server returns the engine's HTTP handler.
+func (e *SearchEngine) Server() *webapp.Server { return e.srv }
+
+// Queries returns the queries the engine has served, in order.
+func (e *SearchEngine) Queries() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.queries...)
+}
+
+// Correct exposes the engine's corrector (used by fast-path harnesses
+// that bypass the browser).
+func (e *SearchEngine) Correct(query string) (string, bool) {
+	return e.corrector.Correct(query)
+}
+
+func (e *SearchEngine) home(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	body := fmt.Sprintf(`
+<div id="logo">%s</div>
+<form id="sf" action="/search" method="GET">
+<input id="q" name="q">
+<input type="submit" name="btn" value="Search">
+</form>`, htmlEscape(e.EngineName))
+	return netsim.OK(webapp.Page(e.EngineName, body, ""))
+}
+
+// search renders the results page. When the corrector changed the query,
+// the page carries a "Showing results for ..." banner in #corrected — the
+// signal the Table I oracle reads.
+func (e *SearchEngine) search(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	q := req.Form.Get("q")
+	e.mu.Lock()
+	e.queries = append(e.queries, q)
+	e.mu.Unlock()
+
+	corrected, changed := e.corrector.Correct(q)
+	effective := q
+	banner := ""
+	if changed {
+		effective = corrected
+		banner = fmt.Sprintf(`<div id="corrected">%s</div>`, htmlEscape(corrected))
+	}
+
+	body := fmt.Sprintf(`
+<div id="logo">%s</div>
+<div id="query">%s</div>
+%s
+<div id="results">About %d results for %s</div>`,
+		htmlEscape(e.EngineName), htmlEscape(q), banner,
+		resultCount(effective), htmlEscape(effective))
+	return netsim.OK(webapp.Page(e.EngineName+" Search", body, ""))
+}
+
+// resultCount is a deterministic pseudo-count so result pages are stable
+// across runs.
+func resultCount(q string) int {
+	h := fnv.New32a()
+	// hash.Hash32 Write never fails.
+	_, _ = h.Write([]byte(q))
+	return int(h.Sum32()%9_000_000) + 1_000_000
+}

@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/webapp"
+)
+
+// Sites simulates Google Sites: a web hosting application whose pages are
+// edited through a rich in-page editor. The editor's functionality loads
+// asynchronously after the user clicks "Edit page" — exactly the behaviour
+// the paper exploited to find a real bug: "we simulated impatient users
+// who do not wait long enough and perform their changes right away. In
+// doing so, we caused Google Sites to use an uninitialized JavaScript
+// variable" (§V-C).
+//
+// The page structure matches the Fig. 4 trace: the edit control is
+// //div/span[@id="start"], the editable area is //td/div[@id="content"],
+// and the save control is //td/div[text()="Save"].
+type Sites struct {
+	srv *webapp.Server
+
+	mu    sync.Mutex
+	pages map[string]string
+	saves int
+}
+
+// NewSites returns a Sites application with one empty page, "home".
+func NewSites() *Sites {
+	s := &Sites{pages: map[string]string{"home": ""}}
+	srv := webapp.NewServer("sites")
+	srv.Handle("/", s.view)
+	srv.Handle("/content", s.content)
+	srv.Handle("/save", s.save)
+	s.srv = srv
+	return s
+}
+
+// Server returns the application's HTTP handler.
+func (s *Sites) Server() *webapp.Server { return s.srv }
+
+// PageContent returns the stored content of the named page.
+func (s *Sites) PageContent(name string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages[name]
+}
+
+// SetPageContent seeds a page (test setup).
+func (s *Sites) SetPageContent(name, content string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[name] = content
+}
+
+// Saves returns how many successful saves the server has handled.
+func (s *Sites) Saves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves
+}
+
+// view renders the page with its edit chrome. The editor table exists in
+// the initial HTML but is hidden and inert: its content area only becomes
+// editable once the asynchronously fetched editor module arrives and
+// initializes the global `editor` variable.
+func (s *Sites) view(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	page := pageName(req)
+	s.mu.Lock()
+	content := s.pages[page]
+	s.mu.Unlock()
+
+	display := content
+	if display == "" {
+		display = "This page is empty."
+	}
+
+	body := fmt.Sprintf(`
+<div id="sitehdr"><span id="start">Edit page</span></div>
+<div id="view">%s</div>
+<table id="editor" style="display:none"><tbody><tr>
+<td><div id="content"></div></td>
+<td><div>Save</div></td>
+</tr></tbody></table>`, htmlEscape(display))
+
+	script := fmt.Sprintf(`
+var editor;
+function saveNow() {
+	var text = editor.textContent;
+	window.location = "/save?page=%s&content=" + encodeURIComponent(text);
+}
+document.getElementById("start").addEventListener("click", function(e) {
+	document.getElementById("view").style = "display:none";
+	document.getElementById("editor").style = "";
+	httpGet("/content?page=%s", function(body, status) {
+		var c = document.getElementById("content");
+		c.setAttribute("contenteditable", "true");
+		c.textContent = body;
+		c.focus();
+		editor = c;
+	});
+});
+`, page, page)
+
+	html := webapp.Page("My Site - Google Sites", body, script)
+	// Wire the Save control. It deliberately has no id — the Fig. 4 trace
+	// identifies it by text: //td/div[text()="Save"].
+	html = injectSaveHandler(html)
+	return netsim.OK(html)
+}
+
+// injectSaveHandler adds the inline onclick to the Save div. Kept out of
+// the Sprintf template so the markup above stays readable.
+func injectSaveHandler(html string) string {
+	return replaceOnce(html, "<td><div>Save</div></td>",
+		`<td><div onclick="saveNow()">Save</div></td>`)
+}
+
+// content serves the raw page text the editor module seeds itself with.
+// This is the asynchronous fetch (AJAX over netsim latency) that makes the
+// application "more vulnerable to timing errors" (§V-B).
+func (s *Sites) content(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	page := pageName(req)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &netsim.Response{Status: 200, ContentType: "text/plain",
+		Header: map[string]string{}, Body: s.pages[page]}
+}
+
+// save stores the edited content and redirects back to the view.
+func (s *Sites) save(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	page := pageName(req)
+	content := req.Form.Get("content")
+	s.mu.Lock()
+	s.pages[page] = content
+	s.saves++
+	s.mu.Unlock()
+	return webapp.Redirect("/?page=" + page)
+}
+
+func pageName(req *netsim.Request) string {
+	if p := req.Form.Get("page"); p != "" {
+		return p
+	}
+	return "home"
+}

@@ -1,0 +1,23 @@
+package apps
+
+import "strings"
+
+var htmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)
+
+// htmlEscape escapes text for safe inclusion in HTML content.
+func htmlEscape(s string) string { return htmlEscaper.Replace(s) }
+
+// replaceOnce replaces the first occurrence of old with new and panics if
+// old is absent — the templates in this package are static, so a miss is a
+// programming error, not input-dependent.
+func replaceOnce(s, old, new string) string {
+	if !strings.Contains(s, old) {
+		panic("apps: template fragment not found: " + old)
+	}
+	return strings.Replace(s, old, new, 1)
+}

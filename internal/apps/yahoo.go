@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/webapp"
+)
+
+// Yahoo simulates the Yahoo! web portal. Its authentication scenario is a
+// plain HTML form — stable ids, standard input elements, a submit button.
+// This is the one Table II scenario that even the page-level
+// Selenium-IDE-style recorder captures completely (row "Yahoo /
+// Authenticate: C, C"), because every user action lands on a form control.
+type Yahoo struct {
+	srv *webapp.Server
+
+	mu     sync.Mutex
+	logins int
+}
+
+// NewYahoo returns a fresh portal.
+func NewYahoo() *Yahoo {
+	y := &Yahoo{}
+	srv := webapp.NewServer("yahoo")
+	srv.Handle("/", y.home)
+	srv.Handle("/login", y.login)
+	y.srv = srv
+	return y
+}
+
+// Server returns the application's HTTP handler.
+func (y *Yahoo) Server() *webapp.Server { return y.srv }
+
+// Logins returns how many successful sign-ins the portal has handled.
+func (y *Yahoo) Logins() int {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return y.logins
+}
+
+func (y *Yahoo) home(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	user := sess.Get("user")
+
+	var account string
+	if user != "" {
+		account = fmt.Sprintf(`<div id="welcome">Welcome, %s</div>`, htmlEscape(user))
+	} else {
+		errMsg := ""
+		if req.Form.Get("err") != "" {
+			errMsg = `<div id="loginerr">Invalid ID or password.</div>`
+		}
+		account = fmt.Sprintf(`%s
+<form id="login" action="/login" method="POST">
+<div>Yahoo! ID <input id="u" name="user"></div>
+<div>Password <input id="p" name="pass" type="password"></div>
+<input type="submit" name="signin" value="Sign In">
+</form>`, errMsg)
+	}
+
+	body := fmt.Sprintf(`
+<div id="masthead">Yahoo!</div>
+<div id="news">
+<div class="headline">Markets rally on tech earnings</div>
+<div class="headline">World Cup qualifiers begin</div>
+<div class="headline">New tablet review roundup</div>
+</div>
+%s`, account)
+
+	return netsim.OK(webapp.Page("Yahoo!", body, ""))
+}
+
+// login accepts any account with a non-empty ID and password.
+func (y *Yahoo) login(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	user := req.Form.Get("user")
+	pass := req.Form.Get("pass")
+	if user == "" || pass == "" {
+		return webapp.Redirect("/?err=1")
+	}
+	sess.Set("user", user)
+	y.mu.Lock()
+	y.logins++
+	y.mu.Unlock()
+	return webapp.Redirect("/")
+}

@@ -1,0 +1,164 @@
+// Package auser implements AUsER, the paper's second tool built on WaRR
+// (§VI): automatic user experience reports. When a user experiences a
+// bug, she presses a button and the application's developers receive the
+// sequence of WaRR Commands she performed, a textual description of the
+// bug, and a (possibly partial) snapshot of the final web page.
+//
+// The package also implements the privacy mitigations of §IV-D: typed
+// keystrokes can be redacted before sharing, the snapshot can be clipped
+// to a single element ("such as the button that has the wrong name,
+// leaving out private details"), and reports can be encrypted with the
+// developers' public key "so that only developers can access the
+// traces".
+package auser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/xpath"
+)
+
+// Report is one user experience report.
+type Report struct {
+	// Description is the user's textual description of the bug.
+	Description string
+	// URL is the page the bug manifested on.
+	URL string
+	// Time is when the report was filed (virtual time).
+	Time time.Time
+	// Trace is the recorded interaction (possibly redacted).
+	Trace command.Trace
+	// Snapshot is the HTML snapshot of the final page, possibly clipped
+	// to one element.
+	Snapshot string
+	// SnapshotPartial reports whether Snapshot is a clipped fragment.
+	SnapshotPartial bool
+	// Console carries the browser console output, errors included —
+	// the developer's first debugging signal.
+	Console []string
+}
+
+// Options configure report generation.
+type Options struct {
+	// SnapshotXPath, when non-empty, clips the snapshot to the first
+	// element matching the expression.
+	SnapshotXPath string
+	// OmitSnapshot drops the page snapshot entirely.
+	OmitSnapshot bool
+	// Redact applies a trace redaction before the trace enters the
+	// report (see RedactAllTyped, RedactMatching).
+	Redact func(command.Trace) command.Trace
+}
+
+// New assembles a report from the user's description, the recorded
+// trace, and the tab showing the bug.
+func New(description string, tr command.Trace, tab *browser.Tab, opts Options) (*Report, error) {
+	if opts.Redact != nil {
+		tr = opts.Redact(tr)
+	}
+	r := &Report{
+		Description: description,
+		URL:         tab.URL(),
+		Time:        tab.Browser().Clock().Now(),
+		Trace:       tr,
+	}
+	for _, e := range tab.Console() {
+		r.Console = append(r.Console, fmt.Sprintf("[%s] %s", e.Level, e.Message))
+	}
+	if !opts.OmitSnapshot {
+		snap, partial, err := snapshot(tab, opts.SnapshotXPath)
+		if err != nil {
+			return nil, err
+		}
+		r.Snapshot, r.SnapshotPartial = snap, partial
+	}
+	return r, nil
+}
+
+// snapshot renders the page, or just the element SnapshotXPath selects.
+func snapshot(tab *browser.Tab, expr string) (html string, partial bool, err error) {
+	doc := tab.MainFrame().Doc()
+	if expr == "" {
+		return doc.HTML(), false, nil
+	}
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return "", false, fmt.Errorf("auser: snapshot xpath: %w", err)
+	}
+	n := xpath.First(p, doc.Root())
+	if n == nil {
+		return "", false, fmt.Errorf("auser: snapshot xpath %q matches nothing", expr)
+	}
+	return n.OuterHTML(), true, nil
+}
+
+// Text renders the report for human reading.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "User experience report — %s\n", r.Time.Format(time.RFC3339))
+	fmt.Fprintf(&b, "Page: %s\n", r.URL)
+	fmt.Fprintf(&b, "Description: %s\n", r.Description)
+	b.WriteString("\n-- interaction trace --\n")
+	b.WriteString(r.Trace.Text())
+	if len(r.Console) > 0 {
+		b.WriteString("\n-- console --\n")
+		for _, line := range r.Console {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	if r.Snapshot != "" {
+		if r.SnapshotPartial {
+			b.WriteString("\n-- page snapshot (partial) --\n")
+		} else {
+			b.WriteString("\n-- page snapshot --\n")
+		}
+		b.WriteString(r.Snapshot)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RedactedKey replaces redacted keystrokes in a shared trace.
+const RedactedKey = "*"
+
+// RedactAllTyped replaces every printable keystroke in the trace with
+// RedactedKey, keeping the interaction structure (element targets,
+// timing, control keys) intact so the trace still drives the application
+// down the same path.
+func RedactAllTyped(tr command.Trace) command.Trace {
+	return redact(tr, func(command.Command) bool { return true })
+}
+
+// RedactMatching redacts printable keystrokes typed into elements whose
+// XPath contains any of the substrings — e.g. "pass" to strip passwords.
+func RedactMatching(substrings ...string) func(command.Trace) command.Trace {
+	return func(tr command.Trace) command.Trace {
+		return redact(tr, func(c command.Command) bool {
+			for _, s := range substrings {
+				if strings.Contains(c.XPath, s) {
+					return true
+				}
+			}
+			return false
+		})
+	}
+}
+
+func redact(tr command.Trace, match func(command.Command) bool) command.Trace {
+	out := tr.Clone()
+	for i, c := range out.Commands {
+		if c.Action != command.Type || len(c.Key) != 1 {
+			continue // control keys carry no content
+		}
+		if match(c) {
+			out.Commands[i].Key = RedactedKey
+			out.Commands[i].Code = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package auser
+
+import (
+	"crypto/rsa"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+)
+
+// devKey is generated once; RSA keygen dominates test time otherwise.
+var (
+	devKeyOnce sync.Once
+	devKey     *rsa.PrivateKey
+)
+
+func testKey(t *testing.T) *rsa.PrivateKey {
+	t.Helper()
+	devKeyOnce.Do(func() {
+		k, err := GenerateDeveloperKey(2048)
+		if err != nil {
+			t.Fatalf("GenerateDeveloperKey: %v", err)
+		}
+		devKey = k
+	})
+	return devKey
+}
+
+// buggySession reproduces the Sites timing bug and returns the trace and
+// the tab showing it.
+func buggySession(t *testing.T) (command.Trace, *browser.Tab) {
+	t.Helper()
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.SitesURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	// Impatient user: edit then save immediately.
+	start := tab.MainFrame().Doc().GetElementByID("start")
+	x, y := tab.Layout().Center(start)
+	tab.Click(x, y)
+	for _, n := range tab.MainFrame().Doc().Root().ElementsByTag("div") {
+		if strings.TrimSpace(n.TextContent()) == "Save" {
+			x, y := tab.Layout().Center(n)
+			tab.Click(x, y)
+			break
+		}
+	}
+	return rec.Trace(), tab
+}
+
+// authSession records typing a password on the Yahoo portal.
+func authSession(t *testing.T) (command.Trace, *browser.Tab) {
+	t.Helper()
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	sc := apps.AuthenticateScenario()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace(), tab
+}
+
+func TestReportCarriesConsoleErrors(t *testing.T) {
+	tr, tab := buggySession(t)
+	r, err := New("save button does nothing", tr, tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Console, "\n")
+	if !strings.Contains(joined, "TypeError") {
+		t.Errorf("report console misses the bug signal: %q", joined)
+	}
+	if len(r.Trace.Commands) != len(tr.Commands) {
+		t.Errorf("trace truncated: %d vs %d", len(r.Trace.Commands), len(tr.Commands))
+	}
+	if !strings.Contains(r.Text(), "save button does nothing") {
+		t.Error("rendered report misses the description")
+	}
+}
+
+func TestReportPartialSnapshot(t *testing.T) {
+	tr, tab := buggySession(t)
+	r, err := New("bug", tr, tab, Options{SnapshotXPath: `//span[@id="start"]`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SnapshotPartial {
+		t.Error("snapshot should be marked partial")
+	}
+	if !strings.Contains(r.Snapshot, "Edit page") {
+		t.Errorf("snapshot = %q", r.Snapshot)
+	}
+	if strings.Contains(r.Snapshot, "This page is empty") {
+		t.Error("partial snapshot leaked the rest of the page")
+	}
+}
+
+func TestReportSnapshotXPathMissing(t *testing.T) {
+	tr, tab := buggySession(t)
+	if _, err := New("bug", tr, tab, Options{SnapshotXPath: `//canvas[@id="nope"]`}); err == nil {
+		t.Error("expected error for unmatched snapshot xpath")
+	}
+}
+
+func TestRedactMatchingStripsPasswordOnly(t *testing.T) {
+	tr, _ := authSession(t)
+	red := RedactMatching("pass")(tr)
+	var sawRedacted, sawUser bool
+	for _, c := range red.Commands {
+		if c.Action != command.Type {
+			continue
+		}
+		if strings.Contains(c.XPath, "pass") {
+			if c.Key != RedactedKey {
+				t.Errorf("password keystroke not redacted: %s", c)
+			}
+			sawRedacted = true
+		}
+		if strings.Contains(c.XPath, `@name="user"`) && c.Key != RedactedKey {
+			sawUser = true
+		}
+	}
+	if !sawRedacted {
+		t.Error("no password keystrokes found")
+	}
+	if !sawUser {
+		t.Error("user-name keystrokes should survive selective redaction")
+	}
+	// Original trace untouched.
+	for _, c := range tr.Commands {
+		if c.Key == RedactedKey {
+			t.Fatal("redaction mutated the original trace")
+		}
+	}
+}
+
+func TestRedactAllTypedKeepsStructure(t *testing.T) {
+	tr, _ := authSession(t)
+	red := RedactAllTyped(tr)
+	if len(red.Commands) != len(tr.Commands) {
+		t.Fatal("redaction changed command count")
+	}
+	for i, c := range red.Commands {
+		if c.XPath != tr.Commands[i].XPath || c.Elapsed != tr.Commands[i].Elapsed {
+			t.Errorf("command %d structure changed", i)
+		}
+		if c.Action == command.Type && len(tr.Commands[i].Key) == 1 && c.Key != RedactedKey {
+			t.Errorf("printable key survived: %s", c)
+		}
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	tr, tab := buggySession(t)
+	key := testKey(t)
+	r, err := New("bug", tr, tab, Options{Redact: RedactAllTyped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(r, &key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(env.Ciphertext), "TypeError") {
+		t.Error("ciphertext leaks plaintext")
+	}
+	got, err := Open(env, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != r.Description || got.URL != r.URL {
+		t.Errorf("round trip mangled report: %+v", got)
+	}
+	if len(got.Trace.Commands) != len(r.Trace.Commands) {
+		t.Error("round trip mangled trace")
+	}
+}
+
+func TestOpenWithWrongKeyFails(t *testing.T) {
+	tr, tab := buggySession(t)
+	key := testKey(t)
+	r, err := New("bug", tr, tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(r, &key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := GenerateDeveloperKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(env, other); err == nil {
+		t.Error("envelope opened with the wrong private key")
+	}
+}
+
+func TestTamperedEnvelopeFails(t *testing.T) {
+	tr, tab := buggySession(t)
+	key := testKey(t)
+	r, _ := New("bug", tr, tab, Options{})
+	env, err := Seal(r, &key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Ciphertext[0] ^= 0xff
+	if _, err := Open(env, key); err == nil {
+		t.Error("tampered ciphertext accepted")
+	}
+}
+
+func TestEnvelopeEncodeDecode(t *testing.T) {
+	tr, tab := buggySession(t)
+	key := testKey(t)
+	r, _ := New("bug", tr, tab, Options{})
+	env, err := Seal(r, &key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dec, key); err != nil {
+		t.Errorf("decoded envelope does not open: %v", err)
+	}
+}
+
+func TestWeakKeyRejected(t *testing.T) {
+	if _, err := GenerateDeveloperKey(1024); err == nil {
+		t.Error("1024-bit key accepted")
+	}
+}
+
+func TestReportOmitSnapshot(t *testing.T) {
+	tr, tab := buggySession(t)
+	r, err := New("bug", tr, tab, Options{OmitSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot != "" {
+		t.Error("snapshot present despite OmitSnapshot")
+	}
+}

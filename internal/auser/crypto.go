@@ -1,0 +1,122 @@
+package auser
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// This file implements the §IV-D trace-protection scheme: "To prevent
+// traces from being used to exploit an application's vulnerabilities,
+// one can encrypt them with the developers' public key, so that only
+// developers can access the traces." Reports are sealed with hybrid
+// encryption: a fresh AES-256-GCM key encrypts the JSON-encoded report,
+// and RSA-OAEP wraps that key for the developers.
+
+// Envelope is an encrypted report in transit.
+type Envelope struct {
+	// WrappedKey is the AES key, RSA-OAEP-encrypted to the developers.
+	WrappedKey []byte `json:"wrapped_key"`
+	// Nonce is the GCM nonce.
+	Nonce []byte `json:"nonce"`
+	// Ciphertext is the GCM-sealed JSON report.
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// oaepLabel binds ciphertexts to this use.
+var oaepLabel = []byte("warr-auser-report-v1")
+
+// GenerateDeveloperKey creates the developers' RSA key pair. 2048 bits
+// is the floor; tests may use it directly for speed.
+func GenerateDeveloperKey(bits int) (*rsa.PrivateKey, error) {
+	if bits < 2048 {
+		return nil, fmt.Errorf("auser: key size %d below 2048-bit floor", bits)
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("auser: generating developer key: %w", err)
+	}
+	return key, nil
+}
+
+// Seal encrypts a report to the developers' public key.
+func Seal(r *Report, pub *rsa.PublicKey) (*Envelope, error) {
+	plaintext, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("auser: encoding report: %w", err)
+	}
+
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("auser: generating session key: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("auser: aes: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("auser: gcm: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("auser: generating nonce: %w", err)
+	}
+
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, key, oaepLabel)
+	if err != nil {
+		return nil, fmt.Errorf("auser: wrapping session key: %w", err)
+	}
+	return &Envelope{
+		WrappedKey: wrapped,
+		Nonce:      nonce,
+		Ciphertext: gcm.Seal(nil, nonce, plaintext, nil),
+	}, nil
+}
+
+// Open decrypts an envelope with the developers' private key.
+func Open(env *Envelope, priv *rsa.PrivateKey) (*Report, error) {
+	key, err := rsa.DecryptOAEP(sha256.New(), nil, priv, env.WrappedKey, oaepLabel)
+	if err != nil {
+		return nil, fmt.Errorf("auser: unwrapping session key: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("auser: aes: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("auser: gcm: %w", err)
+	}
+	plaintext, err := gcm.Open(nil, env.Nonce, env.Ciphertext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("auser: opening report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(plaintext, &r); err != nil {
+		return nil, fmt.Errorf("auser: decoding report: %w", err)
+	}
+	return &r, nil
+}
+
+// Encode serializes an envelope for transport.
+func (e *Envelope) Encode() ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("auser: encoding envelope: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeEnvelope parses a serialized envelope.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("auser: decoding envelope: %w", err)
+	}
+	return &e, nil
+}

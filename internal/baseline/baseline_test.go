@@ -1,0 +1,305 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/netsim"
+)
+
+// recordScenario runs a Table II scenario with the Selenium-IDE recorder
+// attached and returns the resulting script plus the recording env.
+func recordScenario(t *testing.T, sc apps.Scenario) (Script, *apps.Env) {
+	t.Helper()
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		t.Fatalf("Navigate: %v", err)
+	}
+	rec := NewSeleniumIDE()
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	if err := sc.Verify(env, tab); err != nil {
+		t.Fatalf("live session must succeed before judging the recorder: %v", err)
+	}
+	return rec.Script(), env
+}
+
+func TestSeleniumRecordsFormTyping(t *testing.T) {
+	script, _ := recordScenario(t, apps.AuthenticateScenario())
+	text := script.Text()
+	if !strings.Contains(text, "type") || !strings.Contains(text, "silviu") {
+		t.Errorf("script misses the typed user name:\n%s", text)
+	}
+	if !strings.Contains(text, "epfl2011") {
+		t.Errorf("script misses the typed password:\n%s", text)
+	}
+}
+
+func TestSeleniumReplayCompletesAuthenticate(t *testing.T) {
+	script, _ := recordScenario(t, apps.AuthenticateScenario())
+	replayEnv := apps.NewEnv(browser.UserMode)
+	res, tab, err := Replay(replayEnv.Browser, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("replay incomplete: %+v", res.Errors)
+	}
+	if err := apps.AuthenticateScenario().Verify(replayEnv, tab); err != nil {
+		t.Errorf("authenticate replay should reproduce the session: %v", err)
+	}
+}
+
+func TestSeleniumMissesContentEditableTyping(t *testing.T) {
+	script, _ := recordScenario(t, apps.EditSiteScenario())
+	if strings.Contains(script.Text(), "Hello world!") {
+		t.Errorf("page-level recorder should not see contenteditable keystrokes:\n%s", script.Text())
+	}
+	// Replaying the partial script must NOT reproduce the session.
+	replayEnv := apps.NewEnv(browser.UserMode)
+	_, tab, err := Replay(replayEnv.Browser, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.EditSiteScenario().Verify(replayEnv, tab); err == nil {
+		t.Error("partial trace unexpectedly reproduced the edit-site session")
+	}
+}
+
+func TestSeleniumMissesDrag(t *testing.T) {
+	script, _ := recordScenario(t, apps.ComposeEmailScenario())
+	for _, c := range script.Commands {
+		if c.Cmd != "click" && c.Cmd != "type" {
+			t.Errorf("unexpected command kind %q (baseline has no drag support)", c.Cmd)
+		}
+	}
+}
+
+func TestSeleniumMissesSpreadsheetEdits(t *testing.T) {
+	script, _ := recordScenario(t, apps.EditSpreadsheetScenario())
+	replayEnv := apps.NewEnv(browser.UserMode)
+	_, _, err := Replay(replayEnv.Browser, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayEnv.Docs.Cell("r2c2"); got == "42" {
+		t.Error("baseline replay unexpectedly reproduced the cell edit")
+	}
+}
+
+func TestSeleniumStopPropagationHidesClicks(t *testing.T) {
+	// An app that stops click propagation: the engine-level recorder sees
+	// the click, the page-level recorder cannot.
+	env := apps.NewEnv(browser.UserMode)
+	env.Network.Register("quiet.test", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+		return netsim.OK(`<html><body><button id="b" onclick="event.stopPropagation()">Go</button></body></html>`)
+	}))
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate("http://quiet.test/"); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewSeleniumIDE()
+	rec.Attach(tab)
+
+	n := tab.MainFrame().Doc().GetElementByID("b")
+	x, y := tab.Layout().Center(n)
+	tab.Click(x, y)
+
+	if got := len(rec.Script().Commands); got != 0 {
+		t.Errorf("recorded %d commands; stopPropagation should hide the click", got)
+	}
+}
+
+func TestFiddlerSeesPlaintextBodies(t *testing.T) {
+	env := apps.NewEnv(browser.UserMode)
+	f := NewFiddler()
+	f.AttachTo(env.Network)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.YahooURL); err != nil {
+		t.Fatal(err)
+	}
+	recs := f.Records()
+	if len(recs) == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if recs[0].Encrypted {
+		t.Error("yahoo traffic should be plaintext")
+	}
+	if !strings.Contains(recs[0].ResponseBody, "Yahoo!") {
+		t.Error("proxy should see plaintext response bodies")
+	}
+}
+
+func TestFiddlerBlindToHTTPS(t *testing.T) {
+	env := apps.NewEnv(browser.UserMode)
+	f := NewFiddler()
+	f.AttachTo(env.Network)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.GMailURL); err != nil {
+		t.Fatal(err)
+	}
+	if f.EncryptedCount() == 0 {
+		t.Fatal("gmail traffic should be encrypted")
+	}
+	for _, r := range f.Records() {
+		if !r.Encrypted {
+			continue
+		}
+		if r.ResponseBody != "" || strings.Contains(r.URL, "/mail") {
+			t.Errorf("proxy sees through HTTPS: %+v", r)
+		}
+	}
+}
+
+func TestFiddlerReplaySkipsEncrypted(t *testing.T) {
+	env := apps.NewEnv(browser.UserMode)
+	f := NewFiddler()
+	f.AttachTo(env.Network)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.GMailURL); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Navigate(apps.YahooURL); err != nil {
+		t.Fatal(err)
+	}
+	res := f.ReplayTraffic(apps.NewEnv(browser.UserMode).Network)
+	if res.Skipped == 0 {
+		t.Error("encrypted exchanges should be skipped")
+	}
+	if res.Issued == 0 {
+		t.Error("plaintext exchanges should be re-issued")
+	}
+}
+
+func TestFiddlerCannotAttributeRequests(t *testing.T) {
+	// §II: a user click and a page-load subresource fetch are
+	// indistinguishable in the traffic log — both are plain GETs.
+	env := apps.NewEnv(browser.UserMode)
+	f := NewFiddler()
+	f.AttachTo(env.Network)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.SitesURL); err != nil { // page load
+		t.Fatal(err)
+	}
+	sc := apps.EditSiteScenario()
+	if err := sc.Run(env, tab); err != nil { // user actions → more traffic
+		t.Fatal(err)
+	}
+	for _, r := range f.Records() {
+		if r.Method != "GET" {
+			continue
+		}
+		// Nothing in the record says "user action": same shape for all.
+		if r.URL == "" {
+			t.Errorf("record missing URL: %+v", r)
+		}
+	}
+	if len(f.Records()) < 3 {
+		t.Errorf("expected load + AJAX + save traffic, got %d records", len(f.Records()))
+	}
+}
+
+func TestSeleneseScriptText(t *testing.T) {
+	s := Script{
+		StartURL: "http://yahoo.test/",
+		Commands: []SeleneseCommand{
+			{Cmd: "click", Target: `//input[@id="u"]`},
+			{Cmd: "type", Target: `//input[@id="u"]`, Value: "silviu"},
+		},
+	}
+	text := s.Text()
+	want := "open | http://yahoo.test/ |\n" +
+		"click | //input[@id=\"u\"] | \n" +
+		"type | //input[@id=\"u\"] | silviu\n"
+	if text != want {
+		t.Errorf("Text =\n%q\nwant\n%q", text, want)
+	}
+}
+
+func TestSeleniumReset(t *testing.T) {
+	script, _ := recordScenario(t, apps.AuthenticateScenario())
+	if len(script.Commands) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.YahooURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewSeleniumIDE()
+	rec.Attach(tab)
+	n := tab.MainFrame().Doc().GetElementByID("u")
+	x, y := tab.Layout().Center(n)
+	tab.Click(x, y)
+	rec.Reset()
+	if got := len(rec.Script().Commands); got != 0 {
+		t.Errorf("commands after reset = %d", got)
+	}
+	if rec.Script().StartURL != apps.YahooURL {
+		t.Errorf("start url = %q", rec.Script().StartURL)
+	}
+}
+
+func TestSeleniumTypeCoalescesPerElement(t *testing.T) {
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.YahooURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewSeleniumIDE()
+	rec.Attach(tab)
+	n := tab.MainFrame().Doc().GetElementByID("u")
+	x, y := tab.Layout().Center(n)
+	tab.Click(x, y)
+	tab.TypeText("abc")
+	script := rec.Script()
+	var types []SeleneseCommand
+	for _, c := range script.Commands {
+		if c.Cmd == "type" {
+			types = append(types, c)
+		}
+	}
+	if len(types) != 1 {
+		t.Fatalf("got %d type commands, want 1 coalesced:\n%s", len(types), script.Text())
+	}
+	if types[0].Value != "abc" {
+		t.Errorf("coalesced value = %q", types[0].Value)
+	}
+}
+
+func TestSeleniumReplayUnknownCommand(t *testing.T) {
+	env := apps.NewEnv(browser.UserMode)
+	res, _, err := Replay(env.Browser, Script{
+		StartURL: apps.YahooURL,
+		Commands: []SeleneseCommand{{Cmd: "dragAndDrop", Target: `//input[@id="u"]`}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete() || len(res.Errors) != 1 {
+		t.Errorf("unknown command should fail the step: %+v", res)
+	}
+}
+
+func TestFiddlerSummaryAndReset(t *testing.T) {
+	env := apps.NewEnv(browser.UserMode)
+	f := NewFiddler()
+	f.AttachTo(env.Network)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.GMailURL); err != nil {
+		t.Fatal(err)
+	}
+	sum := f.Summary()
+	if !strings.Contains(sum, "[encrypted]") {
+		t.Errorf("summary misses encryption marker:\n%s", sum)
+	}
+	f.Reset()
+	if len(f.Records()) != 0 {
+		t.Error("records survived reset")
+	}
+}

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+)
+
+// Fiddler is the network-level recording baseline: a logging proxy
+// attached as a traffic observer. The paper's §II argues two structural
+// problems with this approach, both observable here:
+//
+//   - the log cannot distinguish requests caused by user actions from
+//     requests a page makes while loading (sub-resources, AJAX), so a
+//     "replay" of the log re-issues everything indiscriminately;
+//   - HTTPS exchanges appear as opaque connection records — no path, no
+//     bodies — unless end-to-end security is broken.
+type Fiddler struct {
+	records []netsim.TrafficRecord
+}
+
+var _ netsim.Observer = (*Fiddler)(nil)
+
+// NewFiddler returns an empty proxy log.
+func NewFiddler() *Fiddler { return &Fiddler{} }
+
+// AttachTo registers the proxy on a network.
+func (f *Fiddler) AttachTo(n *netsim.Network) { n.AddObserver(f) }
+
+// Observe implements netsim.Observer.
+func (f *Fiddler) Observe(rec netsim.TrafficRecord) {
+	f.records = append(f.records, rec)
+}
+
+// Records returns the captured traffic in order.
+func (f *Fiddler) Records() []netsim.TrafficRecord {
+	return append([]netsim.TrafficRecord(nil), f.records...)
+}
+
+// Reset clears the log.
+func (f *Fiddler) Reset() { f.records = nil }
+
+// EncryptedCount returns how many exchanges were HTTPS-opaque.
+func (f *Fiddler) EncryptedCount() int {
+	n := 0
+	for _, r := range f.records {
+		if r.Encrypted {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayResultNet summarizes a traffic-log replay.
+type ReplayResultNet struct {
+	Issued  int
+	Skipped int // encrypted records cannot be re-issued
+	Failed  int
+}
+
+// ReplayTraffic re-issues every recorded plaintext request against a
+// network — all a proxy-level recorder can do. Encrypted records carry
+// no path or body and are skipped.
+func (f *Fiddler) ReplayTraffic(n *netsim.Network) ReplayResultNet {
+	var res ReplayResultNet
+	for _, rec := range f.records {
+		if rec.Encrypted {
+			res.Skipped++
+			continue
+		}
+		req := netsim.NewRequest(rec.Method, rec.URL)
+		req.Body = rec.RequestBody
+		if _, err := n.Fetch(req); err != nil {
+			res.Failed++
+			continue
+		}
+		res.Issued++
+	}
+	return res
+}
+
+// Summary renders a compact description of the log, e.g. for reports.
+func (f *Fiddler) Summary() string {
+	var b strings.Builder
+	for _, r := range f.records {
+		b.WriteString(r.Method)
+		b.WriteByte(' ')
+		b.WriteString(r.URL)
+		if r.Encrypted {
+			b.WriteString(" [encrypted]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

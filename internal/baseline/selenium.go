@@ -1,0 +1,202 @@
+// Package baseline implements the recording baselines WaRR is evaluated
+// against: a Selenium-IDE-style page-level recorder (the Table II
+// comparison) and a Fiddler-style network-traffic recorder (the §II
+// design discussion).
+//
+// The Selenium-IDE baseline is deliberately built where the real tool
+// is built: inside the page, on top of DOM event listeners. Its fidelity
+// gap relative to WaRR is therefore structural, not an implementation
+// accident:
+//
+//   - it models typing as a per-form-control `type` command derived from
+//     input events on input/textarea elements, so keystrokes into
+//     contenteditable regions (the Sites editor, the GMail message body)
+//     are never recorded;
+//   - it has no representation for UI-element drags;
+//   - a double click reaches it as ordinary clicks, losing the gesture;
+//   - events whose propagation a page stops never bubble to its
+//     document-level listeners;
+//   - replaying a `type` command writes the control's value property
+//     instead of synthesizing keystrokes, so keyCode-sensitive handlers
+//     do not run ("fails to trigger event handlers associated to a user
+//     action", §I).
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/event"
+	"github.com/dslab-epfl/warr/internal/webdriver"
+	"github.com/dslab-epfl/warr/internal/xpath"
+)
+
+// SeleneseCommand is one step of a Selenium-IDE-style script.
+type SeleneseCommand struct {
+	// Cmd is "click" or "type".
+	Cmd string
+	// Target is the element locator (an XPath expression).
+	Target string
+	// Value is the full text for a type command ("" for clicks).
+	Value string
+}
+
+// String renders the command in Selenese table style.
+func (c SeleneseCommand) String() string {
+	return fmt.Sprintf("%s | %s | %s", c.Cmd, c.Target, c.Value)
+}
+
+// Script is a recorded Selenium-IDE-style session.
+type Script struct {
+	StartURL string
+	Commands []SeleneseCommand
+}
+
+// Text renders the script, one command per line.
+func (s Script) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "open | %s |\n", s.StartURL)
+	for _, c := range s.Commands {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeleniumIDE is the page-level recorder. Attach it to a tab and it
+// injects document-level listeners into every page the tab loads,
+// exactly like a recorder delivered as a browser plug-in content script.
+type SeleniumIDE struct {
+	tab      *browser.Tab
+	startURL string
+	commands []SeleneseCommand
+}
+
+var _ browser.FrameObserver = (*SeleniumIDE)(nil)
+
+// NewSeleniumIDE returns a detached recorder.
+func NewSeleniumIDE() *SeleniumIDE { return &SeleniumIDE{} }
+
+// Attach installs the recorder on a tab. Pages already loaded and every
+// future page get the injected listeners.
+func (s *SeleniumIDE) Attach(tab *browser.Tab) {
+	s.tab = tab
+	s.startURL = tab.URL()
+	tab.AddFrameObserver(s)
+	for _, f := range tab.MainFrame().Descendants() {
+		s.inject(f)
+	}
+}
+
+// Script returns the recorded session.
+func (s *SeleniumIDE) Script() Script {
+	return Script{StartURL: s.startURL, Commands: append([]SeleneseCommand(nil), s.commands...)}
+}
+
+// Reset clears recorded commands and re-reads the start URL.
+func (s *SeleniumIDE) Reset() {
+	s.commands = nil
+	if s.tab != nil {
+		s.startURL = s.tab.URL()
+	}
+}
+
+// FrameLoaded implements browser.FrameObserver: new page, new injected
+// listeners (the plug-in's content script re-runs on every load).
+func (s *SeleniumIDE) FrameLoaded(f *browser.Frame) { s.inject(f) }
+
+// FrameUnloaded implements browser.FrameObserver.
+func (s *SeleniumIDE) FrameUnloaded(f *browser.Frame) {}
+
+// inject hooks document-level bubble listeners for clicks and input.
+func (s *SeleniumIDE) inject(f *browser.Frame) {
+	if f.Doc() == nil {
+		return
+	}
+	root := f.Doc().Root()
+	event.Listen(root, event.TypeClick, false, func(e *event.Event) {
+		if !e.Trusted || e.Target == nil {
+			return
+		}
+		s.commands = append(s.commands, SeleneseCommand{
+			Cmd:    "click",
+			Target: xpath.GenerateString(e.Target),
+		})
+	})
+	event.Listen(root, event.TypeInput, false, func(e *event.Event) {
+		t := e.Target
+		if t == nil {
+			return
+		}
+		// The recorder only understands form controls: typing is modelled
+		// as changes to the value property. Contenteditable containers
+		// have no value — their edits are invisible here, which is the
+		// Table II fidelity gap.
+		if t.Tag != "input" && t.Tag != "textarea" {
+			return
+		}
+		locator := xpath.GenerateString(t)
+		if n := len(s.commands); n > 0 &&
+			s.commands[n-1].Cmd == "type" && s.commands[n-1].Target == locator {
+			s.commands[n-1].Value = t.Value
+			return
+		}
+		s.commands = append(s.commands, SeleneseCommand{
+			Cmd:    "type",
+			Target: locator,
+			Value:  t.Value,
+		})
+	})
+}
+
+// ReplayResult summarizes a script replay.
+type ReplayResult struct {
+	Played int
+	Failed int
+	Errors []error
+}
+
+// Complete reports whether every command executed.
+func (r *ReplayResult) Complete() bool { return r.Failed == 0 }
+
+// Replay executes the script in a fresh tab of b, the way the Selenium
+// IDE player does: native clicks, but typing by writing the value
+// property (no key events — the infidelity the paper calls out).
+func Replay(b *browser.Browser, script Script) (*ReplayResult, *browser.Tab, error) {
+	tab := b.NewTab()
+	driver := webdriver.New(tab, webdriver.Options{})
+	if script.StartURL != "" {
+		if err := tab.Navigate(script.StartURL); err != nil {
+			return nil, tab, fmt.Errorf("baseline: loading start page: %w", err)
+		}
+	}
+	res := &ReplayResult{}
+	for _, cmd := range script.Commands {
+		if err := replayOne(driver, tab, cmd); err != nil {
+			res.Failed++
+			res.Errors = append(res.Errors, fmt.Errorf("%s: %w", cmd, err))
+			continue
+		}
+		res.Played++
+	}
+	return res, tab, nil
+}
+
+func replayOne(driver *webdriver.Driver, tab *browser.Tab, cmd SeleneseCommand) error {
+	el, err := driver.FindElement(cmd.Target)
+	if err != nil {
+		return err
+	}
+	switch cmd.Cmd {
+	case "click":
+		return el.Click()
+	case "type":
+		n := el.Node()
+		n.Value = cmd.Value
+		event.Dispatch(event.New(event.TypeInput, n))
+		return nil
+	default:
+		return fmt.Errorf("baseline: unknown selenese command %q", cmd.Cmd)
+	}
+}

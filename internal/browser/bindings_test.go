@@ -1,0 +1,341 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// runScript executes src in the tab's main frame and fails on error.
+func runScript(t *testing.T, tab *Tab, src string) {
+	t.Helper()
+	if _, err := tab.MainFrame().RunScript(src); err != nil {
+		t.Fatalf("RunScript(%q): %v", src, err)
+	}
+}
+
+// textOf returns the text of #out.
+func textOf(t *testing.T, tab *Tab, id string) string {
+	t.Helper()
+	n := tab.MainFrame().Doc().GetElementByID(id)
+	if n == nil {
+		t.Fatalf("no element #%s", id)
+	}
+	return n.TextContent()
+}
+
+func bindEnv(t *testing.T, body string) *testEnv {
+	t.Helper()
+	env := newEnv(t, UserMode, map[string]string{
+		"/": `<html><head><title>Bind</title></head><body>` + body + `</body></html>`,
+	})
+	env.navigate(t, "http://app.test/")
+	return env
+}
+
+func TestDocumentProperties(t *testing.T) {
+	env := bindEnv(t, `<div id="out"></div>`)
+	runScript(t, env.tab, `
+		var out = document.getElementById("out");
+		out.textContent = document.title + "|" + document.URL;
+	`)
+	if got := textOf(t, env.tab, "out"); got != "Bind|http://app.test/" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestDocumentCreateAndAppend(t *testing.T) {
+	env := bindEnv(t, `<div id="host"></div>`)
+	runScript(t, env.tab, `
+		var host = document.getElementById("host");
+		var child = document.createElement("span");
+		child.id = "kid";
+		child.appendChild(document.createTextNode("made"));
+		host.appendChild(child);
+	`)
+	if got := textOf(t, env.tab, "kid"); got != "made" {
+		t.Errorf("kid = %q", got)
+	}
+}
+
+func TestElementNavigationProperties(t *testing.T) {
+	env := bindEnv(t, `<div id="p" class="box"><b id="c">x</b><i>y</i></div><div id="out"></div>`)
+	runScript(t, env.tab, `
+		var c = document.getElementById("c");
+		var p = c.parentNode;
+		document.getElementById("out").textContent =
+			p.id + "|" + p.tagName + "|" + p.className + "|" + p.childCount +
+			"|" + (p.firstChild == c);
+	`)
+	if got := textOf(t, env.tab, "out"); got != "p|DIV|box|2|true" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestElementAttributesFromScript(t *testing.T) {
+	env := bindEnv(t, `<div id="d" data-x="1"></div><div id="out"></div>`)
+	runScript(t, env.tab, `
+		var d = document.getElementById("d");
+		var had = d.getAttribute("data-x");
+		d.setAttribute("data-y", "2");
+		d.removeAttribute("data-x");
+		var gone = d.getAttribute("data-x");
+		document.getElementById("out").textContent =
+			had + "|" + d.getAttribute("data-y") + "|" + (gone == null);
+	`)
+	if got := textOf(t, env.tab, "out"); got != "1|2|true" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestElementRemoveAndRemoveChild(t *testing.T) {
+	env := bindEnv(t, `<div id="host"><span id="a">a</span><span id="b">b</span></div>`)
+	runScript(t, env.tab, `
+		var host = document.getElementById("host");
+		host.removeChild(document.getElementById("a"));
+		document.getElementById("b").remove();
+	`)
+	doc := env.tab.MainFrame().Doc()
+	if doc.GetElementByID("a") != nil || doc.GetElementByID("b") != nil {
+		t.Error("children not removed")
+	}
+}
+
+func TestInnerHTMLRoundTrip(t *testing.T) {
+	env := bindEnv(t, `<div id="d"><b>old</b></div><div id="out"></div>`)
+	runScript(t, env.tab, `
+		var d = document.getElementById("d");
+		var before = d.innerHTML;
+		d.innerHTML = "<i id='new'>fresh</i>";
+		document.getElementById("out").textContent = before;
+	`)
+	if got := textOf(t, env.tab, "out"); got != "<b>old</b>" {
+		t.Errorf("innerHTML read = %q", got)
+	}
+	if env.tab.MainFrame().Doc().GetElementByID("new") == nil {
+		t.Error("innerHTML write did not parse new content")
+	}
+}
+
+func TestStyleAndValueProperties(t *testing.T) {
+	env := bindEnv(t, `<div id="d" style="display:none"></div><input id="in"><div id="out"></div>`)
+	runScript(t, env.tab, `
+		var d = document.getElementById("d");
+		var had = d.style;
+		d.style = "";
+		var in = document.getElementById("in");
+		in.value = "typed";
+		document.getElementById("out").textContent = had + "|" + in.value;
+	`)
+	if got := textOf(t, env.tab, "out"); got != "display:none|typed" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestWindowProperties(t *testing.T) {
+	env := bindEnv(t, `<div id="out"></div>`)
+	runScript(t, env.tab, `
+		document.getElementById("out").textContent =
+			window.document.title + "|" + window.location.href;
+	`)
+	if got := textOf(t, env.tab, "out"); got != "Bind|http://app.test/" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestWindowLocationAssignmentNavigates(t *testing.T) {
+	env := newEnv(t, UserMode, map[string]string{
+		"/":      `<button id="go" onclick="window.location = '/there'">go</button>`,
+		"/there": `<html><head><title>There</title></head><body>arrived</body></html>`,
+	})
+	env.navigate(t, "http://app.test/")
+	n := env.tab.MainFrame().Doc().GetElementByID("go")
+	x, y := env.tab.Layout().Center(n)
+	env.tab.Click(x, y)
+	if got := env.tab.Title(); got != "There" {
+		t.Errorf("title = %q; location assignment should navigate", got)
+	}
+}
+
+func TestLocationHrefAssignmentNavigates(t *testing.T) {
+	env := newEnv(t, UserMode, map[string]string{
+		"/":  `<button id="go" onclick="window.location.href = '/x'">go</button>`,
+		"/x": `<html><head><title>X</title></head><body>x</body></html>`,
+	})
+	env.navigate(t, "http://app.test/")
+	n := env.tab.MainFrame().Doc().GetElementByID("go")
+	x, y := env.tab.Layout().Center(n)
+	env.tab.Click(x, y)
+	if got := env.tab.Title(); got != "X" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestSetTimeoutAndClearTimeout(t *testing.T) {
+	env := bindEnv(t, `<div id="out">none</div>`)
+	runScript(t, env.tab, `
+		var fired = setTimeout(function() {
+			document.getElementById("out").textContent = "fired";
+		}, 100);
+		var cancelled = setTimeout(function() {
+			document.getElementById("out").textContent = "cancelled-ran";
+		}, 100);
+		clearTimeout(cancelled);
+	`)
+	env.tab.AdvanceTime(200 * time.Millisecond)
+	if got := textOf(t, env.tab, "out"); got != "fired" {
+		t.Errorf("out = %q (cancelled timer must not run)", got)
+	}
+}
+
+func TestWindowSetTimeout(t *testing.T) {
+	env := bindEnv(t, `<div id="out"></div>`)
+	runScript(t, env.tab, `
+		window.setTimeout(function() {
+			document.getElementById("out").textContent = "w";
+		}, 50);
+	`)
+	env.tab.AdvanceTime(100 * time.Millisecond)
+	if got := textOf(t, env.tab, "out"); got != "w" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestHTTPGetErrorPathLogsConsole(t *testing.T) {
+	env := bindEnv(t, `<div id="out"></div>`)
+	runScript(t, env.tab, `
+		httpGet("http://nowhere.test/x", function(body, status) {
+			document.getElementById("out").textContent = "status:" + status;
+		});
+	`)
+	env.tab.AdvanceTime(time.Second)
+	if got := textOf(t, env.tab, "out"); got != "status:0" {
+		t.Errorf("out = %q (unroutable host should deliver status 0)", got)
+	}
+	if len(env.tab.ConsoleErrors()) == 0 {
+		t.Error("fetch failure should log a console error")
+	}
+}
+
+func TestHTTPGetAbandonedOnNavigation(t *testing.T) {
+	pages := map[string]string{
+		"/":     `<div id="out"></div><script>httpGet("/slow", function(b, s) { document.getElementById("out").textContent = "late"; });</script>`,
+		"/next": `<html><head><title>Next</title></head><body><div id="out">clean</div></body></html>`,
+		"/slow": `payload`,
+	}
+	env := newEnv(t, UserMode, pages)
+	env.network.SetLatency(500 * time.Millisecond)
+	env.navigate(t, "http://app.test/")
+	env.navigate(t, "http://app.test/next")
+	env.tab.AdvanceTime(time.Second) // the stale callback fires into a dead frame
+	if got := textOf(t, env.tab, "out"); got != "clean" {
+		t.Errorf("out = %q; stale AJAX callback mutated the new page", got)
+	}
+}
+
+func TestAlertOpensPopup(t *testing.T) {
+	env := bindEnv(t, `<div></div>`)
+	runScript(t, env.tab, `alert("warning!")`)
+	text, open := env.tab.PopupText()
+	if !open || text != "warning!" {
+		t.Errorf("popup = %q, %v", text, open)
+	}
+	env.tab.DismissPopup()
+	if _, open := env.tab.PopupText(); open {
+		t.Error("popup survived dismissal")
+	}
+}
+
+func TestConsoleErrorBinding(t *testing.T) {
+	env := bindEnv(t, `<div></div>`)
+	runScript(t, env.tab, `console.error("bad", 42)`)
+	errs := env.tab.ConsoleErrors()
+	if len(errs) != 1 || errs[0].Message != "bad 42" {
+		t.Errorf("console errors = %+v", errs)
+	}
+}
+
+func TestEventBindingProperties(t *testing.T) {
+	env := bindEnv(t, `<div id="outer"><button id="b">hit</button></div><div id="out"></div>`)
+	runScript(t, env.tab, `
+		document.getElementById("outer").addEventListener("click", function(e) {
+			document.getElementById("out").textContent =
+				e.type + "|" + e.target.id + "|" + e.currentTarget.id +
+				"|" + e.isTrusted + "|" + e.clientX + "," + e.clientY;
+		});
+	`)
+	n := env.tab.MainFrame().Doc().GetElementByID("b")
+	x, y := env.tab.Layout().Center(n)
+	env.tab.Click(x, y)
+	got := textOf(t, env.tab, "out")
+	if !strings.HasPrefix(got, "click|b|outer|true|") {
+		t.Errorf("event binding = %q", got)
+	}
+}
+
+func TestEventModifierProperties(t *testing.T) {
+	env := bindEnv(t, `<input id="in"><div id="out"></div>`)
+	runScript(t, env.tab, `
+		document.getElementById("in").addEventListener("keydown", function(e) {
+			document.getElementById("out").textContent =
+				e.key + "|" + e.keyCode + "|" + e.shiftKey + "|" + e.ctrlKey + "|" + e.altKey;
+		});
+	`)
+	n := env.tab.MainFrame().Doc().GetElementByID("in")
+	x, y := env.tab.Layout().Center(n)
+	env.tab.Click(x, y)
+	env.tab.PressKey("A", 65, KeyMods{Shift: true})
+	if got := textOf(t, env.tab, "out"); got != "A|65|true|false|false" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestEventKeyCodeWriteRespectsMode(t *testing.T) {
+	page := `<input id="in"><div id="out"></div><script>
+		document.getElementById("in").addEventListener("keydown", function(e) {
+			e.keyCode = 99;
+			document.getElementById("out").textContent = "" + e.keyCode;
+		});
+	</script>`
+
+	// Trusted (hardware) events accept writes in any mode.
+	env := newEnv(t, UserMode, map[string]string{"/": page})
+	env.navigate(t, "http://app.test/")
+	n := env.tab.MainFrame().Doc().GetElementByID("in")
+	x, y := env.tab.Layout().Center(n)
+	env.tab.Click(x, y)
+	env.tab.PressKey("a", 65, KeyMods{})
+	if got := textOf(t, env.tab, "out"); got != "99" {
+		t.Errorf("trusted event keyCode write: out = %q", got)
+	}
+}
+
+func TestBrowserAccessors(t *testing.T) {
+	env := bindEnv(t, `<div></div>`)
+	b := env.tab.Browser()
+	if b.Clock() != env.clock || b.Network() != env.network {
+		t.Error("browser accessors disagree with construction")
+	}
+	if len(b.Tabs()) != 1 || b.Tabs()[0] != env.tab {
+		t.Errorf("tabs = %v", b.Tabs())
+	}
+	if env.tab.EventHandler().Recorder() != nil {
+		t.Error("fresh tab has a recorder")
+	}
+	f := env.tab.MainFrame()
+	if f.Tab() != env.tab || f.Parent() != nil || f.Element() != nil || !f.Alive() || f.Interp() == nil {
+		t.Error("frame accessors inconsistent for the main frame")
+	}
+}
+
+func TestFocusMethodMovesFocus(t *testing.T) {
+	env := bindEnv(t, `<input id="a"><input id="b">`)
+	runScript(t, env.tab, `document.getElementById("b").focus()`)
+	if got := env.tab.MainFrame().Focused(); got == nil || got.ID() != "b" {
+		t.Errorf("focused = %v", got)
+	}
+	env.tab.TypeText("q")
+	if got := env.tab.MainFrame().Doc().GetElementByID("b").Value; got != "q" {
+		t.Errorf("typed text went to %q", got)
+	}
+}

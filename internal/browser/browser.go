@@ -1,0 +1,128 @@
+// Package browser implements the simulated web browser that hosts both
+// halves of WaRR. Its layering mirrors Chrome's architecture as the paper
+// presents it (Fig. 2): a Browser window contains Tabs, a Tab's content is
+// managed by a Renderer, and the Renderer forwards input to the engine
+// layer (WebKit in the paper) where the EventHandler dispatches events to
+// HTML elements. The WaRR Recorder hooks exactly that EventHandler
+// (paper §IV-A), and the WaRR Replayer drives a developer-mode build of
+// this browser in which JavaScript event properties are settable
+// (paper §IV-C).
+package browser
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// Mode selects the browser build: users run UserMode; the WaRR Replayer
+// requires DeveloperMode, which lifts the read-only restriction on
+// KeyboardEvent properties.
+type Mode int
+
+// Browser build modes.
+const (
+	UserMode Mode = iota + 1
+	DeveloperMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case UserMode:
+		return "user"
+	case DeveloperMode:
+		return "developer"
+	default:
+		return "unknown"
+	}
+}
+
+// Browser is the top-level browser window.
+type Browser struct {
+	clock   *vclock.Clock
+	network *netsim.Network
+	mode    Mode
+
+	mu      sync.Mutex
+	tabs    []*Tab
+	cookies map[string]map[string]string // host → name → value
+}
+
+// New returns a browser in the given mode, connected to the network and
+// driven by the clock.
+func New(clock *vclock.Clock, network *netsim.Network, mode Mode) *Browser {
+	return &Browser{
+		clock:   clock,
+		network: network,
+		mode:    mode,
+		cookies: make(map[string]map[string]string),
+	}
+}
+
+// Clock returns the browser's virtual clock.
+func (b *Browser) Clock() *vclock.Clock { return b.clock }
+
+// Network returns the network the browser fetches over.
+func (b *Browser) Network() *netsim.Network { return b.network }
+
+// Mode returns the browser build mode.
+func (b *Browser) Mode() Mode { return b.mode }
+
+// NewTab opens an empty tab.
+func (b *Browser) NewTab() *Tab {
+	t := newTab(b)
+	b.mu.Lock()
+	b.tabs = append(b.tabs, t)
+	b.mu.Unlock()
+	return t
+}
+
+// Tabs returns the open tabs.
+func (b *Browser) Tabs() []*Tab {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Tab, len(b.tabs))
+	copy(out, b.tabs)
+	return out
+}
+
+// cookieHeader renders the Cookie header for a host ("" when none).
+func (b *Browser) cookieHeader(host string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	jar := b.cookies[host]
+	if len(jar) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(jar))
+	for name, v := range jar {
+		parts = append(parts, name+"="+v)
+	}
+	// Single-cookie jars dominate in practice; ordering of multiple
+	// cookies is not significant to the simulated servers.
+	return strings.Join(parts, "; ")
+}
+
+// storeCookie records a Set-Cookie header value for a host.
+func (b *Browser) storeCookie(host, setCookie string) {
+	if setCookie == "" {
+		return
+	}
+	// Only the name=value pair is honored; attributes like Path are not
+	// needed by the simulated applications.
+	nv, _, _ := strings.Cut(setCookie, ";")
+	name, value, ok := strings.Cut(strings.TrimSpace(nv), "=")
+	if !ok {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	jar := b.cookies[host]
+	if jar == nil {
+		jar = make(map[string]string)
+		b.cookies[host] = jar
+	}
+	jar[name] = value
+}

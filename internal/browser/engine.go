@@ -1,0 +1,310 @@
+package browser
+
+import (
+	"fmt"
+	"net/url"
+	"runtime"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/event"
+)
+
+// RecorderHook receives every user action at the engine layer, before
+// event dispatch. The WaRR Recorder implements this interface; installing
+// it here — inside the engine's three input methods — is the paper's core
+// design decision (§IV-A: "adding calls to the recorder's logging
+// functions in three methods of the WebCore::EventHandler class:
+// handleMousePressEvent, handleDrag, and keyEvent").
+type RecorderHook interface {
+	// OnMousePress fires for every mouse press; clickCount is 2 for the
+	// second press of a double click.
+	OnMousePress(frame *Frame, target *dom.Node, x, y, clickCount int)
+	// OnKey fires for every keystroke arriving at the engine.
+	OnKey(frame *Frame, target *dom.Node, key string, code int, mods KeyMods)
+	// OnDrag fires for every completed drag, with the position delta.
+	OnDrag(frame *Frame, target *dom.Node, dx, dy int)
+}
+
+// EventHandler is the engine-layer input dispatcher —
+// WebCore::EventHandler in the paper's Fig. 3 stack trace.
+type EventHandler struct {
+	tab      *Tab
+	recorder RecorderHook
+
+	// captureStack, when set, records the Go call stack on the next
+	// mouse press — used to regenerate Fig. 3.
+	captureStack bool
+	lastStack    []string
+}
+
+func newEventHandler(tab *Tab) *EventHandler {
+	return &EventHandler{tab: tab}
+}
+
+// SetRecorder installs (or, with nil, removes) the recorder hook.
+func (h *EventHandler) SetRecorder(r RecorderHook) { h.recorder = r }
+
+// Recorder returns the installed hook, nil when recording is off.
+func (h *EventHandler) Recorder() RecorderHook { return h.recorder }
+
+// CaptureStackOnNextPress arms one-shot stack capture (Fig. 3 harness).
+func (h *EventHandler) CaptureStackOnNextPress() { h.captureStack = true }
+
+// LastStack returns the most recently captured call stack.
+func (h *EventHandler) LastStack() []string { return h.lastStack }
+
+// HandleMousePressEvent handles a mouse press at window coordinates
+// (x, y). This is the analog of
+// WebCore::EventHandler::handleMousePressEvent.
+func (h *EventHandler) HandleMousePressEvent(x, y, clickCount int) {
+	if h.captureStack {
+		h.captureStack = false
+		h.lastStack = captureStack()
+	}
+	frame, target := h.tab.HitTest(x, y)
+	if target == nil {
+		return
+	}
+	if h.recorder != nil {
+		h.recorder.OnMousePress(frame, target, x, y, clickCount)
+	}
+
+	h.tab.setFocus(frame, target)
+
+	mouse := event.MouseData{X: x, Y: y}
+	fire := func(typ string) bool {
+		e := event.New(typ, target)
+		e.SetMouseData(mouse)
+		return event.Dispatch(e)
+	}
+	fire(event.TypeMouseDown)
+	fire(event.TypeMouseUp)
+	allowDefault := fire(event.TypeClick)
+	if clickCount == 2 {
+		allowDefault = fire(event.TypeDblClick) && allowDefault
+	}
+	if allowDefault {
+		h.clickDefaultAction(frame, target)
+	}
+	h.tab.pump()
+}
+
+// clickDefaultAction implements the browser's built-in click behaviour:
+// link navigation and form submission.
+func (h *EventHandler) clickDefaultAction(frame *Frame, target *dom.Node) {
+	for cur := target; cur != nil; cur = cur.Parent() {
+		if cur.Type != dom.ElementNode {
+			continue
+		}
+		if cur.Tag == "a" {
+			if href, ok := cur.Attr("href"); ok && href != "" {
+				h.tab.scheduleNavigate(frame.resolveURL(href))
+				return
+			}
+		}
+		isSubmit := (cur.Tag == "input" || cur.Tag == "button") &&
+			strings.EqualFold(cur.AttrOr("type", ""), "submit")
+		if isSubmit {
+			if form := enclosingForm(cur); form != nil {
+				h.submitForm(frame, form)
+			}
+			return
+		}
+	}
+}
+
+// KeyEvent handles one keystroke — WebCore::EventHandler::keyEvent.
+func (h *EventHandler) KeyEvent(key string, code int, mods KeyMods) {
+	frame := h.tab.focusedFrame()
+	target := frame.Focused()
+	if target == nil {
+		if body := frame.Doc().Body(); body != nil {
+			target = body
+		} else {
+			return
+		}
+	}
+	if h.recorder != nil {
+		h.recorder.OnKey(frame, target, key, code, mods)
+	}
+
+	keyData := event.KeyData{Key: key, Code: code, Shift: mods.Shift, Ctrl: mods.Ctrl, Alt: mods.Alt}
+	down := event.New(event.TypeKeyDown, target)
+	mustSetKey(down, keyData)
+	allowDefault := event.Dispatch(down)
+
+	if allowDefault && !IsControlKey(key) {
+		press := event.New(event.TypeKeyPress, target)
+		mustSetKey(press, keyData)
+		allowDefault = event.Dispatch(press)
+	}
+
+	if allowDefault {
+		h.keyDefaultAction(frame, target, key, keyData)
+	}
+
+	up := event.New(event.TypeKeyUp, target)
+	mustSetKey(up, keyData)
+	event.Dispatch(up)
+	h.tab.pump()
+}
+
+// mustSetKey sets key data on a trusted event; trusted events never
+// refuse.
+func mustSetKey(e *event.Event, k event.KeyData) {
+	if err := e.SetKeyData(k); err != nil {
+		panic(fmt.Sprintf("browser: trusted event refused key data: %v", err))
+	}
+}
+
+// keyDefaultAction performs text insertion / deletion and Enter-submit.
+func (h *EventHandler) keyDefaultAction(frame *Frame, target *dom.Node, key string, kd event.KeyData) {
+	switch {
+	case key == KeyEnter:
+		if target.Tag == "input" {
+			if form := enclosingForm(target); form != nil {
+				h.submitForm(frame, form)
+				return
+			}
+		}
+		if target.IsEditable() && target.Tag != "input" {
+			insertText(target, "\n")
+			h.fireInput(target)
+		}
+	case key == KeyBackspace:
+		if target.IsEditable() {
+			deleteLastChar(target)
+			h.fireInput(target)
+		}
+	case !IsControlKey(key):
+		if target.IsEditable() {
+			insertText(target, key)
+			h.fireInput(target)
+		}
+	}
+}
+
+func (h *EventHandler) fireInput(target *dom.Node) {
+	event.Dispatch(event.New(event.TypeInput, target))
+}
+
+// insertText types text into an editable element: input/textarea elements
+// receive it in their value property; contenteditable elements receive a
+// text node. The distinction is exactly the one ChromeDriver got wrong
+// and WaRR fixes (§IV-C: "setting the correct property (e.g., textContent
+// for div elements)").
+func insertText(target *dom.Node, text string) {
+	if target.Tag == "input" || target.Tag == "textarea" {
+		target.Value += text
+		return
+	}
+	if last := target.LastChild(); last != nil && last.Type == dom.TextNode {
+		last.Data += text
+		return
+	}
+	target.AppendChild(dom.NewText(text))
+}
+
+func deleteLastChar(target *dom.Node) {
+	if target.Tag == "input" || target.Tag == "textarea" {
+		if len(target.Value) > 0 {
+			target.Value = target.Value[:len(target.Value)-1]
+		}
+		return
+	}
+	if last := target.LastChild(); last != nil && last.Type == dom.TextNode && len(last.Data) > 0 {
+		last.Data = last.Data[:len(last.Data)-1]
+		if last.Data == "" {
+			last.Detach()
+		}
+	}
+}
+
+// HandleDrag handles a drag of the element under (x, y) by (dx, dy) —
+// WebCore::EventHandler::handleDrag.
+func (h *EventHandler) HandleDrag(x, y, dx, dy int) {
+	frame, target := h.tab.HitTest(x, y)
+	if target == nil {
+		return
+	}
+	if h.recorder != nil {
+		h.recorder.OnDrag(frame, target, dx, dy)
+	}
+	drag := event.DragData{DX: dx, DY: dy}
+	for _, typ := range []string{event.TypeDragStart, event.TypeDrag, event.TypeDragEnd} {
+		e := event.New(typ, target)
+		e.SetDragData(drag)
+		event.Dispatch(e)
+	}
+	h.tab.pump()
+}
+
+// submitForm collects named controls and navigates to the form's action.
+func (h *EventHandler) submitForm(frame *Frame, form *dom.Node) {
+	submit := event.New(event.TypeSubmit, form)
+	if !event.Dispatch(submit) {
+		return
+	}
+	values := url.Values{}
+	form.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		name, ok := n.Attr("name")
+		if !ok || name == "" {
+			return true
+		}
+		switch n.Tag {
+		case "input", "textarea":
+			if !strings.EqualFold(n.AttrOr("type", ""), "submit") {
+				values.Set(name, n.Value)
+			}
+		case "select":
+			for _, opt := range n.ElementsByTag("option") {
+				if opt.HasAttr("selected") {
+					values.Set(name, opt.AttrOr("value", strings.TrimSpace(opt.TextContent())))
+				}
+			}
+		}
+		return true
+	})
+	action := frame.resolveURL(form.AttrOr("action", frame.Doc().URL))
+	method := strings.ToUpper(form.AttrOr("method", "GET"))
+	if method == "POST" {
+		h.tab.scheduleNavigatePost(action, values.Encode())
+		return
+	}
+	sep := "?"
+	if strings.Contains(action, "?") {
+		sep = "&"
+	}
+	h.tab.scheduleNavigate(action + sep + values.Encode())
+}
+
+// enclosingForm returns the nearest form ancestor, or nil.
+func enclosingForm(n *dom.Node) *dom.Node {
+	for cur := n; cur != nil; cur = cur.Parent() {
+		if cur.Type == dom.ElementNode && cur.Tag == "form" {
+			return cur
+		}
+	}
+	return nil
+}
+
+// captureStack renders the current call stack as function names, topmost
+// frame first — the Fig. 3 reproduction.
+func captureStack() []string {
+	pcs := make([]uintptr, 32)
+	n := runtime.Callers(2, pcs)
+	frames := runtime.CallersFrames(pcs[:n])
+	var out []string
+	for {
+		f, more := frames.Next()
+		out = append(out, f.Function)
+		if !more {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package browser
+
+import (
+	"net/url"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/script"
+)
+
+// Frame is one browsing context: the main frame of a tab or an iframe.
+// Each frame owns a document and a script interpreter (its JavaScript
+// global environment).
+type Frame struct {
+	tab      *Tab
+	parent   *Frame
+	children []*Frame
+
+	// element is the owning <iframe> element in the parent document
+	// (nil for the main frame).
+	element *dom.Node
+
+	doc     *dom.Document
+	interp  *script.Interp
+	focused *dom.Node
+
+	// name is the iframe's name attribute; the webdriver switches frames
+	// by name (paper §IV-C).
+	name string
+
+	// hasSrc records whether the frame was loaded from a src URL.
+	// Chrome loads ChromeDriver clients only for such frames — the
+	// src-less iframe limitation WaRR works around (§IV-C).
+	hasSrc bool
+
+	// alive is cleared on unload so pending timers and AJAX callbacks
+	// from a previous page become no-ops.
+	alive bool
+
+	// handles interns ElementHandle values so script-level identity
+	// comparisons (e.target == el) hold.
+	handles map[*dom.Node]*ElementHandle
+}
+
+func newFrame(tab *Tab, parent *Frame, element *dom.Node) *Frame {
+	return &Frame{
+		tab:     tab,
+		parent:  parent,
+		element: element,
+		alive:   true,
+		handles: make(map[*dom.Node]*ElementHandle),
+	}
+}
+
+// Tab returns the owning tab.
+func (f *Frame) Tab() *Tab { return f.tab }
+
+// Parent returns the parent frame (nil for the main frame).
+func (f *Frame) Parent() *Frame { return f.parent }
+
+// Children returns the child frames in document order.
+func (f *Frame) Children() []*Frame {
+	out := make([]*Frame, len(f.children))
+	copy(out, f.children)
+	return out
+}
+
+// Descendants returns the frame and all frames below it, depth-first.
+func (f *Frame) Descendants() []*Frame {
+	out := []*Frame{f}
+	for _, c := range f.children {
+		out = append(out, c.Descendants()...)
+	}
+	return out
+}
+
+// Doc returns the frame's document.
+func (f *Frame) Doc() *dom.Document { return f.doc }
+
+// Interp returns the frame's script interpreter.
+func (f *Frame) Interp() *script.Interp { return f.interp }
+
+// Name returns the frame's name ("" for the main frame and anonymous
+// iframes).
+func (f *Frame) Name() string { return f.name }
+
+// HasSrc reports whether the frame was loaded from an iframe src URL.
+func (f *Frame) HasSrc() bool { return f.hasSrc }
+
+// Element returns the owning iframe element (nil for the main frame).
+func (f *Frame) Element() *dom.Node { return f.element }
+
+// Alive reports whether the frame is still the live content of its tab.
+func (f *Frame) Alive() bool { return f.alive }
+
+// Focused returns the element holding keyboard focus in this frame.
+func (f *Frame) Focused() *dom.Node { return f.focused }
+
+// SetFocused moves keyboard focus within the frame without firing focus
+// events (used by the webdriver's element targeting).
+func (f *Frame) SetFocused(n *dom.Node) { f.focused = n }
+
+// RunScript executes src in the frame's global environment. Runtime
+// errors are logged to the tab console — exactly where the Google Sites
+// uninitialized-variable bug becomes visible (§V-C) — and returned.
+func (f *Frame) RunScript(src string) (script.Value, error) {
+	v, err := f.interp.Run(src)
+	if err != nil {
+		f.tab.logConsole(ConsoleError, err.Error())
+		return nil, err
+	}
+	return v, nil
+}
+
+// CallHandler invokes a script function value with the given arguments,
+// logging runtime errors to the console.
+func (f *Frame) CallHandler(fn script.Value, args ...script.Value) {
+	if _, err := f.tab.browser.callScript(f, fn, args...); err != nil {
+		f.tab.logConsole(ConsoleError, err.Error())
+	}
+}
+
+// callScript exists on Browser so handler invocation is mockable in
+// tests; it simply delegates to the frame's interpreter.
+func (b *Browser) callScript(f *Frame, fn script.Value, args ...script.Value) (script.Value, error) {
+	return f.interp.Call(fn, args...)
+}
+
+// resolveURL resolves a possibly-relative reference against the frame's
+// document URL.
+func (f *Frame) resolveURL(ref string) string {
+	if f.doc == nil {
+		return ref
+	}
+	base, err := url.Parse(f.doc.URL)
+	if err != nil {
+		return ref
+	}
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return base.ResolveReference(u).String()
+}
+
+// FrameByName finds a descendant frame by iframe name ("" finds f
+// itself). It returns nil when no frame matches.
+func (f *Frame) FrameByName(name string) *Frame {
+	if name == "" {
+		return f
+	}
+	for _, d := range f.Descendants() {
+		if d.name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// kill marks the frame tree dead (navigation replaced it).
+func (f *Frame) kill() {
+	for _, d := range f.Descendants() {
+		d.alive = false
+	}
+}

@@ -1,0 +1,100 @@
+package browser
+
+import "unicode"
+
+// KeyMods captures modifier state accompanying a keystroke.
+type KeyMods struct {
+	Shift, Ctrl, Alt bool
+}
+
+// Named control keys and their virtual key codes.
+const (
+	KeyEnter     = "Enter"
+	KeyBackspace = "Backspace"
+	KeyTab       = "Tab"
+	KeyEscape    = "Escape"
+	KeyShift     = "Shift"
+	KeyControl   = "Control"
+	KeyAlt       = "Alt"
+
+	CodeBackspace = 8
+	CodeTab       = 9
+	CodeEnter     = 13
+	CodeShift     = 16
+	CodeControl   = 17
+	CodeAlt       = 18
+	CodeEscape    = 27
+	CodeSpace     = 32
+)
+
+// shiftedSymbols maps US-keyboard shifted symbols to the digit/punctuation
+// key that produces them. The paper's Fig. 4 trace shows '!' logged with
+// code 49 — the '1' key.
+var shiftedSymbols = map[rune]int{
+	'!': 49, '@': 50, '#': 51, '$': 52, '%': 53,
+	'^': 54, '&': 55, '*': 56, '(': 57, ')': 48,
+	'_': 189, '+': 187, ':': 186, '"': 222, '<': 188,
+	'>': 190, '?': 191, '~': 192, '{': 219, '}': 221, '|': 220,
+}
+
+// unshiftedSymbols maps unshifted punctuation to its virtual key code.
+var unshiftedSymbols = map[rune]int{
+	'-': 189, '=': 187, ';': 186, '\'': 222, ',': 188,
+	'.': 190, '/': 191, '`': 192, '[': 219, ']': 221, '\\': 220,
+}
+
+// KeyCodeFor returns the virtual key code for a printable character and
+// whether typing it requires Shift. Letters map to the uppercase ASCII
+// code of the key (e → 69, as in the paper's trace), digits map to
+// themselves, and symbols map to their US-keyboard key.
+func KeyCodeFor(ch rune) (code int, needsShift bool) {
+	switch {
+	case ch >= 'a' && ch <= 'z':
+		return int(unicode.ToUpper(ch)), false
+	case ch >= 'A' && ch <= 'Z':
+		return int(ch), true
+	case ch >= '0' && ch <= '9':
+		return int(ch), false
+	case ch == ' ':
+		return CodeSpace, false
+	case ch == '\n':
+		return CodeEnter, false
+	case ch == '\t':
+		return CodeTab, false
+	}
+	if code, ok := shiftedSymbols[ch]; ok {
+		return code, true
+	}
+	if code, ok := unshiftedSymbols[ch]; ok {
+		return code, false
+	}
+	return int(ch), false
+}
+
+// NamedKeyCode returns the virtual key code for a named control key, or 0
+// for unknown names.
+func NamedKeyCode(name string) int {
+	switch name {
+	case KeyEnter:
+		return CodeEnter
+	case KeyBackspace:
+		return CodeBackspace
+	case KeyTab:
+		return CodeTab
+	case KeyEscape:
+		return CodeEscape
+	case KeyShift:
+		return CodeShift
+	case KeyControl:
+		return CodeControl
+	case KeyAlt:
+		return CodeAlt
+	default:
+		return 0
+	}
+}
+
+// IsControlKey reports whether the key name denotes a non-printing key.
+func IsControlKey(key string) bool {
+	return len(key) > 1
+}

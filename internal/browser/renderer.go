@@ -1,0 +1,80 @@
+package browser
+
+// This file models the IPC path an input event takes through Chrome
+// before reaching WebKit, preserving the call chain the paper shows in
+// Fig. 3:
+//
+//	RenderView::OnMessageReceived
+//	WebKit::WebViewImpl::handleInputEvent
+//	WebCore::EventHandler::handleMousePressEvent
+//
+// The layering is functional, not decorative: the WaRR Recorder sits
+// below it (in the EventHandler), which is what gives it access to every
+// click and keystroke regardless of what the page's own code does above.
+
+// InputKind discriminates hardware-level input messages.
+type InputKind int
+
+// Input message kinds.
+const (
+	MousePressInput InputKind = iota + 1
+	KeyInput
+	DragInput
+)
+
+// InputMessage is the IPC message a Tab sends to its Renderer for one
+// hardware input event.
+type InputMessage struct {
+	Kind InputKind
+
+	// Mouse press fields.
+	X, Y       int
+	ClickCount int // 1 = single click, 2 = double click
+
+	// Key fields.
+	Key  string // printable character or named control key
+	Code int    // virtual key code
+	Mods KeyMods
+
+	// Drag fields (X, Y locate the grab point).
+	DX, DY int
+}
+
+// Renderer proxies messages across the (simulated) process boundary
+// between the browser and the web content — RenderView in Chrome.
+type Renderer struct {
+	view *WebViewImpl
+}
+
+func newRenderer(tab *Tab) *Renderer {
+	return &Renderer{view: &WebViewImpl{handler: newEventHandler(tab)}}
+}
+
+// OnMessageReceived accepts an input IPC message and forwards it to the
+// web view (RenderView::OnMessageReceived in Fig. 3).
+func (r *Renderer) OnMessageReceived(msg InputMessage) {
+	r.view.HandleInputEvent(msg)
+}
+
+// EventHandler exposes the engine-layer event handler, where the WaRR
+// Recorder installs its hooks.
+func (r *Renderer) EventHandler() *EventHandler { return r.view.handler }
+
+// WebViewImpl routes input events to the engine's event handler
+// (WebKit::WebViewImpl::handleInputEvent in Fig. 3).
+type WebViewImpl struct {
+	handler *EventHandler
+}
+
+// HandleInputEvent demultiplexes the input message to the EventHandler
+// method responsible for its kind.
+func (v *WebViewImpl) HandleInputEvent(msg InputMessage) {
+	switch msg.Kind {
+	case MousePressInput:
+		v.handler.HandleMousePressEvent(msg.X, msg.Y, msg.ClickCount)
+	case KeyInput:
+		v.handler.KeyEvent(msg.Key, msg.Code, msg.Mods)
+	case DragInput:
+		v.handler.HandleDrag(msg.X, msg.Y, msg.DX, msg.DY)
+	}
+}

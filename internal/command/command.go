@@ -1,0 +1,341 @@
+// Package command defines WaRR Commands — the trace format the WaRR
+// Recorder emits and the WaRR Replayer consumes (paper §IV-B).
+//
+// Each command carries the type of a user action (click, doubleclick,
+// drag, type), an XPath identifier of the HTML element acted upon,
+// action-specific information, and the time elapsed since the previous
+// action. The text serialization matches the paper's Fig. 4:
+//
+//	click //div/span[@id="start"] 82,44 1
+//	type //td/div[@id="content"] [H,72] 3
+//	click //td/div[text()="Save"] 74,51 37
+package command
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is the type of user action a command records.
+type Action int
+
+// Actions, as enumerated in §IV-B.
+const (
+	Click Action = iota + 1
+	DoubleClick
+	Drag
+	Type
+)
+
+func (a Action) String() string {
+	switch a {
+	case Click:
+		return "click"
+	case DoubleClick:
+		return "doubleclick"
+	case Drag:
+		return "drag"
+	case Type:
+		return "type"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// parseAction maps the wire name back to an Action.
+func parseAction(s string) (Action, error) {
+	switch s {
+	case "click":
+		return Click, nil
+	case "doubleclick":
+		return DoubleClick, nil
+	case "drag":
+		return Drag, nil
+	case "type":
+		return Type, nil
+	default:
+		return 0, fmt.Errorf("command: unknown action %q", s)
+	}
+}
+
+// Tick is the unit of the elapsed-time field. The paper's traces show
+// small integers between keystrokes of ordinary typing, consistent with
+// a 100 ms tick.
+const Tick = 100 * time.Millisecond
+
+// Command is one recorded user action.
+type Command struct {
+	Action Action
+
+	// XPath identifies the target HTML element.
+	XPath string
+
+	// X, Y are the window coordinates of a click or doubleclick — backup
+	// element identification information.
+	X, Y int
+
+	// DX, DY are a drag's position delta.
+	DX, DY int
+
+	// Key is the string representation of a typed key ("H", " ",
+	// "Enter", "Control"); Code is its virtual key code.
+	Key  string
+	Code int
+
+	// Elapsed is the time since the previous command, in Ticks.
+	Elapsed int
+}
+
+// ElapsedDuration converts the elapsed field to a time.Duration.
+func (c Command) ElapsedDuration() time.Duration {
+	return time.Duration(c.Elapsed) * Tick
+}
+
+// String renders the command in the paper's text format.
+func (c Command) String() string {
+	switch c.Action {
+	case Click, DoubleClick:
+		return fmt.Sprintf("%s %s %d,%d %d", c.Action, c.XPath, c.X, c.Y, c.Elapsed)
+	case Drag:
+		return fmt.Sprintf("%s %s %d,%d %d", c.Action, c.XPath, c.DX, c.DY, c.Elapsed)
+	case Type:
+		return fmt.Sprintf("%s %s [%s,%d] %d", c.Action, c.XPath, c.Key, c.Code, c.Elapsed)
+	default:
+		return fmt.Sprintf("?unknown action %d", int(c.Action))
+	}
+}
+
+// ParseLine parses one serialized command. The grammar is
+//
+//	action SP xpath SP payload SP elapsed
+//
+// where the XPath may contain spaces inside quoted string literals and a
+// type payload "[key,code]" may contain a space (the space key logs as
+// "[ ,32]"). Parsing therefore proceeds from both ends: elapsed is the
+// text after the last space, and the payload/XPath boundary is found
+// structurally per action kind.
+func ParseLine(line string) (Command, error) {
+	fail := func(msg string) (Command, error) {
+		return Command{}, fmt.Errorf("command: parsing %q: %s", line, msg)
+	}
+	line = strings.TrimSpace(line)
+	actionText, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return fail("want 4 fields")
+	}
+	action, err := parseAction(actionText)
+	if err != nil {
+		return Command{}, err
+	}
+
+	lastSp := strings.LastIndexByte(rest, ' ')
+	if lastSp < 0 {
+		return fail("missing elapsed field")
+	}
+	elapsed, err := strconv.Atoi(rest[lastSp+1:])
+	if err != nil || elapsed < 0 {
+		return fail(fmt.Sprintf("bad elapsed %q", rest[lastSp+1:]))
+	}
+	rest = rest[:lastSp]
+
+	var xpath, payload string
+	switch action {
+	case Click, DoubleClick, Drag:
+		sp := strings.LastIndexByte(rest, ' ')
+		if sp < 0 {
+			return fail("missing coordinate field")
+		}
+		xpath, payload = rest[:sp], rest[sp+1:]
+	case Type:
+		// The payload starts at the last " [" separator; the key itself
+		// may be any printable character, including '[' and space.
+		sep := strings.LastIndex(rest, " [")
+		if sep < 0 || !strings.HasSuffix(rest, "]") {
+			return fail("missing [key,code] field")
+		}
+		xpath, payload = rest[:sep], rest[sep+1:]
+	}
+	if err := validateXPathField(xpath); err != nil {
+		return fail(err.Error())
+	}
+
+	c := Command{Action: action, XPath: xpath, Elapsed: elapsed}
+	switch action {
+	case Click, DoubleClick:
+		x, y, err := parsePair(payload)
+		if err != nil {
+			return fail(err.Error())
+		}
+		c.X, c.Y = x, y
+	case Drag:
+		dx, dy, err := parsePair(payload)
+		if err != nil {
+			return fail(err.Error())
+		}
+		c.DX, c.DY = dx, dy
+	case Type:
+		key, code, err := parseKeySpec(payload)
+		if err != nil {
+			return fail(err.Error())
+		}
+		c.Key, c.Code = key, code
+	}
+	return c, nil
+}
+
+// validateXPathField rejects grossly malformed XPath fields (the full
+// syntax check happens when the replayer parses the expression).
+func validateXPathField(xpath string) error {
+	if !strings.HasPrefix(xpath, "/") {
+		return fmt.Errorf("xpath %q does not start with '/'", xpath)
+	}
+	if strings.Count(xpath, `"`)%2 != 0 || strings.Count(xpath, "'")%2 != 0 {
+		return fmt.Errorf("xpath %q has unbalanced quotes", xpath)
+	}
+	return nil
+}
+
+func parsePair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad coordinate pair %q", s)
+	}
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad coordinate %q", a)
+	}
+	y, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad coordinate %q", b)
+	}
+	return x, y, nil
+}
+
+// parseKeySpec parses "[key,code]". The key itself may be a comma, so the
+// split happens at the LAST comma.
+func parseKeySpec(s string) (string, int, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return "", 0, fmt.Errorf("bad key spec %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	i := strings.LastIndexByte(inner, ',')
+	if i < 0 {
+		return "", 0, fmt.Errorf("bad key spec %q: no comma", s)
+	}
+	key := inner[:i]
+	code, err := strconv.Atoi(inner[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad key code in %q", s)
+	}
+	return key, code, nil
+}
+
+// Trace is a recorded interaction session: the URL the session started at
+// plus the ordered command sequence.
+type Trace struct {
+	// StartURL is the page the user was on when recording began; the
+	// replayer navigates there before issuing commands.
+	StartURL string
+	Commands []Command
+}
+
+// Clone returns a deep copy of the trace (WebErr mutates copies).
+func (tr Trace) Clone() Trace {
+	out := Trace{StartURL: tr.StartURL}
+	out.Commands = append([]Command(nil), tr.Commands...)
+	return out
+}
+
+// Duration returns the total recorded duration of the trace.
+func (tr Trace) Duration() time.Duration {
+	var d time.Duration
+	for _, c := range tr.Commands {
+		d += c.ElapsedDuration()
+	}
+	return d
+}
+
+// WriteTo serializes the trace in the text format. It implements
+// io.WriterTo.
+func (tr Trace) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	writeLine := func(s string) error {
+		n, err := io.WriteString(w, s+"\n")
+		total += int64(n)
+		return err
+	}
+	if err := writeLine("# warr-trace v1"); err != nil {
+		return total, err
+	}
+	if tr.StartURL != "" {
+		if err := writeLine("# start " + tr.StartURL); err != nil {
+			return total, err
+		}
+	}
+	for _, c := range tr.Commands {
+		if err := writeLine(c.String()); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Text renders the trace as a string.
+func (tr Trace) Text() string {
+	var b strings.Builder
+	if _, err := tr.WriteTo(&b); err != nil {
+		// strings.Builder never fails.
+		panic(err)
+	}
+	return b.String()
+}
+
+// CommandsText renders only the command lines (no header), matching the
+// paper's Fig. 4 presentation.
+func (tr Trace) CommandsText() string {
+	var b strings.Builder
+	for _, c := range tr.Commands {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Read parses a serialized trace. Unknown comment lines are skipped, so
+// traces survive hand annotation.
+func Read(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if url, ok := strings.CutPrefix(line, "# start "); ok {
+				tr.StartURL = strings.TrimSpace(url)
+			}
+			continue
+		}
+		c, err := ParseLine(line)
+		if err != nil {
+			return Trace{}, fmt.Errorf("command: line %d: %w", lineNo, err)
+		}
+		tr.Commands = append(tr.Commands, c)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("command: reading trace: %w", err)
+	}
+	return tr, nil
+}
+
+// Parse parses a serialized trace from a string.
+func Parse(s string) (Trace, error) {
+	return Read(strings.NewReader(s))
+}

@@ -1,0 +1,282 @@
+package command
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStringFormatMatchesPaper(t *testing.T) {
+	// These lines appear verbatim in the paper's Fig. 4.
+	cases := []struct {
+		cmd  Command
+		want string
+	}{
+		{Command{Action: Click, XPath: `//div/span[@id="start"]`, X: 82, Y: 44, Elapsed: 1},
+			`click //div/span[@id="start"] 82,44 1`},
+		{Command{Action: Type, XPath: `//td/div[@id="content"]`, Key: "H", Code: 72, Elapsed: 3},
+			`type //td/div[@id="content"] [H,72] 3`},
+		{Command{Action: Type, XPath: `//td/div[@id="content"]`, Key: " ", Code: 32, Elapsed: 12},
+			`type //td/div[@id="content"] [ ,32] 12`},
+		{Command{Action: Type, XPath: `//td/div[@id="content"]`, Key: "!", Code: 49, Elapsed: 31},
+			`type //td/div[@id="content"] [!,49] 31`},
+		{Command{Action: Click, XPath: `//td/div[text()="Save"]`, X: 74, Y: 51, Elapsed: 37},
+			`click //td/div[text()="Save"] 74,51 37`},
+	}
+	for _, c := range cases {
+		if got := c.cmd.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParsePaperLines(t *testing.T) {
+	lines := []string{
+		`click //div/span[@id="start"] 82,44 1`,
+		`type //td/div[@id="content"] [H,72] 3`,
+		`type //td/div[@id="content"] [ ,32] 12`,
+		`type //td/div[@id="content"] [!,49] 31`,
+		`click //td/div[text()="Save"] 74,51 37`,
+	}
+	for _, line := range lines {
+		c, err := ParseLine(line)
+		if err != nil {
+			t.Errorf("ParseLine(%q): %v", line, err)
+			continue
+		}
+		if got := c.String(); got != line {
+			t.Errorf("round-trip %q = %q", line, got)
+		}
+	}
+}
+
+func TestParseClickFields(t *testing.T) {
+	c, err := ParseLine(`click //div/span[@id="start"] 82,44 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Action != Click || c.XPath != `//div/span[@id="start"]` || c.X != 82 || c.Y != 44 || c.Elapsed != 1 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestParseTypeFields(t *testing.T) {
+	c, err := ParseLine(`type //td/div[@id="content"] [H,72] 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Action != Type || c.Key != "H" || c.Code != 72 || c.Elapsed != 3 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestParseDrag(t *testing.T) {
+	c, err := ParseLine(`drag //div[@id="widget"] 15,-30 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Action != Drag || c.DX != 15 || c.DY != -30 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestParseDoubleClick(t *testing.T) {
+	c, err := ParseLine(`doubleclick //td[@id="cell"] 10,20 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Action != DoubleClick || c.X != 10 || c.Y != 20 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestXPathWithSpacesInTextPredicate(t *testing.T) {
+	line := `click //td/div[text()="Save page now"] 74,51 37`
+	c, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.XPath != `//td/div[text()="Save page now"]` {
+		t.Fatalf("xpath = %q", c.XPath)
+	}
+	if c.String() != line {
+		t.Fatalf("round-trip = %q", c.String())
+	}
+}
+
+func TestKeyIsComma(t *testing.T) {
+	line := `type //input[@id="q"] [,,188] 5`
+	c, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Key != "," || c.Code != 188 {
+		t.Fatalf("key = %q code = %d", c.Key, c.Code)
+	}
+	if c.String() != line {
+		t.Fatalf("round-trip = %q", c.String())
+	}
+}
+
+func TestNamedControlKeys(t *testing.T) {
+	line := `type //input[@id="q"] [Control,17] 4`
+	c, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Key != "Control" || c.Code != 17 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`click`,
+		`click //div 10,20`,                // missing elapsed
+		`hover //div 10,20 1`,              // unknown action
+		`click //div ten,20 1`,             // bad coordinate
+		`click //div 10,20 -1`,             // negative elapsed
+		`click //div 10,20 soon`,           // bad elapsed
+		`type //div H,72 1`,                // key spec without brackets
+		`type //div [H72] 1`,               // no comma
+		`type //div [H,seven] 1`,           // bad code
+		`click //div[@id="x 10,20 1`,       // unterminated quote
+		`type //div [H,72 1`,               // unterminated bracket
+		`click //div 10,20 1 extra-field1`, // too many fields
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestElapsedDuration(t *testing.T) {
+	c := Command{Elapsed: 37}
+	if got := c.ElapsedDuration(); got != 3700*time.Millisecond {
+		t.Fatalf("ElapsedDuration = %v", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Click.String() != "click" || DoubleClick.String() != "doubleclick" ||
+		Drag.String() != "drag" || Type.String() != "type" {
+		t.Fatal("Action.String broken")
+	}
+	if !strings.Contains(Action(42).String(), "42") {
+		t.Fatal("unknown action string")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Trace{
+		StartURL: "https://sites.test/edit",
+		Commands: []Command{
+			{Action: Click, XPath: `//div/span[@id="start"]`, X: 82, Y: 44, Elapsed: 1},
+			{Action: Type, XPath: `//td/div[@id="content"]`, Key: "H", Code: 72, Elapsed: 3},
+			{Action: Drag, XPath: `//div[@id="w"]`, DX: 5, DY: 6, Elapsed: 2},
+		},
+	}
+	got, err := Parse(tr.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StartURL != tr.StartURL {
+		t.Errorf("StartURL = %q", got.StartURL)
+	}
+	if len(got.Commands) != len(tr.Commands) {
+		t.Fatalf("commands = %d", len(got.Commands))
+	}
+	for i := range tr.Commands {
+		if got.Commands[i] != tr.Commands[i] {
+			t.Errorf("command %d = %+v, want %+v", i, got.Commands[i], tr.Commands[i])
+		}
+	}
+}
+
+func TestTraceSkipsCommentsAndBlanks(t *testing.T) {
+	text := `# warr-trace v1
+# start http://a.test/
+# recorded by WaRR on platform X
+
+click //div 1,2 0
+
+# interlude comment
+type //div [a,65] 1
+`
+	tr, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Commands) != 2 || tr.StartURL != "http://a.test/" {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestTraceParseErrorReportsLine(t *testing.T) {
+	_, err := Parse("click //div 1,2 0\nbogus line here\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceClone(t *testing.T) {
+	tr := Trace{StartURL: "u", Commands: []Command{{Action: Click, XPath: "//a"}}}
+	cl := tr.Clone()
+	cl.Commands[0].XPath = "//b"
+	if tr.Commands[0].XPath != "//a" {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	tr := Trace{Commands: []Command{{Elapsed: 1}, {Elapsed: 2}, {Elapsed: 3}}}
+	if got := tr.Duration(); got != 600*time.Millisecond {
+		t.Fatalf("Duration = %v", got)
+	}
+}
+
+func TestCommandsTextMatchesFig4Shape(t *testing.T) {
+	tr := Trace{Commands: []Command{
+		{Action: Click, XPath: `//div/span[@id="start"]`, X: 82, Y: 44, Elapsed: 1},
+		{Action: Type, XPath: `//td/div[@id="content"]`, Key: "H", Code: 72, Elapsed: 3},
+	}}
+	want := `click //div/span[@id="start"] 82,44 1
+type //td/div[@id="content"] [H,72] 3
+`
+	if got := tr.CommandsText(); got != want {
+		t.Fatalf("CommandsText = %q", got)
+	}
+}
+
+// Property: String→ParseLine round-trips for arbitrary well-formed
+// commands.
+func TestCommandRoundTripProperty(t *testing.T) {
+	f := func(action uint8, x, y int16, elapsed uint16, keyByte uint8) bool {
+		c := Command{
+			Action:  Action(int(action)%4 + 1),
+			XPath:   `//td/div[@id="content"]`,
+			Elapsed: int(elapsed),
+		}
+		switch c.Action {
+		case Click, DoubleClick:
+			c.X, c.Y = int(x), int(y)
+		case Drag:
+			c.DX, c.DY = int(x), int(y)
+		case Type:
+			ch := rune(keyByte%95 + 32) // printable ASCII
+			c.Key = string(ch)
+			c.Code = int(ch)
+		}
+		parsed, err := ParseLine(c.String())
+		if err != nil {
+			return false
+		}
+		return parsed == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// This file implements the nondeterminism-recording extension the paper
+// sketches as an advantage of the engine-embedded design (§III-A: the
+// recorder "can easily be extended to record various sources of
+// nondeterminism (e.g., timers)").
+//
+// A NondetLog observes two nondeterminism sources alongside the user's
+// actions: timer firings (setTimeout callbacks — the mechanism behind
+// the asynchronously loaded Sites editor) and network exchanges (page
+// loads and AJAX). Interleaved with a recorded trace, the log tells a
+// developer *what the application was doing between user actions* —
+// e.g. that the editor-module fetch completed before the keystrokes in
+// a passing run, and after the Save click in a failing one.
+
+// NondetKind classifies nondeterminism events.
+type NondetKind int
+
+// Nondeterminism sources.
+const (
+	// TimerFired is a setTimeout-style callback completing.
+	TimerFired NondetKind = iota + 1
+	// NetworkExchange is a request/response pair crossing the network
+	// (navigation, iframe load, or AJAX).
+	NetworkExchange
+)
+
+func (k NondetKind) String() string {
+	switch k {
+	case TimerFired:
+		return "timer-fired"
+	case NetworkExchange:
+		return "network"
+	default:
+		return "unknown"
+	}
+}
+
+// NondetEvent is one observed nondeterministic occurrence.
+type NondetEvent struct {
+	Kind NondetKind
+	// At is the virtual time of the occurrence.
+	At time.Time
+	// Detail describes the event (timer deadline, or method+URL).
+	Detail string
+}
+
+func (e NondetEvent) String() string {
+	return fmt.Sprintf("%s %s %s", e.At.Format("15:04:05.000"), e.Kind, e.Detail)
+}
+
+// NondetLog records nondeterminism events from a clock and a network.
+// It is safe for concurrent use.
+type NondetLog struct {
+	clock *vclock.Clock
+
+	mu     sync.Mutex
+	events []NondetEvent
+}
+
+var _ netsim.Observer = (*NondetLog)(nil)
+
+// NewNondetLog attaches a log to the clock's timer firings; attach it
+// to a network with network.AddObserver to also capture exchanges.
+func NewNondetLog(clock *vclock.Clock) *NondetLog {
+	l := &NondetLog{clock: clock}
+	clock.AddFireObserver(func(deadline time.Time) {
+		l.add(NondetEvent{
+			Kind:   TimerFired,
+			At:     clock.Now(),
+			Detail: "deadline " + deadline.Format("15:04:05.000"),
+		})
+	})
+	return l
+}
+
+// Observe implements netsim.Observer. HTTPS exchanges are logged with
+// their redacted URL, like any other network observer sees them.
+func (l *NondetLog) Observe(rec netsim.TrafficRecord) {
+	l.add(NondetEvent{
+		Kind:   NetworkExchange,
+		At:     rec.Time,
+		Detail: fmt.Sprintf("%s %s -> %d", rec.Method, rec.URL, rec.Status),
+	})
+}
+
+func (l *NondetLog) add(e NondetEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the log in observation order.
+func (l *NondetLog) Events() []NondetEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]NondetEvent(nil), l.events...)
+}
+
+// Reset clears the log.
+func (l *NondetLog) Reset() {
+	l.mu.Lock()
+	l.events = nil
+	l.mu.Unlock()
+}
+
+// Annotate renders a recorded trace with the log's events interleaved
+// as comment lines at their observed positions. start is the virtual
+// time recording began (the trace's first command is start + its own
+// elapsed field). The output remains a valid trace: annotation lines
+// are comments, so command.Parse round-trips it.
+func (l *NondetLog) Annotate(tr command.Trace, start time.Time) string {
+	type line struct {
+		at   time.Time
+		text string
+		// commands sort before events at the same instant: a user
+		// action synchronously causes traffic (a Save click issues the
+		// save request), so at equal timestamps the command is the
+		// cause. Events at strictly earlier instants (the editor-module
+		// fetch between click and first keystroke) order by time.
+		isCommand bool
+		seq       int
+	}
+	var lines []line
+
+	at := start
+	for i, c := range tr.Commands {
+		at = at.Add(c.ElapsedDuration())
+		lines = append(lines, line{at: at, text: c.String(), isCommand: true, seq: i})
+	}
+	for i, e := range l.Events() {
+		lines = append(lines, line{at: e.At, text: "# nondet " + e.String(), seq: i})
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		if !lines[i].at.Equal(lines[j].at) {
+			return lines[i].at.Before(lines[j].at)
+		}
+		if lines[i].isCommand != lines[j].isCommand {
+			return lines[i].isCommand
+		}
+		return lines[i].seq < lines[j].seq
+	})
+
+	var b strings.Builder
+	b.WriteString("# warr-trace v1\n")
+	if tr.StartURL != "" {
+		b.WriteString("# start " + tr.StartURL + "\n")
+	}
+	for _, ln := range lines {
+		b.WriteString(ln.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// sitesLikePage loads functionality asynchronously, like the Google
+// Sites editor: a click schedules an AJAX fetch whose completion flips
+// a flag via a timer-driven callback.
+const sitesLikePage = `<html><body>
+<button id="go">Load</button><div id="status">idle</div>
+<script>
+document.getElementById("go").addEventListener("click", function(e) {
+	httpGet("/module", function(body, st) {
+		document.getElementById("status").textContent = "ready";
+	});
+});
+</script>
+</body></html>`
+
+func newNondetEnv(t *testing.T) (*env, *NondetLog, *netsim.Network) {
+	t.Helper()
+	clock := vclock.New()
+	network := netsim.New(clock)
+	network.SetLatency(50 * time.Millisecond)
+	network.Register("app.test", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+		switch req.Path() {
+		case "/":
+			return netsim.OK(sitesLikePage)
+		case "/module":
+			return netsim.OK("module-code")
+		default:
+			return netsim.NotFound()
+		}
+	}))
+	log := NewNondetLog(clock)
+	network.AddObserver(log)
+
+	b := browser.New(clock, network, browser.UserMode)
+	tab := b.NewTab()
+	if err := tab.Navigate("http://app.test/"); err != nil {
+		t.Fatal(err)
+	}
+	rec := New(clock)
+	rec.Attach(tab)
+	return &env{clock: clock, tab: tab, rec: rec}, log, network
+}
+
+func TestNondetLogCapturesTimerAndNetwork(t *testing.T) {
+	e, log, _ := newNondetEnv(t)
+	e.clickOn(t, "go")
+	e.tab.AdvanceTime(100 * time.Millisecond) // AJAX latency elapses
+
+	var timers, fetches int
+	for _, ev := range log.Events() {
+		switch ev.Kind {
+		case TimerFired:
+			timers++
+		case NetworkExchange:
+			fetches++
+		}
+	}
+	if timers == 0 {
+		t.Error("no timer firings logged (the AJAX delivery is timer-driven)")
+	}
+	if fetches < 2 {
+		t.Errorf("logged %d network exchanges, want page load + module fetch", fetches)
+	}
+	if got := e.tab.MainFrame().Doc().GetElementByID("status").TextContent(); got != "ready" {
+		t.Fatalf("module did not load: %q", got)
+	}
+}
+
+func TestNondetAnnotateInterleavesAndStaysParseable(t *testing.T) {
+	e, log, _ := newNondetEnv(t)
+	start := e.clock.Now()
+	e.clickOn(t, "go")
+	e.tab.AdvanceTime(100 * time.Millisecond)
+	e.clickOn(t, "go") // second click, after the module load
+
+	annotated := log.Annotate(e.rec.Trace(), start)
+	if !strings.Contains(annotated, "# nondet") {
+		t.Fatalf("no annotations:\n%s", annotated)
+	}
+	// The module fetch must appear between the two clicks.
+	first := strings.Index(annotated, "click")
+	fetch := strings.Index(annotated, "/module")
+	last := strings.LastIndex(annotated, "click")
+	if !(first < fetch && fetch < last) {
+		t.Errorf("module fetch not interleaved between clicks:\n%s", annotated)
+	}
+	// Annotations are comments: the text still parses to the same trace.
+	parsed, err := command.Parse(annotated)
+	if err != nil {
+		t.Fatalf("annotated trace does not parse: %v", err)
+	}
+	if len(parsed.Commands) != len(e.rec.Trace().Commands) {
+		t.Errorf("parsed %d commands, want %d", len(parsed.Commands), len(e.rec.Trace().Commands))
+	}
+}
+
+func TestNondetLogReset(t *testing.T) {
+	e, log, _ := newNondetEnv(t)
+	e.clickOn(t, "go")
+	e.tab.AdvanceTime(100 * time.Millisecond)
+	if len(log.Events()) == 0 {
+		t.Fatal("no events before reset")
+	}
+	log.Reset()
+	if len(log.Events()) != 0 {
+		t.Error("events survived reset")
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// env is a browser wired to a one-host page set with a recorder attached.
+type env struct {
+	clock *vclock.Clock
+	tab   *browser.Tab
+	rec   *Recorder
+}
+
+func newEnv(t *testing.T, pages map[string]string) *env {
+	t.Helper()
+	clock := vclock.New()
+	network := netsim.New(clock)
+	network.Register("app.test", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+		if body, ok := pages[req.Path()]; ok {
+			return netsim.OK(body)
+		}
+		return netsim.NotFound()
+	}))
+	b := browser.New(clock, network, browser.UserMode)
+	tab := b.NewTab()
+	if err := tab.Navigate("http://app.test/"); err != nil {
+		t.Fatal(err)
+	}
+	rec := New(clock)
+	rec.Attach(tab)
+	return &env{clock: clock, tab: tab, rec: rec}
+}
+
+func (e *env) clickOn(t *testing.T, id string) {
+	t.Helper()
+	n := e.tab.MainFrame().Doc().GetElementByID(id)
+	if n == nil {
+		t.Fatalf("no element #%s", id)
+	}
+	x, y := e.tab.Layout().Center(n)
+	e.tab.Click(x, y)
+}
+
+func TestRecordsClickWithXPathAndCoords(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<div><span id="start">go</span></div>`})
+	e.clickOn(t, "start")
+	tr := e.rec.Trace()
+	if len(tr.Commands) != 1 {
+		t.Fatalf("commands = %d", len(tr.Commands))
+	}
+	c := tr.Commands[0]
+	if c.Action != command.Click {
+		t.Errorf("action = %v", c.Action)
+	}
+	if c.XPath != `//div/span[@id="start"]` {
+		t.Errorf("xpath = %q", c.XPath)
+	}
+	if c.X == 0 && c.Y == 0 {
+		t.Error("click coordinates missing")
+	}
+	if tr.StartURL != "http://app.test/" {
+		t.Errorf("start url = %q", tr.StartURL)
+	}
+}
+
+func TestRecordsTypedText(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<table><tr><td><div id="content" contenteditable="true"></div></td></tr></table>`})
+	e.clickOn(t, "content")
+	e.tab.TypeText("He")
+	tr := e.rec.Trace()
+	if len(tr.Commands) != 3 { // click + 2 keystrokes
+		t.Fatalf("commands = %d: %s", len(tr.Commands), tr.CommandsText())
+	}
+	k1, k2 := tr.Commands[1], tr.Commands[2]
+	if k1.Action != command.Type || k1.Key != "H" || k1.Code != 72 {
+		t.Errorf("first keystroke = %+v", k1)
+	}
+	if k2.Key != "e" || k2.Code != 69 {
+		t.Errorf("second keystroke = %+v", k2)
+	}
+	if k1.XPath != `//td/div[@id="content"]` {
+		t.Errorf("keystroke xpath = %q", k1.XPath)
+	}
+}
+
+func TestShiftCombining(t *testing.T) {
+	// Typing "H" sends Shift then H; the trace must contain only the
+	// combined keystroke (paper §IV-B).
+	e := newEnv(t, map[string]string{"/": `<div id="ed" contenteditable="true"></div>`})
+	e.clickOn(t, "ed")
+	e.tab.TypeText("H!")
+	tr := e.rec.Trace()
+	var keys []string
+	for _, c := range tr.Commands {
+		if c.Action == command.Type {
+			keys = append(keys, c.Key)
+		}
+	}
+	if strings.Join(keys, "") != "H!" {
+		t.Fatalf("typed keys = %v (Shift must be suppressed)", keys)
+	}
+	// The '!' carries the '1' key's code, as in Fig. 4.
+	last := tr.Commands[len(tr.Commands)-1]
+	if last.Code != 49 {
+		t.Errorf("'!' code = %d, want 49", last.Code)
+	}
+}
+
+func TestControlKeyIsLogged(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<input id="q" type="text">`})
+	e.clickOn(t, "q")
+	e.tab.PressKey(browser.KeyControl, browser.CodeControl, browser.KeyMods{})
+	tr := e.rec.Trace()
+	last := tr.Commands[len(tr.Commands)-1]
+	if last.Action != command.Type || last.Key != "Control" || last.Code != 17 {
+		t.Fatalf("control key not logged: %+v", last)
+	}
+}
+
+func TestRecordsDoubleClick(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<td><div id="cell">v</div></td>`})
+	n := e.tab.MainFrame().Doc().GetElementByID("cell")
+	x, y := e.tab.Layout().Center(n)
+	e.tab.DoubleClick(x, y)
+	tr := e.rec.Trace()
+	if len(tr.Commands) != 1 || tr.Commands[0].Action != command.DoubleClick {
+		t.Fatalf("trace = %s", tr.CommandsText())
+	}
+}
+
+func TestRecordsDrag(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<div id="w">widget</div>`})
+	n := e.tab.MainFrame().Doc().GetElementByID("w")
+	x, y := e.tab.Layout().Center(n)
+	e.tab.Drag(x, y, 25, -10)
+	tr := e.rec.Trace()
+	if len(tr.Commands) != 1 {
+		t.Fatalf("commands = %d", len(tr.Commands))
+	}
+	c := tr.Commands[0]
+	if c.Action != command.Drag || c.DX != 25 || c.DY != -10 {
+		t.Fatalf("drag = %+v", c)
+	}
+}
+
+func TestElapsedTicks(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<div id="a">x</div>`})
+	e.clock.Advance(300 * time.Millisecond)
+	e.clickOn(t, "a")
+	e.clock.Advance(1200 * time.Millisecond)
+	e.clickOn(t, "a")
+	tr := e.rec.Trace()
+	if tr.Commands[0].Elapsed != 3 {
+		t.Errorf("first elapsed = %d, want 3", tr.Commands[0].Elapsed)
+	}
+	if tr.Commands[1].Elapsed != 12 {
+		t.Errorf("second elapsed = %d, want 12", tr.Commands[1].Elapsed)
+	}
+}
+
+func TestResetScopesTrace(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<div id="a">x</div>`})
+	e.clickOn(t, "a")
+	e.rec.Reset()
+	e.clickOn(t, "a")
+	tr := e.rec.Trace()
+	if len(tr.Commands) != 1 {
+		t.Fatalf("commands after reset = %d", len(tr.Commands))
+	}
+}
+
+func TestDetachStopsRecording(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<div id="a">x</div>`})
+	e.clickOn(t, "a")
+	e.rec.Detach()
+	e.clickOn(t, "a")
+	if got := len(e.rec.Trace().Commands); got != 1 {
+		t.Fatalf("commands = %d, want 1", got)
+	}
+}
+
+func TestJournalBoundEvictsOldest(t *testing.T) {
+	clock := vclock.New()
+	network := netsim.New(clock)
+	network.Register("app.test", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+		return netsim.OK(`<div id="a">x</div>`)
+	}))
+	b := browser.New(clock, network, browser.UserMode)
+	tab := b.NewTab()
+	if err := tab.Navigate("http://app.test/"); err != nil {
+		t.Fatal(err)
+	}
+	rec := New(clock, WithMaxCommands(3))
+	rec.Attach(tab)
+	n := tab.MainFrame().Doc().GetElementByID("a")
+	x, y := tab.Layout().Center(n)
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Duration(i+1) * 100 * time.Millisecond)
+		tab.Click(x, y)
+	}
+	tr := rec.Trace()
+	if len(tr.Commands) != 3 {
+		t.Fatalf("journal = %d, want 3", len(tr.Commands))
+	}
+	stats := rec.Stats()
+	if stats.Dropped != 2 || stats.Actions != 5 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// The survivors are the newest: elapsed fields 3, 4, 5 ticks.
+	if tr.Commands[0].Elapsed != 3 || tr.Commands[2].Elapsed != 5 {
+		t.Fatalf("survivors = %s", tr.CommandsText())
+	}
+}
+
+func TestStatsPerAction(t *testing.T) {
+	e := newEnv(t, map[string]string{"/": `<div id="a">x</div>`})
+	e.clickOn(t, "a")
+	e.clickOn(t, "a")
+	s := e.rec.Stats()
+	if s.Actions != 2 {
+		t.Fatalf("actions = %d", s.Actions)
+	}
+	if s.PerAction() < 0 {
+		t.Fatal("negative per-action time")
+	}
+	if (Stats{}).PerAction() != 0 {
+		t.Fatal("zero-action PerAction should be 0")
+	}
+}
+
+func TestRecordedTraceReplaysAsText(t *testing.T) {
+	// End-to-end smoke: record → serialize → parse.
+	e := newEnv(t, map[string]string{"/": `<div id="ed" contenteditable="true"></div>`})
+	e.clickOn(t, "ed")
+	e.tab.TypeText("hi")
+	text := e.rec.Trace().Text()
+	parsed, err := command.Parse(text)
+	if err != nil {
+		t.Fatalf("parse recorded trace: %v\n%s", err, text)
+	}
+	if len(parsed.Commands) != 3 {
+		t.Fatalf("parsed commands = %d", len(parsed.Commands))
+	}
+}
+
+func TestAlwaysOnAcrossNavigations(t *testing.T) {
+	// The recorder keeps recording across page changes — the always-on
+	// property: users never have to start it.
+	e := newEnv(t, map[string]string{
+		"/":       `<a id="go" href="/second">next</a>`,
+		"/second": `<div id="b">second page</div>`,
+	})
+	e.clickOn(t, "go")
+	// Now on the second page; the hook must still be installed.
+	n := e.tab.MainFrame().Doc().GetElementByID("b")
+	x, y := e.tab.Layout().Center(n)
+	e.tab.Click(x, y)
+	tr := e.rec.Trace()
+	if len(tr.Commands) != 2 {
+		t.Fatalf("commands across navigation = %d\n%s", len(tr.Commands), tr.CommandsText())
+	}
+}
+
+func TestPopupClicksNotRecorded(t *testing.T) {
+	// §IV-D: "WaRR cannot handle pop-ups because user interaction events
+	// that happen on such widgets are not routed through to WebKit."
+	e := newEnv(t, map[string]string{
+		"/": `<html><body><button id="b" onclick="alert('hi')">Go</button></body></html>`,
+	})
+	e.clickOn(t, "b") // recorded: reaches the engine
+	if _, open := e.tab.PopupText(); !open {
+		t.Fatal("alert did not open a popup")
+	}
+	e.tab.Click(10, 10) // lands on the popup, never reaches the engine
+
+	tr := e.rec.Trace()
+	if got := len(tr.Commands); got != 1 {
+		t.Fatalf("recorded %d commands, want only the pre-popup click:\n%s",
+			got, tr.CommandsText())
+	}
+	if _, open := e.tab.PopupText(); open {
+		t.Error("the click should have dismissed the popup")
+	}
+}

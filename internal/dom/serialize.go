@@ -1,0 +1,86 @@
+package dom
+
+import "strings"
+
+// voidElements never have children and serialize without a closing tag.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// IsVoidElement reports whether tag is an HTML void element.
+func IsVoidElement(tag string) bool { return voidElements[strings.ToLower(tag)] }
+
+// rawTextElements hold raw (unescaped) text content.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// EscapeText escapes text-node content for HTML serialization.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes an attribute value for double-quoted serialization.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// OuterHTML serializes the node and its subtree as HTML.
+func (n *Node) OuterHTML() string {
+	var b strings.Builder
+	n.serialize(&b)
+	return b.String()
+}
+
+// InnerHTML serializes the node's children as HTML.
+func (n *Node) InnerHTML() string {
+	var b strings.Builder
+	for _, c := range n.children {
+		c.serialize(&b)
+	}
+	return b.String()
+}
+
+func (n *Node) serialize(b *strings.Builder) {
+	switch n.Type {
+	case TextNode:
+		if n.parent != nil && n.parent.Type == ElementNode && rawTextElements[n.parent.Tag] {
+			b.WriteString(n.Data)
+		} else {
+			b.WriteString(EscapeText(n.Data))
+		}
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case DocumentNode:
+		for _, c := range n.children {
+			c.serialize(b)
+		}
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidElements[n.Tag] {
+			return
+		}
+		for _, c := range n.children {
+			c.serialize(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+// HTML serializes the whole document.
+func (d *Document) HTML() string { return d.root.OuterHTML() }

@@ -1,0 +1,83 @@
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Shape captures the structural signature of a DOM tree: the multiset of
+// (depth, tag, id) triples over all elements. Two pages with the same
+// element skeleton have identical shapes even if their text differs.
+//
+// Paper §V-A: "Computing the similarity of web pages is based on their DOM
+// shape, taking into account the type of the HTML elements and their id
+// property." WebErr uses Similarity to decide when one subtask ended and
+// another began while reconstructing the user's task tree.
+type Shape struct {
+	counts map[string]int
+	total  int
+}
+
+// ShapeOf computes the shape signature of the subtree rooted at n.
+func ShapeOf(n *Node) Shape {
+	s := Shape{counts: make(map[string]int)}
+	base := n.Depth()
+	n.Walk(func(m *Node) bool {
+		if m.Type != ElementNode {
+			return true
+		}
+		key := fmt.Sprintf("%d|%s|%s", m.Depth()-base, m.Tag, m.ID())
+		s.counts[key]++
+		s.total++
+		return true
+	})
+	return s
+}
+
+// ShapeOfDocument computes the shape of a whole document.
+func ShapeOfDocument(d *Document) Shape { return ShapeOf(d.Root()) }
+
+// Size returns the number of elements contributing to the shape.
+func (s Shape) Size() int { return s.total }
+
+// Similarity returns the Dice coefficient between two shapes, in [0,1]:
+// 1 means structurally identical element skeletons, 0 means no overlap.
+// Two empty shapes are defined to be identical (1).
+func Similarity(a, b Shape) float64 {
+	if a.total == 0 && b.total == 0 {
+		return 1
+	}
+	if a.total == 0 || b.total == 0 {
+		return 0
+	}
+	inter := 0
+	for k, ca := range a.counts {
+		if cb, ok := b.counts[k]; ok {
+			if ca < cb {
+				inter += ca
+			} else {
+				inter += cb
+			}
+		}
+	}
+	return 2 * float64(inter) / float64(a.total+b.total)
+}
+
+// String renders the shape deterministically, for debugging and golden
+// tests.
+func (s Shape) String() string {
+	keys := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s×%d", k, s.counts[k])
+	}
+	return b.String()
+}

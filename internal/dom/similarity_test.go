@@ -1,0 +1,124 @@
+package dom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func page(ids ...string) *Document {
+	d := NewDocument("u")
+	for _, id := range ids {
+		d.Body().AppendChild(NewElement("div", "id", id))
+	}
+	return d
+}
+
+func TestIdenticalPagesSimilarityOne(t *testing.T) {
+	a, b := page("x", "y"), page("x", "y")
+	if got := Similarity(ShapeOfDocument(a), ShapeOfDocument(b)); got != 1 {
+		t.Fatalf("Similarity = %v, want 1", got)
+	}
+}
+
+func TestTextChangesDoNotAffectShape(t *testing.T) {
+	a, b := page("x"), page("x")
+	a.GetElementByID("x").SetTextContent("hello")
+	b.GetElementByID("x").SetTextContent("completely different words")
+	if got := Similarity(ShapeOfDocument(a), ShapeOfDocument(b)); got != 1 {
+		t.Fatalf("Similarity = %v, want 1 (text must not matter)", got)
+	}
+}
+
+func TestIDChangesAffectShape(t *testing.T) {
+	a, b := page("x"), page("y")
+	got := Similarity(ShapeOfDocument(a), ShapeOfDocument(b))
+	if got >= 1 {
+		t.Fatalf("Similarity = %v, want < 1 (ids must matter)", got)
+	}
+}
+
+func TestDisjointShapesSimilarityLow(t *testing.T) {
+	a := NewDocument("u")
+	a.Body().AppendChild(NewElement("table"))
+	b := NewDocument("u")
+	b.Body().AppendChild(NewElement("form"))
+	got := Similarity(ShapeOfDocument(a), ShapeOfDocument(b))
+	// The html/head/body skeleton is shared, so similarity is positive but
+	// must drop below 1.
+	if got >= 1 || got <= 0 {
+		t.Fatalf("Similarity = %v, want in (0,1)", got)
+	}
+}
+
+func TestEmptyShapes(t *testing.T) {
+	e := ShapeOf(NewText("x"))
+	if e.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", e.Size())
+	}
+	if got := Similarity(e, e); got != 1 {
+		t.Fatalf("empty/empty Similarity = %v, want 1", got)
+	}
+	if got := Similarity(e, ShapeOf(NewElement("div"))); got != 0 {
+		t.Fatalf("empty/non-empty Similarity = %v, want 0", got)
+	}
+}
+
+func TestShapeDepthRelative(t *testing.T) {
+	// A subtree's shape must not depend on how deep the subtree sits.
+	sub := NewElement("div", "id", "inner")
+	sub.AppendChild(NewElement("span"))
+	shallow := ShapeOf(sub)
+
+	root := NewElement("html")
+	body := NewElement("body")
+	root.AppendChild(body)
+	body.AppendChild(sub)
+	deep := ShapeOf(sub)
+	if got := Similarity(shallow, deep); got != 1 {
+		t.Fatalf("Similarity = %v, want 1 (depth must be relative)", got)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	n := NewElement("div", "id", "a")
+	n.AppendChild(NewElement("span"))
+	n.AppendChild(NewElement("span"))
+	got := ShapeOf(n).String()
+	want := "0|div|a×1 1|span|×2"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// Properties of the similarity metric.
+func TestSimilarityProperties(t *testing.T) {
+	build := func(tags []uint8) Shape {
+		root := NewElement("div")
+		names := []string{"span", "p", "a", "td", "li"}
+		for _, b := range tags {
+			root.AppendChild(NewElement(names[int(b)%len(names)]))
+		}
+		return ShapeOf(root)
+	}
+	symmetric := func(x, y []uint8) bool {
+		a, b := build(x), build(y)
+		return Similarity(a, b) == Similarity(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("not symmetric: %v", err)
+	}
+	reflexive := func(x []uint8) bool {
+		a := build(x)
+		return Similarity(a, a) == 1
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("not reflexive: %v", err)
+	}
+	bounded := func(x, y []uint8) bool {
+		s := Similarity(build(x), build(y))
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("not bounded: %v", err)
+	}
+}

@@ -1,0 +1,224 @@
+package event
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// tree builds html > body > div#mid > button#btn and returns all four.
+func tree() (html, body, mid, btn *dom.Node) {
+	html = dom.NewElement("html")
+	body = dom.NewElement("body")
+	mid = dom.NewElement("div", "id", "mid")
+	btn = dom.NewElement("button", "id", "btn")
+	html.AppendChild(body)
+	body.AppendChild(mid)
+	mid.AppendChild(btn)
+	return
+}
+
+func TestDispatchPhaseOrder(t *testing.T) {
+	html, body, mid, btn := tree()
+	var got []string
+	rec := func(name string, phase Phase) Handler {
+		return func(e *Event) {
+			got = append(got, name+":"+e.Phase.String())
+		}
+	}
+	Listen(html, TypeClick, true, rec("html", CapturePhase))
+	Listen(html, TypeClick, false, rec("html", BubblePhase))
+	Listen(body, TypeClick, true, rec("body", CapturePhase))
+	Listen(body, TypeClick, false, rec("body", BubblePhase))
+	Listen(mid, TypeClick, true, rec("mid", CapturePhase))
+	Listen(mid, TypeClick, false, rec("mid", BubblePhase))
+	Listen(btn, TypeClick, true, rec("btn", 0))
+	Listen(btn, TypeClick, false, rec("btn2", 0))
+
+	Dispatch(New(TypeClick, btn))
+
+	want := []string{
+		"html:capture", "body:capture", "mid:capture",
+		"btn:target", "btn2:target",
+		"mid:bubble", "body:bubble", "html:bubble",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestStopPropagationInCapture(t *testing.T) {
+	_, body, _, btn := tree()
+	reached := false
+	Listen(body, TypeClick, true, func(e *Event) { e.StopPropagation() })
+	Listen(btn, TypeClick, false, func(e *Event) { reached = true })
+	Dispatch(New(TypeClick, btn))
+	if reached {
+		t.Fatal("event reached target despite capture-phase stopPropagation")
+	}
+}
+
+func TestStopPropagationInBubble(t *testing.T) {
+	html, _, mid, btn := tree()
+	htmlSaw := false
+	Listen(mid, TypeClick, false, func(e *Event) { e.StopPropagation() })
+	Listen(html, TypeClick, false, func(e *Event) { htmlSaw = true })
+	Dispatch(New(TypeClick, btn))
+	if htmlSaw {
+		t.Fatal("bubble continued past stopPropagation")
+	}
+}
+
+func TestStopPropagationSameNodeStillRuns(t *testing.T) {
+	_, _, _, btn := tree()
+	second := false
+	Listen(btn, TypeClick, false, func(e *Event) { e.StopPropagation() })
+	Listen(btn, TypeClick, false, func(e *Event) { second = true })
+	Dispatch(New(TypeClick, btn))
+	if !second {
+		t.Fatal("stopPropagation must not cancel same-node listeners")
+	}
+}
+
+func TestPreventDefault(t *testing.T) {
+	_, _, _, btn := tree()
+	Listen(btn, TypeClick, false, func(e *Event) { e.PreventDefault() })
+	if Dispatch(New(TypeClick, btn)) {
+		t.Fatal("Dispatch = true, want false after preventDefault")
+	}
+	if Dispatch(New(TypeKeyDown, btn)) != true {
+		t.Fatal("unrelated event should not be default-prevented")
+	}
+}
+
+func TestNonBubblingEvents(t *testing.T) {
+	_, body, _, btn := tree()
+	bodySaw := false
+	Listen(body, TypeFocus, false, func(e *Event) { bodySaw = true })
+	Dispatch(New(TypeFocus, btn))
+	if bodySaw {
+		t.Fatal("focus must not bubble")
+	}
+	// but it is seen during capture
+	Listen(body, TypeFocus, true, func(e *Event) { bodySaw = true })
+	Dispatch(New(TypeFocus, btn))
+	if !bodySaw {
+		t.Fatal("focus must be visible in capture phase")
+	}
+}
+
+func TestTrustedEventKeyDataSettable(t *testing.T) {
+	_, _, _, btn := tree()
+	e := New(TypeKeyPress, btn)
+	if !e.Trusted {
+		t.Fatal("New must produce trusted events")
+	}
+	if err := e.SetKeyData(KeyData{Key: "a", Code: 65}); err != nil {
+		t.Fatalf("trusted SetKeyData: %v", err)
+	}
+	if e.Key.Code != 65 {
+		t.Fatal("key data not set")
+	}
+}
+
+func TestSyntheticKeyDataReadOnlyInUserMode(t *testing.T) {
+	_, _, _, btn := tree()
+	e := NewSynthetic(TypeKeyPress, btn, false)
+	err := e.SetKeyData(KeyData{Key: "a", Code: 65})
+	if !errors.Is(err, ErrReadOnlyProperty) {
+		t.Fatalf("err = %v, want ErrReadOnlyProperty", err)
+	}
+	if e.Key != nil {
+		t.Fatal("key data must remain unset")
+	}
+}
+
+func TestSyntheticKeyDataSettableInDeveloperMode(t *testing.T) {
+	// The paper's replayer enabler: the developer browser allows setting
+	// KeyboardEvent properties, making replayed events indistinguishable
+	// from user-generated ones.
+	_, _, _, btn := tree()
+	e := NewSynthetic(TypeKeyPress, btn, true)
+	if err := e.SetKeyData(KeyData{Key: "H", Code: 72, Shift: true}); err != nil {
+		t.Fatalf("developer-mode SetKeyData: %v", err)
+	}
+	if e.Key == nil || e.Key.Code != 72 || !e.Key.Shift {
+		t.Fatal("key data not applied")
+	}
+}
+
+func TestSyntheticMouseDataAlwaysSettable(t *testing.T) {
+	_, _, _, btn := tree()
+	e := NewSynthetic(TypeClick, btn, false)
+	e.SetMouseData(MouseData{X: 82, Y: 44})
+	if e.Mouse == nil || e.Mouse.X != 82 {
+		t.Fatal("mouse data not set")
+	}
+	e.SetDragData(DragData{DX: 5, DY: -3})
+	if e.Drag == nil || e.Drag.DY != -3 {
+		t.Fatal("drag data not set")
+	}
+}
+
+func TestDispatchNilTarget(t *testing.T) {
+	if !Dispatch(New(TypeClick, nil)) {
+		t.Fatal("nil-target dispatch should allow default")
+	}
+}
+
+func TestCurrentTargetTracksNode(t *testing.T) {
+	_, body, _, btn := tree()
+	var seen []*dom.Node
+	Listen(body, TypeClick, false, func(e *Event) { seen = append(seen, e.CurrentTarget) })
+	Listen(btn, TypeClick, false, func(e *Event) { seen = append(seen, e.CurrentTarget) })
+	e := New(TypeClick, btn)
+	Dispatch(e)
+	if len(seen) != 2 || seen[0] != btn || seen[1] != body {
+		t.Fatal("CurrentTarget did not track dispatch nodes")
+	}
+	if e.CurrentTarget != nil || e.Phase != 0 {
+		t.Fatal("event not reset after dispatch")
+	}
+}
+
+func TestTargetIsStableThroughDispatch(t *testing.T) {
+	_, body, _, btn := tree()
+	Listen(body, TypeClick, false, func(e *Event) {
+		if e.Target != btn {
+			t.Error("Target changed during dispatch")
+		}
+	})
+	Dispatch(New(TypeClick, btn))
+}
+
+func TestPhaseString(t *testing.T) {
+	if CapturePhase.String() != "capture" || TargetPhase.String() != "target" ||
+		BubblePhase.String() != "bubble" || Phase(0).String() != "none" {
+		t.Fatal("Phase.String broken")
+	}
+}
+
+func TestListenerAddedDuringDispatchDoesNotRun(t *testing.T) {
+	_, _, _, btn := tree()
+	late := false
+	Listen(btn, TypeClick, false, func(e *Event) {
+		Listen(btn, TypeClick, false, func(e *Event) { late = true })
+	})
+	Dispatch(New(TypeClick, btn))
+	if late {
+		t.Fatal("listener added during dispatch ran for the same event")
+	}
+}
+
+func TestNonHandlerListenerIgnored(t *testing.T) {
+	_, _, _, btn := tree()
+	btn.AddListener(dom.Listener{Type: TypeClick, Fn: "not a handler"})
+	// Must not panic.
+	Dispatch(New(TypeClick, btn))
+}

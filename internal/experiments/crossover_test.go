@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// TestTimingSensitivityCrossover sweeps the application's asynchronous
+// load latency against a trace recorded at the default latency and
+// locates the crossover where timing-accurate replay stops reproducing
+// the session.
+//
+// The paper's §IV-D limitation says WaRR "cannot ensure that event
+// handlers triggered by user actions finish in the same amount of time,
+// during replay, as they did during recording, possibly hurting replay
+// accuracy". The trace's recorded think time between the Edit click and
+// the first keystroke is ActionGap + one KeyGap; as long as the editor
+// module arrives within that window the replay succeeds, and beyond it
+// the replayed keystrokes hit a not-yet-editable editor — the same
+// failure mode as the timing-error campaign, but caused by the
+// environment instead of the user.
+func TestTimingSensitivityCrossover(t *testing.T) {
+	rec, err := RecordScenario(apps.EditSiteScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := apps.ActionGap + apps.KeyGap
+
+	cases := []struct {
+		latency time.Duration
+		wantOK  bool
+	}{
+		{50 * time.Millisecond, true},
+		{apps.DefaultAJAXLatency, true}, // as recorded
+		{window - 100*time.Millisecond, true},
+		{window + 100*time.Millisecond, false},
+		{2 * time.Second, false},
+	}
+	for _, c := range cases {
+		env := apps.NewEnv(browser.DeveloperMode)
+		env.Network.SetLatency(c.latency)
+		r := replayer.New(env.Browser, replayer.Options{Pacing: replayer.PaceRecorded})
+		res, tab, err := r.Replay(rec.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete() {
+			t.Fatalf("latency %v: replay did not complete: %+v", c.latency, res.Steps)
+		}
+		ok := apps.EditSiteScenario().Verify(env, tab) == nil
+		if ok != c.wantOK {
+			t.Errorf("latency %v: session reproduced = %v, want %v (crossover near %v)",
+				c.latency, ok, c.wantOK, window)
+		}
+	}
+}

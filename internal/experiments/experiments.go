@@ -1,0 +1,68 @@
+// Package experiments implements the harnesses that regenerate every
+// table and figure of the paper's evaluation:
+//
+//   - Fig. 3: the engine-layer stack trace of a mouse click;
+//   - Fig. 4: the WaRR Command trace of editing a Google Sites page;
+//   - Fig. 6: the task tree inferred from that trace;
+//   - Table I: the percentage of query typos detected and fixed by the
+//     Google-, Bing-, and Yahoo-shaped search engines;
+//   - Table II: recording completeness of the WaRR Recorder vs the
+//     Selenium-IDE-style baseline on four applications;
+//   - §VI: the recorder's per-action logging overhead;
+//   - §V-C: the Google Sites timing bug found by WebErr.
+//
+// The same harnesses back the integration tests, the benchmarks in
+// bench_test.go, and the warr-bench executable, so the numbers a user
+// sees always come from one code path.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Recorded is the outcome of recording one scenario.
+type Recorded struct {
+	Trace command.Trace
+	Stats core.Stats
+	// Env and Tab are the live recording environment (for oracles that
+	// inspect the original session).
+	Env *apps.Env
+	Tab *browser.Tab
+}
+
+// RecordScenario runs a scenario in a fresh user-mode environment with
+// the WaRR Recorder attached and returns the trace plus recorder stats.
+func RecordScenario(sc apps.Scenario) (*Recorded, error) {
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", sc.Name, err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", sc.Name, err)
+	}
+	if err := sc.Verify(env, tab); err != nil {
+		return nil, fmt.Errorf("experiments: %s: live session failed: %w", sc.Name, err)
+	}
+	return &Recorded{Trace: rec.Trace(), Stats: rec.Stats(), Env: env, Tab: tab}, nil
+}
+
+// ReplayTrace replays a trace in a fresh environment of the given mode
+// and returns the replay result plus the environment for oracle checks.
+func ReplayTrace(tr command.Trace, mode browser.Mode, opts replayer.Options) (*replayer.Result, *apps.Env, *browser.Tab, error) {
+	env := apps.NewEnv(mode)
+	r := replayer.New(env.Browser, opts)
+	res, tab, err := r.Replay(tr)
+	if err != nil {
+		return nil, env, tab, fmt.Errorf("experiments: replay: %w", err)
+	}
+	return res, env, tab, nil
+}

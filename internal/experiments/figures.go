@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// Fig3Stack regenerates Fig. 3: the fragment of the call stack active
+// when a mouse click is handled, from the engine's event handler down to
+// main. The paper's frames (WebCore::EventHandler::handleMousePressEvent,
+// WebKit::WebViewImpl::handleInputEvent, RenderView::OnMessageReceived,
+// ...) correspond to this browser's HandleMousePressEvent,
+// HandleInputEvent, and OnMessageReceived.
+func Fig3Stack() ([]string, error) {
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.SitesURL); err != nil {
+		return nil, err
+	}
+	tab.EventHandler().CaptureStackOnNextPress()
+	n := tab.MainFrame().Doc().GetElementByID("start")
+	x, y := tab.Layout().Center(n)
+	tab.Click(x, y)
+	stack := tab.EventHandler().LastStack()
+	if len(stack) == 0 {
+		return nil, fmt.Errorf("experiments: no stack captured")
+	}
+	// Trim to the browser-relevant fragment, like the paper's figure.
+	var out []string
+	for _, fn := range stack {
+		if i := strings.LastIndex(fn, "/"); i >= 0 {
+			fn = fn[i+1:]
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+// Fig4Trace regenerates Fig. 4: the sequence of WaRR Commands recorded
+// while editing a Google Sites web page ("Hello world!" typed into the
+// content area, then saved).
+func Fig4Trace() (command.Trace, error) {
+	rec, err := RecordScenario(apps.EditSiteScenario())
+	if err != nil {
+		return command.Trace{}, err
+	}
+	return rec.Trace, nil
+}
+
+// Fig6Tree regenerates Fig. 6: the task tree WebErr infers for the
+// edit-a-website session.
+func Fig6Tree() (*weberr.TaskTree, error) {
+	rec, err := RecordScenario(apps.EditSiteScenario())
+	if err != nil {
+		return nil, err
+	}
+	return weberr.InferTaskTree(func() *browser.Browser {
+		return apps.NewEnv(browser.DeveloperMode).Browser
+	}, rec.Trace)
+}
+
+// Fig6Grammar returns the user-interaction grammar derived from the
+// Fig. 6 task tree.
+func Fig6Grammar() (*weberr.Grammar, error) {
+	tree, err := Fig6Tree()
+	if err != nil {
+		return nil, err
+	}
+	return weberr.FromTaskTree(tree), nil
+}

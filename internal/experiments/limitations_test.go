@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// editAs performs an edit-site session typing text, in an existing
+// environment through its own browser (one user = one browser), with a
+// recorder attached. Returns the user's trace.
+func editAs(t *testing.T, env *apps.Env, text string) command.Trace {
+	t.Helper()
+	b := browser.New(env.Clock, env.Network, browser.UserMode)
+	tab := b.NewTab()
+	if err := tab.Navigate(apps.SitesURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+
+	doc := tab.MainFrame().Doc()
+	x, y := tab.Layout().Center(doc.GetElementByID("start"))
+	tab.Click(x, y)
+	tab.AdvanceTime(2 * apps.DefaultAJAXLatency)
+	// The editor seeds itself with the current page text; this user's
+	// text is appended, so the final content records the save order.
+	tab.TypeText(text)
+	for _, d := range doc.Root().ElementsByTag("div") {
+		if strings.TrimSpace(d.TextContent()) == "Save" {
+			sx, sy := tab.Layout().Center(d)
+			tab.Click(sx, sy)
+			break
+		}
+	}
+	return rec.Trace()
+}
+
+// TestSingleUserPerspectiveLimitation reproduces the §IV-D limitation:
+// "WaRR offers a single user's perspective ... the traces do not
+// contain the timing dependencies between various users' actions."
+//
+// Two users edit the same Google Sites page in one shared environment;
+// the final page content is decided by who saved last. Each user's
+// trace is individually complete, but nothing in either trace records
+// the cross-user ordering — so replaying the two traces in the two
+// possible orders produces different final states, and a developer
+// cannot tell from the traces alone which one the users actually saw.
+func TestSingleUserPerspectiveLimitation(t *testing.T) {
+	// Live session: Alice saves, then Bob (whose editor was seeded with
+	// Alice's text) appends and saves.
+	live := apps.NewEnv(browser.UserMode)
+	aliceTrace := editAs(t, live, "+alice")
+	bobTrace := editAs(t, live, "+bob")
+	if got := live.Sites.PageContent("home"); got != "+alice+bob" {
+		t.Fatalf("live content = %q, want %q", got, "+alice+bob")
+	}
+
+	// Neither trace mentions the other user in any way.
+	for _, tr := range []command.Trace{aliceTrace, bobTrace} {
+		text := tr.Text()
+		if strings.Contains(text, "alice") && strings.Contains(text, "bob") {
+			t.Fatal("a single-user trace should not contain both users' actions")
+		}
+	}
+
+	// Replaying in either order is internally consistent — and the two
+	// orders disagree, which is exactly the missing information.
+	replayBoth := func(first, second command.Trace) string {
+		env := apps.NewEnv(browser.DeveloperMode)
+		for _, tr := range []command.Trace{first, second} {
+			r := replayer.New(env.Browser, replayer.Options{})
+			res, _, err := r.Replay(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete() {
+				t.Fatalf("replay incomplete: %+v", res.Steps)
+			}
+		}
+		return env.Sites.PageContent("home")
+	}
+	ab := replayBoth(aliceTrace, bobTrace)
+	ba := replayBoth(bobTrace, aliceTrace)
+	if ab == ba {
+		t.Fatalf("both interleavings converge to %q; expected order-dependent outcomes", ab)
+	}
+	if ab != "+alice+bob" || ba != "+bob+alice" {
+		t.Errorf("interleavings: a-then-b=%q, b-then-a=%q", ab, ba)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// PerceptionThreshold is the 100 ms human perception threshold the §VI
+// experiment compares the recorder's overhead against.
+const PerceptionThreshold = 100 * time.Millisecond
+
+// OverheadResult is the §VI measurement: the wall-clock time the WaRR
+// Recorder spends logging each user action while an email is composed in
+// GMail.
+type OverheadResult struct {
+	Actions         int
+	TotalLogging    time.Duration
+	PerAction       time.Duration
+	BelowPerception bool
+}
+
+// Overhead regenerates the §VI experiment: "We run an experiment,
+// consisting of writing an email in GMail, to compute the time required
+// by the WaRR Recorder to log each user action."
+func Overhead() (OverheadResult, error) {
+	rec, err := RecordScenario(apps.ComposeEmailScenario())
+	if err != nil {
+		return OverheadResult{}, err
+	}
+	s := rec.Stats
+	return OverheadResult{
+		Actions:         s.Actions,
+		TotalLogging:    s.LoggingTime,
+		PerAction:       s.PerAction(),
+		BelowPerception: s.PerAction() < PerceptionThreshold,
+	}, nil
+}
+
+// FormatOverhead renders the measurement.
+func FormatOverhead(r OverheadResult) string {
+	return fmt.Sprintf(
+		"Recorder overhead (compose email in GMail):\n"+
+			"  actions logged:   %d\n"+
+			"  total logging:    %s\n"+
+			"  per action:       %s\n"+
+			"  below 100 ms human perception threshold: %v\n",
+		r.Actions, r.TotalLogging, r.PerAction, r.BelowPerception)
+}
+
+// SitesBugResult is the §V-C case study outcome.
+type SitesBugResult struct {
+	// Report is the WebErr timing campaign's report.
+	Report *weberr.Report
+	// BugFound is true when the uninitialized-variable TypeError was
+	// observed under an injected timing error.
+	BugFound bool
+	// Signal is the console error that exposed the bug.
+	Signal string
+}
+
+// SitesBug regenerates the §V-C case study: WebErr injects timing errors
+// into the recorded edit-site session; the impatient-user replay makes
+// Google Sites "use an uninitialized JavaScript variable, an obvious
+// bug."
+func SitesBug() (SitesBugResult, error) {
+	rec, err := RecordScenario(apps.EditSiteScenario())
+	if err != nil {
+		return SitesBugResult{}, err
+	}
+	rep := weberr.RunTimingCampaign(func() *browser.Browser {
+		return apps.NewEnv(browser.DeveloperMode).Browser
+	}, rec.Trace, weberr.CampaignOptions{})
+
+	out := SitesBugResult{Report: rep}
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Observed.Error(), "TypeError") {
+			out.BugFound = true
+			out.Signal = f.Observed.Error()
+			break
+		}
+	}
+	return out, nil
+}
+
+// FormatSitesBug renders the case study outcome.
+func FormatSitesBug(r SitesBugResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Google Sites timing-error case study (§V-C):\n")
+	fmt.Fprintf(&b, "  erroneous traces generated: %d\n", r.Report.Generated)
+	fmt.Fprintf(&b, "  findings: %d\n", len(r.Report.Findings))
+	fmt.Fprintf(&b, "  uninitialized-variable bug found: %v\n", r.BugFound)
+	if r.BugFound {
+		fmt.Fprintf(&b, "  signal: %s\n", r.Signal)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/baseline"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Completeness is a Table II cell: C (complete) or P (partial).
+type Completeness bool
+
+// Completeness values.
+const (
+	Complete Completeness = true
+	Partial  Completeness = false
+)
+
+func (c Completeness) String() string {
+	if c {
+		return "C"
+	}
+	return "P"
+}
+
+// Table2Row is one row of Table II: the completeness of recording user
+// actions with the WaRR Recorder and with the Selenium-IDE-style
+// baseline, for one application scenario.
+type Table2Row struct {
+	App      string
+	Scenario string
+	WaRR     Completeness
+	Selenium Completeness
+}
+
+// Table2 regenerates Table II. Each scenario is performed once in a
+// fresh environment with BOTH recorders attached — WaRR at the engine
+// layer, the baseline at the page layer — so they observe the same
+// session. A recorder's trace is judged Complete when replaying it in a
+// brand-new environment reproduces the session's observable effect
+// (the scenario's oracle passes).
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, sc := range apps.TableIIScenarios() {
+		row, err := table2Row(sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2Row(sc apps.Scenario) (Table2Row, error) {
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		return Table2Row{}, err
+	}
+	warr := core.New(env.Clock)
+	warr.Attach(tab)
+	sel := baseline.NewSeleniumIDE()
+	sel.Attach(tab)
+
+	if err := sc.Run(env, tab); err != nil {
+		return Table2Row{}, err
+	}
+	if err := sc.Verify(env, tab); err != nil {
+		return Table2Row{}, fmt.Errorf("live session failed: %w", err)
+	}
+
+	row := Table2Row{App: sc.App, Scenario: sc.Name}
+
+	// WaRR: replay through the developer-mode browser.
+	res, replayEnv, replayTab, err := ReplayTrace(warr.Trace(), browser.DeveloperMode, replayer.Options{})
+	if err != nil {
+		return Table2Row{}, err
+	}
+	row.WaRR = Completeness(res.Complete() && sc.Verify(replayEnv, replayTab) == nil)
+
+	// Baseline: replay the Selenese script with the Selenium-IDE player.
+	selEnv := apps.NewEnv(browser.UserMode)
+	_, selTab, err := baseline.Replay(selEnv.Browser, sel.Script())
+	if err != nil {
+		return Table2Row{}, err
+	}
+	row.Selenium = Completeness(sc.Verify(selEnv, selTab) == nil)
+
+	return row, nil
+}
+
+// FormatTable2 renders the rows the way the paper presents them.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II: completeness of recording user actions (C=complete, P=partial)\n")
+	fmt.Fprintf(&b, "%-14s %-18s %-14s %s\n", "Application", "Scenario", "WaRR Recorder", "Selenium IDE")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-18s %-14s %s\n", r.App, r.Scenario, r.WaRR, r.Selenium)
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package htmlparse
+
+import (
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// autoClose maps a tag to the set of open tags it implicitly closes when
+// it starts. This covers the recovery cases real pages depend on.
+var autoClose = map[string][]string{
+	"li":    {"li"},
+	"p":     {"p"},
+	"td":    {"td", "th"},
+	"th":    {"td", "th"},
+	"tr":    {"tr", "td", "th"},
+	"thead": {"tr", "td", "th"},
+	"tbody": {"tr", "td", "th", "thead"},
+	"option": {
+		"option",
+	},
+}
+
+// headOnly tags belong in <head>; everything else forces <body>.
+var headOnly = map[string]bool{
+	"title": true, "meta": true, "link": true, "base": true,
+	"style": true, "script": true,
+}
+
+// Parse parses HTML source into a Document. It never fails: malformed
+// input produces a best-effort tree, as in a real browser.
+func Parse(src, url string) *dom.Document {
+	p := &parser{z: NewTokenizer(src)}
+	p.run()
+	return dom.WrapDocument(p.doc, url)
+}
+
+// ParseFragment parses src as a sequence of nodes without the implicit
+// html/head/body skeleton. It is used for innerHTML-style assignment from
+// scripts.
+func ParseFragment(src string) []*dom.Node {
+	root := dom.NewElement("#fragment")
+	p := &parser{fragment: root}
+	p.z = NewTokenizer(src)
+	p.stack = []*dom.Node{root}
+	for {
+		tok, ok := p.z.Next()
+		if !ok {
+			break
+		}
+		p.fragmentToken(tok)
+	}
+	return root.Children()
+}
+
+type parser struct {
+	z        *Tokenizer
+	doc      *dom.Node
+	html     *dom.Node
+	head     *dom.Node
+	body     *dom.Node
+	stack    []*dom.Node // open elements; stack[0] is html or fragment root
+	inHead   bool
+	fragment *dom.Node
+}
+
+func (p *parser) run() {
+	p.doc = dom.NewDocumentNode()
+	p.html = dom.NewElement("html")
+	p.head = dom.NewElement("head")
+	p.body = dom.NewElement("body")
+	p.doc.AppendChild(p.html)
+	p.html.AppendChild(p.head)
+	p.html.AppendChild(p.body)
+	p.stack = []*dom.Node{p.body}
+	p.inHead = true
+
+	for {
+		tok, ok := p.z.Next()
+		if !ok {
+			return
+		}
+		p.token(tok)
+	}
+}
+
+func (p *parser) top() *dom.Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) token(tok Token) {
+	switch tok.Type {
+	case DoctypeToken:
+		// Recorded for completeness; the simulated browser renders in a
+		// single mode, so the doctype carries no behaviour.
+	case CommentToken:
+		p.top().AppendChild(dom.NewComment(tok.Data))
+	case TextToken:
+		p.textToken(tok)
+	case StartTagToken, SelfClosingTagToken:
+		p.startToken(tok)
+	case EndTagToken:
+		p.endToken(tok)
+	}
+}
+
+func (p *parser) textToken(tok Token) {
+	if strings.TrimSpace(tok.Data) == "" && p.top() == p.body && p.body.NumChildren() == 0 {
+		return // drop leading whitespace before any body content
+	}
+	p.top().AppendChild(dom.NewText(tok.Data))
+}
+
+func (p *parser) startToken(tok Token) {
+	name := tok.Data
+	switch name {
+	case "html":
+		for _, a := range tok.Attrs {
+			p.html.SetAttr(a.Name, a.Value)
+		}
+		return
+	case "head":
+		p.inHead = true
+		return
+	case "body":
+		p.inHead = false
+		for _, a := range tok.Attrs {
+			p.body.SetAttr(a.Name, a.Value)
+		}
+		return
+	}
+
+	el := dom.NewElement(name)
+	for _, a := range tok.Attrs {
+		el.SetAttr(a.Name, a.Value)
+	}
+
+	parent := p.top()
+	if p.inHead && headOnly[name] && parent == p.body {
+		p.head.AppendChild(el)
+	} else {
+		p.inHead = false
+		p.closeImplied(name)
+		p.top().AppendChild(el)
+	}
+
+	if tok.Type == StartTagToken && !dom.IsVoidElement(name) {
+		p.stack = append(p.stack, el)
+	}
+}
+
+// closeImplied pops open elements that the incoming tag auto-closes.
+func (p *parser) closeImplied(name string) {
+	closers, ok := autoClose[name]
+	if !ok {
+		return
+	}
+	for len(p.stack) > 1 {
+		t := p.top().Tag
+		closed := false
+		for _, c := range closers {
+			if t == c {
+				p.stack = p.stack[:len(p.stack)-1]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return
+		}
+	}
+}
+
+func (p *parser) endToken(tok Token) {
+	name := tok.Data
+	if name == "html" || name == "body" || name == "head" {
+		p.inHead = false
+		return
+	}
+	// Pop to the nearest matching open element; ignore stray end tags.
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		if p.stack[i].Tag == name {
+			p.stack = p.stack[:i]
+			return
+		}
+	}
+}
+
+func (p *parser) fragmentToken(tok Token) {
+	switch tok.Type {
+	case DoctypeToken:
+	case CommentToken:
+		p.top().AppendChild(dom.NewComment(tok.Data))
+	case TextToken:
+		p.top().AppendChild(dom.NewText(tok.Data))
+	case StartTagToken, SelfClosingTagToken:
+		el := dom.NewElement(tok.Data)
+		for _, a := range tok.Attrs {
+			el.SetAttr(a.Name, a.Value)
+		}
+		p.closeImplied(tok.Data)
+		p.top().AppendChild(el)
+		if tok.Type == StartTagToken && !dom.IsVoidElement(tok.Data) {
+			p.stack = append(p.stack, el)
+		}
+	case EndTagToken:
+		for i := len(p.stack) - 1; i >= 1; i-- {
+			if p.stack[i].Tag == tok.Data {
+				p.stack = p.stack[:i]
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+func TestParseBasicDocument(t *testing.T) {
+	d := Parse(`<html><head><title>T</title></head><body><div id="x">hi</div></body></html>`, "u")
+	if d.Title() != "T" {
+		t.Errorf("Title = %q", d.Title())
+	}
+	el := d.GetElementByID("x")
+	if el == nil || el.TextContent() != "hi" {
+		t.Fatalf("div#x missing or wrong text")
+	}
+	if d.URL != "u" {
+		t.Errorf("URL = %q", d.URL)
+	}
+}
+
+func TestImplicitSkeleton(t *testing.T) {
+	d := Parse(`<div>loose</div>`, "u")
+	if d.DocumentElement() == nil || d.Head() == nil || d.Body() == nil {
+		t.Fatal("skeleton not synthesized")
+	}
+	if got := d.Body().TextContent(); got != "loose" {
+		t.Fatalf("body text = %q", got)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	d := Parse(`<input type="text" id=q disabled value='a b'>`, "u")
+	in := d.GetElementByID("q")
+	if in == nil {
+		t.Fatal("input not found")
+	}
+	if v, _ := in.Attr("type"); v != "text" {
+		t.Errorf("type = %q", v)
+	}
+	if v, _ := in.Attr("value"); v != "a b" {
+		t.Errorf("value = %q", v)
+	}
+	if !in.HasAttr("disabled") {
+		t.Error("boolean attribute lost")
+	}
+}
+
+func TestVoidElements(t *testing.T) {
+	d := Parse(`<div><br><img src="a.png"><span>after</span></div>`, "u")
+	div := d.Body().FirstChild()
+	if div.NumChildren() != 3 {
+		t.Fatalf("children = %d, want 3 (void elements must not nest)", div.NumChildren())
+	}
+}
+
+func TestSelfClosingTag(t *testing.T) {
+	d := Parse(`<div><span/><b>x</b></div>`, "u")
+	div := d.Body().FirstChild()
+	spans := div.ElementsByTag("span")
+	if len(spans) != 1 || spans[0].NumChildren() != 0 {
+		t.Fatal("self-closing span mishandled")
+	}
+	if len(div.ElementsByTag("b")) != 1 {
+		t.Fatal("element after self-closing tag lost")
+	}
+}
+
+func TestScriptRawText(t *testing.T) {
+	src := `<script>if (a < b && c > d) { x = "</div>"; }</script>`
+	// Note: a real tokenizer stops raw text at "</script" only.
+	d := Parse(`<html><head>`+src+`</head><body></body></html>`, "u")
+	scripts := d.Root().ElementsByTag("script")
+	if len(scripts) != 1 {
+		t.Fatalf("scripts = %d, want 1", len(scripts))
+	}
+	got := scripts[0].TextContent()
+	if !strings.Contains(got, "a < b && c > d") || !strings.Contains(got, "</div>") {
+		t.Fatalf("script text = %q", got)
+	}
+}
+
+func TestHeadElementsGoToHead(t *testing.T) {
+	d := Parse(`<title>T</title><meta charset="utf8"><div>body stuff</div>`, "u")
+	if len(d.Head().ElementsByTag("title")) != 1 {
+		t.Error("title not in head")
+	}
+	if len(d.Head().ElementsByTag("meta")) != 1 {
+		t.Error("meta not in head")
+	}
+	if len(d.Body().ElementsByTag("div")) != 1 {
+		t.Error("div not in body")
+	}
+}
+
+func TestAutoCloseLi(t *testing.T) {
+	d := Parse(`<ul><li>one<li>two<li>three</ul>`, "u")
+	lis := d.Root().ElementsByTag("li")
+	if len(lis) != 3 {
+		t.Fatalf("li count = %d, want 3", len(lis))
+	}
+	for _, li := range lis {
+		if len(li.ElementsByTag("li")) != 0 {
+			t.Fatal("li elements nested instead of siblings")
+		}
+	}
+}
+
+func TestAutoCloseTableCells(t *testing.T) {
+	d := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`, "u")
+	if got := len(d.Root().ElementsByTag("tr")); got != 2 {
+		t.Fatalf("tr count = %d, want 2", got)
+	}
+	if got := len(d.Root().ElementsByTag("td")); got != 3 {
+		t.Fatalf("td count = %d, want 3", got)
+	}
+}
+
+func TestStrayEndTagIgnored(t *testing.T) {
+	d := Parse(`<div>a</span>b</div>`, "u")
+	if got := d.Body().TextContent(); got != "ab" {
+		t.Fatalf("text = %q, want ab", got)
+	}
+}
+
+func TestUnclosedElements(t *testing.T) {
+	d := Parse(`<div><span>never closed`, "u")
+	span := d.Root().ElementsByTag("span")
+	if len(span) != 1 || span[0].TextContent() != "never closed" {
+		t.Fatal("unclosed elements mishandled")
+	}
+}
+
+func TestComments(t *testing.T) {
+	d := Parse(`<div><!-- hidden --></div>`, "u")
+	div := d.Body().FirstChild()
+	if div.NumChildren() != 1 || div.FirstChild().Type != dom.CommentNode {
+		t.Fatal("comment not parsed")
+	}
+	if div.FirstChild().Data != " hidden " {
+		t.Fatalf("comment body = %q", div.FirstChild().Data)
+	}
+}
+
+func TestDoctypeSkipped(t *testing.T) {
+	d := Parse("<!DOCTYPE html><html><body>x</body></html>", "u")
+	if got := d.Body().TextContent(); got != "x" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	d := Parse(`<div title="a&quot;b">1 &lt; 2 &amp;&amp; 3 &gt; 2&#33; &#x41;</div>`, "u")
+	div := d.Body().FirstChild()
+	if got := div.TextContent(); got != "1 < 2 && 3 > 2! A" {
+		t.Fatalf("text = %q", got)
+	}
+	if got, _ := div.Attr("title"); got != `a"b` {
+		t.Fatalf("title = %q", got)
+	}
+}
+
+func TestBareAmpersandLiteral(t *testing.T) {
+	d := Parse(`<div>fish & chips</div>`, "u")
+	if got := d.Body().TextContent(); got != "fish & chips" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestLoneLessThanIsText(t *testing.T) {
+	d := Parse(`<div>a < b</div>`, "u")
+	if got := d.Body().TextContent(); got != "a < b" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestNestedStructure(t *testing.T) {
+	d := Parse(`<table><tr><td><div id="content">cell</div></td></tr></table>`, "u")
+	el := d.GetElementByID("content")
+	if el == nil {
+		t.Fatal("nested element not found")
+	}
+	if el.Parent().Tag != "td" {
+		t.Fatalf("parent = %q, want td", el.Parent().Tag)
+	}
+}
+
+func TestParseFragment(t *testing.T) {
+	nodes := ParseFragment(`<span id="a">x</span><b>y</b>`)
+	if len(nodes) != 2 {
+		t.Fatalf("fragment nodes = %d, want 2", len(nodes))
+	}
+	if nodes[0].Tag != "span" || nodes[1].Tag != "b" {
+		t.Fatalf("tags = %s,%s", nodes[0].Tag, nodes[1].Tag)
+	}
+}
+
+func TestParseFragmentText(t *testing.T) {
+	nodes := ParseFragment(`just text`)
+	if len(nodes) != 1 || nodes[0].Type != dom.TextNode {
+		t.Fatal("text fragment mishandled")
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	types := []TokenType{TextToken, StartTagToken, EndTagToken, SelfClosingTagToken, CommentToken, DoctypeToken, TokenType(0)}
+	for _, tt := range types {
+		if tt.String() == "" {
+			t.Errorf("empty String for %d", tt)
+		}
+	}
+}
+
+func TestMalformedAttributeRecovers(t *testing.T) {
+	d := Parse(`<div ="oops" id="ok">x</div>`, "u")
+	if d.GetElementByID("ok") == nil {
+		t.Fatal("parser did not recover from malformed attribute")
+	}
+}
+
+// Property: parse→serialize→parse is a fixpoint (serialization of the
+// reparsed tree equals the first serialization).
+func TestParseSerializeFixpoint(t *testing.T) {
+	f := func(texts []string) bool {
+		var b strings.Builder
+		b.WriteString("<div id=\"root\">")
+		for i, s := range texts {
+			if i%2 == 0 {
+				b.WriteString("<span>")
+				b.WriteString(dom.EscapeText(s))
+				b.WriteString("</span>")
+			} else {
+				b.WriteString(dom.EscapeText(s))
+			}
+		}
+		b.WriteString("</div>")
+		d1 := Parse(b.String(), "u")
+		h1 := d1.HTML()
+		d2 := Parse(h1, "u")
+		return d2.HTML() == h1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary input.
+func TestParserRobustness(t *testing.T) {
+	f := func(src string) bool {
+		_ = Parse(src, "u")
+		_ = ParseFragment(src)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserRobustnessCorpus(t *testing.T) {
+	corpus := []string{
+		"", "<", "<>", "</", "</>", "<!", "<!--", "<!-- unterminated",
+		"<div", `<div id="unterminated`, "<div id=>", "&", "&amp", "&#;",
+		"&#x;", "&#xZZ;", "<script>never closed", "<<<>>>", "</////>",
+		"<a <b <c>", "text&#1114112;more", // out-of-range code point
+	}
+	for _, src := range corpus {
+		_ = Parse(src, "u") // must not panic
+	}
+}

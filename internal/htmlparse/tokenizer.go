@@ -1,0 +1,393 @@
+// Package htmlparse implements an HTML tokenizer and tree builder that
+// produce dom trees. It is the reproduction's stand-in for WebKit's HTML
+// parser: the WaRR Recorder's key advantage over proxy-based tools is that
+// it sees "the actual HTML code that will be rendered, after code has been
+// dynamically loaded" (paper §I) — which requires the browser substrate to
+// parse server responses into live DOM trees.
+//
+// The parser handles the constructs the simulated applications use:
+// doctype, comments, quoted/unquoted attributes, void elements, raw-text
+// elements (script/style), character references, and light error recovery
+// (implicit html/head/body, auto-closing li/p/td/tr, ignoring stray end
+// tags).
+package htmlparse
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenType identifies a lexical token in an HTML byte stream.
+type TokenType int
+
+// Token types.
+const (
+	TextToken TokenType = iota + 1
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TextToken:
+		return "text"
+	case StartTagToken:
+		return "start-tag"
+	case EndTagToken:
+		return "end-tag"
+	case SelfClosingTagToken:
+		return "self-closing-tag"
+	case CommentToken:
+		return "comment"
+	case DoctypeToken:
+		return "doctype"
+	default:
+		return "unknown"
+	}
+}
+
+// TokenAttr is an attribute on a start tag, in source order.
+type TokenAttr struct {
+	Name  string
+	Value string
+}
+
+// Token is one lexical token.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name (lowercased), text content, or comment body
+	Attrs []TokenAttr
+}
+
+// Tokenizer splits an HTML string into tokens.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, means the tokenizer is inside a raw-text
+	// element (script/style) and consumes text until the matching end tag.
+	rawTag string
+}
+
+// NewTokenizer returns a tokenizer over src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token and whether one was produced (false at EOF).
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.rawTag != "" {
+		return z.rawText(), true
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.tag(); ok {
+			return tok, true
+		}
+		// A lone '<' that does not open a valid tag is literal text.
+	}
+	return z.text(), true
+}
+
+func (z *Tokenizer) rawText() Token {
+	closer := "</" + z.rawTag
+	rest := z.src[z.pos:]
+	idx := indexFold(rest, closer)
+	if idx < 0 {
+		z.pos = len(z.src)
+		tag := z.rawTag
+		z.rawTag = ""
+		_ = tag
+		return Token{Type: TextToken, Data: rest}
+	}
+	text := rest[:idx]
+	z.pos += idx
+	z.rawTag = ""
+	if text == "" {
+		// Empty raw text: fall through to the end tag immediately.
+		tok, _ := z.Next()
+		return tok
+	}
+	return Token{Type: TextToken, Data: text}
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(s, needle string) int {
+	n := len(needle)
+	for i := 0; i+n <= len(s); i++ {
+		if strings.EqualFold(s[i:i+n], needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (z *Tokenizer) text() Token {
+	start := z.pos
+	for z.pos < len(z.src) {
+		if z.src[z.pos] == '<' && z.looksLikeTag(z.pos) {
+			break
+		}
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: unescape(z.src[start:z.pos])}
+}
+
+// looksLikeTag reports whether the '<' at index i plausibly starts markup.
+func (z *Tokenizer) looksLikeTag(i int) bool {
+	if i+1 >= len(z.src) {
+		return false
+	}
+	c := z.src[i+1]
+	return c == '/' || c == '!' || c == '?' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (z *Tokenizer) tag() (Token, bool) {
+	if !z.looksLikeTag(z.pos) {
+		return Token{}, false
+	}
+	rest := z.src[z.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return z.comment(), true
+	case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+		return z.doctype(), true
+	case strings.HasPrefix(rest, "</"):
+		return z.endTag(), true
+	default:
+		return z.startTag(), true
+	}
+}
+
+func (z *Tokenizer) comment() Token {
+	z.pos += len("<!--")
+	end := strings.Index(z.src[z.pos:], "-->")
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end]
+		z.pos += end + len("-->")
+	}
+	return Token{Type: CommentToken, Data: body}
+}
+
+func (z *Tokenizer) doctype() Token {
+	z.pos += 2 // consume "<!" or "<?"
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end]
+		z.pos += end + 1
+	}
+	return Token{Type: DoctypeToken, Data: strings.TrimSpace(body)}
+}
+
+func (z *Tokenizer) endTag() Token {
+	z.pos += 2 // consume "</"
+	name := z.tagName()
+	// Skip anything up to '>'.
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++ // consume '>'
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+func (z *Tokenizer) startTag() Token {
+	z.pos++ // consume '<'
+	name := z.tagName()
+	tok := Token{Type: StartTagToken, Data: name}
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			break
+		}
+		c := z.src[z.pos]
+		if c == '>' {
+			z.pos++
+			break
+		}
+		if c == '/' {
+			z.pos++
+			z.skipSpace()
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				tok.Type = SelfClosingTagToken
+			}
+			break
+		}
+		attr, ok := z.attribute()
+		if !ok {
+			break
+		}
+		tok.Attrs = append(tok.Attrs, attr)
+	}
+	if tok.Type == StartTagToken && (name == "script" || name == "style") {
+		z.rawTag = name
+	}
+	return tok
+}
+
+func (z *Tokenizer) tagName() string {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' || c == '/' {
+			break
+		}
+		z.pos++
+	}
+	return strings.ToLower(z.src[start:z.pos])
+}
+
+func (z *Tokenizer) skipSpace() {
+	for z.pos < len(z.src) && unicode.IsSpace(rune(z.src[z.pos])) {
+		z.pos++
+	}
+}
+
+func (z *Tokenizer) attribute() (TokenAttr, bool) {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '=' || c == '>' || c == '/' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		z.pos++
+	}
+	name := strings.ToLower(z.src[start:z.pos])
+	if name == "" {
+		// Malformed input such as "<div ="x">"; skip one byte to make
+		// progress and drop the pseudo-attribute.
+		z.pos++
+		return TokenAttr{}, z.pos < len(z.src)
+	}
+	attr := TokenAttr{Name: name}
+	z.skipSpace()
+	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
+		return attr, true // boolean attribute
+	}
+	z.pos++ // consume '='
+	z.skipSpace()
+	if z.pos >= len(z.src) {
+		return attr, true
+	}
+	switch q := z.src[z.pos]; q {
+	case '"', '\'':
+		z.pos++
+		vstart := z.pos
+		for z.pos < len(z.src) && z.src[z.pos] != q {
+			z.pos++
+		}
+		attr.Value = unescape(z.src[vstart:z.pos])
+		if z.pos < len(z.src) {
+			z.pos++ // consume closing quote
+		}
+	default:
+		vstart := z.pos
+		for z.pos < len(z.src) {
+			c := z.src[z.pos]
+			if c == '>' || unicode.IsSpace(rune(c)) {
+				break
+			}
+			z.pos++
+		}
+		attr.Value = unescape(z.src[vstart:z.pos])
+	}
+	return attr, true
+}
+
+// unescape resolves the named and numeric character references the
+// simulated applications use.
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		ref := s[i+1 : i+semi]
+		repl, ok := namedRef(ref)
+		if !ok {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		b.WriteString(repl)
+		i += semi + 1
+	}
+	return b.String()
+}
+
+func namedRef(ref string) (string, bool) {
+	switch ref {
+	case "amp":
+		return "&", true
+	case "lt":
+		return "<", true
+	case "gt":
+		return ">", true
+	case "quot":
+		return `"`, true
+	case "apos":
+		return "'", true
+	case "nbsp":
+		return " ", true
+	}
+	if strings.HasPrefix(ref, "#") {
+		return numericRef(ref[1:])
+	}
+	return "", false
+}
+
+func numericRef(digits string) (string, bool) {
+	base := 10
+	if strings.HasPrefix(digits, "x") || strings.HasPrefix(digits, "X") {
+		base = 16
+		digits = digits[1:]
+	}
+	if digits == "" {
+		return "", false
+	}
+	var n int
+	for _, r := range digits {
+		var d int
+		switch {
+		case r >= '0' && r <= '9':
+			d = int(r - '0')
+		case base == 16 && r >= 'a' && r <= 'f':
+			d = int(r-'a') + 10
+		case base == 16 && r >= 'A' && r <= 'F':
+			d = int(r-'A') + 10
+		default:
+			return "", false
+		}
+		n = n*base + d
+		if n > 0x10FFFF {
+			return "", false
+		}
+	}
+	return string(rune(n)), true
+}

@@ -1,0 +1,252 @@
+// Package humanerr implements the human-error models WebErr injects into
+// WaRR traces (paper §V). It follows the error taxonomy the paper adopts
+// from human-factors studies [30], [31]: navigation errors (typos,
+// forgetting, reordering, and substitution of steps) and timing errors
+// (interacting with an application "at a bad time").
+//
+// This package provides the primitive error operators; the weberr package
+// applies them through the interaction grammar.
+package humanerr
+
+import (
+	"math/rand"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/command"
+)
+
+// TypoKind enumerates the single-keystroke typo models.
+type TypoKind int
+
+// Typo kinds.
+const (
+	// Substitution replaces a character with a keyboard-adjacent one
+	// (fat-finger model).
+	Substitution TypoKind = iota + 1
+	// Omission drops a character.
+	Omission
+	// Insertion inserts a keyboard-adjacent character.
+	Insertion
+	// Transposition swaps two adjacent characters. Note its Levenshtein
+	// distance is 2, which is why distance-1 correctors miss it.
+	Transposition
+)
+
+func (k TypoKind) String() string {
+	switch k {
+	case Substitution:
+		return "substitution"
+	case Omission:
+		return "omission"
+	case Insertion:
+		return "insertion"
+	case Transposition:
+		return "transposition"
+	default:
+		return "unknown"
+	}
+}
+
+// typoMix is the sampling distribution over typo kinds. Transpositions
+// are the most common typing slip in transcription studies, and the mix
+// determines the Table I spread between distance-1 and distance-2
+// correctors.
+var typoMix = []struct {
+	kind   TypoKind
+	weight int
+}{
+	{Substitution, 30},
+	{Omission, 20},
+	{Insertion, 10},
+	{Transposition, 40},
+}
+
+// SampleTypoKind draws a typo kind from the mix.
+func SampleTypoKind(rng *rand.Rand) TypoKind {
+	total := 0
+	for _, m := range typoMix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range typoMix {
+		if n < m.weight {
+			return m.kind
+		}
+		n -= m.weight
+	}
+	return Substitution
+}
+
+// keyboardRows model a US QWERTY layout for adjacency.
+var keyboardRows = []string{
+	"qwertyuiop",
+	"asdfghjkl",
+	"zxcvbnm",
+}
+
+// AdjacentKey returns a key physically adjacent to ch on a QWERTY
+// keyboard (deterministic given the rng).
+func AdjacentKey(rng *rand.Rand, ch byte) byte {
+	for r, row := range keyboardRows {
+		i := strings.IndexByte(row, ch)
+		if i < 0 {
+			continue
+		}
+		var neighbors []byte
+		if i > 0 {
+			neighbors = append(neighbors, row[i-1])
+		}
+		if i < len(row)-1 {
+			neighbors = append(neighbors, row[i+1])
+		}
+		if r > 0 && i < len(keyboardRows[r-1]) {
+			neighbors = append(neighbors, keyboardRows[r-1][i])
+		}
+		if r < len(keyboardRows)-1 && i < len(keyboardRows[r+1]) {
+			neighbors = append(neighbors, keyboardRows[r+1][i])
+		}
+		if len(neighbors) == 0 {
+			break
+		}
+		return neighbors[rng.Intn(len(neighbors))]
+	}
+	// Non-letter characters degrade to a fixed slip.
+	return 'x'
+}
+
+// InjectTypoWord applies a typo of the given kind to word at a
+// deterministic position drawn from rng. Words shorter than 3 characters
+// are returned unchanged (users rarely mistype them, and typos in them
+// are not correctable even in principle).
+func InjectTypoWord(rng *rand.Rand, word string, kind TypoKind) string {
+	if len(word) < 3 {
+		return word
+	}
+	// Keep the first character intact: first-letter typos are rare and
+	// disproportionately hard to correct.
+	pos := 1 + rng.Intn(len(word)-1)
+	switch kind {
+	case Substitution:
+		return word[:pos] + string(AdjacentKey(rng, word[pos])) + word[pos+1:]
+	case Omission:
+		return word[:pos] + word[pos+1:]
+	case Insertion:
+		return word[:pos] + string(AdjacentKey(rng, word[pos])) + word[pos:]
+	case Transposition:
+		if pos == len(word)-1 {
+			pos--
+		}
+		if pos < 1 {
+			return word
+		}
+		b := []byte(word)
+		b[pos], b[pos+1] = b[pos+1], b[pos]
+		return string(b)
+	default:
+		return word
+	}
+}
+
+// TypoQuery is a query with one injected typo.
+type TypoQuery struct {
+	Original string
+	Typoed   string
+	Kind     TypoKind
+	// Word is the index of the mistyped word.
+	Word int
+}
+
+// InjectTypoQuery injects one typo into the longest word of the query
+// (ties break toward the earliest), drawing the typo kind from the mix.
+// Long words carry the query's meaning, so that is where a typo both
+// plausibly lands and measurably matters.
+func InjectTypoQuery(rng *rand.Rand, query string) TypoQuery {
+	words := strings.Fields(query)
+	target := 0
+	for i, w := range words {
+		if len(w) > len(words[target]) {
+			target = i
+		}
+	}
+	kind := SampleTypoKind(rng)
+	typoed := InjectTypoWord(rng, words[target], kind)
+	// Guarantee the query actually changed; retry with a substitution if
+	// the operator degenerated (e.g. transposition of equal letters).
+	if typoed == words[target] {
+		kind = Substitution
+		typoed = InjectTypoWord(rng, words[target], kind)
+	}
+	out := append([]string(nil), words...)
+	out[target] = typoed
+	return TypoQuery{
+		Original: query,
+		Typoed:   strings.Join(out, " "),
+		Kind:     kind,
+		Word:     target,
+	}
+}
+
+// ---- trace-level timing errors (paper §V-B) ----
+
+// StripDelays returns a copy of the trace with every elapsed field set to
+// zero — the "impatient user" stress mode: commands replay with no wait
+// time.
+func StripDelays(tr command.Trace) command.Trace {
+	out := tr.Clone()
+	for i := range out.Commands {
+		out.Commands[i].Elapsed = 0
+	}
+	return out
+}
+
+// ScaleDelays multiplies every elapsed field by factor (rounded down),
+// modeling users who act faster (factor < 1) or slower (factor > 1).
+func ScaleDelays(tr command.Trace, factor float64) command.Trace {
+	out := tr.Clone()
+	for i := range out.Commands {
+		out.Commands[i].Elapsed = int(float64(out.Commands[i].Elapsed) * factor)
+	}
+	return out
+}
+
+// TypoTrace rewrites the typed text of a trace: the sequence of type
+// commands targeting the same element has one keystroke perturbed
+// according to the typo model. It returns the modified trace and whether
+// a typo was injected.
+func TypoTrace(rng *rand.Rand, tr command.Trace) (command.Trace, bool) {
+	out := tr.Clone()
+	// Collect indices of printable type commands.
+	var typed []int
+	for i, c := range out.Commands {
+		if c.Action == command.Type && len(c.Key) == 1 {
+			typed = append(typed, i)
+		}
+	}
+	if len(typed) < 3 {
+		return out, false
+	}
+	kind := SampleTypoKind(rng)
+	pos := 1 + rng.Intn(len(typed)-1)
+	switch kind {
+	case Substitution:
+		i := typed[pos]
+		adj := AdjacentKey(rng, out.Commands[i].Key[0])
+		out.Commands[i].Key = string(adj)
+		out.Commands[i].Code = int(adj &^ 0x20) // uppercase ASCII as key code
+	case Omission:
+		i := typed[pos]
+		out.Commands = append(out.Commands[:i], out.Commands[i+1:]...)
+	case Insertion:
+		i := typed[pos]
+		dup := out.Commands[i]
+		out.Commands = append(out.Commands[:i+1], append([]command.Command{dup}, out.Commands[i+1:]...)...)
+	case Transposition:
+		if pos == len(typed)-1 {
+			pos--
+		}
+		i, j := typed[pos], typed[pos+1]
+		out.Commands[i].Key, out.Commands[j].Key = out.Commands[j].Key, out.Commands[i].Key
+		out.Commands[i].Code, out.Commands[j].Code = out.Commands[j].Code, out.Commands[i].Code
+	}
+	return out, true
+}

@@ -1,0 +1,248 @@
+package humanerr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dslab-epfl/warr/internal/command"
+)
+
+func TestQueries186HasExactly186(t *testing.T) {
+	if got := len(Queries186); got != 186 {
+		t.Fatalf("corpus has %d queries, want 186 (the paper's workload size)", got)
+	}
+	seen := map[string]bool{}
+	for _, q := range Queries186 {
+		if q == "" || strings.TrimSpace(q) != q {
+			t.Errorf("malformed query %q", q)
+		}
+		if seen[q] {
+			t.Errorf("duplicate query %q", q)
+		}
+		seen[q] = true
+		if len(strings.Fields(q)) < 2 {
+			t.Errorf("query %q has fewer than 2 words; frequent queries are multi-word", q)
+		}
+	}
+}
+
+func TestSampleTypoKindCoversAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[TypoKind]int{}
+	for i := 0; i < 2000; i++ {
+		counts[SampleTypoKind(rng)]++
+	}
+	for _, k := range []TypoKind{Substitution, Omission, Insertion, Transposition} {
+		if counts[k] == 0 {
+			t.Errorf("kind %v never sampled", k)
+		}
+	}
+	// Transposition carries the largest weight in the mix.
+	if counts[Transposition] <= counts[Insertion] {
+		t.Errorf("transposition (%d) should dominate insertion (%d)",
+			counts[Transposition], counts[Insertion])
+	}
+}
+
+func TestAdjacentKeyIsNeighbor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := []string{"qwertyuiop", "asdfghjkl", "zxcvbnm"}
+	pos := map[byte][2]int{}
+	for r, row := range rows {
+		for c := 0; c < len(row); c++ {
+			pos[row[c]] = [2]int{r, c}
+		}
+	}
+	for _, ch := range []byte("qwertyuiopasdfghjklzxcvbnm") {
+		for i := 0; i < 20; i++ {
+			adj := AdjacentKey(rng, ch)
+			p, q := pos[ch], pos[adj]
+			dr, dc := p[0]-q[0], p[1]-q[1]
+			if dr < 0 {
+				dr = -dr
+			}
+			if dc < 0 {
+				dc = -dc
+			}
+			if dr+dc == 0 || dr > 1 || dc > 1 {
+				t.Fatalf("AdjacentKey(%c) = %c: not adjacent", ch, adj)
+			}
+		}
+	}
+}
+
+func TestInjectTypoWordKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const w = "privacy"
+	for i := 0; i < 50; i++ {
+		if got := InjectTypoWord(rng, w, Omission); len(got) != len(w)-1 {
+			t.Errorf("omission %q -> %q", w, got)
+		}
+		if got := InjectTypoWord(rng, w, Insertion); len(got) != len(w)+1 {
+			t.Errorf("insertion %q -> %q", w, got)
+		}
+		if got := InjectTypoWord(rng, w, Substitution); len(got) != len(w) {
+			t.Errorf("substitution %q -> %q", w, got)
+		}
+		got := InjectTypoWord(rng, w, Transposition)
+		if len(got) != len(w) {
+			t.Errorf("transposition %q -> %q", w, got)
+		}
+	}
+}
+
+func TestInjectTypoWordKeepsFirstChar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		kind := SampleTypoKind(rng)
+		got := InjectTypoWord(rng, "settings", kind)
+		if got[0] != 's' {
+			t.Fatalf("first character mutated: %q (kind %v)", got, kind)
+		}
+	}
+}
+
+func TestInjectTypoWordShortWordsUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, w := range []string{"a", "of", ""} {
+		if got := InjectTypoWord(rng, w, Substitution); got != w {
+			t.Errorf("short word %q mutated to %q", w, got)
+		}
+	}
+}
+
+func TestInjectTypoQueryAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, q := range Queries186 {
+		tq := InjectTypoQuery(rng, q)
+		if tq.Typoed == tq.Original {
+			t.Errorf("no typo injected into %q", q)
+		}
+		if tq.Original != q {
+			t.Errorf("original mangled: %q -> %q", q, tq.Original)
+		}
+	}
+}
+
+func TestInjectTypoQueryTargetsLongestWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tq := InjectTypoQuery(rng, "a comparison up")
+	if tq.Word != 1 {
+		t.Errorf("typo landed on word %d, want the longest (1)", tq.Word)
+	}
+	words := strings.Fields(tq.Typoed)
+	if words[0] != "a" || words[2] != "up" {
+		t.Errorf("other words mutated: %q", tq.Typoed)
+	}
+}
+
+// sampleTrace builds a trace with n printable keystrokes.
+func sampleTrace(n int) command.Trace {
+	tr := command.Trace{StartURL: "http://app.test/"}
+	tr.Commands = append(tr.Commands, command.Command{
+		Action: command.Click, XPath: `//input[@id="q"]`, X: 1, Y: 2, Elapsed: 1,
+	})
+	for i := 0; i < n; i++ {
+		ch := byte('a' + i%26)
+		tr.Commands = append(tr.Commands, command.Command{
+			Action: command.Type, XPath: `//input[@id="q"]`,
+			Key: string(ch), Code: int(ch &^ 0x20), Elapsed: 2,
+		})
+	}
+	return tr
+}
+
+func TestStripDelaysZeroesEverything(t *testing.T) {
+	tr := sampleTrace(5)
+	out := StripDelays(tr)
+	for i, c := range out.Commands {
+		if c.Elapsed != 0 {
+			t.Errorf("command %d elapsed = %d", i, c.Elapsed)
+		}
+	}
+	// Original untouched.
+	if tr.Commands[0].Elapsed != 1 {
+		t.Error("StripDelays mutated its input")
+	}
+}
+
+func TestScaleDelays(t *testing.T) {
+	tr := sampleTrace(3)
+	half := ScaleDelays(tr, 0.5)
+	for i, c := range half.Commands {
+		if c.Elapsed != tr.Commands[i].Elapsed/2 {
+			t.Errorf("command %d elapsed = %d, want %d", i, c.Elapsed, tr.Commands[i].Elapsed/2)
+		}
+	}
+	double := ScaleDelays(tr, 2)
+	for i, c := range double.Commands {
+		if c.Elapsed != tr.Commands[i].Elapsed*2 {
+			t.Errorf("command %d elapsed = %d", i, c.Elapsed)
+		}
+	}
+}
+
+func TestTypoTraceChangesKeystrokes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := sampleTrace(10)
+	injected := 0
+	for i := 0; i < 50; i++ {
+		out, ok := TypoTrace(rng, tr)
+		if !ok {
+			t.Fatal("typo not injected into a 10-keystroke trace")
+		}
+		injected++
+		// The typoed trace differs from the original in content or length.
+		if len(out.Commands) == len(tr.Commands) {
+			same := true
+			for j := range out.Commands {
+				if out.Commands[j] != tr.Commands[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("TypoTrace returned an identical trace")
+			}
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no typos injected")
+	}
+}
+
+func TestTypoTraceTooShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, ok := TypoTrace(rng, sampleTrace(2)); ok {
+		t.Error("typo injected into a 2-keystroke trace")
+	}
+}
+
+func TestInjectTypoWordProperty(t *testing.T) {
+	// Property: for any word and seed, the typoed word differs by at
+	// most a bounded edit and keeps the first character.
+	f := func(seed int64, raw string) bool {
+		word := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return 'a' + (r&0xff)%26
+		}, raw)
+		if len(word) < 3 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		kind := SampleTypoKind(rng)
+		got := InjectTypoWord(rng, word, kind)
+		if got[0] != word[0] {
+			return false
+		}
+		diff := len(got) - len(word)
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package layout implements a simple deterministic box layout for the
+// simulated browser. WaRR click commands record the position in the
+// browser window where the click originated as backup element
+// identification (paper §IV-B); producing and consuming those coordinates
+// requires every element to have a box, and hit-testing to map a
+// coordinate back to the deepest element under it.
+//
+// The layout model is a simplified flow: elements stack vertically inside
+// their parent, table cells split their row horizontally, and inline-ish
+// leaf elements get content-proportional widths. It is not typographically
+// faithful — it only needs to be deterministic, containment-consistent
+// (children inside parents), and collision-free between siblings.
+package layout
+
+import (
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// Default dimensions, in CSS-pixel-like units.
+const (
+	lineHeight    = 18
+	charWidth     = 8
+	inlinePadding = 16
+	// DefaultViewportWidth matches a common 2011-era browser window.
+	DefaultViewportWidth = 1024
+)
+
+// Box is an element's rectangle in window coordinates.
+type Box struct {
+	X, Y, W, H int
+}
+
+// Contains reports whether the point (x, y) falls inside the box.
+func (b Box) Contains(x, y int) bool {
+	return x >= b.X && x < b.X+b.W && y >= b.Y && y < b.Y+b.H
+}
+
+// Center returns the box's center point.
+func (b Box) Center() (int, int) { return b.X + b.W/2, b.Y + b.H/2 }
+
+// inlineTags render with content-proportional width instead of filling
+// their parent.
+var inlineTags = map[string]bool{
+	"a": true, "b": true, "i": true, "em": true, "strong": true,
+	"span": true, "button": true, "input": true, "img": true,
+	"label": true, "select": true, "code": true, "small": true,
+}
+
+// Layout holds the computed boxes for one document.
+type Layout struct {
+	boxes map[*dom.Node]Box
+	root  *dom.Node
+}
+
+// Compute lays out the document's body into a viewport of the given width
+// (DefaultViewportWidth when w <= 0).
+func Compute(doc *dom.Document, w int) *Layout {
+	if w <= 0 {
+		w = DefaultViewportWidth
+	}
+	l := &Layout{boxes: make(map[*dom.Node]Box), root: doc.Root()}
+	body := doc.Body()
+	if body == nil {
+		return l
+	}
+	l.layoutBlock(body, 0, 0, w)
+	return l
+}
+
+// layoutBlock assigns n the box (x, y, w, height) and recursively lays out
+// its children; it returns the height consumed.
+func (l *Layout) layoutBlock(n *dom.Node, x, y, w int) int {
+	if hidden(n) {
+		l.boxes[n] = Box{X: x, Y: y, W: 0, H: 0}
+		return 0
+	}
+	if n.Tag == "tr" {
+		return l.layoutRow(n, x, y, w)
+	}
+
+	cy := y
+	hasOwnText := strings.TrimSpace(n.OwnText()) != ""
+	if hasOwnText {
+		cy += lineHeight
+	}
+	for _, c := range n.Children() {
+		if c.Type != dom.ElementNode {
+			continue
+		}
+		cw := w
+		cx := x
+		if inlineTags[c.Tag] && c.NumChildren() <= 2 {
+			cw = inlineWidth(c, w)
+		}
+		cy += l.layoutBlock(c, cx, cy, cw)
+	}
+	h := cy - y
+	if h < lineHeight {
+		h = lineHeight
+	}
+	l.boxes[n] = Box{X: x, Y: y, W: w, H: h}
+	return h
+}
+
+// layoutRow lays out a table row: element children share the width.
+func (l *Layout) layoutRow(n *dom.Node, x, y, w int) int {
+	cells := n.ChildElements()
+	if len(cells) == 0 {
+		l.boxes[n] = Box{X: x, Y: y, W: w, H: lineHeight}
+		return lineHeight
+	}
+	cw := w / len(cells)
+	if cw < 1 {
+		cw = 1
+	}
+	maxH := 0
+	for i, c := range cells {
+		h := l.layoutBlock(c, x+i*cw, y, cw)
+		if h > maxH {
+			maxH = h
+		}
+	}
+	if maxH < lineHeight {
+		maxH = lineHeight
+	}
+	l.boxes[n] = Box{X: x, Y: y, W: w, H: maxH}
+	return maxH
+}
+
+func inlineWidth(n *dom.Node, maxW int) int {
+	textLen := len(strings.TrimSpace(n.TextContent()))
+	if v := n.Value; v != "" && textLen == 0 {
+		textLen = len(v)
+	}
+	if textLen == 0 {
+		textLen = 4
+	}
+	w := textLen*charWidth + inlinePadding
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+// hidden reports whether the element is removed from layout via the hidden
+// attribute or an inline display:none style.
+func hidden(n *dom.Node) bool {
+	if n.HasAttr("hidden") {
+		return true
+	}
+	if style, ok := n.Attr("style"); ok {
+		s := strings.ReplaceAll(style, " ", "")
+		if strings.Contains(s, "display:none") {
+			return true
+		}
+	}
+	return false
+}
+
+// BoxOf returns the element's box and whether the element was laid out.
+func (l *Layout) BoxOf(n *dom.Node) (Box, bool) {
+	b, ok := l.boxes[n]
+	return b, ok
+}
+
+// Center returns the center point of n's box (0,0 when n has no box).
+func (l *Layout) Center(n *dom.Node) (int, int) {
+	b, ok := l.boxes[n]
+	if !ok {
+		return 0, 0
+	}
+	return b.Center()
+}
+
+// HitTest returns the deepest visible element whose box contains (x, y),
+// or nil when the point falls outside every box.
+func (l *Layout) HitTest(x, y int) *dom.Node {
+	var best *dom.Node
+	bestDepth := -1
+	l.root.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		b, ok := l.boxes[n]
+		if !ok || b.W == 0 || b.H == 0 || !b.Contains(x, y) {
+			return true
+		}
+		if d := n.Depth(); d > bestDepth {
+			best, bestDepth = n, d
+		}
+		return true
+	})
+	return best
+}

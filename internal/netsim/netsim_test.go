@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(req *Request) *Response {
+		return OK("echo:" + req.Path())
+	})
+}
+
+func TestFetchRoutesByHost(t *testing.T) {
+	n := New(vclock.New())
+	n.Register("a.test", echoHandler())
+	n.Register("b.test", HandlerFunc(func(req *Request) *Response { return OK("bee") }))
+
+	resp, err := n.Fetch(NewRequest("GET", "http://a.test/page"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body != "echo:/page" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	resp, _ = n.Fetch(NewRequest("GET", "http://b.test/"))
+	if resp.Body != "bee" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestFetchUnknownHost(t *testing.T) {
+	n := New(vclock.New())
+	if _, err := n.Fetch(NewRequest("GET", "http://ghost.test/")); err == nil {
+		t.Fatal("expected error for unknown host")
+	}
+}
+
+func TestNilHandlerResponseIs404(t *testing.T) {
+	n := New(vclock.New())
+	n.Register("a.test", HandlerFunc(func(req *Request) *Response { return nil }))
+	resp, err := n.Fetch(NewRequest("GET", "http://a.test/missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("status = %d, want 404", resp.Status)
+	}
+}
+
+func TestFetchAsyncHonorsLatency(t *testing.T) {
+	clock := vclock.New()
+	n := New(clock)
+	n.Register("a.test", echoHandler())
+	n.SetLatency(200 * time.Millisecond)
+
+	var got *Response
+	n.FetchAsync(NewRequest("GET", "http://a.test/x"), func(r *Response, err error) { got = r })
+	if got != nil {
+		t.Fatal("response delivered before latency elapsed")
+	}
+	clock.Advance(100 * time.Millisecond)
+	if got != nil {
+		t.Fatal("response delivered too early")
+	}
+	clock.Advance(100 * time.Millisecond)
+	if got == nil || got.Body != "echo:/x" {
+		t.Fatalf("response = %+v", got)
+	}
+}
+
+func TestFetchAsyncErrorPropagates(t *testing.T) {
+	clock := vclock.New()
+	n := New(clock)
+	var gotErr error
+	n.FetchAsync(NewRequest("GET", "http://ghost.test/"), func(r *Response, err error) { gotErr = err })
+	clock.RunDue()
+	if gotErr == nil {
+		t.Fatal("expected routing error")
+	}
+}
+
+func TestParseFormQuery(t *testing.T) {
+	r := NewRequest("GET", "http://a.test/search?q=hello+world&page=2")
+	if err := r.ParseForm(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Form.Get("q") != "hello world" || r.Form.Get("page") != "2" {
+		t.Fatalf("form = %v", r.Form)
+	}
+}
+
+func TestParseFormPostBody(t *testing.T) {
+	r := NewRequest("POST", "http://a.test/login")
+	r.Body = "user=alice&pass=secret"
+	if err := r.ParseForm(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Form.Get("user") != "alice" || r.Form.Get("pass") != "secret" {
+		t.Fatalf("form = %v", r.Form)
+	}
+}
+
+func TestRequestAccessors(t *testing.T) {
+	r := NewRequest("GET", "https://mail.test/inbox")
+	if r.Host() != "mail.test" {
+		t.Errorf("Host = %q", r.Host())
+	}
+	if r.Path() != "/inbox" {
+		t.Errorf("Path = %q", r.Path())
+	}
+	if !r.Secure() {
+		t.Error("Secure = false for https")
+	}
+	r2 := NewRequest("GET", "http://a.test")
+	if r2.Path() != "/" {
+		t.Errorf("empty path = %q", r2.Path())
+	}
+	if r2.Secure() {
+		t.Error("Secure = true for http")
+	}
+}
+
+type captureObserver struct{ recs []TrafficRecord }
+
+func (c *captureObserver) Observe(rec TrafficRecord) { c.recs = append(c.recs, rec) }
+
+func TestObserverSeesPlainHTTP(t *testing.T) {
+	n := New(vclock.New())
+	n.Register("a.test", echoHandler())
+	obs := &captureObserver{}
+	n.AddObserver(obs)
+
+	req := NewRequest("POST", "http://a.test/submit")
+	req.Body = "secret=data"
+	if _, err := n.Fetch(req); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.recs) != 1 {
+		t.Fatalf("records = %d", len(obs.recs))
+	}
+	rec := obs.recs[0]
+	if rec.Encrypted {
+		t.Error("http marked encrypted")
+	}
+	if rec.RequestBody != "secret=data" || !strings.Contains(rec.ResponseBody, "echo:") {
+		t.Errorf("bodies not visible: %+v", rec)
+	}
+	if rec.URL != "http://a.test/submit" {
+		t.Errorf("URL = %q", rec.URL)
+	}
+}
+
+func TestObserverBlindToHTTPS(t *testing.T) {
+	// The paper's §II argument: proxies cannot record HTTPS content
+	// without breaking end-to-end security. The observer sees only
+	// connection metadata.
+	n := New(vclock.New())
+	n.Register("mail.test", echoHandler())
+	obs := &captureObserver{}
+	n.AddObserver(obs)
+
+	req := NewRequest("POST", "https://mail.test/compose?draft=7")
+	req.Body = "to=bob&body=hi"
+	if _, err := n.Fetch(req); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.recs[0]
+	if !rec.Encrypted {
+		t.Fatal("https not marked encrypted")
+	}
+	if rec.RequestBody != "" || rec.ResponseBody != "" {
+		t.Errorf("encrypted bodies leaked: %+v", rec)
+	}
+	if rec.URL != "https://mail.test/" {
+		t.Errorf("URL leaked path: %q", rec.URL)
+	}
+}
+
+func TestObserverTimestampUsesVirtualClock(t *testing.T) {
+	clock := vclock.New()
+	clock.Advance(42 * time.Second)
+	n := New(clock)
+	n.Register("a.test", echoHandler())
+	obs := &captureObserver{}
+	n.AddObserver(obs)
+	if _, err := n.Fetch(NewRequest("GET", "http://a.test/")); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.recs[0].Time; !got.Equal(vclock.Epoch.Add(42 * time.Second)) {
+		t.Fatalf("time = %v", got)
+	}
+}

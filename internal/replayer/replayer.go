@@ -1,0 +1,244 @@
+// Package replayer implements the WaRR Replayer (paper §III-B, §IV-C):
+// it reads WaRR Commands and simulates the recorded user interaction
+// through the webdriver against a (normally developer-mode) browser.
+//
+// Its distinctive mechanism is progressive XPath relaxation: the replayer
+// first assumes the application's HTML structure is constant and uses the
+// recorded expression — giving timing-accurate replay — and only when
+// that expression no longer matches does it progressively simplify the
+// expression (drop attributes, keep only name, discard prefixes) until an
+// element is found. Click commands additionally carry window coordinates
+// as a last-resort identification fallback.
+package replayer
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/webdriver"
+	"github.com/dslab-epfl/warr/internal/xpath"
+)
+
+// Pacing selects how the replayer spaces commands in virtual time.
+type Pacing int
+
+// Pacing modes.
+const (
+	// PaceRecorded advances the clock by each command's recorded elapsed
+	// time — timing-accurate interaction replay.
+	PaceRecorded Pacing = iota + 1
+	// PaceNone replays commands with no wait time — WebErr's timing-
+	// error stress mode (§V-B).
+	PaceNone
+)
+
+// Options configure a Replayer.
+type Options struct {
+	// Pacing defaults to PaceRecorded.
+	Pacing Pacing
+	// DisableRelaxation turns off XPath relaxation (ablation).
+	DisableRelaxation bool
+	// DisableCoordinateFallback turns off the click-coordinate backup
+	// identification (ablation).
+	DisableCoordinateFallback bool
+	// Driver selects webdriver behaviour (the ChromeDriver defect
+	// switches).
+	Driver webdriver.Options
+	// Observer, when set, is invoked after each command with the step
+	// outcome and the tab. WebErr's grammar inference uses it to capture
+	// the page state each command produced (§V-A).
+	Observer func(step Step, tab *browser.Tab)
+}
+
+// StepStatus describes how one command was resolved and executed.
+type StepStatus int
+
+// Step statuses.
+const (
+	// StepOK: the recorded XPath matched directly.
+	StepOK StepStatus = iota + 1
+	// StepRelaxed: a relaxation heuristic found the element.
+	StepRelaxed
+	// StepByCoordinates: the click-coordinate fallback found the element.
+	StepByCoordinates
+	// StepFailed: the command could not be replayed.
+	StepFailed
+)
+
+func (s StepStatus) String() string {
+	switch s {
+	case StepOK:
+		return "ok"
+	case StepRelaxed:
+		return "relaxed"
+	case StepByCoordinates:
+		return "by-coordinates"
+	case StepFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Step is the outcome of replaying one command.
+type Step struct {
+	Index     int
+	Cmd       command.Command
+	Status    StepStatus
+	UsedXPath string // expression that matched (original or relaxed)
+	Heuristic string // relaxation heuristic, "" for direct matches
+	Err       error
+}
+
+// Result summarizes a replay.
+type Result struct {
+	Steps  []Step
+	Played int
+	Failed int
+	// Halted is set when the driver lost its active client and the
+	// replay could not continue (ChromeDriver defect 4 without the fix).
+	Halted bool
+}
+
+// Complete reports whether every command replayed.
+func (r *Result) Complete() bool { return r.Failed == 0 && !r.Halted }
+
+// Replayer replays WaRR command traces.
+type Replayer struct {
+	browser *browser.Browser
+	opts    Options
+}
+
+// New returns a replayer driving the given browser. For full replay
+// fidelity the browser should be a DeveloperMode build (§IV-C); a
+// UserMode browser replays with degraded keyboard-event parameters.
+func New(b *browser.Browser, opts Options) *Replayer {
+	if opts.Pacing == 0 {
+		opts.Pacing = PaceRecorded
+	}
+	return &Replayer{browser: b, opts: opts}
+}
+
+// Replay plays the trace in a fresh tab and returns the per-step outcomes
+// together with the tab (whose final page state the caller's oracle
+// inspects).
+func (r *Replayer) Replay(tr command.Trace) (*Result, *browser.Tab, error) {
+	tab := r.browser.NewTab()
+	driver := webdriver.New(tab, r.opts.Driver)
+	if tr.StartURL != "" {
+		if err := tab.Navigate(tr.StartURL); err != nil {
+			return nil, tab, fmt.Errorf("replayer: loading start page: %w", err)
+		}
+	}
+
+	res := &Result{}
+	for i, cmd := range tr.Commands {
+		if r.opts.Pacing == PaceRecorded {
+			r.browser.Clock().Advance(cmd.ElapsedDuration())
+		}
+		step := r.playCommand(driver, i, cmd)
+		res.Steps = append(res.Steps, step)
+		if r.opts.Observer != nil {
+			r.opts.Observer(step, tab)
+		}
+		if step.Status == StepFailed {
+			res.Failed++
+			if errors.Is(step.Err, webdriver.ErrNoActiveClient) {
+				// The master has no client to execute commands: the
+				// replay halts (§IV-C). Remaining commands are not
+				// attempted.
+				res.Halted = true
+				break
+			}
+			continue
+		}
+		res.Played++
+	}
+	return res, tab, nil
+}
+
+func (r *Replayer) playCommand(driver *webdriver.Driver, idx int, cmd command.Command) Step {
+	step := Step{Index: idx, Cmd: cmd}
+	el, used, heuristic, err := r.resolve(driver, cmd)
+	if err != nil {
+		step.Status = StepFailed
+		step.Err = err
+		return step
+	}
+	step.UsedXPath = used
+	step.Heuristic = heuristic
+	switch {
+	case heuristic == "coordinates":
+		step.Status = StepByCoordinates
+	case heuristic != "":
+		step.Status = StepRelaxed
+	default:
+		step.Status = StepOK
+	}
+
+	if err := r.execute(el, cmd); err != nil {
+		step.Status = StepFailed
+		step.Err = err
+	}
+	return step
+}
+
+// resolve finds the command's target element: recorded XPath first, then
+// progressive relaxation, then the coordinate fallback for clicks.
+func (r *Replayer) resolve(driver *webdriver.Driver, cmd command.Command) (el *webdriver.Element, used, heuristic string, err error) {
+	path, parseErr := xpath.Parse(cmd.XPath)
+	if parseErr == nil {
+		el, err = driver.FindElement(cmd.XPath)
+		if err == nil {
+			return el, cmd.XPath, "", nil
+		}
+		if errors.Is(err, webdriver.ErrNoActiveClient) {
+			return nil, "", "", err
+		}
+		if !r.opts.DisableRelaxation {
+			for _, relax := range xpath.Relaxations(path) {
+				rel, rerr := driver.FindElement(relax.Path.String())
+				if rerr == nil {
+					return rel, relax.Path.String(), relax.Heuristic, nil
+				}
+				if errors.Is(rerr, webdriver.ErrNoActiveClient) {
+					return nil, "", "", rerr
+				}
+			}
+		}
+	} else {
+		err = parseErr
+	}
+
+	if !r.opts.DisableCoordinateFallback &&
+		(cmd.Action == command.Click || cmd.Action == command.DoubleClick) {
+		cel, cerr := driver.FindByCoordinates(cmd.X, cmd.Y)
+		if cerr == nil {
+			return cel, cmd.XPath, "coordinates", nil
+		}
+		if errors.Is(cerr, webdriver.ErrNoActiveClient) {
+			return nil, "", "", cerr
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("replayer: %w: %s", webdriver.ErrElementNotFound, cmd.XPath)
+	}
+	return nil, "", "", err
+}
+
+func (r *Replayer) execute(el *webdriver.Element, cmd command.Command) error {
+	switch cmd.Action {
+	case command.Click:
+		return el.Click()
+	case command.DoubleClick:
+		return el.DoubleClick()
+	case command.Drag:
+		return el.Drag(cmd.DX, cmd.DY)
+	case command.Type:
+		return el.TypeKey(cmd.Key, cmd.Code)
+	default:
+		return fmt.Errorf("replayer: unknown action %v", cmd.Action)
+	}
+}

@@ -1,0 +1,157 @@
+package script
+
+// AST node types. Every node records the source line for error messages.
+
+type node interface{ nodeLine() int }
+
+type base struct{ line int }
+
+func (b base) nodeLine() int { return b.line }
+
+// ---- statements ----
+
+type program struct {
+	base
+	stmts []node
+}
+
+type varDecl struct {
+	base
+	name string
+	init node // nil when declared without initializer
+}
+
+type funcDecl struct {
+	base
+	name   string
+	params []string
+	body   []node
+}
+
+type exprStmt struct {
+	base
+	expr node
+}
+
+type ifStmt struct {
+	base
+	cond node
+	then []node
+	alt  []node // nil when no else
+}
+
+type whileStmt struct {
+	base
+	cond node
+	body []node
+}
+
+type forStmt struct {
+	base
+	init node // statement or nil
+	cond node // nil = true
+	post node // expression or nil
+	body []node
+}
+
+type returnStmt struct {
+	base
+	expr node // nil = undefined
+}
+
+type breakStmt struct{ base }
+
+type continueStmt struct{ base }
+
+// ---- expressions ----
+
+type numberLit struct {
+	base
+	val float64
+}
+
+type stringLit struct {
+	base
+	val string
+}
+
+type boolLit struct {
+	base
+	val bool
+}
+
+type nullLit struct{ base }
+
+type undefinedLit struct{ base }
+
+type identExpr struct {
+	base
+	name string
+}
+
+type arrayLit struct {
+	base
+	elems []node
+}
+
+type objectLit struct {
+	base
+	keys []string
+	vals []node
+}
+
+type funcLit struct {
+	base
+	params []string
+	body   []node
+}
+
+type unaryExpr struct {
+	base
+	op      string // "!", "-", "typeof"
+	operand node
+}
+
+type updateExpr struct {
+	base
+	op      string // "++" or "--"
+	prefix  bool
+	operand node // identExpr or memberExpr
+}
+
+type binaryExpr struct {
+	base
+	op          string
+	left, right node
+}
+
+type logicalExpr struct {
+	base
+	op          string // "&&" or "||"
+	left, right node
+}
+
+type condExpr struct {
+	base
+	cond, then, alt node
+}
+
+type assignExpr struct {
+	base
+	op     string // "=", "+=", "-=", "*=", "/="
+	target node   // identExpr or memberExpr
+	value  node
+}
+
+type callExpr struct {
+	base
+	callee node
+	args   []node
+}
+
+type memberExpr struct {
+	base
+	object   node
+	property string // non-empty for obj.prop
+	index    node   // non-nil for obj[expr]
+}

@@ -1,0 +1,623 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RuntimeError is a JavaScript-style runtime error (ReferenceError,
+// TypeError, RangeError). The Google Sites bug from the paper's §V-C
+// surfaces as one of these on the browser console.
+type RuntimeError struct {
+	Kind string // "ReferenceError", "TypeError", ...
+	Msg  string
+	Line int
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: %s (line %d)", e.Kind, e.Msg, e.Line)
+}
+
+// ErrStepLimit is returned when a script exceeds the interpreter's step
+// budget (runaway loop protection for tests).
+var ErrStepLimit = errors.New("script: step limit exceeded")
+
+// control-flow signals, unwound through eval as errors.
+type returnSignal struct{ val Value }
+
+func (returnSignal) Error() string { return "return outside function" }
+
+type breakSignal struct{}
+
+func (breakSignal) Error() string { return "break outside loop" }
+
+type continueSignal struct{}
+
+func (continueSignal) Error() string { return "continue outside loop" }
+
+// Scope is a lexical environment frame.
+type Scope struct {
+	vars   map[string]Value
+	parent *Scope
+}
+
+// NewScope returns a scope nested in parent (nil for a global scope).
+func NewScope(parent *Scope) *Scope {
+	return &Scope{vars: make(map[string]Value), parent: parent}
+}
+
+// Define creates or overwrites name in this scope.
+func (s *Scope) Define(name string, v Value) { s.vars[name] = v }
+
+// Lookup resolves name through the scope chain.
+func (s *Scope) Lookup(name string) (Value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// assign sets name in the nearest defining scope; it reports false when
+// the name is undeclared.
+func (s *Scope) assign(name string, v Value) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultMaxSteps bounds script execution; generous enough for every
+// simulated application, small enough to fail fast on accidental infinite
+// loops.
+const DefaultMaxSteps = 2_000_000
+
+// Interp evaluates parsed programs. One Interp corresponds to one
+// JavaScript global environment (one browser frame).
+type Interp struct {
+	// Global is the global scope; hosts install bindings (document,
+	// window, console) here.
+	Global *Scope
+	// MaxSteps bounds the number of AST evaluations per Run/Call.
+	MaxSteps int
+
+	steps int
+}
+
+// New returns an interpreter with an empty global scope.
+func New() *Interp {
+	return &Interp{Global: NewScope(nil), MaxSteps: DefaultMaxSteps}
+}
+
+// Define installs a global binding.
+func (in *Interp) Define(name string, v Value) { in.Global.Define(name, v) }
+
+// Run parses and executes src in the global scope, returning the value of
+// the last expression statement.
+func (in *Interp) Run(src string) (Value, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	in.steps = 0
+	v, err := in.execBlock(prog.stmts, in.Global)
+	if err != nil {
+		var rs returnSignal
+		if errors.As(err, &rs) {
+			return rs.val, nil
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
+// Call invokes a callable value (typically an event handler) with args.
+func (in *Interp) Call(fn Value, args ...Value) (Value, error) {
+	c, ok := fn.(Callable)
+	if !ok {
+		return nil, &RuntimeError{Kind: "TypeError", Msg: fmt.Sprintf("%s is not a function", ToString(fn))}
+	}
+	in.steps = 0
+	return c.CallFn(in, args)
+}
+
+func (in *Interp) callFunction(f *Function, args []Value) (Value, error) {
+	scope := NewScope(f.env)
+	for i, p := range f.params {
+		if i < len(args) {
+			scope.Define(p, args[i])
+		} else {
+			scope.Define(p, Undefined)
+		}
+	}
+	scope.Define("arguments", NewArray(args...))
+	_, err := in.execBlock(f.body, scope)
+	if err != nil {
+		var rs returnSignal
+		if errors.As(err, &rs) {
+			return rs.val, nil
+		}
+		return nil, err
+	}
+	return Undefined, nil
+}
+
+func (in *Interp) step(n node) error {
+	in.steps++
+	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
+		return fmt.Errorf("%w (line %d)", ErrStepLimit, n.nodeLine())
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(stmts []node, scope *Scope) (Value, error) {
+	var last Value = Undefined
+	// Hoist function declarations, as JavaScript does.
+	for _, s := range stmts {
+		if fd, ok := s.(*funcDecl); ok {
+			scope.Define(fd.name, &Function{name: fd.name, params: fd.params, body: fd.body, env: scope})
+		}
+	}
+	for _, s := range stmts {
+		v, err := in.exec(s, scope)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			last = v
+		}
+	}
+	return last, nil
+}
+
+// exec executes a statement; expression statements yield their value.
+func (in *Interp) exec(n node, scope *Scope) (Value, error) {
+	if err := in.step(n); err != nil {
+		return nil, err
+	}
+	switch s := n.(type) {
+	case *program:
+		return in.execBlock(s.stmts, scope)
+	case *varDecl:
+		var v Value = Undefined
+		if s.init != nil {
+			var err error
+			v, err = in.eval(s.init, scope)
+			if err != nil {
+				return nil, err
+			}
+		}
+		scope.Define(s.name, v)
+		return nil, nil
+	case *funcDecl:
+		return nil, nil // hoisted by execBlock
+	case *exprStmt:
+		return in.eval(s.expr, scope)
+	case *ifStmt:
+		cond, err := in.eval(s.cond, scope)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			_, err = in.execBlock(s.then, NewScope(scope))
+		} else if s.alt != nil {
+			_, err = in.execBlock(s.alt, NewScope(scope))
+		}
+		return nil, err
+	case *whileStmt:
+		for {
+			cond, err := in.eval(s.cond, scope)
+			if err != nil {
+				return nil, err
+			}
+			if !Truthy(cond) {
+				return nil, nil
+			}
+			if stop, err := in.loopBody(s.body, scope); stop || err != nil {
+				return nil, err
+			}
+		}
+	case *forStmt:
+		loopScope := NewScope(scope)
+		if s.init != nil {
+			if _, err := in.exec(s.init, loopScope); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			if s.cond != nil {
+				cond, err := in.eval(s.cond, loopScope)
+				if err != nil {
+					return nil, err
+				}
+				if !Truthy(cond) {
+					return nil, nil
+				}
+			}
+			if stop, err := in.loopBody(s.body, loopScope); stop || err != nil {
+				return nil, err
+			}
+			if s.post != nil {
+				if _, err := in.eval(s.post, loopScope); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case *returnStmt:
+		var v Value = Undefined
+		if s.expr != nil {
+			var err error
+			v, err = in.eval(s.expr, scope)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, returnSignal{val: v}
+	case *breakStmt:
+		return nil, breakSignal{}
+	case *continueStmt:
+		return nil, continueSignal{}
+	default:
+		return nil, fmt.Errorf("script: unknown statement %T", n)
+	}
+}
+
+// loopBody runs one iteration; stop=true means break.
+func (in *Interp) loopBody(body []node, scope *Scope) (stop bool, err error) {
+	_, err = in.execBlock(body, NewScope(scope))
+	if err != nil {
+		if errors.As(err, &breakSignal{}) {
+			return true, nil
+		}
+		if errors.As(err, &continueSignal{}) {
+			return false, nil
+		}
+		return true, err
+	}
+	return false, nil
+}
+
+func (in *Interp) eval(n node, scope *Scope) (Value, error) {
+	if err := in.step(n); err != nil {
+		return nil, err
+	}
+	switch e := n.(type) {
+	case *numberLit:
+		return e.val, nil
+	case *stringLit:
+		return e.val, nil
+	case *boolLit:
+		return e.val, nil
+	case *nullLit:
+		return nil, nil
+	case *undefinedLit:
+		return Undefined, nil
+	case *identExpr:
+		v, ok := scope.Lookup(e.name)
+		if !ok {
+			return nil, &RuntimeError{Kind: "ReferenceError", Msg: e.name + " is not defined", Line: e.line}
+		}
+		return v, nil
+	case *arrayLit:
+		arr := NewArray()
+		for _, el := range e.elems {
+			v, err := in.eval(el, scope)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems = append(arr.Elems, v)
+		}
+		return arr, nil
+	case *objectLit:
+		obj := NewObject()
+		for i, k := range e.keys {
+			v, err := in.eval(e.vals[i], scope)
+			if err != nil {
+				return nil, err
+			}
+			obj.props[k] = v
+		}
+		return obj, nil
+	case *funcLit:
+		return &Function{name: "anonymous", params: e.params, body: e.body, env: scope}, nil
+	case *unaryExpr:
+		return in.evalUnary(e, scope)
+	case *updateExpr:
+		return in.evalUpdate(e, scope)
+	case *binaryExpr:
+		return in.evalBinary(e, scope)
+	case *logicalExpr:
+		left, err := in.eval(e.left, scope)
+		if err != nil {
+			return nil, err
+		}
+		if e.op == "&&" {
+			if !Truthy(left) {
+				return left, nil
+			}
+		} else if Truthy(left) {
+			return left, nil
+		}
+		return in.eval(e.right, scope)
+	case *condExpr:
+		cond, err := in.eval(e.cond, scope)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			return in.eval(e.then, scope)
+		}
+		return in.eval(e.alt, scope)
+	case *assignExpr:
+		return in.evalAssign(e, scope)
+	case *callExpr:
+		return in.evalCall(e, scope)
+	case *memberExpr:
+		obj, err := in.eval(e.object, scope)
+		if err != nil {
+			return nil, err
+		}
+		return in.getMember(obj, e, scope)
+	default:
+		return nil, fmt.Errorf("script: unknown expression %T", n)
+	}
+}
+
+func (in *Interp) evalUnary(e *unaryExpr, scope *Scope) (Value, error) {
+	if e.op == "typeof" {
+		// typeof tolerates undeclared identifiers, as in JavaScript.
+		if id, ok := e.operand.(*identExpr); ok {
+			v, found := scope.Lookup(id.name)
+			if !found {
+				return "undefined", nil
+			}
+			return TypeOf(v), nil
+		}
+	}
+	v, err := in.eval(e.operand, scope)
+	if err != nil {
+		return nil, err
+	}
+	switch e.op {
+	case "!":
+		return !Truthy(v), nil
+	case "-":
+		n, err := ToNumber(v)
+		if err != nil {
+			return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: e.line}
+		}
+		return -n, nil
+	case "typeof":
+		return TypeOf(v), nil
+	default:
+		return nil, fmt.Errorf("script: unknown unary operator %q", e.op)
+	}
+}
+
+func (in *Interp) evalUpdate(e *updateExpr, scope *Scope) (Value, error) {
+	old, err := in.eval(e.operand, scope)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ToNumber(old)
+	if err != nil {
+		return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: e.line}
+	}
+	delta := 1.0
+	if e.op == "--" {
+		delta = -1
+	}
+	if err := in.setTarget(e.operand, n+delta, scope); err != nil {
+		return nil, err
+	}
+	if e.prefix {
+		return n + delta, nil
+	}
+	return n, nil
+}
+
+func (in *Interp) evalBinary(e *binaryExpr, scope *Scope) (Value, error) {
+	left, err := in.eval(e.left, scope)
+	if err != nil {
+		return nil, err
+	}
+	right, err := in.eval(e.right, scope)
+	if err != nil {
+		return nil, err
+	}
+	return in.binaryOp(e.op, left, right, e.line)
+}
+
+func (in *Interp) binaryOp(op string, left, right Value, line int) (Value, error) {
+	switch op {
+	case "+":
+		if ls, ok := left.(string); ok {
+			return ls + ToString(right), nil
+		}
+		if rs, ok := right.(string); ok {
+			return ToString(left) + rs, nil
+		}
+		ln, err := ToNumber(left)
+		if err != nil {
+			return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: line}
+		}
+		rn, err := ToNumber(right)
+		if err != nil {
+			return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: line}
+		}
+		return ln + rn, nil
+	case "-", "*", "/", "%":
+		ln, err := ToNumber(left)
+		if err != nil {
+			return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: line}
+		}
+		rn, err := ToNumber(right)
+		if err != nil {
+			return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: line}
+		}
+		switch op {
+		case "-":
+			return ln - rn, nil
+		case "*":
+			return ln * rn, nil
+		case "/":
+			if rn == 0 {
+				return nil, &RuntimeError{Kind: "RangeError", Msg: "division by zero", Line: line}
+			}
+			return ln / rn, nil
+		default:
+			if rn == 0 {
+				return nil, &RuntimeError{Kind: "RangeError", Msg: "modulo by zero", Line: line}
+			}
+			return float64(int64(ln) % int64(rn)), nil
+		}
+	case "==", "===":
+		return looseEquals(left, right), nil
+	case "!=", "!==":
+		return !looseEquals(left, right), nil
+	case "<", ">", "<=", ">=":
+		return compare(op, left, right, line)
+	default:
+		return nil, fmt.Errorf("script: unknown binary operator %q", op)
+	}
+}
+
+// looseEquals implements equality: same-type strict comparison, plus
+// null == undefined.
+func looseEquals(a, b Value) bool {
+	if (a == nil && IsUndefined(b)) || (IsUndefined(a) && b == nil) {
+		return true
+	}
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case undefinedType:
+		return IsUndefined(b)
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	default:
+		return a == b // reference equality for objects/arrays/functions
+	}
+}
+
+func compare(op string, a, b Value, line int) (Value, error) {
+	if as, aok := a.(string); aok {
+		if bs, bok := b.(string); bok {
+			switch op {
+			case "<":
+				return as < bs, nil
+			case ">":
+				return as > bs, nil
+			case "<=":
+				return as <= bs, nil
+			default:
+				return as >= bs, nil
+			}
+		}
+	}
+	an, err := ToNumber(a)
+	if err != nil {
+		return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: line}
+	}
+	bn, err := ToNumber(b)
+	if err != nil {
+		return nil, &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: line}
+	}
+	switch op {
+	case "<":
+		return an < bn, nil
+	case ">":
+		return an > bn, nil
+	case "<=":
+		return an <= bn, nil
+	default:
+		return an >= bn, nil
+	}
+}
+
+func (in *Interp) evalAssign(e *assignExpr, scope *Scope) (Value, error) {
+	val, err := in.eval(e.value, scope)
+	if err != nil {
+		return nil, err
+	}
+	if e.op != "=" {
+		old, err := in.eval(e.target, scope)
+		if err != nil {
+			return nil, err
+		}
+		val, err = in.binaryOp(e.op[:1], old, val, e.line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := in.setTarget(e.target, val, scope); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+func (in *Interp) setTarget(target node, val Value, scope *Scope) error {
+	switch t := target.(type) {
+	case *identExpr:
+		if !scope.assign(t.name, val) {
+			// Assignment to an undeclared name creates a global, as in
+			// non-strict JavaScript.
+			in.Global.Define(t.name, val)
+		}
+		return nil
+	case *memberExpr:
+		obj, err := in.eval(t.object, scope)
+		if err != nil {
+			return err
+		}
+		return in.setMember(obj, t, val, scope)
+	default:
+		return &RuntimeError{Kind: "SyntaxError", Msg: "invalid assignment target", Line: target.nodeLine()}
+	}
+}
+
+func (in *Interp) evalCall(e *callExpr, scope *Scope) (Value, error) {
+	callee, err := in.eval(e.callee, scope)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]Value, len(e.args))
+	for i, a := range e.args {
+		v, err := in.eval(a, scope)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	c, ok := callee.(Callable)
+	if !ok {
+		name := describeCallee(e.callee)
+		return nil, &RuntimeError{Kind: "TypeError", Msg: name + " is not a function", Line: e.line}
+	}
+	return c.CallFn(in, args)
+}
+
+func describeCallee(n node) string {
+	switch c := n.(type) {
+	case *identExpr:
+		return c.name
+	case *memberExpr:
+		if c.property != "" {
+			return describeCallee(c.object) + "." + c.property
+		}
+		return describeCallee(c.object) + "[...]"
+	default:
+		return "expression"
+	}
+}

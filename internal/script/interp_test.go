@@ -1,0 +1,526 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// run evaluates src and fails the test on error.
+func run(t *testing.T, src string) Value {
+	t.Helper()
+	in := New()
+	InstallBuiltins(in)
+	v, err := in.Run(src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return v
+}
+
+// runErr evaluates src and returns the error (nil if none).
+func runErr(src string) error {
+	in := New()
+	InstallBuiltins(in)
+	_, err := in.Run(src)
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2":           3,
+		"10 - 4":          6,
+		"3 * 4":           12,
+		"10 / 4":          2.5,
+		"10 % 3":          1,
+		"2 + 3 * 4":       14,
+		"(2 + 3) * 4":     20,
+		"-5 + 3":          -2,
+		"1 + 2 - 3 * 0":   3,
+		"100 / 10 / 2":    5,
+		"5 % 3 + 10 % 4":  4,
+		"2 * (3 + (4-1))": 12,
+	}
+	for src, want := range cases {
+		if got := run(t, src); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	if got := run(t, `"Hello " + "world" + "!"`); got != "Hello world!" {
+		t.Errorf("concat = %v", got)
+	}
+	if got := run(t, `"n=" + 42`); got != "n=42" {
+		t.Errorf("string+number = %v", got)
+	}
+	if got := run(t, `5 + "x"`); got != "5x" {
+		t.Errorf("number+string = %v", got)
+	}
+	if got := run(t, `"abc".length`); got != float64(3) {
+		t.Errorf("length = %v", got)
+	}
+	if got := run(t, `"abc".toUpperCase()`); got != "ABC" {
+		t.Errorf("toUpperCase = %v", got)
+	}
+	if got := run(t, `"Hello".charCodeAt(0)`); got != float64(72) {
+		t.Errorf("charCodeAt = %v", got)
+	}
+	if got := run(t, `"a,b,c".split(",").length`); got != float64(3) {
+		t.Errorf("split = %v", got)
+	}
+	if got := run(t, `"hello world".indexOf("world")`); got != float64(6) {
+		t.Errorf("indexOf = %v", got)
+	}
+	if got := run(t, `"hello".substring(1, 3)`); got != "el" {
+		t.Errorf("substring = %v", got)
+	}
+	if got := run(t, `"  x  ".trim()`); got != "x" {
+		t.Errorf("trim = %v", got)
+	}
+	if got := run(t, `"aXbXc".replace("X", "-")`); got != "a-bXc" {
+		t.Errorf("replace = %v", got)
+	}
+}
+
+func TestVariablesAndScope(t *testing.T) {
+	if got := run(t, `var x = 5; var y = x + 1; y`); got != float64(6) {
+		t.Errorf("vars = %v", got)
+	}
+	if got := run(t, `var a = 1, b = 2; a + b`); got != float64(3) {
+		t.Errorf("multi-var = %v", got)
+	}
+	// Uninitialized variable is undefined.
+	if got := run(t, `var u; typeof u`); got != "undefined" {
+		t.Errorf("typeof uninitialized = %v", got)
+	}
+	// Inner scopes see outer; blocks do not leak into callers' vars.
+	if got := run(t, `var x = 1; if (true) { x = 2; } x`); got != float64(2) {
+		t.Errorf("scope write-through = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := map[string]bool{
+		`1 < 2`:             true,
+		`2 <= 2`:            true,
+		`3 > 4`:             false,
+		`"a" < "b"`:         true,
+		`1 == 1`:            true,
+		`1 != 2`:            true,
+		`"x" == "x"`:        true,
+		`null == undefined`: true,
+		`null == 0`:         false,
+		`1 === 1`:           true,
+		`"1" == 1`:          false,
+	}
+	for src, want := range cases {
+		if got := run(t, src); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// The right side must not evaluate when short-circuited: a would-be
+	// ReferenceError proves evaluation.
+	if got := run(t, `false && missingVariable`); got != false {
+		t.Errorf("&& = %v", got)
+	}
+	if got := run(t, `true || missingVariable`); got != true {
+		t.Errorf("|| = %v", got)
+	}
+	if got := run(t, `"" || "fallback"`); got != "fallback" {
+		t.Errorf("|| value = %v", got)
+	}
+	if got := run(t, `"a" && "b"`); got != "b" {
+		t.Errorf("&& value = %v", got)
+	}
+}
+
+func TestTernary(t *testing.T) {
+	if got := run(t, `1 < 2 ? "yes" : "no"`); got != "yes" {
+		t.Errorf("ternary = %v", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	src := `
+		var r = "";
+		if (1 > 2) { r = "a"; } else if (2 > 2) { r = "b"; } else { r = "c"; }
+		r`
+	if got := run(t, src); got != "c" {
+		t.Errorf("if-else = %v", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `var i = 0; var sum = 0; while (i < 5) { sum += i; i++; } sum`
+	if got := run(t, src); got != float64(10) {
+		t.Errorf("while = %v", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `var sum = 0; for (var i = 1; i <= 4; i++) { sum += i; } sum`
+	if got := run(t, src); got != float64(10) {
+		t.Errorf("for = %v", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+		var sum = 0;
+		for (var i = 0; i < 10; i++) {
+			if (i == 3) { continue; }
+			if (i == 6) { break; }
+			sum += i;
+		}
+		sum`
+	// 0+1+2+4+5 = 12
+	if got := run(t, src); got != float64(12) {
+		t.Errorf("break/continue = %v", got)
+	}
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	src := `
+		function makeCounter() {
+			var n = 0;
+			return function() { n++; return n; };
+		}
+		var c = makeCounter();
+		c(); c(); c()`
+	if got := run(t, src); got != float64(3) {
+		t.Errorf("closure = %v", got)
+	}
+}
+
+func TestFunctionHoisting(t *testing.T) {
+	src := `var r = f(); function f() { return 7; } r`
+	if got := run(t, src); got != float64(7) {
+		t.Errorf("hoisting = %v", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } fib(10)`
+	if got := run(t, src); got != float64(55) {
+		t.Errorf("fib = %v", got)
+	}
+}
+
+func TestMissingArgsAreUndefined(t *testing.T) {
+	src := `function f(a, b) { return typeof b; } f(1)`
+	if got := run(t, src); got != "undefined" {
+		t.Errorf("missing arg = %v", got)
+	}
+}
+
+func TestArguments(t *testing.T) {
+	src := `function f() { return arguments.length; } f(1, 2, 3)`
+	if got := run(t, src); got != float64(3) {
+		t.Errorf("arguments = %v", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	if got := run(t, `var a = [1, 2, 3]; a.length`); got != float64(3) {
+		t.Errorf("length = %v", got)
+	}
+	if got := run(t, `var a = [1, 2]; a.push(3); a[2]`); got != float64(3) {
+		t.Errorf("push = %v", got)
+	}
+	if got := run(t, `var a = [1, 2, 3]; a.pop(); a.length`); got != float64(2) {
+		t.Errorf("pop = %v", got)
+	}
+	if got := run(t, `[1,2,3].join("-")`); got != "1-2-3" {
+		t.Errorf("join = %v", got)
+	}
+	if got := run(t, `["a","b","c"].indexOf("b")`); got != float64(1) {
+		t.Errorf("indexOf = %v", got)
+	}
+	if got := run(t, `[1,2,3,4].slice(1,3).join("")`); got != "23" {
+		t.Errorf("slice = %v", got)
+	}
+	if got := run(t, `var a = []; a[2] = 9; a.length`); got != float64(3) {
+		t.Errorf("sparse set = %v", got)
+	}
+	if got := run(t, `var a = [1,2,3]; a.shift(); a[0]`); got != float64(2) {
+		t.Errorf("shift = %v", got)
+	}
+	if got := run(t, `[5][1]`); !IsUndefined(got) {
+		t.Errorf("out of range = %v", got)
+	}
+}
+
+func TestObjects(t *testing.T) {
+	if got := run(t, `var o = {a: 1, b: "x"}; o.a + o.b`); got != "1x" {
+		t.Errorf("object = %v", got)
+	}
+	if got := run(t, `var o = {}; o.k = 5; o["k"]`); got != float64(5) {
+		t.Errorf("set/get = %v", got)
+	}
+	if got := run(t, `var o = {a: {b: {c: 42}}}; o.a.b.c`); got != float64(42) {
+		t.Errorf("nested = %v", got)
+	}
+	if got := run(t, `var o = {f: function(x) { return x * 2; }}; o.f(21)`); got != float64(42) {
+		t.Errorf("method = %v", got)
+	}
+	if got := run(t, `({a:1}).missing`); !IsUndefined(got) {
+		t.Errorf("missing prop = %v", got)
+	}
+}
+
+func TestUpdateExpressions(t *testing.T) {
+	if got := run(t, `var i = 5; i++; i`); got != float64(6) {
+		t.Errorf("postfix = %v", got)
+	}
+	if got := run(t, `var i = 5; var j = i++; j`); got != float64(5) {
+		t.Errorf("postfix value = %v", got)
+	}
+	if got := run(t, `var i = 5; var j = ++i; j`); got != float64(6) {
+		t.Errorf("prefix value = %v", got)
+	}
+	if got := run(t, `var o = {n: 1}; o.n++; o.n`); got != float64(2) {
+		t.Errorf("member update = %v", got)
+	}
+	if got := run(t, `var x = 10; x -= 3; x *= 2; x`); got != float64(14) {
+		t.Errorf("compound = %v", got)
+	}
+}
+
+func TestReferenceError(t *testing.T) {
+	err := runErr(`neverDeclared + 1`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != "ReferenceError" {
+		t.Fatalf("err = %v, want ReferenceError", err)
+	}
+	if !strings.Contains(re.Msg, "neverDeclared") {
+		t.Errorf("message = %q", re.Msg)
+	}
+}
+
+func TestUninitializedVariableTypeError(t *testing.T) {
+	// The Google Sites bug shape: var editor; ... editor.insert(...)
+	err := runErr(`var editor; editor.insert("x")`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != "TypeError" {
+		t.Fatalf("err = %v, want TypeError", err)
+	}
+	if !strings.Contains(re.Msg, "undefined") {
+		t.Errorf("message = %q", re.Msg)
+	}
+}
+
+func TestNullPropertyTypeError(t *testing.T) {
+	err := runErr(`var x = null; x.foo`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != "TypeError" {
+		t.Fatalf("err = %v, want TypeError", err)
+	}
+}
+
+func TestCallNonFunction(t *testing.T) {
+	err := runErr(`var x = 5; x()`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != "TypeError" {
+		t.Fatalf("err = %v, want TypeError", err)
+	}
+	if !strings.Contains(re.Msg, "x is not a function") {
+		t.Errorf("message = %q", re.Msg)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	err := runErr(`1 / 0`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != "RangeError" {
+		t.Fatalf("err = %v, want RangeError", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	in := New()
+	in.MaxSteps = 1000
+	_, err := in.Run(`while (true) {}`)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestTypeofUndeclared(t *testing.T) {
+	if got := run(t, `typeof neverDeclared`); got != "undefined" {
+		t.Errorf("typeof undeclared = %v", got)
+	}
+}
+
+func TestTypeofKinds(t *testing.T) {
+	cases := map[string]string{
+		`typeof 1`:              "number",
+		`typeof "s"`:            "string",
+		`typeof true`:           "boolean",
+		`typeof null`:           "object",
+		`typeof undefined`:      "undefined",
+		`typeof function() {}`:  "function",
+		`typeof {}`:             "object",
+		`typeof [1]`:            "object",
+		`typeof parseInt`:       "function",
+		`typeof (1 + 1)`:        "number",
+		`typeof ("a" + "b")`:    "string",
+		`typeof (typeof nope)`:  "string",
+		`typeof {a: 1}.missing`: "undefined",
+	}
+	for src, want := range cases {
+		if got := run(t, src); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	if got := run(t, `parseInt("42px")`); got != float64(42) {
+		t.Errorf("parseInt = %v", got)
+	}
+	if got := run(t, `parseInt("-7")`); got != float64(-7) {
+		t.Errorf("parseInt neg = %v", got)
+	}
+	if got := run(t, `parseInt("abc")`); got != float64(0) {
+		t.Errorf("parseInt non-numeric = %v", got)
+	}
+	if got := run(t, `String(42)`); got != "42" {
+		t.Errorf("String = %v", got)
+	}
+	if got := run(t, `Number("3.5")`); got != float64(3.5) {
+		t.Errorf("Number = %v", got)
+	}
+	if got := run(t, `fromCharCode(72, 105)`); got != "Hi" {
+		t.Errorf("fromCharCode = %v", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+		// line comment
+		var x = 1; /* block
+		comment */ var y = 2;
+		x + y`
+	if got := run(t, src); got != float64(3) {
+		t.Errorf("comments = %v", got)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		`var`, `var 1x = 2`, `if (`, `function f( {}`, `"unterminated`,
+		`{a: }`, `x ===`, `for (;;`, `1 +`, `@`, `/* unterminated`,
+		`5 = 3`, `++5`,
+	}
+	for _, src := range bad {
+		if err := runErr(src); err == nil {
+			t.Errorf("Run(%q) succeeded, want syntax error", src)
+		}
+	}
+}
+
+func TestNativeFuncIntegration(t *testing.T) {
+	in := New()
+	var captured []Value
+	in.Define("report", &NativeFunc{Name: "report", Fn: func(args []Value) (Value, error) {
+		captured = append(captured, args...)
+		return Undefined, nil
+	}})
+	if _, err := in.Run(`report(1, "two", true)`); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 3 || captured[1] != "two" {
+		t.Fatalf("captured = %v", captured)
+	}
+}
+
+func TestHostCallIntoScript(t *testing.T) {
+	in := New()
+	if _, err := in.Run(`function handler(e) { return e + 1; }`); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := in.Global.Lookup("handler")
+	got, err := in.Call(fn, float64(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(42) {
+		t.Fatalf("Call = %v", got)
+	}
+}
+
+func TestCallNonCallableHost(t *testing.T) {
+	in := New()
+	if _, err := in.Call("nope"); err == nil {
+		t.Fatal("Call on string should error")
+	}
+}
+
+func TestToStringFormats(t *testing.T) {
+	cases := map[string]string{
+		`"" + 1.5`:       "1.5",
+		`"" + 10`:        "10",
+		`"" + true`:      "true",
+		`"" + null`:      "null",
+		`"" + undefined`: "undefined",
+		`"" + [1,2]`:     "1,2",
+		`"" + {}`:        "[object Object]",
+	}
+	for src, want := range cases {
+		if got := run(t, src); got != want {
+			t.Errorf("%s = %v, want %q", src, got, want)
+		}
+	}
+}
+
+func TestGlobalAssignmentWithoutVar(t *testing.T) {
+	// Non-strict JS: assigning an undeclared name creates a global.
+	src := `function f() { leaked = 9; } f(); leaked`
+	if got := run(t, src); got != float64(9) {
+		t.Errorf("implicit global = %v", got)
+	}
+}
+
+// Property: integer arithmetic matches Go.
+func TestArithmeticProperty(t *testing.T) {
+	in := New()
+	f := func(a, b int16) bool {
+		src := ToString(float64(a)) + " + " + "(" + ToString(float64(b)) + ")"
+		v, err := in.Run(src)
+		if err != nil {
+			return false
+		}
+		return v == float64(a)+float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string round-trip through concatenation preserves content for
+// quote-free strings.
+func TestStringConcatProperty(t *testing.T) {
+	in := New()
+	f := func(raw []byte) bool {
+		s := strings.Map(func(r rune) rune {
+			if r == '"' || r == '\\' || r == '\n' || r < 32 {
+				return 'x'
+			}
+			return r
+		}, string(raw))
+		v, err := in.Run(`"` + s + `" + ""`)
+		if err != nil {
+			return false
+		}
+		return v == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

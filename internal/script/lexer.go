@@ -1,0 +1,223 @@
+// Package script implements the JavaScript-like language that the
+// simulated web applications use for their client-side code.
+//
+// Why a full interpreter exists in this reproduction: the paper's central
+// difficulty is that "the client-side code can dynamically change the
+// content of a web page" (§I) — GMail regenerates element ids on load,
+// Google Sites loads its editor asynchronously and crashes on an
+// uninitialized variable when a user types too early (§V-C), and event
+// handlers must actually run during replay for fidelity to be measurable.
+// A static DOM cannot exhibit any of that; scripts running inside the
+// simulated browser can.
+//
+// The language is a strict subset of JavaScript: var, functions and
+// closures, if/else, while, for, arrays, object literals, strings,
+// numbers, booleans, null/undefined, and the usual operators. Reference
+// and type errors surface exactly where JavaScript raises them, which is
+// what makes the Google Sites bug reproducible.
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind identifies a lexical token.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokNumber
+	tokString
+	tokIdent
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "return": true, "if": true,
+	"else": true, "while": true, "for": true, "true": true,
+	"false": true, "null": true, "undefined": true, "break": true,
+	"continue": true, "typeof": true,
+}
+
+// multi-character punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "=", "+", "-", "*", "/", "%", "<", ">",
+	"!", "(", ")", "{", "}", "[", "]", ";", ",", ".", ":", "?",
+}
+
+// SyntaxError reports a lexing or parsing failure with a line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: syntax error at line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src. Comments (// and /* */) are stripped.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			if err := l.blockComment(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.string(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.number()
+		case isIdentStart(rune(c)):
+			l.ident()
+		default:
+			if !l.punct() {
+				return nil, &SyntaxError{Line: l.line, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) blockComment() error {
+	start := l.line
+	l.pos += 2
+	for l.pos < len(l.src) {
+		if strings.HasPrefix(l.src[l.pos:], "*/") {
+			l.pos += 2
+			return nil
+		}
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	return &SyntaxError{Line: start, Msg: "unterminated block comment"}
+}
+
+func (l *lexer) string(q byte) error {
+	start := l.line
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case q:
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), line: start})
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return &SyntaxError{Line: start, Msg: "unterminated string"}
+			}
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '\'', '"':
+				b.WriteByte(e)
+			default:
+				b.WriteByte(e)
+			}
+			l.pos++
+		case '\n':
+			return &SyntaxError{Line: start, Msg: "newline in string literal"}
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return &SyntaxError{Line: start, Msg: "unterminated string"}
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	var n float64
+	fmt.Sscanf(text, "%g", &n)
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: n, line: l.line})
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) punct() bool {
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, line: l.line})
+			l.pos += len(p)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,355 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+)
+
+// getMember resolves obj.prop or obj[index].
+func (in *Interp) getMember(obj Value, e *memberExpr, scope *Scope) (Value, error) {
+	name, err := in.memberName(e, scope)
+	if err != nil {
+		return nil, err
+	}
+	switch o := obj.(type) {
+	case nil:
+		return nil, &RuntimeError{Kind: "TypeError",
+			Msg: fmt.Sprintf("cannot read property %q of null", name), Line: e.line}
+	case undefinedType:
+		// This is the exact failure mode of the Google Sites bug: a
+		// property access through a variable that was never initialized
+		// because the editor had not finished loading (paper §V-C).
+		return nil, &RuntimeError{Kind: "TypeError",
+			Msg: fmt.Sprintf("cannot read property %q of undefined", name), Line: e.line}
+	case *Array:
+		return in.arrayMember(o, name, e)
+	case string:
+		return in.stringMember(o, name, e)
+	case PropHolder:
+		if v, ok := o.GetProp(name); ok {
+			return v, nil
+		}
+		return Undefined, nil
+	default:
+		return Undefined, nil
+	}
+}
+
+// setMember assigns obj.prop = val or obj[index] = val.
+func (in *Interp) setMember(obj Value, e *memberExpr, val Value, scope *Scope) error {
+	name, err := in.memberName(e, scope)
+	if err != nil {
+		return err
+	}
+	switch o := obj.(type) {
+	case nil:
+		return &RuntimeError{Kind: "TypeError",
+			Msg: fmt.Sprintf("cannot set property %q of null", name), Line: e.line}
+	case undefinedType:
+		return &RuntimeError{Kind: "TypeError",
+			Msg: fmt.Sprintf("cannot set property %q of undefined", name), Line: e.line}
+	case *Array:
+		idx, ok := arrayIndex(name)
+		if !ok {
+			return &RuntimeError{Kind: "TypeError",
+				Msg: fmt.Sprintf("cannot set property %q of array", name), Line: e.line}
+		}
+		for len(o.Elems) <= idx {
+			o.Elems = append(o.Elems, Undefined)
+		}
+		o.Elems[idx] = val
+		return nil
+	case PropHolder:
+		if err := o.SetProp(name, val); err != nil {
+			return &RuntimeError{Kind: "TypeError", Msg: err.Error(), Line: e.line}
+		}
+		return nil
+	default:
+		return &RuntimeError{Kind: "TypeError",
+			Msg: fmt.Sprintf("cannot set property %q of %s", name, TypeOf(obj)), Line: e.line}
+	}
+}
+
+// memberName produces the property key for either syntax (.prop or
+// [expr]).
+func (in *Interp) memberName(e *memberExpr, scope *Scope) (string, error) {
+	if e.property != "" {
+		return e.property, nil
+	}
+	idx, err := in.eval(e.index, scope)
+	if err != nil {
+		return "", err
+	}
+	return ToString(idx), nil
+}
+
+func arrayIndex(name string) (int, bool) {
+	n := 0
+	if name == "" {
+		return 0, false
+	}
+	for _, r := range name {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, true
+}
+
+// arrayMember resolves array properties and methods.
+func (in *Interp) arrayMember(a *Array, name string, e *memberExpr) (Value, error) {
+	if idx, ok := arrayIndex(name); ok {
+		if idx < len(a.Elems) {
+			return a.Elems[idx], nil
+		}
+		return Undefined, nil
+	}
+	switch name {
+	case "length":
+		return float64(len(a.Elems)), nil
+	case "push":
+		return &NativeFunc{Name: "push", Fn: func(args []Value) (Value, error) {
+			a.Elems = append(a.Elems, args...)
+			return float64(len(a.Elems)), nil
+		}}, nil
+	case "pop":
+		return &NativeFunc{Name: "pop", Fn: func(args []Value) (Value, error) {
+			if len(a.Elems) == 0 {
+				return Undefined, nil
+			}
+			v := a.Elems[len(a.Elems)-1]
+			a.Elems = a.Elems[:len(a.Elems)-1]
+			return v, nil
+		}}, nil
+	case "shift":
+		return &NativeFunc{Name: "shift", Fn: func(args []Value) (Value, error) {
+			if len(a.Elems) == 0 {
+				return Undefined, nil
+			}
+			v := a.Elems[0]
+			a.Elems = a.Elems[1:]
+			return v, nil
+		}}, nil
+	case "join":
+		return &NativeFunc{Name: "join", Fn: func(args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = ToString(args[0])
+			}
+			parts := make([]string, len(a.Elems))
+			for i, el := range a.Elems {
+				parts[i] = ToString(el)
+			}
+			return strings.Join(parts, sep), nil
+		}}, nil
+	case "indexOf":
+		return &NativeFunc{Name: "indexOf", Fn: func(args []Value) (Value, error) {
+			if len(args) == 0 {
+				return float64(-1), nil
+			}
+			for i, el := range a.Elems {
+				if looseEquals(el, args[0]) {
+					return float64(i), nil
+				}
+			}
+			return float64(-1), nil
+		}}, nil
+	case "slice":
+		return &NativeFunc{Name: "slice", Fn: func(args []Value) (Value, error) {
+			start, end := 0, len(a.Elems)
+			if len(args) > 0 {
+				n, err := ToNumber(args[0])
+				if err != nil {
+					return nil, err
+				}
+				start = clampIndex(int(n), len(a.Elems))
+			}
+			if len(args) > 1 {
+				n, err := ToNumber(args[1])
+				if err != nil {
+					return nil, err
+				}
+				end = clampIndex(int(n), len(a.Elems))
+			}
+			if start > end {
+				start = end
+			}
+			out := make([]Value, end-start)
+			copy(out, a.Elems[start:end])
+			return NewArray(out...), nil
+		}}, nil
+	default:
+		return Undefined, nil
+	}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// stringMember resolves string properties and methods.
+func (in *Interp) stringMember(s string, name string, e *memberExpr) (Value, error) {
+	if idx, ok := arrayIndex(name); ok {
+		if idx < len(s) {
+			return string(s[idx]), nil
+		}
+		return Undefined, nil
+	}
+	switch name {
+	case "length":
+		return float64(len(s)), nil
+	case "charAt":
+		return &NativeFunc{Name: "charAt", Fn: func(args []Value) (Value, error) {
+			i, err := argIndex(args)
+			if err != nil || i < 0 || i >= len(s) {
+				return "", nil
+			}
+			return string(s[i]), nil
+		}}, nil
+	case "charCodeAt":
+		return &NativeFunc{Name: "charCodeAt", Fn: func(args []Value) (Value, error) {
+			i, err := argIndex(args)
+			if err != nil || i < 0 || i >= len(s) {
+				return float64(0), nil
+			}
+			return float64(s[i]), nil
+		}}, nil
+	case "indexOf":
+		return &NativeFunc{Name: "indexOf", Fn: func(args []Value) (Value, error) {
+			if len(args) == 0 {
+				return float64(-1), nil
+			}
+			return float64(strings.Index(s, ToString(args[0]))), nil
+		}}, nil
+	case "substring", "slice":
+		return &NativeFunc{Name: name, Fn: func(args []Value) (Value, error) {
+			start, end := 0, len(s)
+			if len(args) > 0 {
+				n, err := ToNumber(args[0])
+				if err != nil {
+					return nil, err
+				}
+				start = clampIndex(int(n), len(s))
+			}
+			if len(args) > 1 {
+				n, err := ToNumber(args[1])
+				if err != nil {
+					return nil, err
+				}
+				end = clampIndex(int(n), len(s))
+			}
+			if start > end {
+				start, end = end, start
+			}
+			return s[start:end], nil
+		}}, nil
+	case "toUpperCase":
+		return &NativeFunc{Name: "toUpperCase", Fn: func(args []Value) (Value, error) {
+			return strings.ToUpper(s), nil
+		}}, nil
+	case "toLowerCase":
+		return &NativeFunc{Name: "toLowerCase", Fn: func(args []Value) (Value, error) {
+			return strings.ToLower(s), nil
+		}}, nil
+	case "trim":
+		return &NativeFunc{Name: "trim", Fn: func(args []Value) (Value, error) {
+			return strings.TrimSpace(s), nil
+		}}, nil
+	case "split":
+		return &NativeFunc{Name: "split", Fn: func(args []Value) (Value, error) {
+			if len(args) == 0 {
+				return NewArray(s), nil
+			}
+			parts := strings.Split(s, ToString(args[0]))
+			vals := make([]Value, len(parts))
+			for i, p := range parts {
+				vals[i] = p
+			}
+			return NewArray(vals...), nil
+		}}, nil
+	case "replace":
+		return &NativeFunc{Name: "replace", Fn: func(args []Value) (Value, error) {
+			if len(args) < 2 {
+				return s, nil
+			}
+			return strings.Replace(s, ToString(args[0]), ToString(args[1]), 1), nil
+		}}, nil
+	default:
+		return Undefined, nil
+	}
+}
+
+func argIndex(args []Value) (int, error) {
+	if len(args) == 0 {
+		return 0, nil
+	}
+	n, err := ToNumber(args[0])
+	return int(n), err
+}
+
+// InstallBuiltins defines the host-independent global functions the
+// simulated applications rely on.
+func InstallBuiltins(in *Interp) {
+	in.Define("parseInt", &NativeFunc{Name: "parseInt", Fn: func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return float64(0), nil
+		}
+		s := strings.TrimSpace(ToString(args[0]))
+		n := 0
+		neg := false
+		i := 0
+		if i < len(s) && (s[i] == '-' || s[i] == '+') {
+			neg = s[i] == '-'
+			i++
+		}
+		digits := 0
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			n = n*10 + int(s[i]-'0')
+			digits++
+		}
+		if digits == 0 {
+			return float64(0), nil
+		}
+		if neg {
+			n = -n
+		}
+		return float64(n), nil
+	}})
+	in.Define("String", &NativeFunc{Name: "String", Fn: func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return ToString(args[0]), nil
+	}})
+	in.Define("Number", &NativeFunc{Name: "Number", Fn: func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return float64(0), nil
+		}
+		n, err := ToNumber(args[0])
+		if err != nil {
+			return float64(0), nil
+		}
+		return n, nil
+	}})
+	in.Define("fromCharCode", &NativeFunc{Name: "fromCharCode", Fn: func(args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			n, err := ToNumber(a)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteRune(rune(int(n)))
+		}
+		return b.String(), nil
+	}})
+}

@@ -1,0 +1,691 @@
+package script
+
+import "fmt"
+
+// parse builds an AST from source.
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparser{toks: toks}
+	prog := &program{base: base{line: 1}}
+	for !p.atEOF() {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.stmts = append(prog.stmts, s)
+	}
+	return prog, nil
+}
+
+type sparser struct {
+	toks []token
+	pos  int
+}
+
+func (p *sparser) cur() token  { return p.toks[p.pos] }
+func (p *sparser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *sparser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sparser) is(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *sparser) accept(text string) bool {
+	if p.is(text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expect(text string) error {
+	if !p.accept(text) {
+		return &SyntaxError{Line: p.cur().line, Msg: fmt.Sprintf("expected %q, found %s", text, p.cur())}
+	}
+	return nil
+}
+
+// optionalSemi consumes a statement terminator if present. The language
+// requires semicolons less strictly than JavaScript's ASI: a closing brace
+// or EOF also terminates.
+func (p *sparser) optionalSemi() {
+	p.accept(";")
+}
+
+// ---- statements ----
+
+func (p *sparser) statement() (node, error) {
+	t := p.cur()
+	switch {
+	case p.is("var"):
+		return p.varStatement()
+	case p.is("function"):
+		return p.funcStatement()
+	case p.is("if"):
+		return p.ifStatement()
+	case p.is("while"):
+		return p.whileStatement()
+	case p.is("for"):
+		return p.forStatement()
+	case p.is("return"):
+		p.advance()
+		rs := &returnStmt{base: base{t.line}}
+		if !p.is(";") && !p.is("}") && !p.atEOF() {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			rs.expr = e
+		}
+		p.optionalSemi()
+		return rs, nil
+	case p.is("break"):
+		p.advance()
+		p.optionalSemi()
+		return &breakStmt{base{t.line}}, nil
+	case p.is("continue"):
+		p.advance()
+		p.optionalSemi()
+		return &continueStmt{base{t.line}}, nil
+	case p.is(";"):
+		p.advance()
+		return &exprStmt{base: base{t.line}, expr: &undefinedLit{base{t.line}}}, nil
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.optionalSemi()
+		return &exprStmt{base: base{t.line}, expr: e}, nil
+	}
+}
+
+func (p *sparser) varStatement() (node, error) {
+	line := p.cur().line
+	p.advance() // var
+	var decls []node
+	for {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return nil, &SyntaxError{Line: t.line, Msg: "expected variable name"}
+		}
+		p.advance()
+		decl := &varDecl{base: base{line}, name: t.text}
+		if p.accept("=") {
+			e, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			decl.init = e
+		}
+		decls = append(decls, decl)
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.optionalSemi()
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	// `var a = 1, b = 2` desugars into a statement sequence.
+	return &program{base: base{line}, stmts: decls}, nil
+}
+
+func (p *sparser) funcStatement() (node, error) {
+	line := p.cur().line
+	p.advance() // function
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, &SyntaxError{Line: t.line, Msg: "expected function name"}
+	}
+	p.advance()
+	params, body, err := p.funcRest()
+	if err != nil {
+		return nil, err
+	}
+	return &funcDecl{base: base{line}, name: t.text, params: params, body: body}, nil
+}
+
+func (p *sparser) funcRest() (params []string, body []node, err error) {
+	if err = p.expect("("); err != nil {
+		return
+	}
+	for !p.is(")") {
+		t := p.cur()
+		if t.kind != tokIdent {
+			err = &SyntaxError{Line: t.line, Msg: "expected parameter name"}
+			return
+		}
+		p.advance()
+		params = append(params, t.text)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err = p.expect(")"); err != nil {
+		return
+	}
+	body, err = p.block()
+	return
+}
+
+func (p *sparser) block() ([]node, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []node
+	for !p.is("}") {
+		if p.atEOF() {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "unterminated block"}
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // }
+	return stmts, nil
+}
+
+// blockOrSingle parses either a braced block or a single statement.
+func (p *sparser) blockOrSingle() ([]node, error) {
+	if p.is("{") {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return []node{s}, nil
+}
+
+func (p *sparser) ifStatement() (node, error) {
+	line := p.cur().line
+	p.advance() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st := &ifStmt{base: base{line}, cond: cond, then: then}
+	if p.accept("else") {
+		if p.is("if") {
+			alt, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			st.alt = []node{alt}
+		} else {
+			alt, err := p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+			st.alt = alt
+		}
+	}
+	return st, nil
+}
+
+func (p *sparser) whileStatement() (node, error) {
+	line := p.cur().line
+	p.advance() // while
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &whileStmt{base: base{line}, cond: cond, body: body}, nil
+}
+
+func (p *sparser) forStatement() (node, error) {
+	line := p.cur().line
+	p.advance() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &forStmt{base: base{line}}
+	if !p.is(";") {
+		var err error
+		if p.is("var") {
+			st.init, err = p.varStatement() // consumes the ';'
+		} else {
+			var e node
+			e, err = p.expression()
+			st.init = &exprStmt{base: base{line}, expr: e}
+			if err == nil {
+				err = p.expect(";")
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p.advance()
+	}
+	if !p.is(";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(")") {
+		post, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st.body = body
+	return st, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *sparser) expression() (node, error) { return p.assignment() }
+
+func (p *sparser) assignment() (node, error) {
+	left, err := p.conditional()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/="} {
+		if p.is(op) {
+			line := p.cur().line
+			p.advance()
+			if !assignable(left) {
+				return nil, &SyntaxError{Line: line, Msg: "invalid assignment target"}
+			}
+			right, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			return &assignExpr{base: base{line}, op: op, target: left, value: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func assignable(n node) bool {
+	switch n.(type) {
+	case *identExpr, *memberExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *sparser) conditional() (node, error) {
+	cond, err := p.logicalOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.is("?") {
+		return cond, nil
+	}
+	line := p.cur().line
+	p.advance()
+	then, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	alt, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	return &condExpr{base: base{line}, cond: cond, then: then, alt: alt}, nil
+}
+
+func (p *sparser) logicalOr() (node, error) {
+	left, err := p.logicalAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("||") {
+		line := p.cur().line
+		p.advance()
+		right, err := p.logicalAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &logicalExpr{base: base{line}, op: "||", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *sparser) logicalAnd() (node, error) {
+	left, err := p.equality()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("&&") {
+		line := p.cur().line
+		p.advance()
+		right, err := p.equality()
+		if err != nil {
+			return nil, err
+		}
+		left = &logicalExpr{base: base{line}, op: "&&", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *sparser) equality() (node, error) {
+	left, err := p.relational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range []string{"===", "!==", "==", "!="} {
+			if p.is(op) {
+				line := p.cur().line
+				p.advance()
+				right, err := p.relational()
+				if err != nil {
+					return nil, err
+				}
+				left = &binaryExpr{base: base{line}, op: op, left: left, right: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *sparser) relational() (node, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range []string{"<=", ">=", "<", ">"} {
+			if p.is(op) {
+				line := p.cur().line
+				p.advance()
+				right, err := p.additive()
+				if err != nil {
+					return nil, err
+				}
+				left = &binaryExpr{base: base{line}, op: op, left: left, right: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *sparser) additive() (node, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("+") || p.is("-") {
+		op := p.cur().text
+		line := p.cur().line
+		p.advance()
+		right, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{base: base{line}, op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *sparser) multiplicative() (node, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("*") || p.is("/") || p.is("%") {
+		op := p.cur().text
+		line := p.cur().line
+		p.advance()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{base: base{line}, op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *sparser) unary() (node, error) {
+	t := p.cur()
+	switch {
+	case p.is("!") || p.is("-"):
+		p.advance()
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{base: base{t.line}, op: t.text, operand: operand}, nil
+	case p.is("typeof"):
+		p.advance()
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{base: base{t.line}, op: "typeof", operand: operand}, nil
+	case p.is("++") || p.is("--"):
+		p.advance()
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(operand) {
+			return nil, &SyntaxError{Line: t.line, Msg: "invalid increment target"}
+		}
+		return &updateExpr{base: base{t.line}, op: t.text, prefix: true, operand: operand}, nil
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *sparser) postfix() (node, error) {
+	e, err := p.callMember()
+	if err != nil {
+		return nil, err
+	}
+	if p.is("++") || p.is("--") {
+		t := p.cur()
+		if !assignable(e) {
+			return nil, &SyntaxError{Line: t.line, Msg: "invalid increment target"}
+		}
+		p.advance()
+		return &updateExpr{base: base{t.line}, op: t.text, operand: e}, nil
+	}
+	return e, nil
+}
+
+func (p *sparser) callMember() (node, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.is("."):
+			line := p.cur().line
+			p.advance()
+			t := p.cur()
+			if t.kind != tokIdent && t.kind != tokKeyword {
+				return nil, &SyntaxError{Line: t.line, Msg: "expected property name"}
+			}
+			p.advance()
+			e = &memberExpr{base: base{line}, object: e, property: t.text}
+		case p.is("["):
+			line := p.cur().line
+			p.advance()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &memberExpr{base: base{line}, object: e, index: idx}
+		case p.is("("):
+			line := p.cur().line
+			p.advance()
+			var args []node
+			for !p.is(")") {
+				a, err := p.assignment()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			e = &callExpr{base: base{line}, callee: e, args: args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *sparser) primary() (node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &numberLit{base: base{t.line}, val: t.num}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &stringLit{base: base{t.line}, val: t.text}, nil
+	case p.is("true"), p.is("false"):
+		p.advance()
+		return &boolLit{base: base{t.line}, val: t.text == "true"}, nil
+	case p.is("null"):
+		p.advance()
+		return &nullLit{base{t.line}}, nil
+	case p.is("undefined"):
+		p.advance()
+		return &undefinedLit{base{t.line}}, nil
+	case p.is("function"):
+		p.advance()
+		// Optional name on function expressions is ignored.
+		if p.cur().kind == tokIdent {
+			p.advance()
+		}
+		params, body, err := p.funcRest()
+		if err != nil {
+			return nil, err
+		}
+		return &funcLit{base: base{t.line}, params: params, body: body}, nil
+	case p.is("("):
+		p.advance()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.is("["):
+		p.advance()
+		lit := &arrayLit{base: base{t.line}}
+		for !p.is("]") {
+			e, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			lit.elems = append(lit.elems, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case p.is("{"):
+		p.advance()
+		lit := &objectLit{base: base{t.line}}
+		for !p.is("}") {
+			k := p.cur()
+			if k.kind != tokIdent && k.kind != tokString && k.kind != tokKeyword {
+				return nil, &SyntaxError{Line: k.line, Msg: "expected property key"}
+			}
+			p.advance()
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			v, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			lit.keys = append(lit.keys, k.text)
+			lit.vals = append(lit.vals, v)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return &identExpr{base: base{t.line}, name: t.text}, nil
+	default:
+		return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("unexpected token %s", t)}
+	}
+}

@@ -1,0 +1,219 @@
+package script
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value: nil (null), Undefined, float64, string, bool,
+// *Array, *Object, *Function, *NativeFunc, or any host value implementing
+// PropHolder and/or Callable.
+type Value any
+
+// undefinedType is the type of the Undefined sentinel.
+type undefinedType struct{}
+
+func (undefinedType) String() string { return "undefined" }
+
+// Undefined is the JavaScript `undefined` value: the value of declared-
+// but-uninitialized variables. The Google Sites bug the paper found
+// (§V-C) manifests as a TypeError on a property access through this
+// value.
+var Undefined = undefinedType{}
+
+// IsUndefined reports whether v is the undefined sentinel.
+func IsUndefined(v Value) bool {
+	_, ok := v.(undefinedType)
+	return ok
+}
+
+// Object is a mutable property bag (JavaScript object literal).
+type Object struct {
+	props map[string]Value
+}
+
+// NewObject returns an empty object.
+func NewObject() *Object { return &Object{props: make(map[string]Value)} }
+
+// GetProp implements PropHolder.
+func (o *Object) GetProp(name string) (Value, bool) {
+	v, ok := o.props[name]
+	return v, ok
+}
+
+// SetProp implements PropHolder.
+func (o *Object) SetProp(name string, v Value) error {
+	o.props[name] = v
+	return nil
+}
+
+// Keys returns the object's property names, sorted for determinism.
+func (o *Object) Keys() []string {
+	keys := make([]string, 0, len(o.props))
+	for k := range o.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Array is a JavaScript-style growable array.
+type Array struct {
+	Elems []Value
+}
+
+// NewArray returns an array holding elems.
+func NewArray(elems ...Value) *Array { return &Array{Elems: elems} }
+
+// PropHolder is implemented by values exposing named properties. Host
+// environments (the browser's DOM bindings) implement this to expose
+// element properties such as textContent.
+type PropHolder interface {
+	GetProp(name string) (Value, bool)
+	SetProp(name string, v Value) error
+}
+
+// Callable is implemented by invocable values.
+type Callable interface {
+	CallFn(in *Interp, args []Value) (Value, error)
+}
+
+// Function is a user-defined function with its closure environment.
+type Function struct {
+	name   string
+	params []string
+	body   []node
+	env    *Scope
+}
+
+// CallFn implements Callable.
+func (f *Function) CallFn(in *Interp, args []Value) (Value, error) {
+	return in.callFunction(f, args)
+}
+
+// NativeFunc adapts a Go function into a callable script value.
+type NativeFunc struct {
+	Name string
+	Fn   func(args []Value) (Value, error)
+}
+
+// CallFn implements Callable.
+func (f *NativeFunc) CallFn(in *Interp, args []Value) (Value, error) {
+	return f.Fn(args)
+}
+
+// Interface compliance checks.
+var (
+	_ PropHolder = (*Object)(nil)
+	_ Callable   = (*Function)(nil)
+	_ Callable   = (*NativeFunc)(nil)
+)
+
+// Truthy converts a value to boolean following JavaScript semantics.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case undefinedType:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// TypeOf returns the JavaScript typeof string for v.
+func TypeOf(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "object" // typeof null === "object", faithfully
+	case undefinedType:
+		return "undefined"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case Callable:
+		return "function"
+	default:
+		return "object"
+	}
+}
+
+// ToString converts a value to its display string (console.log, string
+// concatenation).
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case undefinedType:
+		return "undefined"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return formatNumber(x)
+	case string:
+		return x
+	case *Array:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			parts[i] = ToString(e)
+		}
+		return strings.Join(parts, ",")
+	case *Object:
+		return "[object Object]"
+	case *Function:
+		return "function " + x.name + "() { ... }"
+	case *NativeFunc:
+		return "function " + x.Name + "() { [native code] }"
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// formatNumber renders floats the way JavaScript does: integers without a
+// decimal point.
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ToNumber converts a value to a number; non-numeric strings yield an
+// error rather than NaN (the simulated apps never rely on NaN).
+func ToNumber(v Value) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case bool:
+		if x {
+			return 1, nil
+		}
+		return 0, nil
+	case string:
+		n, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		if err != nil {
+			return 0, fmt.Errorf("cannot convert %q to a number", x)
+		}
+		return n, nil
+	case nil:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("cannot convert %s to a number", TypeOf(v))
+	}
+}

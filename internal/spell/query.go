@@ -1,0 +1,72 @@
+package spell
+
+// QueryCorrector corrects whole queries against a corpus of known
+// queries, the way a search engine with rich query logs can: instead of
+// fixing words one at a time against a dictionary, it snaps the entire
+// query to the nearest frequently-seen query. This is the mechanism that
+// lets the Google-shaped engine of Table I detect and fix every injected
+// typo — the original query is always in the corpus, and a single-word
+// typo leaves the full query within a small edit distance of it.
+type QueryCorrector struct {
+	// Name identifies the engine flavour in reports.
+	Name string
+
+	corpus      []string
+	maxDistance int
+	// fallback fixes queries that no corpus entry is near enough to.
+	fallback *Corrector
+}
+
+// NewQueryCorrector builds a query-level corrector. maxDistance bounds
+// the whole-query edit distance considered; fallback may be nil.
+func NewQueryCorrector(name string, corpus []string, maxDistance int, fallback *Corrector) *QueryCorrector {
+	return &QueryCorrector{
+		Name:        name,
+		corpus:      append([]string(nil), corpus...),
+		maxDistance: maxDistance,
+		fallback:    fallback,
+	}
+}
+
+// Correct returns the corrected query and whether it changed.
+func (c *QueryCorrector) Correct(query string) (string, bool) {
+	q := normalizeQuery(query)
+	best := ""
+	bestDist := c.maxDistance + 1
+	for _, cand := range c.corpus {
+		nc := normalizeQuery(cand)
+		if nc == q {
+			return query, false // already a known query
+		}
+		// Cheap length filter before the O(nm) distance.
+		dl := len(nc) - len(q)
+		if dl < 0 {
+			dl = -dl
+		}
+		if dl >= bestDist {
+			continue
+		}
+		if dist := Levenshtein(q, nc); dist < bestDist {
+			best, bestDist = nc, dist
+		}
+	}
+	if best != "" {
+		return best, true
+	}
+	if c.fallback != nil {
+		return c.fallback.Correct(query)
+	}
+	return query, false
+}
+
+func normalizeQuery(q string) string {
+	ws := Words(q)
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package spell
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"privacy", "privacy", 0},
+		{"privacy", "pricavy", 2},  // transposition = distance 2
+		{"privacy", "privcy", 1},   // omission
+		{"privacy", "privaacy", 1}, // insertion
+		{"privacy", "privzcy", 1},  // substitution
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	clamp := func(s string) string {
+		if len(s) > 24 {
+			return s[:24]
+		}
+		return s
+	}
+	symmetric := func(a, b string) bool {
+		a, b = clamp(a), clamp(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool {
+		a = clamp(a)
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(identity, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("identity:", err)
+	}
+	bounded := func(a, b string) bool {
+		a, b = clamp(a), clamp(b)
+		d := Levenshtein(a, b)
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		min := len(a) - len(b)
+		if min < 0 {
+			min = -min
+		}
+		return d >= min && d <= max
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("bounds:", err)
+	}
+	triangle := func(a, b, c string) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+var testCorpus = []string{
+	"facebook privacy settings",
+	"world cup south africa",
+	"android phones comparison",
+	"facebook login page",
+}
+
+func TestDictionaryBuild(t *testing.T) {
+	d := NewDictionary(testCorpus)
+	if !d.Contains("facebook") || !d.Contains("privacy") {
+		t.Error("dictionary missing corpus words")
+	}
+	if d.Contains("nonexistent") {
+		t.Error("dictionary contains absent word")
+	}
+	if got := d.Freq("facebook"); got != 2 {
+		t.Errorf("freq(facebook) = %d, want 2", got)
+	}
+	if d.Len() == 0 {
+		t.Error("empty dictionary")
+	}
+}
+
+func TestWithoutTailDropsDeterministically(t *testing.T) {
+	d := NewDictionary(testCorpus)
+	a := d.WithoutTail(3)
+	b := d.WithoutTail(3)
+	if a.Len() != b.Len() {
+		t.Error("WithoutTail is nondeterministic")
+	}
+	if a.Len() >= d.Len() {
+		t.Errorf("WithoutTail dropped nothing: %d vs %d", a.Len(), d.Len())
+	}
+	if got := d.WithoutTail(0).Len(); got != d.Len() {
+		t.Errorf("keepMod=0 should keep everything, got %d of %d", got, d.Len())
+	}
+}
+
+func TestCorrectorFixesDistance1(t *testing.T) {
+	d := NewDictionary(testCorpus)
+	c := NewCorrector("d1", d, 1)
+	got, changed := c.Correct("facebook privzcy settings")
+	if !changed || got != "facebook privacy settings" {
+		t.Errorf("Correct = %q (changed=%v)", got, changed)
+	}
+}
+
+func TestDistance1CorrectorMissesTransposition(t *testing.T) {
+	d := NewDictionary(testCorpus)
+	c1 := NewCorrector("d1", d, 1)
+	c2 := NewCorrector("d2", d, 2)
+	const typoed = "facebook pricavy settings" // transposition, distance 2
+
+	got1, _ := c1.Correct(typoed)
+	if got1 == "facebook privacy settings" {
+		t.Error("distance-1 corrector should miss a transposition")
+	}
+	got2, changed := c2.Correct(typoed)
+	if !changed || got2 != "facebook privacy settings" {
+		t.Errorf("distance-2 corrector = %q", got2)
+	}
+}
+
+func TestCorrectorLeavesKnownWordsAlone(t *testing.T) {
+	d := NewDictionary(testCorpus)
+	c := NewCorrector("d2", d, 2)
+	got, changed := c.Correct("facebook privacy settings")
+	if changed || got != "facebook privacy settings" {
+		t.Errorf("known query changed to %q", got)
+	}
+}
+
+func TestCorrectorTieBreaksByFrequency(t *testing.T) {
+	// "page" (freq 1) vs "facebook" (freq 2): a word equidistant from
+	// two candidates must pick the more frequent one deterministically.
+	d := NewDictionary([]string{"cat hat", "cat mat", "cat"})
+	c := NewCorrector("tie", d, 1)
+	got, changed := c.Correct("bat")
+	if !changed || got != "cat" {
+		t.Errorf("tie broke to %q, want the most frequent candidate", got)
+	}
+}
+
+func TestQueryCorrectorSnapsToCorpus(t *testing.T) {
+	qc := NewQueryCorrector("google", testCorpus, 4, nil)
+	got, changed := qc.Correct("facebook pricavy settings")
+	if !changed || got != "facebook privacy settings" {
+		t.Errorf("QueryCorrector = %q (changed=%v)", got, changed)
+	}
+	// Known queries pass through unchanged.
+	got, changed = qc.Correct("world cup south africa")
+	if changed {
+		t.Errorf("known query changed to %q", got)
+	}
+}
+
+func TestQueryCorrectorFallback(t *testing.T) {
+	dict := NewDictionary(testCorpus)
+	word := NewCorrector("w", dict, 2)
+	qc := NewQueryCorrector("google", testCorpus[:1], 2, word)
+	// Far from the 1-query corpus, but word-level fixable.
+	got, changed := qc.Correct("world cup sputh africa")
+	if !changed || got != "world cup south africa" {
+		t.Errorf("fallback = %q (changed=%v)", got, changed)
+	}
+}
+
+func TestQueryCorrectorCaseInsensitive(t *testing.T) {
+	qc := NewQueryCorrector("google", testCorpus, 4, nil)
+	got, changed := qc.Correct("FACEBOOK pricavy SETTINGS")
+	if !changed || got != "facebook privacy settings" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("  Hello   WORLD ")
+	if len(got) != 2 || got[0] != "hello" || got[1] != "world" {
+		t.Errorf("Words = %v", got)
+	}
+}
+
+func TestCorrectorUncorrectableWordSurvives(t *testing.T) {
+	d := NewDictionary(testCorpus)
+	c := NewCorrector("d1", d, 1)
+	got, changed := c.Correct("zzzzzzzzzz")
+	if changed || !strings.Contains(got, "zzzzzzzzzz") {
+		t.Errorf("uncorrectable word mangled: %q", got)
+	}
+}

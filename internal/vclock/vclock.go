@@ -1,0 +1,228 @@
+// Package vclock provides a deterministic virtual clock used by the
+// simulated browser, network, and replayer.
+//
+// The paper's browser runs in real time; a reproduction must be
+// deterministic so that timing experiments (WaRR command inter-arrival
+// times, WebErr timing-error injection, asynchronous application loading)
+// are exactly repeatable. All time in this repository flows through a
+// Clock: timers fire only when the clock is advanced, and advancing the
+// clock runs due timers in deadline order.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Timer is a scheduled callback registered with a Clock.
+type Timer struct {
+	id       uint64
+	deadline time.Time
+	fn       func()
+	stopped  bool
+	index    int // heap index, -1 when popped
+}
+
+// Deadline returns the virtual time at which the timer fires.
+func (t *Timer) Deadline() time.Time { return t.deadline }
+
+// timerHeap orders timers by (deadline, id) so that timers scheduled for
+// the same instant fire in registration order, keeping runs deterministic.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].id < h[j].id
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Clock is a deterministic virtual clock.
+//
+// The zero value is not usable; construct with New. Clock is safe for
+// concurrent use, but callbacks run on the goroutine that calls Advance.
+type Clock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	nextID uint64
+	// fireObservers are notified after each timer callback runs. The
+	// WaRR Recorder's nondeterminism extension uses this to log timer
+	// firings alongside user actions (paper §III-A: the engine-embedded
+	// design "can easily be extended to record various sources of
+	// nondeterminism (e.g., timers)").
+	fireObservers []func(deadline time.Time)
+}
+
+// Epoch is the instant at which every new Clock starts. The specific date
+// is arbitrary but fixed so traces recorded in tests are byte-identical
+// across runs.
+var Epoch = time.Date(2011, time.June, 27, 10, 0, 0, 0, time.UTC)
+
+// New returns a Clock positioned at Epoch.
+func New() *Clock {
+	return &Clock{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// AfterFunc schedules fn to run once d has elapsed on the virtual clock.
+// A non-positive d schedules fn at the current instant; it still runs only
+// on the next Advance (or RunDue) call, mirroring how a JavaScript
+// setTimeout(fn, 0) runs only after the current script completes.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{
+		id:       c.nextID,
+		deadline: c.now.Add(d),
+		fn:       fn,
+	}
+	c.nextID++
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// Stop cancels a timer. It reports whether the timer was still pending.
+func (c *Clock) Stop(t *Timer) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	heap.Remove(&c.timers, t.index)
+	return true
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// falls within the window, in deadline order. Callbacks may schedule new
+// timers; those also fire if their deadlines fall within the window.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	target := c.now.Add(d)
+	c.mu.Unlock()
+	c.advanceTo(target)
+}
+
+// AdvanceTo moves the clock forward to instant t (no-op if t is in the past).
+func (c *Clock) AdvanceTo(t time.Time) {
+	c.advanceTo(t)
+}
+
+func (c *Clock) advanceTo(target time.Time) {
+	for {
+		c.mu.Lock()
+		if len(c.timers) == 0 || c.timers[0].deadline.After(target) {
+			if target.After(c.now) {
+				c.now = target
+			}
+			c.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&c.timers).(*Timer)
+		if t.deadline.After(c.now) {
+			c.now = t.deadline
+		}
+		fn := t.fn
+		observers := c.fireObservers
+		c.mu.Unlock()
+		if !t.stopped {
+			fn()
+			for _, o := range observers {
+				o(t.deadline)
+			}
+		}
+	}
+}
+
+// AddFireObserver registers fn to run after every timer callback, with
+// the timer's deadline. Observers cannot be removed; they live as long
+// as the clock.
+func (c *Clock) AddFireObserver(fn func(deadline time.Time)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fireObservers = append(c.fireObservers, fn)
+}
+
+// RunDue fires every timer due at or before the current instant without
+// moving the clock. It is the virtual analogue of draining a JavaScript
+// event loop's macrotask queue.
+func (c *Clock) RunDue() {
+	c.advanceTo(c.Now())
+}
+
+// PendingTimers returns the number of timers not yet fired.
+func (c *Clock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// NextDeadline returns the deadline of the earliest pending timer and
+// whether one exists.
+func (c *Clock) NextDeadline() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.timers) == 0 {
+		return time.Time{}, false
+	}
+	return c.timers[0].deadline, true
+}
+
+// Drain advances the clock until no timers remain or the step limit is
+// reached, and reports whether the queue emptied. It bounds runaway timer
+// chains (an application that reschedules itself forever would otherwise
+// hang a test).
+func (c *Clock) Drain(limit int) bool {
+	for i := 0; i < limit; i++ {
+		dl, ok := c.NextDeadline()
+		if !ok {
+			return true
+		}
+		c.AdvanceTo(dl)
+	}
+	_, ok := c.NextDeadline()
+	return !ok
+}

@@ -1,0 +1,199 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewStartsAtEpoch(t *testing.T) {
+	c := New()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), Epoch)
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Second)
+	if got, want := c.Since(Epoch), 5*time.Second; got != want {
+		t.Fatalf("Since(Epoch) = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativeIsNoOp(t *testing.T) {
+	c := New()
+	c.Advance(-time.Second)
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("negative advance moved clock to %v", c.Now())
+	}
+}
+
+func TestAfterFuncFiresOnAdvance(t *testing.T) {
+	c := New()
+	fired := false
+	c.AfterFunc(100*time.Millisecond, func() { fired = true })
+	c.Advance(50 * time.Millisecond)
+	if fired {
+		t.Fatal("timer fired before deadline")
+	}
+	c.Advance(50 * time.Millisecond)
+	if !fired {
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestTimersFireInDeadlineOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameDeadlineFiresInRegistrationOrder(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Advance(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.AfterFunc(time.Millisecond, func() { fired = true })
+	if !c.Stop(tm) {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if c.Stop(tm) {
+		t.Fatal("second Stop returned true")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestNestedTimersWithinWindowFire(t *testing.T) {
+	c := New()
+	var events []string
+	c.AfterFunc(10*time.Millisecond, func() {
+		events = append(events, "outer")
+		c.AfterFunc(5*time.Millisecond, func() {
+			events = append(events, "inner")
+		})
+	})
+	c.Advance(20 * time.Millisecond)
+	if len(events) != 2 || events[0] != "outer" || events[1] != "inner" {
+		t.Fatalf("events = %v, want [outer inner]", events)
+	}
+}
+
+func TestNestedTimerBeyondWindowDefers(t *testing.T) {
+	c := New()
+	var events []string
+	c.AfterFunc(10*time.Millisecond, func() {
+		events = append(events, "outer")
+		c.AfterFunc(50*time.Millisecond, func() {
+			events = append(events, "inner")
+		})
+	})
+	c.Advance(20 * time.Millisecond)
+	if len(events) != 1 {
+		t.Fatalf("events = %v, want [outer]", events)
+	}
+	c.Advance(40 * time.Millisecond)
+	if len(events) != 2 {
+		t.Fatalf("events = %v, want [outer inner]", events)
+	}
+}
+
+func TestZeroDelayRunsOnRunDue(t *testing.T) {
+	c := New()
+	fired := false
+	c.AfterFunc(0, func() { fired = true })
+	if fired {
+		t.Fatal("zero-delay timer ran synchronously")
+	}
+	c.RunDue()
+	if !fired {
+		t.Fatal("RunDue did not fire due timer")
+	}
+}
+
+func TestClockDoesNotRewindWhenAdvancingPastTimers(t *testing.T) {
+	c := New()
+	c.AfterFunc(time.Millisecond, func() {})
+	c.Advance(time.Hour)
+	if got := c.Since(Epoch); got != time.Hour {
+		t.Fatalf("Since = %v, want 1h", got)
+	}
+}
+
+func TestDrainEmptiesQueue(t *testing.T) {
+	c := New()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < 10 {
+			c.AfterFunc(time.Millisecond, reschedule)
+		}
+	}
+	c.AfterFunc(time.Millisecond, reschedule)
+	if !c.Drain(100) {
+		t.Fatal("Drain did not empty a finite chain")
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestDrainBoundsInfiniteChain(t *testing.T) {
+	c := New()
+	var reschedule func()
+	reschedule = func() { c.AfterFunc(time.Millisecond, reschedule) }
+	c.AfterFunc(time.Millisecond, reschedule)
+	if c.Drain(50) {
+		t.Fatal("Drain reported an infinite chain as emptied")
+	}
+}
+
+func TestPendingTimers(t *testing.T) {
+	c := New()
+	if n := c.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", n)
+	}
+	c.AfterFunc(time.Second, func() {})
+	c.AfterFunc(2*time.Second, func() {})
+	if n := c.PendingTimers(); n != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", n)
+	}
+	c.Advance(time.Second)
+	if n := c.PendingTimers(); n != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", n)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	c := New()
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a timer on an empty clock")
+	}
+	c.AfterFunc(3*time.Second, func() {})
+	dl, ok := c.NextDeadline()
+	if !ok || !dl.Equal(Epoch.Add(3*time.Second)) {
+		t.Fatalf("NextDeadline = %v,%v", dl, ok)
+	}
+}

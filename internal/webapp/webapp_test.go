@@ -1,0 +1,134 @@
+package webapp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+)
+
+func TestRouting(t *testing.T) {
+	s := NewServer("app")
+	s.Handle("/", func(req *netsim.Request, sess *Session) *netsim.Response {
+		return netsim.OK("home")
+	})
+	s.Handle("/about", func(req *netsim.Request, sess *Session) *netsim.Response {
+		return netsim.OK("about")
+	})
+	if got := s.Serve(netsim.NewRequest("GET", "http://app.test/")).Body; got != "home" {
+		t.Errorf("/ = %q", got)
+	}
+	if got := s.Serve(netsim.NewRequest("GET", "http://app.test/about")).Body; got != "about" {
+		t.Errorf("/about = %q", got)
+	}
+	if got := s.Serve(netsim.NewRequest("GET", "http://app.test/ghost")).Status; got != 404 {
+		t.Errorf("missing route status = %d", got)
+	}
+}
+
+func TestNilPageFuncResponse(t *testing.T) {
+	s := NewServer("app")
+	s.Handle("/", func(req *netsim.Request, sess *Session) *netsim.Response { return nil })
+	if got := s.Serve(netsim.NewRequest("GET", "http://app.test/")).Status; got != 404 {
+		t.Errorf("nil response status = %d", got)
+	}
+}
+
+func TestSessionCookieIssuedOnce(t *testing.T) {
+	s := NewServer("app")
+	s.Handle("/", func(req *netsim.Request, sess *Session) *netsim.Response {
+		return netsim.OK(sess.ID)
+	})
+
+	r1 := s.Serve(netsim.NewRequest("GET", "http://app.test/"))
+	cookie := r1.Header["Set-Cookie"]
+	if !strings.HasPrefix(cookie, "sid=") {
+		t.Fatalf("Set-Cookie = %q", cookie)
+	}
+	sid := strings.TrimPrefix(cookie, "sid=")
+
+	req2 := netsim.NewRequest("GET", "http://app.test/")
+	req2.Header["Cookie"] = "sid=" + sid
+	r2 := s.Serve(req2)
+	if r2.Header["Set-Cookie"] != "" {
+		t.Error("second request re-issued a cookie")
+	}
+	if r2.Body != sid {
+		t.Errorf("session not resumed: %q vs %q", r2.Body, sid)
+	}
+}
+
+func TestSessionStateSurvivesRequests(t *testing.T) {
+	s := NewServer("app")
+	s.Handle("/set", func(req *netsim.Request, sess *Session) *netsim.Response {
+		sess.Set("user", req.Form.Get("u"))
+		return netsim.OK("ok")
+	})
+	s.Handle("/get", func(req *netsim.Request, sess *Session) *netsim.Response {
+		return netsim.OK("user=" + sess.Get("user"))
+	})
+
+	r1 := s.Serve(netsim.NewRequest("GET", "http://app.test/set?u=alice"))
+	cookie := r1.Header["Set-Cookie"]
+	req2 := netsim.NewRequest("GET", "http://app.test/get")
+	req2.Header["Cookie"] = cookie
+	if got := s.Serve(req2).Body; got != "user=alice" {
+		t.Fatalf("session value = %q", got)
+	}
+}
+
+func TestDistinctClientsGetDistinctSessions(t *testing.T) {
+	s := NewServer("app")
+	s.Handle("/", func(req *netsim.Request, sess *Session) *netsim.Response {
+		return netsim.OK(sess.ID)
+	})
+	a := s.Serve(netsim.NewRequest("GET", "http://app.test/")).Body
+	b := s.Serve(netsim.NewRequest("GET", "http://app.test/")).Body
+	if a == b {
+		t.Fatal("two cookie-less clients shared a session")
+	}
+}
+
+func TestPageRendering(t *testing.T) {
+	html := Page("My Title", "<div id=\"x\">hi</div>", "var a = 1;")
+	for _, want := range []string{"<title>My Title</title>", `<div id="x">hi</div>`, "<script>var a = 1;</script>"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("page missing %q in %q", want, html)
+		}
+	}
+	noScript := Page("T", "body", "")
+	if strings.Contains(noScript, "<script>") {
+		t.Error("empty script rendered a script tag")
+	}
+}
+
+func TestRedirect(t *testing.T) {
+	r := Redirect("http://app.test/next")
+	if r.Status != 302 || r.Header["Location"] != "http://app.test/next" {
+		t.Fatalf("redirect = %+v", r)
+	}
+}
+
+func TestBadFormIs400(t *testing.T) {
+	s := NewServer("app")
+	s.Handle("/", func(req *netsim.Request, sess *Session) *netsim.Response {
+		return netsim.OK("ok")
+	})
+	req := netsim.NewRequest("POST", "http://app.test/")
+	req.Body = "a=%zz" // invalid escape
+	if got := s.Serve(req).Status; got != 400 {
+		t.Fatalf("status = %d, want 400", got)
+	}
+}
+
+func TestCookieParsing(t *testing.T) {
+	if got := cookieValue("a=1; sid=xyz; b=2", "sid"); got != "xyz" {
+		t.Errorf("cookieValue = %q", got)
+	}
+	if got := cookieValue("", "sid"); got != "" {
+		t.Errorf("empty header = %q", got)
+	}
+	if got := cookieValue("sidecar=1", "sid"); got != "" {
+		t.Errorf("prefix confusion = %q", got)
+	}
+}

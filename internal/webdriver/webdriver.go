@@ -1,0 +1,410 @@
+// Package webdriver implements the browser interaction driver the WaRR
+// Replayer is built on — the analog of WebDriver plus ChromeDriver
+// (paper §IV-C). The architecture matches the paper's description:
+// Chrome is controlled through a plug-in composed of a master and
+// multiple clients, one per iframe; the master proxies commands to the
+// single active client.
+//
+// The package reproduces ChromeDriver's four defects and WaRR's fixes,
+// each behind an option so the ablation benchmarks can measure them:
+//
+//  1. no double-click support → fixed by synthesizing the necessary
+//     events from JavaScript-level dispatch;
+//  2. text input that only sets the value property → fixed by targeting
+//     the correct property (textContent for container elements) and
+//     triggering the required events;
+//  3. no clients for src-less iframes → fixed by letting the parent
+//     document's client execute commands on them;
+//  4. active-client selection that assumes an unload/load order Chrome
+//     does not guarantee → fixed by reselecting a live client on unload.
+package webdriver
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/event"
+	"github.com/dslab-epfl/warr/internal/xpath"
+)
+
+// DefaultFrameName is the custom iframe name that signals a switch back
+// to the default (main) frame — the paper's workaround for ChromeDriver
+// providing "no means to switch back to an iframe".
+const DefaultFrameName = "__warr_default__"
+
+// Errors surfaced by the driver.
+var (
+	// ErrNoActiveClient means the master has no client to execute
+	// commands — the halted-replay state of ChromeDriver defect 4.
+	ErrNoActiveClient = errors.New("webdriver: no active client (replay halted)")
+	// ErrElementNotFound means no frame contained a match for the
+	// expression.
+	ErrElementNotFound = errors.New("webdriver: element not found")
+	// ErrNoSuchFrame means a frame switch named an unknown frame.
+	ErrNoSuchFrame = errors.New("webdriver: no such frame")
+	// ErrDoubleClickUnsupported reproduces ChromeDriver defect 1 when
+	// the fix is disabled.
+	ErrDoubleClickUnsupported = errors.New("webdriver: double click not supported by this driver")
+)
+
+// Options select between stock-ChromeDriver behaviour and WaRR's fixes.
+// The zero value is the fully fixed driver the WaRR Replayer uses.
+type Options struct {
+	// DisableDoubleClickFix reverts to ChromeDriver's missing
+	// double-click support.
+	DisableDoubleClickFix bool
+	// LegacyTextInput reverts to ChromeDriver's set-the-value-property
+	// text input (no events, wrong property for container elements).
+	LegacyTextInput bool
+	// DisableSrclessIframeFix stops the parent client from executing
+	// commands on src-less iframes.
+	DisableSrclessIframeFix bool
+	// DisableUnloadFix reverts to the assumed-order active-client
+	// selection that halts replay when Chrome unloads frames late.
+	DisableUnloadFix bool
+}
+
+// Client executes commands on one frame — a ChromeDriver client.
+type Client struct {
+	frame *browser.Frame
+	// adopted are src-less child frames this client executes commands on
+	// (fix 3: Chrome loads no client for them, so the parent's client
+	// takes over).
+	adopted []*browser.Frame
+}
+
+// Frame returns the frame the client is responsible for.
+func (c *Client) Frame() *browser.Frame { return c.frame }
+
+// searchRoots returns the documents this client can address.
+func (c *Client) searchRoots() []*browser.Frame {
+	return append([]*browser.Frame{c.frame}, c.adopted...)
+}
+
+// Driver is the ChromeDriver-style master. It observes frame lifecycle
+// events from the tab and maintains one client per (src-bearing) frame,
+// with a single active client executing commands.
+type Driver struct {
+	tab  *browser.Tab
+	opts Options
+
+	clients map[*browser.Frame]*Client
+	// loadOrder preserves client creation order, newest last.
+	loadOrder []*Client
+	active    *Client
+}
+
+// New attaches a driver to a tab.
+func New(tab *browser.Tab, opts Options) *Driver {
+	d := &Driver{tab: tab, opts: opts, clients: make(map[*browser.Frame]*Client)}
+	tab.AddFrameObserver(d)
+	// Adopt frames that existed before attachment.
+	for _, f := range tab.MainFrame().Descendants() {
+		d.FrameLoaded(f)
+	}
+	return d
+}
+
+// Tab returns the driven tab.
+func (d *Driver) Tab() *browser.Tab { return d.tab }
+
+// ActiveClient returns the client currently executing commands, or nil.
+func (d *Driver) ActiveClient() *Client { return d.active }
+
+// FrameLoaded implements browser.FrameObserver.
+func (d *Driver) FrameLoaded(f *browser.Frame) {
+	if !f.HasSrc() && f.Parent() != nil {
+		// Chrome does not load a ChromeDriver client for src-less
+		// iframes (defect 3). With the fix, the parent's client adopts
+		// the frame.
+		if !d.opts.DisableSrclessIframeFix {
+			if pc, ok := d.clients[f.Parent()]; ok {
+				pc.adopted = append(pc.adopted, f)
+			}
+		}
+		return
+	}
+	c := &Client{frame: f}
+	d.clients[f] = c
+	d.loadOrder = append(d.loadOrder, c)
+	if d.opts.DisableUnloadFix {
+		// ChromeDriver defect 4, load half: the master assumes the old
+		// page unloads before the new page loads, so a load only claims
+		// the active slot when a preceding unload vacated it. Chrome
+		// delivers the load first, so the slot is still occupied here —
+		// and the unload that follows clears it for good.
+		if d.active == nil {
+			d.active = c
+		}
+		return
+	}
+	if d.active == nil || f.Parent() == nil {
+		// The main frame's client becomes active on page load.
+		d.active = c
+	}
+}
+
+// FrameUnloaded implements browser.FrameObserver.
+func (d *Driver) FrameUnloaded(f *browser.Frame) {
+	c, ok := d.clients[f]
+	if !ok {
+		return
+	}
+	delete(d.clients, f)
+	for i, lc := range d.loadOrder {
+		if lc == c {
+			d.loadOrder = append(d.loadOrder[:i], d.loadOrder[i+1:]...)
+			break
+		}
+	}
+	if d.active != c {
+		return
+	}
+	if d.opts.DisableUnloadFix {
+		// ChromeDriver defect 4: the master assumes loads and unloads
+		// arrive in order (unload of the old page, then load of the
+		// new), so on unload it waits for a load that — because Chrome
+		// already delivered it — never comes. No new active client is
+		// chosen and the replay halts.
+		d.active = nil
+		return
+	}
+	// WaRR's fix: "ensuring that unloads do not prevent selecting a new
+	// active client" — reselect the most recently loaded live client.
+	d.active = nil
+	for i := len(d.loadOrder) - 1; i >= 0; i-- {
+		if d.loadOrder[i].frame.Alive() {
+			d.active = d.loadOrder[i]
+			return
+		}
+	}
+}
+
+// SwitchToFrame makes the named iframe's client active.
+// DefaultFrameName switches back to the main frame (the paper's custom
+// name workaround).
+func (d *Driver) SwitchToFrame(name string) error {
+	if name == DefaultFrameName {
+		if c, ok := d.clients[d.tab.MainFrame()]; ok {
+			d.active = c
+			return nil
+		}
+		return ErrNoSuchFrame
+	}
+	f := d.tab.MainFrame().FrameByName(name)
+	if f == nil {
+		return fmt.Errorf("%w: %q", ErrNoSuchFrame, name)
+	}
+	if c, ok := d.clients[f]; ok {
+		d.active = c
+		return nil
+	}
+	// A src-less frame has no client of its own; command execution goes
+	// through the adopting parent client (fix 3).
+	if !d.opts.DisableSrclessIframeFix {
+		for _, c := range d.clients {
+			for _, a := range c.adopted {
+				if a == f {
+					d.active = c
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("%w: %q has no client", ErrNoSuchFrame, name)
+}
+
+// Element is a located DOM element, bound to the frame it was found in.
+type Element struct {
+	driver *Driver
+	frame  *browser.Frame
+	node   *dom.Node
+}
+
+// Node returns the underlying DOM node.
+func (e *Element) Node() *dom.Node { return e.node }
+
+// Frame returns the frame the element lives in.
+func (e *Element) Frame() *browser.Frame { return e.frame }
+
+// FindElement locates the first element matching the XPath expression.
+// The search starts in the active client's frames and then widens to
+// every client (the master proxies to whichever client owns the match).
+func (d *Driver) FindElement(expr string) (*Element, error) {
+	path, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, fmt.Errorf("webdriver: %w", err)
+	}
+	return d.findParsed(path)
+}
+
+func (d *Driver) findParsed(path xpath.Path) (*Element, error) {
+	if d.active == nil {
+		return nil, ErrNoActiveClient
+	}
+	// Active client first.
+	for _, f := range d.active.searchRoots() {
+		if n := xpath.First(path, f.Doc().Root()); n != nil {
+			return &Element{driver: d, frame: f, node: n}, nil
+		}
+	}
+	// Then the other clients, in load order.
+	for _, c := range d.loadOrder {
+		if c == d.active {
+			continue
+		}
+		for _, f := range c.searchRoots() {
+			if n := xpath.First(path, f.Doc().Root()); n != nil {
+				return &Element{driver: d, frame: f, node: n}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrElementNotFound, path.String())
+}
+
+// FindByCoordinates locates the element at window coordinates — the
+// backup identification clicks carry (paper §IV-B).
+func (d *Driver) FindByCoordinates(x, y int) (*Element, error) {
+	if d.active == nil {
+		return nil, ErrNoActiveClient
+	}
+	frame, node := d.tab.HitTest(x, y)
+	if node == nil {
+		return nil, fmt.Errorf("%w: no element at %d,%d", ErrElementNotFound, x, y)
+	}
+	return &Element{driver: d, frame: frame, node: node}, nil
+}
+
+// Click clicks the element through the native input path (WebDriver
+// issues OS-level clicks).
+func (e *Element) Click() error {
+	x, y, ok := e.driver.tab.AbsoluteCenter(e.frame, e.node)
+	if !ok {
+		return fmt.Errorf("webdriver: element %s has no layout box", e.node.Path())
+	}
+	e.driver.tab.Click(x, y)
+	return nil
+}
+
+// DoubleClick double-clicks the element. Stock ChromeDriver lacks this
+// (defect 1); WaRR adds it "by using JavaScript to create and trigger the
+// necessary events".
+func (e *Element) DoubleClick() error {
+	if e.driver.opts.DisableDoubleClickFix {
+		return ErrDoubleClickUnsupported
+	}
+	x, y, ok := e.driver.tab.AbsoluteCenter(e.frame, e.node)
+	if !ok {
+		return fmt.Errorf("webdriver: element %s has no layout box", e.node.Path())
+	}
+	dev := e.driver.tab.Browser().Mode() == browser.DeveloperMode
+	for _, typ := range []string{event.TypeMouseDown, event.TypeMouseUp, event.TypeClick,
+		event.TypeMouseDown, event.TypeMouseUp, event.TypeClick, event.TypeDblClick} {
+		ev := event.NewSynthetic(typ, e.node, dev)
+		ev.SetMouseData(event.MouseData{X: x, Y: y})
+		event.Dispatch(ev)
+	}
+	e.driver.tab.Pump()
+	return nil
+}
+
+// TypeKey replays one keystroke into the element by synthesizing
+// keyboard events and applying the text default action.
+//
+// Fidelity depends on the browser build: in a user-mode browser the
+// KeyboardEvent properties are read-only, so handlers observe keyCode 0 —
+// the exact damage the paper describes. In the developer-mode browser the
+// WaRR Replayer uses, the events are "practically indistinguishable from
+// those generated by users" (§IV-C).
+func (e *Element) TypeKey(key string, code int) error {
+	e.frame.SetFocused(e.node)
+	dev := e.driver.tab.Browser().Mode() == browser.DeveloperMode
+	kd := event.KeyData{Key: key, Code: code}
+
+	dispatchKey := func(typ string) bool {
+		ev := event.NewSynthetic(typ, e.node, dev)
+		// In user mode this fails with ErrReadOnlyProperty and the event
+		// goes out without key data — degraded, not fatal, matching a
+		// real page's experience of synthetic events.
+		_ = ev.SetKeyData(kd)
+		return event.Dispatch(ev)
+	}
+
+	allowDefault := dispatchKey(event.TypeKeyDown)
+	if allowDefault && !browser.IsControlKey(key) {
+		allowDefault = dispatchKey(event.TypeKeyPress)
+	}
+	if allowDefault {
+		e.applyTextDefault(key)
+	}
+	dispatchKey(event.TypeKeyUp)
+	e.driver.tab.Pump()
+	return nil
+}
+
+// applyTextDefault mutates the element the way the default action of a
+// keystroke would.
+func (e *Element) applyTextDefault(key string) {
+	n := e.node
+	if e.driver.opts.LegacyTextInput {
+		// ChromeDriver defect 2: "When simulating keystrokes into an
+		// HTML element, ChromeDriver sets that element's value property"
+		// — which exists for input and textarea but not for div. No
+		// events fire, and container elements show nothing.
+		if !browser.IsControlKey(key) {
+			n.Value += key
+		}
+		return
+	}
+	switch {
+	case key == browser.KeyBackspace:
+		deleteLast(n)
+	case browser.IsControlKey(key):
+		return
+	case n.Tag == "input" || n.Tag == "textarea":
+		n.Value += key
+	default:
+		// The WaRR fix: set the correct property (textContent for
+		// container elements) and trigger the required events.
+		if last := n.LastChild(); last != nil && last.Type == dom.TextNode {
+			last.Data += key
+		} else {
+			n.AppendChild(dom.NewText(key))
+		}
+	}
+	event.Dispatch(event.New(event.TypeInput, n))
+}
+
+func deleteLast(n *dom.Node) {
+	if n.Tag == "input" || n.Tag == "textarea" {
+		if len(n.Value) > 0 {
+			n.Value = n.Value[:len(n.Value)-1]
+		}
+		return
+	}
+	if last := n.LastChild(); last != nil && last.Type == dom.TextNode && len(last.Data) > 0 {
+		last.Data = last.Data[:len(last.Data)-1]
+	}
+}
+
+// Drag replays a drag of the element by (dx, dy) via synthetic drag
+// events.
+func (e *Element) Drag(dx, dy int) error {
+	dev := e.driver.tab.Browser().Mode() == browser.DeveloperMode
+	for _, typ := range []string{event.TypeDragStart, event.TypeDrag, event.TypeDragEnd} {
+		ev := event.NewSynthetic(typ, e.node, dev)
+		ev.SetDragData(event.DragData{DX: dx, DY: dy})
+		event.Dispatch(ev)
+	}
+	e.driver.tab.Pump()
+	return nil
+}
+
+// Text returns the element's text content (assertion helper for test
+// oracles).
+func (e *Element) Text() string { return e.node.TextContent() }
+
+// Value returns the element's value property.
+func (e *Element) Value() string { return e.node.Value }

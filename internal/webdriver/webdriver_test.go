@@ -1,0 +1,388 @@
+package webdriver
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// env wires a browser over a static page set.
+type env struct {
+	clock   *vclock.Clock
+	browser *browser.Browser
+	tab     *browser.Tab
+}
+
+func newEnv(t *testing.T, mode browser.Mode, pages map[string]string) *env {
+	t.Helper()
+	clock := vclock.New()
+	network := netsim.New(clock)
+	network.Register("app.test", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+		if body, ok := pages[req.Path()]; ok {
+			return netsim.OK(body)
+		}
+		return netsim.NotFound()
+	}))
+	b := browser.New(clock, network, mode)
+	e := &env{clock: clock, browser: b, tab: b.NewTab()}
+	if err := e.tab.Navigate("http://app.test/"); err != nil {
+		t.Fatalf("Navigate: %v", err)
+	}
+	return e
+}
+
+func TestFindElementByXPath(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><div id="a">one</div><div id="b">two</div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="b"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Text() != "two" {
+		t.Errorf("Text = %q", el.Text())
+	}
+	if _, err := d.FindElement(`//div[@id="zzz"]`); !errors.Is(err, ErrElementNotFound) {
+		t.Errorf("missing element error = %v", err)
+	}
+}
+
+func TestFindElementSearchesIframes(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/":      `<html><body><div id="main">m</div><iframe src="/child" name="kid"></iframe></body></html>`,
+		"/child": `<html><body><div id="inner">deep</div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="inner"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Text() != "deep" {
+		t.Errorf("Text = %q", el.Text())
+	}
+	if el.Frame() == e.tab.MainFrame() {
+		t.Error("element should live in the child frame")
+	}
+}
+
+func TestSwitchToFrameAndBack(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/":      `<html><body><div id="x">main</div><iframe src="/child" name="kid"></iframe></body></html>`,
+		"/child": `<html><body><div id="x">child</div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	if err := d.SwitchToFrame("kid"); err != nil {
+		t.Fatal(err)
+	}
+	el, err := d.FindElement(`//div[@id="x"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Text() != "child" {
+		t.Errorf("active-frame-first search returned %q", el.Text())
+	}
+	// The paper's custom-name workaround: switch back to the default.
+	if err := d.SwitchToFrame(DefaultFrameName); err != nil {
+		t.Fatal(err)
+	}
+	el, err = d.FindElement(`//div[@id="x"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Text() != "main" {
+		t.Errorf("after default switch, search returned %q", el.Text())
+	}
+	if err := d.SwitchToFrame("ghost"); !errors.Is(err, ErrNoSuchFrame) {
+		t.Errorf("unknown frame error = %v", err)
+	}
+}
+
+// ---- defect 1: double click ----
+
+func TestDoubleClickFixDispatchesDblClick(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><div id="cell" ondblclick="event.target.setAttribute('data-hit', 'yes')">x</div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="cell"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el.DoubleClick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := el.Node().AttrOr("data-hit", ""); got != "yes" {
+		t.Errorf("dblclick handler did not run: data-hit=%q", got)
+	}
+}
+
+func TestDoubleClickDefectRefuses(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><div id="cell">x</div></body></html>`,
+	})
+	d := New(e.tab, Options{DisableDoubleClickFix: true})
+	el, err := d.FindElement(`//div[@id="cell"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el.DoubleClick(); !errors.Is(err, ErrDoubleClickUnsupported) {
+		t.Errorf("err = %v, want ErrDoubleClickUnsupported", err)
+	}
+}
+
+// ---- defect 2: text input ----
+
+func TestTypeKeyIntoContainerElement(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><div id="ed" contenteditable="true"></div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="ed"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range "hi" {
+		if err := el.TypeKey(string(ch), int(ch&^0x20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := el.Text(); got != "hi" {
+		t.Errorf("container text = %q (the WaRR fix targets textContent)", got)
+	}
+	if el.Value() != "" {
+		t.Errorf("value property set on a div: %q", el.Value())
+	}
+}
+
+func TestLegacyTextInputDefect(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body>
+			<div id="ed" contenteditable="true"></div>
+			<input id="in">
+			<div id="log"></div>
+			<script>
+				document.getElementById("in").addEventListener("input", function(e) {
+					document.getElementById("log").textContent = "fired";
+				});
+			</script>
+		</body></html>`,
+	})
+	d := New(e.tab, Options{LegacyTextInput: true})
+
+	// Container elements get nothing visible: ChromeDriver sets the
+	// value property, which divs do not render.
+	ed, err := d.FindElement(`//div[@id="ed"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ed.TypeKey("a", 65); err != nil {
+		t.Fatal(err)
+	}
+	if got := ed.Text(); got != "" {
+		t.Errorf("legacy input rendered text in a div: %q", got)
+	}
+
+	// And no input events fire even for real inputs.
+	in, err := d.FindElement(`//input[@id="in"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.TypeKey("a", 65); err != nil {
+		t.Fatal(err)
+	}
+	log, err := d.FindElement(`//div[@id="log"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Text() == "fired" {
+		t.Error("legacy text input should not trigger input events")
+	}
+}
+
+func TestTypeKeyBackspace(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><input id="in" value="abc"></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//input[@id="in"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el.Node().Value = "abc"
+	if err := el.TypeKey(browser.KeyBackspace, browser.NamedKeyCode(browser.KeyBackspace)); err != nil {
+		t.Fatal(err)
+	}
+	if got := el.Value(); got != "ab" {
+		t.Errorf("value after backspace = %q", got)
+	}
+}
+
+// ---- defect 3: src-less iframes ----
+
+const srclessPage = `<html><body>
+<div id="top">top</div>
+<iframe name="quick"><div id="widget">w</div></iframe>
+</body></html>`
+
+func TestSrclessIframeFixAdoptsFrame(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{"/": srclessPage})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="widget"]`)
+	if err != nil {
+		t.Fatalf("src-less iframe content unreachable: %v", err)
+	}
+	if el.Text() != "w" {
+		t.Errorf("Text = %q", el.Text())
+	}
+	// Switching to the src-less frame routes through the parent client.
+	if err := d.SwitchToFrame("quick"); err != nil {
+		t.Errorf("SwitchToFrame(quick): %v", err)
+	}
+}
+
+func TestSrclessIframeDefectHidesFrame(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{"/": srclessPage})
+	d := New(e.tab, Options{DisableSrclessIframeFix: true})
+	if _, err := d.FindElement(`//div[@id="widget"]`); err == nil {
+		t.Error("src-less iframe content should be unreachable without the fix")
+	}
+	if err := d.SwitchToFrame("quick"); err == nil {
+		t.Error("switching to a clientless frame should fail without the fix")
+	}
+}
+
+// ---- defect 4: active-client selection on unload ----
+
+const navPageA = `<html><body><a id="go" href="/b">next</a></body></html>`
+const navPageB = `<html><body><div id="done">arrived</div></body></html>`
+
+func TestUnloadFixSurvivesNavigation(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{"/": navPageA, "/b": navPageB})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//a[@id="go"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el.Click(); err != nil {
+		t.Fatal(err)
+	}
+	// After navigation the driver must still execute commands.
+	got, err := d.FindElement(`//div[@id="done"]`)
+	if err != nil {
+		t.Fatalf("driver lost its active client after navigation: %v", err)
+	}
+	if got.Text() != "arrived" {
+		t.Errorf("Text = %q", got.Text())
+	}
+}
+
+func TestUnloadDefectHaltsReplay(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{"/": navPageA, "/b": navPageB})
+	d := New(e.tab, Options{DisableUnloadFix: true})
+	el, err := d.FindElement(`//a[@id="go"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el.Click(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FindElement(`//div[@id="done"]`); !errors.Is(err, ErrNoActiveClient) {
+		t.Errorf("err = %v, want ErrNoActiveClient (halted replay)", err)
+	}
+}
+
+// ---- coordinates & drag ----
+
+func TestFindByCoordinates(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><button id="b">Click me</button></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	n := e.tab.MainFrame().Doc().GetElementByID("b")
+	x, y := e.tab.Layout().Center(n)
+	el, err := d.FindByCoordinates(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Node() != n {
+		t.Errorf("hit %s, want the button", el.Node().Tag)
+	}
+}
+
+func TestDragDispatchesDragEvents(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><div id="box" ondrag="event.target.setAttribute('data-d', '' + event.dx + ',' + event.dy)">box</div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="box"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el.Drag(7, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := el.Node().AttrOr("data-d", ""); got != "7,9" {
+		t.Errorf("drag handler saw %q, want 7,9", got)
+	}
+}
+
+func TestUserModeKeyEventsDegraded(t *testing.T) {
+	page := `<html><body>
+		<input id="in">
+		<div id="seen"></div>
+		<script>
+			document.getElementById("in").addEventListener("keydown", function(e) {
+				document.getElementById("seen").textContent = "" + e.keyCode;
+			});
+		</script>
+	</body></html>`
+
+	// User mode: synthetic key events carry keyCode 0.
+	usr := newEnv(t, browser.UserMode, map[string]string{"/": page})
+	ud := New(usr.tab, Options{})
+	el, err := ud.FindElement(`//input[@id="in"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el.TypeKey("a", 65); err != nil {
+		t.Fatal(err)
+	}
+	seen, _ := ud.FindElement(`//div[@id="seen"]`)
+	if got := seen.Text(); got != "0" {
+		t.Errorf("user-mode handler saw keyCode %q, want 0 (read-only property)", got)
+	}
+
+	// Developer mode: the true keyCode is visible.
+	dev := newEnv(t, browser.DeveloperMode, map[string]string{"/": page})
+	dd := New(dev.tab, Options{})
+	el2, err := dd.FindElement(`//input[@id="in"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := el2.TypeKey("a", 65); err != nil {
+		t.Fatal(err)
+	}
+	seen2, _ := dd.FindElement(`//div[@id="seen"]`)
+	if got := seen2.Text(); got != "65" {
+		t.Errorf("developer-mode handler saw keyCode %q, want 65", got)
+	}
+}
+
+func TestElementTextAndValueHelpers(t *testing.T) {
+	e := newEnv(t, browser.DeveloperMode, map[string]string{
+		"/": `<html><body><div id="d">hello <b>world</b></div></body></html>`,
+	})
+	d := New(e.tab, Options{})
+	el, err := d.FindElement(`//div[@id="d"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := el.Text(); !strings.Contains(got, "hello") || !strings.Contains(got, "world") {
+		t.Errorf("Text = %q", got)
+	}
+}

@@ -1,0 +1,211 @@
+package weberr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Oracle concludes whether the application behaved correctly under an
+// erroneous trace (§V-A: "Our approach requires an oracle ... a common
+// practice in automated testing"). It returns nil for correct behaviour
+// and a describing error for a bug.
+type Oracle func(tab *browser.Tab, res *replayer.Result) error
+
+// ConsoleOracle flags any error-level console output — the signal that
+// exposed the Google Sites uninitialized-variable bug (§V-C).
+func ConsoleOracle(tab *browser.Tab, res *replayer.Result) error {
+	if errs := tab.ConsoleErrors(); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Message
+		}
+		return fmt.Errorf("console errors: %s", strings.Join(msgs, "; "))
+	}
+	return nil
+}
+
+// Finding is one bug exposed by an injected error: the injection, the
+// erroneous trace, and what the oracle observed.
+type Finding struct {
+	Injection Injection
+	Trace     command.Trace
+	Observed  error
+}
+
+// Report summarizes an error-injection campaign.
+type Report struct {
+	// Generated counts erroneous traces produced from the grammar.
+	Generated int
+	// Replayed counts traces actually replayed.
+	Replayed int
+	// Pruned counts traces skipped by prefix-failure pruning.
+	Pruned int
+	// ReplayFailures counts traces whose replay could not complete
+	// (commands unresolvable after the injected error).
+	ReplayFailures int
+	// Findings are the oracle-detected bugs.
+	Findings []Finding
+}
+
+// CampaignOptions configure RunNavigationCampaign.
+type CampaignOptions struct {
+	Inject InjectOptions
+	// Oracle defaults to ConsoleOracle.
+	Oracle Oracle
+	// Replayer options for each replay; Pacing defaults to PaceRecorded.
+	Replayer replayer.Options
+	// DisablePruning turns off prefix-failure pruning (ablation; §V-A
+	// heuristic 1).
+	DisablePruning bool
+	// MaxTraces bounds the campaign (0 = unlimited).
+	MaxTraces int
+}
+
+// RunNavigationCampaign tests an application against navigation errors:
+// it derives every single-error mutant of the grammar, expands each into
+// an erroneous trace, replays the traces in fresh environments, and
+// applies the oracle (Fig. 5, steps 2-4).
+//
+// Prefix-failure pruning: when a trace fails to replay at command k, all
+// remaining traces sharing that k+1-command prefix are discarded without
+// replay — "neither them can be successfully replayed".
+func RunNavigationCampaign(newEnv EnvFactory, g *Grammar, opts CampaignOptions) *Report {
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = ConsoleOracle
+	}
+
+	mutants := Mutants(g, opts.Inject)
+	rep := &Report{}
+	failedPrefixes := make(map[string]bool)
+
+	for _, m := range mutants {
+		if opts.MaxTraces > 0 && rep.Generated >= opts.MaxTraces {
+			break
+		}
+		tr := m.Trace()
+		rep.Generated++
+
+		if !opts.DisablePruning && hasFailedPrefix(tr, failedPrefixes) {
+			rep.Pruned++
+			continue
+		}
+
+		res, tab := replayOnce(newEnv, tr, opts.Replayer)
+		rep.Replayed++
+
+		if res.Failed > 0 {
+			rep.ReplayFailures++
+			if !opts.DisablePruning {
+				if k := firstFailure(res); k >= 0 {
+					failedPrefixes[prefixKey(tr, k+1)] = true
+				}
+			}
+			continue
+		}
+		if err := oracle(tab, res); err != nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Injection: m.Injection,
+				Trace:     tr,
+				Observed:  err,
+			})
+		}
+	}
+	return rep
+}
+
+// RunTimingCampaign tests an application against timing errors: the
+// correct trace replayed with no wait time and at increasingly impatient
+// speeds (§V-B).
+func RunTimingCampaign(newEnv EnvFactory, tr command.Trace, opts CampaignOptions) *Report {
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = ConsoleOracle
+	}
+	rep := &Report{}
+
+	type timingVariant struct {
+		trace command.Trace
+		inj   Injection
+		pace  replayer.Pacing
+	}
+	zero, zeroInj := TimingTrace(tr)
+	variants := []timingVariant{{zero, zeroInj, replayer.PaceNone}}
+	for _, f := range []float64{0.5, 0.25} {
+		scaled, inj := ScaledTimingTrace(tr, f)
+		variants = append(variants, timingVariant{scaled, inj, replayer.PaceRecorded})
+	}
+
+	for _, v := range variants {
+		rep.Generated++
+		ropts := opts.Replayer
+		ropts.Pacing = v.pace
+		res, tab := replayOnce(newEnv, v.trace, ropts)
+		rep.Replayed++
+		if err := oracle(tab, res); err != nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Injection: v.inj,
+				Trace:     v.trace,
+				Observed:  err,
+			})
+		}
+	}
+	return rep
+}
+
+// replayOnce replays a trace in a fresh environment.
+func replayOnce(newEnv EnvFactory, tr command.Trace, opts replayer.Options) (*replayer.Result, *browser.Tab) {
+	b := newEnv()
+	r := replayer.New(b, opts)
+	res, tab, err := r.Replay(tr)
+	if err != nil {
+		// Navigation to the start page failed; treat as a total replay
+		// failure.
+		return &replayer.Result{Failed: len(tr.Commands)}, tab
+	}
+	return res, tab
+}
+
+// firstFailure returns the index of the first failed step (-1 if none).
+func firstFailure(res *replayer.Result) int {
+	for _, s := range res.Steps {
+		if s.Status == replayer.StepFailed {
+			return s.Index
+		}
+	}
+	return -1
+}
+
+// prefixKey serializes the first n commands of a trace.
+func prefixKey(tr command.Trace, n int) string {
+	if n > len(tr.Commands) {
+		n = len(tr.Commands)
+	}
+	var b strings.Builder
+	for _, c := range tr.Commands[:n] {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// hasFailedPrefix reports whether any known-failed prefix is a prefix of
+// tr.
+func hasFailedPrefix(tr command.Trace, failed map[string]bool) bool {
+	if len(failed) == 0 {
+		return false
+	}
+	var b strings.Builder
+	for _, c := range tr.Commands {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+		if failed[b.String()] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package weberr
+
+import (
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/humanerr"
+)
+
+// ErrorKind enumerates the navigation-error operators (§V-A: "the errors
+// we are interested in are: forgetting, reordering, and substitution of
+// steps") plus the timing-error operator (§V-B).
+type ErrorKind int
+
+// Error kinds.
+const (
+	// Forget makes a rule have no productions (a step is skipped).
+	Forget ErrorKind = iota + 1
+	// Reorder reorders a rule's right-hand-side productions.
+	Reorder
+	// Substitute replaces a rule's right-hand-side productions with
+	// another rule's (the user performs the wrong step).
+	Substitute
+	// Timing replays the correct trace with no wait time (§V-B).
+	Timing
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case Forget:
+		return "forget"
+	case Reorder:
+		return "reorder"
+	case Substitute:
+		return "substitute"
+	case Timing:
+		return "timing"
+	default:
+		return "unknown"
+	}
+}
+
+// Injection describes one injected human error.
+type Injection struct {
+	Kind ErrorKind
+	// Rule is the grammar rule the error was confined to ("" for timing
+	// errors, which are trace-global).
+	Rule string
+	// Detail describes the specific mutation, e.g. "swap 1,2".
+	Detail string
+}
+
+func (in Injection) String() string {
+	if in.Rule == "" {
+		return in.Kind.String() + ": " + in.Detail
+	}
+	return fmt.Sprintf("%s@%s: %s", in.Kind, in.Rule, in.Detail)
+}
+
+// Mutant is one erroneous grammar, carrying the injection that produced
+// it.
+type Mutant struct {
+	Injection Injection
+	Grammar   *Grammar
+}
+
+// Trace expands the mutant into an erroneous user-interaction trace.
+func (m Mutant) Trace() command.Trace { return m.Grammar.Expand() }
+
+// InjectOptions confine error injection (§V-A: "confines error injection
+// to a reduced number of this grammar's rules, and never performs
+// cross-rule error injection").
+type InjectOptions struct {
+	// FocusRules restricts injection to the named rules (nil = all).
+	FocusRules []string
+	// Kinds restricts the error operators applied (nil = all navigation
+	// operators).
+	Kinds []ErrorKind
+}
+
+func (o InjectOptions) wantsRule(name string) bool {
+	if len(o.FocusRules) == 0 {
+		return true
+	}
+	for _, r := range o.FocusRules {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (o InjectOptions) wantsKind(k ErrorKind) bool {
+	if len(o.Kinds) == 0 {
+		return k != Timing
+	}
+	for _, w := range o.Kinds {
+		if w == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Mutants enumerates single-error grammars: every error operator applied
+// to every (selected) rule, one error per mutant, never across rules.
+func Mutants(g *Grammar, opts InjectOptions) []Mutant {
+	var out []Mutant
+	for _, name := range g.RuleNames() {
+		if !opts.wantsRule(name) {
+			continue
+		}
+		rhs := g.Rules[name].RHS
+
+		if opts.wantsKind(Forget) && len(rhs) > 0 {
+			m := g.Clone()
+			m.Rules[name].RHS = nil
+			out = append(out, Mutant{
+				Injection: Injection{Kind: Forget, Rule: name, Detail: "drop all productions"},
+				Grammar:   m,
+			})
+		}
+
+		if opts.wantsKind(Reorder) {
+			// Adjacent transpositions model a user performing two steps
+			// in the wrong order — the dominant reordering slip — and
+			// keep the mutant count linear in the rule size.
+			for i := 0; i+1 < len(rhs); i++ {
+				m := g.Clone()
+				mr := m.Rules[name].RHS
+				mr[i], mr[i+1] = mr[i+1], mr[i]
+				out = append(out, Mutant{
+					Injection: Injection{Kind: Reorder, Rule: name,
+						Detail: fmt.Sprintf("swap %d,%d", i, i+1)},
+					Grammar: m,
+				})
+			}
+		}
+
+		if opts.wantsKind(Substitute) {
+			// Replace this rule's productions with each other rule's —
+			// the user performs a different step than intended.
+			for _, other := range g.RuleNames() {
+				if other == name || !opts.wantsRule(other) {
+					continue
+				}
+				m := g.Clone()
+				m.Rules[name].RHS = append([]Symbol(nil), g.Rules[other].RHS...)
+				out = append(out, Mutant{
+					Injection: Injection{Kind: Substitute, Rule: name,
+						Detail: "replace productions with " + other + "'s"},
+					Grammar: m,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TimingTrace returns the zero-wait variant of a trace — the "impatient
+// user" stress test (§V-B: "We stress test web applications by replaying
+// commands with no wait time").
+func TimingTrace(tr command.Trace) (command.Trace, Injection) {
+	return humanerr.StripDelays(tr), Injection{Kind: Timing, Detail: "no wait time"}
+}
+
+// ScaledTimingTrace returns a variant with every delay scaled by factor
+// (impatient users at factor < 1).
+func ScaledTimingTrace(tr command.Trace, factor float64) (command.Trace, Injection) {
+	return humanerr.ScaleDelays(tr, factor), Injection{
+		Kind: Timing, Detail: fmt.Sprintf("delays x%g", factor),
+	}
+}

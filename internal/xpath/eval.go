@@ -1,0 +1,108 @@
+package xpath
+
+import (
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// Evaluate returns every element under ctx (typically a #document node)
+// matched by the path, in document order and without duplicates.
+func Evaluate(p Path, ctx *dom.Node) []*dom.Node {
+	if ctx == nil || len(p.Steps) == 0 {
+		return nil
+	}
+	current := []*dom.Node{ctx}
+	for _, step := range p.Steps {
+		current = applyStep(step, current)
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+// First returns the first element matched by the path, or nil.
+func First(p Path, ctx *dom.Node) *dom.Node {
+	nodes := Evaluate(p, ctx)
+	if len(nodes) == 0 {
+		return nil
+	}
+	return nodes[0]
+}
+
+// Matches reports whether the path selects n when evaluated against root.
+func Matches(p Path, root, n *dom.Node) bool {
+	for _, m := range Evaluate(p, root) {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+func applyStep(step Step, ctx []*dom.Node) []*dom.Node {
+	var out []*dom.Node
+	seen := make(map[*dom.Node]bool)
+	for _, c := range ctx {
+		for _, cand := range candidates(step, c) {
+			if !matchesPreds(step, cand) {
+				continue
+			}
+			if !seen[cand] {
+				seen[cand] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func candidates(step Step, ctx *dom.Node) []*dom.Node {
+	var out []*dom.Node
+	if step.Deep {
+		ctx.Walk(func(n *dom.Node) bool {
+			if n != ctx && elementMatchesTag(n, step.Tag) {
+				out = append(out, n)
+			}
+			return true
+		})
+		return out
+	}
+	for _, c := range ctx.Children() {
+		if elementMatchesTag(c, step.Tag) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func elementMatchesTag(n *dom.Node, tag string) bool {
+	if n.Type != dom.ElementNode {
+		return false
+	}
+	return tag == "*" || n.Tag == tag
+}
+
+func matchesPreds(step Step, n *dom.Node) bool {
+	for _, pred := range step.Preds {
+		switch p := pred.(type) {
+		case AttrEq:
+			v, ok := n.Attr(p.Name)
+			if !ok || v != p.Value {
+				return false
+			}
+		case TextEq:
+			if strings.TrimSpace(n.TextContent()) != p.Value {
+				return false
+			}
+		case Position:
+			if n.ElementIndex() != p.N {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package xpath
+
+import (
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// maxTextPredicate bounds the length of text() predicates the generator
+// emits; longer texts make brittle, unreadable expressions.
+const maxTextPredicate = 40
+
+// Generate produces an XPath expression identifying n, in the style the
+// paper's traces show (Fig. 4): a short descendant expression anchored on
+// a distinguishing property — id, name, or text — with one level of parent
+// context, e.g. `//td/div[@id="content"]` or `//td/div[text()="Save"]`.
+// When no distinguishing property exists near the element, it falls back
+// to an absolute path with positional predicates.
+//
+// The returned expression is guaranteed to match n when evaluated against
+// n's root at generation time (it may match other elements too; the first
+// match is n whenever the property is unique).
+func Generate(n *dom.Node) Path {
+	if n == nil || n.Type != dom.ElementNode {
+		return Path{}
+	}
+	root := n.Root()
+
+	// Preference order mirrors the trace format in the paper: id (plus
+	// name when present — the name predicate is what the replayer's
+	// keep-only-name relaxation falls back on when dynamic applications
+	// regenerate ids), then name alone, then visible text, each with one
+	// parent step for context.
+	id := n.ID()
+	name, _ := n.Attr("name")
+	if id != "" && name != "" {
+		p := anchored(n, AttrEq{Name: "id", Value: id}, AttrEq{Name: "name", Value: name})
+		if isFirstMatch(p, root, n) {
+			return p
+		}
+	}
+	if id != "" {
+		p := anchored(n, AttrEq{Name: "id", Value: id})
+		if isFirstMatch(p, root, n) {
+			return p
+		}
+	}
+	if name != "" {
+		p := anchored(n, AttrEq{Name: "name", Value: name})
+		if isFirstMatch(p, root, n) {
+			return p
+		}
+	}
+	if text := strings.TrimSpace(n.TextContent()); text != "" && len(text) <= maxTextPredicate && !strings.Contains(text, "\n") {
+		p := anchored(n, TextEq{Value: text})
+		if isFirstMatch(p, root, n) {
+			return p
+		}
+	}
+	if id != "" || name != "" {
+		// The id/name anchors above were ambiguous; disambiguate with a
+		// positional predicate instead of falling through to a brittle
+		// absolute path.
+		var preds []Pred
+		if id != "" {
+			preds = append(preds, AttrEq{Name: "id", Value: id})
+		}
+		if name != "" {
+			preds = append(preds, AttrEq{Name: "name", Value: name})
+		}
+		preds = append(preds, Position{N: n.ElementIndex()})
+		p := anchored(n, preds...)
+		if isFirstMatch(p, root, n) {
+			return p
+		}
+	}
+
+	// Try anchoring on the nearest uniquely-identified ancestor, with a
+	// positional child path below it.
+	for anc := n.Parent(); anc != nil && anc.Type == dom.ElementNode; anc = anc.Parent() {
+		if id := anc.ID(); id != "" {
+			p := Path{Steps: []Step{{
+				Deep: true, Tag: anc.Tag,
+				Preds: []Pred{AttrEq{Name: "id", Value: id}},
+			}}}
+			p.Steps = append(p.Steps, positionalSteps(anc, n)...)
+			if isFirstMatch(p, root, n) {
+				return p
+			}
+		}
+	}
+
+	// Absolute path from the root element.
+	return absolute(n)
+}
+
+// GenerateString is Generate rendered as a string.
+func GenerateString(n *dom.Node) string { return Generate(n).String() }
+
+// anchored builds //parentTag/tag[preds...] (or //tag[preds...] when the
+// parent is not an element).
+func anchored(n *dom.Node, preds ...Pred) Path {
+	parent := n.Parent()
+	if parent != nil && parent.Type == dom.ElementNode && parent.Tag != "body" && parent.Tag != "html" {
+		return Path{Steps: []Step{
+			{Deep: true, Tag: parent.Tag},
+			{Tag: n.Tag, Preds: preds},
+		}}
+	}
+	return Path{Steps: []Step{{Deep: true, Tag: n.Tag, Preds: preds}}}
+}
+
+// positionalSteps builds the child steps from anc (exclusive) down to n
+// (inclusive), each with a positional predicate where needed.
+func positionalSteps(anc, n *dom.Node) []Step {
+	var chain []*dom.Node
+	for cur := n; cur != nil && cur != anc; cur = cur.Parent() {
+		chain = append(chain, cur)
+	}
+	steps := make([]Step, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		steps = append(steps, positionalStep(chain[i]))
+	}
+	return steps
+}
+
+func positionalStep(n *dom.Node) Step {
+	s := Step{Tag: n.Tag}
+	// Only add a position when siblings share the tag; <body> in <html>
+	// needs no [1].
+	if p := n.Parent(); p != nil {
+		same := 0
+		for _, c := range p.Children() {
+			if c.Type == dom.ElementNode && c.Tag == n.Tag {
+				same++
+			}
+		}
+		if same > 1 {
+			s.Preds = []Pred{Position{N: n.ElementIndex()}}
+		}
+	}
+	return s
+}
+
+// absolute builds /html/body/.../tag[pos] from the root element down to n.
+// A root element with no parent at all (a detached subtree, as opposed to
+// one hanging off a #document node) is excluded from the path, so the
+// result evaluates correctly with that root as the context node.
+func absolute(n *dom.Node) Path {
+	var chain []*dom.Node
+	for cur := n; cur != nil && cur.Type == dom.ElementNode; cur = cur.Parent() {
+		if cur.Parent() == nil && cur != n {
+			break
+		}
+		chain = append(chain, cur)
+	}
+	var p Path
+	for i := len(chain) - 1; i >= 0; i-- {
+		p.Steps = append(p.Steps, positionalStep(chain[i]))
+	}
+	if len(p.Steps) > 0 && n.Parent() == nil {
+		// n is the root itself: anchor it on the descendant axis so the
+		// expression is usable from any enclosing context.
+		p.Steps[0].Deep = true
+	}
+	return p
+}
+
+// isFirstMatch reports whether n is the first element the path selects.
+func isFirstMatch(p Path, root, n *dom.Node) bool {
+	return First(p, root) == n
+}

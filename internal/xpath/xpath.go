@@ -1,0 +1,288 @@
+// Package xpath implements the XPath subset WaRR uses to identify HTML
+// elements (paper §IV-B): location paths with child (/) and descendant
+// (//) axes, element name or wildcard tests, and predicates on attributes
+// (`[@id="content"]`), text (`[text()="Save"]`), and position (`[2]`).
+//
+// The package also provides the inverse operation — generating an XPath
+// expression for a given element (used by the WaRR Recorder) — and the
+// progressive relaxation transformations the WaRR Replayer applies when a
+// recorded expression no longer matches (paper §IV-C).
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pred is a step predicate.
+type Pred interface {
+	fmt.Stringer
+	predNode()
+}
+
+// AttrEq matches elements whose attribute Name equals Value
+// (`[@id="content"]`).
+type AttrEq struct {
+	Name  string
+	Value string
+}
+
+func (p AttrEq) predNode() {}
+
+func (p AttrEq) String() string { return fmt.Sprintf(`[@%s=%s]`, p.Name, quote(p.Value)) }
+
+// quote renders a string literal in XPath syntax. XPath 1.0 has no escape
+// sequences, so a value containing both quote characters cannot be
+// represented exactly; the double quotes are replaced with single ones in
+// that (pathological) case.
+func quote(v string) string {
+	if !strings.Contains(v, `"`) {
+		return `"` + v + `"`
+	}
+	if !strings.Contains(v, "'") {
+		return "'" + v + "'"
+	}
+	return `"` + strings.ReplaceAll(v, `"`, "'") + `"`
+}
+
+// TextEq matches elements whose text content equals Value
+// (`[text()="Save"]`).
+type TextEq struct {
+	Value string
+}
+
+func (p TextEq) predNode() {}
+
+func (p TextEq) String() string { return fmt.Sprintf(`[text()=%s]`, quote(p.Value)) }
+
+// Position matches the N'th element (1-based) among same-tag siblings
+// (`[2]`).
+type Position struct {
+	N int
+}
+
+func (p Position) predNode() {}
+
+func (p Position) String() string { return fmt.Sprintf("[%d]", p.N) }
+
+// Step is one location step: an axis (child or descendant), a node test
+// (tag name or "*"), and zero or more predicates.
+type Step struct {
+	// Deep selects the descendant axis (the step was preceded by "//");
+	// otherwise the child axis.
+	Deep  bool
+	Tag   string // lowercase tag name, or "*"
+	Preds []Pred
+}
+
+func (s Step) String() string {
+	var b strings.Builder
+	if s.Deep {
+		b.WriteString("//")
+	} else {
+		b.WriteString("/")
+	}
+	b.WriteString(s.Tag)
+	for _, p := range s.Preds {
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// Path is a parsed XPath expression: a sequence of steps evaluated left to
+// right.
+type Path struct {
+	Steps []Step
+}
+
+// String renders the path in the same syntax Parse accepts, so that
+// Parse(p.String()) round-trips.
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	out := Path{Steps: make([]Step, len(p.Steps))}
+	for i, s := range p.Steps {
+		cs := Step{Deep: s.Deep, Tag: s.Tag}
+		cs.Preds = append([]Pred(nil), s.Preds...)
+		out.Steps[i] = cs
+	}
+	return out
+}
+
+// Parse parses an XPath expression in the supported subset.
+func Parse(expr string) (Path, error) {
+	p := &parser{src: expr}
+	path, err := p.parse()
+	if err != nil {
+		return Path{}, fmt.Errorf("xpath: parsing %q: %w", expr, err)
+	}
+	return path, nil
+}
+
+// MustParse is Parse for known-good expressions (tests, examples); it
+// panics on error.
+func MustParse(expr string) Path {
+	p, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parse() (Path, error) {
+	var path Path
+	if p.src == "" {
+		return path, fmt.Errorf("empty expression")
+	}
+	for p.pos < len(p.src) {
+		step, err := p.step()
+		if err != nil {
+			return Path{}, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	if len(path.Steps) == 0 {
+		return path, fmt.Errorf("no steps")
+	}
+	return path, nil
+}
+
+func (p *parser) step() (Step, error) {
+	var s Step
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "//"):
+		s.Deep = true
+		p.pos += 2
+	case strings.HasPrefix(p.src[p.pos:], "/"):
+		p.pos++
+	default:
+		return s, fmt.Errorf("expected '/' or '//' at offset %d", p.pos)
+	}
+	tag := p.name()
+	if tag == "" {
+		return s, fmt.Errorf("expected element name at offset %d", p.pos)
+	}
+	s.Tag = strings.ToLower(tag)
+	for p.pos < len(p.src) && p.src[p.pos] == '[' {
+		pred, err := p.predicate()
+		if err != nil {
+			return s, err
+		}
+		s.Preds = append(s.Preds, pred)
+	}
+	return s, nil
+}
+
+func (p *parser) name() string {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		return "*"
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) predicate() (Pred, error) {
+	p.pos++ // consume '['
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("unterminated predicate")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '@':
+		p.pos++
+		name := p.name()
+		if name == "" {
+			return nil, fmt.Errorf("expected attribute name at offset %d", p.pos)
+		}
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		v, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(']'); err != nil {
+			return nil, err
+		}
+		return AttrEq{Name: strings.ToLower(name), Value: v}, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad position %q", p.src[start:p.pos])
+		}
+		if err := p.expect(']'); err != nil {
+			return nil, err
+		}
+		return Position{N: n}, nil
+	case strings.HasPrefix(p.src[p.pos:], "text()"):
+		p.pos += len("text()")
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		v, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(']'); err != nil {
+			return nil, err
+		}
+		return TextEq{Value: v}, nil
+	default:
+		return nil, fmt.Errorf("unsupported predicate at offset %d", p.pos)
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) quoted() (string, error) {
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("expected quoted string at end of input")
+	}
+	q := p.src[p.pos]
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("expected quote at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated string literal")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}

@@ -1,0 +1,405 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/htmlparse"
+)
+
+func TestParsePaperExpressions(t *testing.T) {
+	// Every expression that appears in the paper must parse and
+	// round-trip through String.
+	exprs := []string{
+		`//div/span[@id="start"]`,
+		`//td/div[@id="content"]`,
+		`//td/div[text()="Save"]`,
+		`//div[@id="id1"]`,
+		`//td/div[@id="id1"]`,
+	}
+	for _, e := range exprs {
+		p, err := Parse(e)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", e, err)
+			continue
+		}
+		if got := p.String(); got != e {
+			t.Errorf("round-trip %q = %q", e, got)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	p := MustParse(`//td/div[@id="content"][2]`)
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(p.Steps))
+	}
+	if !p.Steps[0].Deep || p.Steps[0].Tag != "td" {
+		t.Errorf("step0 = %+v", p.Steps[0])
+	}
+	if p.Steps[1].Deep {
+		t.Error("step1 should be child axis")
+	}
+	if len(p.Steps[1].Preds) != 2 {
+		t.Fatalf("preds = %d, want 2", len(p.Steps[1].Preds))
+	}
+	if a, ok := p.Steps[1].Preds[0].(AttrEq); !ok || a.Name != "id" || a.Value != "content" {
+		t.Errorf("pred0 = %+v", p.Steps[1].Preds[0])
+	}
+	if pos, ok := p.Steps[1].Preds[1].(Position); !ok || pos.N != 2 {
+		t.Errorf("pred1 = %+v", p.Steps[1].Preds[1])
+	}
+}
+
+func TestParseWildcardAndSingleQuotes(t *testing.T) {
+	p := MustParse(`//*[@class='x']`)
+	if p.Steps[0].Tag != "*" {
+		t.Errorf("tag = %q", p.Steps[0].Tag)
+	}
+	if a := p.Steps[0].Preds[0].(AttrEq); a.Value != "x" {
+		t.Errorf("value = %q", a.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "div", "//", "//div[", "//div[@]", `//div[@id=]`,
+		`//div[@id="unterminated]`, "//div[0]", "//div[x]",
+		`//div[text()]`, "/", `//div[@id="a"`,
+	}
+	for _, e := range bad {
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", e)
+		}
+	}
+}
+
+func testDoc(t *testing.T) *dom.Document {
+	t.Helper()
+	return htmlparse.Parse(`
+<html><body>
+  <div id="outer">
+    <span id="start">go</span>
+    <span>other</span>
+  </div>
+  <table><tr>
+    <td><div id="content">cell one</div></td>
+    <td><div>Save</div></td>
+  </tr></table>
+  <form>
+    <input type="text" name="q" id="gen-1234">
+    <input type="submit" name="btn">
+  </form>
+  <ul><li>a</li><li>b</li><li>c</li></ul>
+</body></html>`, "u")
+}
+
+func TestEvaluateDeep(t *testing.T) {
+	d := testDoc(t)
+	got := Evaluate(MustParse(`//span`), d.Root())
+	if len(got) != 2 {
+		t.Fatalf("spans = %d, want 2", len(got))
+	}
+}
+
+func TestEvaluateAttrPredicate(t *testing.T) {
+	d := testDoc(t)
+	n := First(MustParse(`//td/div[@id="content"]`), d.Root())
+	if n == nil || n.TextContent() != "cell one" {
+		t.Fatal("attr predicate failed")
+	}
+}
+
+func TestEvaluateTextPredicate(t *testing.T) {
+	d := testDoc(t)
+	n := First(MustParse(`//td/div[text()="Save"]`), d.Root())
+	if n == nil {
+		t.Fatal("text predicate failed")
+	}
+	if n.ID() != "" {
+		t.Fatal("matched wrong div")
+	}
+}
+
+func TestEvaluatePosition(t *testing.T) {
+	d := testDoc(t)
+	n := First(MustParse(`//ul/li[2]`), d.Root())
+	if n == nil || n.TextContent() != "b" {
+		t.Fatalf("positional predicate failed: %v", n)
+	}
+}
+
+func TestEvaluateChildAxis(t *testing.T) {
+	d := testDoc(t)
+	// /html/body/div selects only the direct div child.
+	got := Evaluate(MustParse(`/html/body/div`), d.Root())
+	if len(got) != 1 || got[0].ID() != "outer" {
+		t.Fatalf("child axis = %v", got)
+	}
+}
+
+func TestEvaluateWildcard(t *testing.T) {
+	d := testDoc(t)
+	got := Evaluate(MustParse(`//form/*`), d.Root())
+	if len(got) != 2 {
+		t.Fatalf("form children = %d, want 2", len(got))
+	}
+}
+
+func TestEvaluateNoMatch(t *testing.T) {
+	d := testDoc(t)
+	if got := Evaluate(MustParse(`//video`), d.Root()); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+	if First(MustParse(`//video`), d.Root()) != nil {
+		t.Fatal("First should be nil")
+	}
+}
+
+func TestEvaluateNilContext(t *testing.T) {
+	if got := Evaluate(MustParse(`//div`), nil); got != nil {
+		t.Fatal("nil context should yield nil")
+	}
+}
+
+func TestEvaluateNoDuplicates(t *testing.T) {
+	// //div//span with nested divs must not return duplicates.
+	d := htmlparse.Parse(`<div><div><span id="s">x</span></div></div>`, "u")
+	got := Evaluate(MustParse(`//div//span`), d.Root())
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1 (duplicates?)", len(got))
+	}
+}
+
+func TestMatches(t *testing.T) {
+	d := testDoc(t)
+	n := d.GetElementByID("content")
+	if !Matches(MustParse(`//td/div[@id="content"]`), d.Root(), n) {
+		t.Fatal("Matches = false, want true")
+	}
+	if Matches(MustParse(`//span`), d.Root(), n) {
+		t.Fatal("Matches = true for non-matching path")
+	}
+}
+
+func TestGenerateWithID(t *testing.T) {
+	d := testDoc(t)
+	n := d.GetElementByID("content")
+	p := Generate(n)
+	if got := p.String(); got != `//td/div[@id="content"]` {
+		t.Fatalf("Generate = %q", got)
+	}
+	if First(p, d.Root()) != n {
+		t.Fatal("generated path does not resolve to the element")
+	}
+}
+
+func TestGenerateWithName(t *testing.T) {
+	d := testDoc(t)
+	// The submit input has a name but the text input has an id; remove the
+	// id to force name-based generation.
+	n := First(MustParse(`//input[@name="btn"]`), d.Root())
+	p := Generate(n)
+	if !strings.Contains(p.String(), `@name="btn"`) {
+		t.Fatalf("Generate = %q, want name anchor", p.String())
+	}
+	if First(p, d.Root()) != n {
+		t.Fatal("generated path does not resolve")
+	}
+}
+
+func TestGenerateWithText(t *testing.T) {
+	d := testDoc(t)
+	n := First(MustParse(`//td/div[text()="Save"]`), d.Root())
+	p := Generate(n)
+	if got := p.String(); got != `//td/div[text()="Save"]` {
+		t.Fatalf("Generate = %q", got)
+	}
+}
+
+func TestGenerateFallbackPositional(t *testing.T) {
+	// Identical text in both <p> elements rules out a text anchor, forcing
+	// the ancestor-id + positional fallback.
+	d := htmlparse.Parse(`<div id="anchor"><p>x</p><p>x</p></div>`, "u")
+	second := d.Root().ElementsByTag("p")[1]
+	p := Generate(second)
+	if First(p, d.Root()) != second {
+		t.Fatalf("generated %q does not resolve to the 2nd p", p.String())
+	}
+	if !strings.Contains(p.String(), "anchor") {
+		t.Fatalf("expected ancestor anchor in %q", p.String())
+	}
+}
+
+func TestGenerateAbsoluteFallback(t *testing.T) {
+	d := htmlparse.Parse(`<div><p>one</p><p>two</p></div>`, "u")
+	second := d.Root().ElementsByTag("p")[1]
+	p := Generate(second)
+	if First(p, d.Root()) != second {
+		t.Fatalf("generated %q does not resolve", p.String())
+	}
+}
+
+func TestGenerateAmbiguousIDFallsBack(t *testing.T) {
+	// Duplicate ids: the id anchor is not first-match-unique for the
+	// second one, so generation must find something stronger.
+	d := htmlparse.Parse(`<div><span id="dup">a</span></div><p><span id="dup">b</span></p>`, "u")
+	spans := d.Root().FindAll(func(n *dom.Node) bool { return n.Tag == "span" })
+	second := spans[1]
+	p := Generate(second)
+	if First(p, d.Root()) != second {
+		t.Fatalf("generated %q resolves to the wrong element", p.String())
+	}
+}
+
+func TestGenerateNonElement(t *testing.T) {
+	if got := Generate(dom.NewText("x")); len(got.Steps) != 0 {
+		t.Fatal("Generate on text node should be empty")
+	}
+	if got := Generate(nil); len(got.Steps) != 0 {
+		t.Fatal("Generate on nil should be empty")
+	}
+}
+
+func TestRelaxationsOrderAndContent(t *testing.T) {
+	p := MustParse(`//td/div[@id="id1"]`)
+	rs := Relaxations(p)
+	if len(rs) == 0 {
+		t.Fatal("no relaxations")
+	}
+	// The paper's example: //td/div[@id="id1"] → //div[@id="id1"].
+	if rs[0].Path.String() != `//div[@id="id1"]` || rs[0].Heuristic != "drop-prefix" {
+		t.Fatalf("first relaxation = %q (%s)", rs[0].Path.String(), rs[0].Heuristic)
+	}
+	// The weakest candidate in the sequence must be the bare tag; its
+	// heuristic label may differ when an earlier heuristic already
+	// degenerated to the same expression (deduplication keeps the first).
+	last := rs[len(rs)-1]
+	if last.Path.String() != `//div` {
+		t.Fatalf("last relaxation = %q (%s)", last.Path.String(), last.Heuristic)
+	}
+}
+
+func TestRelaxationsNoDuplicates(t *testing.T) {
+	p := MustParse(`//table/tr/td[@id="x"][2]`)
+	rs := Relaxations(p)
+	seen := map[string]bool{p.String(): true}
+	for _, r := range rs {
+		key := r.Path.String()
+		if seen[key] {
+			t.Fatalf("duplicate relaxation %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestRelaxationFindsRenamedID(t *testing.T) {
+	// Record-time page gave the input id="gen-1234"; replay-time page
+	// regenerated it as id="gen-9999" but kept name="q" — the GMail
+	// scenario from the paper.
+	replayDoc := htmlparse.Parse(`<form><input type="text" name="q" id="gen-9999"></form>`, "u")
+	recorded := MustParse(`//form/input[@id="gen-1234"][@name="q"]`)
+	if First(recorded, replayDoc.Root()) != nil {
+		t.Fatal("recorded path should fail on the new page")
+	}
+	var found *dom.Node
+	var used string
+	for _, r := range Relaxations(recorded) {
+		if n := First(r.Path, replayDoc.Root()); n != nil {
+			found, used = n, r.Heuristic
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("relaxation did not find the renamed element")
+	}
+	if v, _ := found.Attr("name"); v != "q" {
+		t.Fatalf("found wrong element: %s", found.OuterHTML())
+	}
+	if !strings.Contains(used, "name") {
+		t.Fatalf("expected a name-preserving heuristic, used %q", used)
+	}
+}
+
+func TestKeepOnlyAttrKeepsPositions(t *testing.T) {
+	p := MustParse(`//div[@id="a"][2]`)
+	out := keepOnlyAttr(p, "name")
+	if got := out.String(); got != `//div[2]` {
+		t.Fatalf("keepOnlyAttr = %q", got)
+	}
+}
+
+func TestQuoteEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		`plain`:     `"plain"`,
+		`has"quote`: `'has"quote'`,
+		`both"and'`: `"both'and'"`,
+	}
+	for in, want := range cases {
+		if got := quote(in); got != want {
+			t.Errorf("quote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: Parse(p.String()) round-trips for generated paths.
+func TestStringParseRoundTrip(t *testing.T) {
+	tags := []string{"div", "span", "td", "input", "a"}
+	f := func(deep []bool, tagIdx []uint8, ids []string) bool {
+		if len(deep) == 0 || len(tagIdx) == 0 {
+			return true
+		}
+		var p Path
+		for i, dp := range deep {
+			s := Step{Deep: dp || i == 0, Tag: tags[int(tagIdx[i%len(tagIdx)])%len(tags)]}
+			if i < len(ids) && ids[i] != "" && !strings.ContainsAny(ids[i], `"'[]@/=`) {
+				s.Preds = []Pred{AttrEq{Name: "id", Value: ids[i]}}
+			}
+			p.Steps = append(p.Steps, s)
+		}
+		p.Steps[0].Deep = true
+		got, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return got.String() == p.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Property: Generate always resolves (First returns the element) on any
+// tree built from nested generic elements.
+func TestGenerateAlwaysResolvesProperty(t *testing.T) {
+	tags := []string{"div", "span", "td", "p", "li"}
+	f := func(shape []uint8) bool {
+		root := dom.NewElement("body")
+		nodes := []*dom.Node{root}
+		for i, b := range shape {
+			parent := nodes[int(b)%len(nodes)]
+			el := dom.NewElement(tags[i%len(tags)])
+			parent.AppendChild(el)
+			nodes = append(nodes, el)
+		}
+		for _, n := range nodes[1:] {
+			p := Generate(n)
+			if First(p, root) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

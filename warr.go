@@ -1,0 +1,185 @@
+// Package warr is the public API of WaRR, a tool that records and
+// replays with high fidelity the interaction between users and modern
+// web applications (Andrica & Candea, "WaRR: A Tool for High-Fidelity
+// Web Application Record and Replay", DSN 2011).
+//
+// WaRR consists of two independent components:
+//
+//   - the WaRR Recorder is embedded in the web browser's engine layer,
+//     where every mouse click, UI-element drag, and keystroke arrives
+//     for dispatch, and logs each user action as a WaRR Command;
+//   - the WaRR Replayer drives a developer-mode browser — one in which
+//     normally read-only JavaScript event properties are settable —
+//     through a WebDriver/ChromeDriver-style interaction driver,
+//     resolving each command's target element by its recorded XPath
+//     expression with progressive relaxation when the page has changed.
+//
+// On top of the record/replay core, package warr exposes the paper's two
+// tools: WebErr (testing web applications against realistic human
+// errors; see weberr.go) and AUsER (automatic user experience reports;
+// see auser.go).
+//
+// The browser, the network, and the web applications in this module are
+// simulated substrates: deterministic, in-memory reimplementations of
+// the layers the paper instruments (Chrome/WebKit, HTTP(S), and the
+// Google/Yahoo applications). NewDemoEnv returns a ready-made world with
+// all of the paper's evaluation applications installed.
+package warr
+
+import (
+	"io"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+	"github.com/dslab-epfl/warr/internal/vclock"
+	"github.com/dslab-epfl/warr/internal/webdriver"
+)
+
+// ---- browser substrate ----
+
+// Browser is the simulated web browser hosting both WaRR components.
+type Browser = browser.Browser
+
+// Tab is one browser tab; user input enters through its hardware-level
+// methods (Click, TypeText, Drag, PressKey).
+type Tab = browser.Tab
+
+// Frame is one browsing context (the main frame or an iframe).
+type Frame = browser.Frame
+
+// Mode selects the browser build.
+type Mode = browser.Mode
+
+// Browser build modes: users run UserMode browsers; the WaRR Replayer
+// requires a DeveloperMode browser, which lifts the read-only
+// restriction on KeyboardEvent properties (§IV-C).
+const (
+	UserMode      = browser.UserMode
+	DeveloperMode = browser.DeveloperMode
+)
+
+// Clock is the virtual clock that drives browsers, networks, timers, and
+// the elapsed-time fields of recorded commands.
+type Clock = vclock.Clock
+
+// NewClock returns a fresh virtual clock.
+func NewClock() *Clock { return vclock.New() }
+
+// ---- WaRR Commands ----
+
+// Command is one recorded user action: its type (click, doubleclick,
+// drag, type), the XPath identifier of the element acted upon,
+// action-specific data, and the time elapsed since the previous action
+// (§IV-B).
+type Command = command.Command
+
+// Action is the type of user action a command records.
+type Action = command.Action
+
+// Actions.
+const (
+	Click       = command.Click
+	DoubleClick = command.DoubleClick
+	Drag        = command.Drag
+	Type        = command.Type
+)
+
+// Trace is a recorded interaction session.
+type Trace = command.Trace
+
+// ParseTrace parses a trace from its text serialization.
+func ParseTrace(s string) (Trace, error) { return command.Parse(s) }
+
+// ReadTrace parses a trace from a reader.
+func ReadTrace(r io.Reader) (Trace, error) { return command.Read(r) }
+
+// ---- the WaRR Recorder ----
+
+// Recorder is the WaRR Recorder: always-on, embedded at the browser
+// engine layer, logging every user action as a WaRR Command (§IV-A).
+type Recorder = core.Recorder
+
+// RecorderStats reports the recorder's own overhead (§VI).
+type RecorderStats = core.Stats
+
+// NewRecorder returns a recorder driven by the given clock. Attach it to
+// a tab with its Attach method; it records until Detach.
+func NewRecorder(clock *Clock) *Recorder { return core.New(clock) }
+
+// NondetLog records nondeterminism sources alongside user actions —
+// timer firings and network exchanges — realizing the extension the
+// paper describes as an advantage of the engine-embedded design
+// (§III-A). Its Annotate method interleaves the events into a recorded
+// trace as comment lines, and the result still parses as a trace.
+type NondetLog = core.NondetLog
+
+// NondetEvent is one observed nondeterministic occurrence.
+type NondetEvent = core.NondetEvent
+
+// Nondeterminism sources.
+const (
+	TimerFired      = core.TimerFired
+	NetworkExchange = core.NetworkExchange
+)
+
+// NewNondetLog attaches a nondeterminism log to an environment's clock
+// and network.
+func NewNondetLog(env *DemoEnv) *NondetLog {
+	l := core.NewNondetLog(env.Clock)
+	env.Network.AddObserver(l)
+	return l
+}
+
+// ---- the WaRR Replayer ----
+
+// Replayer is the WaRR Replayer: it simulates a user interacting with a
+// web application as specified by WaRR Commands (§III-B).
+type Replayer = replayer.Replayer
+
+// ReplayOptions configure a Replayer.
+type ReplayOptions = replayer.Options
+
+// Pacing selects how the replayer spaces commands in virtual time.
+type Pacing = replayer.Pacing
+
+// Pacing modes: PaceRecorded reproduces the recorded think time;
+// PaceNone replays with no wait (WebErr's timing-error stress, §V-B).
+const (
+	PaceRecorded = replayer.PaceRecorded
+	PaceNone     = replayer.PaceNone
+)
+
+// ReplayResult summarizes a replay; Step describes each command's
+// resolution (direct XPath match, relaxation heuristic, coordinate
+// fallback, or failure).
+type (
+	ReplayResult = replayer.Result
+	ReplayStep   = replayer.Step
+)
+
+// Step statuses.
+const (
+	StepOK            = replayer.StepOK
+	StepRelaxed       = replayer.StepRelaxed
+	StepByCoordinates = replayer.StepByCoordinates
+	StepFailed        = replayer.StepFailed
+)
+
+// DriverOptions expose the ChromeDriver defect switches (§IV-C); the
+// zero value is the fully fixed driver WaRR uses.
+type DriverOptions = webdriver.Options
+
+// NewReplayer returns a replayer driving the given browser. For full
+// replay fidelity the browser should be a DeveloperMode build.
+func NewReplayer(b *Browser, opts ReplayOptions) *Replayer {
+	return replayer.New(b, opts)
+}
+
+// Replay records the common case in one call: it replays the trace in a
+// fresh tab of b with default options and returns the outcome and the
+// tab, whose final page state the caller's oracle may inspect.
+func Replay(b *Browser, tr Trace) (*ReplayResult, *Tab, error) {
+	return NewReplayer(b, ReplayOptions{}).Replay(tr)
+}

@@ -1,0 +1,161 @@
+package warr_test
+
+import (
+	"strings"
+	"testing"
+
+	warr "github.com/dslab-epfl/warr"
+)
+
+// TestArchitectureRoundTrip exercises Fig. 1 end to end through the
+// public API: the WaRR Recorder captures user actions (1), logs them as
+// WaRR Commands (2), and the WaRR Replayer plays the recorded commands
+// back (3) — in a different environment, through the serialized trace
+// format.
+func TestArchitectureRoundTrip(t *testing.T) {
+	sc := warr.EditSiteScenario()
+	tr, err := warr.RecordSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Commands) == 0 {
+		t.Fatal("recorder produced no commands")
+	}
+
+	// Serialize and re-parse: the trace is a durable artifact.
+	parsed, err := warr.ParseTrace(tr.Text())
+	if err != nil {
+		t.Fatalf("parsing serialized trace: %v", err)
+	}
+
+	replayEnv := warr.NewDemoEnv(warr.DeveloperMode)
+	res, tab, err := warr.Replay(replayEnv.Browser, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("replay incomplete: %d failed", res.Failed)
+	}
+	if err := sc.Verify(replayEnv, tab); err != nil {
+		t.Errorf("replay did not reproduce the session: %v", err)
+	}
+}
+
+func TestPublicAPIRecorderIsAlwaysOn(t *testing.T) {
+	env := warr.NewDemoEnv(warr.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(warr.YahooURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := warr.NewRecorder(env.Clock)
+	rec.Attach(tab)
+
+	sc := warr.AuthenticateScenario()
+	if err := sc.Run(env, tab); err != nil {
+		t.Fatal(err)
+	}
+	// Keep interacting after the scenario: the recorder stays attached
+	// across the navigation the form submit caused.
+	tab.TypeText("x")
+	tr := rec.Trace()
+	last := tr.Commands[len(tr.Commands)-1]
+	if last.Action != warr.Type || last.Key != "x" {
+		t.Errorf("recorder missed post-navigation input: %s", last)
+	}
+}
+
+func TestPublicAPIWebErrPipeline(t *testing.T) {
+	tr, err := warr.RecordSession(warr.EditSiteScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+
+	tree, err := warr.InferTaskTree(fresh, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := warr.GrammarFromTaskTree(tree)
+	if len(warr.Mutants(g, warr.InjectOptions{})) == 0 {
+		t.Fatal("no mutants")
+	}
+
+	rep := warr.RunTimingCampaign(fresh, tr, warr.CampaignOptions{})
+	if len(rep.Findings) == 0 {
+		t.Fatal("timing campaign missed the Sites bug")
+	}
+	if rep.Findings[0].Injection.Kind != warr.Timing {
+		t.Errorf("finding kind = %v", rep.Findings[0].Injection.Kind)
+	}
+}
+
+func TestPublicAPIAUsERFlow(t *testing.T) {
+	// A user hits the Sites timing bug and files an encrypted report.
+	env := warr.NewDemoEnv(warr.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(warr.SitesURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := warr.NewRecorder(env.Clock)
+	rec.Attach(tab)
+
+	// Impatient user: the bug manifests.
+	doc := tab.MainFrame().Doc()
+	x, y := tab.Layout().Center(doc.GetElementByID("start"))
+	tab.Click(x, y)
+	for _, d := range doc.Root().ElementsByTag("div") {
+		if strings.TrimSpace(d.TextContent()) == "Save" {
+			sx, sy := tab.Layout().Center(d)
+			tab.Click(sx, sy)
+		}
+	}
+
+	report, err := warr.NewUserReport("saving does nothing", rec.Trace(), tab, warr.ReportOptions{
+		Redact: warr.RedactAllTyped,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(report.Console, "\n"), "TypeError") {
+		t.Error("report misses the console signal")
+	}
+
+	key, err := warr.GenerateDeveloperKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := warr.SealReport(report, &key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := warr.OpenReport(sealed, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Description != "saving does nothing" {
+		t.Errorf("round trip mangled report: %q", opened.Description)
+	}
+}
+
+func TestPublicAPIDeveloperModeMatters(t *testing.T) {
+	sc := warr.EditSpreadsheetScenario()
+	tr, err := warr.RecordSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userEnv := warr.NewDemoEnv(warr.UserMode)
+	if _, _, err := warr.Replay(userEnv.Browser, tr); err != nil {
+		t.Fatal(err)
+	}
+	if userEnv.Docs.Cell("r2c2") == "42" {
+		t.Error("user-mode replay should not commit keyCode-gated edits")
+	}
+
+	devEnv := warr.NewDemoEnv(warr.DeveloperMode)
+	if _, _, err := warr.Replay(devEnv.Browser, tr); err != nil {
+		t.Fatal(err)
+	}
+	if devEnv.Docs.Cell("r2c2") != "42" {
+		t.Error("developer-mode replay should commit the edit")
+	}
+}

@@ -1,0 +1,83 @@
+package warr
+
+import (
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// This file exposes WebErr, the paper's tool for testing web
+// applications against realistic human errors (§V). The pipeline is
+// Fig. 5: record a correct trace, infer a user-interaction grammar from
+// it, inject navigation errors (forget / reorder / substitute, confined
+// to single grammar rules) or timing errors (no wait time), replay the
+// erroneous traces in fresh environments, and apply an oracle.
+
+// TaskTree is the hierarchical structure of a user session inferred
+// from a trace by page-similarity clustering (Fig. 6).
+type TaskTree = weberr.TaskTree
+
+// Grammar expresses a correct pattern of interaction; expanding it
+// recursively regenerates a trace.
+type Grammar = weberr.Grammar
+
+// ErrorKind enumerates the human-error operators.
+type ErrorKind = weberr.ErrorKind
+
+// Error kinds (§V-A navigation errors, §V-B timing errors).
+const (
+	Forget     = weberr.Forget
+	Reorder    = weberr.Reorder
+	Substitute = weberr.Substitute
+	Timing     = weberr.Timing
+)
+
+// Mutant is one single-error erroneous grammar.
+type Mutant = weberr.Mutant
+
+// InjectOptions confine error injection to selected rules and operators.
+type InjectOptions = weberr.InjectOptions
+
+// Oracle decides whether the application behaved correctly under an
+// erroneous trace.
+type Oracle = weberr.Oracle
+
+// CampaignOptions configure an error-injection campaign.
+type CampaignOptions = weberr.CampaignOptions
+
+// CampaignReport summarizes a campaign: traces generated, replayed,
+// pruned, and the oracle's findings.
+type CampaignReport = weberr.Report
+
+// Finding is one bug exposed by an injected error.
+type Finding = weberr.Finding
+
+// EnvFactory creates the fresh, isolated browser each replay runs in.
+type EnvFactory = weberr.EnvFactory
+
+// InferTaskTree reconstructs the task tree a user followed, given only
+// a sequence of WaRR Commands (§V-A).
+func InferTaskTree(newEnv EnvFactory, tr Trace) (*TaskTree, error) {
+	return weberr.InferTaskTree(newEnv, tr)
+}
+
+// GrammarFromTaskTree converts a task tree into a user-interaction
+// grammar: one rule per subtask.
+func GrammarFromTaskTree(t *TaskTree) *Grammar { return weberr.FromTaskTree(t) }
+
+// Mutants enumerates single-error grammars under the given confinement.
+func Mutants(g *Grammar, opts InjectOptions) []Mutant { return weberr.Mutants(g, opts) }
+
+// RunNavigationCampaign tests an application against navigation errors
+// (Fig. 5, steps 2-4), with prefix-failure pruning.
+func RunNavigationCampaign(newEnv EnvFactory, g *Grammar, opts CampaignOptions) *CampaignReport {
+	return weberr.RunNavigationCampaign(newEnv, g, opts)
+}
+
+// RunTimingCampaign tests an application against timing errors: the
+// correct trace replayed with no wait time and at impatient speeds.
+func RunTimingCampaign(newEnv EnvFactory, tr Trace, opts CampaignOptions) *CampaignReport {
+	return weberr.RunTimingCampaign(newEnv, tr, opts)
+}
+
+// ConsoleOracle flags any error-level console output — the oracle that
+// exposed the Google Sites uninitialized-variable bug (§V-C).
+var ConsoleOracle Oracle = weberr.ConsoleOracle
