@@ -24,10 +24,12 @@ import (
 
 	warr "github.com/dslab-epfl/warr"
 	"github.com/dslab-epfl/warr/internal/baseline"
+	"github.com/dslab-epfl/warr/internal/dom"
 	"github.com/dslab-epfl/warr/internal/experiments"
 	"github.com/dslab-epfl/warr/internal/humanerr"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
+	"github.com/dslab-epfl/warr/internal/xpath"
 )
 
 // recordOnce memoizes the recorded traces the replay benchmarks consume.
@@ -71,7 +73,7 @@ func BenchmarkRecorderOverheadPerAction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab.TypeText("a")
-		field.Value = "" // keep per-keystroke work constant across b.N
+		field.SetValue("") // keep per-keystroke work constant across b.N
 	}
 	b.StopTimer()
 
@@ -98,7 +100,7 @@ func BenchmarkRecorderOffBaseline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab.TypeText("a")
-		field.Value = "" // keep per-keystroke work constant across b.N
+		field.SetValue("") // keep per-keystroke work constant across b.N
 	}
 }
 
@@ -172,6 +174,53 @@ func BenchmarkReplayGMailNoRelaxation(b *testing.B) {
 	b.ReportMetric(float64(failed)/float64(b.N), "failed-steps/replay")
 }
 
+// xpathBenchWorkload is the replayer's element-resolution pattern on the
+// GMail page: a recorded expression whose id is stale (a miss) followed
+// by the keep-only-name relaxation that rescues it (a hit).
+func xpathBenchWorkload(b *testing.B) (*dom.Node, []xpath.Path) {
+	b.Helper()
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(warr.GMailURL); err != nil {
+		b.Fatal(err)
+	}
+	root := tab.MainFrame().Doc().Root()
+	return root, []xpath.Path{
+		xpath.MustParse(`//div/div[@id=":17"][@name="compose"]`), // stale recorded id
+		xpath.MustParse(`//div/div[@name="compose"]`),            // keep-only-name relaxation
+		xpath.MustParse(`//td/input[@name="to"]`),
+		xpath.MustParse(`//div[@name="send"]`),
+	}
+}
+
+// BenchmarkXPathEvaluateIndexed measures the index-backed query engine on
+// the replayer's resolution workload (stale-id misses are O(1) bucket
+// lookups; hits anchor on the name attribute).
+func BenchmarkXPathEvaluateIndexed(b *testing.B) {
+	root, paths := xpathBenchWorkload(b)
+	if root.QueryIndex() == nil {
+		b.Fatal("page not indexed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			xpath.Evaluate(p, root)
+		}
+	}
+}
+
+// BenchmarkXPathEvaluateWalker is the same workload through the
+// tree-walking reference evaluator — the pre-index behaviour.
+func BenchmarkXPathEvaluateWalker(b *testing.B) {
+	root, paths := xpathBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			xpath.EvaluateWalk(p, root)
+		}
+	}
+}
+
 // BenchmarkTable1TypoDetection regenerates Table I per iteration: 186
 // typoed queries against each of the three engines.
 func BenchmarkTable1TypoDetection(b *testing.B) {
@@ -229,7 +278,7 @@ func BenchmarkSeleniumRecorderOverheadPerAction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab.TypeText("a")
-		field.Value = "" // keep per-keystroke work constant across b.N
+		field.SetValue("") // keep per-keystroke work constant across b.N
 	}
 }
 

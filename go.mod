@@ -1,0 +1,3 @@
+module github.com/dslab-epfl/warr
+
+go 1.24

@@ -193,7 +193,7 @@ func replayOne(driver *webdriver.Driver, tab *browser.Tab, cmd SeleneseCommand) 
 		return el.Click()
 	case "type":
 		n := el.Node()
-		n.Value = cmd.Value
+		n.SetValue(cmd.Value)
 		event.Dispatch(event.New(event.TypeInput, n))
 		return nil
 	default:

@@ -398,7 +398,7 @@ func (h *ElementHandle) SetProp(name string, v script.Value) error {
 		n.SetTextContent(script.ToString(v))
 		return nil
 	case "value":
-		n.Value = script.ToString(v)
+		n.SetValue(script.ToString(v))
 		return nil
 	case "innerHTML":
 		n.RemoveChildren()

@@ -196,11 +196,11 @@ func (h *EventHandler) fireInput(target *dom.Node) {
 // for div elements)").
 func insertText(target *dom.Node, text string) {
 	if target.Tag == "input" || target.Tag == "textarea" {
-		target.Value += text
+		target.AppendValue(text)
 		return
 	}
 	if last := target.LastChild(); last != nil && last.Type == dom.TextNode {
-		last.Data += text
+		last.AppendData(text)
 		return
 	}
 	target.AppendChild(dom.NewText(text))
@@ -209,12 +209,12 @@ func insertText(target *dom.Node, text string) {
 func deleteLastChar(target *dom.Node) {
 	if target.Tag == "input" || target.Tag == "textarea" {
 		if len(target.Value) > 0 {
-			target.Value = target.Value[:len(target.Value)-1]
+			target.SetValue(target.Value[:len(target.Value)-1])
 		}
 		return
 	}
 	if last := target.LastChild(); last != nil && last.Type == dom.TextNode && len(last.Data) > 0 {
-		last.Data = last.Data[:len(last.Data)-1]
+		last.SetData(last.Data[:len(last.Data)-1])
 		if last.Data == "" {
 			last.Detach()
 		}

@@ -4,6 +4,7 @@ import (
 	"net/url"
 
 	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/layout"
 	"github.com/dslab-epfl/warr/internal/script"
 )
 
@@ -39,6 +40,14 @@ type Frame struct {
 	// handles interns ElementHandle values so script-level identity
 	// comparisons (e.target == el) hold.
 	handles map[*dom.Node]*ElementHandle
+
+	// layoutCache memoizes the frame's computed layout, keyed by the
+	// document's query-index generation and the viewport width it was
+	// computed for. Every DOM mutation (structure, attributes, text,
+	// input values) bumps the generation, so a hit is never stale.
+	layoutCache *layout.Layout
+	layoutGen   uint64
+	layoutW     int
 }
 
 func newFrame(tab *Tab, parent *Frame, element *dom.Node) *Frame {
@@ -154,6 +163,23 @@ func (f *Frame) FrameByName(name string) *Frame {
 		}
 	}
 	return nil
+}
+
+// Layout returns the frame's layout for the given viewport width,
+// recomputing only when the document mutated (or the width changed) since
+// the cached computation. Unindexed documents are computed fresh every
+// time — without a generation counter there is no staleness signal.
+func (f *Frame) Layout(width int) *layout.Layout {
+	ix := f.doc.Index()
+	if ix == nil {
+		return layout.Compute(f.doc, width)
+	}
+	if gen := ix.Generation(); f.layoutCache != nil && f.layoutGen == gen && f.layoutW == width {
+		return f.layoutCache
+	}
+	l := layout.Compute(f.doc, width)
+	f.layoutCache, f.layoutGen, f.layoutW = l, ix.Generation(), width
+	return l
 }
 
 // kill marks the frame tree dead (navigation replaced it).

@@ -333,9 +333,10 @@ func (t *Tab) pump() {
 
 // ---- layout & hit testing ----
 
-// Layout computes the main frame's current layout.
+// Layout returns the main frame's current layout (cached between DOM
+// mutations; see Frame.Layout).
 func (t *Tab) Layout() *layout.Layout {
-	return layout.Compute(t.main.doc, t.viewportW)
+	return t.main.Layout(t.viewportW)
 }
 
 // HitTest maps window coordinates to the frame and deepest element under
@@ -345,7 +346,7 @@ func (t *Tab) HitTest(x, y int) (*Frame, *dom.Node) {
 }
 
 func (t *Tab) hitTestFrame(f *Frame, x, y, width int) (*Frame, *dom.Node) {
-	l := layout.Compute(f.doc, width)
+	l := f.Layout(width)
 	n := l.HitTest(x, y)
 	if n == nil {
 		return f, nil
@@ -393,7 +394,7 @@ func (t *Tab) AbsoluteCenter(f *Frame, n *dom.Node) (x, y int, ok bool) {
 		if step.element == nil {
 			continue
 		}
-		parentLayout := layout.Compute(step.parent.doc, width)
+		parentLayout := step.parent.Layout(width)
 		box, found := parentLayout.BoxOf(step.element)
 		if !found {
 			return 0, 0, false
@@ -402,7 +403,7 @@ func (t *Tab) AbsoluteCenter(f *Frame, n *dom.Node) (x, y int, ok bool) {
 		offY += box.Y
 		width = box.W
 	}
-	l := layout.Compute(f.doc, width)
+	l := f.Layout(width)
 	box, found := l.BoxOf(n)
 	if !found {
 		return 0, 0, false

@@ -19,14 +19,18 @@ func NewDocument(url string) *Document {
 	html.AppendChild(NewElement("head"))
 	html.AppendChild(NewElement("body"))
 	root.AppendChild(html)
+	buildIndex(root)
 	return &Document{root: root, URL: url}
 }
 
 // WrapDocument adopts an existing #document node (as produced by the HTML
-// parser) into a Document.
+// parser) into a Document, building its query index in one walk.
 func WrapDocument(root *Node, url string) *Document {
 	if root == nil || root.Type != DocumentNode {
 		panic("dom: WrapDocument requires a #document node")
+	}
+	if root.qidx == nil {
+		buildIndex(root)
 	}
 	return &Document{root: root, URL: url}
 }
@@ -75,7 +79,18 @@ func (d *Document) Title() string {
 }
 
 // GetElementByID returns the first element with the given id, or nil.
-func (d *Document) GetElementByID(id string) *Node { return d.root.ByID(id) }
+// Indexed documents answer from the id table instead of walking the tree.
+func (d *Document) GetElementByID(id string) *Node {
+	// The walker treats a missing id attribute as "", so only non-empty
+	// ids can be answered from the index's table of present attributes.
+	if ix := d.root.qidx; ix != nil && id != "" {
+		return ix.ByID(id)
+	}
+	return d.root.ByID(id)
+}
+
+// Index returns the document's query index.
+func (d *Document) Index() *QueryIndex { return d.root.qidx }
 
 // ElementsByTag returns all elements with the given tag.
 func (d *Document) ElementsByTag(tag string) []*Node { return d.root.ElementsByTag(tag) }
@@ -87,6 +102,9 @@ func (d *Document) CreateElement(tag string) *Node { return NewElement(tag) }
 func (d *Document) CreateTextNode(text string) *Node { return NewText(text) }
 
 // Clone returns a deep copy of the document (listeners are not copied).
+// The copy gets its own query index.
 func (d *Document) Clone() *Document {
-	return &Document{root: d.root.Clone(true), URL: d.URL}
+	root := d.root.Clone(true)
+	buildIndex(root)
+	return &Document{root: root, URL: d.URL}
 }

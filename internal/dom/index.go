@@ -1,0 +1,234 @@
+package dom
+
+// QueryIndex maintains persistent per-document lookup tables — elements
+// by id, by tag, and by (attribute name, attribute value) — kept
+// incrementally up to date by the tree mutation methods (AppendChild,
+// InsertBefore, Detach, SetAttr, RemoveAttr, SetData, ...). The XPath
+// evaluator anchors selective predicates on these tables, turning an
+// `[@id=...]` step into an O(1) jump instead of a full-tree walk.
+//
+// A QueryIndex is owned by the tree hanging off one root node (normally a
+// #document node). Every node in the tree carries a pointer to the index;
+// detached subtrees carry none and are queried by the tree-walking
+// fallback evaluator instead. Because the tables are maintained inline
+// with every mutation, a lookup can never observe stale state; the
+// generation counter additionally lets derived caches detect that the
+// tree changed under them.
+type QueryIndex struct {
+	root *Node
+	gen  uint64
+
+	byID   map[string]map[*Node]struct{}
+	byTag  map[string]map[*Node]struct{}
+	byAttr map[attrKey]map[*Node]struct{}
+}
+
+// attrKey identifies one (attribute name, attribute value) bucket.
+type attrKey struct {
+	name  string
+	value string
+}
+
+// buildIndex indexes the whole tree rooted at root and stamps every node
+// with the new index.
+func buildIndex(root *Node) *QueryIndex {
+	ix := &QueryIndex{
+		root:   root,
+		byID:   make(map[string]map[*Node]struct{}),
+		byTag:  make(map[string]map[*Node]struct{}),
+		byAttr: make(map[attrKey]map[*Node]struct{}),
+	}
+	ix.addSubtree(root)
+	return ix
+}
+
+// Root returns the root node the index covers.
+func (ix *QueryIndex) Root() *Node { return ix.root }
+
+// Generation returns the mutation counter. It increases on every indexed
+// mutation of the tree (structure, attributes, character data), so any
+// cache keyed on a generation value is invalidated by the next mutation.
+func (ix *QueryIndex) Generation() uint64 { return ix.gen }
+
+// CountTag returns how many elements carry the given tag.
+func (ix *QueryIndex) CountTag(tag string) int { return len(ix.byTag[tag]) }
+
+// NodesByTag returns the elements with the given tag, in no particular
+// order.
+func (ix *QueryIndex) NodesByTag(tag string) []*Node {
+	return collect(ix.byTag[tag])
+}
+
+// CountAttr returns how many elements carry the attribute name=value.
+func (ix *QueryIndex) CountAttr(name, value string) int {
+	if name == "id" {
+		return len(ix.byID[value])
+	}
+	return len(ix.byAttr[attrKey{name, value}])
+}
+
+// NodesByAttr returns the elements carrying the attribute name=value, in
+// no particular order.
+func (ix *QueryIndex) NodesByAttr(name, value string) []*Node {
+	if name == "id" {
+		return collect(ix.byID[value])
+	}
+	return collect(ix.byAttr[attrKey{name, value}])
+}
+
+// ByID returns the first element in document order whose id attribute
+// equals id, or nil. Duplicate ids (invalid but common HTML) resolve the
+// way getElementById does: the earliest element wins.
+func (ix *QueryIndex) ByID(id string) *Node {
+	var first *Node
+	for n := range ix.byID[id] {
+		if first == nil || CompareDocumentOrder(n, first) < 0 {
+			first = n
+		}
+	}
+	return first
+}
+
+func collect(bucket map[*Node]struct{}) []*Node {
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]*Node, 0, len(bucket))
+	for n := range bucket {
+		out = append(out, n)
+	}
+	return out
+}
+
+// addSubtree registers n and every descendant.
+func (ix *QueryIndex) addSubtree(n *Node) {
+	ix.gen++
+	n.walk(func(m *Node) bool {
+		m.qidx = ix
+		if m.Type == ElementNode {
+			ix.insert(m)
+		}
+		return true
+	})
+}
+
+// removeSubtree deregisters n and every descendant.
+func (ix *QueryIndex) removeSubtree(n *Node) {
+	ix.gen++
+	n.walk(func(m *Node) bool {
+		if m.Type == ElementNode {
+			ix.remove(m)
+		}
+		m.qidx = nil
+		return true
+	})
+}
+
+func (ix *QueryIndex) insert(n *Node) {
+	addTo(ix.byTag, n.Tag, n)
+	for _, a := range n.attrs {
+		ix.insertAttr(n, a.Name, a.Value)
+	}
+}
+
+func (ix *QueryIndex) remove(n *Node) {
+	removeFrom(ix.byTag, n.Tag, n)
+	for _, a := range n.attrs {
+		ix.removeAttr(n, a.Name, a.Value)
+	}
+}
+
+func (ix *QueryIndex) insertAttr(n *Node, name, value string) {
+	if name == "id" {
+		addTo(ix.byID, value, n)
+		return
+	}
+	addTo(ix.byAttr, attrKey{name, value}, n)
+}
+
+func (ix *QueryIndex) removeAttr(n *Node, name, value string) {
+	if name == "id" {
+		removeFrom(ix.byID, value, n)
+		return
+	}
+	removeFrom(ix.byAttr, attrKey{name, value}, n)
+}
+
+// attrChanged records an attribute value change on an indexed element.
+func (ix *QueryIndex) attrChanged(n *Node, name, old, new string) {
+	ix.gen++
+	ix.removeAttr(n, name, old)
+	ix.insertAttr(n, name, new)
+}
+
+// attrAdded records a newly set attribute on an indexed element.
+func (ix *QueryIndex) attrAdded(n *Node, name, value string) {
+	ix.gen++
+	ix.insertAttr(n, name, value)
+}
+
+// attrRemoved records a deleted attribute on an indexed element.
+func (ix *QueryIndex) attrRemoved(n *Node, name, value string) {
+	ix.gen++
+	ix.removeAttr(n, name, value)
+}
+
+// dataChanged records a character-data mutation (text or comment nodes).
+func (ix *QueryIndex) dataChanged() { ix.gen++ }
+
+func addTo[K comparable](m map[K]map[*Node]struct{}, k K, n *Node) {
+	b := m[k]
+	if b == nil {
+		b = make(map[*Node]struct{})
+		m[k] = b
+	}
+	b[n] = struct{}{}
+}
+
+func removeFrom[K comparable](m map[K]map[*Node]struct{}, k K, n *Node) {
+	b := m[k]
+	if b == nil {
+		return
+	}
+	delete(b, n)
+	if len(b) == 0 {
+		delete(m, k)
+	}
+}
+
+// CompareDocumentOrder orders two nodes of the same tree by document
+// order: negative when a precedes b, positive when it follows, zero when
+// a == b. An ancestor precedes its descendants. Nodes of disjoint trees
+// compare as equal.
+func CompareDocumentOrder(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	ca := ancestorChain(a)
+	cb := ancestorChain(b)
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	for i := 0; i < n; i++ {
+		if ca[i] != cb[i] {
+			if i == 0 {
+				return 0 // disjoint trees
+			}
+			return ca[i].Index() - cb[i].Index()
+		}
+	}
+	// One chain is a prefix of the other: the ancestor comes first.
+	return len(ca) - len(cb)
+}
+
+// ancestorChain returns the path from the root down to n, inclusive.
+func ancestorChain(n *Node) []*Node {
+	depth := n.Depth() + 1
+	chain := make([]*Node, depth)
+	for cur := n; cur != nil; cur = cur.parent {
+		depth--
+		chain[depth] = cur
+	}
+	return chain
+}

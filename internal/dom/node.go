@@ -70,6 +70,11 @@ type Node struct {
 	children  []*Node
 	listeners []Listener
 
+	// qidx points to the QueryIndex of the indexed tree the node belongs
+	// to, nil for nodes in unindexed (detached) trees. Mutation methods
+	// keep the index in sync.
+	qidx *QueryIndex
+
 	// Value models the DOM "value" property of input/textarea elements.
 	// It is a property, not an attribute: typing changes Value but not
 	// the serialized value="..." attribute, as in real browsers. The
@@ -103,6 +108,10 @@ func NewDocumentNode() *Node { return &Node{Type: DocumentNode, Tag: "#document"
 
 // Parent returns the node's parent, or nil for a detached or root node.
 func (n *Node) Parent() *Node { return n.parent }
+
+// QueryIndex returns the index of the tree the node belongs to, or nil
+// when the tree is not indexed (detached subtrees, bare NewElement trees).
+func (n *Node) QueryIndex() *QueryIndex { return n.qidx }
 
 // Children returns the node's children. The returned slice is a copy; the
 // tree can only be mutated through the mutation methods.
@@ -203,6 +212,9 @@ func (n *Node) AppendChild(c *Node) {
 	c.Detach()
 	c.parent = n
 	n.children = append(n.children, c)
+	if n.qidx != nil {
+		n.qidx.addSubtree(c)
+	}
 }
 
 // InsertBefore inserts c immediately before ref among n's children. A nil
@@ -227,6 +239,9 @@ func (n *Node) InsertBefore(c, ref *Node) {
 	n.children = append(n.children, nil)
 	copy(n.children[i+1:], n.children[i:])
 	n.children[i] = c
+	if n.qidx != nil {
+		n.qidx.addSubtree(c)
+	}
 }
 
 // RemoveChild removes c from n's children. It panics if c is not a child
@@ -243,6 +258,9 @@ func (n *Node) Detach() {
 	p := n.parent
 	if p == nil {
 		return
+	}
+	if n.qidx != nil {
+		n.qidx.removeSubtree(n)
 	}
 	i := n.Index()
 	p.children = append(p.children[:i], p.children[i+1:]...)
@@ -323,11 +341,19 @@ func (n *Node) SetAttr(name, value string) {
 	name = strings.ToLower(name)
 	for i, a := range n.attrs {
 		if a.Name == name {
-			n.attrs[i].Value = value
+			if a.Value != value {
+				n.attrs[i].Value = value
+				if n.qidx != nil && n.Type == ElementNode {
+					n.qidx.attrChanged(n, name, a.Value, value)
+				}
+			}
 			return
 		}
 	}
 	n.attrs = append(n.attrs, Attr{Name: name, Value: value})
+	if n.qidx != nil && n.Type == ElementNode {
+		n.qidx.attrAdded(n, name, value)
+	}
 }
 
 // RemoveAttr deletes the named attribute if present.
@@ -336,6 +362,9 @@ func (n *Node) RemoveAttr(name string) {
 	for i, a := range n.attrs {
 		if a.Name == name {
 			n.attrs = append(n.attrs[:i], n.attrs[i+1:]...)
+			if n.qidx != nil && n.Type == ElementNode {
+				n.qidx.attrRemoved(n, name, a.Value)
+			}
 			return
 		}
 	}
@@ -374,6 +403,57 @@ func (n *Node) SetTextContent(s string) {
 	n.RemoveChildren()
 	if s != "" {
 		n.AppendChild(NewText(s))
+	}
+}
+
+// SetData replaces the node's character data (text or comment nodes),
+// recording the mutation in the tree's query index generation. Prefer it
+// over writing Data directly so index-generation-based caches see text
+// edits.
+func (n *Node) SetData(s string) {
+	if n.Data == s {
+		return
+	}
+	n.Data = s
+	if n.qidx != nil {
+		n.qidx.dataChanged()
+	}
+}
+
+// AppendData appends to the node's character data (the per-keystroke text
+// mutation path).
+func (n *Node) AppendData(s string) {
+	if s == "" {
+		return
+	}
+	n.Data += s
+	if n.qidx != nil {
+		n.qidx.dataChanged()
+	}
+}
+
+// SetValue sets the DOM value property, recording the mutation in the
+// index generation — layout depends on input values, so generation-keyed
+// caches must see value edits. Prefer it over writing Value directly.
+func (n *Node) SetValue(s string) {
+	if n.Value == s {
+		return
+	}
+	n.Value = s
+	if n.qidx != nil {
+		n.qidx.dataChanged()
+	}
+}
+
+// AppendValue appends to the DOM value property (the per-keystroke input
+// mutation path).
+func (n *Node) AppendValue(s string) {
+	if s == "" {
+		return
+	}
+	n.Value += s
+	if n.qidx != nil {
+		n.qidx.dataChanged()
 	}
 }
 

@@ -145,7 +145,7 @@ func TestInlineElementsContentWidth(t *testing.T) {
 
 func TestInputValueWidth(t *testing.T) {
 	d := htmlparse.Parse(`<div><input id="i" type="text"></div>`, "u")
-	d.GetElementByID("i").Value = "some typed text"
+	d.GetElementByID("i").SetValue("some typed text")
 	l := Compute(d, 800)
 	b, _ := l.BoxOf(d.GetElementByID("i"))
 	if b.W <= inlinePadding {

@@ -14,6 +14,7 @@ package replayer
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/command"
@@ -84,10 +85,14 @@ func (s StepStatus) String() string {
 
 // Step is the outcome of replaying one command.
 type Step struct {
-	Index     int
-	Cmd       command.Command
-	Status    StepStatus
-	UsedXPath string // expression that matched (original or relaxed)
+	Index  int
+	Cmd    command.Command
+	Status StepStatus
+	// UsedXPath is the expression that matched (original or relaxed). It
+	// is empty when no expression matched — in particular when the
+	// coordinate fallback resolved the element, including the case where
+	// the recorded expression did not even parse.
+	UsedXPath string
 	Heuristic string // relaxation heuristic, "" for direct matches
 	Err       error
 }
@@ -119,6 +124,45 @@ func New(b *browser.Browser, opts Options) *Replayer {
 		opts.Pacing = PaceRecorded
 	}
 	return &Replayer{browser: b, opts: opts}
+}
+
+// The compile cache is process-global: a compiled path and its relaxation
+// sequence are immutable, the same recorded expressions recur across
+// every replay of a trace, and WebErr campaigns construct thousands of
+// replayers over the same trace. Parse errors are cached too — a trace
+// with an unparseable expression hits the coordinate fallback on every
+// replay. The cap bounds memory on adversarial expression streams.
+const compileCacheCap = 8192
+
+var (
+	compileMu    sync.RWMutex
+	compileCache = make(map[string]compiledEntry)
+)
+
+type compiledEntry struct {
+	c   *xpath.Compiled
+	err error
+}
+
+func compile(expr string) (*xpath.Compiled, error) {
+	compileMu.RLock()
+	e, ok := compileCache[expr]
+	compileMu.RUnlock()
+	if ok {
+		return e.c, e.err
+	}
+	e = compiledEntry{}
+	var p xpath.Path
+	if p, e.err = xpath.Parse(expr); e.err == nil {
+		e.c = xpath.Compile(p)
+	}
+	compileMu.Lock()
+	if len(compileCache) >= compileCacheCap {
+		clear(compileCache)
+	}
+	compileCache[expr] = e
+	compileMu.Unlock()
+	return e.c, e.err
 }
 
 // Replay plays the trace in a fresh tab and returns the per-step outcomes
@@ -188,9 +232,9 @@ func (r *Replayer) playCommand(driver *webdriver.Driver, idx int, cmd command.Co
 // resolve finds the command's target element: recorded XPath first, then
 // progressive relaxation, then the coordinate fallback for clicks.
 func (r *Replayer) resolve(driver *webdriver.Driver, cmd command.Command) (el *webdriver.Element, used, heuristic string, err error) {
-	path, parseErr := xpath.Parse(cmd.XPath)
+	c, parseErr := compile(cmd.XPath)
 	if parseErr == nil {
-		el, err = driver.FindElement(cmd.XPath)
+		el, err = driver.FindElementPath(c.Path)
 		if err == nil {
 			return el, cmd.XPath, "", nil
 		}
@@ -198,8 +242,8 @@ func (r *Replayer) resolve(driver *webdriver.Driver, cmd command.Command) (el *w
 			return nil, "", "", err
 		}
 		if !r.opts.DisableRelaxation {
-			for _, relax := range xpath.Relaxations(path) {
-				rel, rerr := driver.FindElement(relax.Path.String())
+			for _, relax := range c.Relaxations() {
+				rel, rerr := driver.FindElementPath(relax.Path)
 				if rerr == nil {
 					return rel, relax.Path.String(), relax.Heuristic, nil
 				}
@@ -216,7 +260,10 @@ func (r *Replayer) resolve(driver *webdriver.Driver, cmd command.Command) (el *w
 		(cmd.Action == command.Click || cmd.Action == command.DoubleClick) {
 		cel, cerr := driver.FindByCoordinates(cmd.X, cmd.Y)
 		if cerr == nil {
-			return cel, cmd.XPath, "coordinates", nil
+			// The recorded coordinates identified the element; no XPath
+			// expression matched — cmd.XPath may not even have parsed —
+			// so none is reported as used.
+			return cel, "", "coordinates", nil
 		}
 		if errors.Is(cerr, webdriver.ErrNoActiveClient) {
 			return nil, "", "", cerr

@@ -218,6 +218,35 @@ func TestReplayUnknownXPathFails(t *testing.T) {
 	}
 }
 
+func TestCoordinateFallbackOnUnparseableXPathReportsNoExpression(t *testing.T) {
+	// Find the recorded coordinates of a stable element; page layout is
+	// deterministic, so they are valid in the replay environment too.
+	env := apps.NewEnv(browser.DeveloperMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.SitesURL); err != nil {
+		t.Fatal(err)
+	}
+	x, y := tab.Layout().Center(tab.MainFrame().Doc().GetElementByID("start"))
+
+	tr := command.Trace{
+		StartURL: apps.SitesURL,
+		Commands: []command.Command{{
+			Action: command.Click, XPath: `not an xpath [`, X: x, Y: y,
+		}},
+	}
+	res, _, _ := replayInFreshEnv(t, tr, browser.DeveloperMode, Options{})
+	step := res.Steps[0]
+	if step.Status != StepByCoordinates {
+		t.Fatalf("status = %v (err %v), want by-coordinates", step.Status, step.Err)
+	}
+	if step.UsedXPath != "" {
+		t.Errorf("UsedXPath = %q, want empty: no expression matched — the recorded one did not even parse", step.UsedXPath)
+	}
+	if step.Heuristic != "coordinates" {
+		t.Errorf("Heuristic = %q, want %q", step.Heuristic, "coordinates")
+	}
+}
+
 func TestTraceSerializationRoundTripThroughReplay(t *testing.T) {
 	sc := apps.EditSiteScenario()
 	tr := record(t, sc)

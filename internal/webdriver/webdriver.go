@@ -240,6 +240,14 @@ func (d *Driver) FindElement(expr string) (*Element, error) {
 	return d.findParsed(path)
 }
 
+// FindElementPath is FindElement for a pre-parsed path. Callers that
+// evaluate the same expression repeatedly (the replayer's relaxation
+// loop, WebErr campaigns) parse once and pass the Path here, skipping
+// the per-candidate render-to-string and re-parse round trip.
+func (d *Driver) FindElementPath(path xpath.Path) (*Element, error) {
+	return d.findParsed(path)
+}
+
 func (d *Driver) findParsed(path xpath.Path) (*Element, error) {
 	if d.active == nil {
 		return nil, ErrNoActiveClient
@@ -261,8 +269,20 @@ func (d *Driver) findParsed(path xpath.Path) (*Element, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("%w: %s", ErrElementNotFound, path.String())
+	return nil, &notFoundError{path: path}
 }
+
+// notFoundError is ErrElementNotFound carrying the expression that missed.
+// The message renders lazily: the replayer's relaxation loop discards one
+// of these per failed candidate, and rendering the path eagerly used to
+// cost more than the indexed lookup itself.
+type notFoundError struct{ path xpath.Path }
+
+func (e *notFoundError) Error() string {
+	return ErrElementNotFound.Error() + ": " + e.path.String()
+}
+
+func (e *notFoundError) Unwrap() error { return ErrElementNotFound }
 
 // FindByCoordinates locates the element at window coordinates — the
 // backup identification clicks carry (paper §IV-B).
@@ -354,7 +374,7 @@ func (e *Element) applyTextDefault(key string) {
 		// — which exists for input and textarea but not for div. No
 		// events fire, and container elements show nothing.
 		if !browser.IsControlKey(key) {
-			n.Value += key
+			n.AppendValue(key)
 		}
 		return
 	}
@@ -364,12 +384,12 @@ func (e *Element) applyTextDefault(key string) {
 	case browser.IsControlKey(key):
 		return
 	case n.Tag == "input" || n.Tag == "textarea":
-		n.Value += key
+		n.AppendValue(key)
 	default:
 		// The WaRR fix: set the correct property (textContent for
 		// container elements) and trigger the required events.
 		if last := n.LastChild(); last != nil && last.Type == dom.TextNode {
-			last.Data += key
+			last.AppendData(key)
 		} else {
 			n.AppendChild(dom.NewText(key))
 		}
@@ -380,12 +400,12 @@ func (e *Element) applyTextDefault(key string) {
 func deleteLast(n *dom.Node) {
 	if n.Tag == "input" || n.Tag == "textarea" {
 		if len(n.Value) > 0 {
-			n.Value = n.Value[:len(n.Value)-1]
+			n.SetValue(n.Value[:len(n.Value)-1])
 		}
 		return
 	}
 	if last := n.LastChild(); last != nil && last.Type == dom.TextNode && len(last.Data) > 0 {
-		last.Data = last.Data[:len(last.Data)-1]
+		last.SetData(last.Data[:len(last.Data)-1])
 	}
 }
 

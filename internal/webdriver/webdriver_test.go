@@ -213,7 +213,7 @@ func TestTypeKeyBackspace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	el.Node().Value = "abc"
+	el.Node().SetValue("abc")
 	if err := el.TypeKey(browser.KeyBackspace, browser.NamedKeyCode(browser.KeyBackspace)); err != nil {
 		t.Fatal(err)
 	}

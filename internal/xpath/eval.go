@@ -1,17 +1,39 @@
 package xpath
 
 import (
+	"sort"
 	"strings"
 
 	"github.com/dslab-epfl/warr/internal/dom"
 )
 
 // Evaluate returns every element under ctx (typically a #document node)
-// matched by the path, in document order and without duplicates.
+// matched by the path, in document order and without duplicates. When the
+// context belongs to an indexed tree (dom.QueryIndex) and the path has an
+// indexable predicate, evaluation anchors on the most selective index
+// bucket instead of walking the tree; results are identical either way.
 func Evaluate(p Path, ctx *dom.Node) []*dom.Node {
 	if ctx == nil || len(p.Steps) == 0 {
 		return nil
 	}
+	if out, ok := evaluateIndexed(p, ctx); ok {
+		return out
+	}
+	return evaluateWalk(p, ctx)
+}
+
+// EvaluateWalk is the reference tree-walking evaluator: every step scans
+// its context nodes' children or descendants. It is the fallback for
+// unindexed trees and un-indexable paths, and the differential-testing
+// oracle the indexed engine is checked against.
+func EvaluateWalk(p Path, ctx *dom.Node) []*dom.Node {
+	if ctx == nil || len(p.Steps) == 0 {
+		return nil
+	}
+	return evaluateWalk(p, ctx)
+}
+
+func evaluateWalk(p Path, ctx *dom.Node) []*dom.Node {
 	current := []*dom.Node{ctx}
 	for _, step := range p.Steps {
 		current = applyStep(step, current)
@@ -19,7 +41,20 @@ func Evaluate(p Path, ctx *dom.Node) []*dom.Node {
 			return nil
 		}
 	}
+	sortDocOrder(current)
 	return current
+}
+
+// sortDocOrder puts a deduplicated node-set into document order, the
+// order XPath requires of result node-sets. Step application visits
+// contexts in sequence, so when an intermediate set contains both an
+// ancestor and its descendant, a later child step can emit matches
+// interleaved out of document order; the final sort restores the
+// invariant for both evaluation strategies.
+func sortDocOrder(nodes []*dom.Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		return dom.CompareDocumentOrder(nodes[i], nodes[j]) < 0
+	})
 }
 
 // First returns the first element matched by the path, or nil.

@@ -31,8 +31,19 @@ func Generate(n *dom.Node) Path {
 	// keep-only-name relaxation falls back on when dynamic applications
 	// regenerate ids), then name alone, then visible text, each with one
 	// parent step for context.
+	// A value containing both quote characters cannot be written as an
+	// XPath 1.0 string literal (quote() would silently rewrite it, and
+	// the generated expression would not re-match its element after a
+	// parse round trip), so such values disqualify their predicate and
+	// the generator falls through to positional forms.
 	id := n.ID()
+	if !representable(id) {
+		id = ""
+	}
 	name, _ := n.Attr("name")
+	if !representable(name) {
+		name = ""
+	}
 	if id != "" && name != "" {
 		p := anchored(n, AttrEq{Name: "id", Value: id}, AttrEq{Name: "name", Value: name})
 		if isFirstMatch(p, root, n) {
@@ -51,7 +62,7 @@ func Generate(n *dom.Node) Path {
 			return p
 		}
 	}
-	if text := strings.TrimSpace(n.TextContent()); text != "" && len(text) <= maxTextPredicate && !strings.Contains(text, "\n") {
+	if text := strings.TrimSpace(n.TextContent()); text != "" && len(text) <= maxTextPredicate && !strings.Contains(text, "\n") && representable(text) {
 		p := anchored(n, TextEq{Value: text})
 		if isFirstMatch(p, root, n) {
 			return p
@@ -78,7 +89,7 @@ func Generate(n *dom.Node) Path {
 	// Try anchoring on the nearest uniquely-identified ancestor, with a
 	// positional child path below it.
 	for anc := n.Parent(); anc != nil && anc.Type == dom.ElementNode; anc = anc.Parent() {
-		if id := anc.ID(); id != "" {
+		if id := anc.ID(); id != "" && representable(id) {
 			p := Path{Steps: []Step{{
 				Deep: true, Tag: anc.Tag,
 				Preds: []Pred{AttrEq{Name: "id", Value: id}},
@@ -169,4 +180,11 @@ func absolute(n *dom.Node) Path {
 // isFirstMatch reports whether n is the first element the path selects.
 func isFirstMatch(p Path, root, n *dom.Node) bool {
 	return First(p, root) == n
+}
+
+// representable reports whether v can be written exactly as an XPath 1.0
+// string literal. The language has no escape sequences, so a value
+// containing both quote characters cannot be expressed.
+func representable(v string) bool {
+	return !strings.Contains(v, `"`) || !strings.Contains(v, "'")
 }

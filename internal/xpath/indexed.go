@@ -1,0 +1,205 @@
+package xpath
+
+// This file implements the index-backed evaluation strategy: instead of
+// walking the whole tree per step, the evaluator picks the path's most
+// selective attribute predicate, jumps to that (name, value) bucket in
+// the document's dom.QueryIndex, verifies each bucket member's ancestor
+// chain against the path prefix, and only evaluates the (usually empty)
+// path suffix by walking. A stale recorded id — the hot case in the WaRR
+// Replayer's relaxation loop — resolves in O(1): its bucket is empty.
+//
+// The strategy is an optimization, not a semantic fork: for every path
+// and context it returns exactly what the walking evaluator returns
+// (same elements, same document order, same dedup), which the
+// differential tests in indexed_test.go assert page by page.
+
+import (
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// Compiled is a parsed path prepared for repeated evaluation: the
+// indexability analysis runs once, and the relaxation sequence the
+// replayer walks on mismatch is computed once and cached. Callers that
+// evaluate the same expression many times (the replayer, WebErr
+// campaigns) should parse once, Compile once, and reuse.
+type Compiled struct {
+	Path Path
+
+	// anchorable records whether any step carries an attribute-equality
+	// predicate the index can answer.
+	anchorable bool
+
+	relaxOnce sync.Once
+	relax     []Relaxation
+}
+
+// Compile analyzes a parsed path for indexed evaluation.
+func Compile(p Path) *Compiled {
+	c := &Compiled{Path: p}
+analysis:
+	for _, s := range p.Steps {
+		for _, pred := range s.Preds {
+			if _, ok := pred.(AttrEq); ok {
+				c.anchorable = true
+				break analysis
+			}
+		}
+	}
+	return c
+}
+
+// MustCompile compiles a known-good expression; it panics on parse error.
+func MustCompile(expr string) *Compiled { return Compile(MustParse(expr)) }
+
+// Evaluate returns every element matched by the compiled path, identical
+// to Evaluate(c.Path, ctx).
+func (c *Compiled) Evaluate(ctx *dom.Node) []*dom.Node {
+	if ctx == nil || len(c.Path.Steps) == 0 {
+		return nil
+	}
+	if c.anchorable {
+		if out, ok := evaluateIndexed(c.Path, ctx); ok {
+			return out
+		}
+	}
+	return evaluateWalk(c.Path, ctx)
+}
+
+// First returns the first element matched by the compiled path, or nil.
+func (c *Compiled) First(ctx *dom.Node) *dom.Node {
+	nodes := c.Evaluate(ctx)
+	if len(nodes) == 0 {
+		return nil
+	}
+	return nodes[0]
+}
+
+// Relaxations returns the progressive relaxation sequence for the path,
+// computed on first use and cached (the replayer retries it on every
+// stale step of a trace).
+func (c *Compiled) Relaxations() []Relaxation {
+	c.relaxOnce.Do(func() { c.relax = Relaxations(c.Path) })
+	return c.relax
+}
+
+// evaluateIndexed evaluates p against ctx through the tree's QueryIndex.
+// ok is false when the strategy does not apply (unindexed tree, no
+// attribute predicate) and the caller must fall back to walking.
+func evaluateIndexed(p Path, ctx *dom.Node) (nodes []*dom.Node, ok bool) {
+	ix := ctx.QueryIndex()
+	if ix == nil {
+		return nil, false
+	}
+
+	// Anchor on the most selective indexed predicate. Ties prefer the
+	// latest step, leaving the shortest suffix to evaluate by walking.
+	anchor := -1
+	var anchorPred AttrEq
+	anchorSize := 0
+	for i, s := range p.Steps {
+		for _, pred := range s.Preds {
+			a, isAttr := pred.(AttrEq)
+			if !isAttr {
+				continue
+			}
+			size := ix.CountAttr(a.Name, a.Value)
+			if anchor < 0 || size <= anchorSize {
+				anchor, anchorPred, anchorSize = i, a, size
+			}
+		}
+	}
+	if anchor < 0 {
+		return nil, false
+	}
+	// Every full-path match carries the anchor attribute at step `anchor`
+	// of its derivation; an empty bucket means no match anywhere.
+	if anchorSize == 0 {
+		return nil, true
+	}
+
+	// The nodes verified against the prefix are exactly the walker's
+	// match set after step `anchor` (each carries the anchor attribute,
+	// so the walker's set is a subset of the bucket). Match sets are
+	// order-independent as sets — each later step unions per-context
+	// candidates — so the suffix can be evaluated from the unsorted
+	// verified nodes and the result sorted once at the end, the same
+	// document-order normalization evaluateWalk applies.
+	ver := &verifier{steps: p.Steps[:anchor+1], ctx: ctx, memo: make(map[verKey]bool)}
+	var current []*dom.Node
+	for _, n := range ix.NodesByAttr(anchorPred.Name, anchorPred.Value) {
+		if ver.reachable(anchor, n) {
+			current = append(current, n)
+		}
+	}
+	for _, step := range p.Steps[anchor+1:] {
+		if len(current) == 0 {
+			return nil, true
+		}
+		current = applyStep(step, current)
+	}
+	if len(current) == 0 {
+		return nil, true
+	}
+	sortDocOrder(current)
+	return current, true
+}
+
+// verifier checks candidates against a fixed (step prefix, context)
+// pair. Results are memoized per (step index, node): the per-step
+// ancestor scans of a refutation would otherwise multiply into an
+// exponential walk on deep documents with several descendant-axis steps,
+// and the same ancestors recur across candidates sharing a subtree.
+type verifier struct {
+	steps []Step
+	ctx   *dom.Node
+	memo  map[verKey]bool
+}
+
+type verKey struct {
+	k int
+	n *dom.Node
+}
+
+// reachable reports whether n is a match of steps[:k+1] evaluated from
+// ctx — i.e. n satisfies step k and some ancestor chain of n satisfies
+// the steps before it. This is the upward verification that replaces
+// walking the tree down from ctx.
+func (v *verifier) reachable(k int, n *dom.Node) bool {
+	key := verKey{k, n}
+	if r, ok := v.memo[key]; ok {
+		return r
+	}
+	r := v.compute(k, n)
+	v.memo[key] = r
+	return r
+}
+
+func (v *verifier) compute(k int, n *dom.Node) bool {
+	s := v.steps[k]
+	if !elementMatchesTag(n, s.Tag) || !matchesPreds(s, n) {
+		return false
+	}
+	if k == 0 {
+		if s.Deep {
+			return n != v.ctx && v.ctx.Contains(n)
+		}
+		return n.Parent() == v.ctx
+	}
+	if s.Deep {
+		// ctx itself is never a step match, so stop the ancestor scan
+		// there; above it nothing can satisfy the base case either.
+		for a := n.Parent(); a != nil && a != v.ctx; a = a.Parent() {
+			if v.reachable(k-1, a) {
+				return true
+			}
+		}
+		return false
+	}
+	p := n.Parent()
+	if p == nil || p == v.ctx {
+		return false
+	}
+	return v.reachable(k-1, p)
+}

@@ -1,0 +1,255 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/htmlparse"
+)
+
+// assertSameNodes fails unless indexed and walker evaluation agree
+// exactly — same elements, same document order — for p under root.
+func assertSameNodes(t *testing.T, p Path, root *dom.Node) {
+	t.Helper()
+	got := Evaluate(p, root)
+	want := EvaluateWalk(p, root)
+	if len(got) != len(want) {
+		t.Fatalf("%s: indexed returned %d nodes, walker %d", p, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d differs: indexed %s, walker %s",
+				p, i, got[i].Path(), want[i].Path())
+		}
+	}
+}
+
+// TestIndexedDifferentialDemoPages loads every demo application's start
+// page and checks, for each element, that the generated expression and
+// all of its relaxations evaluate identically through the index and
+// through the walker.
+func TestIndexedDifferentialDemoPages(t *testing.T) {
+	urls := []string{
+		apps.SitesURL, apps.GMailURL, apps.YahooURL, apps.DocsURL,
+		apps.GoogleURL, apps.BingURL, apps.YSearchURL,
+	}
+	env := apps.NewEnv(browser.DeveloperMode)
+	for _, url := range urls {
+		tab := env.Browser.NewTab()
+		if err := tab.Navigate(url); err != nil {
+			t.Fatalf("navigate %s: %v", url, err)
+		}
+		for _, f := range tab.MainFrame().Descendants() {
+			root := f.Doc().Root()
+			if root.QueryIndex() == nil {
+				t.Fatalf("%s: frame document is not indexed", url)
+			}
+			elements := root.FindAll(func(n *dom.Node) bool {
+				return n.Type == dom.ElementNode
+			})
+			for _, el := range elements {
+				p := Generate(el)
+				if len(p.Steps) == 0 {
+					continue
+				}
+				assertSameNodes(t, p, root)
+				for _, relax := range Relaxations(p) {
+					assertSameNodes(t, relax.Path, root)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedDifferentialUnderMutation regenerates ids on a loaded page —
+// the GMail behaviour that drives relaxation — and re-checks equivalence,
+// exercising the incrementally maintained tables rather than the freshly
+// built ones.
+func TestIndexedDifferentialUnderMutation(t *testing.T) {
+	env := apps.NewEnv(browser.DeveloperMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(apps.GMailURL); err != nil {
+		t.Fatal(err)
+	}
+	root := tab.MainFrame().Doc().Root()
+
+	// Record paths before mutating, as the recorder would.
+	var recorded []Path
+	for _, el := range root.FindAll(func(n *dom.Node) bool { return n.Type == dom.ElementNode }) {
+		if p := Generate(el); len(p.Steps) > 0 {
+			recorded = append(recorded, p)
+		}
+	}
+
+	// Regenerate every id, move a subtree, and edit text.
+	i := 0
+	for _, el := range root.FindAll(func(n *dom.Node) bool { return n.ID() != "" }) {
+		el.SetAttr("id", fmt.Sprintf(":%d", 9000+i))
+		i++
+	}
+	body := tab.MainFrame().Doc().Body()
+	if first := body.FirstChild(); first != nil {
+		first.Detach()
+		body.AppendChild(first)
+	}
+	body.AppendChild(dom.NewText("appended"))
+
+	for _, p := range recorded {
+		assertSameNodes(t, p, root)
+		for _, relax := range Relaxations(p) {
+			assertSameNodes(t, relax.Path, root)
+		}
+	}
+}
+
+// TestEvaluateDocumentOrderWithNesting pins the document-order guarantee
+// in the case where naive per-context stepping would interleave: nested
+// same-tag containers whose children all match the final step.
+func TestEvaluateDocumentOrderWithNesting(t *testing.T) {
+	doc := htmlparse.Parse(`
+<div class="w"><span class="s">A</span>
+  <div class="w"><span class="s">B</span></div>
+  <span class="s">C</span>
+</div>`, "http://test/")
+	root := doc.Root()
+
+	for _, expr := range []string{`//div/span`, `//div/span[@class="s"]`} {
+		p := MustParse(expr)
+		assertSameNodes(t, p, root)
+		var texts []string
+		for _, n := range Evaluate(p, root) {
+			texts = append(texts, n.TextContent())
+		}
+		if got := fmt.Sprint(texts); got != "[A B C]" {
+			t.Errorf("%s: results out of document order: %s", expr, got)
+		}
+	}
+}
+
+// TestIndexedEmptyBucketShortCircuits verifies the hot case the replayer
+// leans on: a stale id resolves to "no match" without walking the tree.
+func TestIndexedEmptyBucketShortCircuits(t *testing.T) {
+	doc := htmlparse.Parse(`<div id="live"><span name="n">x</span></div>`, "http://test/")
+	root := doc.Root()
+	p := MustParse(`//div[@id="stale"]/span`)
+	if got := Evaluate(p, root); got != nil {
+		t.Fatalf("stale id matched %d nodes", len(got))
+	}
+	assertSameNodes(t, p, root)
+}
+
+// TestIndexedDeepNestingRefutationIsFast is the regression for the
+// exponential prefix refutation: on a deep chain of same-tag containers,
+// a multi-descendant-step expression whose prefix can never match must
+// be refuted in polynomial time (pre-memoization this query ran for
+// minutes; the walker refutes it in microseconds).
+func TestIndexedDeepNestingRefutationIsFast(t *testing.T) {
+	d := dom.NewDocument("http://test/")
+	cur := d.Body()
+	for i := 0; i < 120; i++ {
+		div := dom.NewElement("div")
+		cur.AppendChild(div)
+		cur = div
+	}
+	cur.AppendChild(dom.NewElement("span", "id", "x"))
+	root := d.Root()
+
+	p := MustParse(`//p//div//div//div//div//div//div//span[@id="x"]`)
+	done := make(chan []*dom.Node, 1)
+	go func() { done <- Evaluate(p, root) }()
+	select {
+	case got := <-done:
+		if got != nil {
+			t.Fatalf("impossible prefix matched %d nodes", len(got))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("indexed refutation did not finish within 10s")
+	}
+	assertSameNodes(t, p, root)
+
+	// The matching variant must also agree with the walker.
+	q := MustParse(`//div//div//div//span[@id="x"]`)
+	assertSameNodes(t, q, root)
+}
+
+// TestCompiledMatchesEvaluate checks the compiled evaluator against the
+// package-level one, and that its relaxation sequence matches the
+// uncached computation.
+func TestCompiledMatchesEvaluate(t *testing.T) {
+	doc := htmlparse.Parse(`
+<table><tbody><tr>
+  <td><div id="content" name="body">Save</div></td>
+  <td><div name="body">Other</div></td>
+</tr></tbody></table>`, "http://test/")
+	root := doc.Root()
+
+	for _, expr := range []string{
+		`//td/div[@id="content"]`,
+		`//td/div[@name="body"]`,
+		`//div[text()="Save"]`, // no attr predicate: walker path
+		`//td/div[@id="gone"]`,
+	} {
+		c := MustCompile(expr)
+		got := c.Evaluate(root)
+		want := Evaluate(MustParse(expr), root)
+		if len(got) != len(want) {
+			t.Fatalf("%s: compiled %d nodes, plain %d", expr, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: compiled result %d differs", expr, i)
+			}
+		}
+		if c.First(root) != First(MustParse(expr), root) {
+			t.Errorf("%s: First differs", expr)
+		}
+
+		relaxed := c.Relaxations()
+		plain := Relaxations(c.Path)
+		if len(relaxed) != len(plain) {
+			t.Fatalf("%s: compiled %d relaxations, plain %d", expr, len(relaxed), len(plain))
+		}
+		for i := range relaxed {
+			if relaxed[i].Path.String() != plain[i].Path.String() ||
+				relaxed[i].Heuristic != plain[i].Heuristic {
+				t.Errorf("%s: relaxation %d differs", expr, i)
+			}
+		}
+	}
+}
+
+// TestGenerateBothQuotesRoundTrips is the regression for the quote()
+// lossiness: a value containing both quote characters cannot be written
+// as an XPath literal, so Generate must fall back to a positional form
+// that still round-trips through String and Parse to the same element.
+func TestGenerateBothQuotesRoundTrips(t *testing.T) {
+	doc := htmlparse.Parse(`<div><p>first</p><p>second</p></div>`, "http://test/")
+	root := doc.Root()
+	target := root.FindAll(func(n *dom.Node) bool { return n.Tag == "p" })[1]
+	target.SetAttr("id", `it's "quoted"`)
+	target.SetAttr("name", `both " and '`)
+
+	p := Generate(target)
+	if len(p.Steps) == 0 {
+		t.Fatal("Generate returned an empty path")
+	}
+	reparsed, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("generated path %q does not re-parse: %v", p.String(), err)
+	}
+	if got := First(reparsed, root); got != target {
+		t.Fatalf("round-tripped path %q resolves %v, want the generated element", p.String(), got)
+	}
+	// The unrepresentable values must not appear mangled in the output:
+	// quote() rewrites `"` to `'` when both quotes occur, so a mangled
+	// literal would carry the values with double quotes replaced.
+	s := p.String()
+	if strings.Contains(s, "it's 'quoted'") || strings.Contains(s, "both ' and '") {
+		t.Errorf("generated path %q leaks an unrepresentable literal", s)
+	}
+}

@@ -35,7 +35,9 @@ func (p AttrEq) String() string { return fmt.Sprintf(`[@%s=%s]`, p.Name, quote(p
 // quote renders a string literal in XPath syntax. XPath 1.0 has no escape
 // sequences, so a value containing both quote characters cannot be
 // represented exactly; the double quotes are replaced with single ones in
-// that (pathological) case.
+// that (pathological) case. Generate never emits such values — it falls
+// back to positional predicates instead (see representable) — so the
+// lossy rewrite only applies to hand-built paths.
 func quote(v string) string {
 	if !strings.Contains(v, `"`) {
 		return `"` + v + `"`
