@@ -30,6 +30,19 @@ func NewUserReport(description string, tr Trace, tab *Tab, opts ReportOptions) (
 	return auser.New(description, tr, tab, opts)
 }
 
+// ReportSnapshotter captures report material (page snapshot, URL,
+// console) after every replayed command, as a replay session hook —
+// register its Hooks() in ReplayOptions.Hooks or with Session.AddHooks.
+// A report can then be assembled from the last captured state even when
+// the session was cancelled or halted mid-trace.
+type ReportSnapshotter = auser.Snapshotter
+
+// NewReportSnapshotter returns a snapshotter applying the given report
+// options to every capture.
+func NewReportSnapshotter(opts ReportOptions) *ReportSnapshotter {
+	return auser.NewSnapshotter(opts)
+}
+
 // RedactAllTyped replaces every printable keystroke with "*", keeping
 // the interaction structure intact.
 func RedactAllTyped(tr Trace) Trace { return auser.RedactAllTyped(tr) }

@@ -350,6 +350,45 @@ func benchCampaign(b *testing.B, disablePruning bool) {
 	b.ReportMetric(float64(rep.Pruned), "pruned")
 }
 
+// BenchmarkNavigationCampaignSequential is the wall-clock baseline for
+// the concurrent campaign executor: the full edit-site navigation
+// campaign replayed one trace at a time. Pruning is disabled so both
+// parallelisms replay exactly the same trace set.
+func BenchmarkNavigationCampaignSequential(b *testing.B) {
+	benchParallelCampaign(b, 1)
+}
+
+// BenchmarkNavigationCampaignParallel fans the same campaign out over 8
+// concurrent replay sessions in isolated environments. The workload is
+// CPU-bound over a simulated substrate, so the wall-clock speedup over
+// the sequential baseline tracks GOMAXPROCS: expect ~min(8, cores)
+// scaling on multi-core hardware and parity on a single core.
+func BenchmarkNavigationCampaignParallel(b *testing.B) {
+	benchParallelCampaign(b, 8)
+}
+
+func benchParallelCampaign(b *testing.B, parallelism int) {
+	edit, _ := benchTraces(b)
+	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	tree, err := warr.InferTaskTree(fresh, edit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := warr.GrammarFromTaskTree(tree)
+	var rep *warr.CampaignReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = warr.RunNavigationCampaign(fresh, g, warr.CampaignOptions{
+			Parallelism:    parallelism,
+			DisablePruning: true,
+			Replayer:       replayer.Options{Pacing: replayer.PaceNone},
+		})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Replayed), "replays")
+	b.ReportMetric(float64(len(rep.Findings)), "findings")
+}
+
 // BenchmarkSealReport measures AUsER's hybrid encryption of a full
 // report (trace + snapshot + console).
 func BenchmarkSealReport(b *testing.B) {

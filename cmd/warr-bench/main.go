@@ -10,6 +10,10 @@
 //	warr-bench -experiment grammar     # the grammar behind Fig. 6
 //	warr-bench -experiment overhead    # §VI: recorder logging overhead
 //	warr-bench -experiment sitesbug    # §V-C: the Google Sites timing bug
+//	warr-bench -experiment campaign    # WebErr campaigns: sequential vs concurrent executor
+//
+// The campaign experiment honours -parallel (default 8): the number of
+// concurrent replay sessions the executor fans each campaign out to.
 //
 // EXPERIMENTS.md records the paper-reported values next to the outputs
 // of this command.
@@ -25,7 +29,7 @@ import (
 )
 
 // experimentOrder is the -experiment=all sequence.
-var experimentOrder = []string{"fig3", "fig4", "fig6", "grammar", "table1", "table2", "overhead", "sitesbug"}
+var experimentOrder = []string{"fig3", "fig4", "fig6", "grammar", "table1", "table2", "overhead", "sitesbug", "campaign"}
 
 func main() {
 	exp := flag.String("experiment", "all",
@@ -33,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 2011, "random seed for typo injection (Table I)")
 	full := flag.Bool("full-pipeline", false,
 		"route Table I through full record-and-replay instead of live sessions")
+	parallel := flag.Int("parallel", 8, "concurrent replay sessions for the campaign experiment")
 	flag.Parse()
 
 	names := experimentOrder
@@ -43,14 +48,14 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := run(strings.TrimSpace(name), *seed, *full); err != nil {
+		if err := run(strings.TrimSpace(name), *seed, *full, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "warr-bench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(name string, seed int64, fullPipeline bool) error {
+func run(name string, seed int64, fullPipeline bool, parallel int) error {
 	switch name {
 	case "fig3":
 		stack, err := experiments.Fig3Stack()
@@ -108,6 +113,12 @@ func run(name string, seed int64, fullPipeline bool) error {
 			return err
 		}
 		fmt.Print(experiments.FormatSitesBug(r))
+	case "campaign":
+		rows, err := experiments.CampaignAll(parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCampaign(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q (want all, %s)",
 			name, strings.Join(experimentOrder, ", "))

@@ -1,23 +1,38 @@
 // Command warr-replay replays a recorded WaRR Command trace against a
 // fresh instance of the simulated world (Fig. 1, step 3) and reports how
 // each command resolved: direct XPath match, relaxation heuristic,
-// coordinate fallback, or failure.
+// coordinate fallback, or failure. Steps stream as they replay, through
+// the session API.
 //
 // Usage:
 //
 //	warr-replay -trace edit.warr
+//	warr-replay -trace edit.warr -json               # machine-readable per-step output
+//	warr-replay -trace edit.warr -parallel 8         # 8 concurrent replicas in isolated envs
+//	warr-replay -trace edit.warr -timeout 50ms       # cancel mid-replay, keep the partial result
 //	warr-replay -trace edit.warr -pace none          # impatient-user stress (§V-B)
 //	warr-replay -trace edit.warr -mode user          # degraded user-mode browser
 //	warr-replay -trace edit.warr -no-relaxation      # ablation (§IV-C)
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	warr "github.com/dslab-epfl/warr"
 )
+
+type config struct {
+	mode     warr.Mode
+	opts     warr.ReplayOptions
+	parallel int
+	jsonOut  bool
+	timeout  time.Duration
+}
 
 func main() {
 	trace := flag.String("trace", "", "trace file recorded by warr-record (required)")
@@ -25,15 +40,18 @@ func main() {
 	pace := flag.String("pace", "recorded", "command pacing: recorded or none")
 	noRelax := flag.Bool("no-relaxation", false, "disable progressive XPath relaxation")
 	noCoord := flag.Bool("no-coordinates", false, "disable the click-coordinate fallback")
+	parallel := flag.Int("parallel", 1, "replay N concurrent replicas of the trace, each in an isolated environment")
+	jsonOut := flag.Bool("json", false, "machine-readable JSON-lines output (one object per step)")
+	timeout := flag.Duration("timeout", 0, "cancel the replay after this long (0 = no limit); the partial result is reported")
 	flag.Parse()
 
-	if err := run(*trace, *mode, *pace, *noRelax, *noCoord); err != nil {
+	if err := run(*trace, *mode, *pace, *noRelax, *noCoord, *parallel, *jsonOut, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "warr-replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, mode, pace string, noRelax, noCoord bool) error {
+func run(path, mode, pace string, noRelax, noCoord bool, parallel int, jsonOut bool, timeout time.Duration) error {
 	if path == "" {
 		return fmt.Errorf("-trace is required")
 	}
@@ -47,59 +65,222 @@ func run(path, mode, pace string, noRelax, noCoord bool) error {
 		return err
 	}
 
-	browserMode := warr.DeveloperMode
+	cfg := config{parallel: parallel, jsonOut: jsonOut, timeout: timeout}
 	switch mode {
 	case "developer":
+		cfg.mode = warr.DeveloperMode
 	case "user":
-		browserMode = warr.UserMode
+		cfg.mode = warr.UserMode
 	default:
 		return fmt.Errorf("unknown -mode %q (want developer or user)", mode)
 	}
-	opts := warr.ReplayOptions{
+	cfg.opts = warr.ReplayOptions{
 		DisableRelaxation:         noRelax,
 		DisableCoordinateFallback: noCoord,
 	}
 	switch pace {
 	case "recorded":
-		opts.Pacing = warr.PaceRecorded
+		cfg.opts.Pacing = warr.PaceRecorded
 	case "none":
-		opts.Pacing = warr.PaceNone
+		cfg.opts.Pacing = warr.PaceNone
 	default:
 		return fmt.Errorf("unknown -pace %q (want recorded or none)", pace)
 	}
 
-	env := warr.NewDemoEnv(browserMode)
-	res, tab, err := warr.NewReplayer(env.Browser, opts).Replay(tr)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if parallel > 1 {
+		return runParallel(ctx, tr, cfg)
+	}
+	return runStreaming(ctx, tr, cfg)
+}
+
+// stepRecord is the JSON-lines shape of one replayed step.
+type stepRecord struct {
+	Type      string `json:"type"`
+	Index     int    `json:"index"`
+	Action    string `json:"action"`
+	XPath     string `json:"xpath"`
+	Status    string `json:"status"`
+	UsedXPath string `json:"usedXPath,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// summaryRecord is the JSON shape of a finished replay.
+type summaryRecord struct {
+	Type          string   `json:"type"`
+	Replica       int      `json:"replica"`
+	Commands      int      `json:"commands"`
+	Played        int      `json:"played"`
+	Failed        int      `json:"failed"`
+	Halted        bool     `json:"halted"`
+	Cancelled     bool     `json:"cancelled"`
+	Complete      bool     `json:"complete"`
+	FinalURL      string   `json:"finalURL,omitempty"`
+	Title         string   `json:"title,omitempty"`
+	ConsoleErrors []string `json:"consoleErrors,omitempty"`
+}
+
+func record(step warr.ReplayStep) stepRecord {
+	r := stepRecord{
+		Type:      "step",
+		Index:     step.Index,
+		Action:    step.Cmd.Action.String(),
+		XPath:     step.Cmd.XPath,
+		Status:    step.Status.String(),
+		UsedXPath: step.UsedXPath,
+		Heuristic: step.Heuristic,
+	}
+	if step.Err != nil {
+		r.Error = step.Err.Error()
+	}
+	return r
+}
+
+func summarize(replica, commands int, res *warr.ReplayResult, tab *warr.Tab) summaryRecord {
+	s := summaryRecord{
+		Type:      "summary",
+		Replica:   replica,
+		Commands:  commands,
+		Played:    res.Played,
+		Failed:    res.Failed,
+		Halted:    res.Halted,
+		Cancelled: res.Cancelled,
+		Complete:  res.Complete(),
+	}
+	if tab != nil {
+		s.FinalURL = tab.URL()
+		s.Title = tab.Title()
+		for _, e := range tab.ConsoleErrors() {
+			s.ConsoleErrors = append(s.ConsoleErrors, e.Message)
+		}
+	}
+	return s
+}
+
+// runStreaming replays one session, reporting each step as it happens.
+func runStreaming(ctx context.Context, tr warr.Trace, cfg config) error {
+	env := warr.NewDemoEnv(cfg.mode)
+	session, err := warr.NewReplaySession(ctx, env.Browser, tr, cfg.opts)
 	if err != nil {
 		return err
 	}
-
-	for _, s := range res.Steps {
-		switch s.Status {
+	enc := json.NewEncoder(os.Stdout)
+	for step := range session.Steps() {
+		if cfg.jsonOut {
+			if err := enc.Encode(record(step)); err != nil {
+				return err
+			}
+			continue
+		}
+		switch step.Status {
 		case warr.StepOK:
-			fmt.Printf("  ok       %s\n", s.Cmd)
+			fmt.Printf("  ok       %s\n", step.Cmd)
 		case warr.StepRelaxed:
-			fmt.Printf("  relaxed  %s  (%s -> %s)\n", s.Cmd, s.Heuristic, s.UsedXPath)
+			fmt.Printf("  relaxed  %s  (%s -> %s)\n", step.Cmd, step.Heuristic, step.UsedXPath)
 		case warr.StepByCoordinates:
-			fmt.Printf("  coords   %s\n", s.Cmd)
+			fmt.Printf("  coords   %s\n", step.Cmd)
 		case warr.StepFailed:
-			fmt.Printf("  FAILED   %s  (%v)\n", s.Cmd, s.Err)
+			fmt.Printf("  FAILED   %s  (%v)\n", step.Cmd, step.Err)
 		}
 	}
-	fmt.Printf("replayed %d/%d commands (%d failed", res.Played, len(tr.Commands), res.Failed)
-	if res.Halted {
-		fmt.Printf(", replay halted")
-	}
-	fmt.Println(")")
 
-	if errs := tab.ConsoleErrors(); len(errs) > 0 {
-		fmt.Println("console errors observed during replay:")
-		for _, e := range errs {
-			fmt.Printf("  %s\n", e.Message)
+	res, tab := session.Result(), session.Tab()
+	if cfg.jsonOut {
+		if err := enc.Encode(summarize(0, len(tr.Commands), res, tab)); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("replayed %d/%d commands (%d failed", res.Played, len(tr.Commands), res.Failed)
+		if res.Halted {
+			fmt.Printf(", replay halted")
+		}
+		if res.Cancelled {
+			fmt.Printf(", cancelled: %v", res.CancelCause)
+		}
+		fmt.Println(")")
+		if errs := tab.ConsoleErrors(); len(errs) > 0 {
+			fmt.Println("console errors observed during replay:")
+			for _, e := range errs {
+				fmt.Printf("  %s\n", e.Message)
+			}
+		}
+		fmt.Printf("final page: %s (%s)\n", tab.URL(), tab.Title())
+	}
+	if !res.Complete() {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// runParallel replays N replicas of the trace concurrently, each in its
+// own isolated environment, through the campaign executor — a quick
+// determinism and robustness check for a recorded trace.
+func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
+	jobs := make([]warr.CampaignJob, cfg.parallel)
+	for i := range jobs {
+		jobs[i] = warr.CampaignJob{Trace: tr}
+	}
+	exec := warr.NewCampaignExecutor(
+		func() *warr.Browser { return warr.NewDemoEnv(cfg.mode).Browser },
+		warr.ExecutorOptions{
+			Parallelism: cfg.parallel,
+			Replayer:    cfg.opts,
+			// Replicas are identical; a failure must not prune the rest.
+			DisablePruning: true,
+		},
+	)
+	outcomes := exec.Execute(ctx, jobs)
+
+	enc := json.NewEncoder(os.Stdout)
+	allComplete := true
+	divergent := false
+	var baseline *warr.ReplayResult
+	for i, out := range outcomes {
+		if out.Skipped {
+			allComplete = false
+			if !cfg.jsonOut {
+				fmt.Printf("replica %d: skipped (cancelled)\n", i)
+			}
+			continue
+		}
+		if !out.Result.Complete() {
+			allComplete = false
+		}
+		if baseline == nil {
+			baseline = out.Result
+		} else if out.Result.Played != baseline.Played || out.Result.Failed != baseline.Failed {
+			divergent = true
+		}
+		if cfg.jsonOut {
+			s := summarize(i, len(tr.Commands), out.Result, nil)
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("replica %d: replayed %d/%d commands (%d failed", i, out.Result.Played, len(tr.Commands), out.Result.Failed)
+		if out.Result.Halted {
+			fmt.Printf(", halted")
+		}
+		if out.Result.Cancelled {
+			fmt.Printf(", cancelled")
+		}
+		fmt.Println(")")
+	}
+	if !cfg.jsonOut {
+		if divergent {
+			fmt.Println("WARNING: replicas diverged — the trace does not replay deterministically")
+		} else {
+			fmt.Printf("%d replicas, identical outcomes\n", len(outcomes))
 		}
 	}
-	fmt.Printf("final page: %s (%s)\n", tab.URL(), tab.Title())
-	if !res.Complete() {
+	if !allComplete || divergent {
 		os.Exit(2)
 	}
 	return nil

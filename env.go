@@ -60,6 +60,9 @@ func RecordSession(sc Scenario) (Trace, error) {
 	}
 	rec := NewRecorder(env.Clock)
 	rec.Attach(tab)
+	// Detach before returning: the recorder must not keep logging into
+	// the returned trace if the caller goes on using the tab.
+	defer rec.Detach()
 	if err := sc.Run(env, tab); err != nil {
 		return Trace{}, err
 	}

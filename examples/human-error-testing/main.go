@@ -42,8 +42,10 @@ func main() {
 	fmt.Printf("step 3: %d erroneous grammars (forget / reorder / substitute)\n", len(mutants))
 
 	// Step 4: replay the erroneous traces and let the oracle judge.
+	// Parallelism fans the campaign out over isolated environments; the
+	// findings are the same as a sequential run.
 	fmt.Println("\nnavigation-error campaign:")
-	nav := warr.RunNavigationCampaign(fresh, grammar, warr.CampaignOptions{})
+	nav := warr.RunNavigationCampaign(fresh, grammar, warr.CampaignOptions{Parallelism: 4})
 	fmt.Printf("  generated %d, replayed %d (pruned %d), findings %d\n",
 		nav.Generated, nav.Replayed, nav.Pruned, len(nav.Findings))
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,17 @@ func main() {
 	}
 
 	// 3. Replay in a brand-new environment with a developer-mode
-	// browser (settable event properties — §IV-C).
+	// browser (settable event properties — §IV-C). The session API
+	// streams steps as they replay; one-shot warr.Replay wraps this.
 	env := warr.NewDemoEnv(warr.DeveloperMode)
-	result, tab, err := warr.Replay(env.Browser, parsed)
+	session, err := warr.NewReplaySession(context.Background(), env.Browser, parsed, warr.ReplayOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	for step := range session.Steps() {
+		fmt.Printf("  %-8s %s\n", step.Status, step.Cmd)
+	}
+	result, tab := session.Result(), session.Tab()
 	fmt.Printf("replayed %d/%d commands\n", result.Played, len(parsed.Commands))
 
 	// 4. The replayed session reproduces the user's effect.

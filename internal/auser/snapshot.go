@@ -1,0 +1,95 @@
+package auser
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Snapshotter captures AUsER report material progressively, as a replay
+// session hook: after every replayed command it stores the page
+// snapshot, URL, and console output of that moment. A report can then
+// be assembled even when the session never finishes — replay halted,
+// context cancelled, or commands failed — realizing the paper's
+// "possibly partial snapshot of the final web page" (§VI) for partial
+// replays too.
+//
+// It is safe for concurrent use, so one Snapshotter can be shared
+// across sessions when only the latest state matters; typically each
+// session gets its own.
+type Snapshotter struct {
+	opts Options
+
+	mu      sync.Mutex
+	steps   int
+	url     string
+	at      time.Time
+	console []string
+	snap    string
+	partial bool
+	snapErr error
+}
+
+// NewSnapshotter returns a snapshotter applying the given report
+// options (snapshot clipping, omission) to every capture.
+func NewSnapshotter(opts Options) *Snapshotter {
+	return &Snapshotter{opts: opts}
+}
+
+// Hooks returns the replay hook set that performs the per-step capture;
+// register it in replayer.Options.Hooks or with Session.AddHooks.
+func (s *Snapshotter) Hooks() replayer.Hooks {
+	return replayer.Hooks{AfterStep: func(step replayer.Step, tab *browser.Tab) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.steps++
+		s.url = tab.URL()
+		s.at = tab.Browser().Clock().Now()
+		s.console = s.console[:0]
+		for _, e := range tab.Console() {
+			s.console = append(s.console, fmt.Sprintf("[%s] %s", e.Level, e.Message))
+		}
+		s.snap, s.partial, s.snapErr = "", false, nil
+		if !s.opts.OmitSnapshot {
+			s.snap, s.partial, s.snapErr = snapshot(tab, s.opts.SnapshotXPath)
+		}
+	}}
+}
+
+// Steps reports how many steps have been captured.
+func (s *Snapshotter) Steps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Report assembles a user experience report from the last captured
+// state, without needing the (possibly dead) session's tab. It errors
+// when no step was captured yet; callers with a live tab and a finished
+// session can use New instead.
+func (s *Snapshotter) Report(description string, tr command.Trace) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.steps == 0 {
+		return nil, fmt.Errorf("auser: no steps captured; nothing to report")
+	}
+	if s.snapErr != nil {
+		return nil, s.snapErr
+	}
+	if s.opts.Redact != nil {
+		tr = s.opts.Redact(tr)
+	}
+	return &Report{
+		Description:     description,
+		URL:             s.url,
+		Time:            s.at,
+		Trace:           tr,
+		Snapshot:        s.snap,
+		SnapshotPartial: s.partial,
+		Console:         append([]string(nil), s.console...),
+	}, nil
+}

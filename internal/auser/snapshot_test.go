@@ -1,0 +1,96 @@
+package auser
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+func recordEditSite(t *testing.T) command.Trace {
+	t.Helper()
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	sc := apps.EditSiteScenario()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		t.Fatal(err)
+	}
+	rec.Detach()
+	return rec.Trace()
+}
+
+func TestSnapshotterReportsFromCancelledSession(t *testing.T) {
+	tr := recordEditSite(t)
+	env := apps.NewEnv(browser.DeveloperMode)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	snap := NewSnapshotter(Options{})
+	s, err := replayer.New(env.Browser, replayer.Options{
+		Hooks: []replayer.Hooks{snap.Hooks()},
+	}).NewSession(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const before = 2
+	for i := 0; i < before; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("session ended early at step %d", i)
+		}
+	}
+	cancel()
+	s.Run()
+	if !s.Result().Cancelled {
+		t.Fatal("session not cancelled")
+	}
+
+	if snap.Steps() != before {
+		t.Errorf("snapshotter captured %d steps, want %d", snap.Steps(), before)
+	}
+	rep, err := snap.Report("it broke mid-way", tr)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if rep.URL == "" || rep.Snapshot == "" {
+		t.Errorf("report missing page state: url %q, %d snapshot bytes", rep.URL, len(rep.Snapshot))
+	}
+	if !strings.Contains(rep.Text(), "it broke mid-way") {
+		t.Error("report text missing the description")
+	}
+}
+
+func TestSnapshotterEmptySessionRefusesReport(t *testing.T) {
+	snap := NewSnapshotter(Options{})
+	if _, err := snap.Report("nothing happened", command.Trace{}); err == nil {
+		t.Error("report from zero captured steps should fail")
+	}
+}
+
+func TestSnapshotterAppliesRedaction(t *testing.T) {
+	tr := recordEditSite(t)
+	env := apps.NewEnv(browser.DeveloperMode)
+	snap := NewSnapshotter(Options{Redact: RedactAllTyped})
+	s, err := replayer.New(env.Browser, replayer.Options{
+		Hooks: []replayer.Hooks{snap.Hooks()},
+	}).NewSession(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	rep, err := snap.Report("redact me", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep.Trace.Text(), "[H,72]") {
+		t.Error("typed keystrokes not redacted from the report trace")
+	}
+}

@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+func freshBrowser() *browser.Browser {
+	return apps.NewEnv(browser.DeveloperMode).Browser
+}
+
+// recordEditSite records the Fig. 4 session.
+func recordEditSite(t *testing.T) command.Trace {
+	t.Helper()
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	sc := apps.EditSiteScenario()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		t.Fatal(err)
+	}
+	rec.Detach()
+	return rec.Trace()
+}
+
+func TestExecutorReplaysEveryJobInIsolation(t *testing.T) {
+	tr := recordEditSite(t)
+	const n = 12
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Trace: tr, Meta: i}
+	}
+	for _, parallelism := range []int{1, 4} {
+		exec := New(freshBrowser, Options{Parallelism: parallelism})
+		outcomes := exec.Execute(context.Background(), jobs)
+		if len(outcomes) != n {
+			t.Fatalf("parallelism %d: %d outcomes, want %d", parallelism, len(outcomes), n)
+		}
+		for i, out := range outcomes {
+			if out.Index != i || out.Job.Meta.(int) != i {
+				t.Fatalf("parallelism %d: outcome %d carries job %v", parallelism, i, out.Job.Meta)
+			}
+			if out.Pruned || out.Skipped {
+				t.Fatalf("parallelism %d: job %d not replayed: %+v", parallelism, i, out)
+			}
+			// Each replica runs in a fresh environment, so every replay
+			// of the correct trace completes identically.
+			if !out.Result.Complete() {
+				t.Errorf("parallelism %d: job %d incomplete: %+v", parallelism, i, out.Result)
+			}
+		}
+	}
+}
+
+// failingTrace is a trace whose first command can never resolve.
+func failingTrace(extra int) command.Trace {
+	tr := command.Trace{
+		StartURL: apps.SitesURL,
+		Commands: []command.Command{{
+			Action: command.Type, XPath: `//canvas[@id="nonexistent"]`, Key: "a", Code: 65,
+		}},
+	}
+	for i := 0; i < extra; i++ {
+		tr.Commands = append(tr.Commands, command.Command{
+			Action: command.Type, XPath: fmt.Sprintf(`//canvas[@id="later-%d"]`, i), Key: "b", Code: 66,
+		})
+	}
+	return tr
+}
+
+func TestExecutorPrunesSharedFailedPrefixes(t *testing.T) {
+	jobs := []Job{
+		{Trace: failingTrace(0)}, // fails at command 0
+		{Trace: failingTrace(1)}, // shares the 1-command failed prefix
+		{Trace: failingTrace(2)},
+	}
+	exec := New(freshBrowser, Options{})
+	outcomes := exec.Execute(context.Background(), jobs)
+
+	if outcomes[0].Pruned || outcomes[0].Result == nil || outcomes[0].Result.Failed == 0 {
+		t.Fatalf("first job should replay and fail: %+v", outcomes[0])
+	}
+	for _, out := range outcomes[1:] {
+		if !out.Pruned {
+			t.Errorf("job %d sharing the failed prefix was not pruned: %+v", out.Index, out)
+		}
+	}
+	if exec.PruneTable().Len() == 0 {
+		t.Error("failure not recorded in the prune table")
+	}
+}
+
+func TestExecutorPruningDisabled(t *testing.T) {
+	jobs := []Job{{Trace: failingTrace(0)}, {Trace: failingTrace(1)}}
+	exec := New(freshBrowser, Options{DisablePruning: true})
+	for _, out := range exec.Execute(context.Background(), jobs) {
+		if out.Pruned {
+			t.Errorf("job %d pruned despite DisablePruning", out.Index)
+		}
+	}
+}
+
+func TestExecutorSharedPruneTableAcrossExecutes(t *testing.T) {
+	table := NewPruneTable()
+	first := New(freshBrowser, Options{Prune: table})
+	first.Execute(context.Background(), []Job{{Trace: failingTrace(0)}})
+	if table.Len() == 0 {
+		t.Fatal("no failure recorded")
+	}
+	second := New(freshBrowser, Options{Prune: table})
+	outcomes := second.Execute(context.Background(), []Job{{Trace: failingTrace(1)}})
+	if !outcomes[0].Pruned {
+		t.Error("second executor ignored the shared prune table")
+	}
+}
+
+func TestExecutorInspectRunsPerJob(t *testing.T) {
+	tr := recordEditSite(t)
+	verdict := errors.New("oracle flagged it")
+	var calls atomic.Int32
+	exec := New(freshBrowser, Options{
+		Parallelism: 3,
+		Inspect: func(job Job, res *replayer.Result, tab *browser.Tab) error {
+			calls.Add(1)
+			if tab == nil || res == nil {
+				t.Error("Inspect called without result/tab")
+			}
+			if job.Meta.(int)%2 == 0 {
+				return verdict
+			}
+			return nil
+		},
+	})
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Trace: tr, Meta: i}
+	}
+	outcomes := exec.Execute(context.Background(), jobs)
+	if got := int(calls.Load()); got != len(jobs) {
+		t.Fatalf("Inspect ran %d times, want %d", got, len(jobs))
+	}
+	for i, out := range outcomes {
+		want := error(nil)
+		if i%2 == 0 {
+			want = verdict
+		}
+		if !errors.Is(out.Verdict, want) && !(want == nil && out.Verdict == nil) {
+			t.Errorf("job %d verdict %v, want %v", i, out.Verdict, want)
+		}
+	}
+}
+
+func TestExecutorCancelledContextSkipsJobs(t *testing.T) {
+	tr := recordEditSite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Trace: tr}
+	}
+	for _, parallelism := range []int{1, 4} {
+		outcomes := New(freshBrowser, Options{Parallelism: parallelism}).Execute(ctx, jobs)
+		for i, out := range outcomes {
+			if !out.Skipped {
+				t.Errorf("parallelism %d: job %d ran under a cancelled context: %+v", parallelism, i, out)
+			}
+		}
+	}
+}
+
+func TestExecutorJobPacingOverride(t *testing.T) {
+	tr := recordEditSite(t)
+	// PaceNone on the edit-site trace triggers the §V-C timing bug; the
+	// per-job override must take effect over the executor default.
+	var sawConsoleError atomic.Bool
+	exec := New(freshBrowser, Options{
+		Replayer: replayer.Options{Pacing: replayer.PaceRecorded},
+		Inspect: func(job Job, res *replayer.Result, tab *browser.Tab) error {
+			if job.Pacing == replayer.PaceNone && len(tab.ConsoleErrors()) > 0 {
+				sawConsoleError.Store(true)
+			}
+			return nil
+		},
+	})
+	exec.Execute(context.Background(), []Job{
+		{Trace: tr, Pacing: replayer.PaceNone},
+		{Trace: tr},
+	})
+	if !sawConsoleError.Load() {
+		t.Error("PaceNone job did not behave impatiently; pacing override ignored")
+	}
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/command"
+)
+
+// PruneTable is the shared prefix-failure-pruning state of a campaign
+// (§V-A heuristic 1): when a trace fails to replay at command k, every
+// trace sharing that k+1-command prefix is discarded without replay —
+// "neither them can be successfully replayed". It is safe for
+// concurrent use, so the executor's workers share one table.
+type PruneTable struct {
+	mu     sync.RWMutex
+	failed map[string]struct{}
+}
+
+// NewPruneTable returns an empty table.
+func NewPruneTable() *PruneTable {
+	return &PruneTable{failed: make(map[string]struct{})}
+}
+
+// RecordFailure marks the prefix ending at the failed command: the
+// first failedAt+1 commands of tr.
+func (p *PruneTable) RecordFailure(tr command.Trace, failedAt int) {
+	key := prefixKey(tr, failedAt+1)
+	p.mu.Lock()
+	p.failed[key] = struct{}{}
+	p.mu.Unlock()
+}
+
+// Prunable reports whether any recorded failed prefix is a prefix of tr.
+func (p *PruneTable) Prunable(tr command.Trace) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.failed) == 0 {
+		return false
+	}
+	var b strings.Builder
+	for _, c := range tr.Commands {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+		if _, ok := p.failed[b.String()]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of recorded failed prefixes.
+func (p *PruneTable) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.failed)
+}
+
+// prefixKey serializes the first n commands of a trace.
+func prefixKey(tr command.Trace, n int) string {
+	if n > len(tr.Commands) {
+		n = len(tr.Commands)
+	}
+	var b strings.Builder
+	for _, c := range tr.Commands[:n] {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// CampaignRow compares one scenario's navigation-error campaign run
+// sequentially and at the requested parallelism — the WebErr workload
+// (§V: hundreds of erroneous traces per application) over the
+// concurrent campaign executor.
+type CampaignRow struct {
+	Scenario    string
+	Mutants     int
+	Parallelism int
+	// Sequential and Parallel are the wall-clock times of the two runs.
+	Sequential time.Duration
+	Parallel   time.Duration
+	// SequentialFindings and ParallelFindings are the oracle-detected
+	// bug sets; they must be equal (pruning races only shift the
+	// Replayed/Pruned split, never the findings).
+	SequentialFindings []string
+	ParallelFindings   []string
+}
+
+// Speedup is the sequential/parallel wall-clock ratio.
+func (r CampaignRow) Speedup() float64 {
+	if r.Parallel == 0 {
+		return 0
+	}
+	return float64(r.Sequential) / float64(r.Parallel)
+}
+
+// FindingsMatch reports whether both runs flagged the same injections.
+func (r CampaignRow) FindingsMatch() bool {
+	if len(r.SequentialFindings) != len(r.ParallelFindings) {
+		return false
+	}
+	for i := range r.SequentialFindings {
+		if r.SequentialFindings[i] != r.ParallelFindings[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FindingKeys canonicalizes a report's findings for set comparison:
+// sorted "injection => observation" strings.
+func FindingKeys(rep *weberr.Report) []string {
+	keys := make([]string, len(rep.Findings))
+	for i, f := range rep.Findings {
+		keys[i] = fmt.Sprintf("%s => %v", f.Injection, f.Observed)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Campaign records the scenario, infers its grammar, and runs the
+// navigation-error campaign twice — Parallelism 1 and parallelism — in
+// fresh pruning state each time.
+func Campaign(sc apps.Scenario, parallelism int) (CampaignRow, error) {
+	row := CampaignRow{Scenario: sc.Name, Parallelism: parallelism}
+
+	rec, err := RecordScenario(sc)
+	if err != nil {
+		return row, err
+	}
+	fresh := func() *browser.Browser { return apps.NewEnv(browser.DeveloperMode).Browser }
+	tree, err := weberr.InferTaskTree(fresh, rec.Trace)
+	if err != nil {
+		return row, fmt.Errorf("experiments: campaign %s: %w", sc.Name, err)
+	}
+	g := weberr.FromTaskTree(tree)
+	row.Mutants = len(weberr.Mutants(g, weberr.InjectOptions{}))
+
+	start := time.Now()
+	seq := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: 1})
+	row.Sequential = time.Since(start)
+	row.SequentialFindings = FindingKeys(seq)
+
+	start = time.Now()
+	par := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: parallelism})
+	row.Parallel = time.Since(start)
+	row.ParallelFindings = FindingKeys(par)
+	return row, nil
+}
+
+// CampaignAll runs Campaign over every Table II scenario.
+func CampaignAll(parallelism int) ([]CampaignRow, error) {
+	var rows []CampaignRow
+	for _, sc := range apps.TableIIScenarios() {
+		row, err := Campaign(sc, parallelism)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatCampaign renders the comparison.
+func FormatCampaign(rows []CampaignRow) string {
+	var b strings.Builder
+	b.WriteString("Navigation campaigns: sequential vs concurrent executor\n")
+	fmt.Fprintf(&b, "%-18s %8s %12s %12s %8s %s\n",
+		"scenario", "mutants", "sequential", "parallel", "speedup", "findings")
+	for _, r := range rows {
+		verdict := "equal"
+		if !r.FindingsMatch() {
+			verdict = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "%-18s %8d %12s %12s %7.2fx %d %s\n",
+			r.Scenario, r.Mutants,
+			r.Sequential.Round(time.Millisecond), r.Parallel.Round(time.Millisecond),
+			r.Speedup(), len(r.SequentialFindings), verdict)
+	}
+	return b.String()
+}

@@ -52,6 +52,10 @@ func RecordScenario(sc apps.Scenario) (*Recorded, error) {
 	if err := sc.Verify(env, tab); err != nil {
 		return nil, fmt.Errorf("experiments: %s: live session failed: %w", sc.Name, err)
 	}
+	// Stop recording before handing the tab out: callers keep using the
+	// environment (oracles, further interaction), and those actions must
+	// not leak into the returned trace.
+	rec.Detach()
 	return &Recorded{Trace: rec.Trace(), Stats: rec.Stats(), Env: env, Tab: tab}, nil
 }
 

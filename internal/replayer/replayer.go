@@ -12,6 +12,7 @@
 package replayer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -47,10 +48,12 @@ type Options struct {
 	// Driver selects webdriver behaviour (the ChromeDriver defect
 	// switches).
 	Driver webdriver.Options
-	// Observer, when set, is invoked after each command with the step
-	// outcome and the tab. WebErr's grammar inference uses it to capture
-	// the page state each command produced (§V-A).
-	Observer func(step Step, tab *browser.Tab)
+	// Hooks is the observer chain every session of this replayer starts
+	// with, invoked in order around each command (BeforeStep, OnResolve,
+	// AfterStep). WebErr's grammar inference and AUsER's progressive
+	// snapshotting are hooks. Per-session hooks can be appended with
+	// Session.AddHooks.
+	Hooks []Hooks
 }
 
 // StepStatus describes how one command was resolved and executed.
@@ -97,7 +100,9 @@ type Step struct {
 	Err       error
 }
 
-// Result summarizes a replay.
+// Result summarizes a replay. While a Session is running it is the
+// partial result so far; cancelling the session's context leaves the
+// steps replayed up to the cancellation point in place.
 type Result struct {
 	Steps  []Step
 	Played int
@@ -105,10 +110,15 @@ type Result struct {
 	// Halted is set when the driver lost its active client and the
 	// replay could not continue (ChromeDriver defect 4 without the fix).
 	Halted bool
+	// Cancelled is set when the session's context was cancelled (or its
+	// deadline passed) between commands; CancelCause records why.
+	// Remaining commands were not attempted.
+	Cancelled   bool
+	CancelCause error
 }
 
 // Complete reports whether every command replayed.
-func (r *Result) Complete() bool { return r.Failed == 0 && !r.Halted }
+func (r *Result) Complete() bool { return r.Failed == 0 && !r.Halted && !r.Cancelled }
 
 // Replayer replays WaRR command traces.
 type Replayer struct {
@@ -131,12 +141,21 @@ func New(b *browser.Browser, opts Options) *Replayer {
 // every replay of a trace, and WebErr campaigns construct thousands of
 // replayers over the same trace. Parse errors are cached too — a trace
 // with an unparseable expression hits the coordinate fallback on every
-// replay. The cap bounds memory on adversarial expression streams.
-const compileCacheCap = 8192
+// replay.
+//
+// The cache is bounded by two generations of at most compileCacheGen
+// entries each. Inserts go to the current generation; when it fills, the
+// previous generation is dropped and the current one takes its place.
+// A hit in the previous generation re-inserts the entry into the current
+// one, so expressions that stay hot survive rotation — a long campaign
+// crossing the cap evicts only entries cold for a full generation,
+// instead of cold-starting every hot expression at once.
+const compileCacheGen = 4096
 
 var (
-	compileMu    sync.RWMutex
-	compileCache = make(map[string]compiledEntry)
+	compileMu   sync.RWMutex
+	compileCur  = make(map[string]compiledEntry)
+	compilePrev map[string]compiledEntry
 )
 
 type compiledEntry struct {
@@ -146,69 +165,78 @@ type compiledEntry struct {
 
 func compile(expr string) (*xpath.Compiled, error) {
 	compileMu.RLock()
-	e, ok := compileCache[expr]
-	compileMu.RUnlock()
-	if ok {
+	if e, ok := compileCur[expr]; ok {
+		// The common case — a current-generation hit — never takes the
+		// write lock, so concurrent campaign workers don't serialize on
+		// the hot path.
+		compileMu.RUnlock()
 		return e.c, e.err
 	}
-	e = compiledEntry{}
-	var p xpath.Path
-	if p, e.err = xpath.Parse(expr); e.err == nil {
-		e.c = xpath.Compile(p)
+	e, ok := compilePrev[expr]
+	compileMu.RUnlock()
+	if !ok {
+		e = compiledEntry{}
+		var p xpath.Path
+		if p, e.err = xpath.Parse(expr); e.err == nil {
+			e.c = xpath.Compile(p)
+		}
 	}
 	compileMu.Lock()
-	if len(compileCache) >= compileCacheCap {
-		clear(compileCache)
+	if _, hot := compileCur[expr]; !hot {
+		if len(compileCur) >= compileCacheGen {
+			compilePrev, compileCur = compileCur, make(map[string]compiledEntry, compileCacheGen)
+		}
+		compileCur[expr] = e
 	}
-	compileCache[expr] = e
 	compileMu.Unlock()
 	return e.c, e.err
 }
 
-// Replay plays the trace in a fresh tab and returns the per-step outcomes
-// together with the tab (whose final page state the caller's oracle
-// inspects).
-func (r *Replayer) Replay(tr command.Trace) (*Result, *browser.Tab, error) {
-	tab := r.browser.NewTab()
-	driver := webdriver.New(tab, r.opts.Driver)
-	if tr.StartURL != "" {
-		if err := tab.Navigate(tr.StartURL); err != nil {
-			return nil, tab, fmt.Errorf("replayer: loading start page: %w", err)
-		}
-	}
-
-	res := &Result{}
-	for i, cmd := range tr.Commands {
-		if r.opts.Pacing == PaceRecorded {
-			r.browser.Clock().Advance(cmd.ElapsedDuration())
-		}
-		step := r.playCommand(driver, i, cmd)
-		res.Steps = append(res.Steps, step)
-		if r.opts.Observer != nil {
-			r.opts.Observer(step, tab)
-		}
-		if step.Status == StepFailed {
-			res.Failed++
-			if errors.Is(step.Err, webdriver.ErrNoActiveClient) {
-				// The master has no client to execute commands: the
-				// replay halts (§IV-C). Remaining commands are not
-				// attempted.
-				res.Halted = true
-				break
-			}
-			continue
-		}
-		res.Played++
-	}
-	return res, tab, nil
+// compileCacheLen reports the number of cached entries across both
+// generations (an expression promoted from the previous generation may
+// momentarily be counted twice). Test hook.
+func compileCacheLen() int {
+	compileMu.RLock()
+	defer compileMu.RUnlock()
+	return len(compileCur) + len(compilePrev)
 }
 
-func (r *Replayer) playCommand(driver *webdriver.Driver, idx int, cmd command.Command) Step {
+// resetCompileCache empties the cache. Test hook.
+func resetCompileCache() {
+	compileMu.Lock()
+	defer compileMu.Unlock()
+	compileCur = make(map[string]compiledEntry)
+	compilePrev = nil
+}
+
+// Replay plays the trace in a fresh tab and returns the per-step outcomes
+// together with the tab (whose final page state the caller's oracle
+// inspects). It is a thin wrapper over a Session run to completion.
+func (r *Replayer) Replay(tr command.Trace) (*Result, *browser.Tab, error) {
+	return r.ReplayContext(context.Background(), tr)
+}
+
+// ReplayContext is Replay under a context: the session stops at the
+// first command boundary after ctx is cancelled or its deadline passes,
+// and the partial Result — with Cancelled set — is returned. The error
+// return is non-nil only when the start page failed to load.
+func (r *Replayer) ReplayContext(ctx context.Context, tr command.Trace) (*Result, *browser.Tab, error) {
+	s, err := r.NewSession(ctx, tr)
+	if err != nil {
+		return nil, s.Tab(), err
+	}
+	return s.Run(), s.Tab(), nil
+}
+
+func (r *Replayer) playCommand(driver *webdriver.Driver, idx int, cmd command.Command, onResolve func(Step)) Step {
 	step := Step{Index: idx, Cmd: cmd}
 	el, used, heuristic, err := r.resolve(driver, cmd)
 	if err != nil {
 		step.Status = StepFailed
 		step.Err = err
+		if onResolve != nil {
+			onResolve(step)
+		}
 		return step
 	}
 	step.UsedXPath = used
@@ -220,6 +248,9 @@ func (r *Replayer) playCommand(driver *webdriver.Driver, idx int, cmd command.Co
 		step.Status = StepRelaxed
 	default:
 		step.Status = StepOK
+	}
+	if onResolve != nil {
+		onResolve(step)
 	}
 
 	if err := r.execute(el, cmd); err != nil {

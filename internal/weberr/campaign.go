@@ -1,10 +1,12 @@
 package weberr
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/command"
 	"github.com/dslab-epfl/warr/internal/replayer"
 )
@@ -12,7 +14,9 @@ import (
 // Oracle concludes whether the application behaved correctly under an
 // erroneous trace (§V-A: "Our approach requires an oracle ... a common
 // practice in automated testing"). It returns nil for correct behaviour
-// and a describing error for a bug.
+// and a describing error for a bug. With Parallelism > 1 the oracle is
+// invoked from worker goroutines, each with a tab private to its own
+// environment, so any oracle that only inspects its arguments is safe.
 type Oracle func(tab *browser.Tab, res *replayer.Result) error
 
 // ConsoleOracle flags any error-level console output — the signal that
@@ -44,14 +48,17 @@ type Report struct {
 	Replayed int
 	// Pruned counts traces skipped by prefix-failure pruning.
 	Pruned int
+	// Skipped counts traces the campaign's context cancelled: never
+	// started, or stopped mid-replay before a judgeable end.
+	Skipped int
 	// ReplayFailures counts traces whose replay could not complete
 	// (commands unresolvable after the injected error).
 	ReplayFailures int
-	// Findings are the oracle-detected bugs.
+	// Findings are the oracle-detected bugs, in trace-generation order.
 	Findings []Finding
 }
 
-// CampaignOptions configure RunNavigationCampaign.
+// CampaignOptions configure RunNavigationCampaign and RunTimingCampaign.
 type CampaignOptions struct {
 	Inject InjectOptions
 	// Oracle defaults to ConsoleOracle.
@@ -63,6 +70,13 @@ type CampaignOptions struct {
 	DisablePruning bool
 	// MaxTraces bounds the campaign (0 = unlimited).
 	MaxTraces int
+	// Parallelism is the number of erroneous traces replayed
+	// concurrently, each in its own isolated environment; 0 or 1 runs
+	// the classic sequential campaign. Because a pruned trace can never
+	// produce a finding (its replay would fail at the shared prefix),
+	// the set of Findings is the same at any parallelism — only the
+	// Replayed/Pruned split may differ.
+	Parallelism int
 }
 
 // RunNavigationCampaign tests an application against navigation errors:
@@ -74,138 +88,117 @@ type CampaignOptions struct {
 // remaining traces sharing that k+1-command prefix are discarded without
 // replay — "neither them can be successfully replayed".
 func RunNavigationCampaign(newEnv EnvFactory, g *Grammar, opts CampaignOptions) *Report {
+	return RunNavigationCampaignContext(context.Background(), newEnv, g, opts)
+}
+
+// RunNavigationCampaignContext is RunNavigationCampaign under a context:
+// cancelling ctx stops in-flight replays at their next command boundary
+// and reports not-yet-started traces as Skipped.
+func RunNavigationCampaignContext(ctx context.Context, newEnv EnvFactory, g *Grammar, opts CampaignOptions) *Report {
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = ConsoleOracle
 	}
 
 	mutants := Mutants(g, opts.Inject)
-	rep := &Report{}
-	failedPrefixes := make(map[string]bool)
-
-	for _, m := range mutants {
-		if opts.MaxTraces > 0 && rep.Generated >= opts.MaxTraces {
-			break
-		}
-		tr := m.Trace()
-		rep.Generated++
-
-		if !opts.DisablePruning && hasFailedPrefix(tr, failedPrefixes) {
-			rep.Pruned++
-			continue
-		}
-
-		res, tab := replayOnce(newEnv, tr, opts.Replayer)
-		rep.Replayed++
-
-		if res.Failed > 0 {
-			rep.ReplayFailures++
-			if !opts.DisablePruning {
-				if k := firstFailure(res); k >= 0 {
-					failedPrefixes[prefixKey(tr, k+1)] = true
-				}
-			}
-			continue
-		}
-		if err := oracle(tab, res); err != nil {
-			rep.Findings = append(rep.Findings, Finding{
-				Injection: m.Injection,
-				Trace:     tr,
-				Observed:  err,
-			})
-		}
+	if opts.MaxTraces > 0 && len(mutants) > opts.MaxTraces {
+		mutants = mutants[:opts.MaxTraces]
 	}
-	return rep
+	jobs := make([]campaign.Job, len(mutants))
+	for i, m := range mutants {
+		jobs[i] = campaign.Job{Trace: m.Trace(), Meta: m.Injection}
+	}
+
+	exec := campaign.New(newEnv, campaign.Options{
+		Parallelism:    opts.Parallelism,
+		Replayer:       opts.Replayer,
+		DisablePruning: opts.DisablePruning,
+		// The oracle applies only to traces that replayed completely: a
+		// trace broken by its own injected error is a replay failure,
+		// not a bug in the application, and a context-cancelled partial
+		// replay must not be judged at all — a half-replayed page could
+		// yield findings a completed replay would not, breaking the
+		// findings-identical-at-any-parallelism contract.
+		Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
+			if res.Failed > 0 || res.Cancelled {
+				return nil
+			}
+			return oracle(tab, res)
+		},
+	})
+	return report(exec.Execute(ctx, jobs))
 }
 
 // RunTimingCampaign tests an application against timing errors: the
 // correct trace replayed with no wait time and at increasingly impatient
 // speeds (§V-B).
 func RunTimingCampaign(newEnv EnvFactory, tr command.Trace, opts CampaignOptions) *Report {
+	return RunTimingCampaignContext(context.Background(), newEnv, tr, opts)
+}
+
+// RunTimingCampaignContext is RunTimingCampaign under a context.
+func RunTimingCampaignContext(ctx context.Context, newEnv EnvFactory, tr command.Trace, opts CampaignOptions) *Report {
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = ConsoleOracle
 	}
-	rep := &Report{}
 
-	type timingVariant struct {
-		trace command.Trace
-		inj   Injection
-		pace  replayer.Pacing
-	}
 	zero, zeroInj := TimingTrace(tr)
-	variants := []timingVariant{{zero, zeroInj, replayer.PaceNone}}
+	jobs := []campaign.Job{{Trace: zero, Pacing: replayer.PaceNone, Meta: zeroInj}}
 	for _, f := range []float64{0.5, 0.25} {
 		scaled, inj := ScaledTimingTrace(tr, f)
-		variants = append(variants, timingVariant{scaled, inj, replayer.PaceRecorded})
+		jobs = append(jobs, campaign.Job{Trace: scaled, Pacing: replayer.PaceRecorded, Meta: inj})
 	}
 
-	for _, v := range variants {
-		rep.Generated++
-		ropts := opts.Replayer
-		ropts.Pacing = v.pace
-		res, tab := replayOnce(newEnv, v.trace, ropts)
+	exec := campaign.New(newEnv, campaign.Options{
+		Parallelism: opts.Parallelism,
+		Replayer:    opts.Replayer,
+		// Timing variants intentionally replay the same command
+		// sequence at different speeds; prefix pruning would let the
+		// zero-wait variant's failure veto the slower ones.
+		DisablePruning: true,
+		// A timing error manifests through the oracle even when every
+		// command still resolved, so the oracle applies to every replay
+		// that ran to its end — but never to cancelled partial ones.
+		Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
+			if res.Cancelled {
+				return nil
+			}
+			return oracle(tab, res)
+		},
+	})
+	return report(exec.Execute(ctx, jobs))
+}
+
+// report aggregates executor outcomes into a campaign report, in
+// trace-generation order.
+func report(outcomes []campaign.Outcome) *Report {
+	rep := &Report{Generated: len(outcomes)}
+	for _, out := range outcomes {
+		switch {
+		case out.Skipped:
+			rep.Skipped++
+			continue
+		case out.Pruned:
+			rep.Pruned++
+			continue
+		case out.Result.Cancelled:
+			// The campaign's context fired mid-session: the trace did
+			// not replay to a judgeable end.
+			rep.Skipped++
+			continue
+		}
 		rep.Replayed++
-		if err := oracle(tab, res); err != nil {
+		if out.Result.Failed > 0 {
+			rep.ReplayFailures++
+		}
+		if out.Verdict != nil {
 			rep.Findings = append(rep.Findings, Finding{
-				Injection: v.inj,
-				Trace:     v.trace,
-				Observed:  err,
+				Injection: out.Job.Meta.(Injection),
+				Trace:     out.Job.Trace,
+				Observed:  out.Verdict,
 			})
 		}
 	}
 	return rep
-}
-
-// replayOnce replays a trace in a fresh environment.
-func replayOnce(newEnv EnvFactory, tr command.Trace, opts replayer.Options) (*replayer.Result, *browser.Tab) {
-	b := newEnv()
-	r := replayer.New(b, opts)
-	res, tab, err := r.Replay(tr)
-	if err != nil {
-		// Navigation to the start page failed; treat as a total replay
-		// failure.
-		return &replayer.Result{Failed: len(tr.Commands)}, tab
-	}
-	return res, tab
-}
-
-// firstFailure returns the index of the first failed step (-1 if none).
-func firstFailure(res *replayer.Result) int {
-	for _, s := range res.Steps {
-		if s.Status == replayer.StepFailed {
-			return s.Index
-		}
-	}
-	return -1
-}
-
-// prefixKey serializes the first n commands of a trace.
-func prefixKey(tr command.Trace, n int) string {
-	if n > len(tr.Commands) {
-		n = len(tr.Commands)
-	}
-	var b strings.Builder
-	for _, c := range tr.Commands[:n] {
-		b.WriteString(c.String())
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// hasFailedPrefix reports whether any known-failed prefix is a prefix of
-// tr.
-func hasFailedPrefix(tr command.Trace, failed map[string]bool) bool {
-	if len(failed) == 0 {
-		return false
-	}
-	var b strings.Builder
-	for _, c := range tr.Commands {
-		b.WriteString(c.String())
-		b.WriteByte('\n')
-		if failed[b.String()] {
-			return true
-		}
-	}
-	return false
 }

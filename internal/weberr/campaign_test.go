@@ -1,0 +1,175 @@
+package weberr
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// recordScenario records any scenario's correct session.
+func recordScenario(t *testing.T, sc apps.Scenario) command.Trace {
+	t.Helper()
+	env := apps.NewEnv(browser.UserMode)
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		t.Fatal(err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	if err := sc.Run(env, tab); err != nil {
+		t.Fatal(err)
+	}
+	rec.Detach()
+	return rec.Trace()
+}
+
+// findingKeys canonicalizes a report's findings for set comparison.
+func findingKeys(rep *Report) []string {
+	keys := make([]string, len(rep.Findings))
+	for i, f := range rep.Findings {
+		keys[i] = f.Injection.String() + " => " + f.Observed.Error()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestParallelNavigationCampaignMatchesSequentialOnTableII is the
+// determinism contract of the concurrent executor: on every Table II
+// scenario, a navigation campaign at Parallelism 8 flags exactly the
+// bugs the sequential run flags. The erroneous traces replay with no
+// wait time so the timing-bug class produces a non-trivial finding set
+// on at least one scenario.
+func TestParallelNavigationCampaignMatchesSequentialOnTableII(t *testing.T) {
+	totalFindings := 0
+	for _, sc := range apps.TableIIScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			tr := recordScenario(t, sc)
+			tree, err := InferTaskTree(freshBrowser, tr)
+			if err != nil {
+				t.Fatalf("InferTaskTree: %v", err)
+			}
+			g := FromTaskTree(tree)
+			opts := CampaignOptions{
+				Replayer: replayer.Options{Pacing: replayer.PaceNone},
+			}
+
+			seqOpts := opts
+			seqOpts.Parallelism = 1
+			seq := RunNavigationCampaign(freshBrowser, g, seqOpts)
+
+			parOpts := opts
+			parOpts.Parallelism = 8
+			par := RunNavigationCampaign(freshBrowser, g, parOpts)
+
+			if seq.Generated != par.Generated {
+				t.Fatalf("generated %d sequential vs %d parallel", seq.Generated, par.Generated)
+			}
+			sk, pk := findingKeys(seq), findingKeys(par)
+			if len(sk) != len(pk) {
+				t.Fatalf("findings diverge: %d sequential vs %d parallel\nseq: %v\npar: %v",
+					len(sk), len(pk), sk, pk)
+			}
+			for i := range sk {
+				if sk[i] != pk[i] {
+					t.Fatalf("finding %d diverges:\nseq: %s\npar: %s", i, sk[i], pk[i])
+				}
+			}
+			// Pruning races may shift the replayed/pruned split, but
+			// every generated trace must be accounted for.
+			for _, rep := range []*Report{seq, par} {
+				if rep.Replayed+rep.Pruned+rep.Skipped != rep.Generated {
+					t.Errorf("report does not add up: %+v", rep)
+				}
+			}
+			totalFindings += len(sk)
+		})
+	}
+	if totalFindings == 0 {
+		t.Error("no scenario produced findings; the equivalence check is vacuous")
+	}
+}
+
+func TestParallelTimingCampaignMatchesSequential(t *testing.T) {
+	tr := recordScenario(t, apps.EditSiteScenario())
+	seq := RunTimingCampaign(freshBrowser, tr, CampaignOptions{Parallelism: 1})
+	par := RunTimingCampaign(freshBrowser, tr, CampaignOptions{Parallelism: 3})
+	sk, pk := findingKeys(seq), findingKeys(par)
+	if len(sk) == 0 {
+		t.Fatal("timing campaign missed the Sites bug")
+	}
+	if len(sk) != len(pk) {
+		t.Fatalf("findings diverge: seq %v vs par %v", sk, pk)
+	}
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Fatalf("finding %d diverges:\nseq: %s\npar: %s", i, sk[i], pk[i])
+		}
+	}
+}
+
+// TestNavigationCampaignCancelledMidReplay cancels the campaign from
+// inside a replay session (via an AfterStep hook), so some sessions end
+// as cancelled partial replays: they must count as Skipped, never as
+// Replayed, and must not be judged by the oracle.
+func TestNavigationCampaignCancelledMidReplay(t *testing.T) {
+	tr := recordScenario(t, apps.EditSiteScenario())
+	g := FromTaskTree(inferTree(t, tr))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var steps atomic.Int32
+	opts := CampaignOptions{
+		Replayer: replayer.Options{
+			Pacing: replayer.PaceNone,
+			Hooks: []replayer.Hooks{{
+				AfterStep: func(step replayer.Step, tab *browser.Tab) {
+					// Let a few traces finish, then pull the plug.
+					if steps.Add(1) == 30 {
+						cancel()
+					}
+				},
+			}},
+		},
+	}
+	rep := RunNavigationCampaignContext(ctx, freshBrowser, g, opts)
+	if rep.Skipped == 0 {
+		t.Skip("campaign finished before the cancellation landed")
+	}
+	if rep.Replayed+rep.Pruned+rep.Skipped != rep.Generated {
+		t.Errorf("report does not add up: %+v", rep)
+	}
+	// Every finding must come from a fully replayed trace: with the
+	// oracle guarded, a finding count above the sequential run's total
+	// would betray a judged partial replay.
+	full := RunNavigationCampaign(freshBrowser, g, CampaignOptions{
+		Replayer: replayer.Options{Pacing: replayer.PaceNone},
+	})
+	if len(rep.Findings) > len(full.Findings) {
+		t.Errorf("cancelled campaign flagged %d findings, full campaign only %d",
+			len(rep.Findings), len(full.Findings))
+	}
+}
+
+func TestNavigationCampaignContextCancelled(t *testing.T) {
+	tr := recordScenario(t, apps.EditSiteScenario())
+	g := FromTaskTree(inferTree(t, tr))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := RunNavigationCampaignContext(ctx, freshBrowser, g, CampaignOptions{Parallelism: 4})
+	if rep.Generated == 0 {
+		t.Fatal("no traces generated")
+	}
+	if rep.Skipped != rep.Generated {
+		t.Errorf("cancelled campaign: %d skipped of %d generated; %+v", rep.Skipped, rep.Generated, rep)
+	}
+	if rep.Replayed != 0 || len(rep.Findings) != 0 {
+		t.Errorf("cancelled campaign still replayed: %+v", rep)
+	}
+}

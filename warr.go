@@ -27,9 +27,11 @@
 package warr
 
 import (
+	"context"
 	"io"
 
 	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/command"
 	"github.com/dslab-epfl/warr/internal/core"
 	"github.com/dslab-epfl/warr/internal/replayer"
@@ -177,9 +179,70 @@ func NewReplayer(b *Browser, opts ReplayOptions) *Replayer {
 	return replayer.New(b, opts)
 }
 
+// ---- session-based replay ----
+
+// ReplaySession replays one trace incrementally: one command per Next
+// call, or streamed through the Steps iterator, with the session's
+// context checked between commands — cancellation stops the replay at
+// the next command boundary with a partial result.
+type ReplaySession = replayer.Session
+
+// ReplayHooks is one observer in a session's hook chain: BeforeStep
+// runs before a command is resolved, OnResolve after element resolution
+// and before execution, AfterStep with the final step outcome. WebErr's
+// grammar inference and AUsER's progressive snapshotting are hooks.
+type ReplayHooks = replayer.Hooks
+
+// NewReplaySession opens a replay session for the trace in a fresh tab
+// of b: the start page is loaded, but no command is replayed until Next
+// (or Steps) is called.
+func NewReplaySession(ctx context.Context, b *Browser, tr Trace, opts ReplayOptions) (*ReplaySession, error) {
+	return NewReplayer(b, opts).NewSession(ctx, tr)
+}
+
 // Replay records the common case in one call: it replays the trace in a
 // fresh tab of b with default options and returns the outcome and the
-// tab, whose final page state the caller's oracle may inspect.
+// tab, whose final page state the caller's oracle may inspect. It is a
+// thin wrapper over a ReplaySession run to completion.
 func Replay(b *Browser, tr Trace) (*ReplayResult, *Tab, error) {
 	return NewReplayer(b, ReplayOptions{}).Replay(tr)
 }
+
+// ReplayContext is Replay under a context: cancellation stops the
+// session between commands and the partial result (Cancelled set) is
+// returned.
+func ReplayContext(ctx context.Context, b *Browser, tr Trace) (*ReplayResult, *Tab, error) {
+	return NewReplayer(b, ReplayOptions{}).ReplayContext(ctx, tr)
+}
+
+// ---- the campaign executor ----
+
+// CampaignExecutor replays many traces as independent sessions over a
+// worker pool of isolated environments, sharing one prefix-failure
+// pruning table. WebErr's campaigns run on it; it is exposed so other
+// tools can fan replay out the same way.
+type CampaignExecutor = campaign.Executor
+
+// CampaignJob is one executor work unit: a trace plus caller metadata.
+type CampaignJob = campaign.Job
+
+// CampaignOutcome is the per-job result, in job order.
+type CampaignOutcome = campaign.Outcome
+
+// ExecutorOptions configure a CampaignExecutor (Parallelism, replayer
+// options, pruning, the per-job Inspect callback).
+type ExecutorOptions = campaign.Options
+
+// PruneTable is the concurrency-safe prefix-failure-pruning table
+// campaign workers share (§V-A heuristic 1).
+type PruneTable = campaign.PruneTable
+
+// NewCampaignExecutor returns an executor creating one isolated
+// environment per job from newEnv.
+func NewCampaignExecutor(newEnv EnvFactory, opts ExecutorOptions) *CampaignExecutor {
+	return campaign.New(newEnv, opts)
+}
+
+// NewPruneTable returns an empty pruning table, for campaigns that span
+// several executors.
+func NewPruneTable() *PruneTable { return campaign.NewPruneTable() }

@@ -1,6 +1,7 @@
 package warr_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -86,6 +87,67 @@ func TestPublicAPIWebErrPipeline(t *testing.T) {
 	}
 	if rep.Findings[0].Injection.Kind != warr.Timing {
 		t.Errorf("finding kind = %v", rep.Findings[0].Injection.Kind)
+	}
+}
+
+// TestPublicAPISessionStreaming drives the session-based replay surface
+// through the public API: steps stream as they replay and the hooks see
+// every one of them.
+func TestPublicAPISessionStreaming(t *testing.T) {
+	sc := warr.EditSiteScenario()
+	tr, err := warr.RecordSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := len(tr.Commands)
+
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	var hookSteps int
+	session, err := warr.NewReplaySession(context.Background(), env.Browser, tr, warr.ReplayOptions{
+		Hooks: []warr.ReplayHooks{{
+			AfterStep: func(step warr.ReplayStep, tab *warr.Tab) { hookSteps++ },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for step := range session.Steps() {
+		streamed++
+		if step.Status == warr.StepFailed {
+			t.Fatalf("step %d failed: %v", step.Index, step.Err)
+		}
+	}
+	if streamed != recorded || hookSteps != recorded {
+		t.Errorf("streamed %d steps, hooks saw %d, want %d", streamed, hookSteps, recorded)
+	}
+	if !session.Result().Complete() {
+		t.Errorf("session incomplete: %+v", session.Result())
+	}
+	if err := sc.Verify(env, session.Tab()); err != nil {
+		t.Errorf("session replay did not reproduce the session: %v", err)
+	}
+}
+
+// TestPublicAPICampaignExecutor fans replicated replays out through the
+// exposed executor.
+func TestPublicAPICampaignExecutor(t *testing.T) {
+	tr, err := warr.RecordSession(warr.EditSiteScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]warr.CampaignJob, 6)
+	for i := range jobs {
+		jobs[i] = warr.CampaignJob{Trace: tr, Meta: i}
+	}
+	exec := warr.NewCampaignExecutor(
+		func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser },
+		warr.ExecutorOptions{Parallelism: 3, DisablePruning: true},
+	)
+	for _, out := range exec.Execute(context.Background(), jobs) {
+		if out.Pruned || out.Skipped || !out.Result.Complete() {
+			t.Errorf("job %d did not replay completely: %+v", out.Index, out)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package warr
 
 import (
+	"context"
+
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
 
@@ -67,15 +69,29 @@ func GrammarFromTaskTree(t *TaskTree) *Grammar { return weberr.FromTaskTree(t) }
 func Mutants(g *Grammar, opts InjectOptions) []Mutant { return weberr.Mutants(g, opts) }
 
 // RunNavigationCampaign tests an application against navigation errors
-// (Fig. 5, steps 2-4), with prefix-failure pruning.
+// (Fig. 5, steps 2-4), with prefix-failure pruning. CampaignOptions.
+// Parallelism > 1 replays erroneous traces concurrently over isolated
+// environments; the set of Findings is the same at any parallelism.
 func RunNavigationCampaign(newEnv EnvFactory, g *Grammar, opts CampaignOptions) *CampaignReport {
 	return weberr.RunNavigationCampaign(newEnv, g, opts)
+}
+
+// RunNavigationCampaignContext is RunNavigationCampaign under a
+// context: cancelling ctx stops in-flight replays at their next command
+// boundary and reports not-yet-started traces as Skipped.
+func RunNavigationCampaignContext(ctx context.Context, newEnv EnvFactory, g *Grammar, opts CampaignOptions) *CampaignReport {
+	return weberr.RunNavigationCampaignContext(ctx, newEnv, g, opts)
 }
 
 // RunTimingCampaign tests an application against timing errors: the
 // correct trace replayed with no wait time and at impatient speeds.
 func RunTimingCampaign(newEnv EnvFactory, tr Trace, opts CampaignOptions) *CampaignReport {
 	return weberr.RunTimingCampaign(newEnv, tr, opts)
+}
+
+// RunTimingCampaignContext is RunTimingCampaign under a context.
+func RunTimingCampaignContext(ctx context.Context, newEnv EnvFactory, tr Trace, opts CampaignOptions) *CampaignReport {
+	return weberr.RunTimingCampaignContext(ctx, newEnv, tr, opts)
 }
 
 // ConsoleOracle flags any error-level console output — the oracle that
