@@ -5,10 +5,15 @@
 // Usage:
 //
 //	warr-record -scenario edit-site -o edit.warr
+//	warr-record -scenario edit-site -o edit.txt -format text
 //	warr-record -scenario compose-email -print
+//	warr-record -scenario edit-site -nondet -o edit.warr
 //
-// The trace file is the text format of the paper's Fig. 4 and is
-// consumed by warr-replay and weberr.
+// By default -o writes a versioned trace archive: a plaintext header
+// (format version, scenario, app, recorder, creation time) over a
+// gzip-compressed body in the paper's Fig. 4 text format. warr-replay
+// and weberr read both archives and the legacy bare text dump, which
+// `-format text` still writes.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	warr "github.com/dslab-epfl/warr"
 )
@@ -24,18 +30,23 @@ func main() {
 	scenario := flag.String("scenario", "edit-site",
 		"session to record: "+strings.Join(warr.ScenarioNames(), ", "))
 	out := flag.String("o", "", "trace output file (default: stdout summary only)")
+	format := flag.String("format", "archive",
+		"output format for -o: archive (versioned, compressed, validated) or text (legacy bare dump)")
 	print := flag.Bool("print", false, "print the recorded commands (Fig. 4 style)")
 	nondet := flag.Bool("nondet", false,
 		"also log nondeterminism sources (timers, network) and print the annotated trace")
 	flag.Parse()
 
-	if err := run(*scenario, *out, *print, *nondet); err != nil {
+	if err := run(*scenario, *out, *format, *print, *nondet); err != nil {
 		fmt.Fprintln(os.Stderr, "warr-record:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario, out string, print, nondet bool) error {
+func run(scenario, out, format string, print, nondet bool) error {
+	if format != "archive" && format != "text" {
+		return fmt.Errorf("unknown -format %q (want archive or text)", format)
+	}
 	sc, ok := warr.ScenarioByName(scenario)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (want one of %s)",
@@ -43,6 +54,7 @@ func run(scenario, out string, print, nondet bool) error {
 	}
 
 	var tr warr.Trace
+	var annotated string // nondet-annotated body, when -nondet
 	var err error
 	if nondet {
 		// Record with the nondeterminism extension attached: the
@@ -60,10 +72,12 @@ func run(scenario, out string, print, nondet bool) error {
 		if err := sc.Run(env, tab); err != nil {
 			return err
 		}
+		rec.Detach()
 		tr = rec.Trace()
+		annotated = log.Annotate(tr, start)
 		fmt.Printf("recorded %q against %s: %d commands, %d nondeterminism events\n",
 			sc.Name, sc.App, len(tr.Commands), len(log.Events()))
-		fmt.Print(log.Annotate(tr, start))
+		fmt.Print(annotated)
 	} else {
 		tr, err = warr.RecordSession(sc)
 		if err != nil {
@@ -77,15 +91,54 @@ func run(scenario, out string, print, nondet bool) error {
 		fmt.Print(tr.CommandsText())
 	}
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+		if err := writeTrace(out, format, sc, tr, annotated); err != nil {
 			return err
 		}
-		defer f.Close()
-		if _, err := tr.WriteTo(f); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		fmt.Printf("trace written to %s\n", out)
+		fmt.Printf("trace written to %s (%s format)\n", out, format)
 	}
 	return nil
+}
+
+// writeTrace persists the recording: a versioned archive by default, or
+// the legacy bare text dump under -format text. A nondet-annotated body
+// is preserved comment lines and all in either format.
+func writeTrace(path, format string, sc warr.Scenario, tr warr.Trace, annotated string) error {
+	var err error
+	if format == "archive" {
+		h := warr.TraceArchiveHeader{
+			Scenario: sc.Name,
+			App:      sc.App,
+			Recorder: "warr-record",
+			Created:  time.Now().UTC().Format(time.RFC3339),
+		}
+		if annotated != "" {
+			err = warr.WriteTraceArchiveTextFile(path, h, annotated)
+		} else {
+			err = warr.WriteTraceArchiveFile(path, h, tr)
+		}
+	} else { // text
+		err = writeTextDump(path, tr, annotated)
+	}
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}
+
+// writeTextDump writes the legacy bare text format.
+func writeTextDump(path string, tr warr.Trace, annotated string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if annotated != "" {
+		_, err = f.WriteString(annotated)
+	} else {
+		_, err = tr.WriteTo(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -4,6 +4,10 @@
 // coordinate fallback, or failure. Steps stream as they replay, through
 // the session API.
 //
+// The -trace file may be either a versioned trace archive (the
+// warr-record default) or a legacy bare text dump; the format is
+// auto-detected.
+//
 // Usage:
 //
 //	warr-replay -trace edit.warr
@@ -41,7 +45,7 @@ func main() {
 	noRelax := flag.Bool("no-relaxation", false, "disable progressive XPath relaxation")
 	noCoord := flag.Bool("no-coordinates", false, "disable the click-coordinate fallback")
 	parallel := flag.Int("parallel", 1, "replay N concurrent replicas of the trace, each in an isolated environment")
-	jsonOut := flag.Bool("json", false, "machine-readable JSON-lines output (one object per step)")
+	jsonOut := flag.Bool("json", false, "machine-readable JSON-lines output: one object per step, plus a summary; with -parallel > 1, one summary or skipped object per replica (no step objects)")
 	timeout := flag.Duration("timeout", 0, "cancel the replay after this long (0 = no limit); the partial result is reported")
 	flag.Parse()
 
@@ -60,9 +64,24 @@ func run(path, mode, pace string, noRelax, noCoord bool, parallel int, jsonOut b
 		return err
 	}
 	defer f.Close()
-	tr, err := warr.ReadTrace(f)
+	// Accept both on-disk formats: the versioned archive warr-record
+	// writes by default, and the legacy bare text dump.
+	header, tr, err := warr.ReadTraceAuto(f)
 	if err != nil {
 		return err
+	}
+	if header.Version != 0 && !jsonOut {
+		fmt.Printf("archive v%d", header.Version)
+		if header.Scenario != "" {
+			fmt.Printf(": %q", header.Scenario)
+		}
+		if header.App != "" {
+			fmt.Printf(" against %s", header.App)
+		}
+		if header.Recorder != "" {
+			fmt.Printf(" (recorded by %s)", header.Recorder)
+		}
+		fmt.Println()
 	}
 
 	cfg := config{parallel: parallel, jsonOut: jsonOut, timeout: timeout}
@@ -244,7 +263,15 @@ func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
 	for i, out := range outcomes {
 		if out.Skipped {
 			allComplete = false
-			if !cfg.jsonOut {
+			if cfg.jsonOut {
+				skip := struct {
+					Type    string `json:"type"`
+					Replica int    `json:"replica"`
+				}{"skipped", i}
+				if err := enc.Encode(skip); err != nil {
+					return err
+				}
+			} else {
 				fmt.Printf("replica %d: skipped (cancelled)\n", i)
 			}
 			continue
@@ -252,10 +279,15 @@ func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
 		if !out.Result.Complete() {
 			allComplete = false
 		}
-		if baseline == nil {
-			baseline = out.Result
-		} else if out.Result.Played != baseline.Played || out.Result.Failed != baseline.Failed {
-			divergent = true
+		// A timeout-cancelled partial stopped at an arbitrary command
+		// index; comparing it would report divergence that is an
+		// artifact of the deadline, not of the trace.
+		if !out.Result.Cancelled {
+			if baseline == nil {
+				baseline = out.Result
+			} else if out.Result.Played != baseline.Played || out.Result.Failed != baseline.Failed {
+				divergent = true
+			}
 		}
 		if cfg.jsonOut {
 			s := summarize(i, len(tr.Commands), out.Result, nil)

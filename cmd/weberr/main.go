@@ -5,18 +5,27 @@
 // errors (no wait time), replays the erroneous traces in fresh
 // environments, and reports what the oracle found.
 //
+// The correct trace may be recorded live from a named scenario, loaded
+// from a trace file (versioned archive or legacy text, auto-detected)
+// with -trace, and persisted as a versioned archive with -save — so a
+// trace recorded once can be re-tested later, elsewhere.
+//
 // Usage:
 //
 //	weberr -scenario edit-site                 # both campaigns
 //	weberr -scenario edit-site -campaign timing
 //	weberr -scenario compose-email -campaign navigation -show-tree
+//	weberr -scenario edit-site -save edit.warr # archive the correct trace
+//	weberr -trace edit.warr                    # re-test a stored trace
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	warr "github.com/dslab-epfl/warr"
 )
@@ -24,30 +33,98 @@ import (
 func main() {
 	scenario := flag.String("scenario", "edit-site",
 		"session to test: "+strings.Join(warr.ScenarioNames(), ", "))
+	traceFile := flag.String("trace", "",
+		"load the correct trace from this file instead of recording a scenario")
+	save := flag.String("save", "", "archive the correct trace to this file")
 	campaign := flag.String("campaign", "both", "navigation, timing, or both")
 	showTree := flag.Bool("show-tree", false, "print the inferred task tree (Fig. 6)")
 	showGrammar := flag.Bool("show-grammar", false, "print the inferred grammar")
 	maxTraces := flag.Int("max-traces", 0, "bound the navigation campaign (0 = all mutants)")
 	flag.Parse()
 
-	if err := run(*scenario, *campaign, *showTree, *showGrammar, *maxTraces); err != nil {
+	if err := run(*scenario, *traceFile, *save, *campaign, *showTree, *showGrammar, *maxTraces); err != nil {
 		fmt.Fprintln(os.Stderr, "weberr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario, campaign string, showTree, showGrammar bool, maxTraces int) error {
+// correctTrace obtains the correct interaction: recorded live from the
+// named scenario, or read back from a stored trace file. For a loaded
+// archive it also returns the exact body text, so -save re-archives
+// losslessly — nondeterminism annotation comments included.
+func correctTrace(scenario, traceFile string) (tr warr.Trace, h warr.TraceArchiveHeader, body string, err error) {
+	if traceFile != "" {
+		data, err := os.ReadFile(traceFile)
+		if err != nil {
+			return warr.Trace{}, h, "", err
+		}
+		if warr.IsTraceArchive(data) {
+			rd, err := warr.NewTraceArchiveReader(bytes.NewReader(data))
+			if err != nil {
+				return warr.Trace{}, h, "", err
+			}
+			rd.KeepBody()
+			if tr, err = rd.Trace(); err != nil {
+				return warr.Trace{}, h, "", err
+			}
+			h = rd.Header()
+			body = strings.Join(rd.BodyLines(), "\n") + "\n"
+		} else {
+			if tr, err = warr.ParseTrace(string(data)); err != nil {
+				return warr.Trace{}, h, "", err
+			}
+			// A legacy dump in the canonical text layout is itself a
+			// valid archive body; keep it so -save preserves comments.
+			if strings.HasPrefix(string(data), warr.TraceBodyMagic+"\n") {
+				body = string(data)
+			}
+		}
+		name, app := h.Scenario, h.App
+		if name == "" {
+			name, app = "stored trace", traceFile
+		}
+		fmt.Printf("loaded correct interaction: %s / %s (%d commands)\n", app, name, len(tr.Commands))
+		return tr, h, body, nil
+	}
 	sc, ok := warr.ScenarioByName(scenario)
 	if !ok {
-		return fmt.Errorf("unknown scenario %q (want one of %s)",
+		return warr.Trace{}, h, "", fmt.Errorf("unknown scenario %q (want one of %s)",
 			scenario, strings.Join(warr.ScenarioNames(), ", "))
 	}
 	fmt.Printf("recording correct interaction: %s / %s\n", sc.App, sc.Name)
-	tr, err := warr.RecordSession(sc)
+	tr, err = warr.RecordSession(sc)
+	if err != nil {
+		return warr.Trace{}, h, "", err
+	}
+	fmt.Printf("  %d commands\n", len(tr.Commands))
+	return tr, warr.TraceArchiveHeader{Scenario: sc.Name, App: sc.App}, "", nil
+}
+
+func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool, maxTraces int) error {
+	switch campaign {
+	case "navigation", "timing", "both":
+	default:
+		return fmt.Errorf("unknown -campaign %q (want navigation, timing, or both)", campaign)
+	}
+	tr, header, body, err := correctTrace(scenario, traceFile)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %d commands\n", len(tr.Commands))
+	if save != "" {
+		h := header
+		h.Version = 0 // re-stamp with the version this build writes
+		h.Recorder = "weberr"
+		h.Created = time.Now().UTC().Format(time.RFC3339)
+		if body != "" {
+			err = warr.WriteTraceArchiveTextFile(save, h, body)
+		} else {
+			err = warr.WriteTraceArchiveFile(save, h, tr)
+		}
+		if err != nil {
+			return fmt.Errorf("archiving trace: %w", err)
+		}
+		fmt.Printf("correct trace archived to %s\n", save)
+	}
 
 	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
 

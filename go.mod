@@ -1,3 +1,3 @@
 module github.com/dslab-epfl/warr
 
-go 1.24
+go 1.23.0

@@ -123,6 +123,12 @@ func ParseLine(line string) (Command, error) {
 		return Command{}, fmt.Errorf("command: parsing %q: %s", line, msg)
 	}
 	line = strings.TrimSpace(line)
+	// The trace format is line-based: a field with an embedded line
+	// break could never be re-read, so it must never parse in the first
+	// place (the serialization round trip FuzzParseLine checks).
+	if strings.ContainsAny(line, "\n\r") {
+		return fail("embedded line break")
+	}
 	actionText, rest, ok := strings.Cut(line, " ")
 	if !ok {
 		return fail("want 4 fields")

@@ -1,0 +1,48 @@
+package command
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine asserts the serialization invariant the trace-archive
+// stack depends on: any line ParseLine accepts yields a Command whose
+// String() re-parses to the identical Command. Without this property an
+// archived trace could silently change meaning across a write/read
+// cycle.
+func FuzzParseLine(f *testing.F) {
+	for _, seed := range []string{
+		`click //div/span[@id="start"] 82,44 1`,
+		`type //td/div[@id="content"] [H,72] 3`,
+		`type //td/div[@id="content"] [ ,32] 2`,
+		`type //input[@name="to"] [Enter,13] 0`,
+		`type //input[@name="q"] [,,188] 1`,
+		`doubleclick //td[@id="r2c2"] 120,80 4`,
+		`drag //div[@name="composehdr"] 30,20 2`,
+		`click //td/div[text()="Save"] 74,51 37`,
+		`click //a[@href="x y"] 1,2 3`,
+		`click //a[text()='he said "hi"'] 5,6 7`,
+		"click //a 1,1 1\n",
+		`type /a [x [H,72] 3`,
+		`click //a -4,-9 0`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		c, err := ParseLine(line)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		s := c.String()
+		c2, err := ParseLine(s)
+		if err != nil {
+			t.Fatalf("ParseLine(%q) accepted, but its String %q does not re-parse: %v", line, s, err)
+		}
+		if c2 != c {
+			t.Fatalf("round trip changed the command:\n in  %q -> %+v\n out %q -> %+v", line, c, s, c2)
+		}
+		if strings.ContainsRune(s, '\n') {
+			t.Fatalf("String() of a parsed command contains a newline: %q", s)
+		}
+	})
+}

@@ -119,13 +119,16 @@ func (s *Session) Next() (step Step, ok bool) {
 	if s.done {
 		return Step{}, false
 	}
-	if err := context.Cause(s.ctx); err != nil {
-		s.res.Cancelled = true
-		s.res.CancelCause = err
+	// Exhaustion is checked before cancellation: a session whose every
+	// command already replayed is complete, not cancelled, even if the
+	// context fired after the last command.
+	if s.next >= len(s.trace.Commands) {
 		s.done = true
 		return Step{}, false
 	}
-	if s.next >= len(s.trace.Commands) {
+	if err := context.Cause(s.ctx); err != nil {
+		s.res.Cancelled = true
+		s.res.CancelCause = err
 		s.done = true
 		return Step{}, false
 	}

@@ -133,6 +133,38 @@ func TestSessionCancelledMidReplayReturnsPartialResult(t *testing.T) {
 	}
 }
 
+func TestSessionCancelledAfterLastCommandIsComplete(t *testing.T) {
+	// A context firing after the final command must not retroactively
+	// mark a fully-replayed session as cancelled: exhaustion is checked
+	// before cancellation, so Complete() holds and — downstream — a
+	// context-bounded campaign keeps the job's oracle verdict instead
+	// of routing it to Skipped.
+	tr := record(t, apps.EditSiteScenario())
+	env := apps.NewEnv(browser.DeveloperMode)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s, err := New(env.Browser, Options{}).NewSession(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tr.Commands); i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("session ended early at step %d", i)
+		}
+	}
+	cancel(errors.New("deadline after the last command"))
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next replayed past the trace end")
+	}
+	res := s.Result()
+	if res.Cancelled {
+		t.Error("fully-replayed session marked Cancelled")
+	}
+	if res.Played != len(tr.Commands) || !res.Complete() {
+		t.Errorf("played %d/%d, Complete=%v; want a complete result",
+			res.Played, len(tr.Commands), res.Complete())
+	}
+}
+
 func TestReplayContextAlreadyCancelled(t *testing.T) {
 	tr := record(t, apps.EditSiteScenario())
 	env := apps.NewEnv(browser.DeveloperMode)

@@ -1,0 +1,706 @@
+// Package trace persists WaRR Command traces as versioned archive
+// files, and runs the golden-trace regression corpus built on them.
+//
+// The paper's central claim is that a recorded trace is a durable,
+// high-fidelity artifact: recorded once, replayed later, elsewhere,
+// deterministically (Fig. 1). The in-memory command.Trace and its bare
+// Fig. 4 text dump carry no provenance — no format version, no scenario
+// identity, no recorder metadata — so a file on disk cannot be
+// validated, evolved, or trusted. The archive format fixes that:
+//
+//	WARR-ARCHIVE v1
+//	scenario: Edit site
+//	app: Google Sites
+//	recorder: warr-record
+//	<blank line>
+//	<gzip-compressed body>
+//
+// The header is plain text — `key: value` lines a developer can read
+// with head(1) — and the body is the gzip compression of exactly the
+// Fig. 4 text serialization (command.Trace.WriteTo), terminated by a
+// footer comment carrying the command count:
+//
+//	# warr-trace v1
+//	# start https://sites.google.com/demo/edit
+//	click //div/span[@id="start"] 82,44 1
+//	...
+//	# warr-archive-end commands=18
+//
+// Decompressing an archive body with gunzip therefore yields a valid
+// legacy text trace (footer and annotations are comments, which
+// command.Read skips), and any byte corruption of the compressed body is
+// caught by gzip's CRC while logical truncation is caught by the footer.
+//
+// Validation is strict and versioning is forward-compatible: a reader
+// refuses archives written by a newer format version with a
+// *FutureVersionError instead of misreading them, and unknown header
+// keys are preserved in Header.Extra so a v1 reader round-trips v1.x
+// extensions losslessly.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/command"
+)
+
+// Version is the archive format version this package writes.
+const Version = 1
+
+// magicPrefix opens every archive file; the full magic line is
+// "WARR-ARCHIVE v<version>".
+const magicPrefix = "WARR-ARCHIVE v"
+
+// BodyMagic is the required first line of the decompressed body — the
+// same line command.Trace.WriteTo has always emitted, so a legacy text
+// trace in the canonical layout is exactly an archive body.
+const BodyMagic = "# warr-trace v1"
+
+// footerPrefix terminates the body; the full footer line is
+// "# warr-archive-end commands=<n>".
+const footerPrefix = "# warr-archive-end commands="
+
+// maxLineLen bounds one body line and maxHeaderLen one header line,
+// both enforced symmetrically: the Writer rejects longer lines, and the
+// Reader accepts lines up to exactly these lengths — so the Writer can
+// never produce an archive the Reader chokes on.
+const (
+	maxLineLen   = 1 << 20
+	maxHeaderLen = 1 << 16
+)
+
+// Header is the plaintext metadata block of an archive.
+type Header struct {
+	// Version is the format version. Zero means "current" when writing;
+	// readers set it to the version of the file they read.
+	Version int
+
+	// Scenario names the recorded interaction (Table II's Scenario
+	// column), e.g. "Edit site".
+	Scenario string
+
+	// App names the application recorded against (Table II's
+	// Application column), e.g. "Google Sites".
+	App string
+
+	// Recorder identifies what produced the archive, e.g. "warr-record".
+	Recorder string
+
+	// Created is an optional RFC 3339 timestamp. Corpus archives leave
+	// it empty so re-recording is byte-for-byte reproducible.
+	Created string
+
+	// Extra holds unknown header keys, preserved across a read/write
+	// round trip so older readers do not destroy newer metadata.
+	Extra map[string]string
+}
+
+// names of the well-known header keys, in serialization order.
+const (
+	keyScenario = "scenario"
+	keyApp      = "app"
+	keyRecorder = "recorder"
+	keyCreated  = "created"
+)
+
+// FutureVersionError reports an archive written by a newer format
+// version than this package understands.
+type FutureVersionError struct {
+	Version int
+}
+
+func (e *FutureVersionError) Error() string {
+	return fmt.Sprintf("trace: archive format v%d is newer than supported v%d; upgrade warr to read it",
+		e.Version, Version)
+}
+
+// ---- Writer ----
+
+// Writer streams a trace into an archive: header first, then commands
+// one at a time, footer and gzip trailer on Close.
+type Writer struct {
+	gz       *gzip.Writer
+	buf      *bufio.Writer
+	started  bool // body magic line written
+	commands int
+	err      error
+	closed   bool
+}
+
+// NewWriter writes the magic line and header to w and returns a Writer
+// for the body. The caller must Close it to flush the footer and the
+// gzip stream.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if h.Version == 0 {
+		h.Version = Version
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("trace: cannot write archive format v%d (this package writes v%d)", h.Version, Version)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%d\n", magicPrefix, h.Version)
+	writeKey := func(k, v string) error {
+		if strings.ContainsAny(v, "\n\r") {
+			return fmt.Errorf("trace: header %s contains a newline", k)
+		}
+		if len(k)+len(": ")+len(v) > maxHeaderLen {
+			return fmt.Errorf("trace: header %s exceeds %d bytes", k, maxHeaderLen)
+		}
+		fmt.Fprintf(&b, "%s: %s\n", k, v)
+		return nil
+	}
+	writeKnown := func(k, v string) error {
+		if v == "" {
+			return nil // empty well-known keys are simply absent
+		}
+		return writeKey(k, v)
+	}
+	for _, kv := range []struct{ k, v string }{
+		{keyScenario, h.Scenario},
+		{keyApp, h.App},
+		{keyRecorder, h.Recorder},
+		{keyCreated, h.Created},
+	} {
+		if err := writeKnown(kv.k, kv.v); err != nil {
+			return nil, err
+		}
+	}
+	extras := make([]string, 0, len(h.Extra))
+	for k := range h.Extra {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+	for _, k := range extras {
+		switch k {
+		case keyScenario, keyApp, keyRecorder, keyCreated:
+			return nil, fmt.Errorf("trace: extra header key %q shadows a well-known key", k)
+		}
+		if k == "" || strings.ContainsAny(k, ":\n\r ") {
+			return nil, fmt.Errorf("trace: invalid extra header key %q", k)
+		}
+		if err := writeKey(k, h.Extra[k]); err != nil {
+			return nil, err
+		}
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return nil, fmt.Errorf("trace: writing archive header: %w", err)
+	}
+	gz := gzip.NewWriter(w)
+	return &Writer{gz: gz, buf: bufio.NewWriter(gz)}, nil
+}
+
+// begin lazily opens the body with its magic line.
+func (w *Writer) begin() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		w.err = errors.New("trace: write on closed archive writer")
+		return w.err
+	}
+	if !w.started {
+		w.started = true
+		return w.writeLine(BodyMagic)
+	}
+	return nil
+}
+
+func (w *Writer) writeLine(s string) error {
+	if len(s) > maxLineLen {
+		w.err = fmt.Errorf("trace: body line exceeds %d bytes", maxLineLen)
+		return w.err
+	}
+	if _, err := w.buf.WriteString(s); err == nil {
+		_, err = w.buf.WriteString("\n")
+		if err == nil {
+			return nil
+		}
+		w.err = err
+	} else {
+		w.err = err
+	}
+	return w.err
+}
+
+// Start records the trace's start URL. It must precede the first
+// command, matching command.Trace.WriteTo's layout.
+func (w *Writer) Start(url string) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	if url == "" {
+		return nil
+	}
+	if w.commands > 0 {
+		w.err = errors.New("trace: Start after WriteCommand")
+		return w.err
+	}
+	if strings.ContainsAny(url, "\n\r") {
+		w.err = errors.New("trace: start URL contains a newline")
+		return w.err
+	}
+	return w.writeLine("# start " + url)
+}
+
+// WriteCommand appends one command to the body. Commands that do not
+// survive a serialize/parse round trip — constructible in memory with
+// field values the line grammar cannot carry, e.g. a Key containing
+// " [" — are rejected rather than silently corrupted.
+func (w *Writer) WriteCommand(c command.Command) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	line := c.String()
+	if reparsed, err := command.ParseLine(line); err != nil || reparsed != c {
+		if err == nil {
+			err = fmt.Errorf("%q re-parses as a different command", line)
+		}
+		w.err = fmt.Errorf("trace: command does not serialize losslessly: %w", err)
+		return w.err
+	}
+	w.commands++
+	return w.writeLine(line)
+}
+
+// WriteComment appends one comment line ("# <text>") to the body —
+// nondeterminism annotations travel this way.
+func (w *Writer) WriteComment(text string) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	if strings.ContainsAny(text, "\n\r") {
+		w.err = errors.New("trace: comment contains a newline")
+		return w.err
+	}
+	if strings.HasPrefix(text, footerPrefix[2:]) {
+		w.err = fmt.Errorf("trace: comment %q would forge the archive footer", text)
+		return w.err
+	}
+	if strings.HasPrefix(text, "start ") {
+		w.err = fmt.Errorf("trace: comment %q would shadow the start-URL directive", text)
+		return w.err
+	}
+	return w.writeLine("# " + text)
+}
+
+// WriteTrace streams a whole trace.
+func (w *Writer) WriteTrace(tr command.Trace) error {
+	if err := w.Start(tr.StartURL); err != nil {
+		return err
+	}
+	for _, c := range tr.Commands {
+		if err := w.WriteCommand(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close writes the footer and flushes the gzip stream. It does not
+// close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	if err := w.begin(); err != nil {
+		w.closed = true
+		return err
+	}
+	w.closed = true
+	if err := w.writeLine(footerPrefix + strconv.Itoa(w.commands)); err != nil {
+		return err
+	}
+	if err := w.buf.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.gz.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// ---- Reader ----
+
+// Reader streams commands out of an archive with strict validation: the
+// magic line and version are checked up front, the body must open with
+// the trace magic, every line must parse, the footer count must match,
+// and nothing may follow the footer. Byte corruption of the compressed
+// body surfaces as a gzip checksum error.
+type Reader struct {
+	header   Header
+	sc       *bufio.Scanner
+	gz       *gzip.Reader
+	startURL string
+	retain   bool     // keep body lines for BodyLines
+	lines    []string // body lines as read, footer excluded (retain only)
+	lineNo   int      // 1-based body line counter, for error messages
+	comments int
+	commands int
+	footer   bool
+	err      error
+}
+
+// NewReader parses the magic line and header from r and prepares the
+// body for streaming. r should be buffered by the caller for large
+// archives; NewReader reads it byte-at-a-time through the header so the
+// gzip body begins exactly where the header ended.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := byteLineReader{r: r}
+	magic, err := br.line()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading archive magic: %w", err)
+	}
+	vs, ok := strings.CutPrefix(magic, magicPrefix)
+	if !ok {
+		return nil, fmt.Errorf("trace: not a WaRR trace archive (magic %q)", magic)
+	}
+	v, err := strconv.Atoi(vs)
+	if err != nil || v < 1 {
+		return nil, fmt.Errorf("trace: malformed archive version %q", vs)
+	}
+	if v > Version {
+		return nil, &FutureVersionError{Version: v}
+	}
+	h := Header{Version: v}
+	seen := make(map[string]bool)
+	for {
+		line, err := br.line()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading archive header: %w", err)
+		}
+		if line == "" {
+			break
+		}
+		k, val, ok := strings.Cut(line, ": ")
+		if !ok || k == "" || strings.ContainsRune(k, ' ') {
+			return nil, fmt.Errorf("trace: malformed header line %q", line)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("trace: duplicate header key %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case keyScenario:
+			h.Scenario = val
+		case keyApp:
+			h.App = val
+		case keyRecorder:
+			h.Recorder = val
+		case keyCreated:
+			h.Created = val
+		default:
+			if h.Extra == nil {
+				h.Extra = make(map[string]string)
+			}
+			h.Extra[k] = val
+		}
+	}
+	gz, err := gzip.NewReader(br.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening archive body: %w", err)
+	}
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 64*1024), maxLineLen+1)
+	rd := &Reader{header: h, gz: gz, sc: sc}
+	first, err := rd.bodyLine()
+	if err != nil {
+		return nil, err
+	}
+	if first != BodyMagic {
+		return nil, fmt.Errorf("trace: archive body does not open with %q (got %q)", BodyMagic, first)
+	}
+	// The constant magic line is always retained so KeepBody may be
+	// called any time before the first Next.
+	rd.lines = append(rd.lines, first)
+	return rd, nil
+}
+
+// byteLineReader reads newline-terminated lines one byte at a time, so
+// the plain-text header can be consumed from an unbuffered reader
+// without swallowing the start of the gzip stream.
+type byteLineReader struct {
+	r io.Reader
+}
+
+func (b byteLineReader) line() (string, error) {
+	var sb strings.Builder
+	var one [1]byte
+	for {
+		n, err := b.r.Read(one[:])
+		if n == 1 {
+			if one[0] == '\n' {
+				return sb.String(), nil
+			}
+			sb.WriteByte(one[0])
+			if sb.Len() > maxHeaderLen {
+				return "", errors.New("header line too long")
+			}
+			continue
+		}
+		if err == io.EOF {
+			return "", io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+func (r *Reader) keep(line string) {
+	if r.retain {
+		r.lines = append(r.lines, line)
+	}
+}
+
+func (r *Reader) bodyLine() (string, error) {
+	if r.sc.Scan() {
+		r.lineNo++
+		return r.sc.Text(), nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return "", fmt.Errorf("trace: reading archive body: %w", err)
+	}
+	return "", io.EOF
+}
+
+// Header returns the archive's metadata.
+func (r *Reader) Header() Header { return r.header }
+
+// StartURL returns the trace's start URL once its "# start" line has
+// been read — it precedes the first command, so after the first Next
+// call (or a whole-trace Trace call) it is final.
+func (r *Reader) StartURL() string { return r.startURL }
+
+// Commands returns the number of commands streamed so far.
+func (r *Reader) Commands() int { return r.commands }
+
+// Comments returns the number of annotation comment lines seen so far
+// (nondeterminism events and other hand annotations; the structural
+// magic/start/footer lines are not counted).
+func (r *Reader) Comments() int { return r.comments }
+
+// KeepBody makes the reader retain every body line for BodyLines —
+// the lossless re-archiving path. Call it before the first Next;
+// without it the reader streams, holding no line after parsing it.
+func (r *Reader) KeepBody() { r.retain = true }
+
+// BodyLines returns the body exactly as read so far (footer excluded),
+// for lossless re-archiving. It requires KeepBody to have been called
+// before streaming began; valid after Next has returned io.EOF.
+func (r *Reader) BodyLines() []string { return r.lines }
+
+// Next returns the next command. It returns io.EOF after the footer has
+// been read and validated; a body that ends without a footer, whose
+// footer count disagrees with the streamed commands, or that continues
+// past its footer is an error.
+func (r *Reader) Next() (command.Command, error) {
+	if r.err != nil {
+		return command.Command{}, r.err
+	}
+	for {
+		line, err := r.bodyLine()
+		if err == io.EOF {
+			if !r.footer {
+				r.err = errors.New("trace: archive body truncated (no footer)")
+				return command.Command{}, r.err
+			}
+			r.err = io.EOF
+			return command.Command{}, io.EOF
+		}
+		if err != nil {
+			r.err = err
+			return command.Command{}, err
+		}
+		if r.footer {
+			r.err = fmt.Errorf("trace: archive body continues past its footer (%q)", line)
+			return command.Command{}, r.err
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			r.keep(line)
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if ns, ok := strings.CutPrefix(trimmed, footerPrefix); ok {
+				n, err := strconv.Atoi(ns)
+				if err != nil || n < 0 {
+					r.err = fmt.Errorf("trace: malformed archive footer %q", line)
+					return command.Command{}, r.err
+				}
+				if n != r.commands {
+					r.err = fmt.Errorf("trace: archive footer declares %d commands, body has %d", n, r.commands)
+					return command.Command{}, r.err
+				}
+				r.footer = true
+				continue
+			}
+			r.keep(line)
+			if url, ok := strings.CutPrefix(trimmed, "# start "); ok {
+				r.startURL = strings.TrimSpace(url)
+			} else if trimmed != BodyMagic {
+				r.comments++
+			}
+			continue
+		}
+		c, err := command.ParseLine(trimmed)
+		if err != nil {
+			r.err = fmt.Errorf("trace: archive body line %d: %w", r.lineNo, err)
+			return command.Command{}, r.err
+		}
+		r.keep(line)
+		r.commands++
+		return c, nil
+	}
+}
+
+// Trace reads the remaining commands and returns the whole trace.
+func (r *Reader) Trace() (command.Trace, error) {
+	var tr command.Trace
+	for {
+		c, err := r.Next()
+		if err == io.EOF {
+			tr.StartURL = r.startURL
+			return tr, nil
+		}
+		if err != nil {
+			return command.Trace{}, err
+		}
+		tr.Commands = append(tr.Commands, c)
+	}
+}
+
+// ---- whole-file convenience ----
+
+// Write archives a trace to w under the given header.
+func Write(w io.Writer, h Header, tr command.Trace) error {
+	aw, err := NewWriter(w, h)
+	if err != nil {
+		return err
+	}
+	if err := aw.WriteTrace(tr); err != nil {
+		return err
+	}
+	return aw.Close()
+}
+
+// WriteText archives a pre-rendered trace text body — e.g. a
+// NondetLog-annotated trace — preserving its comment lines. The body
+// must open with the trace magic line and parse as a trace (each line
+// is validated as it is written).
+func WriteText(w io.Writer, h Header, body string) error {
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != BodyMagic {
+		return fmt.Errorf("trace: body does not open with %q", BodyMagic)
+	}
+	aw, err := NewWriter(w, h)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines[1:] {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			continue
+		case strings.HasPrefix(trimmed, "# start "):
+			if err := aw.Start(strings.TrimSpace(trimmed[len("# start "):])); err != nil {
+				return err
+			}
+		case strings.HasPrefix(trimmed, "#"):
+			// Any '#' line is a comment to the parser ("traces survive
+			// hand annotation"), including '#foo' without a space; it
+			// normalizes to "# foo" in the archive.
+			if err := aw.WriteComment(strings.TrimSpace(strings.TrimPrefix(trimmed, "#"))); err != nil {
+				return err
+			}
+		default:
+			c, err := command.ParseLine(trimmed)
+			if err != nil {
+				return fmt.Errorf("trace: body line %q: %w", line, err)
+			}
+			if err := aw.WriteCommand(c); err != nil {
+				return err
+			}
+		}
+	}
+	return aw.Close()
+}
+
+// Read reads a whole archive from r.
+func Read(r io.Reader) (Header, command.Trace, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return Header{}, command.Trace{}, err
+	}
+	tr, err := rd.Trace()
+	if err != nil {
+		return Header{}, command.Trace{}, err
+	}
+	return rd.Header(), tr, nil
+}
+
+// WriteFile archives a trace to path.
+func WriteFile(path string, h Header, tr command.Trace) error {
+	return writeFileWith(path, func(f io.Writer) error { return Write(f, h, tr) })
+}
+
+// WriteTextFile archives a pre-rendered trace text body to path,
+// preserving comment lines (see WriteText).
+func WriteTextFile(path string, h Header, body string) error {
+	return writeFileWith(path, func(f io.Writer) error { return WriteText(f, h, body) })
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads the archive at path.
+func ReadFile(path string) (Header, command.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, command.Trace{}, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
+
+// ---- format auto-detection ----
+
+// IsArchive reports whether data opens like an archive file.
+func IsArchive(data []byte) bool {
+	return strings.HasPrefix(string(data), magicPrefix)
+}
+
+// ReadAuto reads a trace from r in either format: a versioned archive
+// (detected by its magic) or the legacy Fig. 4 text dump. Legacy traces
+// return a zero-valued Header.
+func ReadAuto(r io.Reader) (Header, command.Trace, error) {
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(magicPrefix))
+	if err != nil && err != io.EOF {
+		return Header{}, command.Trace{}, fmt.Errorf("trace: sniffing format: %w", err)
+	}
+	if IsArchive(peek) {
+		return Read(br)
+	}
+	tr, err := command.Read(br)
+	return Header{}, tr, err
+}

@@ -1,0 +1,472 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/command"
+)
+
+func sampleTrace(t *testing.T) command.Trace {
+	t.Helper()
+	tr, err := command.Parse(`# warr-trace v1
+# start https://sites.google.com/demo/edit
+click //div/span[@id="start"] 82,44 1
+type //td/div[@id="content"] [H,72] 3
+type //td/div[@id="content"] [ ,32] 2
+click //td/div[text()="Save"] 74,51 37
+`)
+	if err != nil {
+		t.Fatalf("parsing sample trace: %v", err)
+	}
+	return tr
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	h := Header{
+		Scenario: "Edit site",
+		App:      "Google Sites",
+		Recorder: "archive_test",
+		Created:  "2011-06-27T00:00:00Z",
+		Extra:    map[string]string{"x-experiment": "fig4"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, gotTr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Version != Version {
+		t.Errorf("Version = %d, want %d", got.Version, Version)
+	}
+	if got.Scenario != h.Scenario || got.App != h.App || got.Recorder != h.Recorder || got.Created != h.Created {
+		t.Errorf("header round trip: got %+v, want %+v", got, h)
+	}
+	if got.Extra["x-experiment"] != "fig4" {
+		t.Errorf("extra key lost: %+v", got.Extra)
+	}
+	if gotTr.StartURL != tr.StartURL {
+		t.Errorf("StartURL = %q, want %q", gotTr.StartURL, tr.StartURL)
+	}
+	if len(gotTr.Commands) != len(tr.Commands) {
+		t.Fatalf("commands = %d, want %d", len(gotTr.Commands), len(tr.Commands))
+	}
+	for i := range tr.Commands {
+		if gotTr.Commands[i] != tr.Commands[i] {
+			t.Errorf("command %d = %+v, want %+v", i, gotTr.Commands[i], tr.Commands[i])
+		}
+	}
+	// The serialized text must be identical too (lossless round trip).
+	if gotTr.Text() != tr.Text() {
+		t.Errorf("text round trip:\n got %q\nwant %q", gotTr.Text(), tr.Text())
+	}
+}
+
+func TestArchiveDeterministicBytes(t *testing.T) {
+	tr := sampleTrace(t)
+	h := Header{Scenario: "Edit site", App: "Google Sites", Recorder: "archive_test"}
+	var a, b bytes.Buffer
+	if err := Write(&a, h, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, h, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("writing the same trace twice produced different archive bytes")
+	}
+}
+
+func TestArchiveBodyIsLegacyTrace(t *testing.T) {
+	// gunzip of the body must yield a valid legacy text trace whose
+	// parse equals the archived trace.
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Scenario: "s"}, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	i := bytes.Index(raw, []byte("\n\n"))
+	if i < 0 {
+		t.Fatal("no blank line after header")
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw[i+2:]))
+	if err != nil {
+		t.Fatalf("body is not gzip: %v", err)
+	}
+	body, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatalf("decompressing body: %v", err)
+	}
+	legacy, err := command.Parse(string(body))
+	if err != nil {
+		t.Fatalf("decompressed body is not a legacy trace: %v", err)
+	}
+	if legacy.Text() != tr.Text() {
+		t.Errorf("legacy parse of body differs:\n got %q\nwant %q", legacy.Text(), tr.Text())
+	}
+}
+
+func TestArchiveStreamingReader(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Scenario: "s"}, tr); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		c, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next %d: %v", n, err)
+		}
+		if c != tr.Commands[n] {
+			t.Errorf("command %d = %+v, want %+v", n, c, tr.Commands[n])
+		}
+		if n == 0 && rd.StartURL() != tr.StartURL {
+			t.Errorf("StartURL after first Next = %q, want %q", rd.StartURL(), tr.StartURL)
+		}
+		n++
+	}
+	if n != len(tr.Commands) {
+		t.Errorf("streamed %d commands, want %d", n, len(tr.Commands))
+	}
+	// io.EOF is sticky.
+	if _, err := rd.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v, want io.EOF", err)
+	}
+	// Without KeepBody the reader streams: nothing beyond the constant
+	// magic line is retained.
+	if lines := rd.BodyLines(); len(lines) != 1 || lines[0] != BodyMagic {
+		t.Errorf("streaming reader retained body lines without KeepBody: %q", lines)
+	}
+}
+
+func TestArchiveAnnotatedRoundTrip(t *testing.T) {
+	body := `# warr-trace v1
+# start https://mail.google.com/demo
+# nondet 00:00:00.400 timer-fired deadline 00:00:00.400
+click //div[@name="compose"] 10,10 3
+# nondet 00:00:00.900 network GET https://mail.google.com/demo -> 200
+type //input[@name="to"] [a,65] 2
+`
+	var buf bytes.Buffer
+	if err := WriteText(&buf, Header{Scenario: "Compose email", App: "GMail"}, body); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.KeepBody()
+	tr, err := rd.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Commands) != 2 {
+		t.Errorf("commands = %d, want 2", len(tr.Commands))
+	}
+	if rd.Comments() != 2 {
+		t.Errorf("comments = %d, want 2", rd.Comments())
+	}
+	// The body survives byte-for-byte (footer excluded).
+	if got := strings.Join(rd.BodyLines(), "\n") + "\n"; got != body {
+		t.Errorf("body round trip:\n got %q\nwant %q", got, body)
+	}
+}
+
+func TestWriteTextAcceptsBareHashComments(t *testing.T) {
+	// command.Read skips any '#' line ("traces survive hand
+	// annotation"), so WriteText must archive them too — normalized to
+	// "# <text>".
+	body := "# warr-trace v1\n#hand-note\nclick //a 1,1 1\n"
+	var buf bytes.Buffer
+	if err := WriteText(&buf, Header{}, body); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Trace(); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Comments() != 1 {
+		t.Errorf("comments = %d, want 1", rd.Comments())
+	}
+}
+
+func TestArchiveRejectsCorruption(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Scenario: "Edit site", App: "Google Sites"}, tr); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	wantH, wantTr, err := Read(bytes.NewReader(pristine))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A single-byte flip anywhere in the compressed region must either
+	// be rejected or be semantically inert (a handful of bits — gzip's
+	// MTIME/XFL/OS header bytes and deflate padding — carry no content
+	// and no checksum; whole-file byte integrity is the corpus goldens'
+	// archiveSHA256 field's job). What must never happen is a flip that
+	// reads back successfully as *different* content.
+	bodyStart := bytes.Index(pristine, []byte("\n\n")) + 2
+	detected := 0
+	for off := bodyStart; off < len(pristine); off++ {
+		corrupt := append([]byte(nil), pristine...)
+		corrupt[off] ^= 0x40
+		h, tr2, err := Read(bytes.NewReader(corrupt))
+		if err != nil {
+			detected++
+			continue
+		}
+		if !reflect.DeepEqual(h, wantH) || tr2.Text() != wantTr.Text() {
+			t.Fatalf("corruption at byte %d read back as different content", off)
+		}
+	}
+	if flips := len(pristine) - bodyStart; detected < flips*9/10 {
+		t.Errorf("only %d/%d compressed-region flips were detected", detected, flips)
+	}
+
+	// Truncations must be rejected.
+	for _, cut := range []int{1, bodyStart / 2, bodyStart, len(pristine) / 2, len(pristine) - 1} {
+		if _, _, err := Read(bytes.NewReader(pristine[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes was not detected", cut)
+		}
+	}
+}
+
+func TestArchiveFooterValidation(t *testing.T) {
+	// Build an archive whose footer disagrees with the body.
+	forge := func(body string) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("WARR-ARCHIVE v1\n\n")
+		gz := gzip.NewWriter(&buf)
+		if _, err := io.WriteString(gz, body); err != nil {
+			t.Fatal(err)
+		}
+		if err := gz.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"missing footer", "# warr-trace v1\nclick //a 1,1 1\n"},
+		{"count mismatch", "# warr-trace v1\nclick //a 1,1 1\n# warr-archive-end commands=2\n"},
+		{"line after footer", "# warr-trace v1\n# warr-archive-end commands=0\nclick //a 1,1 1\n"},
+		{"malformed footer", "# warr-trace v1\n# warr-archive-end commands=x\n"},
+		{"missing body magic", "click //a 1,1 1\n# warr-archive-end commands=1\n"},
+		{"bad command line", "# warr-trace v1\nclick notanxpath 1,1 1\n# warr-archive-end commands=1\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := Read(bytes.NewReader(forge(tc.body))); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// The well-formed control must pass.
+	if _, _, err := Read(bytes.NewReader(forge("# warr-trace v1\nclick //a 1,1 1\n# warr-archive-end commands=1\n"))); err != nil {
+		t.Errorf("control archive rejected: %v", err)
+	}
+}
+
+func TestArchiveFutureVersion(t *testing.T) {
+	_, _, err := Read(strings.NewReader("WARR-ARCHIVE v2\n\n"))
+	var fv *FutureVersionError
+	if !errors.As(err, &fv) {
+		t.Fatalf("v2 archive: err = %v, want FutureVersionError", err)
+	}
+	if fv.Version != 2 {
+		t.Errorf("FutureVersionError.Version = %d, want 2", fv.Version)
+	}
+	if _, err := NewWriter(io.Discard, Header{Version: 2}); err == nil {
+		t.Error("NewWriter accepted a future version")
+	}
+}
+
+func TestArchiveRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not an archive",
+		"WARR-ARCHIVE vX\n\n",
+		"WARR-ARCHIVE v0\n\n",
+		"WARR-ARCHIVE v1\nmalformed header\n\n",
+		"WARR-ARCHIVE v1\nscenario: a\nscenario: b\n\n",
+		"WARR-ARCHIVE v1\nscenario: s\n", // EOF before blank line
+		"WARR-ARCHIVE v1\n\nnot gzip",
+	} {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestReadAuto(t *testing.T) {
+	tr := sampleTrace(t)
+
+	// Legacy text format.
+	h, got, err := ReadAuto(strings.NewReader(tr.Text()))
+	if err != nil {
+		t.Fatalf("ReadAuto(text): %v", err)
+	}
+	if h.Version != 0 {
+		t.Errorf("legacy read: Version = %d, want 0", h.Version)
+	}
+	if got.Text() != tr.Text() {
+		t.Errorf("legacy read: trace differs")
+	}
+
+	// Archive format.
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Scenario: "Edit site"}, tr); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err = ReadAuto(&buf)
+	if err != nil {
+		t.Fatalf("ReadAuto(archive): %v", err)
+	}
+	if h.Scenario != "Edit site" || h.Version != Version {
+		t.Errorf("archive read: header = %+v", h)
+	}
+	if got.Text() != tr.Text() {
+		t.Errorf("archive read: trace differs")
+	}
+}
+
+func TestWriterGuards(t *testing.T) {
+	newW := func() *Writer {
+		w, err := NewWriter(io.Discard, Header{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	w := newW()
+	if err := w.WriteComment("warr-archive-end commands=5"); err == nil {
+		t.Error("footer-forging comment accepted")
+	}
+	w = newW()
+	if err := w.WriteComment("start https://elsewhere"); err == nil {
+		t.Error("start-shadowing comment accepted")
+	}
+	w = newW()
+	if err := w.WriteCommand(command.Command{Action: command.Click, XPath: "//a", X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start("https://late"); err == nil {
+		t.Error("Start after WriteCommand accepted")
+	}
+	w = newW()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCommand(command.Command{Action: command.Click, XPath: "//a"}); err == nil {
+		t.Error("write on closed writer accepted")
+	}
+
+	// A command constructible in memory but not representable in the
+	// line grammar (Key containing " [" shifts the payload boundary on
+	// re-parse) must be rejected, not silently corrupted.
+	w = newW()
+	if err := w.WriteCommand(command.Command{Action: command.Type, XPath: "//a", Key: " [", Code: 91, Elapsed: 1}); err == nil {
+		t.Error("non-round-trippable command accepted")
+	}
+
+	// The writer refuses lines it knows the reader cannot scan back.
+	w = newW()
+	longXPath := `//a[@id="` + strings.Repeat("x", maxLineLen) + `"]`
+	if err := w.WriteCommand(command.Command{Action: command.Click, XPath: longXPath, X: 1, Y: 1}); err == nil {
+		t.Error("over-long command line accepted")
+	}
+
+	if _, err := NewWriter(io.Discard, Header{Scenario: "a\nb"}); err == nil {
+		t.Error("newline in header value accepted")
+	}
+	if _, err := NewWriter(io.Discard, Header{Extra: map[string]string{"scenario": "x"}}); err == nil {
+		t.Error("extra key shadowing a well-known key accepted")
+	}
+	if _, err := NewWriter(io.Discard, Header{Extra: map[string]string{"bad key": "x"}}); err == nil {
+		t.Error("extra key with a space accepted")
+	}
+	// Header lines the reader would refuse are refused at write time.
+	if _, err := NewWriter(io.Discard, Header{Scenario: strings.Repeat("s", maxHeaderLen)}); err == nil {
+		t.Error("over-long header value accepted")
+	}
+}
+
+func TestArchiveEmptyExtraValueRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{Extra: map[string]string{"x-flag": ""}}
+	if err := Write(&buf, h, command.Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.Extra["x-flag"]; !ok || v != "" {
+		t.Errorf("empty extra value lost: %+v", got.Extra)
+	}
+}
+
+func TestArchiveLongLineRoundTrip(t *testing.T) {
+	// A body line near (but under) the cap must survive write and read:
+	// the default 64KB bufio.Scanner token limit must not apply.
+	long := command.Command{
+		Action: command.Click,
+		XPath:  `//a[@id="` + strings.Repeat("x", 100*1024) + `"]`,
+		X:      1, Y: 2, Elapsed: 3,
+	}
+	tr := command.Trace{StartURL: "http://x.test/", Commands: []command.Command{long}}
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Scenario: "long"}, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	_, got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got.Commands) != 1 || got.Commands[0] != long {
+		t.Error("long command did not round-trip")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	path := t.TempDir() + "/sample.warr"
+	h := Header{Scenario: "Edit site", App: "Google Sites", Recorder: "archive_test"}
+	if err := WriteFile(path, h, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, gotTr, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Scenario != h.Scenario || gotTr.Text() != tr.Text() {
+		t.Error("file round trip differs")
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/command"
+)
+
+// FuzzArchiveRoundTrip drives arbitrary header metadata and trace text
+// through a write/read cycle: whenever the input is a valid trace body,
+// the archive must round-trip it to the identical header and command
+// sequence, and re-archiving the read-back trace must reproduce the
+// first archive byte for byte.
+func FuzzArchiveRoundTrip(f *testing.F) {
+	f.Add("Edit site", "Google Sites", "fuzz", `# warr-trace v1
+# start https://sites.google.com/demo/edit
+click //div/span[@id="start"] 82,44 1
+type //td/div[@id="content"] [H,72] 3
+click //td/div[text()="Save"] 74,51 37
+`)
+	f.Add("", "", "", "# warr-trace v1\n")
+	f.Add("s", "a", "r", "# warr-trace v1\nclick //a 1,1 1\n")
+	f.Add("nondet", "GMail", "rec", `# warr-trace v1
+# start https://mail.google.com/demo
+# nondet 00:00:00.400 timer-fired deadline 00:00:00.400
+click //div[@name="compose"] 10,10 3
+`)
+	f.Add("x", "y", "z", "not a trace at all")
+
+	f.Fuzz(func(t *testing.T, scenario, app, recorder, body string) {
+		tr, err := command.Parse(body)
+		if err != nil {
+			return // not a trace; nothing to archive
+		}
+		h := Header{Scenario: scenario, App: app, Recorder: recorder}
+
+		var buf bytes.Buffer
+		if err := Write(&buf, h, tr); err != nil {
+			// Metadata the line-based header cannot carry (embedded
+			// newlines) is rejected, never mangled.
+			return
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+
+		gotH, gotTr, err := Read(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("wrote an archive that does not read back: %v", err)
+		}
+		wantH := h
+		wantH.Version = Version
+		// Empty header values are not serialized, so they read back empty.
+		if !reflect.DeepEqual(gotH, wantH) {
+			t.Fatalf("header round trip: got %+v, want %+v", gotH, wantH)
+		}
+		if gotTr.StartURL != tr.StartURL || len(gotTr.Commands) != len(tr.Commands) {
+			t.Fatalf("trace shape round trip: got %d cmds start %q, want %d cmds start %q",
+				len(gotTr.Commands), gotTr.StartURL, len(tr.Commands), tr.StartURL)
+		}
+		for i := range tr.Commands {
+			if gotTr.Commands[i] != tr.Commands[i] {
+				t.Fatalf("command %d: got %+v, want %+v", i, gotTr.Commands[i], tr.Commands[i])
+			}
+		}
+
+		var again bytes.Buffer
+		if err := Write(&again, h, gotTr); err != nil {
+			t.Fatalf("re-archiving a read-back trace failed: %v", err)
+		}
+		if !bytes.Equal(first, again.Bytes()) {
+			t.Fatal("re-archiving a read-back trace changed the bytes")
+		}
+	})
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/command"
 	"github.com/dslab-epfl/warr/internal/core"
 	"github.com/dslab-epfl/warr/internal/replayer"
+	"github.com/dslab-epfl/warr/internal/trace"
 	"github.com/dslab-epfl/warr/internal/vclock"
 	"github.com/dslab-epfl/warr/internal/webdriver"
 )
@@ -96,6 +97,77 @@ func ParseTrace(s string) (Trace, error) { return command.Parse(s) }
 
 // ReadTrace parses a trace from a reader.
 func ReadTrace(r io.Reader) (Trace, error) { return command.Read(r) }
+
+// ---- versioned trace archives ----
+
+// TraceArchiveHeader is the plaintext metadata block of a versioned
+// trace archive: format version, scenario and application names,
+// recorder identity, creation time, and forward-compatible extra keys.
+type TraceArchiveHeader = trace.Header
+
+// TraceArchiveVersion is the archive format version this build writes.
+const TraceArchiveVersion = trace.Version
+
+// TraceBodyMagic is the first line of an archive body and of a
+// canonical legacy text dump.
+const TraceBodyMagic = trace.BodyMagic
+
+// TraceArchiveWriter streams a trace into an archive command by
+// command; TraceArchiveReader streams it back out with strict
+// validation (version check, per-line parse, footer count, gzip CRC).
+type (
+	TraceArchiveWriter = trace.Writer
+	TraceArchiveReader = trace.Reader
+)
+
+// NewTraceArchiveWriter opens a streaming archive writer on w.
+func NewTraceArchiveWriter(w io.Writer, h TraceArchiveHeader) (*TraceArchiveWriter, error) {
+	return trace.NewWriter(w, h)
+}
+
+// NewTraceArchiveReader opens a streaming archive reader on r.
+func NewTraceArchiveReader(r io.Reader) (*TraceArchiveReader, error) {
+	return trace.NewReader(r)
+}
+
+// WriteTraceArchive archives a whole trace to w under the given header.
+func WriteTraceArchive(w io.Writer, h TraceArchiveHeader, tr Trace) error {
+	return trace.Write(w, h, tr)
+}
+
+// WriteTraceArchiveText archives a pre-rendered trace text body —
+// e.g. a NondetLog-annotated trace — preserving its comment lines.
+func WriteTraceArchiveText(w io.Writer, h TraceArchiveHeader, body string) error {
+	return trace.WriteText(w, h, body)
+}
+
+// WriteTraceArchiveFile archives a trace to path;
+// WriteTraceArchiveTextFile does the same for a pre-rendered body.
+func WriteTraceArchiveFile(path string, h TraceArchiveHeader, tr Trace) error {
+	return trace.WriteFile(path, h, tr)
+}
+
+// WriteTraceArchiveTextFile archives a pre-rendered trace text body —
+// comment lines preserved — to path.
+func WriteTraceArchiveTextFile(path string, h TraceArchiveHeader, body string) error {
+	return trace.WriteTextFile(path, h, body)
+}
+
+// ReadTraceArchive reads a whole archive from r.
+func ReadTraceArchive(r io.Reader) (TraceArchiveHeader, Trace, error) {
+	return trace.Read(r)
+}
+
+// ReadTraceAuto reads a trace in either on-disk format: a versioned
+// archive (detected by its magic) or the legacy Fig. 4 text dump.
+// Legacy traces return a zero-valued header.
+func ReadTraceAuto(r io.Reader) (TraceArchiveHeader, Trace, error) {
+	return trace.ReadAuto(r)
+}
+
+// IsTraceArchive reports whether data opens like a versioned trace
+// archive (as opposed to the legacy text dump).
+func IsTraceArchive(data []byte) bool { return trace.IsArchive(data) }
 
 // ---- the WaRR Recorder ----
 
