@@ -18,6 +18,9 @@ import (
 	"strings"
 
 	warr "github.com/dslab-epfl/warr"
+	// Linking the calendar plugin keeps the hosted world identical
+	// across all the tools, plugins included.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
 )
 
 func main() {

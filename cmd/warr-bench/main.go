@@ -25,6 +25,9 @@ import (
 	"os"
 	"strings"
 
+	// Linking the calendar plugin keeps the hosted world identical
+	// across all the tools, plugins included.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
 	"github.com/dslab-epfl/warr/internal/experiments"
 )
 

@@ -24,6 +24,9 @@ import (
 	"os"
 	"strings"
 
+	// Linking the calendar plugin registers its app and create-event
+	// scenario, so the corpus covers it like any other workload.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
 	"github.com/dslab-epfl/warr/internal/trace"
 )
 

@@ -1,10 +1,14 @@
-// Command warr-record records a user session against one of the
-// simulated web applications and writes the resulting WaRR Command trace
-// (Fig. 1, steps 1-2).
+// Command warr-record records a user session against a registered web
+// application and writes the resulting WaRR Command trace (Fig. 1,
+// steps 1-2). Any scenario registered through the public plugin API —
+// the paper's Table II workloads, the calendar demo plugin, or your
+// own — is recordable by name; -list shows what this build knows.
 //
 // Usage:
 //
+//	warr-record -list
 //	warr-record -scenario edit-site -o edit.warr
+//	warr-record -scenario create-event -o event.warr
 //	warr-record -scenario edit-site -o edit.txt -format text
 //	warr-record -scenario compose-email -print
 //	warr-record -scenario edit-site -nondet -o edit.warr
@@ -24,11 +28,16 @@ import (
 	"time"
 
 	warr "github.com/dslab-epfl/warr"
+	// Linking the calendar plugin registers its app and create-event
+	// scenario — the proof any app can ride the public surface.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
+	"github.com/dslab-epfl/warr/internal/cliutil"
 )
 
 func main() {
 	scenario := flag.String("scenario", "edit-site",
 		"session to record: "+strings.Join(warr.ScenarioNames(), ", "))
+	list := flag.Bool("list", false, "list registered applications and scenarios, then exit")
 	out := flag.String("o", "", "trace output file (default: stdout summary only)")
 	format := flag.String("format", "archive",
 		"output format for -o: archive (versioned, compressed, validated) or text (legacy bare dump)")
@@ -37,6 +46,11 @@ func main() {
 		"also log nondeterminism sources (timers, network) and print the annotated trace")
 	flag.Parse()
 
+	if *list {
+		cliutil.PrintApps(os.Stdout, "registered applications:")
+		cliutil.PrintScenarios(os.Stdout, "\nregistered scenarios:", true)
+		return
+	}
 	if err := run(*scenario, *out, *format, *print, *nondet); err != nil {
 		fmt.Fprintln(os.Stderr, "warr-record:", err)
 		os.Exit(1)
@@ -47,42 +61,23 @@ func run(scenario, out, format string, print, nondet bool) error {
 	if format != "archive" && format != "text" {
 		return fmt.Errorf("unknown -format %q (want archive or text)", format)
 	}
-	sc, ok := warr.ScenarioByName(scenario)
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (want one of %s)",
-			scenario, strings.Join(warr.ScenarioNames(), ", "))
+	sc, err := warr.LookupScenario(scenario)
+	if err != nil {
+		return err
 	}
 
-	var tr warr.Trace
-	var annotated string // nondet-annotated body, when -nondet
-	var err error
+	// One shared record path for both flavors; -nondet additionally
+	// attaches the nondeterminism log and prints the annotated trace.
+	rec, err := warr.RecordScenario(sc, warr.RecordOptions{Nondet: nondet})
+	if err != nil {
+		return err
+	}
+	tr, annotated := rec.Trace, rec.Annotated()
 	if nondet {
-		// Record with the nondeterminism extension attached: the
-		// annotated trace shows what the application did between the
-		// user's actions (timer firings, AJAX completions).
-		env := warr.NewDemoEnv(warr.UserMode)
-		log := warr.NewNondetLog(env)
-		tab := env.Browser.NewTab()
-		if err := tab.Navigate(sc.StartURL); err != nil {
-			return err
-		}
-		rec := warr.NewRecorder(env.Clock)
-		rec.Attach(tab)
-		start := env.Clock.Now()
-		if err := sc.Run(env, tab); err != nil {
-			return err
-		}
-		rec.Detach()
-		tr = rec.Trace()
-		annotated = log.Annotate(tr, start)
 		fmt.Printf("recorded %q against %s: %d commands, %d nondeterminism events\n",
-			sc.Name, sc.App, len(tr.Commands), len(log.Events()))
+			sc.Name, sc.App, len(tr.Commands), len(rec.Nondet.Events()))
 		fmt.Print(annotated)
 	} else {
-		tr, err = warr.RecordSession(sc)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("recorded %q against %s: %d commands, %s of interaction\n",
 			sc.Name, sc.App, len(tr.Commands), tr.Duration())
 	}

@@ -8,8 +8,13 @@
 // warr-record default) or a legacy bare text dump; the format is
 // auto-detected.
 //
+// The environment a trace replays in hosts every registered
+// application — the demo apps plus any plugin linked into this build
+// (e.g. the calendar app); -list shows them.
+//
 // Usage:
 //
+//	warr-replay -list
 //	warr-replay -trace edit.warr
 //	warr-replay -trace edit.warr -json               # machine-readable per-step output
 //	warr-replay -trace edit.warr -parallel 8         # 8 concurrent replicas in isolated envs
@@ -28,6 +33,10 @@ import (
 	"time"
 
 	warr "github.com/dslab-epfl/warr"
+	// Linking the calendar plugin registers its app, so calendar traces
+	// replay against a world that hosts it.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
+	"github.com/dslab-epfl/warr/internal/cliutil"
 )
 
 type config struct {
@@ -47,8 +56,14 @@ func main() {
 	parallel := flag.Int("parallel", 1, "replay N concurrent replicas of the trace, each in an isolated environment")
 	jsonOut := flag.Bool("json", false, "machine-readable JSON-lines output: one object per step, plus a summary; with -parallel > 1, one summary or skipped object per replica (no step objects)")
 	timeout := flag.Duration("timeout", 0, "cancel the replay after this long (0 = no limit); the partial result is reported")
+	list := flag.Bool("list", false, "list the applications and scenarios this build hosts, then exit")
 	flag.Parse()
 
+	if *list {
+		cliutil.PrintApps(os.Stdout, "registered applications (hosted in every replay environment):")
+		cliutil.PrintScenarios(os.Stdout, "\nregistered scenarios (recordable with warr-record):", false)
+		return
+	}
 	if err := run(*trace, *mode, *pace, *noRelax, *noCoord, *parallel, *jsonOut, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "warr-replay:", err)
 		os.Exit(1)
@@ -246,7 +261,7 @@ func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
 		jobs[i] = warr.CampaignJob{Trace: tr}
 	}
 	exec := warr.NewCampaignExecutor(
-		func() *warr.Browser { return warr.NewDemoEnv(cfg.mode).Browser },
+		warr.NewEnvFactory(cfg.mode),
 		warr.ExecutorOptions{
 			Parallelism: cfg.parallel,
 			Replayer:    cfg.opts,

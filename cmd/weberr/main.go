@@ -10,9 +10,14 @@
 // with -trace, and persisted as a versioned archive with -save — so a
 // trace recorded once can be re-tested later, elsewhere.
 //
+// Any scenario registered through the public plugin API is testable by
+// name — -list shows what this build knows.
+//
 // Usage:
 //
+//	weberr -list
 //	weberr -scenario edit-site                 # both campaigns
+//	weberr -scenario create-event              # a plugin app's workload
 //	weberr -scenario edit-site -campaign timing
 //	weberr -scenario compose-email -campaign navigation -show-tree
 //	weberr -scenario edit-site -save edit.warr # archive the correct trace
@@ -28,6 +33,10 @@ import (
 	"time"
 
 	warr "github.com/dslab-epfl/warr"
+	// Linking the calendar plugin registers its app and create-event
+	// scenario, making them campaign-testable like the paper workloads.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
+	"github.com/dslab-epfl/warr/internal/cliutil"
 )
 
 func main() {
@@ -40,8 +49,14 @@ func main() {
 	showTree := flag.Bool("show-tree", false, "print the inferred task tree (Fig. 6)")
 	showGrammar := flag.Bool("show-grammar", false, "print the inferred grammar")
 	maxTraces := flag.Int("max-traces", 0, "bound the navigation campaign (0 = all mutants)")
+	list := flag.Bool("list", false, "list registered applications and scenarios, then exit")
 	flag.Parse()
 
+	if *list {
+		cliutil.PrintApps(os.Stdout, "registered applications:")
+		cliutil.PrintScenarios(os.Stdout, "\nregistered scenarios (testable with -scenario):", false)
+		return
+	}
 	if err := run(*scenario, *traceFile, *save, *campaign, *showTree, *showGrammar, *maxTraces); err != nil {
 		fmt.Fprintln(os.Stderr, "weberr:", err)
 		os.Exit(1)
@@ -86,10 +101,9 @@ func correctTrace(scenario, traceFile string) (tr warr.Trace, h warr.TraceArchiv
 		fmt.Printf("loaded correct interaction: %s / %s (%d commands)\n", app, name, len(tr.Commands))
 		return tr, h, body, nil
 	}
-	sc, ok := warr.ScenarioByName(scenario)
-	if !ok {
-		return warr.Trace{}, h, "", fmt.Errorf("unknown scenario %q (want one of %s)",
-			scenario, strings.Join(warr.ScenarioNames(), ", "))
+	sc, err := warr.LookupScenario(scenario)
+	if err != nil {
+		return warr.Trace{}, h, "", err
 	}
 	fmt.Printf("recording correct interaction: %s / %s\n", sc.App, sc.Name)
 	tr, err = warr.RecordSession(sc)
@@ -126,7 +140,7 @@ func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool,
 		fmt.Printf("correct trace archived to %s\n", save)
 	}
 
-	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	fresh := warr.NewEnvFactory(warr.DeveloperMode)
 
 	bugs := 0
 	if campaign == "navigation" || campaign == "both" {

@@ -2,24 +2,28 @@ package warr
 
 import (
 	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/record"
+	"github.com/dslab-epfl/warr/internal/registry"
 )
 
 // DemoEnv is a self-contained simulated world: a virtual clock, an
-// in-memory network, a browser, and the five web applications the
-// paper's evaluation uses (Google Sites, GMail, the Yahoo! portal,
-// Google Docs, and three web search engines). Each DemoEnv is fully
-// isolated — fresh server state, fresh clock — which is what makes
+// in-memory network, a browser, and every registered web application —
+// out of the box, the five the paper's evaluation uses (Google Sites,
+// GMail, the Yahoo! portal, Google Docs, and three web search engines)
+// plus any App the process registered. Each DemoEnv is fully isolated —
+// fresh server state, fresh clock — which is what makes
 // record-in-one-environment, replay-in-another meaningful.
-type DemoEnv = apps.Env
+type DemoEnv = Env
 
-// Scenario is a scripted user session against a demo application, with
-// a built-in oracle (Verify) deciding whether the session's observable
-// effect happened.
-type Scenario = apps.Scenario
+// Scenario is a scripted user session against a registered application,
+// with a built-in oracle (Verify) deciding whether the session's
+// observable effect happened.
+type Scenario = registry.Scenario
 
-// NewDemoEnv builds an isolated environment with all demo applications
-// registered, hosting a browser of the given mode.
-func NewDemoEnv(mode Mode) *DemoEnv { return apps.NewEnv(mode) }
+// NewDemoEnv builds an isolated environment with all registered
+// applications, hosting a browser of the given mode. It is sugar over
+// NewEnv with the full default registry.
+func NewDemoEnv(mode Mode) *DemoEnv { return registry.MustNewEnv(mode) }
 
 // Demo application start URLs.
 const (
@@ -42,29 +46,40 @@ var (
 	TableIIScenarios        = apps.TableIIScenarios
 )
 
-// ScenarioByName resolves a scenario name ("edit-site", "compose-email",
-// "authenticate", "edit-spreadsheet"); ScenarioNames lists them.
+// ScenarioByName resolves a registered scenario name ("edit-site",
+// "compose-email", ...); ScenarioNames lists them. Both are thin
+// wrappers over the default registry — LookupScenario is the typed-error
+// form.
 var (
 	ScenarioByName = apps.ScenarioByName
 	ScenarioNames  = apps.ScenarioNames
 )
 
-// RecordSession records a scenario end to end: it creates a fresh
-// user-mode environment, navigates a tab to the scenario's start page,
-// attaches a Recorder, runs the scenario, and returns the trace.
+// RecordOptions configure RecordScenario: the browser mode (default
+// UserMode), a pre-built environment to record in, nondeterminism
+// logging, and whether the live session's oracle must pass.
+type RecordOptions = record.Options
+
+// RecordedSession is a recorded scenario with the live session around
+// it: the trace, recorder stats, the recording environment and tab
+// (recorder already detached), and — when requested — the
+// nondeterminism log, whose annotated trace Annotated renders.
+type RecordedSession = record.Recorded
+
+// RecordScenario records a scenario end to end on the one record path
+// every tool shares: create (or adopt) an environment, navigate a tab
+// to the scenario's start page, attach a Recorder, run the scenario,
+// and detach before returning.
+func RecordScenario(sc Scenario, opts RecordOptions) (*RecordedSession, error) {
+	return record.Record(sc, opts)
+}
+
+// RecordSession records a scenario in a fresh user-mode environment and
+// returns the trace — the common case of RecordScenario.
 func RecordSession(sc Scenario) (Trace, error) {
-	env := NewDemoEnv(UserMode)
-	tab := env.Browser.NewTab()
-	if err := tab.Navigate(sc.StartURL); err != nil {
+	r, err := record.Record(sc, record.Options{})
+	if err != nil {
 		return Trace{}, err
 	}
-	rec := NewRecorder(env.Clock)
-	rec.Attach(tab)
-	// Detach before returning: the recorder must not keep logging into
-	// the returned trace if the caller goes on using the tab.
-	defer rec.Detach()
-	if err := sc.Run(env, tab); err != nil {
-		return Trace{}, err
-	}
-	return rec.Trace(), nil
+	return r.Trace, nil
 }

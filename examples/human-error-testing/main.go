@@ -27,7 +27,7 @@ func main() {
 	fmt.Printf("step 1: recorded %d commands\n", len(trace.Commands))
 
 	// Every replay runs in a fresh, isolated environment.
-	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	fresh := warr.NewEnvFactory(warr.DeveloperMode)
 
 	// Steps 2-3: infer the task tree (Fig. 6) and its grammar; derive
 	// single-error mutants confined to individual grammar rules.

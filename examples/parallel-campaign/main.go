@@ -24,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	fresh := warr.NewEnvFactory(warr.DeveloperMode)
 	tree, err := warr.InferTaskTree(fresh, trace)
 	if err != nil {
 		log.Fatal(err)

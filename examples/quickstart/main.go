@@ -53,5 +53,5 @@ func main() {
 	if err := scenario.Verify(env, tab); err != nil {
 		log.Fatalf("replay did not reproduce the session: %v", err)
 	}
-	fmt.Printf("verified: page now reads %q\n", env.Sites.PageContent("home"))
+	fmt.Println("verified: the replayed page was saved with the typed text")
 }

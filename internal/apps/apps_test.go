@@ -28,7 +28,7 @@ func runScenario(t *testing.T, sc Scenario) (*Env, *browser.Tab) {
 
 func TestEditSiteScenario(t *testing.T) {
 	env, tab := runScenario(t, EditSiteScenario())
-	if got := env.Sites.Saves(); got != 1 {
+	if got := SitesIn(env).Saves(); got != 1 {
 		t.Errorf("saves = %d, want 1", got)
 	}
 	// After the save redirect the view shows the new content.
@@ -64,7 +64,7 @@ func TestEditSiteImpatientUserHitsUninitializedVariable(t *testing.T) {
 	if !strings.Contains(errs[0].Message, "TypeError") {
 		t.Errorf("console error = %q, want a TypeError", errs[0].Message)
 	}
-	if got := env.Sites.Saves(); got != 0 {
+	if got := SitesIn(env).Saves(); got != 0 {
 		t.Errorf("saves = %d, want 0 (the save must fail)", got)
 	}
 }
@@ -84,14 +84,14 @@ func TestEditSitePatientUserSucceeds(t *testing.T) {
 	if err := clickText(tab, "div", "Save"); err != nil {
 		t.Fatal(err)
 	}
-	if got := env.Sites.PageContent("home"); got != "ok" {
+	if got := SitesIn(env).PageContent("home"); got != "ok" {
 		t.Errorf("content = %q, want %q", got, "ok")
 	}
 }
 
 func TestSitesEditorSeedsExistingContent(t *testing.T) {
 	env := NewEnv(browser.UserMode)
-	env.Sites.SetPageContent("home", "old text")
+	SitesIn(env).SetPageContent("home", "old text")
 	tab := env.Browser.NewTab()
 	if err := tab.Navigate(SitesURL); err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ func TestSitesEditorSeedsExistingContent(t *testing.T) {
 
 func TestComposeEmailScenario(t *testing.T) {
 	env, _ := runScenario(t, ComposeEmailScenario())
-	mails := env.GMail.Sent()
+	mails := GMailIn(env).Sent()
 	if len(mails) != 1 {
 		t.Fatalf("sent %d mails, want 1", len(mails))
 	}
@@ -184,7 +184,7 @@ func TestYahooRejectsEmptyPassword(t *testing.T) {
 	if err := clickName(tab, "signin"); err != nil {
 		t.Fatal(err)
 	}
-	if env.Yahoo.Logins() != 0 {
+	if YahooIn(env).Logins() != 0 {
 		t.Error("login accepted with empty password")
 	}
 	if findFirst(tab, byID("loginerr")) == nil {
@@ -194,7 +194,7 @@ func TestYahooRejectsEmptyPassword(t *testing.T) {
 
 func TestEditSpreadsheetScenario(t *testing.T) {
 	env, _ := runScenario(t, EditSpreadsheetScenario())
-	if got := env.Docs.Cell("r2c2"); got != "42" {
+	if got := DocsIn(env).Cell("r2c2"); got != "42" {
 		t.Errorf("r2c2 = %q", got)
 	}
 }
@@ -210,17 +210,17 @@ func TestDocsSingleClickDoesNotEdit(t *testing.T) {
 	}
 	tab.TypeText("99")
 	pressEnter(tab)
-	if got := env.Docs.Cell("r2c2"); got != "" {
+	if got := DocsIn(env).Cell("r2c2"); got != "" {
 		t.Errorf("r2c2 = %q, want unchanged empty value", got)
 	}
 }
 
 func TestDocsKeepsOtherCells(t *testing.T) {
 	env, _ := runScenario(t, EditSpreadsheetScenario())
-	if got := env.Docs.Cell("r1c1"); got != "Item" {
+	if got := DocsIn(env).Cell("r1c1"); got != "Item" {
 		t.Errorf("r1c1 = %q, want seeded label", got)
 	}
-	if got := len(env.Docs.Cells()); got < 5 {
+	if got := len(DocsIn(env).Cells()); got < 5 {
 		t.Errorf("cells = %d, want seeded + edited", got)
 	}
 }
@@ -234,9 +234,9 @@ func TestSearchEnginesCorrectTypos(t *testing.T) {
 		engine    *SearchEngine
 		wantFixed bool
 	}{
-		{env.Google, true},  // query-level correction
-		{env.Bing, false},   // distance-1 corrector misses transpositions
-		{env.YSearch, true}, // distance-2 word corrector
+		{GoogleIn(env), true},  // query-level correction
+		{BingIn(env), false},   // distance-1 corrector misses transpositions
+		{YSearchIn(env), true}, // distance-2 word corrector
 	}
 	for _, c := range cases {
 		got, changed := c.engine.Correct(typoed)
@@ -265,14 +265,14 @@ func TestSearchScenarioRendersCorrectionBanner(t *testing.T) {
 	if got := strings.TrimSpace(banner.TextContent()); got != "facebook privacy settings" {
 		t.Errorf("banner = %q", got)
 	}
-	if qs := env.Google.Queries(); len(qs) != 1 || qs[0] != "facebook pricavy settings" {
+	if qs := GoogleIn(env).Queries(); len(qs) != 1 || qs[0] != "facebook pricavy settings" {
 		t.Errorf("served queries = %v", qs)
 	}
 }
 
 func TestSearchKnownQueryNotChanged(t *testing.T) {
 	env := NewEnv(browser.UserMode)
-	for _, e := range env.SearchEngines() {
+	for _, e := range SearchEnginesIn(env) {
 		got, changed := e.Correct("facebook privacy settings")
 		if changed {
 			t.Errorf("%s changed a correct query to %q", e.EngineName, got)
@@ -283,8 +283,8 @@ func TestSearchKnownQueryNotChanged(t *testing.T) {
 func TestEnvIsolation(t *testing.T) {
 	a := NewEnv(browser.UserMode)
 	b := NewEnv(browser.UserMode)
-	a.Sites.SetPageContent("home", "A")
-	if got := b.Sites.PageContent("home"); got != "" {
+	SitesIn(a).SetPageContent("home", "A")
+	if got := SitesIn(b).PageContent("home"); got != "" {
 		t.Errorf("env B sees env A's state: %q", got)
 	}
 	a.Clock.Advance(time.Hour)

@@ -7,8 +7,23 @@ import (
 	"sync"
 
 	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/webapp"
 )
+
+// docsApp is the Google Docs plugin; per-environment state is a fresh
+// *Docs.
+type docsApp struct{}
+
+func (docsApp) Name() string                { return DocsName }
+func (docsApp) Host() string                { return DocsHost }
+func (docsApp) StartURL() string            { return DocsURL }
+func (docsApp) NewState() registry.AppState { return NewDocs() }
+
+// DocsApp returns the Google Docs plugin.
+func DocsApp() registry.App { return docsApp{} }
+
+func init() { registry.MustRegisterApp(docsApp{}) }
 
 // Docs rows and columns of the simulated spreadsheet.
 const (
@@ -30,13 +45,18 @@ type Docs struct {
 	cells map[string]string
 }
 
-// NewDocs returns a spreadsheet with seeded first-column labels.
-func NewDocs() *Docs {
-	d := &Docs{cells: map[string]string{
+// docsSeed is the initial sheet: first-column labels only.
+func docsSeed() map[string]string {
+	return map[string]string{
 		"r1c1": "Item",
 		"r2c1": "Travel",
 		"r3c1": "Office",
-	}}
+	}
+}
+
+// NewDocs returns a spreadsheet with seeded first-column labels.
+func NewDocs() *Docs {
+	d := &Docs{cells: docsSeed()}
 	srv := webapp.NewServer("docs")
 	srv.Handle("/", d.sheet)
 	srv.Handle("/set", d.set)
@@ -46,6 +66,17 @@ func NewDocs() *Docs {
 
 // Server returns the application's HTTP handler.
 func (d *Docs) Server() *webapp.Server { return d.srv }
+
+// Handler implements registry.AppState.
+func (d *Docs) Handler() netsim.Handler { return d.srv }
+
+// Reset restores the seeded first-column labels of a fresh sheet.
+func (d *Docs) Reset() {
+	d.mu.Lock()
+	d.cells = docsSeed()
+	d.mu.Unlock()
+	d.srv.ResetSessions()
+}
 
 // Cell returns the stored value of the cell named e.g. "r1c2".
 func (d *Docs) Cell(name string) string {

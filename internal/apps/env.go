@@ -5,9 +5,11 @@
 // search engines of Table I (Google-, Bing-, and Yahoo-shaped typo
 // correctors).
 //
-// Each application is written against the webapp server framework and
-// runs real client-side code in the simulated browser. Every application
-// reproduces the specific property its experiment needs:
+// Each application is a self-contained registry.App plugin: it
+// registers itself into the default registry at init time, and every
+// environment instantiates fresh per-Env server state through the
+// plugin's NewState factory. Every application reproduces the specific
+// property its experiment needs:
 //
 //   - Sites loads its editor asynchronously, so an impatient user hits an
 //     uninitialized JavaScript variable — the bug the paper found (§V-C);
@@ -25,11 +27,10 @@
 package apps
 
 import (
-	"time"
+	"fmt"
 
 	"github.com/dslab-epfl/warr/internal/browser"
-	"github.com/dslab-epfl/warr/internal/netsim"
-	"github.com/dslab-epfl/warr/internal/vclock"
+	"github.com/dslab-epfl/warr/internal/registry"
 )
 
 // Application hosts. GMail is served over HTTPS, so a Fiddler-style proxy
@@ -58,56 +59,77 @@ const (
 // DefaultAJAXLatency is the one-way network latency for asynchronous
 // loads. The Sites editor takes this long to become usable after the Edit
 // click — the window in which timing errors strike (§V-B).
-const DefaultAJAXLatency = 150 * time.Millisecond
+const DefaultAJAXLatency = registry.DefaultAJAXLatency
 
-// Env bundles a fresh virtual clock, network, browser, and one instance
-// of every simulated application. Each Env is fully isolated; replaying a
-// trace in a new Env starts every application from its initial state.
-type Env struct {
-	Clock   *vclock.Clock
-	Network *netsim.Network
-	Browser *browser.Browser
+// Registered application names — the keys scenario oracles resolve
+// per-environment state by.
+const (
+	SitesName   = "Google Sites"
+	GMailName   = "GMail"
+	YahooName   = "Yahoo"
+	DocsName    = "Google Docs"
+	GoogleName  = "Google"
+	BingName    = "Bing"
+	YSearchName = "Yahoo!"
+)
 
-	Sites   *Sites
-	GMail   *GMail
-	Yahoo   *Yahoo
-	Docs    *Docs
-	Google  *SearchEngine
-	Bing    *SearchEngine
-	YSearch *SearchEngine
-}
+// Env is an isolated simulated world hosting registered applications; a
+// default environment carries every plugin of the default registry —
+// the demo applications above plus anything the process registered.
+type Env = registry.Env
 
-// NewEnv builds an isolated environment with all applications registered
-// on the network and a browser of the given mode.
+// Scenario is one scripted user session against a registered
+// application.
+type Scenario = registry.Scenario
+
+// NewEnv builds an isolated environment with every registered
+// application on the network and a browser of the given mode.
 func NewEnv(mode browser.Mode) *Env {
-	clock := vclock.New()
-	network := netsim.New(clock)
-	network.SetLatency(DefaultAJAXLatency)
-
-	e := &Env{
-		Clock:   clock,
-		Network: network,
-		Sites:   NewSites(),
-		GMail:   NewGMail(),
-		Yahoo:   NewYahoo(),
-		Docs:    NewDocs(),
-		Google:  NewGoogleSearch(),
-		Bing:    NewBingSearch(),
-		YSearch: NewYahooSearch(),
-	}
-	network.Register(SitesHost, e.Sites.Server())
-	network.Register(GMailHost, e.GMail.Server())
-	network.Register(YahooHost, e.Yahoo.Server())
-	network.Register(DocsHost, e.Docs.Server())
-	network.Register(GoogleHost, e.Google.Server())
-	network.Register(BingHost, e.Bing.Server())
-	network.Register(YSearchHost, e.YSearch.Server())
-
-	e.Browser = browser.New(clock, network, mode)
-	return e
+	return registry.MustNewEnv(mode)
 }
 
-// SearchEngines returns the three Table I engines in presentation order.
-func (e *Env) SearchEngines() []*SearchEngine {
-	return []*SearchEngine{e.Google, e.Bing, e.YSearch}
+// BrowserFactory returns a campaign EnvFactory over fresh default
+// environments of the given mode — the registry-backed form of
+// `func() *browser.Browser { return NewEnv(mode).Browser }`.
+func BrowserFactory(mode browser.Mode) func() *browser.Browser {
+	return registry.BrowserFactory(mode)
+}
+
+// stateIn resolves the typed per-environment state of a registered
+// application; demo oracles and experiments use the typed accessors
+// below.
+func stateIn[T registry.AppState](e *Env, name string) T {
+	st := e.MustState(name)
+	t, ok := st.(T)
+	if !ok {
+		panic(fmt.Sprintf("apps: state of %q is %T, not the expected type", name, st))
+	}
+	return t
+}
+
+// SitesIn returns the environment's Google Sites instance.
+func SitesIn(e *Env) *Sites { return stateIn[*Sites](e, SitesName) }
+
+// GMailIn returns the environment's GMail instance.
+func GMailIn(e *Env) *GMail { return stateIn[*GMail](e, GMailName) }
+
+// YahooIn returns the environment's Yahoo! portal instance.
+func YahooIn(e *Env) *Yahoo { return stateIn[*Yahoo](e, YahooName) }
+
+// DocsIn returns the environment's Google Docs instance.
+func DocsIn(e *Env) *Docs { return stateIn[*Docs](e, DocsName) }
+
+// GoogleIn returns the environment's Google-shaped search engine.
+func GoogleIn(e *Env) *SearchEngine { return stateIn[*SearchEngine](e, GoogleName) }
+
+// BingIn returns the environment's Bing-shaped search engine.
+func BingIn(e *Env) *SearchEngine { return stateIn[*SearchEngine](e, BingName) }
+
+// YSearchIn returns the environment's Yahoo-shaped search engine.
+func YSearchIn(e *Env) *SearchEngine { return stateIn[*SearchEngine](e, YSearchName) }
+
+// SearchEnginesIn returns the three Table I engines in presentation
+// order.
+func SearchEnginesIn(e *Env) []*SearchEngine {
+	return []*SearchEngine{GoogleIn(e), BingIn(e), YSearchIn(e)}
 }

@@ -6,8 +6,24 @@ import (
 	"sync/atomic"
 
 	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/webapp"
 )
+
+// gmailApp is the GMail plugin; per-environment state is a fresh
+// *GMail. The id counter stays process-global by design — that is the
+// stale-id property itself.
+type gmailApp struct{}
+
+func (gmailApp) Name() string                { return GMailName }
+func (gmailApp) Host() string                { return GMailHost }
+func (gmailApp) StartURL() string            { return GMailURL }
+func (gmailApp) NewState() registry.AppState { return NewGMail() }
+
+// GMailApp returns the GMail plugin.
+func GMailApp() registry.App { return gmailApp{} }
+
+func init() { registry.MustRegisterApp(gmailApp{}) }
 
 // Mail is one sent email.
 type Mail struct {
@@ -60,6 +76,18 @@ func NewGMail() *GMail {
 
 // Server returns the application's HTTP handler.
 func (g *GMail) Server() *webapp.Server { return g.srv }
+
+// Handler implements registry.AppState.
+func (g *GMail) Handler() netsim.Handler { return g.srv }
+
+// Reset drops all sent mail. The global id counter is deliberately not
+// reset — real GMail's generated ids never repeat either (§IV-C).
+func (g *GMail) Reset() {
+	g.mu.Lock()
+	g.sent = nil
+	g.mu.Unlock()
+	g.srv.ResetSessions()
+}
 
 // Sent returns a copy of all sent mails.
 func (g *GMail) Sent() []Mail {

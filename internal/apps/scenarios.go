@@ -2,60 +2,39 @@ package apps
 
 import (
 	"fmt"
-	"strings"
-	"time"
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/registry"
 )
 
-// Scenario pacing: users act a few hundred milliseconds apart, matching
-// the elapsed-tick magnitudes of the paper's Fig. 4 trace. ActionGap must
-// exceed DefaultAJAXLatency so patient users find asynchronously loaded
-// functionality ready.
+// Scenario pacing, re-exported from the registry: users act a few
+// hundred milliseconds apart, matching the elapsed-tick magnitudes of
+// the paper's Fig. 4 trace. ActionGap must exceed DefaultAJAXLatency so
+// patient users find asynchronously loaded functionality ready.
 const (
-	ActionGap = 300 * time.Millisecond
-	KeyGap    = 200 * time.Millisecond
+	ActionGap = registry.ActionGap
+	KeyGap    = registry.KeyGap
 )
 
-// Scenario is one scripted user session: the workloads of Table II and
-// the §VI overhead experiment. Run drives hardware-level input against a
-// tab already on StartURL; Verify is the test oracle deciding whether the
-// session's observable effect happened (it is applied to the recording
-// environment and again to any environment a trace was replayed in).
-type Scenario struct {
-	// Name is the interaction, e.g. "Edit site" (Table II's Scenario column).
-	Name string
-	// App is the application, e.g. "Google Sites" (Table II's Application column).
-	App string
-	// StartURL is the page the session starts on.
-	StartURL string
-	// Run performs the user actions.
-	Run func(env *Env, tab *browser.Tab) error
-	// Verify checks the session's effect on the application.
-	Verify func(env *Env, tab *browser.Tab) error
+func init() {
+	// The Table II workloads, in the paper's row order. Registered
+	// names are what warr-record, warr-replay, and weberr accept.
+	registry.MustRegisterScenario("edit-site", EditSiteScenario)
+	registry.MustRegisterScenario("compose-email", ComposeEmailScenario)
+	registry.MustRegisterScenario("authenticate", AuthenticateScenario)
+	registry.MustRegisterScenario("edit-spreadsheet", EditSpreadsheetScenario)
 }
 
-// ScenarioByName resolves a command-line scenario name.
+// ScenarioByName resolves a command-line scenario name against the
+// default registry.
 func ScenarioByName(name string) (Scenario, bool) {
-	switch name {
-	case "edit-site":
-		return EditSiteScenario(), true
-	case "compose-email":
-		return ComposeEmailScenario(), true
-	case "authenticate":
-		return AuthenticateScenario(), true
-	case "edit-spreadsheet":
-		return EditSpreadsheetScenario(), true
-	default:
-		return Scenario{}, false
-	}
+	sc, err := registry.LookupScenario(name)
+	return sc, err == nil
 }
 
-// ScenarioNames lists the names ScenarioByName accepts.
-func ScenarioNames() []string {
-	return []string{"edit-site", "compose-email", "authenticate", "edit-spreadsheet"}
-}
+// ScenarioNames lists the registered scenario names.
+func ScenarioNames() []string { return registry.ScenarioNames() }
 
 // TableIIScenarios returns the four recording-fidelity scenarios in the
 // paper's row order: Google Sites / Edit site, GMail / Compose email,
@@ -70,31 +49,24 @@ func TableIIScenarios() []Scenario {
 }
 
 // EditSiteScenario is the Fig. 4 session: open the Google Sites editor,
-// wait for it to load, type "Hello world!", and save.
+// wait for it to load, type "Hello world!", and save. The Pause after
+// the Edit click is the patient user's wait (ActionGap > the AJAX
+// latency); the editor focuses itself when ready.
 func EditSiteScenario() Scenario {
 	const text = "Hello world!"
-	return Scenario{
-		Name:     "Edit site",
-		App:      "Google Sites",
-		StartURL: SitesURL,
-		Run: func(env *Env, tab *browser.Tab) error {
-			if err := clickID(tab, "start"); err != nil {
-				return err
-			}
-			// A patient user waits for the editor to load (ActionGap >
-			// the AJAX latency); the editor focuses itself when ready.
-			tab.AdvanceTime(ActionGap)
-			typeSlow(tab, text, KeyGap)
-			tab.AdvanceTime(ActionGap)
-			return clickText(tab, "div", "Save")
-		},
-		Verify: func(env *Env, tab *browser.Tab) error {
-			if got := env.Sites.PageContent("home"); got != text {
+	return registry.NewScenario(SitesApp(), "Edit site").
+		ClickID("start").
+		Pause().
+		Type(text).
+		Pause().
+		ClickText("div", "Save").
+		Verify(func(env *Env, tab *browser.Tab) error {
+			if got := SitesIn(env).PageContent("home"); got != text {
 				return fmt.Errorf("sites page content = %q, want %q", got, text)
 			}
 			return nil
-		},
-	}
+		}).
+		MustBuild()
 }
 
 // ComposeEmailScenario composes and sends a GMail message: open the
@@ -102,38 +74,23 @@ func EditSiteScenario() Scenario {
 // message area, drag the compose window header aside, and send.
 func ComposeEmailScenario() Scenario {
 	want := Mail{To: "alice", Subject: "Hi", Body: "Lunch?"}
-	return Scenario{
-		Name:     "Compose email",
-		App:      "GMail",
-		StartURL: GMailURL,
-		Run: func(env *Env, tab *browser.Tab) error {
-			if err := clickName(tab, "compose"); err != nil {
-				return err
-			}
-			tab.AdvanceTime(ActionGap)
-			if err := clickName(tab, "to"); err != nil {
-				return err
-			}
-			typeSlow(tab, want.To, KeyGap)
-			tab.AdvanceTime(ActionGap)
-			if err := clickName(tab, "subject"); err != nil {
-				return err
-			}
-			typeSlow(tab, want.Subject, KeyGap)
-			tab.AdvanceTime(ActionGap)
-			if err := clickName(tab, "body"); err != nil {
-				return err
-			}
-			typeSlow(tab, want.Body, KeyGap)
-			tab.AdvanceTime(ActionGap)
-			if err := dragName(tab, "composehdr", 30, 20); err != nil {
-				return err
-			}
-			tab.AdvanceTime(ActionGap)
-			return clickName(tab, "send")
-		},
-		Verify: func(env *Env, tab *browser.Tab) error {
-			got, ok := env.GMail.LastSent()
+	return registry.NewScenario(GMailApp(), "Compose email").
+		ClickName("compose").
+		Pause().
+		ClickName("to").
+		Type(want.To).
+		Pause().
+		ClickName("subject").
+		Type(want.Subject).
+		Pause().
+		ClickName("body").
+		Type(want.Body).
+		Pause().
+		DragName("composehdr", 30, 20).
+		Pause().
+		ClickName("send").
+		Verify(func(env *Env, tab *browser.Tab) error {
+			got, ok := GMailIn(env).LastSent()
 			if !ok {
 				return fmt.Errorf("no mail was sent")
 			}
@@ -141,38 +98,29 @@ func ComposeEmailScenario() Scenario {
 				return fmt.Errorf("sent mail = %+v, want %+v", got, want)
 			}
 			return nil
-		},
-	}
+		}).
+		MustBuild()
 }
 
 // AuthenticateScenario signs in to the Yahoo! portal through its login
 // form — plain form controls throughout.
 func AuthenticateScenario() Scenario {
 	const user, pass = "silviu", "epfl2011"
-	return Scenario{
-		Name:     "Authenticate",
-		App:      "Yahoo",
-		StartURL: YahooURL,
-		Run: func(env *Env, tab *browser.Tab) error {
-			if err := clickID(tab, "u"); err != nil {
-				return err
-			}
-			typeSlow(tab, user, KeyGap)
-			tab.AdvanceTime(ActionGap)
-			if err := clickID(tab, "p"); err != nil {
-				return err
-			}
-			typeSlow(tab, pass, KeyGap)
-			tab.AdvanceTime(ActionGap)
-			return clickName(tab, "signin")
-		},
-		Verify: func(env *Env, tab *browser.Tab) error {
-			if got := env.Yahoo.Logins(); got != 1 {
+	return registry.NewScenario(YahooApp(), "Authenticate").
+		ClickID("u").
+		Type(user).
+		Pause().
+		ClickID("p").
+		Type(pass).
+		Pause().
+		ClickName("signin").
+		Verify(func(env *Env, tab *browser.Tab) error {
+			if got := YahooIn(env).Logins(); got != 1 {
 				return fmt.Errorf("logins = %d, want 1", got)
 			}
 			return nil
-		},
-	}
+		}).
+		MustBuild()
 }
 
 // EditSpreadsheetScenario edits two Google Docs cells: double-click to
@@ -182,157 +130,79 @@ func EditSpreadsheetScenario() Scenario {
 		{"r2c2", "42"},
 		{"r3c2", "350"},
 	}
-	return Scenario{
-		Name:     "Edit spreadsheet",
-		App:      "Google Docs",
-		StartURL: DocsURL,
-		Run: func(env *Env, tab *browser.Tab) error {
-			for _, e := range edits {
-				if err := doubleClickID(tab, e.cell); err != nil {
-					return err
-				}
-				tab.AdvanceTime(ActionGap)
-				typeSlow(tab, e.value, KeyGap)
-				tab.AdvanceTime(KeyGap)
-				pressEnter(tab)
-				tab.AdvanceTime(ActionGap)
-			}
-			return nil
-		},
-		Verify: func(env *Env, tab *browser.Tab) error {
-			for _, e := range edits {
-				if got := env.Docs.Cell(e.cell); got != e.value {
-					return fmt.Errorf("cell %s = %q, want %q", e.cell, got, e.value)
-				}
-			}
-			return nil
-		},
+	b := registry.NewScenario(DocsApp(), "Edit spreadsheet")
+	for _, e := range edits {
+		b.DoubleClickID(e.cell).
+			Pause().
+			Type(e.value).
+			Wait(KeyGap).
+			PressEnter().
+			Pause()
 	}
+	return b.Verify(func(env *Env, tab *browser.Tab) error {
+		for _, e := range edits {
+			if got := DocsIn(env).Cell(e.cell); got != e.value {
+				return fmt.Errorf("cell %s = %q, want %q", e.cell, got, e.value)
+			}
+		}
+		return nil
+	}).MustBuild()
 }
 
 // SearchScenario types a query into the engine at startURL and submits
-// the search — the Table I workload.
+// the search — the Table I workload, instantiated per engine.
 func SearchScenario(startURL, query string) Scenario {
-	return Scenario{
-		Name:     "Search",
-		App:      "Search engine",
-		StartURL: startURL,
-		Run: func(env *Env, tab *browser.Tab) error {
-			if err := clickID(tab, "q"); err != nil {
-				return err
-			}
-			typeSlow(tab, query, KeyGap)
-			tab.AdvanceTime(KeyGap)
-			return clickName(tab, "btn")
-		},
-		Verify: func(env *Env, tab *browser.Tab) error {
+	return registry.NewScenarioAt("Search engine", "Search", startURL).
+		ClickID("q").
+		Type(query).
+		Wait(KeyGap).
+		ClickName("btn").
+		Verify(func(env *Env, tab *browser.Tab) error {
 			if el := findFirst(tab, byID("query")); el == nil {
 				return fmt.Errorf("no results page rendered")
 			}
 			return nil
-		},
-	}
+		}).
+		MustBuild()
 }
 
-// ---- input helpers (hardware-level, so the engine recorder sees them) ----
+// ---- input helpers over the registry's locators and steps ----
+//
+// These drive the tab's hardware input path directly (so the engine
+// recorder sees them) without going through a Scenario; the package's
+// tests use them to script partial or deliberately erroneous sessions.
 
-// nodePredicate selects a target element.
-type nodePredicate func(*dom.Node) bool
-
-func byID(id string) nodePredicate {
-	return func(n *dom.Node) bool { return n.Type == dom.ElementNode && n.ID() == id }
-}
-
-func byName(name string) nodePredicate {
-	return func(n *dom.Node) bool {
-		return n.Type == dom.ElementNode && n.AttrOr("name", "") == name
-	}
-}
-
-func byTagText(tag, text string) nodePredicate {
-	return func(n *dom.Node) bool {
-		return n.Type == dom.ElementNode && n.Tag == tag &&
-			strings.TrimSpace(n.TextContent()) == text
-	}
-}
+func byID(id string) registry.Locator     { return registry.ByID(id) }
+func byName(name string) registry.Locator { return registry.ByName(name) }
 
 // locate finds the first matching element across all frames, returning
 // its frame.
-func locate(tab *browser.Tab, pred nodePredicate) (*browser.Frame, *dom.Node) {
-	for _, f := range tab.MainFrame().Descendants() {
-		if f.Doc() == nil {
-			continue
-		}
-		if n := f.Doc().Root().Find(pred); n != nil {
-			return f, n
-		}
-	}
-	return nil, nil
+func locate(tab *browser.Tab, l registry.Locator) (*browser.Frame, *dom.Node) {
+	return registry.Locate(tab, l)
 }
 
-func findFirst(tab *browser.Tab, pred nodePredicate) *dom.Node {
-	_, n := locate(tab, pred)
-	return n
-}
-
-// clickAt clicks the center of the located element through the tab's
-// hardware input path.
-func clickAt(tab *browser.Tab, pred nodePredicate, what string, double bool) error {
-	frame, n := locate(tab, pred)
-	if n == nil {
-		return fmt.Errorf("apps: no element %s on %s", what, tab.URL())
-	}
-	x, y, ok := tab.AbsoluteCenter(frame, n)
-	if !ok {
-		return fmt.Errorf("apps: element %s has no layout box", what)
-	}
-	if double {
-		tab.DoubleClick(x, y)
-	} else {
-		tab.Click(x, y)
-	}
-	return nil
+func findFirst(tab *browser.Tab, l registry.Locator) *dom.Node {
+	return registry.Find(tab, l)
 }
 
 func clickID(tab *browser.Tab, id string) error {
-	return clickAt(tab, byID(id), "#"+id, false)
+	return registry.ClickStep{Target: registry.ByID(id)}.Do(nil, tab)
 }
 
 func clickName(tab *browser.Tab, name string) error {
-	return clickAt(tab, byName(name), "[name="+name+"]", false)
+	return registry.ClickStep{Target: registry.ByName(name)}.Do(nil, tab)
 }
 
 func clickText(tab *browser.Tab, tag, text string) error {
-	return clickAt(tab, byTagText(tag, text), tag+"["+text+"]", false)
-}
-
-func doubleClickID(tab *browser.Tab, id string) error {
-	return clickAt(tab, byID(id), "#"+id, true)
+	return registry.ClickStep{Target: registry.ByTagText(tag, text)}.Do(nil, tab)
 }
 
 // dragName drags the located element by (dx, dy).
 func dragName(tab *browser.Tab, name string, dx, dy int) error {
-	frame, n := locate(tab, byName(name))
-	if n == nil {
-		return fmt.Errorf("apps: no element [name=%s] on %s", name, tab.URL())
-	}
-	x, y, ok := tab.AbsoluteCenter(frame, n)
-	if !ok {
-		return fmt.Errorf("apps: element [name=%s] has no layout box", name)
-	}
-	tab.Drag(x, y, dx, dy)
-	return nil
-}
-
-// typeSlow types text one keystroke per gap of virtual time, giving the
-// recorded trace realistic per-key elapsed ticks.
-func typeSlow(tab *browser.Tab, text string, gap time.Duration) {
-	for _, ch := range text {
-		tab.AdvanceTime(gap)
-		tab.TypeText(string(ch))
-	}
+	return registry.DragStep{Target: registry.ByName(name), DX: dx, DY: dy}.Do(nil, tab)
 }
 
 func pressEnter(tab *browser.Tab) {
-	tab.PressKey(browser.KeyEnter, browser.NamedKeyCode(browser.KeyEnter), browser.KeyMods{})
+	// KeyStep.Do cannot fail for a known key.
+	_ = registry.KeyStep{Key: browser.KeyEnter}.Do(nil, tab)
 }

@@ -7,9 +7,43 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/humanerr"
 	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/spell"
 	"github.com/dslab-epfl/warr/internal/webapp"
 )
+
+// searchApp is one Table I engine plugin; the three engines share the
+// *SearchEngine state type and differ in corrector construction.
+type searchApp struct {
+	name, host, url string
+	newState        func() *SearchEngine
+}
+
+func (a searchApp) Name() string                { return a.name }
+func (a searchApp) Host() string                { return a.host }
+func (a searchApp) StartURL() string            { return a.url }
+func (a searchApp) NewState() registry.AppState { return a.newState() }
+
+// GoogleSearchApp returns the Google-shaped engine plugin.
+func GoogleSearchApp() registry.App {
+	return searchApp{GoogleName, GoogleHost, GoogleURL, NewGoogleSearch}
+}
+
+// BingSearchApp returns the Bing-shaped engine plugin.
+func BingSearchApp() registry.App {
+	return searchApp{BingName, BingHost, BingURL, NewBingSearch}
+}
+
+// YahooSearchApp returns the Yahoo-shaped engine plugin.
+func YahooSearchApp() registry.App {
+	return searchApp{YSearchName, YSearchHost, YSearchURL, NewYahooSearch}
+}
+
+func init() {
+	registry.MustRegisterApp(GoogleSearchApp())
+	registry.MustRegisterApp(BingSearchApp())
+	registry.MustRegisterApp(YahooSearchApp())
+}
 
 // Correcting is the spelling-correction strategy a search engine plugs
 // in. Both spell.Corrector (word-level) and spell.QueryCorrector
@@ -102,6 +136,18 @@ func newSearchEngine(name string, c Correcting) *SearchEngine {
 
 // Server returns the engine's HTTP handler.
 func (e *SearchEngine) Server() *webapp.Server { return e.srv }
+
+// Handler implements registry.AppState.
+func (e *SearchEngine) Handler() netsim.Handler { return e.srv }
+
+// Reset forgets the served queries; the immutable language model is
+// shared process-wide and needs no resetting.
+func (e *SearchEngine) Reset() {
+	e.mu.Lock()
+	e.queries = nil
+	e.mu.Unlock()
+	e.srv.ResetSessions()
+}
 
 // Queries returns the queries the engine has served, in order.
 func (e *SearchEngine) Queries() []string {

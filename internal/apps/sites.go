@@ -5,8 +5,23 @@ import (
 	"sync"
 
 	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/webapp"
 )
+
+// sitesApp is the Google Sites plugin; per-environment state is a
+// fresh *Sites.
+type sitesApp struct{}
+
+func (sitesApp) Name() string                { return SitesName }
+func (sitesApp) Host() string                { return SitesHost }
+func (sitesApp) StartURL() string            { return SitesURL }
+func (sitesApp) NewState() registry.AppState { return NewSites() }
+
+// SitesApp returns the Google Sites plugin.
+func SitesApp() registry.App { return sitesApp{} }
+
+func init() { registry.MustRegisterApp(sitesApp{}) }
 
 // Sites simulates Google Sites: a web hosting application whose pages are
 // edited through a rich in-page editor. The editor's functionality loads
@@ -40,6 +55,18 @@ func NewSites() *Sites {
 
 // Server returns the application's HTTP handler.
 func (s *Sites) Server() *webapp.Server { return s.srv }
+
+// Handler implements registry.AppState.
+func (s *Sites) Handler() netsim.Handler { return s.srv }
+
+// Reset restores the one empty "home" page of a fresh instance.
+func (s *Sites) Reset() {
+	s.mu.Lock()
+	s.pages = map[string]string{"home": ""}
+	s.saves = 0
+	s.mu.Unlock()
+	s.srv.ResetSessions()
+}
 
 // PageContent returns the stored content of the named page.
 func (s *Sites) PageContent(name string) string {

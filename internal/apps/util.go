@@ -1,16 +1,13 @@
 package apps
 
-import "strings"
+import (
+	"strings"
 
-var htmlEscaper = strings.NewReplacer(
-	"&", "&amp;",
-	"<", "&lt;",
-	">", "&gt;",
-	`"`, "&quot;",
+	"github.com/dslab-epfl/warr/internal/webapp"
 )
 
 // htmlEscape escapes text for safe inclusion in HTML content.
-func htmlEscape(s string) string { return htmlEscaper.Replace(s) }
+func htmlEscape(s string) string { return webapp.HTMLEscape(s) }
 
 // replaceOnce replaces the first occurrence of old with new and panics if
 // old is absent — the templates in this package are static, so a miss is a

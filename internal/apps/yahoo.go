@@ -5,8 +5,23 @@ import (
 	"sync"
 
 	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/webapp"
 )
+
+// yahooApp is the Yahoo! portal plugin; per-environment state is a
+// fresh *Yahoo.
+type yahooApp struct{}
+
+func (yahooApp) Name() string                { return YahooName }
+func (yahooApp) Host() string                { return YahooHost }
+func (yahooApp) StartURL() string            { return YahooURL }
+func (yahooApp) NewState() registry.AppState { return NewYahoo() }
+
+// YahooApp returns the Yahoo! portal plugin.
+func YahooApp() registry.App { return yahooApp{} }
+
+func init() { registry.MustRegisterApp(yahooApp{}) }
 
 // Yahoo simulates the Yahoo! web portal. Its authentication scenario is a
 // plain HTML form — stable ids, standard input elements, a submit button.
@@ -32,6 +47,17 @@ func NewYahoo() *Yahoo {
 
 // Server returns the application's HTTP handler.
 func (y *Yahoo) Server() *webapp.Server { return y.srv }
+
+// Handler implements registry.AppState.
+func (y *Yahoo) Handler() netsim.Handler { return y.srv }
+
+// Reset signs every user out and forgets the login count.
+func (y *Yahoo) Reset() {
+	y.mu.Lock()
+	y.logins = 0
+	y.mu.Unlock()
+	y.srv.ResetSessions()
+}
 
 // Logins returns how many successful sign-ins the portal has handled.
 func (y *Yahoo) Logins() int {

@@ -87,7 +87,7 @@ func TestSeleniumMissesSpreadsheetEdits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := replayEnv.Docs.Cell("r2c2"); got == "42" {
+	if got := apps.DocsIn(replayEnv).Cell("r2c2"); got == "42" {
 		t.Error("baseline replay unexpectedly reproduced the cell edit")
 	}
 }

@@ -29,6 +29,8 @@ import (
 // under test reachable on its network). It is called once per job, from
 // worker goroutines, and must therefore be safe for concurrent use —
 // which it is by construction when every call builds a new environment.
+// registry.BrowserFactory derives one from any app selection; callers
+// no longer hand-roll closures over package-level application vars.
 type EnvFactory func() *browser.Browser
 
 // Job is one unit of campaign work: a trace to replay plus caller

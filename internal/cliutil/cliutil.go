@@ -1,0 +1,43 @@
+// Package cliutil shares the registry listing the warr command-line
+// tools print for -list, so the three faces cannot drift apart.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dslab-epfl/warr/internal/registry"
+)
+
+// PrintApps lists the registered applications in registration order
+// under the given heading.
+func PrintApps(w io.Writer, heading string) {
+	fmt.Fprintln(w, heading)
+	for _, a := range registry.Apps() {
+		fmt.Fprintf(w, "  %-16s %-22s %s\n", a.Name(), a.Host(), a.StartURL())
+	}
+}
+
+// PrintScenarios lists the registered scenarios under the given
+// heading; withSteps adds each scenario's typed step list.
+func PrintScenarios(w io.Writer, heading string, withSteps bool) {
+	fmt.Fprintln(w, heading)
+	for _, name := range registry.ScenarioNames() {
+		sc, err := registry.LookupScenario(name)
+		if err != nil {
+			fmt.Fprintf(w, "  %-18s (unresolvable: %v)\n", name, err)
+			continue
+		}
+		switch {
+		case len(sc.Steps) > 0:
+			fmt.Fprintf(w, "  %-18s %s / %s (%d steps)\n", name, sc.App, sc.Name, len(sc.Steps))
+		default:
+			fmt.Fprintf(w, "  %-18s %s / %s (custom Run)\n", name, sc.App, sc.Name)
+		}
+		if withSteps {
+			for _, step := range sc.Steps {
+				fmt.Fprintf(w, "      %s\n", step)
+			}
+		}
+	}
+}

@@ -71,7 +71,7 @@ func Campaign(sc apps.Scenario, parallelism int) (CampaignRow, error) {
 	if err != nil {
 		return row, err
 	}
-	fresh := func() *browser.Browser { return apps.NewEnv(browser.DeveloperMode).Browser }
+	fresh := apps.BrowserFactory(browser.DeveloperMode)
 	tree, err := weberr.InferTaskTree(fresh, rec.Trace)
 	if err != nil {
 		return row, fmt.Errorf("experiments: campaign %s: %w", sc.Name, err)

@@ -22,41 +22,25 @@ import (
 	"github.com/dslab-epfl/warr/internal/apps"
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/command"
-	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/record"
 	"github.com/dslab-epfl/warr/internal/replayer"
 )
 
-// Recorded is the outcome of recording one scenario.
-type Recorded struct {
-	Trace command.Trace
-	Stats core.Stats
-	// Env and Tab are the live recording environment (for oracles that
-	// inspect the original session).
-	Env *apps.Env
-	Tab *browser.Tab
-}
+// Recorded is the outcome of recording one scenario: the trace,
+// recorder stats, and the live recording environment (for oracles that
+// inspect the original session).
+type Recorded = record.Recorded
 
 // RecordScenario runs a scenario in a fresh user-mode environment with
-// the WaRR Recorder attached and returns the trace plus recorder stats.
+// the WaRR Recorder attached — the shared record path, with the live
+// session's oracle required to pass — and returns the trace plus
+// recorder stats.
 func RecordScenario(sc apps.Scenario) (*Recorded, error) {
-	env := apps.NewEnv(browser.UserMode)
-	tab := env.Browser.NewTab()
-	if err := tab.Navigate(sc.StartURL); err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", sc.Name, err)
+	rec, err := record.Record(sc, record.Options{VerifyLive: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	rec := core.New(env.Clock)
-	rec.Attach(tab)
-	if err := sc.Run(env, tab); err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", sc.Name, err)
-	}
-	if err := sc.Verify(env, tab); err != nil {
-		return nil, fmt.Errorf("experiments: %s: live session failed: %w", sc.Name, err)
-	}
-	// Stop recording before handing the tab out: callers keep using the
-	// environment (oracles, further interaction), and those actions must
-	// not leak into the returned trace.
-	rec.Detach()
-	return &Recorded{Trace: rec.Trace(), Stats: rec.Stats(), Env: env, Tab: tab}, nil
+	return rec, nil
 }
 
 // ReplayTrace replays a trace in a fresh environment of the given mode

@@ -59,9 +59,7 @@ func Fig6Tree() (*weberr.TaskTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return weberr.InferTaskTree(func() *browser.Browser {
-		return apps.NewEnv(browser.DeveloperMode).Browser
-	}, rec.Trace)
+	return weberr.InferTaskTree(apps.BrowserFactory(browser.DeveloperMode), rec.Trace)
 }
 
 // Fig6Grammar returns the user-interaction grammar derived from the

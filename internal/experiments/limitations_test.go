@@ -57,7 +57,7 @@ func TestSingleUserPerspectiveLimitation(t *testing.T) {
 	live := apps.NewEnv(browser.UserMode)
 	aliceTrace := editAs(t, live, "+alice")
 	bobTrace := editAs(t, live, "+bob")
-	if got := live.Sites.PageContent("home"); got != "+alice+bob" {
+	if got := apps.SitesIn(live).PageContent("home"); got != "+alice+bob" {
 		t.Fatalf("live content = %q, want %q", got, "+alice+bob")
 	}
 
@@ -83,7 +83,7 @@ func TestSingleUserPerspectiveLimitation(t *testing.T) {
 				t.Fatalf("replay incomplete: %+v", res.Steps)
 			}
 		}
-		return env.Sites.PageContent("home")
+		return apps.SitesIn(env).PageContent("home")
 	}
 	ab := replayBoth(aliceTrace, bobTrace)
 	ba := replayBoth(bobTrace, aliceTrace)

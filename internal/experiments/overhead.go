@@ -72,9 +72,7 @@ func SitesBug() (SitesBugResult, error) {
 	if err != nil {
 		return SitesBugResult{}, err
 	}
-	rep := weberr.RunTimingCampaign(func() *browser.Browser {
-		return apps.NewEnv(browser.DeveloperMode).Browser
-	}, rec.Trace, weberr.CampaignOptions{})
+	rep := weberr.RunTimingCampaign(apps.BrowserFactory(browser.DeveloperMode), rec.Trace, weberr.CampaignOptions{})
 
 	out := SitesBugResult{Report: rep}
 	for _, f := range rep.Findings {

@@ -43,7 +43,7 @@ type Table1Options struct {
 
 // table1Engines pairs the engines with their start URLs in presentation
 // order.
-func table1Engines(env *apps.Env) []struct {
+func table1Engines() []struct {
 	name string
 	url  string
 } {
@@ -51,9 +51,9 @@ func table1Engines(env *apps.Env) []struct {
 		name string
 		url  string
 	}{
-		{env.Google.EngineName, apps.GoogleURL},
-		{env.Bing.EngineName, apps.BingURL},
-		{env.YSearch.EngineName, apps.YSearchURL},
+		{apps.GoogleName, apps.GoogleURL},
+		{apps.BingName, apps.BingURL},
+		{apps.YSearchName, apps.YSearchURL},
 	}
 }
 
@@ -68,9 +68,8 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 		queries = humanerr.Queries186
 	}
 
-	names := apps.NewEnv(browser.UserMode)
 	var rows []Table1Row
-	for _, eng := range table1Engines(names) {
+	for _, eng := range table1Engines() {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		row := Table1Row{Engine: eng.name, Queries: len(queries)}
 		for _, q := range queries {

@@ -1,0 +1,108 @@
+package record
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/registry"
+)
+
+// This file is the one record path every tool shares: create (or adopt)
+// an environment, navigate a tab to the scenario's start page, attach
+// the WaRR Recorder, run the scenario, and detach before returning —
+// so the recorder can never keep logging into a returned trace while
+// the caller goes on using the tab. RecordSession (public API),
+// experiments.RecordScenario, warr-record's nondet flow, and the golden
+// corpus recorder are all thin wrappers over Record.
+
+// Options configure Record.
+type Options struct {
+	// Mode is the browser build of the recording environment; zero
+	// means UserMode — recording is what ordinary users' browsers do.
+	Mode browser.Mode
+	// Env, when set, is the environment to record in; nil builds a
+	// fresh default-registry environment of the given Mode.
+	Env *registry.Env
+	// Nondet attaches a nondeterminism log (timers, network exchanges)
+	// for the session; the annotated trace is available through
+	// Recorded.Annotated.
+	Nondet bool
+	// VerifyLive applies the scenario's oracle to the live recording
+	// session before returning; a failing oracle fails the recording.
+	VerifyLive bool
+}
+
+// Recorded is the outcome of recording one scenario.
+type Recorded struct {
+	// Trace is the recorded command trace.
+	Trace command.Trace
+	// Stats reports the recorder's own overhead (§VI).
+	Stats core.Stats
+	// Env and Tab are the live recording environment, for oracles that
+	// inspect the original session. The recorder is already detached.
+	Env *registry.Env
+	Tab *browser.Tab
+	// Nondet is the attached nondeterminism log (nil unless requested).
+	Nondet *core.NondetLog
+	// Start is the virtual time recording began at (for Annotated).
+	Start time.Time
+}
+
+// Annotated interleaves the logged nondeterminism events into the
+// recorded trace as comment lines; it returns "" when no log was
+// attached.
+func (r *Recorded) Annotated() string {
+	if r.Nondet == nil {
+		return ""
+	}
+	return r.Nondet.Annotate(r.Trace, r.Start)
+}
+
+// Record records a scenario end to end and returns the trace with the
+// live session around it.
+func Record(sc registry.Scenario, opts Options) (*Recorded, error) {
+	mode := opts.Mode
+	if mode == 0 {
+		mode = browser.UserMode
+	}
+	env := opts.Env
+	if env == nil {
+		env = registry.MustNewEnv(mode)
+	}
+	var log *core.NondetLog
+	if opts.Nondet {
+		log = core.NewNondetLog(env.Clock)
+		env.Network.AddObserver(log)
+	}
+	tab := env.Browser.NewTab()
+	if err := tab.Navigate(sc.StartURL); err != nil {
+		return nil, fmt.Errorf("recording %s: %w", sc.Name, err)
+	}
+	rec := core.New(env.Clock)
+	rec.Attach(tab)
+	// Detach before returning — on every path, including errors: the
+	// recorder must not keep logging into the returned trace if the
+	// caller goes on using the tab.
+	defer rec.Detach()
+	start := env.Clock.Now()
+	if err := sc.Run(env, tab); err != nil {
+		return nil, fmt.Errorf("recording %s: %w", sc.Name, err)
+	}
+	if opts.VerifyLive {
+		if err := sc.Verify(env, tab); err != nil {
+			return nil, fmt.Errorf("recording %s: live session failed: %w", sc.Name, err)
+		}
+	}
+	rec.Detach()
+	return &Recorded{
+		Trace:  rec.Trace(),
+		Stats:  rec.Stats(),
+		Env:    env,
+		Tab:    tab,
+		Nondet: log,
+		Start:  start,
+	}, nil
+}

@@ -1,0 +1,167 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+)
+
+// ScenarioBuilder assembles a Scenario declaratively: each call appends
+// one typed step, Verify installs the oracle, and Build returns the
+// finished value. It replaces hand-rolled Run closures with an
+// introspectable step list — the replay tools can show what a workload
+// does without running it.
+//
+//	sc := registry.NewScenario(calendarApp, "Create event").
+//		ClickID("new").
+//		Pause().
+//		Type("Standup").
+//		ClickName("save").
+//		Verify(eventWasStored).
+//		MustBuild()
+type ScenarioBuilder struct {
+	sc   Scenario
+	errs []error
+}
+
+// NewScenario starts a builder for a session against app, starting at
+// the app's start URL.
+func NewScenario(app App, name string) *ScenarioBuilder {
+	b := &ScenarioBuilder{}
+	if app == nil {
+		b.errs = append(b.errs, fmt.Errorf("scenario %q: nil app", name))
+		b.sc = Scenario{Name: name}
+		return b
+	}
+	b.sc = Scenario{Name: name, App: app.Name(), StartURL: app.StartURL()}
+	return b
+}
+
+// NewScenarioAt starts a builder with an explicit application name and
+// start URL — for parameterized workloads (e.g. the Table I search
+// scenario, instantiated per engine) or apps not represented by an App
+// value.
+func NewScenarioAt(appName, name, startURL string) *ScenarioBuilder {
+	return &ScenarioBuilder{sc: Scenario{Name: name, App: appName, StartURL: startURL}}
+}
+
+// StartAt overrides the start URL.
+func (b *ScenarioBuilder) StartAt(url string) *ScenarioBuilder {
+	b.sc.StartURL = url
+	return b
+}
+
+// AddStep appends any Step — the extension point for custom step types.
+func (b *ScenarioBuilder) AddStep(s Step) *ScenarioBuilder {
+	if s == nil {
+		b.errs = append(b.errs, fmt.Errorf("scenario %q: nil step", b.sc.Name))
+		return b
+	}
+	b.sc.Steps = append(b.sc.Steps, s)
+	return b
+}
+
+// Click clicks the located element.
+func (b *ScenarioBuilder) Click(l Locator) *ScenarioBuilder {
+	return b.AddStep(ClickStep{Target: l})
+}
+
+// ClickID clicks the element with the given id.
+func (b *ScenarioBuilder) ClickID(id string) *ScenarioBuilder { return b.Click(ByID(id)) }
+
+// ClickName clicks the element with the given name attribute.
+func (b *ScenarioBuilder) ClickName(name string) *ScenarioBuilder { return b.Click(ByName(name)) }
+
+// ClickText clicks the tag element with the given trimmed text.
+func (b *ScenarioBuilder) ClickText(tag, text string) *ScenarioBuilder {
+	return b.Click(ByTagText(tag, text))
+}
+
+// DoubleClick double-clicks the located element.
+func (b *ScenarioBuilder) DoubleClick(l Locator) *ScenarioBuilder {
+	return b.AddStep(ClickStep{Target: l, Double: true})
+}
+
+// DoubleClickID double-clicks the element with the given id.
+func (b *ScenarioBuilder) DoubleClickID(id string) *ScenarioBuilder {
+	return b.DoubleClick(ByID(id))
+}
+
+// Drag drags the located element by (dx, dy).
+func (b *ScenarioBuilder) Drag(l Locator, dx, dy int) *ScenarioBuilder {
+	return b.AddStep(DragStep{Target: l, DX: dx, DY: dy})
+}
+
+// DragName drags the element with the given name attribute by (dx, dy).
+func (b *ScenarioBuilder) DragName(name string, dx, dy int) *ScenarioBuilder {
+	return b.Drag(ByName(name), dx, dy)
+}
+
+// Type types text into the focused element, one keystroke per KeyGap.
+func (b *ScenarioBuilder) Type(text string) *ScenarioBuilder {
+	return b.AddStep(TypeStep{Text: text})
+}
+
+// TypeEvery types text with an explicit per-keystroke gap.
+func (b *ScenarioBuilder) TypeEvery(text string, gap time.Duration) *ScenarioBuilder {
+	return b.AddStep(TypeStep{Text: text, Gap: gap})
+}
+
+// Press presses one named key ("Enter").
+func (b *ScenarioBuilder) Press(key string) *ScenarioBuilder {
+	return b.AddStep(KeyStep{Key: key})
+}
+
+// PressEnter presses the Enter key.
+func (b *ScenarioBuilder) PressEnter() *ScenarioBuilder { return b.Press(browser.KeyEnter) }
+
+// Wait advances virtual time by d.
+func (b *ScenarioBuilder) Wait(d time.Duration) *ScenarioBuilder {
+	return b.AddStep(WaitStep{D: d})
+}
+
+// Pause waits one ActionGap — the patient user's think time between
+// actions, long enough for asynchronously loaded functionality to
+// arrive.
+func (b *ScenarioBuilder) Pause() *ScenarioBuilder { return b.Wait(ActionGap) }
+
+// Do appends a custom action described by desc.
+func (b *ScenarioBuilder) Do(desc string, fn func(env *Env, tab *browser.Tab) error) *ScenarioBuilder {
+	return b.AddStep(FuncStep{Desc: desc, Fn: fn})
+}
+
+// Verify installs the scenario's oracle.
+func (b *ScenarioBuilder) Verify(fn func(env *Env, tab *browser.Tab) error) *ScenarioBuilder {
+	b.sc.VerifyFunc = fn
+	return b
+}
+
+// Build validates and returns the scenario.
+func (b *ScenarioBuilder) Build() (Scenario, error) {
+	if len(b.errs) > 0 {
+		// Recorded errors already name the scenario.
+		return Scenario{}, b.errs[0]
+	}
+	switch {
+	case b.sc.Name == "":
+		return Scenario{}, fmt.Errorf("scenario has empty name")
+	case b.sc.App == "":
+		return Scenario{}, fmt.Errorf("scenario %q has empty app name", b.sc.Name)
+	case b.sc.StartURL == "":
+		return Scenario{}, fmt.Errorf("scenario %q has empty start URL", b.sc.Name)
+	case len(b.sc.Steps) == 0:
+		return Scenario{}, fmt.Errorf("scenario %q has no steps", b.sc.Name)
+	}
+	return b.sc, nil
+}
+
+// MustBuild is Build panicking on error — for statically known-good
+// scenarios.
+func (b *ScenarioBuilder) MustBuild() Scenario {
+	sc, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}

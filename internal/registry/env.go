@@ -1,0 +1,174 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// DefaultAJAXLatency is the one-way network latency for asynchronous
+// loads. The Sites editor takes this long to become usable after the
+// Edit click — the window in which timing errors strike (§V-B).
+const DefaultAJAXLatency = 150 * time.Millisecond
+
+// Env is one isolated simulated world: a virtual clock, an in-memory
+// network, a browser, and one fresh AppState per hosted application.
+// Each Env is fully isolated — fresh server state, fresh clock — which
+// is what makes record-in-one-environment, replay-in-another
+// meaningful.
+type Env struct {
+	Clock   *vclock.Clock
+	Network *netsim.Network
+	Browser *browser.Browser
+
+	apps   []App
+	states map[string]AppState
+}
+
+// EnvOption configures NewEnv.
+type EnvOption func(*envConfig)
+
+type envConfig struct {
+	registry *Registry
+	apps     []App
+	latency  time.Duration
+}
+
+// WithApps hosts exactly the given applications (plus any selected by
+// WithRegistry) instead of the Default registry's full set. The apps
+// need not be registered anywhere — an Env is its own closed world.
+func WithApps(apps ...App) EnvOption {
+	return func(c *envConfig) { c.apps = append(c.apps, apps...) }
+}
+
+// WithRegistry hosts every application of the given registry.
+func WithRegistry(r *Registry) EnvOption {
+	return func(c *envConfig) { c.registry = r }
+}
+
+// WithLatency overrides the environment's one-way network latency
+// (default DefaultAJAXLatency).
+func WithLatency(d time.Duration) EnvOption {
+	return func(c *envConfig) { c.latency = d }
+}
+
+// NewEnv builds an isolated environment hosting the selected
+// applications on a fresh network, with a browser of the given mode.
+// With no options it hosts every application of the Default registry —
+// the "demo world" of the paper's evaluation plus anything the process
+// registered. It fails with a typed error when two selected
+// applications collide on name, host, or start URL.
+func NewEnv(mode browser.Mode, opts ...EnvOption) (*Env, error) {
+	cfg := envConfig{latency: DefaultAJAXLatency}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var selected []App
+	if cfg.registry != nil {
+		selected = cfg.registry.Apps()
+	} else if len(cfg.apps) == 0 {
+		selected = Default.Apps()
+	}
+	selected = append(selected, cfg.apps...)
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("registry: NewEnv with no applications (empty registry and no WithApps)")
+	}
+
+	clock := vclock.New()
+	network := netsim.New(clock)
+	network.SetLatency(cfg.latency)
+
+	e := &Env{
+		Clock:   clock,
+		Network: network,
+		states:  make(map[string]AppState, len(selected)),
+	}
+	hosts := make(map[string]string, len(selected))
+	urls := make(map[string]string, len(selected))
+	for _, a := range selected {
+		name, host, url := a.Name(), a.Host(), a.StartURL()
+		if _, ok := e.states[name]; ok {
+			return nil, &DuplicateAppError{Name: name}
+		}
+		if owner, ok := hosts[host]; ok {
+			return nil, &HostCollisionError{Host: host, App: name, Existing: owner}
+		}
+		if owner, ok := urls[url]; ok {
+			return nil, &StartURLCollisionError{URL: url, App: name, Existing: owner}
+		}
+		st := a.NewState()
+		if st == nil {
+			return nil, fmt.Errorf("registry: app %q NewState returned nil", name)
+		}
+		e.apps = append(e.apps, a)
+		e.states[name] = st
+		hosts[host] = name
+		urls[url] = name
+		network.Register(host, st.Handler())
+	}
+
+	e.Browser = browser.New(clock, network, mode)
+	return e, nil
+}
+
+// MustNewEnv is NewEnv panicking on error — the right call when the
+// selected applications come from a registry, whose registration
+// already rejected every collision NewEnv re-checks.
+func MustNewEnv(mode browser.Mode, opts ...EnvOption) *Env {
+	e, err := NewEnv(mode, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Apps returns the environment's applications in hosting order.
+func (e *Env) Apps() []App { return append([]App(nil), e.apps...) }
+
+// AppNames returns the environment's application names in hosting
+// order.
+func (e *Env) AppNames() []string {
+	names := make([]string, len(e.apps))
+	for i, a := range e.apps {
+		names[i] = a.Name()
+	}
+	return names
+}
+
+// State returns the environment's instance of the named application.
+func (e *Env) State(appName string) (AppState, bool) {
+	st, ok := e.states[appName]
+	return st, ok
+}
+
+// MustState is State for oracles that know the application is hosted;
+// it panics with a typed error when it is not.
+func (e *Env) MustState(appName string) AppState {
+	st, ok := e.states[appName]
+	if !ok {
+		panic(&UnknownAppError{Name: appName, Known: e.AppNames()})
+	}
+	return st
+}
+
+// Reset restores every hosted application to its initial server state.
+// The clock, network, and browser are untouched: Reset models the
+// server side starting over, not the world rebooting.
+func (e *Env) Reset() {
+	for _, st := range e.states {
+		st.Reset()
+	}
+}
+
+// BrowserFactory returns a campaign EnvFactory: each call builds a
+// fresh isolated environment (per the options) and hands out its
+// browser. It panics on an invalid app selection at construction time —
+// before any campaign starts — by building one throwaway environment
+// eagerly.
+func BrowserFactory(mode browser.Mode, opts ...EnvOption) func() *browser.Browser {
+	MustNewEnv(mode, opts...) // validate the selection once, loudly
+	return func() *browser.Browser { return MustNewEnv(mode, opts...).Browser }
+}

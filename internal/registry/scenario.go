@@ -1,0 +1,57 @@
+package registry
+
+import (
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+)
+
+// Scenario is one scripted user session with a built-in oracle: the
+// workloads of Table II, the §VI overhead experiment, and anything a
+// plugin registers. A scenario built by the ScenarioBuilder carries
+// typed Steps; RunFunc is the legacy escape hatch for hand-rolled
+// sessions. Verify is the test oracle deciding whether the session's
+// observable effect happened — it is applied to the recording
+// environment and again to any environment a trace was replayed in.
+type Scenario struct {
+	// Name is the interaction, e.g. "Edit site" (Table II's Scenario
+	// column).
+	Name string
+	// App is the application's registered name, e.g. "Google Sites"
+	// (Table II's Application column).
+	App string
+	// StartURL is the page the session starts on.
+	StartURL string
+	// Steps are the typed user actions, in order.
+	Steps []Step
+	// RunFunc, when set, performs the user actions instead of Steps.
+	RunFunc func(env *Env, tab *browser.Tab) error
+	// VerifyFunc checks the session's effect on the application.
+	VerifyFunc func(env *Env, tab *browser.Tab) error
+}
+
+// Run performs the user actions against a tab already on StartURL:
+// RunFunc when set, the typed Steps otherwise.
+func (s Scenario) Run(env *Env, tab *browser.Tab) error {
+	if s.RunFunc != nil {
+		return s.RunFunc(env, tab)
+	}
+	if len(s.Steps) == 0 {
+		return fmt.Errorf("scenario %q has no steps", s.Name)
+	}
+	for i, st := range s.Steps {
+		if err := st.Do(env, tab); err != nil {
+			return fmt.Errorf("step %d (%s): %w", i+1, st, err)
+		}
+	}
+	return nil
+}
+
+// Verify applies the scenario's oracle; a scenario without one passes
+// vacuously.
+func (s Scenario) Verify(env *Env, tab *browser.Tab) error {
+	if s.VerifyFunc == nil {
+		return nil
+	}
+	return s.VerifyFunc(env, tab)
+}

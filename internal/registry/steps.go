@@ -1,0 +1,250 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/dom"
+)
+
+// Scenario pacing: users act a few hundred milliseconds apart, matching
+// the elapsed-tick magnitudes of the paper's Fig. 4 trace. ActionGap
+// must exceed DefaultAJAXLatency so patient users find asynchronously
+// loaded functionality ready.
+const (
+	ActionGap = 300 * time.Millisecond
+	KeyGap    = 200 * time.Millisecond
+)
+
+// ---- locators ----
+
+type locatorKind int
+
+const (
+	locatorNone locatorKind = iota
+	locatorID
+	locatorName
+	locatorTagText
+)
+
+// Locator selects the element a step acts on, mirroring how users find
+// targets: by id, by form-control name, or by visible text within a
+// tag. The zero value matches nothing.
+type Locator struct {
+	kind locatorKind
+	a, b string
+}
+
+// ByID locates the element with the given id attribute.
+func ByID(id string) Locator { return Locator{kind: locatorID, a: id} }
+
+// ByName locates the element with the given name attribute.
+func ByName(name string) Locator { return Locator{kind: locatorName, a: name} }
+
+// ByTagText locates the element of the given tag whose trimmed text
+// content equals text — the way the Fig. 4 trace identifies the
+// id-less Save control (//td/div[text()="Save"]).
+func ByTagText(tag, text string) Locator { return Locator{kind: locatorTagText, a: tag, b: text} }
+
+// String renders the locator the way error messages show targets.
+func (l Locator) String() string {
+	switch l.kind {
+	case locatorID:
+		return "#" + l.a
+	case locatorName:
+		return "[name=" + l.a + "]"
+	case locatorTagText:
+		return l.a + "[" + l.b + "]"
+	default:
+		return "(no locator)"
+	}
+}
+
+// predicate compiles the locator into a node test.
+func (l Locator) predicate() func(*dom.Node) bool {
+	switch l.kind {
+	case locatorID:
+		return func(n *dom.Node) bool { return n.Type == dom.ElementNode && n.ID() == l.a }
+	case locatorName:
+		return func(n *dom.Node) bool {
+			return n.Type == dom.ElementNode && n.AttrOr("name", "") == l.a
+		}
+	case locatorTagText:
+		return func(n *dom.Node) bool {
+			return n.Type == dom.ElementNode && n.Tag == l.a &&
+				strings.TrimSpace(n.TextContent()) == l.b
+		}
+	default:
+		return func(*dom.Node) bool { return false }
+	}
+}
+
+// Locate finds the first matching element across all of the tab's
+// frames, returning its frame.
+func Locate(tab *browser.Tab, l Locator) (*browser.Frame, *dom.Node) {
+	pred := l.predicate()
+	for _, f := range tab.MainFrame().Descendants() {
+		if f.Doc() == nil {
+			continue
+		}
+		if n := f.Doc().Root().Find(pred); n != nil {
+			return f, n
+		}
+	}
+	return nil, nil
+}
+
+// Find returns the first element the locator matches in any of the
+// tab's frames, or nil — the lookup scenario oracles use.
+func Find(tab *browser.Tab, l Locator) *dom.Node {
+	_, n := Locate(tab, l)
+	return n
+}
+
+// ---- typed steps ----
+
+// Step is one typed user action of a scenario. Steps drive the tab's
+// hardware-level input path (Click, TypeText, Drag, PressKey), which is
+// what makes them visible to the engine-embedded WaRR Recorder.
+type Step interface {
+	// Do performs the action against the tab.
+	Do(env *Env, tab *browser.Tab) error
+	// String renders the step for -list style introspection.
+	String() string
+}
+
+// ClickStep clicks (or double-clicks) the center of the located
+// element.
+type ClickStep struct {
+	Target Locator
+	Double bool
+}
+
+// Do implements Step.
+func (s ClickStep) Do(env *Env, tab *browser.Tab) error {
+	frame, n := Locate(tab, s.Target)
+	if n == nil {
+		return fmt.Errorf("scenario: no element %s on %s", s.Target, tab.URL())
+	}
+	x, y, ok := tab.AbsoluteCenter(frame, n)
+	if !ok {
+		return fmt.Errorf("scenario: element %s has no layout box", s.Target)
+	}
+	if s.Double {
+		tab.DoubleClick(x, y)
+	} else {
+		tab.Click(x, y)
+	}
+	return nil
+}
+
+func (s ClickStep) String() string {
+	if s.Double {
+		return "doubleclick " + s.Target.String()
+	}
+	return "click " + s.Target.String()
+}
+
+// DragStep drags the located element by (DX, DY).
+type DragStep struct {
+	Target Locator
+	DX, DY int
+}
+
+// Do implements Step.
+func (s DragStep) Do(env *Env, tab *browser.Tab) error {
+	frame, n := Locate(tab, s.Target)
+	if n == nil {
+		return fmt.Errorf("scenario: no element %s on %s", s.Target, tab.URL())
+	}
+	x, y, ok := tab.AbsoluteCenter(frame, n)
+	if !ok {
+		return fmt.Errorf("scenario: element %s has no layout box", s.Target)
+	}
+	tab.Drag(x, y, s.DX, s.DY)
+	return nil
+}
+
+func (s DragStep) String() string {
+	return fmt.Sprintf("drag %s by (%d,%d)", s.Target, s.DX, s.DY)
+}
+
+// TypeStep types text into the focused element, one keystroke per Gap
+// of virtual time — giving the recorded trace realistic per-key elapsed
+// ticks. A zero Gap means KeyGap.
+type TypeStep struct {
+	Text string
+	Gap  time.Duration
+}
+
+// Do implements Step.
+func (s TypeStep) Do(env *Env, tab *browser.Tab) error {
+	gap := s.Gap
+	if gap == 0 {
+		gap = KeyGap
+	}
+	for _, ch := range s.Text {
+		tab.AdvanceTime(gap)
+		tab.TypeText(string(ch))
+	}
+	return nil
+}
+
+func (s TypeStep) String() string { return fmt.Sprintf("type %q", s.Text) }
+
+// KeyStep presses one named key (e.g. "Enter") with its standard
+// keyCode — the keystroke whose settable properties require the
+// developer-mode browser at replay (§IV-C).
+type KeyStep struct {
+	Key string
+}
+
+// Do implements Step.
+func (s KeyStep) Do(env *Env, tab *browser.Tab) error {
+	code := browser.NamedKeyCode(s.Key)
+	if code == 0 {
+		return fmt.Errorf("scenario: unknown key %q", s.Key)
+	}
+	tab.PressKey(s.Key, code, browser.KeyMods{})
+	return nil
+}
+
+func (s KeyStep) String() string { return "press " + s.Key }
+
+// WaitStep advances virtual time — the think time separating user
+// actions, and the patience window asynchronous loads need.
+type WaitStep struct {
+	D time.Duration
+}
+
+// Do implements Step.
+func (s WaitStep) Do(env *Env, tab *browser.Tab) error {
+	tab.AdvanceTime(s.D)
+	return nil
+}
+
+func (s WaitStep) String() string { return "wait " + s.D.String() }
+
+// FuncStep is the escape hatch for actions the typed steps do not
+// cover. Desc is what introspection shows.
+type FuncStep struct {
+	Desc string
+	Fn   func(env *Env, tab *browser.Tab) error
+}
+
+// Do implements Step.
+func (s FuncStep) Do(env *Env, tab *browser.Tab) error {
+	if s.Fn == nil {
+		return fmt.Errorf("scenario: FuncStep %q has nil Fn", s.Desc)
+	}
+	return s.Fn(env, tab)
+}
+
+func (s FuncStep) String() string {
+	if s.Desc != "" {
+		return s.Desc
+	}
+	return "custom step"
+}

@@ -99,7 +99,7 @@ func TestReplayGMailFailsWithoutRelaxation(t *testing.T) {
 	if res.Failed == 0 {
 		t.Error("replay should fail when relaxation is disabled (stale ids)")
 	}
-	if _, ok := env.GMail.LastSent(); ok {
+	if _, ok := apps.GMailIn(env).LastSent(); ok {
 		t.Error("mail should not have been sent by the failed replay")
 	}
 }
@@ -149,7 +149,7 @@ func TestReplayDocsNeedsDeveloperMode(t *testing.T) {
 	// User mode: the synthetic events carry keyCode 0, the commit
 	// handler never fires — the restriction the paper lifts (§IV-C).
 	_, usrEnv, _ := replayInFreshEnv(t, tr, browser.UserMode, Options{})
-	if got := usrEnv.Docs.Cell("r2c2"); got == "42" {
+	if got := apps.DocsIn(usrEnv).Cell("r2c2"); got == "42" {
 		t.Error("user-mode replay unexpectedly committed the cell edit")
 	}
 }
@@ -166,7 +166,7 @@ func TestReplaySitesWithNoWaitTriggersBug(t *testing.T) {
 	if !found {
 		t.Error("zero-wait replay should hit the uninitialized-variable bug")
 	}
-	if env.Sites.Saves() != 0 {
+	if apps.SitesIn(env).Saves() != 0 {
 		t.Error("the buggy save should not reach the server")
 	}
 }

@@ -43,7 +43,8 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/apps"
 	"github.com/dslab-epfl/warr/internal/browser"
-	"github.com/dslab-epfl/warr/internal/core"
+	"github.com/dslab-epfl/warr/internal/record"
+	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
 	"github.com/dslab-epfl/warr/internal/xpath"
@@ -202,7 +203,7 @@ func RunArchive(path string) (*Outcome, error) {
 	}
 
 	// Task-tree inference fingerprint.
-	newEnv := func() *browser.Browser { return apps.NewEnv(browser.DeveloperMode).Browser }
+	newEnv := apps.BrowserFactory(browser.DeveloperMode)
 	tree, err := weberr.InferTaskTree(newEnv, tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s: task tree: %w", filepath.Base(path), err)
@@ -429,29 +430,32 @@ type Entry struct {
 	// for this entry ("navigation", "timing").
 	Campaigns []string
 
-	scenario func() apps.Scenario
+	scenario func() (apps.Scenario, error)
 }
 
-// Entries returns the full corpus: every Table II scenario, each Table I
-// search engine, and a nondeterminism-annotated variant of each Table II
-// scenario.
+// Entries returns the full corpus, resolved through the scenario
+// registry: every registered scenario (the four Table II workloads plus
+// any plugin registration linked into the process, e.g. the calendar
+// app's create-event) contributes a campaign-bearing archive and a
+// nondeterminism-annotated variant; each Table I search engine
+// contributes a plain archive of the parameterized search scenario.
 func Entries() []Entry {
 	// A typoed Table I query, so replaying the search archives exercises
 	// the engines' typo-correction path.
 	const typoQuery = "weather forecst"
 	var es []Entry
-	for _, sc := range apps.TableIIScenarios() {
-		sc := sc
-		name := slug(sc.Name)
+	for _, name := range registry.ScenarioNames() {
+		name := name
+		sc := func() (apps.Scenario, error) { return registry.LookupScenario(name) }
 		es = append(es, Entry{
 			Name:      name,
 			Campaigns: []string{"navigation", "timing"},
-			scenario:  func() apps.Scenario { return sc },
+			scenario:  sc,
 		})
 		es = append(es, Entry{
 			Name:     name + ".nondet",
 			Nondet:   true,
-			scenario: func() apps.Scenario { return sc },
+			scenario: sc,
 		})
 	}
 	for _, eng := range []struct{ name, url string }{
@@ -462,43 +466,26 @@ func Entries() []Entry {
 		eng := eng
 		es = append(es, Entry{
 			Name:     "search-" + eng.name,
-			scenario: func() apps.Scenario { return apps.SearchScenario(eng.url, typoQuery) },
+			scenario: func() (apps.Scenario, error) { return apps.SearchScenario(eng.url, typoQuery), nil },
 		})
 	}
 	sort.Slice(es, func(i, j int) bool { return es[i].Name < es[j].Name })
 	return es
 }
 
-func slug(name string) string {
-	return strings.ReplaceAll(strings.ToLower(name), " ", "-")
-}
-
 // RecordEntry records the entry's scenario in a fresh user-mode
-// environment and returns its archive bytes. Recording runs entirely on
-// the virtual clock, so the bytes are reproducible.
+// environment — on the shared record path, live oracle required — and
+// returns its archive bytes. Recording runs entirely on the virtual
+// clock, so the bytes are reproducible.
 func (e Entry) RecordEntry() ([]byte, error) {
-	sc := e.scenario()
-	env := apps.NewEnv(browser.UserMode)
-	var log *core.NondetLog
-	if e.Nondet {
-		log = core.NewNondetLog(env.Clock)
-		env.Network.AddObserver(log)
+	sc, err := e.scenario()
+	if err != nil {
+		return nil, fmt.Errorf("trace: corpus entry %s: %w", e.Name, err)
 	}
-	tab := env.Browser.NewTab()
-	if err := tab.Navigate(sc.StartURL); err != nil {
-		return nil, fmt.Errorf("trace: recording %s: %w", e.Name, err)
+	rec, err := record.Record(sc, record.Options{Nondet: e.Nondet, VerifyLive: true})
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
 	}
-	rec := core.New(env.Clock)
-	rec.Attach(tab)
-	start := env.Clock.Now()
-	if err := sc.Run(env, tab); err != nil {
-		return nil, fmt.Errorf("trace: recording %s: %w", e.Name, err)
-	}
-	if err := sc.Verify(env, tab); err != nil {
-		return nil, fmt.Errorf("trace: recording %s: live session failed: %w", e.Name, err)
-	}
-	rec.Detach()
-	tr := rec.Trace()
 
 	h := Header{Scenario: sc.Name, App: sc.App, Recorder: "warr-corpus"}
 	if len(e.Campaigns) > 0 {
@@ -506,11 +493,11 @@ func (e Entry) RecordEntry() ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	if e.Nondet {
-		if err := WriteText(&buf, h, log.Annotate(tr, start)); err != nil {
+		if err := WriteText(&buf, h, rec.Annotated()); err != nil {
 			return nil, fmt.Errorf("trace: archiving %s: %w", e.Name, err)
 		}
 	} else {
-		if err := Write(&buf, h, tr); err != nil {
+		if err := Write(&buf, h, rec.Trace); err != nil {
 			return nil, fmt.Errorf("trace: archiving %s: %w", e.Name, err)
 		}
 	}

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -7,6 +7,11 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	// Linking the calendar plugin registers its app and create-event
+	// scenario; the corpus includes their archives.
+	_ "github.com/dslab-epfl/warr/apps/calendar"
+	"github.com/dslab-epfl/warr/internal/trace"
 )
 
 // corpusDir is the committed golden corpus, relative to this package.
@@ -17,7 +22,7 @@ const corpusDir = "../../testdata/corpus"
 // outcome. When this fails after a deliberate behavior change, run
 // `go run ./cmd/warr-corpus -update` and commit the golden diff.
 func TestCorpusMatchesGoldens(t *testing.T) {
-	mismatches, err := VerifyDir(corpusDir)
+	mismatches, err := trace.VerifyDir(corpusDir)
 	if err != nil {
 		t.Fatalf("verifying corpus: %v", err)
 	}
@@ -30,21 +35,21 @@ func TestCorpusMatchesGoldens(t *testing.T) {
 }
 
 // TestCorpusCoversEveryEntry pins the corpus inventory: an entry added
-// to Entries() without a committed archive (or an archive with no
+// to trace.Entries() without a committed archive (or an archive with no
 // backing entry) is drift.
 func TestCorpusCoversEveryEntry(t *testing.T) {
 	want := make(map[string]bool)
-	for _, e := range Entries() {
+	for _, e := range trace.Entries() {
 		want[e.Name] = true
 	}
-	paths, err := archives(corpusDir)
+	paths, err := trace.Archives(corpusDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := make(map[string]bool)
 	for _, p := range paths {
 		name := filepath.Base(p)
-		got[name[:len(name)-len(ArchiveExt)]] = true
+		got[name[:len(name)-len(trace.ArchiveExt)]] = true
 	}
 	for name := range want {
 		if !got[name] {
@@ -53,7 +58,7 @@ func TestCorpusCoversEveryEntry(t *testing.T) {
 	}
 	for name := range got {
 		if !want[name] {
-			t.Errorf("archive %s%s has no corpus entry", name, ArchiveExt)
+			t.Errorf("archive %s%s has no corpus entry", name, trace.ArchiveExt)
 		}
 	}
 }
@@ -66,7 +71,7 @@ func TestCorpusCoversEveryEntry(t *testing.T) {
 // the virtual clock, so no wall-clock bytes may leak in.
 func TestRecordingIsDeterministic(t *testing.T) {
 	volatileID := regexp.MustCompile(`@id=":[0-9]+"`)
-	for _, e := range Entries() {
+	for _, e := range trace.Entries() {
 		a, err := e.RecordEntry()
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
@@ -81,7 +86,7 @@ func TestRecordingIsDeterministic(t *testing.T) {
 		na := volatileID.ReplaceAllString(archiveBody(t, a), `@id=":N"`)
 		nb := volatileID.ReplaceAllString(archiveBody(t, b), `@id=":N"`)
 		if na != nb {
-			t.Errorf("%s: two recordings differ beyond volatile ids:\n%s", e.Name, diffLines(na, nb))
+			t.Errorf("%s: two recordings differ beyond volatile ids:\n%s", e.Name, trace.DiffLines(na, nb))
 		}
 	}
 }
@@ -89,7 +94,7 @@ func TestRecordingIsDeterministic(t *testing.T) {
 // archiveBody decompresses an archive's body text.
 func archiveBody(t *testing.T, data []byte) string {
 	t.Helper()
-	rd, err := NewReader(bytes.NewReader(data))
+	rd, err := trace.NewReader(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,55 +108,55 @@ func archiveBody(t *testing.T, data []byte) string {
 // TestRunArchiveIsDeterministic replays one archive twice and requires
 // identical outcomes — the determinism half of the corpus gate.
 func TestRunArchiveIsDeterministic(t *testing.T) {
-	path := filepath.Join(corpusDir, "edit-site"+ArchiveExt)
+	path := filepath.Join(corpusDir, "edit-site"+trace.ArchiveExt)
 	if _, err := os.Stat(path); err != nil {
 		t.Skipf("corpus archive missing: %v", err)
 	}
-	a, err := RunArchive(path)
+	a, err := trace.RunArchive(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunArchive(path)
+	b, err := trace.RunArchive(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aj, err := MarshalOutcome(a)
+	aj, err := trace.MarshalOutcome(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bj, err := MarshalOutcome(b)
+	bj, err := trace.MarshalOutcome(b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(aj, bj) {
-		t.Errorf("two replays of the same archive produced different outcomes:\n%s", diffLines(string(aj), string(bj)))
+		t.Errorf("two replays of the same archive produced different outcomes:\n%s", trace.DiffLines(string(aj), string(bj)))
 	}
 }
 
 // TestUpdateDirRemovesOrphanGoldens asserts the verify/update cycle
-// converges: a golden whose archive is gone is removed by UpdateDir,
+// converges: a golden whose archive is gone is removed by trace.UpdateDir,
 // not left to fail verification forever.
 func TestUpdateDirRemovesOrphanGoldens(t *testing.T) {
 	dir := t.TempDir()
-	src, err := os.ReadFile(filepath.Join(corpusDir, "edit-site"+ArchiveExt))
+	src, err := os.ReadFile(filepath.Join(corpusDir, "edit-site"+trace.ArchiveExt))
 	if err != nil {
 		t.Skipf("corpus archive missing: %v", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "edit-site"+ArchiveExt), src, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "edit-site"+trace.ArchiveExt), src, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	orphan := filepath.Join(dir, "retired"+GoldenExt)
+	orphan := filepath.Join(dir, "retired"+trace.GoldenExt)
 	if err := os.WriteFile(orphan, []byte("{}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := UpdateDir(dir); err != nil {
+	if _, err := trace.UpdateDir(dir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
-		t.Errorf("orphan golden survived UpdateDir: %v", err)
+		t.Errorf("orphan golden survived trace.UpdateDir: %v", err)
 	}
-	if mismatches, err := VerifyDir(dir); err != nil || len(mismatches) != 0 {
-		t.Errorf("corpus not green after UpdateDir: %v %v", mismatches, err)
+	if mismatches, err := trace.VerifyDir(dir); err != nil || len(mismatches) != 0 {
+		t.Errorf("corpus not green after trace.UpdateDir: %v %v", mismatches, err)
 	}
 }
 
@@ -160,12 +165,12 @@ func TestUpdateDirRemovesOrphanGoldens(t *testing.T) {
 // fresh environment (the nondet annotations and search variants
 // included).
 func TestCorpusArchivesReplayComplete(t *testing.T) {
-	paths, err := archives(corpusDir)
+	paths, err := trace.Archives(corpusDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range paths {
-		out, err := RunArchive(p)
+		out, err := trace.RunArchive(p)
 		if err != nil {
 			t.Errorf("%s: %v", filepath.Base(p), err)
 			continue

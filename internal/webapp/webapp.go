@@ -13,6 +13,19 @@ import (
 	"github.com/dslab-epfl/warr/internal/netsim"
 )
 
+// htmlEscaper escapes text for safe inclusion in HTML content.
+var htmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)
+
+// HTMLEscape escapes text for safe inclusion in HTML content — the
+// escaping the demo applications (and external App plugins) render user
+// input with.
+func HTMLEscape(s string) string { return htmlEscaper.Replace(s) }
+
 // Session is per-user server-side state, keyed by the sid cookie.
 type Session struct {
 	ID string
@@ -63,6 +76,15 @@ func (s *Server) Handle(path string, fn PageFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.routes[path] = fn
+}
+
+// ResetSessions forgets every server-side session — part of an
+// application's reset semantics: a reset server no longer recognizes
+// previously issued sid cookies.
+func (s *Server) ResetSessions() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = make(map[string]*Session)
 }
 
 // Serve implements netsim.Handler.

@@ -206,18 +206,36 @@ func TestPublicAPIDeveloperModeMatters(t *testing.T) {
 		t.Fatal(err)
 	}
 	userEnv := warr.NewDemoEnv(warr.UserMode)
-	if _, _, err := warr.Replay(userEnv.Browser, tr); err != nil {
+	_, userTab, err := warr.Replay(userEnv.Browser, tr)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if userEnv.Docs.Cell("r2c2") == "42" {
+	if sc.Verify(userEnv, userTab) == nil {
 		t.Error("user-mode replay should not commit keyCode-gated edits")
+	}
+	// Stronger than the oracle: not even one cell may have committed.
+	// The replayed page still shows the typed-but-uncommitted text, so
+	// re-render the sheet from server state and read the cells back
+	// through the public locator API.
+	if err := userTab.Navigate(warr.DocsURL); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"r2c2", "r3c2"} {
+		n := warr.FindElement(userTab, warr.ByID(cell))
+		if n == nil {
+			t.Fatalf("cell %s missing from re-rendered sheet", cell)
+		}
+		if got := strings.TrimSpace(n.TextContent()); got != "" {
+			t.Errorf("user-mode replay committed cell %s = %q", cell, got)
+		}
 	}
 
 	devEnv := warr.NewDemoEnv(warr.DeveloperMode)
-	if _, _, err := warr.Replay(devEnv.Browser, tr); err != nil {
+	_, devTab, err := warr.Replay(devEnv.Browser, tr)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if devEnv.Docs.Cell("r2c2") != "42" {
-		t.Error("developer-mode replay should commit the edit")
+	if err := sc.Verify(devEnv, devTab); err != nil {
+		t.Errorf("developer-mode replay should commit the edit: %v", err)
 	}
 }
