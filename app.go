@@ -38,6 +38,20 @@ type App = registry.App
 // the initial state.
 type AppState = registry.AppState
 
+// AppSnapshotter is the optional checkpoint capability of an AppState:
+// states implementing it make their environments forkable (Env.Fork)
+// and let campaigns share trace prefixes instead of re-executing them.
+// Snapshot must return a fully independent deep copy — same stored
+// data, same issued sessions (WebServer.CopySessionsFrom covers the
+// session half). States without it still work everywhere; forking
+// falls back to fresh-environment prefix replay, the flat campaign
+// path.
+type AppSnapshotter = registry.Snapshotter
+
+// NotSnapshottableError reports Env.Fork against an application whose
+// state does not implement AppSnapshotter.
+type NotSnapshottableError = registry.NotSnapshottableError
+
 // AppRegistry maps names to App plugins and scenario factories; the
 // tools resolve applications and workloads through it.
 type AppRegistry = registry.Registry

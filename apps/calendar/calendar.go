@@ -79,6 +79,18 @@ func NewState() *State {
 // Handler implements warr.AppState.
 func (s *State) Handler() warr.WebHandler { return s.srv }
 
+// Snapshot implements warr.AppSnapshotter, making calendar-hosting
+// environments forkable (and its campaigns prefix-shareable): the copy
+// carries the same events and the same issued sessions.
+func (s *State) Snapshot() warr.AppState {
+	dup := NewState()
+	s.mu.Lock()
+	dup.events = append([]Event(nil), s.events...)
+	s.mu.Unlock()
+	dup.srv.CopySessionsFrom(s.srv)
+	return dup
+}
+
 // Reset implements warr.AppState: it empties the agenda.
 func (s *State) Reset() {
 	s.mu.Lock()

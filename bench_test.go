@@ -15,15 +15,19 @@ package warr_test
 //	BenchmarkTaskTreeInference          — Fig. 6
 //	BenchmarkWebErrTraceGeneration      — §V-A (grammar-confined mutants vs exhaustive)
 //	BenchmarkWebErrCampaignPruning*     — §V-A heuristic 1 (prefix-failure pruning)
+//	BenchmarkEnvFork                    — one environment checkpoint (trie scheduler unit cost)
+//	BenchmarkCampaignSharedPrefix*      — trace-trie scheduler vs the flat-executor ablation
 //	BenchmarkSealReport                 — AUsER report encryption (§VI)
 
 import (
 	"crypto/rsa"
+	"runtime/debug"
 	"sync"
 	"testing"
 
 	warr "github.com/dslab-epfl/warr"
 	"github.com/dslab-epfl/warr/internal/baseline"
+	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/dom"
 	"github.com/dslab-epfl/warr/internal/experiments"
 	"github.com/dslab-epfl/warr/internal/humanerr"
@@ -52,6 +56,15 @@ func benchTraces(b *testing.B) (edit, gmail warr.Trace) {
 	})
 	return editTrace, gmailTrace
 }
+
+// gcSettle isolates a benchmark from its neighbors' allocator debris.
+// Some benchmarks in this suite allocate tens of megabytes per op
+// (Table I replays 558 live search sessions); whoever runs after them
+// inherits a biased GC pacer and unreturned spans, and min-of-3 cannot
+// damp a systematic bias. Settling the heap before the timer starts
+// makes ns/op reflect the benchmark's own steady state — which is what
+// the bench gate compares across runs.
+func gcSettle() { debug.FreeOSMemory() }
 
 // BenchmarkRecorderOverheadPerAction measures the §VI quantity directly:
 // the wall-clock cost the recorder hook adds to one keystroke arriving
@@ -118,6 +131,8 @@ func BenchmarkRecordEditSession(b *testing.B) {
 // developer-mode environment per iteration (Fig. 1, step 3).
 func BenchmarkReplayEditSession(b *testing.B) {
 	edit, _ := benchTraces(b)
+	b.ReportAllocs()
+	gcSettle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env := warr.NewDemoEnv(warr.DeveloperMode)
@@ -133,6 +148,8 @@ func BenchmarkReplayEditSession(b *testing.B) {
 func BenchmarkReplayGMailWithRelaxation(b *testing.B) {
 	_, gmail := benchTraces(b)
 	relaxed := 0
+	b.ReportAllocs()
+	gcSettle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env := warr.NewDemoEnv(warr.DeveloperMode)
@@ -157,6 +174,8 @@ func BenchmarkReplayGMailWithRelaxation(b *testing.B) {
 func BenchmarkReplayGMailNoRelaxation(b *testing.B) {
 	_, gmail := benchTraces(b)
 	failed := 0
+	b.ReportAllocs()
+	gcSettle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env := warr.NewDemoEnv(warr.DeveloperMode)
@@ -337,6 +356,8 @@ func benchCampaign(b *testing.B, disablePruning bool) {
 	}
 	g := warr.GrammarFromTaskTree(tree)
 	var rep *warr.CampaignReport
+	b.ReportAllocs()
+	gcSettle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep = warr.RunNavigationCampaign(fresh, g, warr.CampaignOptions{
@@ -376,6 +397,8 @@ func benchParallelCampaign(b *testing.B, parallelism int) {
 	}
 	g := warr.GrammarFromTaskTree(tree)
 	var rep *warr.CampaignReport
+	b.ReportAllocs()
+	gcSettle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep = warr.RunNavigationCampaign(fresh, g, warr.CampaignOptions{
@@ -387,6 +410,88 @@ func benchParallelCampaign(b *testing.B, parallelism int) {
 	b.StopTimer()
 	b.ReportMetric(float64(rep.Replayed), "replays")
 	b.ReportMetric(float64(len(rep.Findings)), "findings")
+}
+
+// BenchmarkEnvFork measures one environment checkpoint: deep-copying
+// the world — cookies, the loaded page with its DOM and query indexes,
+// script state, pending AJAX, and (copy-on-write, materialized on
+// first touch) the server state of every hosted application —
+// mid-replay of the edit-site trace. This is the unit cost the trie
+// scheduler pays per divergent suffix instead of replaying the shared
+// prefix.
+func BenchmarkEnvFork(b *testing.B) {
+	edit, _ := benchTraces(b)
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	s, err := warr.NewReplaySession(nil, env.Browser, edit, warr.ReplayOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Stop mid-trace, right after the Edit click queued the editor
+	// fetch, so the fork carries pending AJAX — the expensive, realistic
+	// checkpoint.
+	for i := 0; i < len(edit.Commands)/2; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("session ended early")
+		}
+	}
+	b.ReportAllocs()
+	gcSettle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSharedPrefix pins the trie scheduler against the
+// flat executor on the same campaign (edit-site navigation mutants,
+// pruning off so both replay identical trace sets). The two rows are
+// this benchmark and BenchmarkCampaignFlatAblation; their ratio is the
+// shared-prefix win at equal semantics.
+func BenchmarkCampaignSharedPrefix(b *testing.B) {
+	benchSharedPrefixCampaign(b, false)
+}
+
+// BenchmarkCampaignFlatAblation is the control: the same jobs with
+// prefix sharing disabled.
+func BenchmarkCampaignFlatAblation(b *testing.B) {
+	benchSharedPrefixCampaign(b, true)
+}
+
+func benchSharedPrefixCampaign(b *testing.B, disableSharing bool) {
+	edit, _ := benchTraces(b)
+	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	tree, err := warr.InferTaskTree(fresh, edit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := warr.GrammarFromTaskTree(tree)
+	mutants := warr.Mutants(g, warr.InjectOptions{})
+	jobs := make([]campaign.Job, len(mutants))
+	for i, m := range mutants {
+		jobs[i] = campaign.Job{Trace: m.Trace()}
+	}
+	var outcomes []campaign.Outcome
+	b.ReportAllocs()
+	gcSettle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec := campaign.New(fresh, campaign.Options{
+			Replayer:             replayer.Options{Pacing: replayer.PaceNone},
+			DisablePruning:       true,
+			DisablePrefixSharing: disableSharing,
+		})
+		outcomes = exec.Execute(nil, jobs)
+	}
+	b.StopTimer()
+	replays := 0
+	for _, out := range outcomes {
+		if out.Result != nil {
+			replays++
+		}
+	}
+	b.ReportMetric(float64(replays), "replays")
 }
 
 // BenchmarkSealReport measures AUsER's hybrid encryption of a full

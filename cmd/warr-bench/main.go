@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	// Linking the calendar plugin keeps the hosted world identical
@@ -41,7 +43,23 @@ func main() {
 	full := flag.Bool("full-pipeline", false,
 		"route Table I through full record-and-replay instead of live sessions")
 	parallel := flag.Int("parallel", 8, "concurrent replay sessions for the campaign experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "warr-bench: creating cpu profile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "warr-bench: starting cpu profile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	names := experimentOrder
 	if *exp != "all" {
@@ -53,6 +71,20 @@ func main() {
 		}
 		if err := run(strings.TrimSpace(name), *seed, *full, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "warr-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "warr-bench: creating mem profile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "warr-bench: writing mem profile:", err)
 			os.Exit(1)
 		}
 	}

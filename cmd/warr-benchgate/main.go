@@ -43,6 +43,8 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline snapshot to compare against")
 	pr := flag.String("pr", "", "snapshot of this change's benchmark run")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression before failing")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.20,
+		"allowed fractional allocs/op regression before failing, for gated benchmarks whose baseline reports it")
 	gate := flag.String("gate", "", "comma-separated benchmark name patterns to enforce (path.Match globs)")
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 	case *parse:
 		err = runParse(os.Stdin, *out)
 	case *baseline != "" && *pr != "":
-		err = runCompare(*baseline, *pr, *tolerance, *gate)
+		err = runCompare(*baseline, *pr, *tolerance, *allocTolerance, *gate)
 	default:
 		fmt.Fprintln(os.Stderr, "warr-benchgate: need either -parse or both -baseline and -pr")
 		flag.Usage()
@@ -149,8 +151,14 @@ func readSnapshot(p string) (*Snapshot, error) {
 }
 
 // compare evaluates the gated benchmarks of pr against base. It returns
-// the human-readable report lines and the regressions found.
-func compare(base, pr *Snapshot, tolerance float64, gates []string) (report, regressions []string, err error) {
+// the human-readable report lines and the regressions found. Beyond
+// ns/op, gated benchmarks whose baseline entry reports allocs/op are
+// also gated on it (allocTolerance): a change can keep wall-clock flat
+// while quietly re-introducing allocation churn on a hot path, and the
+// allocation count is the far less noisy signal on shared CI runners.
+// Baselines without allocs/op gate on ns/op only, so adoption rides
+// the normal baseline-refresh flow.
+func compare(base, pr *Snapshot, tolerance, allocTolerance float64, gates []string) (report, regressions []string, err error) {
 	gated := func(name string) bool {
 		for _, g := range gates {
 			ok, err := path.Match(g, name)
@@ -208,6 +216,19 @@ func compare(base, pr *Snapshot, tolerance float64, gates []string) (report, reg
 					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
 						name, prNs, baseNs, 100*(ratio-1), 100*tolerance))
 			}
+			if baseAllocs, ok := base.Benchmarks[name]["allocs/op"]; ok && baseAllocs > 0 {
+				prAllocs, ok := prM["allocs/op"]
+				if !ok {
+					// Fail closed, as for a missing ns/op: a gated
+					// allocation guard that cannot be compared is lost.
+					regressions = append(regressions,
+						fmt.Sprintf("%s: baseline reports allocs/op but this run does not (run with -benchmem or b.ReportAllocs)", name))
+				} else if aratio := prAllocs / baseAllocs; aratio > 1+allocTolerance {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f allocs/op (%+.1f%%, tolerance %.0f%%)",
+							name, prAllocs, baseAllocs, 100*(aratio-1), 100*allocTolerance))
+				}
+			}
 		}
 		report = append(report,
 			fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op  (%+.1f%%)", mark, name, baseNs, prNs, 100*(ratio-1)))
@@ -237,7 +258,7 @@ func compare(base, pr *Snapshot, tolerance float64, gates []string) (report, reg
 	return report, regressions, nil
 }
 
-func runCompare(basePath, prPath string, tolerance float64, gate string) error {
+func runCompare(basePath, prPath string, tolerance, allocTolerance float64, gate string) error {
 	base, err := readSnapshot(basePath)
 	if err != nil {
 		return err
@@ -252,7 +273,7 @@ func runCompare(basePath, prPath string, tolerance float64, gate string) error {
 			gates = append(gates, g)
 		}
 	}
-	report, regressions, err := compare(base, pr, tolerance, gates)
+	report, regressions, err := compare(base, pr, tolerance, allocTolerance, gates)
 	if err != nil {
 		return err
 	}

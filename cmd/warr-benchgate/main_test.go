@@ -65,33 +65,33 @@ func TestCompareGate(t *testing.T) {
 	gates := []string{"BenchmarkReplayGMailWithRelaxation", "BenchmarkNavigationCampaign*", "BenchmarkWebErrCampaign*"}
 
 	// Identical runs pass.
-	if _, regs, err := compare(base, parseFixture(t), 0.20, gates); err != nil || len(regs) != 0 {
+	if _, regs, err := compare(base, parseFixture(t), 0.20, 0.20, gates); err != nil || len(regs) != 0 {
 		t.Fatalf("identical snapshots: regs=%v err=%v", regs, err)
 	}
 
 	// A regression within tolerance passes; beyond tolerance fails.
 	within := parseFixture(t)
 	within.Benchmarks["BenchmarkReplayGMailWithRelaxation"]["ns/op"] *= 1.15
-	if _, regs, err := compare(base, within, 0.20, gates); err != nil || len(regs) != 0 {
+	if _, regs, err := compare(base, within, 0.20, 0.20, gates); err != nil || len(regs) != 0 {
 		t.Fatalf("within-tolerance regression flagged: regs=%v err=%v", regs, err)
 	}
 	beyond := parseFixture(t)
 	beyond.Benchmarks["BenchmarkReplayGMailWithRelaxation"]["ns/op"] *= 1.30
-	if _, regs, _ := compare(base, beyond, 0.20, gates); len(regs) != 1 {
+	if _, regs, _ := compare(base, beyond, 0.20, 0.20, gates); len(regs) != 1 {
 		t.Fatalf("beyond-tolerance regression not flagged: regs=%v", regs)
 	}
 
 	// An ungated benchmark may regress freely.
 	ungated := parseFixture(t)
 	ungated.Benchmarks["BenchmarkXPathEvaluateIndexed"]["ns/op"] *= 10
-	if _, regs, _ := compare(base, ungated, 0.20, gates); len(regs) != 0 {
+	if _, regs, _ := compare(base, ungated, 0.20, 0.20, gates); len(regs) != 0 {
 		t.Fatalf("ungated regression flagged: %v", regs)
 	}
 
 	// A gated benchmark disappearing from the PR run fails.
 	missing := parseFixture(t)
 	delete(missing.Benchmarks, "BenchmarkWebErrCampaignPruning")
-	if _, regs, _ := compare(base, missing, 0.20, gates); len(regs) != 1 {
+	if _, regs, _ := compare(base, missing, 0.20, 0.20, gates); len(regs) != 1 {
 		t.Fatalf("missing gated benchmark not flagged: %v", regs)
 	}
 
@@ -99,17 +99,17 @@ func TestCompareGate(t *testing.T) {
 	// either side) is a lost guard, not a pass.
 	noNs := parseFixture(t)
 	delete(noNs.Benchmarks["BenchmarkWebErrCampaignPruning"], "ns/op")
-	if _, regs, _ := compare(base, noNs, 0.20, gates); len(regs) != 1 {
+	if _, regs, _ := compare(base, noNs, 0.20, 0.20, gates); len(regs) != 1 {
 		t.Fatalf("gated PR entry without ns/op not flagged: %v", regs)
 	}
 	baseNoNs := parseFixture(t)
 	delete(baseNoNs.Benchmarks["BenchmarkWebErrCampaignPruning"], "ns/op")
-	if _, regs, _ := compare(baseNoNs, parseFixture(t), 0.20, gates); len(regs) != 1 {
+	if _, regs, _ := compare(baseNoNs, parseFixture(t), 0.20, 0.20, gates); len(regs) != 1 {
 		t.Fatalf("gated baseline entry without ns/op not flagged: %v", regs)
 	}
 
 	// Gate patterns that match nothing are a configuration error.
-	if _, _, err := compare(base, parseFixture(t), 0.20, []string{"BenchmarkNope*"}); err == nil {
+	if _, _, err := compare(base, parseFixture(t), 0.20, 0.20, []string{"BenchmarkNope*"}); err == nil {
 		t.Fatal("dead gate pattern not reported")
 	}
 
@@ -117,7 +117,7 @@ func TestCompareGate(t *testing.T) {
 	// unguarded gated name is visible) but cannot regress the gate.
 	novel := parseFixture(t)
 	novel.Benchmarks["BenchmarkNavigationCampaignHuge"] = Metrics{"ns/op": 9e9}
-	rep, regs, err := compare(base, novel, 0.20, gates)
+	rep, regs, err := compare(base, novel, 0.20, 0.20, gates)
 	if err != nil || len(regs) != 0 {
 		t.Fatalf("PR-only benchmark: regs=%v err=%v", regs, err)
 	}
@@ -129,5 +129,44 @@ func TestCompareGate(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("PR-only benchmark missing from report:\n%s", strings.Join(rep, "\n"))
+	}
+}
+
+// snapWith builds a one-benchmark snapshot inline.
+func snapWith(name string, metrics Metrics) *Snapshot {
+	return &Snapshot{Benchmarks: map[string]Metrics{name: metrics}}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	gates := []string{"BenchmarkCampaignSharedPrefix"}
+	base := snapWith("BenchmarkCampaignSharedPrefix", Metrics{"ns/op": 1000000, "allocs/op": 10000})
+
+	// Within tolerance on both axes: pass.
+	ok := snapWith("BenchmarkCampaignSharedPrefix", Metrics{"ns/op": 1100000, "allocs/op": 11500})
+	if _, regs, err := compare(base, ok, 0.20, 0.20, gates); err != nil || len(regs) != 0 {
+		t.Fatalf("within tolerance: regs=%v err=%v", regs, err)
+	}
+
+	// Flat wall-clock but a >20% allocation regression: fail.
+	churn := snapWith("BenchmarkCampaignSharedPrefix", Metrics{"ns/op": 1000000, "allocs/op": 12500})
+	if _, regs, _ := compare(base, churn, 0.20, 0.20, gates); len(regs) != 1 {
+		t.Fatalf("alloc regression not caught: %v", regs)
+	}
+
+	// Baseline guards allocs but this run didn't report them: fail closed.
+	silent := snapWith("BenchmarkCampaignSharedPrefix", Metrics{"ns/op": 1000000})
+	if _, regs, _ := compare(base, silent, 0.20, 0.20, gates); len(regs) != 1 {
+		t.Fatalf("missing allocs/op not caught: %v", regs)
+	}
+
+	// A baseline without allocs/op gates on ns/op only.
+	nsOnly := snapWith("BenchmarkCampaignSharedPrefix", Metrics{"ns/op": 1000000})
+	if _, regs, err := compare(nsOnly, churn, 0.20, 0.20, gates); err != nil || len(regs) != 0 {
+		t.Fatalf("ns-only baseline: regs=%v err=%v", regs, err)
+	}
+
+	// The alloc tolerance is its own knob.
+	if _, regs, _ := compare(base, ok, 0.20, 0.10, gates); len(regs) != 1 {
+		t.Fatalf("tight alloc tolerance not enforced: %v", regs)
 	}
 }

@@ -53,6 +53,20 @@ func newGuestbookState() *guestbookState {
 
 func (s *guestbookState) Handler() warr.WebHandler { return s.srv }
 
+// Snapshot implements warr.AppSnapshotter — the ~10 lines that make
+// Guestbook environments forkable, so campaigns share trace prefixes
+// via checkpoints instead of replaying every erroneous trace from
+// command zero. Deep-copy the data, copy the issued sessions, share
+// nothing mutable.
+func (s *guestbookState) Snapshot() warr.AppState {
+	dup := newGuestbookState()
+	s.mu.Lock()
+	dup.entries = append([]string(nil), s.entries...)
+	s.mu.Unlock()
+	dup.srv.CopySessionsFrom(s.srv)
+	return dup
+}
+
 func (s *guestbookState) Reset() {
 	s.mu.Lock()
 	s.entries = nil

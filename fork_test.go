@@ -1,0 +1,69 @@
+package warr_test
+
+import (
+	"testing"
+
+	warr "github.com/dslab-epfl/warr"
+	"github.com/dslab-epfl/warr/apps/calendar"
+)
+
+// TestEnvForkPublicSurface exercises environment forking through the
+// public API only, against the calendar plugin — itself written purely
+// on the public surface. Every registered application, plugin included,
+// must implement AppSnapshotter for the default world to fork.
+func TestEnvForkPublicSurface(t *testing.T) {
+	for _, app := range warr.RegisteredApps() {
+		st := app.NewState()
+		if _, ok := st.(warr.AppSnapshotter); !ok {
+			t.Errorf("app %q state (%T) does not implement AppSnapshotter", app.Name(), st)
+		}
+	}
+
+	tr, err := warr.RecordSession(calendar.CreateEventScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	s, err := warr.NewReplaySession(nil, env.Browser, tr, warr.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tr.Commands)/2; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("session ended early at %d", i)
+		}
+	}
+
+	// Fork the world mid-replay and finish the trace in the fork.
+	forkEnv, err := env.Fork()
+	if err != nil {
+		t.Fatalf("Env.Fork: %v", err)
+	}
+	fork, err := s.Fork()
+	if err != nil {
+		t.Fatalf("Session.Fork: %v", err)
+	}
+	if res := fork.Run(); !res.Complete() {
+		t.Fatalf("forked replay incomplete: %+v", res)
+	}
+	sessEnv, ok := fork.Tab().Browser().World().(*warr.Env)
+	if !ok {
+		t.Fatalf("forked browser world is %T, want *warr.Env", fork.Tab().Browser().World())
+	}
+	if got := len(calendar.StateIn(sessEnv).Events()); got != 1 {
+		t.Errorf("forked world stored %d events, want 1", got)
+	}
+	// The plain Env.Fork copy is a world of its own, not affected by
+	// either replay.
+	if got := len(calendar.StateIn(forkEnv).Events()); got != 0 {
+		t.Errorf("mid-replay env fork stored %d events, want 0", got)
+	}
+	// The parent finishes independently.
+	if res := s.Run(); !res.Complete() {
+		t.Fatalf("parent replay incomplete: %+v", res)
+	}
+	if got := len(calendar.StateIn(env).Events()); got != 1 {
+		t.Errorf("parent world stored %d events, want 1", got)
+	}
+}

@@ -70,6 +70,20 @@ func (d *Docs) Server() *webapp.Server { return d.srv }
 // Handler implements registry.AppState.
 func (d *Docs) Handler() netsim.Handler { return d.srv }
 
+// Snapshot implements registry.Snapshotter: a deep copy carrying the
+// same cells and issued sessions.
+func (d *Docs) Snapshot() registry.AppState {
+	dup := NewDocs()
+	d.mu.Lock()
+	dup.cells = make(map[string]string, len(d.cells))
+	for k, v := range d.cells {
+		dup.cells[k] = v
+	}
+	d.mu.Unlock()
+	dup.srv.CopySessionsFrom(d.srv)
+	return dup
+}
+
 // Reset restores the seeded first-column labels of a fresh sheet.
 func (d *Docs) Reset() {
 	d.mu.Lock()

@@ -80,6 +80,19 @@ func (g *GMail) Server() *webapp.Server { return g.srv }
 // Handler implements registry.AppState.
 func (g *GMail) Handler() netsim.Handler { return g.srv }
 
+// Snapshot implements registry.Snapshotter: a deep copy carrying the
+// same sent mail and issued sessions. The global id counter stays
+// shared on purpose — it is process-global precisely because real
+// GMail's minted ids never repeat across any two page loads.
+func (g *GMail) Snapshot() registry.AppState {
+	dup := NewGMail()
+	g.mu.Lock()
+	dup.sent = append([]Mail(nil), g.sent...)
+	g.mu.Unlock()
+	dup.srv.CopySessionsFrom(g.srv)
+	return dup
+}
+
 // Reset drops all sent mail. The global id counter is deliberately not
 // reset — real GMail's generated ids never repeat either (§IV-C).
 func (g *GMail) Reset() {

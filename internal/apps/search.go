@@ -140,6 +140,18 @@ func (e *SearchEngine) Server() *webapp.Server { return e.srv }
 // Handler implements registry.AppState.
 func (e *SearchEngine) Handler() netsim.Handler { return e.srv }
 
+// Snapshot implements registry.Snapshotter: a deep copy carrying the
+// same served queries and sessions. The corrector is immutable and
+// shared, exactly as it already is between environments.
+func (e *SearchEngine) Snapshot() registry.AppState {
+	dup := newSearchEngine(e.EngineName, e.corrector)
+	e.mu.Lock()
+	dup.queries = append([]string(nil), e.queries...)
+	e.mu.Unlock()
+	dup.srv.CopySessionsFrom(e.srv)
+	return dup
+}
+
 // Reset forgets the served queries; the immutable language model is
 // shared process-wide and needs no resetting.
 func (e *SearchEngine) Reset() {

@@ -59,6 +59,21 @@ func (s *Sites) Server() *webapp.Server { return s.srv }
 // Handler implements registry.AppState.
 func (s *Sites) Handler() netsim.Handler { return s.srv }
 
+// Snapshot implements registry.Snapshotter: a deep copy carrying the
+// same pages, save count, and issued sessions.
+func (s *Sites) Snapshot() registry.AppState {
+	dup := NewSites()
+	s.mu.Lock()
+	dup.pages = make(map[string]string, len(s.pages))
+	for k, v := range s.pages {
+		dup.pages[k] = v
+	}
+	dup.saves = s.saves
+	s.mu.Unlock()
+	dup.srv.CopySessionsFrom(s.srv)
+	return dup
+}
+
 // Reset restores the one empty "home" page of a fresh instance.
 func (s *Sites) Reset() {
 	s.mu.Lock()

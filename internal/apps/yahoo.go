@@ -51,6 +51,17 @@ func (y *Yahoo) Server() *webapp.Server { return y.srv }
 // Handler implements registry.AppState.
 func (y *Yahoo) Handler() netsim.Handler { return y.srv }
 
+// Snapshot implements registry.Snapshotter: a deep copy carrying the
+// same login count and signed-in sessions.
+func (y *Yahoo) Snapshot() registry.AppState {
+	dup := NewYahoo()
+	y.mu.Lock()
+	dup.logins = y.logins
+	y.mu.Unlock()
+	dup.srv.CopySessionsFrom(y.srv)
+	return dup
+}
+
 // Reset signs every user out and forgets the login count.
 func (y *Yahoo) Reset() {
 	y.mu.Lock()

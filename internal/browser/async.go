@@ -1,0 +1,148 @@
+package browser
+
+import (
+	"fmt"
+	"net/url"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/script"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// This file keeps the browser's pending asynchronous work — script
+// timeouts and in-flight AJAX fetches — as data owned by the Browser,
+// instead of opaque closures buried in the virtual clock. The records
+// are what make an environment checkpointable: a fork re-creates each
+// pending record against the forked world's clock, frames, and script
+// values, something a captured Go closure could never offer.
+
+// asyncKind discriminates pending asynchronous work.
+type asyncKind int
+
+const (
+	// asyncTimeout is a setTimeout callback.
+	asyncTimeout asyncKind = iota + 1
+	// asyncAJAX is an httpGet fetch awaiting network latency.
+	asyncAJAX
+)
+
+// asyncRec is one pending piece of asynchronous work. Everything needed
+// to fire it — and to clone it into a forked world — is explicit: the
+// owning frame, the deadline on the virtual clock, and the script-level
+// callback (plus the request, for AJAX).
+type asyncRec struct {
+	seq      uint64
+	frame    *Frame
+	kind     asyncKind
+	deadline time.Time
+
+	// fn is the setTimeout callback.
+	fn script.Value
+
+	// req, rawURL, cb describe a pending httpGet: the fetch resolves at
+	// the deadline and cb(body, status) runs in the owning frame.
+	req    *netsim.Request
+	rawURL string
+	cb     script.Value
+
+	timer *vclock.Timer
+}
+
+// scheduleAsync registers rec and arms its clock timer delay from now.
+// Records fire in (deadline, registration) order — the clock's own
+// ordering — and the browser keeps them in registration order so a fork
+// can re-arm them with the same relative ordering.
+func (b *Browser) scheduleAsync(rec *asyncRec, delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	rec.deadline = b.clock.Now().Add(delay)
+	b.mu.Lock()
+	rec.seq = b.asyncSeq
+	b.asyncSeq++
+	b.asyncs = append(b.asyncs, rec)
+	b.mu.Unlock()
+	rec.timer = b.clock.AfterFunc(delay, func() { b.fireAsync(rec) })
+}
+
+// fireAsync runs one due record. A record whose frame was unloaded in
+// the meantime is dropped without effect, matching the alive checks the
+// closures used to carry.
+func (b *Browser) fireAsync(rec *asyncRec) {
+	b.removeAsync(rec)
+	f := rec.frame
+	if f == nil || !f.alive {
+		return
+	}
+	switch rec.kind {
+	case asyncTimeout:
+		f.CallHandler(rec.fn)
+	case asyncAJAX:
+		resp, err := b.network.Fetch(rec.req)
+		if err != nil {
+			f.tab.logConsole(ConsoleError, fmt.Sprintf("httpGet %s: %v", rec.rawURL, err))
+			f.CallHandler(rec.cb, "", float64(0))
+			return
+		}
+		f.CallHandler(rec.cb, resp.Body, float64(resp.Status))
+	}
+}
+
+// cancelAsync stops a pending record (clearTimeout). Cancelling a
+// record that already fired is a no-op.
+func (b *Browser) cancelAsync(rec *asyncRec) {
+	if rec == nil {
+		return
+	}
+	b.clock.Stop(rec.timer)
+	b.removeAsync(rec)
+}
+
+func (b *Browser) removeAsync(rec *asyncRec) {
+	b.mu.Lock()
+	for i, r := range b.asyncs {
+		if r == rec {
+			b.asyncs = append(b.asyncs[:i], b.asyncs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// pendingAsyncs returns the pending records in registration order.
+func (b *Browser) pendingAsyncs() []*asyncRec {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*asyncRec(nil), b.asyncs...)
+}
+
+// newTimeoutRec builds (but does not schedule) a setTimeout record.
+func newTimeoutRec(f *Frame, fn script.Value) *asyncRec {
+	return &asyncRec{frame: f, kind: asyncTimeout, fn: fn}
+}
+
+// newAJAXRec builds (but does not schedule) an httpGet record.
+func newAJAXRec(f *Frame, req *netsim.Request, rawURL string, cb script.Value) *asyncRec {
+	return &asyncRec{frame: f, kind: asyncAJAX, req: req, rawURL: rawURL, cb: cb}
+}
+
+// cloneRequest deep-copies a pending AJAX request so the fork's fetch
+// cannot share mutable state (headers, parsed form) with the original.
+func cloneRequest(req *netsim.Request) *netsim.Request {
+	if req == nil {
+		return nil
+	}
+	dup := &netsim.Request{Method: req.Method, URL: req.URL, Body: req.Body}
+	dup.Header = make(map[string]string, len(req.Header))
+	for k, v := range req.Header {
+		dup.Header[k] = v
+	}
+	if req.Form != nil {
+		dup.Form = make(url.Values, len(req.Form))
+		for k, vs := range req.Form {
+			dup.Form[k] = append([]string(nil), vs...)
+		}
+	}
+	return dup
+}

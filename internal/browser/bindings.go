@@ -11,13 +11,21 @@ import (
 	"github.com/dslab-epfl/warr/internal/htmlparse"
 	"github.com/dslab-epfl/warr/internal/netsim"
 	"github.com/dslab-epfl/warr/internal/script"
-	"github.com/dslab-epfl/warr/internal/vclock"
 )
 
 // This file implements the JavaScript host bindings of the simulated
 // browser: document, elements, events, window, console, timers, and AJAX.
 // Together with the script interpreter they form the client-side code
 // substrate the paper's applications run on.
+
+// encodeURIComponentBuiltin is stateless, so one instance serves every
+// frame (frames are created per page load and per fork).
+var encodeURIComponentBuiltin = &script.NativeFunc{Name: "encodeURIComponent", Fn: func(args []script.Value) (script.Value, error) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	return url.QueryEscape(script.ToString(args[0])), nil
+}}
 
 // newFrameInterp builds the global environment for a frame.
 func newFrameInterp(f *Frame) *script.Interp {
@@ -38,12 +46,16 @@ func newFrameInterp(f *Frame) *script.Interp {
 	in.Define("setTimeout", setTimeoutFunc(f))
 	in.Define("clearTimeout", clearTimeoutFunc(f))
 	in.Define("httpGet", httpGetFunc(f))
-	in.Define("encodeURIComponent", &script.NativeFunc{Name: "encodeURIComponent", Fn: func(args []script.Value) (script.Value, error) {
-		if len(args) == 0 {
-			return "", nil
-		}
-		return url.QueryEscape(script.ToString(args[0])), nil
-	}})
+	in.Define("encodeURIComponent", encodeURIComponentBuiltin)
+
+	// Snapshot the pristine global bindings (the host bindings above
+	// plus the script builtins) so a fork can tell user state apart
+	// from installed machinery — see snapshot.go. Frames are created on
+	// every page load, so this stays a single map copy, unsorted.
+	f.builtins = make(map[string]script.Value, 12)
+	in.Global.ForEachOwn(func(name string, v script.Value) {
+		f.builtins[name] = v
+	})
 	return in
 }
 
@@ -82,13 +94,10 @@ func setTimeoutFunc(f *Frame) *script.NativeFunc {
 			}
 			ms = n
 		}
-		timer := f.tab.browser.clock.AfterFunc(msToDuration(ms), func() {
-			if !f.alive {
-				return
-			}
-			f.CallHandler(fn)
-		})
-		return &TimerHandle{timer: timer, clock: f.tab.browser.clock}, nil
+		b := f.tab.browser
+		rec := newTimeoutRec(f, fn)
+		b.scheduleAsync(rec, msToDuration(ms))
+		return &TimerHandle{browser: b, rec: rec}, nil
 	}}
 }
 
@@ -96,7 +105,7 @@ func clearTimeoutFunc(f *Frame) *script.NativeFunc {
 	return &script.NativeFunc{Name: "clearTimeout", Fn: func(args []script.Value) (script.Value, error) {
 		if len(args) > 0 {
 			if th, ok := args[0].(*TimerHandle); ok {
-				th.clock.Stop(th.timer)
+				th.browser.cancelAsync(th.rec)
 			}
 		}
 		return script.Undefined, nil
@@ -107,7 +116,9 @@ func clearTimeoutFunc(f *Frame) *script.NativeFunc {
 // asynchronously over the network (with its configured latency) and
 // invokes callback(responseBody, status). This is the mechanism the
 // simulated applications use for dynamic loading — the behaviour that
-// makes them "more vulnerable to timing errors" (paper §V-B).
+// makes them "more vulnerable to timing errors" (paper §V-B). The
+// pending fetch lives as an async record on the browser (async.go), so
+// a checkpoint taken mid-flight clones it, callback and all.
 func httpGetFunc(f *Frame) *script.NativeFunc {
 	return &script.NativeFunc{Name: "httpGet", Fn: func(args []script.Value) (script.Value, error) {
 		if len(args) < 2 {
@@ -116,20 +127,11 @@ func httpGetFunc(f *Frame) *script.NativeFunc {
 		rawURL := f.resolveURL(script.ToString(args[0]))
 		cb := args[1]
 		req := netsim.NewRequest("GET", rawURL)
-		if c := f.tab.browser.cookieHeader(req.Host()); c != "" {
-			req.Header["Cookie"] = c
+		b := f.tab.browser
+		if c := b.cookieHeader(req.Host()); c != "" {
+			req.SetHeader("Cookie", c)
 		}
-		f.tab.browser.network.FetchAsync(req, func(resp *netsim.Response, err error) {
-			if !f.alive {
-				return
-			}
-			if err != nil {
-				f.tab.logConsole(ConsoleError, fmt.Sprintf("httpGet %s: %v", rawURL, err))
-				f.CallHandler(cb, "", float64(0))
-				return
-			}
-			f.CallHandler(cb, resp.Body, float64(resp.Status))
-		})
+		b.scheduleAsync(newAJAXRec(f, req, rawURL, cb), b.network.Latency())
 		return script.Undefined, nil
 	}}
 }
@@ -138,10 +140,12 @@ func msToDuration(ms float64) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
-// TimerHandle is the script-visible value returned by setTimeout.
+// TimerHandle is the script-visible value returned by setTimeout. A
+// handle cloned into a fork whose timer already fired carries a nil
+// record; clearTimeout on it is a no-op.
 type TimerHandle struct {
-	timer *vclock.Timer
-	clock *vclock.Clock
+	browser *Browser
+	rec     *asyncRec
 }
 
 // ---- document ----
@@ -167,7 +171,7 @@ func (d *DocHandle) GetProp(name string) (script.Value, bool) {
 	case "URL":
 		return f.doc.URL, true
 	case "getElementById":
-		return &script.NativeFunc{Name: "getElementById", Fn: func(args []script.Value) (script.Value, error) {
+		return f.docMethod(name, func(args []script.Value) (script.Value, error) {
 			if len(args) < 1 {
 				return nil, nil
 			}
@@ -176,25 +180,42 @@ func (d *DocHandle) GetProp(name string) (script.Value, bool) {
 				return nil, nil // JavaScript returns null
 			}
 			return f.handleFor(n), nil
-		}}, true
+		}), true
 	case "createElement":
-		return &script.NativeFunc{Name: "createElement", Fn: func(args []script.Value) (script.Value, error) {
+		return f.docMethod(name, func(args []script.Value) (script.Value, error) {
 			if len(args) < 1 {
 				return nil, fmt.Errorf("createElement: missing tag")
 			}
 			return f.handleFor(dom.NewElement(script.ToString(args[0]))), nil
-		}}, true
+		}), true
 	case "createTextNode":
-		return &script.NativeFunc{Name: "createTextNode", Fn: func(args []script.Value) (script.Value, error) {
+		return f.docMethod(name, func(args []script.Value) (script.Value, error) {
 			text := ""
 			if len(args) > 0 {
 				text = script.ToString(args[0])
 			}
 			return f.handleFor(dom.NewText(text)), nil
-		}}, true
+		}), true
 	default:
 		return script.Undefined, false
 	}
+}
+
+// docMethod interns document method bindings per frame: scripts call
+// document.getElementById on nearly every handled event, and minting a
+// fresh closure per property access kept the replay hot path
+// allocating. Interning also makes method identity stable, as in real
+// DOM implementations.
+func (f *Frame) docMethod(name string, fn func(args []script.Value) (script.Value, error)) *script.NativeFunc {
+	if m, ok := f.docMethods[name]; ok {
+		return m
+	}
+	if f.docMethods == nil {
+		f.docMethods = make(map[string]*script.NativeFunc, 4)
+	}
+	m := &script.NativeFunc{Name: name, Fn: fn}
+	f.docMethods[name] = m
+	return m
 }
 
 // SetProp implements script.PropHolder; document properties are not
@@ -376,7 +397,7 @@ func (h *ElementHandle) GetProp(name string) (script.Value, bool) {
 			typ := script.ToString(args[0])
 			fn := args[1]
 			capture := len(args) > 2 && script.Truthy(args[2])
-			event.Listen(n, typ, capture, f.scriptEventHandler(fn))
+			f.addScriptListener(n, typ, capture, fn)
 			return script.Undefined, nil
 		}}, true
 	case "focus":
@@ -560,16 +581,28 @@ func wireInlineHandlers(f *Frame) {
 			if !ok || strings.TrimSpace(src) == "" {
 				continue
 			}
-			typ := strings.TrimPrefix(attr, "on")
-			handlerSrc := src
-			event.Listen(n, typ, false, func(e *event.Event) {
-				f.interp.Define("event", &EventBinding{frame: f, ev: e})
-				if _, err := f.interp.Run(handlerSrc); err != nil {
-					f.tab.logConsole(ConsoleError, err.Error())
-				}
-			})
+			f.addInlineListener(n, strings.TrimPrefix(attr, "on"), src)
 		}
 		return true
+	})
+}
+
+// addScriptListener registers a script-function listener and logs the
+// registration so forks can replay it (frame.go).
+func (f *Frame) addScriptListener(n *dom.Node, typ string, capture bool, fn script.Value) {
+	f.listenerLog = append(f.listenerLog, listenerRec{node: n, typ: typ, capture: capture, fn: fn})
+	event.Listen(n, typ, capture, f.scriptEventHandler(fn))
+}
+
+// addInlineListener registers an inline on*-attribute handler and logs
+// the registration. The handler re-evaluates src with `event` bound.
+func (f *Frame) addInlineListener(n *dom.Node, typ, src string) {
+	f.listenerLog = append(f.listenerLog, listenerRec{node: n, typ: typ, inline: true, src: src})
+	event.Listen(n, typ, false, func(e *event.Event) {
+		f.interp.Define("event", &EventBinding{frame: f, ev: e})
+		if _, err := f.interp.Run(src); err != nil {
+			f.tab.logConsole(ConsoleError, err.Error())
+		}
 	})
 }
 

@@ -45,9 +45,19 @@ type Browser struct {
 	network *netsim.Network
 	mode    Mode
 
+	// world, when set, is the environment this browser lives in; Fork
+	// delegates to it so a checkpoint clones the whole world (server
+	// state included), not just the browser.
+	world World
+
 	mu      sync.Mutex
 	tabs    []*Tab
 	cookies map[string]map[string]string // host → name → value
+
+	// asyncs are the pending script timeouts and AJAX fetches, in
+	// registration order (see async.go); asyncSeq numbers them.
+	asyncs   []*asyncRec
+	asyncSeq uint64
 }
 
 // New returns a browser in the given mode, connected to the network and
@@ -69,6 +79,14 @@ func (b *Browser) Network() *netsim.Network { return b.network }
 
 // Mode returns the browser build mode.
 func (b *Browser) Mode() Mode { return b.mode }
+
+// SetWorld attaches the environment the browser lives in; Fork
+// delegates to it. registry.NewEnv wires this automatically.
+func (b *Browser) SetWorld(w World) { b.world = w }
+
+// World returns the attached environment (nil when the browser was
+// built bare, outside an environment).
+func (b *Browser) World() World { return b.world }
 
 // NewTab opens an empty tab.
 func (b *Browser) NewTab() *Tab {

@@ -48,6 +48,37 @@ type Frame struct {
 	layoutCache *layout.Layout
 	layoutGen   uint64
 	layoutW     int
+
+	// docMethods interns document method bindings (getElementById,
+	// createElement, ...) so repeated property accesses do not allocate
+	// fresh closures on the replay hot path.
+	docMethods map[string]*script.NativeFunc
+
+	// builtins snapshots the frame's original global bindings right
+	// after newFrameInterp installed them, keyed by name. Forking uses
+	// it two ways: a global still bound to its pristine builtin is
+	// skipped (the fork's fresh binding wins), and a builtin stored
+	// under another name is rebound to the fork's equivalent.
+	builtins map[string]script.Value
+
+	// listenerLog records every event-listener registration (inline
+	// on* handlers and script addEventListener calls) in order, as
+	// data. Cloned frames replay the log so listener sets — and their
+	// per-node firing order — survive a fork. The live listeners still
+	// hang off the DOM nodes themselves.
+	listenerLog []listenerRec
+}
+
+// listenerRec is one recorded listener registration.
+type listenerRec struct {
+	node    *dom.Node
+	typ     string
+	capture bool
+	// inline handlers re-evaluate src with `event` bound; script
+	// listeners invoke fn.
+	inline bool
+	src    string
+	fn     script.Value
 }
 
 func newFrame(tab *Tab, parent *Frame, element *dom.Node) *Frame {

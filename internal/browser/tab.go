@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/dslab-epfl/warr/internal/dom"
-	"github.com/dslab-epfl/warr/internal/htmlparse"
 	"github.com/dslab-epfl/warr/internal/layout"
 	"github.com/dslab-epfl/warr/internal/netsim"
 )
@@ -196,7 +195,7 @@ func (t *Tab) fetchFollowingRedirects(rawURL, method, body string) (*netsim.Resp
 		req := netsim.NewRequest(method, cur)
 		req.Body = body
 		if c := t.browser.cookieHeader(req.Host()); c != "" {
-			req.Header["Cookie"] = c
+			req.SetHeader("Cookie", c)
 		}
 		resp, err := t.browser.network.Fetch(req)
 		if err != nil {
@@ -236,10 +235,10 @@ func resolveAgainst(base, ref string) string {
 // maxFrameDepth bounds iframe nesting.
 const maxFrameDepth = 5
 
-// buildFrame parses html into the frame, runs its scripts, and loads
-// child iframes.
+// buildFrame parses html into the frame (through the page-template
+// cache), runs its scripts, and loads child iframes.
 func (t *Tab) buildFrame(f *Frame, html, url string, depth int) {
-	f.doc = htmlparse.Parse(html, url)
+	f.doc = parsePage(html, url)
 	f.interp = newFrameInterp(f)
 
 	for _, o := range t.observers {
@@ -412,11 +411,18 @@ func (t *Tab) AbsoluteCenter(f *Frame, n *dom.Node) (x, y int, ok bool) {
 	return offX + cx, offY + cy, true
 }
 
-// frameChain lists ancestors from the main frame down to f (inclusive).
+// frameChain lists ancestors from the main frame down to f (inclusive),
+// filled back to front in one allocation — this sits on the replayer's
+// per-command element-targeting path.
 func frameChain(f *Frame) []*Frame {
-	var chain []*Frame
+	depth := 0
 	for cur := f; cur != nil; cur = cur.parent {
-		chain = append([]*Frame{cur}, chain...)
+		depth++
+	}
+	chain := make([]*Frame, depth)
+	for cur := f; cur != nil; cur = cur.parent {
+		depth--
+		chain[depth] = cur
 	}
 	return chain
 }

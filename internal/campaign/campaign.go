@@ -89,6 +89,15 @@ type Options struct {
 	// several Execute calls pass the same table. Nil means a fresh
 	// table per Executor.
 	Prune *PruneTable
+	// DisablePrefixSharing turns off the trace-trie scheduler
+	// (shared.go) and replays every job from command zero in its own
+	// environment — the classic flat path. Sharing changes no outcome
+	// (the equivalence is property-tested against flat execution);
+	// this switch exists for ablation and for pinning down the flat
+	// path in tests. Sharing also disables itself when it cannot help:
+	// fewer than two jobs, no overlapping prefixes, replay hooks
+	// attached, or an environment that cannot fork.
+	DisablePrefixSharing bool
 }
 
 // Executor replays campaign jobs over a pool of isolated environments.
@@ -121,6 +130,9 @@ func (e *Executor) PruneTable() *PruneTable { return e.prune }
 func (e *Executor) Execute(ctx context.Context, jobs []Job) []Outcome {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if outcomes, ok := e.tryExecuteShared(ctx, jobs); ok {
+		return outcomes
 	}
 	outcomes := make([]Outcome, len(jobs))
 

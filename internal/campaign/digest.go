@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/fnv1a"
+)
+
+// Incremental per-command digests, chained FNV-1a over two independent
+// 64-bit lanes. One digest value identifies one trace prefix; chaining
+// the next command into a prefix digest costs no allocation — the
+// command's fields are hashed in place, never serialized to a string.
+// The PruneTable keys its failed prefixes on these digests, and the
+// trie scheduler keys its nodes on the very same values, so the two
+// agree by construction on what "the same prefix" means.
+//
+// Two lanes because pruning acts on digest equality alone: a collision
+// would silently prune a healthy trace, which can never become a
+// finding. One 64-bit lane makes that a 2^-64 event per pair; the
+// second independent lane (different offset, reversed field order)
+// pushes it to 2^-128 — beyond any campaign size. The trie itself
+// never trusts digests: node matching compares full commands.
+
+// prefixDigest identifies one trace prefix.
+type prefixDigest struct {
+	h1, h2 uint64
+}
+
+// digestSeed is the digest of the empty prefix. The second lane starts
+// from a distinct basis so the lanes never coincide by construction.
+func digestSeed() prefixDigest {
+	return prefixDigest{h1: fnv1a.Offset, h2: fnv1a.AddByte(fnv1a.Offset, 0x9e)}
+}
+
+// hashString chains a field with a terminator, so "ab"+"c" and
+// "a"+"bc" chain differently.
+func hashString(h uint64, s string) uint64 {
+	return fnv1a.AddByte(fnv1a.AddString(h, s), 0xff)
+}
+
+func hashInt(h uint64, v int) uint64 {
+	return fnv1a.AddUint64(h, uint64(int64(v)))
+}
+
+// commandDigest chains one command into a prefix digest. Every field
+// that Command.String() serializes participates, so two commands digest
+// equal exactly when their serializations are equal.
+func commandDigest(d prefixDigest, c command.Command) prefixDigest {
+	return prefixDigest{
+		h1: commandLane(d.h1, c, false),
+		h2: commandLane(d.h2, c, true),
+	}
+}
+
+// commandLane hashes the command's fields into one lane; the second
+// lane visits them in reverse so the lanes stay independent.
+func commandLane(h uint64, c command.Command, reverse bool) uint64 {
+	if reverse {
+		h = hashInt(h, c.Elapsed)
+	} else {
+		h = hashInt(h, int(c.Action))
+		h = hashString(h, c.XPath)
+	}
+	switch c.Action {
+	case command.Click, command.DoubleClick:
+		h = hashInt(h, c.X)
+		h = hashInt(h, c.Y)
+	case command.Drag:
+		h = hashInt(h, c.DX)
+		h = hashInt(h, c.DY)
+	case command.Type:
+		h = hashString(h, c.Key)
+		h = hashInt(h, c.Code)
+	}
+	if reverse {
+		h = hashString(h, c.XPath)
+		h = hashInt(h, int(c.Action))
+	} else {
+		h = hashInt(h, c.Elapsed)
+	}
+	return h
+}
+
+// tracePrefixDigest digests the first n commands of tr (all of them
+// when n exceeds the trace).
+func tracePrefixDigest(tr command.Trace, n int) prefixDigest {
+	if n > len(tr.Commands) {
+		n = len(tr.Commands)
+	}
+	d := digestSeed()
+	for _, c := range tr.Commands[:n] {
+		d = commandDigest(d, c)
+	}
+	return d
+}

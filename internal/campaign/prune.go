@@ -1,7 +1,6 @@
 package campaign
 
 import (
-	"strings"
 	"sync"
 
 	"github.com/dslab-epfl/warr/internal/command"
@@ -12,41 +11,63 @@ import (
 // trace sharing that k+1-command prefix is discarded without replay —
 // "neither them can be successfully replayed". It is safe for
 // concurrent use, so the executor's workers share one table.
+//
+// Prefixes are keyed by chained per-command FNV-1a digests (digest.go,
+// two independent 64-bit lanes, collision odds 2^-128) instead of
+// serialized command text: a lookup walks the trace once, chaining
+// each command into the running digest and probing the set — no
+// serialization, no allocation. The trie scheduler's node keys are the
+// same digests, so trie-mode and flat-mode pruning observe the same
+// table identically.
 type PruneTable struct {
 	mu     sync.RWMutex
-	failed map[string]struct{}
+	failed map[prefixDigest]struct{}
 }
 
 // NewPruneTable returns an empty table.
 func NewPruneTable() *PruneTable {
-	return &PruneTable{failed: make(map[string]struct{})}
+	return &PruneTable{failed: make(map[prefixDigest]struct{})}
 }
 
 // RecordFailure marks the prefix ending at the failed command: the
 // first failedAt+1 commands of tr.
 func (p *PruneTable) RecordFailure(tr command.Trace, failedAt int) {
-	key := prefixKey(tr, failedAt+1)
+	p.recordDigest(tracePrefixDigest(tr, failedAt+1))
+}
+
+// recordDigest marks an already-digested failed prefix (trie mode).
+func (p *PruneTable) recordDigest(d prefixDigest) {
 	p.mu.Lock()
-	p.failed[key] = struct{}{}
+	p.failed[d] = struct{}{}
 	p.mu.Unlock()
 }
 
-// Prunable reports whether any recorded failed prefix is a prefix of tr.
+// Prunable reports whether any recorded failed prefix is a prefix of
+// tr. The lookup path is allocation-free.
 func (p *PruneTable) Prunable(tr command.Trace) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if len(p.failed) == 0 {
 		return false
 	}
-	var b strings.Builder
+	d := digestSeed()
 	for _, c := range tr.Commands {
-		b.WriteString(c.String())
-		b.WriteByte('\n')
-		if _, ok := p.failed[b.String()]; ok {
+		d = commandDigest(d, c)
+		if _, ok := p.failed[d]; ok {
 			return true
 		}
 	}
 	return false
+}
+
+// prunableDigest reports whether the prefix with this digest was
+// recorded as failed (trie mode: the scheduler probes node by node as
+// it descends).
+func (p *PruneTable) prunableDigest(d prefixDigest) bool {
+	p.mu.RLock()
+	_, ok := p.failed[d]
+	p.mu.RUnlock()
+	return ok
 }
 
 // Len returns the number of recorded failed prefixes.
@@ -54,17 +75,4 @@ func (p *PruneTable) Len() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return len(p.failed)
-}
-
-// prefixKey serializes the first n commands of a trace.
-func prefixKey(tr command.Trace, n int) string {
-	if n > len(tr.Commands) {
-		n = len(tr.Commands)
-	}
-	var b strings.Builder
-	for _, c := range tr.Commands[:n] {
-		b.WriteString(c.String())
-		b.WriteByte('\n')
-	}
-	return b.String()
 }

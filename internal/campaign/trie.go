@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"sort"
+
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// The trace trie groups campaign jobs by shared command prefixes.
+// Grammar-generated erroneous traces are, by construction, one base
+// trace mutated at a single position, so their prefixes overlap almost
+// completely; the trie makes the overlap explicit, and the shared-
+// prefix scheduler (shared.go) executes every trie edge exactly once.
+//
+// Nodes are keyed by the same chained command digests the PruneTable
+// uses, so "two jobs share a prefix" in the trie means precisely "the
+// prefix the PruneTable would prune by".
+
+// trieNode is one command in the trie. The virtual root of each
+// rootKey carries no command and the empty-prefix digest.
+type trieNode struct {
+	cmd    command.Command
+	depth  int          // number of commands on the path including this node
+	digest prefixDigest // chained digest of the path's commands
+
+	// children in first-job order; because jobs are inserted in index
+	// order, children are ordered by their minimum job index.
+	children []*trieNode
+
+	// terminal lists jobs whose trace ends exactly here, ascending.
+	terminal []int
+	// tails lists jobs whose traces diverge here and share their
+	// remaining suffix with nobody: the suffix is left implicit in the
+	// job's own trace (path compression). Materializing a node chain
+	// per unique suffix would allocate one node per command per job —
+	// the overwhelming majority of a mutant trie.
+	tails []int
+	// min is the smallest job index in the subtree (jobs insert in
+	// index order, so the first insert to touch a node sets it). The
+	// full subtree job list is not materialized — collectJobs derives
+	// it on the cold paths (prune, halt, skip) that need it; keeping a
+	// per-node list would cost one slice append per command per job at
+	// trie build time.
+	min int
+}
+
+// minJob returns the smallest job index in the subtree.
+func (n *trieNode) minJob() int { return n.min }
+
+// collectJobs appends every job index in the subtree (terminal, tail,
+// or deeper) to dst, in no particular order.
+func (n *trieNode) collectJobs(dst []int) []int {
+	dst = append(dst, n.terminal...)
+	dst = append(dst, n.tails...)
+	for _, c := range n.children {
+		dst = c.collectJobs(dst)
+	}
+	return dst
+}
+
+// rootKey separates jobs that can never share execution: different
+// start pages, or different pacing (pacing changes how the clock
+// advances between commands, so equal command prefixes still produce
+// different worlds).
+type rootKey struct {
+	startURL string
+	pacing   replayer.Pacing
+}
+
+// trieRoot is the trie over one rootKey's jobs.
+type trieRoot struct {
+	key  rootKey
+	node *trieNode
+}
+
+// buildTrie groups jobs into tries. Roots are returned in first-job
+// order; defaultPacing resolves a job's effective pacing when the job
+// does not override it.
+func buildTrie(jobs []Job, defaultPacing replayer.Pacing) []*trieRoot {
+	var roots []*trieRoot
+	byKey := make(map[rootKey]*trieRoot)
+	for i, job := range jobs {
+		pacing := job.Pacing
+		if pacing == 0 {
+			pacing = defaultPacing
+		}
+		key := rootKey{startURL: job.Trace.StartURL, pacing: pacing}
+		root := byKey[key]
+		if root == nil {
+			root = &trieRoot{key: key, node: &trieNode{digest: digestSeed(), min: i}}
+			byKey[key] = root
+			roots = append(roots, root)
+		}
+		insertJob(root.node, jobs, i)
+	}
+	// Tail splitting can materialize a child for an early job after a
+	// later job already added one, so re-establish the minimum-index
+	// ordering the scheduler's flat-sequential equivalence rests on.
+	for _, r := range roots {
+		sortChildren(r.node)
+	}
+	return roots
+}
+
+func sortChildren(n *trieNode) {
+	sort.Slice(n.children, func(i, j int) bool {
+		return n.children[i].min < n.children[j].min
+	})
+	for _, c := range n.children {
+		sortChildren(c)
+	}
+}
+
+// insertJob threads job i's trace into the trie (jobs is the full job
+// slice, needed to split parked tails).
+func insertJob(node *trieNode, jobs []Job, i int) {
+	cmds := jobs[i].Trace.Commands
+	for d := 0; d < len(cmds); d++ {
+		cmd := cmds[d]
+		var child *trieNode
+		for _, c := range node.children {
+			// Exact command equality, not digest equality: a digest
+			// collision must not merge two different suffixes.
+			if c.cmd == cmd {
+				child = c
+				break
+			}
+		}
+		if child == nil {
+			// No materialized child. A parked tail sharing this next
+			// command must be split one step down before the new job
+			// can park or continue.
+			child = splitTail(node, jobs, cmd)
+		}
+		if child == nil {
+			// The remaining suffix is uncontested: park it.
+			node.tails = append(node.tails, i)
+			return
+		}
+		node = child
+	}
+	node.terminal = append(node.terminal, i)
+}
+
+// splitTail materializes one node for a parked tail whose next command
+// is cmd, re-parking the tail's remainder below it. It returns nil when
+// no tail continues with cmd.
+func splitTail(node *trieNode, jobs []Job, cmd command.Command) *trieNode {
+	for ti, t := range node.tails {
+		tc := jobs[t].Trace.Commands
+		if tc[node.depth] != cmd {
+			continue
+		}
+		child := &trieNode{cmd: cmd, depth: node.depth + 1, digest: commandDigest(node.digest, cmd), min: t}
+		node.children = append(node.children, child)
+		node.tails = append(node.tails[:ti], node.tails[ti+1:]...)
+		if len(tc) == child.depth {
+			child.terminal = append(child.terminal, t)
+		} else {
+			child.tails = append(child.tails, t)
+		}
+		return child
+	}
+	return nil
+}
+
+// sharedCommands counts the commands trie execution saves versus flat
+// execution: total commands across jobs minus the commands the trie
+// actually executes (materialized edges plus every parked tail's
+// remaining suffix). Zero means no prefix is shared and the trie adds
+// nothing over the flat path.
+func sharedCommands(roots []*trieRoot, jobs []Job) int {
+	total := 0
+	for _, j := range jobs {
+		total += len(j.Trace.Commands)
+	}
+	executed := 0
+	for _, r := range roots {
+		var count func(n *trieNode) int
+		count = func(n *trieNode) int {
+			sum := len(n.children)
+			for _, t := range n.tails {
+				sum += len(jobs[t].Trace.Commands) - n.depth
+			}
+			for _, c := range n.children {
+				sum += count(c)
+			}
+			return sum
+		}
+		executed += count(r.node)
+	}
+	return total - executed
+}

@@ -561,6 +561,12 @@ func (n *Node) RemoveListeners(typ string) {
 	n.listeners = kept
 }
 
+// Listeners returns the node's listener list in registration order.
+// The returned slice is the node's own storage: callers must treat it
+// as read-only and must not hold it across mutations. Event dispatch
+// iterates it allocation-free.
+func (n *Node) Listeners() []Listener { return n.listeners }
+
 // ListenersFor returns the listeners registered for the given event type,
 // in registration order.
 func (n *Node) ListenersFor(typ string) []Listener {

@@ -19,14 +19,30 @@ type CampaignRow struct {
 	Scenario    string
 	Mutants     int
 	Parallelism int
-	// Sequential and Parallel are the wall-clock times of the two runs.
+	// Flat is the wall-clock time of the ablated run: prefix sharing
+	// off, every erroneous trace replayed from command zero in its own
+	// environment (the pre-trie executor).
+	Flat time.Duration
+	// Sequential and Parallel are the wall-clock times of the two
+	// shared-prefix runs.
 	Sequential time.Duration
 	Parallel   time.Duration
-	// SequentialFindings and ParallelFindings are the oracle-detected
-	// bug sets; they must be equal (pruning races only shift the
-	// Replayed/Pruned split, never the findings).
+	// FlatFindings, SequentialFindings and ParallelFindings are the
+	// oracle-detected bug sets; they must all be equal (the trie
+	// scheduler preserves campaign results exactly, and pruning races
+	// only shift the Replayed/Pruned split).
+	FlatFindings       []string
 	SequentialFindings []string
 	ParallelFindings   []string
+}
+
+// SharingSpeedup is the flat/sequential wall-clock ratio — what the
+// trace-trie scheduler alone buys at Parallelism 1.
+func (r CampaignRow) SharingSpeedup() float64 {
+	if r.Sequential == 0 {
+		return 0
+	}
+	return float64(r.Flat) / float64(r.Sequential)
 }
 
 // Speedup is the sequential/parallel wall-clock ratio.
@@ -37,14 +53,16 @@ func (r CampaignRow) Speedup() float64 {
 	return float64(r.Sequential) / float64(r.Parallel)
 }
 
-// FindingsMatch reports whether both runs flagged the same injections.
+// FindingsMatch reports whether all runs flagged the same injections.
 func (r CampaignRow) FindingsMatch() bool {
-	if len(r.SequentialFindings) != len(r.ParallelFindings) {
-		return false
-	}
-	for i := range r.SequentialFindings {
-		if r.SequentialFindings[i] != r.ParallelFindings[i] {
+	for _, other := range [][]string{r.FlatFindings, r.ParallelFindings} {
+		if len(r.SequentialFindings) != len(other) {
 			return false
+		}
+		for i := range r.SequentialFindings {
+			if r.SequentialFindings[i] != other[i] {
+				return false
+			}
 		}
 	}
 	return true
@@ -80,6 +98,11 @@ func Campaign(sc apps.Scenario, parallelism int) (CampaignRow, error) {
 	row.Mutants = len(weberr.Mutants(g, weberr.InjectOptions{}))
 
 	start := time.Now()
+	flat := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: 1, DisablePrefixSharing: true})
+	row.Flat = time.Since(start)
+	row.FlatFindings = FindingKeys(flat)
+
+	start = time.Now()
 	seq := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: 1})
 	row.Sequential = time.Since(start)
 	row.SequentialFindings = FindingKeys(seq)
@@ -107,18 +130,20 @@ func CampaignAll(parallelism int) ([]CampaignRow, error) {
 // FormatCampaign renders the comparison.
 func FormatCampaign(rows []CampaignRow) string {
 	var b strings.Builder
-	b.WriteString("Navigation campaigns: sequential vs concurrent executor\n")
-	fmt.Fprintf(&b, "%-18s %8s %12s %12s %8s %s\n",
-		"scenario", "mutants", "sequential", "parallel", "speedup", "findings")
+	b.WriteString("Navigation campaigns: flat vs shared-prefix (trie) vs concurrent executor\n")
+	fmt.Fprintf(&b, "%-18s %8s %10s %10s %8s %10s %8s %s\n",
+		"scenario", "mutants", "flat", "shared", "sharing", "parallel", "speedup", "findings")
 	for _, r := range rows {
 		verdict := "equal"
 		if !r.FindingsMatch() {
 			verdict = "DIVERGED"
 		}
-		fmt.Fprintf(&b, "%-18s %8d %12s %12s %7.2fx %d %s\n",
+		fmt.Fprintf(&b, "%-18s %8d %10s %10s %7.2fx %10s %7.2fx %d %s\n",
 			r.Scenario, r.Mutants,
-			r.Sequential.Round(time.Millisecond), r.Parallel.Round(time.Millisecond),
-			r.Speedup(), len(r.SequentialFindings), verdict)
+			r.Flat.Round(time.Millisecond), r.Sequential.Round(time.Millisecond),
+			r.SharingSpeedup(),
+			r.Parallel.Round(time.Millisecond), r.Speedup(),
+			len(r.SequentialFindings), verdict)
 	}
 	return b.String()
 }

@@ -26,16 +26,88 @@ type Request struct {
 
 	// Form holds parsed query/body parameters (populated by ParseForm).
 	Form url.Values
+
+	// parsed caches url.Parse(URL); parsedFor guards against callers
+	// rewriting the URL field after the first accessor ran. Host, Path,
+	// and routing each need the parsed form, and re-parsing per call
+	// was the single largest allocator on the campaign hot path.
+	parsed    *url.URL
+	parsedFor string
 }
 
-// NewRequest returns a GET request for the given URL.
+// parseURL returns the parsed form of the request URL, cached while
+// the URL field is unchanged.
+func (r *Request) parseURL() (*url.URL, error) {
+	if r.parsed != nil && r.parsedFor == r.URL {
+		return r.parsed, nil
+	}
+	u, err := parseURLCached(r.URL)
+	if err != nil {
+		return nil, err
+	}
+	r.parsed, r.parsedFor = u, r.URL
+	return u, nil
+}
+
+// The URL parse cache: the same request URLs recur across every
+// environment of a campaign (start pages, AJAX endpoints, redirect
+// targets), and parsing them anew per request was a top allocator.
+// Cached *url.URL values are shared and must never be mutated — every
+// consumer in this module only reads fields. Two bounded generations,
+// hot entries surviving rotation, as elsewhere.
+const urlCacheGen = 512
+
+var (
+	urlMu   sync.RWMutex
+	urlCur  = make(map[string]*url.URL)
+	urlPrev map[string]*url.URL
+)
+
+func parseURLCached(raw string) (*url.URL, error) {
+	urlMu.RLock()
+	u, hot := urlCur[raw]
+	if !hot {
+		u = urlPrev[raw]
+	}
+	urlMu.RUnlock()
+	if u == nil {
+		var err error
+		if u, err = url.Parse(raw); err != nil {
+			return nil, err
+		}
+	} else if hot {
+		return u, nil
+	}
+	urlMu.Lock()
+	if _, exists := urlCur[raw]; !exists {
+		if len(urlCur) >= urlCacheGen {
+			urlPrev, urlCur = urlCur, make(map[string]*url.URL, urlCacheGen)
+		}
+		urlCur[raw] = u
+	}
+	urlMu.Unlock()
+	return u, nil
+}
+
+// NewRequest returns a request for the given URL. The Header map is
+// created lazily by SetHeader — most simulated requests carry no
+// headers, and the hot fetch paths fire thousands of them.
 func NewRequest(method, rawURL string) *Request {
-	return &Request{Method: method, URL: rawURL, Header: make(map[string]string)}
+	return &Request{Method: method, URL: rawURL}
+}
+
+// SetHeader sets one request header, creating the Header map on first
+// use.
+func (r *Request) SetHeader(name, value string) {
+	if r.Header == nil {
+		r.Header = make(map[string]string, 1)
+	}
+	r.Header[name] = value
 }
 
 // ParseForm populates Form from the URL query and, for POST, the body.
 func (r *Request) ParseForm() error {
-	u, err := url.Parse(r.URL)
+	u, err := r.parseURL()
 	if err != nil {
 		return fmt.Errorf("netsim: parsing url %q: %w", r.URL, err)
 	}
@@ -56,7 +128,7 @@ func (r *Request) ParseForm() error {
 
 // Host returns the request's host component ("" for unparsable URLs).
 func (r *Request) Host() string {
-	u, err := url.Parse(r.URL)
+	u, err := r.parseURL()
 	if err != nil {
 		return ""
 	}
@@ -65,7 +137,7 @@ func (r *Request) Host() string {
 
 // Path returns the request's path component ("/" when empty).
 func (r *Request) Path() string {
-	u, err := url.Parse(r.URL)
+	u, err := r.parseURL()
 	if err != nil || u.Path == "" {
 		return "/"
 	}

@@ -24,8 +24,8 @@ type Env struct {
 	Network *netsim.Network
 	Browser *browser.Browser
 
-	apps   []App
-	states map[string]AppState
+	apps  []App
+	cells map[string]*stateCell
 }
 
 // EnvOption configures NewEnv.
@@ -84,13 +84,13 @@ func NewEnv(mode browser.Mode, opts ...EnvOption) (*Env, error) {
 	e := &Env{
 		Clock:   clock,
 		Network: network,
-		states:  make(map[string]AppState, len(selected)),
+		cells:   make(map[string]*stateCell, len(selected)),
 	}
 	hosts := make(map[string]string, len(selected))
 	urls := make(map[string]string, len(selected))
 	for _, a := range selected {
 		name, host, url := a.Name(), a.Host(), a.StartURL()
-		if _, ok := e.states[name]; ok {
+		if _, ok := e.cells[name]; ok {
 			return nil, &DuplicateAppError{Name: name}
 		}
 		if owner, ok := hosts[host]; ok {
@@ -103,14 +103,21 @@ func NewEnv(mode browser.Mode, opts ...EnvOption) (*Env, error) {
 		if st == nil {
 			return nil, fmt.Errorf("registry: app %q NewState returned nil", name)
 		}
+		cell := &stateCell{app: a, st: st}
 		e.apps = append(e.apps, a)
-		e.states[name] = st
+		e.cells[name] = cell
 		hosts[host] = name
 		urls[url] = name
-		network.Register(host, st.Handler())
+		// Requests route through the cell (cow.go) so that, once this
+		// environment has forks, their pending snapshots settle before
+		// a request can mutate the state.
+		network.Register(host, &appPort{cell: cell})
 	}
 
 	e.Browser = browser.New(clock, network, mode)
+	// The environment is the browser's world: forking the browser forks
+	// the whole Env, server state included.
+	e.Browser.SetWorld(e)
 	return e, nil
 }
 
@@ -139,15 +146,21 @@ func (e *Env) AppNames() []string {
 }
 
 // State returns the environment's instance of the named application.
+// Handing the state out settles any pending fork snapshots first, so a
+// caller mutating it directly cannot leak post-fork changes into forks
+// (cow.go).
 func (e *Env) State(appName string) (AppState, bool) {
-	st, ok := e.states[appName]
-	return st, ok
+	cell, ok := e.cells[appName]
+	if !ok {
+		return nil, false
+	}
+	return cell.touch(), true
 }
 
 // MustState is State for oracles that know the application is hosted;
 // it panics with a typed error when it is not.
 func (e *Env) MustState(appName string) AppState {
-	st, ok := e.states[appName]
+	st, ok := e.State(appName)
 	if !ok {
 		panic(&UnknownAppError{Name: appName, Known: e.AppNames()})
 	}
@@ -158,9 +171,71 @@ func (e *Env) MustState(appName string) AppState {
 // The clock, network, and browser are untouched: Reset models the
 // server side starting over, not the world rebooting.
 func (e *Env) Reset() {
-	for _, st := range e.states {
-		st.Reset()
+	for _, cell := range e.cells {
+		cell.touch().Reset()
 	}
+}
+
+// Fork deep-copies the whole environment at this instant: every hosted
+// application's state is snapshotted through its Snapshotter, the
+// network and clock are recreated (clock at the same virtual instant),
+// and the browser — cookies, tabs, DOM, script state, pending timers
+// and AJAX — is cloned onto them. The fork and the original evolve
+// independently from here.
+//
+// Fork fails with *NotSnapshottableError when a hosted application's
+// state does not implement Snapshotter. The documented fallback is the
+// one flat campaign execution always uses: build a fresh environment
+// (or Reset this one) and replay the trace prefix from command zero —
+// behaviourally identical, minus the saved prefix execution.
+func (e *Env) Fork() (*Env, error) {
+	ne, _, err := e.fork()
+	return ne, err
+}
+
+// ForkBrowser implements browser.World: it forks the environment and
+// returns the browser-level fork (with its tab/frame mapping).
+func (e *Env) ForkBrowser(b *browser.Browser) (*browser.Fork, error) {
+	if b != e.Browser {
+		return nil, fmt.Errorf("registry: ForkBrowser called with a browser this environment does not own")
+	}
+	_, fk, err := e.fork()
+	return fk, err
+}
+
+func (e *Env) fork() (*Env, *browser.Fork, error) {
+	clock := vclock.NewAt(e.Clock.Now())
+	network := netsim.New(clock)
+	network.SetLatency(e.Network.Latency())
+
+	ne := &Env{
+		Clock:   clock,
+		Network: network,
+		apps:    append([]App(nil), e.apps...),
+		cells:   make(map[string]*stateCell, len(e.cells)),
+	}
+	for _, a := range e.apps {
+		name := a.Name()
+		parent := e.cells[name]
+		if !parent.snapshottable() {
+			return nil, nil, &NotSnapshottableError{App: name}
+		}
+		// Copy-on-write: the snapshot is deferred until either world
+		// touches the application again (cow.go). Applications the
+		// campaign never exercises are never copied at all.
+		cell := &stateCell{app: a}
+		cell.dependOn(parent)
+		ne.cells[name] = cell
+		network.Register(a.Host(), &appPort{cell: cell})
+	}
+
+	fk, err := e.Browser.CloneOnto(clock, network)
+	if err != nil {
+		return nil, nil, err
+	}
+	ne.Browser = fk.Browser
+	ne.Browser.SetWorld(ne)
+	return ne, fk, nil
 }
 
 // BrowserFactory returns a campaign EnvFactory: each call builds a

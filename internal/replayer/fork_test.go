@@ -1,0 +1,214 @@
+package replayer
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/registry"
+)
+
+// stepKey reduces a Step to its comparable resolution outcome. Err is
+// compared by presence only (error values are distinct pointers).
+func stepKey(s Step) string {
+	return fmt.Sprintf("%d %s %v %q %q failed=%v",
+		s.Index, s.Cmd, s.Status, s.UsedXPath, s.Heuristic, s.Err != nil)
+}
+
+func resultKey(t *testing.T, res *Result) []string {
+	t.Helper()
+	out := []string{fmt.Sprintf("played=%d failed=%d halted=%v cancelled=%v",
+		res.Played, res.Failed, res.Halted, res.Cancelled)}
+	for _, s := range res.Steps {
+		out = append(out, stepKey(s))
+	}
+	return out
+}
+
+func compareResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	w, g := resultKey(t, want), resultKey(t, got)
+	if len(w) != len(g) {
+		t.Fatalf("%s: %d result lines, want %d\nwant: %v\ngot:  %v", label, len(g), len(w), w, g)
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Errorf("%s: line %d:\nwant %s\ngot  %s", label, i, w[i], g[i])
+		}
+	}
+}
+
+// TestForkEquivalenceEveryScenario is the checkpoint-equivalence
+// contract: for every registered scenario, replaying k commands in a
+// fresh environment, forking, and finishing the trace in the fork must
+// be indistinguishable from replaying the whole trace in one fresh
+// environment — same step statuses and relaxations, same final page,
+// same console, and a server state the scenario's own oracle accepts.
+// Every fork point k is exercised, including k=0 (fork right after the
+// start page loaded) and k=len (fork of a finished session).
+func TestForkEquivalenceEveryScenario(t *testing.T) {
+	for _, name := range registry.ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			sc, err := registry.LookupScenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := record(t, sc)
+			want, _, wantTab := replayInFreshEnv(t, tr, browser.DeveloperMode, Options{})
+
+			for k := 0; k <= len(tr.Commands); k++ {
+				got, gotTab, env := forkedReplay(t, tr, k)
+				compareResults(t, fmt.Sprintf("fork at %d", k), want, got)
+				if gotTab.URL() != wantTab.URL() || gotTab.Title() != wantTab.Title() {
+					t.Errorf("fork at %d: final page %q (%q), want %q (%q)",
+						k, gotTab.URL(), gotTab.Title(), wantTab.URL(), wantTab.Title())
+				}
+				if w, g := len(wantTab.Console()), len(gotTab.Console()); w != g {
+					t.Errorf("fork at %d: %d console entries, want %d", k, g, w)
+				}
+				if err := sc.Verify(env, gotTab); err != nil {
+					t.Errorf("fork at %d: scenario oracle rejected the forked replay: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// forkedReplay replays k commands fresh, forks, and finishes in the
+// fork. It returns the fork's result, tab, and environment.
+func forkedReplay(t *testing.T, tr command.Trace, k int) (*Result, *browser.Tab, *apps.Env) {
+	t.Helper()
+	env := apps.NewEnv(browser.DeveloperMode)
+	s, err := New(env.Browser, Options{}).NewSession(nil, tr)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	for i := 0; i < k; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("session ended early at command %d", i)
+		}
+	}
+	fork, err := s.Fork()
+	if err != nil {
+		t.Fatalf("Fork at %d: %v", k, err)
+	}
+	res := fork.Run()
+
+	forkEnv, ok := fork.Tab().Browser().World().(*apps.Env)
+	if !ok {
+		t.Fatalf("forked browser has no Env world (got %T)", fork.Tab().Browser().World())
+	}
+	// The parent must be unaffected: it still finishes its own replay
+	// with the same outcome.
+	parentRes := s.Run()
+	if parentRes.Failed != res.Failed || parentRes.Played != res.Played {
+		t.Errorf("fork at %d: parent finished with played=%d failed=%d, fork with played=%d failed=%d",
+			k, parentRes.Played, parentRes.Failed, res.Played, res.Failed)
+	}
+	return res, fork.Tab(), forkEnv
+}
+
+// TestForkIsolation: mutations in a fork must not leak into the parent
+// world — server state, DOM, cookies, or pending timers.
+func TestForkIsolation(t *testing.T) {
+	sc := apps.EditSiteScenario()
+	tr := record(t, sc)
+
+	env := apps.NewEnv(browser.DeveloperMode)
+	s, err := New(env.Browser, Options{}).NewSession(nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay half the trace, fork, then run both to completion.
+	for i := 0; i < len(tr.Commands)/2; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("session ended early at %d", i)
+		}
+	}
+	fork, err := s.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkRes := fork.Run()
+	parentRes := s.Run()
+	if !forkRes.Complete() || !parentRes.Complete() {
+		t.Fatalf("replays incomplete: fork %+v parent %+v", forkRes, parentRes)
+	}
+
+	forkEnv := fork.Tab().Browser().World().(*apps.Env)
+	if apps.SitesIn(env) == apps.SitesIn(forkEnv) {
+		t.Fatal("fork shares the Sites app state with the parent")
+	}
+	// Both worlds saved exactly once.
+	if n := apps.SitesIn(env).Saves(); n != 1 {
+		t.Errorf("parent saves = %d, want 1", n)
+	}
+	if n := apps.SitesIn(forkEnv).Saves(); n != 1 {
+		t.Errorf("fork saves = %d, want 1", n)
+	}
+	// Mutating the fork's server afterwards must not touch the parent.
+	apps.SitesIn(forkEnv).SetPageContent("home", "fork-only")
+	if got := apps.SitesIn(env).PageContent("home"); got == "fork-only" {
+		t.Error("fork server mutation leaked into the parent")
+	}
+}
+
+// TestForkWithPendingAJAX pins the hard case: forking while the Sites
+// editor fetch is still in flight. The pending AJAX must fire in both
+// worlds, independently.
+func TestForkWithPendingAJAX(t *testing.T) {
+	sc := apps.EditSiteScenario()
+	tr := record(t, sc)
+
+	env := apps.NewEnv(browser.DeveloperMode)
+	s, err := New(env.Browser, Options{}).NewSession(nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step until the editor fetch is pending.
+	forked := false
+	for i := 0; i < len(tr.Commands); i++ {
+		if env.Clock.PendingTimers() > 0 && !forked {
+			forked = true
+			fork, err := s.Fork()
+			if err != nil {
+				t.Fatalf("Fork with pending AJAX: %v", err)
+			}
+			forkEnv := fork.Tab().Browser().World().(*apps.Env)
+			if got := forkEnv.Clock.PendingTimers(); got != env.Clock.PendingTimers() {
+				t.Fatalf("fork has %d pending timers, parent %d", got, env.Clock.PendingTimers())
+			}
+			if res := fork.Run(); !res.Complete() {
+				t.Fatalf("forked replay incomplete: %+v", res)
+			}
+			if err := sc.Verify(forkEnv, fork.Tab()); err != nil {
+				t.Errorf("forked replay with pending AJAX failed the oracle: %v", err)
+			}
+		}
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if !forked {
+		t.Fatal("no command left AJAX pending; scenario no longer covers the case")
+	}
+	if res := s.Result(); !res.Complete() {
+		t.Fatalf("parent replay incomplete after fork: %+v", res)
+	}
+}
+
+// TestForkRequiresWorld: a bare browser (no environment attached)
+// cannot fork.
+func TestForkRequiresWorld(t *testing.T) {
+	env := apps.NewEnv(browser.DeveloperMode)
+	bare := browser.New(env.Clock, env.Network, browser.DeveloperMode)
+	s, err := New(bare, Options{}).NewSession(nil, command.Trace{StartURL: apps.SitesURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fork(); err == nil {
+		t.Fatal("Fork on a world-less browser succeeded, want error")
+	}
+}

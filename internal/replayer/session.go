@@ -86,6 +86,94 @@ func (r *Replayer) NewSession(ctx context.Context, tr command.Trace) (*Session, 
 // configured in Options. It must be called before the first Next.
 func (s *Session) AddHooks(h Hooks) { s.hooks = append(s.hooks, h) }
 
+// Fork checkpoints the session at its current command position: the
+// whole environment (browser, page, script state, pending timers, and
+// — through the registry — server-side application state) is deep-
+// copied, and the returned session continues from command Next in the
+// copy while this session keeps running in the original. Results so
+// far are carried over, so a forked session's final Result is the same
+// shape a full-trace replay produces; hooks are shared with the parent.
+//
+// Forking requires a forkable environment: a browser with a world
+// attached (registry.NewEnv does this) whose applications implement
+// registry.Snapshotter. Otherwise Fork fails — typically with
+// browser.ErrNotForkable or *registry.NotSnapshottableError — and the
+// caller falls back to replaying the prefix in a fresh environment.
+func (s *Session) Fork() (*Session, error) {
+	return s.ForkFor(s.trace)
+}
+
+// ForkFor is Fork with a retarget: the forked session replays tr, a
+// trace that must agree with this session's trace on the already-
+// replayed prefix. The campaign trie scheduler uses it to branch one
+// checkpoint into many divergent suffixes.
+func (s *Session) ForkFor(tr command.Trace) (*Session, error) {
+	if err := s.checkPrefix(tr); err != nil {
+		return nil, err
+	}
+	fk, err := s.replayer.browser.Fork()
+	if err != nil {
+		return nil, err
+	}
+	tab := fk.Tab(s.tab)
+	ns := &Session{
+		replayer: New(fk.Browser, s.replayer.opts),
+		ctx:      s.ctx,
+		trace:    tr,
+		tab:      tab,
+		driver:   s.driver.CloneFor(tab, fk.Frame),
+		hooks:    append([]Hooks(nil), s.hooks...),
+		next:     s.next,
+		res:      s.res.Clone(),
+		done:     s.done,
+	}
+	return ns, nil
+}
+
+// Retarget swaps the session's trace for tr, which must agree with the
+// current trace on the already-replayed prefix. Replay continues from
+// the same position into tr's remaining commands. The campaign trie
+// scheduler retargets a live session when descending into a subtree
+// whose minimum job differs from the one the session was opened for.
+func (s *Session) Retarget(tr command.Trace) error {
+	if err := s.checkPrefix(tr); err != nil {
+		return err
+	}
+	s.trace = tr
+	// A session that exhausted its old trace may have more commands to
+	// replay in the new one (and vice versa). Exhaustion is re-derived;
+	// halted and cancelled states stay final.
+	if s.done && !s.res.Halted && !s.res.Cancelled {
+		s.done = s.next >= len(tr.Commands)
+	}
+	return nil
+}
+
+// checkPrefix verifies tr shares the already-replayed prefix.
+func (s *Session) checkPrefix(tr command.Trace) error {
+	if tr.StartURL != s.trace.StartURL {
+		return fmt.Errorf("replayer: retarget trace starts at %q, session at %q", tr.StartURL, s.trace.StartURL)
+	}
+	if len(tr.Commands) < s.next {
+		return fmt.Errorf("replayer: retarget trace has %d commands, session already replayed %d", len(tr.Commands), s.next)
+	}
+	for i := 0; i < s.next; i++ {
+		if tr.Commands[i] != s.trace.Commands[i] {
+			return fmt.Errorf("replayer: retarget trace diverges at already-replayed command %d", i)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies a result: snapshots of a live session's Result
+// (which the session keeps appending to) and fork bookkeeping both
+// need an independent copy.
+func (r *Result) Clone() *Result {
+	dup := *r
+	dup.Steps = append([]Step(nil), r.Steps...)
+	return &dup
+}
+
 // Tab returns the tab the session replays into; its page state is live
 // and may be inspected between steps or after the session ends.
 func (s *Session) Tab() *browser.Tab { return s.tab }

@@ -1,0 +1,135 @@
+package script
+
+import "sort"
+
+// This file implements deep cloning of interpreter state — the script
+// half of environment forking. A forked browser frame needs a copy of
+// its global environment in which every mutable script value (objects,
+// arrays, closures and the scope chains they capture) is independent of
+// the original, while host values (DOM handles, native functions bound
+// to the original frame) are translated by a host-supplied hook.
+
+// Names returns the scope's own variable names in sorted order (not
+// including parent scopes). Sorting makes clone traversal — and
+// therefore any allocation pattern derived from it — deterministic.
+func (s *Scope) Names() []string {
+	names := make([]string, 0, len(s.vars))
+	for name := range s.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parent returns the enclosing scope (nil for a global scope).
+func (s *Scope) Parent() *Scope { return s.parent }
+
+// ForEachOwn visits the scope's own bindings in unspecified order —
+// the allocation-free iteration for callers that do not need Names()'s
+// sorting.
+func (s *Scope) ForEachOwn(fn func(name string, v Value)) {
+	for name, v := range s.vars {
+		fn(name, v)
+	}
+}
+
+// OwnLookup resolves name in this scope only, without consulting the
+// parent chain.
+func (s *Scope) OwnLookup(name string) (Value, bool) {
+	v, ok := s.vars[name]
+	return v, ok
+}
+
+// Cloner deep-copies script values and the scope chains closures
+// capture. It memoizes every object, array, function, and scope it
+// copies, so aliasing and cycles in the source survive the clone
+// (two variables holding the same array still alias one array in the
+// copy).
+type Cloner struct {
+	// mapHost translates values the cloner does not own: anything that
+	// is not a primitive, *Object, *Array, or *Function. Returning
+	// ok == false keeps the original value — correct for immutable
+	// hosts, a documented sharing for exotic ones.
+	mapHost func(Value) (Value, bool)
+
+	values map[Value]Value
+	scopes map[*Scope]*Scope
+}
+
+// NewCloner returns a cloner using mapHost (which may be nil) for host
+// values.
+func NewCloner(mapHost func(Value) (Value, bool)) *Cloner {
+	return &Cloner{
+		mapHost: mapHost,
+		values:  make(map[Value]Value),
+		scopes:  make(map[*Scope]*Scope),
+	}
+}
+
+// MapScope pre-seeds a scope translation: every cloned closure whose
+// chain reaches old is re-rooted at new. Forking maps each frame's old
+// global scope to the fresh interpreter's global scope this way.
+func (c *Cloner) MapScope(old, new *Scope) { c.scopes[old] = new }
+
+// Value deep-copies v.
+func (c *Cloner) Value(v Value) Value {
+	switch v.(type) {
+	case nil, undefinedType, bool, float64, string:
+		return v
+	}
+	if dup, ok := c.values[v]; ok {
+		return dup
+	}
+	// The host hook runs before the generic handling so a host can
+	// substitute its own translation even for plain objects it installed
+	// (the browser rebinds its console object this way).
+	if c.mapHost != nil {
+		if dup, ok := c.mapHost(v); ok {
+			c.values[v] = dup
+			return dup
+		}
+	}
+	switch x := v.(type) {
+	case *Array:
+		dup := &Array{Elems: make([]Value, len(x.Elems))}
+		c.values[v] = dup
+		for i, e := range x.Elems {
+			dup.Elems[i] = c.Value(e)
+		}
+		return dup
+	case *Object:
+		dup := NewObject()
+		c.values[v] = dup
+		for _, k := range x.Keys() {
+			dup.props[k] = c.Value(x.props[k])
+		}
+		return dup
+	case *Function:
+		dup := &Function{name: x.name, params: x.params, body: x.body}
+		c.values[v] = dup
+		// The AST (params, body) is immutable and shared; only the
+		// captured environment is copied.
+		dup.env = c.Scope(x.env)
+		return dup
+	default:
+		return v
+	}
+}
+
+// Scope deep-copies a scope chain, following parents until a pre-seeded
+// mapping (or nil) is reached.
+func (c *Cloner) Scope(s *Scope) *Scope {
+	if s == nil {
+		return nil
+	}
+	if dup, ok := c.scopes[s]; ok {
+		return dup
+	}
+	dup := &Scope{vars: make(map[string]Value, len(s.vars))}
+	c.scopes[s] = dup
+	dup.parent = c.Scope(s.parent)
+	for name, v := range s.vars {
+		dup.vars[name] = c.Value(v)
+	}
+	return dup
+}

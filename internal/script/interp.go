@@ -35,7 +35,9 @@ type continueSignal struct{}
 
 func (continueSignal) Error() string { return "continue outside loop" }
 
-// Scope is a lexical environment frame.
+// Scope is a lexical environment frame. The variable map is created on
+// first Define: block scopes (if/loop bodies) usually declare nothing,
+// and the interpreter opens one per executed block.
 type Scope struct {
 	vars   map[string]Value
 	parent *Scope
@@ -43,11 +45,16 @@ type Scope struct {
 
 // NewScope returns a scope nested in parent (nil for a global scope).
 func NewScope(parent *Scope) *Scope {
-	return &Scope{vars: make(map[string]Value), parent: parent}
+	return &Scope{parent: parent}
 }
 
 // Define creates or overwrites name in this scope.
-func (s *Scope) Define(name string, v Value) { s.vars[name] = v }
+func (s *Scope) Define(name string, v Value) {
+	if s.vars == nil {
+		s.vars = make(map[string]Value, 4)
+	}
+	s.vars[name] = v
+}
 
 // Lookup resolves name through the scope chain.
 func (s *Scope) Lookup(name string) (Value, bool) {
@@ -97,9 +104,11 @@ func New() *Interp {
 func (in *Interp) Define(name string, v Value) { in.Global.Define(name, v) }
 
 // Run parses and executes src in the global scope, returning the value of
-// the last expression statement.
+// the last expression statement. Parsing goes through the process-wide
+// parse cache (parsecache.go): repeated sources — page scripts across
+// loads, inline handlers across events — parse once.
 func (in *Interp) Run(src string) (Value, error) {
-	prog, err := parse(src)
+	prog, err := parseCached(src)
 	if err != nil {
 		return nil, err
 	}

@@ -297,10 +297,12 @@ func argIndex(args []Value) (int, error) {
 	return int(n), err
 }
 
-// InstallBuiltins defines the host-independent global functions the
-// simulated applications rely on.
-func InstallBuiltins(in *Interp) {
-	in.Define("parseInt", &NativeFunc{Name: "parseInt", Fn: func(args []Value) (Value, error) {
+// The host-independent builtins are stateless, so one shared instance
+// serves every interpreter. Environments create one interpreter per
+// frame per page load — and forks create another per frame — so
+// per-interp closure construction was measurable churn.
+var (
+	parseIntBuiltin = &NativeFunc{Name: "parseInt", Fn: func(args []Value) (Value, error) {
 		if len(args) == 0 {
 			return float64(0), nil
 		}
@@ -324,14 +326,14 @@ func InstallBuiltins(in *Interp) {
 			n = -n
 		}
 		return float64(n), nil
-	}})
-	in.Define("String", &NativeFunc{Name: "String", Fn: func(args []Value) (Value, error) {
+	}}
+	stringBuiltin = &NativeFunc{Name: "String", Fn: func(args []Value) (Value, error) {
 		if len(args) == 0 {
 			return "", nil
 		}
 		return ToString(args[0]), nil
-	}})
-	in.Define("Number", &NativeFunc{Name: "Number", Fn: func(args []Value) (Value, error) {
+	}}
+	numberBuiltin = &NativeFunc{Name: "Number", Fn: func(args []Value) (Value, error) {
 		if len(args) == 0 {
 			return float64(0), nil
 		}
@@ -340,8 +342,8 @@ func InstallBuiltins(in *Interp) {
 			return float64(0), nil
 		}
 		return n, nil
-	}})
-	in.Define("fromCharCode", &NativeFunc{Name: "fromCharCode", Fn: func(args []Value) (Value, error) {
+	}}
+	fromCharCodeBuiltin = &NativeFunc{Name: "fromCharCode", Fn: func(args []Value) (Value, error) {
 		var b strings.Builder
 		for _, a := range args {
 			n, err := ToNumber(a)
@@ -351,5 +353,14 @@ func InstallBuiltins(in *Interp) {
 			b.WriteRune(rune(int(n)))
 		}
 		return b.String(), nil
-	}})
+	}}
+)
+
+// InstallBuiltins defines the host-independent global functions the
+// simulated applications rely on.
+func InstallBuiltins(in *Interp) {
+	in.Define("parseInt", parseIntBuiltin)
+	in.Define("String", stringBuiltin)
+	in.Define("Number", numberBuiltin)
+	in.Define("fromCharCode", fromCharCodeBuiltin)
 }

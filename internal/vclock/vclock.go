@@ -89,6 +89,13 @@ func New() *Clock {
 	return &Clock{now: Epoch}
 }
 
+// NewAt returns a Clock positioned at the given instant. Environment
+// forking uses it so a forked world's clock starts exactly where the
+// parent's stood at the checkpoint.
+func NewAt(t time.Time) *Clock {
+	return &Clock{now: t}
+}
+
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Time {
 	c.mu.Lock()

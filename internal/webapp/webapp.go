@@ -78,6 +78,33 @@ func (s *Server) Handle(path string, fn PageFunc) {
 	s.routes[path] = fn
 }
 
+// CopySessionsFrom deep-copies src's sessions (and its sid counter)
+// into s, replacing whatever s held. It is the server-framework half of
+// an application's Snapshot implementation: the snapshot recognizes
+// exactly the sid cookies the original had issued, and future sids
+// continue from the same counter in both, so a forked replay mints the
+// same session ids a fresh replay of the full trace would.
+func (s *Server) CopySessionsFrom(src *Server) {
+	src.mu.Lock()
+	sessions := make(map[string]*Session, len(src.sessions))
+	for id, sess := range src.sessions {
+		sess.mu.Lock()
+		vals := make(map[string]string, len(sess.vals))
+		for k, v := range sess.vals {
+			vals[k] = v
+		}
+		sess.mu.Unlock()
+		sessions[id] = &Session{ID: id, vals: vals}
+	}
+	nextSID := src.nextSID
+	src.mu.Unlock()
+
+	s.mu.Lock()
+	s.sessions = sessions
+	s.nextSID = nextSID
+	s.mu.Unlock()
+}
+
 // ResetSessions forgets every server-side session — part of an
 // application's reset semantics: a reset server no longer recognizes
 // previously issued sid cookies.

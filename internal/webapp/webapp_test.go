@@ -48,7 +48,7 @@ func TestSessionCookieIssuedOnce(t *testing.T) {
 	sid := strings.TrimPrefix(cookie, "sid=")
 
 	req2 := netsim.NewRequest("GET", "http://app.test/")
-	req2.Header["Cookie"] = "sid=" + sid
+	req2.SetHeader("Cookie", "sid="+sid)
 	r2 := s.Serve(req2)
 	if r2.Header["Set-Cookie"] != "" {
 		t.Error("second request re-issued a cookie")
@@ -71,7 +71,7 @@ func TestSessionStateSurvivesRequests(t *testing.T) {
 	r1 := s.Serve(netsim.NewRequest("GET", "http://app.test/set?u=alice"))
 	cookie := r1.Header["Set-Cookie"]
 	req2 := netsim.NewRequest("GET", "http://app.test/get")
-	req2.Header["Cookie"] = cookie
+	req2.SetHeader("Cookie", cookie)
 	if got := s.Serve(req2).Body; got != "user=alice" {
 		t.Fatalf("session value = %q", got)
 	}

@@ -110,6 +110,36 @@ func New(tab *browser.Tab, opts Options) *Driver {
 // Tab returns the driven tab.
 func (d *Driver) Tab() *browser.Tab { return d.tab }
 
+// CloneFor re-creates the driver's exact master state — clients, their
+// adopted src-less frames, load order, and the active-client selection —
+// against a forked tab, using mapFrame to translate frames. A fresh
+// New() on the forked tab would instead re-derive the active client
+// from scratch and could disagree with the history-dependent selection
+// the unload fix produces; replay forks must not change which frame
+// answers element searches first.
+func (d *Driver) CloneFor(tab *browser.Tab, mapFrame func(*browser.Frame) *browser.Frame) *Driver {
+	nd := &Driver{tab: tab, opts: d.opts, clients: make(map[*browser.Frame]*Client, len(d.clients))}
+	tab.AddFrameObserver(nd)
+	for _, c := range d.loadOrder {
+		nf := mapFrame(c.frame)
+		if nf == nil {
+			continue
+		}
+		nc := &Client{frame: nf}
+		for _, a := range c.adopted {
+			if na := mapFrame(a); na != nil {
+				nc.adopted = append(nc.adopted, na)
+			}
+		}
+		nd.clients[nf] = nc
+		nd.loadOrder = append(nd.loadOrder, nc)
+		if d.active == c {
+			nd.active = nc
+		}
+	}
+	return nd
+}
+
 // ActiveClient returns the client currently executing commands, or nil.
 func (d *Driver) ActiveClient() *Client { return d.active }
 
@@ -297,12 +327,23 @@ func (d *Driver) FindByCoordinates(x, y int) (*Element, error) {
 	return &Element{driver: d, frame: frame, node: node}, nil
 }
 
+// noBoxError reports a click on an element without a layout box. The
+// message renders lazily: error-injection campaigns hit this path for
+// a large share of mutated clicks (hidden editors, display:none
+// chrome), and rendering the node path eagerly dominated the failure
+// path's allocations.
+type noBoxError struct{ node *dom.Node }
+
+func (e *noBoxError) Error() string {
+	return "webdriver: element " + e.node.Path() + " has no layout box"
+}
+
 // Click clicks the element through the native input path (WebDriver
 // issues OS-level clicks).
 func (e *Element) Click() error {
 	x, y, ok := e.driver.tab.AbsoluteCenter(e.frame, e.node)
 	if !ok {
-		return fmt.Errorf("webdriver: element %s has no layout box", e.node.Path())
+		return &noBoxError{node: e.node}
 	}
 	e.driver.tab.Click(x, y)
 	return nil
@@ -317,7 +358,7 @@ func (e *Element) DoubleClick() error {
 	}
 	x, y, ok := e.driver.tab.AbsoluteCenter(e.frame, e.node)
 	if !ok {
-		return fmt.Errorf("webdriver: element %s has no layout box", e.node.Path())
+		return &noBoxError{node: e.node}
 	}
 	dev := e.driver.tab.Browser().Mode() == browser.DeveloperMode
 	for _, typ := range []string{event.TypeMouseDown, event.TypeMouseUp, event.TypeClick,

@@ -68,6 +68,11 @@ type CampaignOptions struct {
 	// DisablePruning turns off prefix-failure pruning (ablation; §V-A
 	// heuristic 1).
 	DisablePruning bool
+	// DisablePrefixSharing turns off the executor's trace-trie
+	// scheduler and replays every erroneous trace from command zero in
+	// its own environment (ablation; sharing preserves campaign
+	// results exactly, so this only trades speed).
+	DisablePrefixSharing bool
 	// MaxTraces bounds the campaign (0 = unlimited).
 	MaxTraces int
 	// Parallelism is the number of erroneous traces replayed
@@ -110,9 +115,10 @@ func RunNavigationCampaignContext(ctx context.Context, newEnv EnvFactory, g *Gra
 	}
 
 	exec := campaign.New(newEnv, campaign.Options{
-		Parallelism:    opts.Parallelism,
-		Replayer:       opts.Replayer,
-		DisablePruning: opts.DisablePruning,
+		Parallelism:          opts.Parallelism,
+		Replayer:             opts.Replayer,
+		DisablePruning:       opts.DisablePruning,
+		DisablePrefixSharing: opts.DisablePrefixSharing,
 		// The oracle applies only to traces that replayed completely: a
 		// trace broken by its own injected error is a replay failure,
 		// not a bug in the application, and a context-cancelled partial
@@ -151,8 +157,9 @@ func RunTimingCampaignContext(ctx context.Context, newEnv EnvFactory, tr command
 	}
 
 	exec := campaign.New(newEnv, campaign.Options{
-		Parallelism: opts.Parallelism,
-		Replayer:    opts.Replayer,
+		Parallelism:          opts.Parallelism,
+		Replayer:             opts.Replayer,
+		DisablePrefixSharing: opts.DisablePrefixSharing,
 		// Timing variants intentionally replay the same command
 		// sequence at different speeds; prefix pruning would let the
 		// zero-wait variant's failure veto the slower ones.

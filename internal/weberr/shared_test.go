@@ -1,0 +1,90 @@
+package weberr
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// reportKey canonicalizes a full campaign report — counts and findings
+// in order — for byte-exact comparison between execution strategies.
+func reportKey(rep *Report) string {
+	key := fmt.Sprintf("generated=%d replayed=%d pruned=%d skipped=%d failures=%d\n",
+		rep.Generated, rep.Replayed, rep.Pruned, rep.Skipped, rep.ReplayFailures)
+	for _, f := range rep.Findings {
+		key += f.Injection.String() + " | " + f.Trace.CommandsText() + " | " + f.Observed.Error() + "\n"
+	}
+	return key
+}
+
+// TestSharedPrefixCampaignMatchesFlatOnTableII is the equivalence
+// contract of the trace-trie scheduler: on every Table II scenario,
+// for both campaign classes and both pruning settings, the shared-
+// prefix execution must produce a byte-identical report — same
+// replayed/pruned/failure counts, same findings in the same order —
+// as flat execution, which replays every trace from command zero.
+func TestSharedPrefixCampaignMatchesFlatOnTableII(t *testing.T) {
+	for _, sc := range apps.TableIIScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			tr := recordScenario(t, sc)
+			tree, err := InferTaskTree(freshBrowser, tr)
+			if err != nil {
+				t.Fatalf("InferTaskTree: %v", err)
+			}
+			g := FromTaskTree(tree)
+
+			for _, pruning := range []bool{false, true} {
+				flat := RunNavigationCampaign(freshBrowser, g, CampaignOptions{
+					Replayer:             replayer.Options{Pacing: replayer.PaceNone},
+					DisablePruning:       !pruning,
+					DisablePrefixSharing: true,
+				})
+				shared := RunNavigationCampaign(freshBrowser, g, CampaignOptions{
+					Replayer:       replayer.Options{Pacing: replayer.PaceNone},
+					DisablePruning: !pruning,
+				})
+				if got, want := reportKey(shared), reportKey(flat); got != want {
+					t.Errorf("navigation campaign (pruning=%v): shared-prefix report diverges from flat:\nflat:\n%s\nshared:\n%s",
+						pruning, want, got)
+				}
+			}
+
+			flatTiming := RunTimingCampaign(freshBrowser, tr, CampaignOptions{DisablePrefixSharing: true})
+			sharedTiming := RunTimingCampaign(freshBrowser, tr, CampaignOptions{})
+			if got, want := reportKey(sharedTiming), reportKey(flatTiming); got != want {
+				t.Errorf("timing campaign: shared-prefix report diverges from flat:\nflat:\n%s\nshared:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestSharedPrefixCampaignParallelWorkersAgree runs the trie scheduler
+// with concurrent workers cooperating on one trie — forks handed
+// across goroutines, one shared PruneTable — and requires the findings
+// to match the sequential trie run. The race detector (CI's race job)
+// watches the handoffs.
+func TestSharedPrefixCampaignParallelWorkersAgree(t *testing.T) {
+	sc := apps.EditSiteScenario()
+	tr := recordScenario(t, sc)
+	tree, err := InferTaskTree(freshBrowser, tr)
+	if err != nil {
+		t.Fatalf("InferTaskTree: %v", err)
+	}
+	g := FromTaskTree(tree)
+
+	seq := RunNavigationCampaign(freshBrowser, g, CampaignOptions{
+		Replayer: replayer.Options{Pacing: replayer.PaceNone},
+	})
+	par := RunNavigationCampaign(freshBrowser, g, CampaignOptions{
+		Replayer:    replayer.Options{Pacing: replayer.PaceNone},
+		Parallelism: 8,
+	})
+	if got, want := findingKeys(par), findingKeys(seq); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("parallel trie findings %v, sequential %v", got, want)
+	}
+	if par.Generated != seq.Generated {
+		t.Errorf("parallel generated %d, sequential %d", par.Generated, seq.Generated)
+	}
+}

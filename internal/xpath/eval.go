@@ -52,6 +52,11 @@ func evaluateWalk(p Path, ctx *dom.Node) []*dom.Node {
 // interleaved out of document order; the final sort restores the
 // invariant for both evaluation strategies.
 func sortDocOrder(nodes []*dom.Node) {
+	if len(nodes) < 2 {
+		// The hot replay case — one resolved element — needs no sort,
+		// and sort.Slice's closure machinery would allocate for it.
+		return
+	}
 	sort.Slice(nodes, func(i, j int) bool {
 		return dom.CompareDocumentOrder(nodes[i], nodes[j]) < 0
 	})

@@ -126,7 +126,7 @@ func evaluateIndexed(p Path, ctx *dom.Node) (nodes []*dom.Node, ok bool) {
 	// candidates — so the suffix can be evaluated from the unsorted
 	// verified nodes and the result sorted once at the end, the same
 	// document-order normalization evaluateWalk applies.
-	ver := &verifier{steps: p.Steps[:anchor+1], ctx: ctx, memo: make(map[verKey]bool)}
+	ver := newVerifier(p.Steps[:anchor+1], ctx)
 	var current []*dom.Node
 	for _, n := range ix.NodesByAttr(anchorPred.Name, anchorPred.Value) {
 		if ver.reachable(anchor, n) {
@@ -151,10 +151,25 @@ func evaluateIndexed(p Path, ctx *dom.Node) (nodes []*dom.Node, ok bool) {
 // ancestor scans of a refutation would otherwise multiply into an
 // exponential walk on deep documents with several descendant-axis steps,
 // and the same ancestors recur across candidates sharing a subtree.
+// Memoization only pays — and only guards against blow-up — when the
+// prefix has at least two descendant-axis steps (one deep step scans
+// each ancestor chain once, linearly); the overwhelmingly common
+// recorded shapes (//div/span[@id=...]) verify without allocating.
 type verifier struct {
-	steps []Step
-	ctx   *dom.Node
-	memo  map[verKey]bool
+	steps   []Step
+	ctx     *dom.Node
+	useMemo bool
+	memo    map[verKey]bool
+}
+
+func newVerifier(steps []Step, ctx *dom.Node) *verifier {
+	deep := 0
+	for _, s := range steps {
+		if s.Deep {
+			deep++
+		}
+	}
+	return &verifier{steps: steps, ctx: ctx, useMemo: deep >= 2}
 }
 
 type verKey struct {
@@ -167,11 +182,17 @@ type verKey struct {
 // the steps before it. This is the upward verification that replaces
 // walking the tree down from ctx.
 func (v *verifier) reachable(k int, n *dom.Node) bool {
+	if !v.useMemo {
+		return v.compute(k, n)
+	}
 	key := verKey{k, n}
 	if r, ok := v.memo[key]; ok {
 		return r
 	}
 	r := v.compute(k, n)
+	if v.memo == nil {
+		v.memo = make(map[verKey]bool)
+	}
 	v.memo[key] = r
 	return r
 }
