@@ -1,12 +1,15 @@
 package warr
 
 import (
+	"io"
 	"time"
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/netsim"
 	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/serve"
 	"github.com/dslab-epfl/warr/internal/webapp"
 )
 
@@ -255,3 +258,128 @@ func WebNotFound() *WebResponse { return netsim.NotFound() }
 // KeyEnter is the named key scenarios commit edits with (builder
 // Press/PressEnter).
 const KeyEnter = browser.KeyEnter
+
+// ---- the job engine: replay as a service ----
+//
+// Every face of this module — the one-shot CLIs and the warr-serve
+// daemon — executes through one shared job engine: typed jobs over the
+// session and campaign APIs, a bounded queue with backpressure, a
+// per-job event bus, cancel with causes, and resume built on session
+// forking. This is the programmatic surface of that engine; warr-serve
+// is the same engine behind HTTP (see NewJobServer).
+
+// Job is one unit of engine work: its spec, lifecycle state, event bus,
+// and — once finished — its results.
+type Job = jobs.Job
+
+// JobSpec is a typed job specification.
+type JobSpec = jobs.Spec
+
+// JobKind selects what a job does with its trace.
+type JobKind = jobs.Kind
+
+// Job kinds: one-shot replay (optionally replicated), the WebErr
+// navigation and timing campaigns, and AUsER report ingestion
+// (replay → minimize → classify).
+const (
+	JobReplay             = jobs.KindReplay
+	JobNavigationCampaign = jobs.KindNavigationCampaign
+	JobTimingCampaign     = jobs.KindTimingCampaign
+	JobReport             = jobs.KindReport
+)
+
+// ParseJobKind resolves a job kind name; unknown names return 0.
+func ParseJobKind(s string) JobKind { return jobs.ParseKind(s) }
+
+// JobState is a job's lifecycle position: queued → running → one of
+// done / failed / cancelled. A cancelled job may be resumed.
+type JobState = jobs.State
+
+// Job states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// JobClassification is the stored outcome of AUsER report ingestion.
+type JobClassification = jobs.Classification
+
+// JobEngine runs jobs over a bounded queue and a worker pool.
+type JobEngine = jobs.Engine
+
+// JobEngineOptions configure NewJobEngine.
+type JobEngineOptions = jobs.Options
+
+// NewJobEngine starts an engine: the worker pool is live and Submit may
+// be called immediately. Call Drain (or Close) to shut it down.
+func NewJobEngine(opts JobEngineOptions) *JobEngine { return jobs.New(opts) }
+
+// Engine errors: queue backpressure, drain in progress, unknown ids,
+// invalid cancel/resume transitions, and the drain checkpoint cause.
+var (
+	ErrJobQueueFull  = jobs.ErrQueueFull
+	ErrJobsDraining  = jobs.ErrDraining
+	ErrUnknownJob    = jobs.ErrUnknownJob
+	ErrJobFinished   = jobs.ErrJobFinished
+	ErrNotResumable  = jobs.ErrNotResumable
+	CauseJobsDrained = jobs.CauseDrained
+)
+
+// JobEvent is one entry in a job's event stream; JobEventBus is the
+// per-job stream itself — full history first, then live events, for any
+// number of subscribers.
+type (
+	JobEvent    = jobs.Event
+	JobEventBus = jobs.Bus
+)
+
+// The concrete event shapes: per-step replay progress (the same
+// JSON-lines format warr-replay -json has always printed), per-replica
+// summaries, job state transitions, per-trace campaign outcomes,
+// campaign reports, and AUsER ingestion classifications.
+type (
+	StepEvent           = jobs.StepEvent
+	SummaryEvent        = jobs.SummaryEvent
+	SkippedEvent        = jobs.SkippedEvent
+	JobStateEvent       = jobs.StateEvent
+	OutcomeEvent        = jobs.OutcomeEvent
+	CampaignReportEvent = jobs.ReportEvent
+	ClassificationEvent = jobs.ClassificationEvent
+)
+
+// EventEncoder writes events as JSON lines — the one encoder behind CLI
+// stdout, SSE frames, and job logs.
+type EventEncoder = jobs.Encoder
+
+// NewEventEncoder returns an encoder writing JSON event lines to w.
+func NewEventEncoder(w io.Writer) *EventEncoder { return jobs.NewEncoder(w) }
+
+// EncodeJobEvent renders one event as its JSON line (trailing newline
+// included).
+func EncodeJobEvent(ev JobEvent) ([]byte, error) { return jobs.EncodeEvent(ev) }
+
+// DecodeJobEvent parses one JSON event line into its typed event.
+func DecodeJobEvent(line []byte) (JobEvent, error) { return jobs.DecodeEvent(line) }
+
+// ---- the HTTP face ----
+
+// JobServer is the HTTP face of a job engine — the warr-serve daemon's
+// handler: trace upload, job submission with backpressure, SSE event
+// streaming, cancel/resume, AUsER report ingestion, and metrics.
+type JobServer = serve.Server
+
+// JobServerOptions configure NewJobServer.
+type JobServerOptions = serve.Options
+
+// NewJobServer builds an HTTP server over a job engine (a default
+// engine when opts.Engine is nil).
+func NewJobServer(opts JobServerOptions) *JobServer { return serve.New(opts) }
+
+// JobRequest is the POST /api/jobs wire format.
+type JobRequest = serve.JobRequest
+
+// DecodeJobRequest parses and validates a job-submission body.
+func DecodeJobRequest(data []byte) (*JobRequest, error) { return serve.DecodeJobRequest(data) }

@@ -55,6 +55,9 @@ func run(envelopePath, redact string) error {
 	}
 	rec := warr.NewRecorder(env.Clock)
 	rec.Attach(tab)
+	// Detach on every path: the recorder must not keep logging into the
+	// reported trace while the report is assembled from the same tab.
+	defer rec.Detach()
 
 	// The user clicks Edit and saves immediately — before the editor's
 	// asynchronously loaded module arrives (§V-C).
@@ -72,6 +75,7 @@ func run(envelopePath, redact string) error {
 		fmt.Printf("bug manifests: %s\n", errs[0].Message)
 	}
 
+	rec.Detach()
 	fmt.Println("user presses the AUsER report button")
 	report, err := warr.NewUserReport(
 		"I clicked Save but my changes were not saved.",
@@ -110,5 +114,31 @@ func run(envelopePath, redact string) error {
 		return err
 	}
 	fmt.Println(opened.Text())
+
+	// Ingest the report on the shared job engine — the same replay →
+	// minimize → classify pipeline a warr-serve daemon runs when the
+	// report is POSTed to /api/reports.
+	fmt.Println("developers ingest the report (replay, minimize, classify):")
+	engine := warr.NewJobEngine(warr.JobEngineOptions{Workers: 1, QueueDepth: 1})
+	defer engine.Close()
+	job, err := engine.Submit(warr.JobSpec{
+		Kind:        warr.JobReport,
+		Trace:       opened.Trace,
+		Description: opened.Description,
+	})
+	if err != nil {
+		return err
+	}
+	_ = job.Wait(nil)
+	if err := job.Err(); err != nil {
+		return err
+	}
+	cls := job.Classification()
+	fmt.Printf("  verdict: %s\n", cls.Verdict)
+	if cls.Signal != "" {
+		fmt.Printf("  signal: %s\n", cls.Signal)
+	}
+	fmt.Printf("  minimized: %d of %d commands reproduce it (%d replays spent)\n",
+		len(cls.Minimized.Commands), len(opened.Trace.Commands), cls.Replays)
 	return nil
 }

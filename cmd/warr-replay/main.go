@@ -1,8 +1,13 @@
 // Command warr-replay replays a recorded WaRR Command trace against a
 // fresh instance of the simulated world (Fig. 1, step 3) and reports how
 // each command resolved: direct XPath match, relaxation heuristic,
-// coordinate fallback, or failure. Steps stream as they replay, through
-// the session API.
+// coordinate fallback, or failure. Steps stream as they replay.
+//
+// The tool is a thin client of the shared job engine (warr.NewJobEngine):
+// it submits one replay job to an in-process engine and prints the job's
+// event stream — the same events warr-serve publishes over SSE, encoded
+// by the same encoder, so -json output here and a served job's stream
+// are byte-for-byte the same format.
 //
 // The -trace file may be either a versioned trace archive (the
 // warr-record default) or a legacy bare text dump; the format is
@@ -26,7 +31,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,14 +42,6 @@ import (
 	_ "github.com/dslab-epfl/warr/apps/calendar"
 	"github.com/dslab-epfl/warr/internal/cliutil"
 )
-
-type config struct {
-	mode     warr.Mode
-	opts     warr.ReplayOptions
-	parallel int
-	jsonOut  bool
-	timeout  time.Duration
-}
 
 func main() {
 	trace := flag.String("trace", "", "trace file recorded by warr-record (required)")
@@ -99,137 +95,103 @@ func run(path, mode, pace string, noRelax, noCoord bool, parallel int, jsonOut b
 		fmt.Println()
 	}
 
-	cfg := config{parallel: parallel, jsonOut: jsonOut, timeout: timeout}
+	spec := warr.JobSpec{
+		Kind:      warr.JobReplay,
+		Trace:     tr,
+		TraceName: header.Scenario,
+	}
 	switch mode {
 	case "developer":
-		cfg.mode = warr.DeveloperMode
+		spec.Mode = warr.DeveloperMode
 	case "user":
-		cfg.mode = warr.UserMode
+		spec.Mode = warr.UserMode
 	default:
 		return fmt.Errorf("unknown -mode %q (want developer or user)", mode)
 	}
-	cfg.opts = warr.ReplayOptions{
+	spec.Replayer = warr.ReplayOptions{
 		DisableRelaxation:         noRelax,
 		DisableCoordinateFallback: noCoord,
 	}
 	switch pace {
 	case "recorded":
-		cfg.opts.Pacing = warr.PaceRecorded
+		spec.Replayer.Pacing = warr.PaceRecorded
 	case "none":
-		cfg.opts.Pacing = warr.PaceNone
+		spec.Replayer.Pacing = warr.PaceNone
 	default:
 		return fmt.Errorf("unknown -pace %q (want recorded or none)", pace)
 	}
-
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
 	if parallel > 1 {
-		return runParallel(ctx, tr, cfg)
+		spec.Replicas = parallel
 	}
-	return runStreaming(ctx, tr, cfg)
-}
 
-// stepRecord is the JSON-lines shape of one replayed step.
-type stepRecord struct {
-	Type      string `json:"type"`
-	Index     int    `json:"index"`
-	Action    string `json:"action"`
-	XPath     string `json:"xpath"`
-	Status    string `json:"status"`
-	UsedXPath string `json:"usedXPath,omitempty"`
-	Heuristic string `json:"heuristic,omitempty"`
-	Error     string `json:"error,omitempty"`
-}
-
-// summaryRecord is the JSON shape of a finished replay.
-type summaryRecord struct {
-	Type          string   `json:"type"`
-	Replica       int      `json:"replica"`
-	Commands      int      `json:"commands"`
-	Played        int      `json:"played"`
-	Failed        int      `json:"failed"`
-	Halted        bool     `json:"halted"`
-	Cancelled     bool     `json:"cancelled"`
-	Complete      bool     `json:"complete"`
-	FinalURL      string   `json:"finalURL,omitempty"`
-	Title         string   `json:"title,omitempty"`
-	ConsoleErrors []string `json:"consoleErrors,omitempty"`
-}
-
-func record(step warr.ReplayStep) stepRecord {
-	r := stepRecord{
-		Type:      "step",
-		Index:     step.Index,
-		Action:    step.Cmd.Action.String(),
-		XPath:     step.Cmd.XPath,
-		Status:    step.Status.String(),
-		UsedXPath: step.UsedXPath,
-		Heuristic: step.Heuristic,
-	}
-	if step.Err != nil {
-		r.Error = step.Err.Error()
-	}
-	return r
-}
-
-func summarize(replica, commands int, res *warr.ReplayResult, tab *warr.Tab) summaryRecord {
-	s := summaryRecord{
-		Type:      "summary",
-		Replica:   replica,
-		Commands:  commands,
-		Played:    res.Played,
-		Failed:    res.Failed,
-		Halted:    res.Halted,
-		Cancelled: res.Cancelled,
-		Complete:  res.Complete(),
-	}
-	if tab != nil {
-		s.FinalURL = tab.URL()
-		s.Title = tab.Title()
-		for _, e := range tab.ConsoleErrors() {
-			s.ConsoleErrors = append(s.ConsoleErrors, e.Message)
-		}
-	}
-	return s
-}
-
-// runStreaming replays one session, reporting each step as it happens.
-func runStreaming(ctx context.Context, tr warr.Trace, cfg config) error {
-	env := warr.NewDemoEnv(cfg.mode)
-	session, err := warr.NewReplaySession(ctx, env.Browser, tr, cfg.opts)
+	// One worker, one queue slot: the CLI is a single-job client of the
+	// same engine warr-serve runs.
+	engine := warr.NewJobEngine(warr.JobEngineOptions{Workers: 1, QueueDepth: 1})
+	defer engine.Close()
+	job, err := engine.Submit(spec)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	for step := range session.Steps() {
-		if cfg.jsonOut {
-			if err := enc.Encode(record(step)); err != nil {
-				return err
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			_ = engine.Cancel(job.ID, context.DeadlineExceeded)
+		})
+		defer t.Stop()
+	}
+
+	if err := printStream(job, tr, jsonOut); err != nil {
+		return err
+	}
+	if err := job.Err(); err != nil {
+		return err
+	}
+	if parallel > 1 {
+		return finishParallel(job, tr, jsonOut)
+	}
+	return finishStreaming(job, tr, jsonOut)
+}
+
+// printStream follows the job's event bus to completion: in JSON mode
+// it encodes the step/summary/skipped events exactly as published; in
+// human mode it renders each step as it replays.
+func printStream(job *warr.Job, tr warr.Trace, jsonOut bool) error {
+	enc := warr.NewEventEncoder(os.Stdout)
+	events, stop := job.Events().Subscribe(0)
+	defer stop()
+	for ev := range events {
+		if jsonOut {
+			switch ev.(type) {
+			case warr.StepEvent, warr.SummaryEvent, warr.SkippedEvent:
+				if err := enc.Encode(ev); err != nil {
+					return err
+				}
 			}
 			continue
 		}
+		step, ok := ev.(warr.StepEvent)
+		if !ok || job.Spec.Replicas > 1 {
+			continue
+		}
+		cmd := tr.Commands[step.Index]
 		switch step.Status {
-		case warr.StepOK:
-			fmt.Printf("  ok       %s\n", step.Cmd)
-		case warr.StepRelaxed:
-			fmt.Printf("  relaxed  %s  (%s -> %s)\n", step.Cmd, step.Heuristic, step.UsedXPath)
-		case warr.StepByCoordinates:
-			fmt.Printf("  coords   %s\n", step.Cmd)
-		case warr.StepFailed:
-			fmt.Printf("  FAILED   %s  (%v)\n", step.Cmd, step.Err)
+		case "ok":
+			fmt.Printf("  ok       %s\n", cmd)
+		case "relaxed":
+			fmt.Printf("  relaxed  %s  (%s -> %s)\n", cmd, step.Heuristic, step.UsedXPath)
+		case "by-coordinates":
+			fmt.Printf("  coords   %s\n", cmd)
+		case "failed":
+			fmt.Printf("  FAILED   %s  (%s)\n", cmd, step.Error)
 		}
 	}
+	return nil
+}
 
-	res, tab := session.Result(), session.Tab()
-	if cfg.jsonOut {
-		if err := enc.Encode(summarize(0, len(tr.Commands), res, tab)); err != nil {
-			return err
-		}
-	} else {
+// finishStreaming prints the single-session summary and sets the exit
+// code.
+func finishStreaming(job *warr.Job, tr warr.Trace, jsonOut bool) error {
+	res, tab := job.Result(), job.Tab()
+	if !jsonOut {
 		fmt.Printf("replayed %d/%d commands (%d failed", res.Played, len(tr.Commands), res.Failed)
 		if res.Halted {
 			fmt.Printf(", replay halted")
@@ -238,13 +200,15 @@ func runStreaming(ctx context.Context, tr warr.Trace, cfg config) error {
 			fmt.Printf(", cancelled: %v", res.CancelCause)
 		}
 		fmt.Println(")")
-		if errs := tab.ConsoleErrors(); len(errs) > 0 {
-			fmt.Println("console errors observed during replay:")
-			for _, e := range errs {
-				fmt.Printf("  %s\n", e.Message)
+		if tab != nil {
+			if errs := tab.ConsoleErrors(); len(errs) > 0 {
+				fmt.Println("console errors observed during replay:")
+				for _, e := range errs {
+					fmt.Printf("  %s\n", e.Message)
+				}
 			}
+			fmt.Printf("final page: %s (%s)\n", tab.URL(), tab.Title())
 		}
-		fmt.Printf("final page: %s (%s)\n", tab.URL(), tab.Title())
 	}
 	if !res.Complete() {
 		os.Exit(2)
@@ -252,41 +216,18 @@ func runStreaming(ctx context.Context, tr warr.Trace, cfg config) error {
 	return nil
 }
 
-// runParallel replays N replicas of the trace concurrently, each in its
-// own isolated environment, through the campaign executor — a quick
-// determinism and robustness check for a recorded trace.
-func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
-	jobs := make([]warr.CampaignJob, cfg.parallel)
-	for i := range jobs {
-		jobs[i] = warr.CampaignJob{Trace: tr}
-	}
-	exec := warr.NewCampaignExecutor(
-		warr.NewEnvFactory(cfg.mode),
-		warr.ExecutorOptions{
-			Parallelism: cfg.parallel,
-			Replayer:    cfg.opts,
-			// Replicas are identical; a failure must not prune the rest.
-			DisablePruning: true,
-		},
-	)
-	outcomes := exec.Execute(ctx, jobs)
-
-	enc := json.NewEncoder(os.Stdout)
+// finishParallel prints the per-replica outcomes and the divergence
+// verdict, and sets the exit code — a quick determinism and robustness
+// check for a recorded trace.
+func finishParallel(job *warr.Job, tr warr.Trace, jsonOut bool) error {
+	outcomes := job.Outcomes()
 	allComplete := true
 	divergent := false
 	var baseline *warr.ReplayResult
 	for i, out := range outcomes {
 		if out.Skipped {
 			allComplete = false
-			if cfg.jsonOut {
-				skip := struct {
-					Type    string `json:"type"`
-					Replica int    `json:"replica"`
-				}{"skipped", i}
-				if err := enc.Encode(skip); err != nil {
-					return err
-				}
-			} else {
+			if !jsonOut {
 				fmt.Printf("replica %d: skipped (cancelled)\n", i)
 			}
 			continue
@@ -304,12 +245,8 @@ func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
 				divergent = true
 			}
 		}
-		if cfg.jsonOut {
-			s := summarize(i, len(tr.Commands), out.Result, nil)
-			if err := enc.Encode(s); err != nil {
-				return err
-			}
-			continue
+		if jsonOut {
+			continue // the summary events already streamed
 		}
 		fmt.Printf("replica %d: replayed %d/%d commands (%d failed", i, out.Result.Played, len(tr.Commands), out.Result.Failed)
 		if out.Result.Halted {
@@ -320,7 +257,7 @@ func runParallel(ctx context.Context, tr warr.Trace, cfg config) error {
 		}
 		fmt.Println(")")
 	}
-	if !cfg.jsonOut {
+	if !jsonOut {
 		if divergent {
 			fmt.Println("WARNING: replicas diverged — the trace does not replay deterministically")
 		} else {

@@ -140,33 +140,54 @@ func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool,
 		fmt.Printf("correct trace archived to %s\n", save)
 	}
 
-	fresh := warr.NewEnvFactory(warr.DeveloperMode)
+	// Both campaigns run as jobs on the shared engine — the same
+	// execution path a warr-serve daemon drives for submitted campaigns.
+	engine := warr.NewJobEngine(warr.JobEngineOptions{Workers: 1, QueueDepth: 2})
+	defer engine.Close()
 
 	bugs := 0
 	if campaign == "navigation" || campaign == "both" {
-		tree, err := warr.InferTaskTree(fresh, tr)
+		job, err := engine.Submit(warr.JobSpec{
+			Kind:      warr.JobNavigationCampaign,
+			Trace:     tr,
+			TraceName: header.Scenario,
+			MaxTraces: maxTraces,
+		})
 		if err != nil {
-			return fmt.Errorf("inferring task tree: %w", err)
+			return err
+		}
+		_ = job.Wait(nil)
+		if err := job.Err(); err != nil {
+			return err
 		}
 		if showTree {
 			fmt.Println("\ninferred task tree (Fig. 6):")
-			fmt.Print(tree.String())
+			fmt.Print(job.TaskTree().String())
 		}
-		g := warr.GrammarFromTaskTree(tree)
 		if showGrammar {
 			fmt.Println("\ninferred interaction grammar:")
-			fmt.Print(g.String())
+			fmt.Print(job.Grammar().String())
 		}
 
 		fmt.Println("\nnavigation-error campaign (forget / reorder / substitute):")
-		rep := warr.RunNavigationCampaign(fresh, g, warr.CampaignOptions{MaxTraces: maxTraces})
-		bugs += printReport(rep)
+		bugs += printReport(job.Report())
 	}
 
 	if campaign == "timing" || campaign == "both" {
+		job, err := engine.Submit(warr.JobSpec{
+			Kind:      warr.JobTimingCampaign,
+			Trace:     tr,
+			TraceName: header.Scenario,
+		})
+		if err != nil {
+			return err
+		}
+		_ = job.Wait(nil)
+		if err := job.Err(); err != nil {
+			return err
+		}
 		fmt.Println("\ntiming-error campaign (impatient users):")
-		rep := warr.RunTimingCampaign(fresh, tr, warr.CampaignOptions{})
-		bugs += printReport(rep)
+		bugs += printReport(job.Report())
 	}
 
 	if bugs > 0 {

@@ -4,18 +4,24 @@
 // keystrokes are redacted and the report is encrypted so only the
 // application's developers can read it (§IV-D).
 //
-// The session here: a user signs in to the Yahoo! portal (typing a
-// password!), then hits a bug. The password keystrokes are stripped from
-// the shared trace while every other command survives, so developers
-// can still drive the application down the same path.
+// The developers' side is replay as a service: this example boots a
+// local warr-serve on a loopback port, POSTs the sealed envelope to
+// /api/reports, and watches the ingestion job (replay → minimize →
+// classify) through the HTTP API — exactly what a production AUsER
+// deployment would run behind the report button.
 //
 //	go run ./examples/bug-reporting
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"strings"
+	"time"
 
 	warr "github.com/dslab-epfl/warr"
 )
@@ -36,9 +42,11 @@ func main() {
 	}
 	fmt.Println("user signed in (the trace now contains their password)")
 
-	// The user hits a bug and presses the report button. The trace is
-	// redacted before it leaves the machine: keystrokes into elements
-	// whose XPath mentions "pass" become "*".
+	// The user hits a bug and presses the report button. Recording stops
+	// — the trace must not grow while the report is assembled — and the
+	// trace is redacted before it leaves the machine: keystrokes into
+	// elements whose XPath mentions "pass" become "*".
+	recorder.Detach()
 	report, err := warr.NewUserReport(
 		"After signing in, the page looks wrong.",
 		recorder.Trace(), tab,
@@ -68,11 +76,64 @@ func main() {
 	}
 	fmt.Printf("sealed report: %d bytes on the wire\n\n", len(wire))
 
-	// Developers decrypt and read.
-	received, err := warr.OpenReport(envelope, devKey)
+	// The developers' side: a warr-serve daemon holding the private key.
+	srv := warr.NewJobServer(warr.JobServerOptions{DeveloperKey: devKey})
+	defer srv.Engine().Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("warr-serve listening on %s\n", base)
+
+	// The sealed envelope goes over the wire; the server opens it and
+	// enqueues a report-ingestion job: replay, minimize, classify.
+	resp, err := http.Post(base+"/api/reports", "application/json", bytes.NewReader(wire))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("report rejected: HTTP %d", resp.StatusCode)
+	}
+	fmt.Printf("report accepted: job %s (%s)\n", job.ID, job.State)
+
+	// Watch the job through the same API a dashboard would poll.
+	var final struct {
+		State   string `json:"state"`
+		Played  int    `json:"played"`
+		Failed  int    `json:"failed"`
+		Verdict string `json:"verdict"`
+		Error   string `json:"error"`
+	}
+	for {
+		resp, err := http.Get(base + "/api/jobs/" + job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if final.State != "queued" && final.State != "running" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != "done" {
+		log.Fatalf("ingestion job ended %s: %s", final.State, final.Error)
+	}
+
+	fmt.Printf("ingestion finished: %d commands replayed, %d failed\n", final.Played, final.Failed)
+	fmt.Printf("classification: %s\n\n", final.Verdict)
 	fmt.Println("developers received:")
-	fmt.Println(received.Text())
+	fmt.Println(report.Text())
 }

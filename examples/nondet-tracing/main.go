@@ -55,6 +55,8 @@ func annotatedSession(patient bool) (string, error) {
 	}
 	rec := warr.NewRecorder(env.Clock)
 	rec.Attach(tab)
+	// Detach on every path: the trace below must be a closed artifact.
+	defer rec.Detach()
 	start := env.Clock.Now()
 	tab.AdvanceTime(100 * time.Millisecond) // the user reads the page first
 
@@ -73,6 +75,7 @@ func annotatedSession(patient bool) (string, error) {
 		}
 	}
 
+	rec.Detach()
 	out := ndlog.Annotate(rec.Trace(), start)
 	for _, e := range tab.ConsoleErrors() {
 		out += "console: " + e.Message + "\n"

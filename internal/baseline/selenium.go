@@ -71,6 +71,7 @@ type SeleniumIDE struct {
 	tab      *browser.Tab
 	startURL string
 	commands []SeleneseCommand
+	detached bool
 }
 
 var _ browser.FrameObserver = (*SeleniumIDE)(nil)
@@ -82,12 +83,20 @@ func NewSeleniumIDE() *SeleniumIDE { return &SeleniumIDE{} }
 // future page get the injected listeners.
 func (s *SeleniumIDE) Attach(tab *browser.Tab) {
 	s.tab = tab
+	s.detached = false
 	s.startURL = tab.URL()
 	tab.AddFrameObserver(s)
 	for _, f := range tab.MainFrame().Descendants() {
 		s.inject(f)
 	}
 }
+
+// Detach stops recording. The injected listeners stay installed — the
+// simulated DOM, like a real content script's, has no listener removal
+// — but everything they observe after Detach is ignored, so a detached
+// recorder can never keep logging into a returned script while the
+// caller goes on using the tab.
+func (s *SeleniumIDE) Detach() { s.detached = true }
 
 // Script returns the recorded session.
 func (s *SeleniumIDE) Script() Script {
@@ -104,7 +113,12 @@ func (s *SeleniumIDE) Reset() {
 
 // FrameLoaded implements browser.FrameObserver: new page, new injected
 // listeners (the plug-in's content script re-runs on every load).
-func (s *SeleniumIDE) FrameLoaded(f *browser.Frame) { s.inject(f) }
+func (s *SeleniumIDE) FrameLoaded(f *browser.Frame) {
+	if s.detached {
+		return
+	}
+	s.inject(f)
+}
 
 // FrameUnloaded implements browser.FrameObserver.
 func (s *SeleniumIDE) FrameUnloaded(f *browser.Frame) {}
@@ -116,7 +130,7 @@ func (s *SeleniumIDE) inject(f *browser.Frame) {
 	}
 	root := f.Doc().Root()
 	event.Listen(root, event.TypeClick, false, func(e *event.Event) {
-		if !e.Trusted || e.Target == nil {
+		if s.detached || !e.Trusted || e.Target == nil {
 			return
 		}
 		s.commands = append(s.commands, SeleneseCommand{
@@ -125,6 +139,9 @@ func (s *SeleniumIDE) inject(f *browser.Frame) {
 		})
 	})
 	event.Listen(root, event.TypeInput, false, func(e *event.Event) {
+		if s.detached {
+			return
+		}
 		t := e.Target
 		if t == nil {
 			return

@@ -8,6 +8,7 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/apps"
 	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
 
@@ -97,19 +98,51 @@ func Campaign(sc apps.Scenario, parallelism int) (CampaignRow, error) {
 	g := weberr.FromTaskTree(tree)
 	row.Mutants = len(weberr.Mutants(g, weberr.InjectOptions{}))
 
-	start := time.Now()
-	flat := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: 1, DisablePrefixSharing: true})
-	row.Flat = time.Since(start)
+	// The three runs are jobs on the shared engine (one worker keeps
+	// them sequential); per-run wall clock is the job's own
+	// started→finished interval, so queueing is excluded.
+	engine := jobs.New(jobs.Options{Workers: 1, QueueDepth: 3})
+	defer engine.Close()
+	runJob := func(spec jobs.Spec) (*weberr.Report, time.Duration, error) {
+		job, err := engine.Submit(spec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiments: campaign %s: %w", sc.Name, err)
+		}
+		_ = job.Wait(nil)
+		if err := job.Err(); err != nil {
+			return nil, 0, fmt.Errorf("experiments: campaign %s: %w", sc.Name, err)
+		}
+		return job.Report(), job.Finished().Sub(job.Started()), nil
+	}
+
+	flat, d, err := runJob(jobs.Spec{
+		Kind: jobs.KindNavigationCampaign, Trace: rec.Trace, Grammar: g,
+		Parallelism: 1, DisablePrefixSharing: true,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Flat = d
 	row.FlatFindings = FindingKeys(flat)
 
-	start = time.Now()
-	seq := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: 1})
-	row.Sequential = time.Since(start)
+	seq, d, err := runJob(jobs.Spec{
+		Kind: jobs.KindNavigationCampaign, Trace: rec.Trace, Grammar: g,
+		Parallelism: 1,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Sequential = d
 	row.SequentialFindings = FindingKeys(seq)
 
-	start = time.Now()
-	par := weberr.RunNavigationCampaign(fresh, g, weberr.CampaignOptions{Parallelism: parallelism})
-	row.Parallel = time.Since(start)
+	par, d, err := runJob(jobs.Spec{
+		Kind: jobs.KindNavigationCampaign, Trace: rec.Trace, Grammar: g,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Parallel = d
 	row.ParallelFindings = FindingKeys(par)
 	return row, nil
 }

@@ -63,8 +63,12 @@ func table2Row(sc apps.Scenario) (Table2Row, error) {
 	}
 	warr := core.New(env.Clock)
 	warr.Attach(tab)
+	// Detach on every path: neither recorder may keep logging into its
+	// returned trace/script while the replays below drive new sessions.
+	defer warr.Detach()
 	sel := baseline.NewSeleniumIDE()
 	sel.Attach(tab)
+	defer sel.Detach()
 
 	if err := sc.Run(env, tab); err != nil {
 		return Table2Row{}, err
@@ -72,6 +76,8 @@ func table2Row(sc apps.Scenario) (Table2Row, error) {
 	if err := sc.Verify(env, tab); err != nil {
 		return Table2Row{}, fmt.Errorf("live session failed: %w", err)
 	}
+	warr.Detach()
+	sel.Detach()
 
 	row := Table2Row{App: sc.App, Scenario: sc.Name}
 

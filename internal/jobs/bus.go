@@ -1,0 +1,119 @@
+package jobs
+
+// The per-job event bus. Every job owns one; the runner publishes into
+// it and any number of subscribers — the CLI printing to stdout, SSE
+// handlers, tests — stream the full history from the first event, then
+// follow live publishes. History is retained for the job's lifetime, so
+// a subscriber that arrives after completion still sees the whole
+// stream (this is what makes SSE reconnects and the CLIs' print-at-end
+// paths exact replicas of the live stream).
+
+import "sync"
+
+// Bus is a single-writer, multi-reader event stream with full-history
+// replay. Publish and Close are called by the job runner; Subscribe and
+// Snapshot may be called from any goroutine at any time.
+type Bus struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	history []Event
+	closed  bool
+}
+
+// NewBus returns an empty, open bus.
+func NewBus() *Bus {
+	b := &Bus{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Publish appends an event. Publishing on a closed bus is a no-op —
+// the stream has already been declared complete.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.history = append(b.history, ev)
+	b.cond.Broadcast()
+}
+
+// Close marks the stream complete; subscriber channels close once they
+// have drained the history.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// Closed reports whether the stream is complete.
+func (b *Bus) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Snapshot returns the events published so far.
+func (b *Bus) Snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.history...)
+}
+
+// Subscribe streams the bus from event index from (0 = the beginning):
+// history first, then live events. The returned channel closes when the
+// bus is closed and fully drained. stop unsubscribes early; it is
+// idempotent and must be called (or the channel drained to close) to
+// release the pump goroutine.
+func (b *Bus) Subscribe(from int) (<-chan Event, func()) {
+	ch := make(chan Event)
+	quit := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			close(quit)
+			// Wake the pump if it is waiting for new events.
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	}
+	if from < 0 {
+		from = 0
+	}
+	go func() {
+		defer close(ch)
+		i := from
+		for {
+			b.mu.Lock()
+			for i >= len(b.history) && !b.closed && !closedChan(quit) {
+				b.cond.Wait()
+			}
+			if closedChan(quit) || (i >= len(b.history) && b.closed) {
+				b.mu.Unlock()
+				return
+			}
+			ev := b.history[i]
+			i++
+			b.mu.Unlock()
+			select {
+			case ch <- ev:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return ch, stop
+}
+
+// closedChan reports whether ch is closed, without blocking.
+func closedChan(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+func collect(t *testing.T, ch <-chan Event, n int) []Event {
+	t.Helper()
+	var got []Event
+	timeout := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("channel closed after %d of %d events", len(got), n)
+			}
+			got = append(got, ev)
+		case <-timeout:
+			t.Fatalf("timed out after %d of %d events", len(got), n)
+		}
+	}
+	return got
+}
+
+func TestBusReplaysFullHistoryToLateSubscribers(t *testing.T) {
+	b := NewBus()
+	for i := 0; i < 3; i++ {
+		b.Publish(SkippedEvent{Type: "skipped", Replica: i})
+	}
+	b.Close()
+
+	ch, stop := b.Subscribe(0)
+	defer stop()
+	got := collect(t, ch, 3)
+	for i, ev := range got {
+		if ev.(SkippedEvent).Replica != i {
+			t.Errorf("event %d: replica %d", i, ev.(SkippedEvent).Replica)
+		}
+	}
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after history drained on a closed bus")
+	}
+}
+
+func TestBusSubscribeFromOffset(t *testing.T) {
+	b := NewBus()
+	for i := 0; i < 5; i++ {
+		b.Publish(SkippedEvent{Type: "skipped", Replica: i})
+	}
+	b.Close()
+	ch, stop := b.Subscribe(3)
+	defer stop()
+	got := collect(t, ch, 2)
+	if got[0].(SkippedEvent).Replica != 3 || got[1].(SkippedEvent).Replica != 4 {
+		t.Errorf("offset subscription got %v", got)
+	}
+}
+
+func TestBusLiveFollowThenClose(t *testing.T) {
+	b := NewBus()
+	b.Publish(SkippedEvent{Type: "skipped", Replica: 0})
+	ch, stop := b.Subscribe(0)
+	defer stop()
+	if got := collect(t, ch, 1); got[0].(SkippedEvent).Replica != 0 {
+		t.Fatalf("history event: %v", got[0])
+	}
+	// Publish after subscription: the live path.
+	b.Publish(SkippedEvent{Type: "skipped", Replica: 1})
+	if got := collect(t, ch, 1); got[0].(SkippedEvent).Replica != 1 {
+		t.Fatalf("live event: %v", got[0])
+	}
+	b.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("unexpected event after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("channel did not close after bus Close")
+	}
+}
+
+func TestBusPublishAfterCloseIsNoOp(t *testing.T) {
+	b := NewBus()
+	b.Close()
+	b.Publish(SkippedEvent{Type: "skipped"})
+	if got := b.Snapshot(); len(got) != 0 {
+		t.Errorf("closed bus accepted %d events", len(got))
+	}
+}
+
+func TestBusStopReleasesSubscriber(t *testing.T) {
+	b := NewBus()
+	b.Publish(SkippedEvent{Type: "skipped"})
+	ch, stop := b.Subscribe(0)
+	stop()
+	stop() // idempotent
+	// The pump must exit; the channel closes without delivering more.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscriber channel never closed after stop")
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package jobs
+
+// The engine: a bounded work queue with backpressure, a worker pool,
+// cancellation with causes, resumption of cancelled jobs, and graceful
+// drain. Exactly one of these runs inside every face of the module —
+// the one-shot CLIs build one, submit, subscribe, and print; warr-serve
+// keeps one alive behind HTTP.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/registry"
+)
+
+// Engine errors.
+var (
+	// ErrQueueFull is Submit's backpressure signal: the bounded queue
+	// has no room. Callers retry later (HTTP clients see 503).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining rejects submissions once a graceful drain began.
+	ErrDraining = errors.New("jobs: engine draining")
+	// ErrUnknownJob reports an id the engine never issued.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrJobFinished rejects cancelling a job already in a terminal
+	// state.
+	ErrJobFinished = errors.New("jobs: job already finished")
+	// ErrNotResumable rejects resuming a job that is not cancelled.
+	ErrNotResumable = errors.New("jobs: only a cancelled job can resume")
+	// CauseDrained is the cancellation cause jobs checkpointed by a
+	// deadline-bound drain carry; they resume like any cancelled job.
+	CauseDrained = errors.New("jobs: checkpointed by engine drain")
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the queued-job backlog (default 64). A full
+	// queue makes Submit fail with ErrQueueFull — backpressure, never
+	// silent dropping.
+	QueueDepth int
+	// EnvFactory, when set, overrides how execution environments are
+	// built per browser mode. The default builds fresh isolated
+	// environments over the process's full app registry — the same
+	// worlds every CLI has always used.
+	EnvFactory func(mode browser.Mode) campaign.EnvFactory
+}
+
+// Engine runs jobs over a bounded queue and a worker pool.
+type Engine struct {
+	opts Options
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []*Job
+	factories map[browser.Mode]campaign.EnvFactory
+	nextID    int
+	draining  bool
+
+	metrics metrics
+}
+
+// New starts an engine: the worker pool is live and Submit may be
+// called immediately. Call Drain (or Close) to shut it down.
+func New(opts Options) *Engine {
+	if opts.Workers < 1 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth < 1 {
+		opts.QueueDepth = 64
+	}
+	if opts.EnvFactory == nil {
+		opts.EnvFactory = func(mode browser.Mode) campaign.EnvFactory {
+			return registry.BrowserFactory(mode)
+		}
+	}
+	e := &Engine{
+		opts:      opts,
+		queue:     make(chan *Job, opts.QueueDepth),
+		jobs:      make(map[string]*Job),
+		factories: make(map[browser.Mode]campaign.EnvFactory),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for job := range e.queue {
+				e.run(job)
+			}
+		}()
+	}
+	return e
+}
+
+// factory returns the (cached) environment factory for a browser mode.
+func (e *Engine) factory(mode browser.Mode) campaign.EnvFactory {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.factories[mode]
+	if !ok {
+		f = e.opts.EnvFactory(mode)
+		e.factories[mode] = f
+	}
+	return f
+}
+
+// Submit validates and enqueues a job. It fails fast with ErrQueueFull
+// when the bounded queue is full and ErrDraining once a drain began —
+// it never blocks the caller.
+func (e *Engine) Submit(spec Spec) (*Job, error) {
+	if spec.Kind.String() == "unknown" {
+		return nil, fmt.Errorf("jobs: unknown job kind %d", spec.Kind)
+	}
+	if spec.Mode == 0 {
+		spec.Mode = browser.DeveloperMode
+	}
+	return e.enqueue(spec, nil)
+}
+
+// enqueue creates the Job record and offers it to the queue.
+func (e *Engine) enqueue(spec Spec, resumeFrom *Job) (*Job, error) {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	e.nextID++
+	job := &Job{
+		ID:         fmt.Sprintf("job-%d", e.nextID),
+		Spec:       spec,
+		bus:        NewBus(),
+		engine:     e,
+		doneCh:     make(chan struct{}),
+		resumeFrom: resumeFrom,
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	job.ctx, job.cancel = ctx, cancel
+	job.created = now()
+	job.state = StateQueued
+	// The queue is buffered; a full buffer is backpressure, reported
+	// synchronously while the engine lock still excludes Drain from
+	// closing the channel underneath us.
+	select {
+	case e.queue <- job:
+	default:
+		e.mu.Unlock()
+		cancel(ErrQueueFull)
+		return nil, ErrQueueFull
+	}
+	e.jobs[job.ID] = job
+	e.order = append(e.order, job)
+	e.mu.Unlock()
+	job.publishState()
+	return job, nil
+}
+
+// Get returns a job by id.
+func (e *Engine) Get(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return job, nil
+}
+
+// Jobs lists every job the engine has seen, in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Job(nil), e.order...)
+}
+
+// Cancel requests cancellation of a job with the given cause (nil means
+// context.Canceled). A running job stops at its next command boundary
+// with a partial result; a queued job resolves to its cancelled state
+// when a worker reaches it. Cancelling a finished job fails with
+// ErrJobFinished.
+func (e *Engine) Cancel(id string, cause error) error {
+	job, err := e.Get(id)
+	if err != nil {
+		return err
+	}
+	job.mu.Lock()
+	switch job.state {
+	case StateDone, StateFailed, StateCancelled:
+		job.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrJobFinished, id, job.state)
+	}
+	if cause != nil {
+		job.cause = cause
+	}
+	job.mu.Unlock()
+	job.cancel(cause)
+	return nil
+}
+
+// Resume continues a cancelled job as a new job: replay jobs fork the
+// retained session's world at the cancellation point and pick up at the
+// next unreplayed command (falling back to a fresh full replay when the
+// world cannot fork); campaign jobs re-execute only the traces that
+// never reached a judgeable end and merge the rest from the cancelled
+// run. The new job rides the normal queue — backpressure applies.
+func (e *Engine) Resume(id string) (*Job, error) {
+	job, err := e.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	if job.state != StateCancelled {
+		state := job.state
+		job.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotResumable, id, state)
+	}
+	if job.resumed != "" {
+		resumed := job.resumed
+		job.mu.Unlock()
+		return nil, fmt.Errorf("jobs: %s already resumed as %s", id, resumed)
+	}
+	job.mu.Unlock()
+	nj, err := e.enqueue(job.Spec, job)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.resumed = nj.ID
+	job.mu.Unlock()
+	return nj, nil
+}
+
+// Drain shuts the engine down gracefully: no new submissions, queued
+// jobs still execute, running jobs finish — and if ctx expires first,
+// every unfinished job is checkpointed (cancelled with CauseDrained, so
+// its partial results are published and it remains resumable) rather
+// than dropped. Drain returns once every worker has exited; it is safe
+// to call more than once.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: checkpoint everything still unfinished. Sessions
+	// stop at their next command boundary, so the second wait is short.
+	for _, job := range e.Jobs() {
+		job.mu.Lock()
+		terminal := job.state == StateDone || job.state == StateFailed || job.state == StateCancelled
+		if !terminal && job.cause == nil {
+			job.cause = CauseDrained
+		}
+		job.mu.Unlock()
+		if !terminal {
+			job.cancel(CauseDrained)
+		}
+	}
+	<-done
+	return ctx.Err()
+}
+
+// Close drains with immediate checkpointing: every unfinished job is
+// cancelled with CauseDrained and the engine waits for the workers.
+func (e *Engine) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = e.Drain(ctx)
+}
+
+// Draining reports whether a drain has begun.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// QueueDepth returns the current backlog and the queue's capacity.
+func (e *Engine) QueueDepth() (depth, capacity int) {
+	return len(e.queue), cap(e.queue)
+}
+
+// run executes one job on a worker goroutine.
+func (e *Engine) run(job *Job) {
+	job.setState(StateRunning)
+	var err error
+	switch job.Spec.Kind {
+	case KindReplay:
+		err = e.runReplay(job)
+	case KindNavigationCampaign:
+		err = e.runNavigationCampaign(job)
+	case KindTimingCampaign:
+		err = e.runTimingCampaign(job)
+	case KindReport:
+		err = e.runReport(job)
+	default:
+		err = fmt.Errorf("jobs: unknown job kind %d", job.Spec.Kind)
+	}
+	switch {
+	case err != nil:
+		job.mu.Lock()
+		job.err = err
+		job.mu.Unlock()
+		job.setState(StateFailed)
+	case context.Cause(job.ctx) != nil:
+		job.mu.Lock()
+		if job.cause == nil {
+			job.cause = context.Cause(job.ctx)
+		}
+		job.mu.Unlock()
+		job.setState(StateCancelled)
+	default:
+		job.setState(StateDone)
+	}
+	job.bus.Close()
+}

@@ -1,0 +1,263 @@
+// Package jobs is the shared job engine behind every face of this
+// module: a typed job (one-shot replay, WebErr navigation/timing
+// campaign, AUsER report ingestion) over the replayer.Session and
+// campaign.Executor APIs, a bounded work queue with backpressure and
+// graceful drain, a per-job event bus streaming step-by-step results,
+// cancellation via context and resumption via Session forking, and
+// Prometheus-style metrics. The command-line tools submit jobs to an
+// in-process engine and print its events; warr-serve exposes the same
+// engine over HTTP/SSE — so there is exactly one execution path no
+// matter which face drives it.
+package jobs
+
+// This file defines the event vocabulary and its JSON-lines encoding.
+// The step/summary/skipped shapes are the machine-readable per-step
+// format warr-replay's -json flag has emitted since the session API
+// landed; they moved here verbatim (field names, order, omitempty
+// semantics — the encoding is pinned byte-for-byte by tests) so the CLI
+// stdout stream, the SSE stream, and job logs all come from one
+// encoder. The remaining shapes are service-level: job state
+// transitions, per-trace campaign outcomes, campaign reports, and AUsER
+// ingestion classifications.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Event is one entry in a job's event stream. Every concrete event is a
+// flat JSON object whose "type" field names its shape.
+type Event interface {
+	// EventType returns the value of the event's "type" field.
+	EventType() string
+}
+
+// StepEvent reports one replayed command — the machine-readable shape
+// warr-replay -json prints per step.
+type StepEvent struct {
+	Type      string `json:"type"`
+	Index     int    `json:"index"`
+	Action    string `json:"action"`
+	XPath     string `json:"xpath"`
+	Status    string `json:"status"`
+	UsedXPath string `json:"usedXPath,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (StepEvent) EventType() string { return "step" }
+
+// NewStepEvent converts a replayed step into its event.
+func NewStepEvent(step replayer.Step) StepEvent {
+	ev := StepEvent{
+		Type:      "step",
+		Index:     step.Index,
+		Action:    step.Cmd.Action.String(),
+		XPath:     step.Cmd.XPath,
+		Status:    step.Status.String(),
+		UsedXPath: step.UsedXPath,
+		Heuristic: step.Heuristic,
+	}
+	if step.Err != nil {
+		ev.Error = step.Err.Error()
+	}
+	return ev
+}
+
+// SummaryEvent reports a finished replay (one per session; one per
+// replica for replicated replays).
+type SummaryEvent struct {
+	Type          string   `json:"type"`
+	Replica       int      `json:"replica"`
+	Commands      int      `json:"commands"`
+	Played        int      `json:"played"`
+	Failed        int      `json:"failed"`
+	Halted        bool     `json:"halted"`
+	Cancelled     bool     `json:"cancelled"`
+	Complete      bool     `json:"complete"`
+	FinalURL      string   `json:"finalURL,omitempty"`
+	Title         string   `json:"title,omitempty"`
+	ConsoleErrors []string `json:"consoleErrors,omitempty"`
+}
+
+func (SummaryEvent) EventType() string { return "summary" }
+
+// NewSummaryEvent summarizes a replay result. tab may be nil (replica
+// summaries do not expose per-replica page state).
+func NewSummaryEvent(replica, commands int, res *replayer.Result, tab *browser.Tab) SummaryEvent {
+	ev := SummaryEvent{
+		Type:      "summary",
+		Replica:   replica,
+		Commands:  commands,
+		Played:    res.Played,
+		Failed:    res.Failed,
+		Halted:    res.Halted,
+		Cancelled: res.Cancelled,
+		Complete:  res.Complete(),
+	}
+	if tab != nil {
+		ev.FinalURL = tab.URL()
+		ev.Title = tab.Title()
+		for _, e := range tab.ConsoleErrors() {
+			ev.ConsoleErrors = append(ev.ConsoleErrors, e.Message)
+		}
+	}
+	return ev
+}
+
+// SkippedEvent reports a replica whose replay never started because the
+// job was cancelled first.
+type SkippedEvent struct {
+	Type    string `json:"type"`
+	Replica int    `json:"replica"`
+}
+
+func (SkippedEvent) EventType() string { return "skipped" }
+
+// StateEvent reports a job state transition.
+type StateEvent struct {
+	Type  string `json:"type"`
+	Job   string `json:"job"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Cause records why a job was cancelled; Error records why it
+	// failed.
+	Cause string `json:"cause,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (StateEvent) EventType() string { return "state" }
+
+// OutcomeEvent reports one campaign trace's fate, in job order.
+type OutcomeEvent struct {
+	Type      string `json:"type"`
+	Index     int    `json:"index"`
+	Injection string `json:"injection,omitempty"`
+	// Status is replayed, pruned, skipped, or cancelled.
+	Status  string `json:"status"`
+	Played  int    `json:"played"`
+	Failed  int    `json:"failed"`
+	Finding bool   `json:"finding"`
+	// Observed is the oracle's observation for findings.
+	Observed string `json:"observed,omitempty"`
+}
+
+func (OutcomeEvent) EventType() string { return "outcome" }
+
+// FindingRecord is one campaign finding in a ReportEvent.
+type FindingRecord struct {
+	Injection string `json:"injection"`
+	Observed  string `json:"observed"`
+}
+
+// ReportEvent summarizes a finished campaign.
+type ReportEvent struct {
+	Type string `json:"type"`
+	// Campaign is navigation or timing.
+	Campaign       string          `json:"campaign"`
+	Generated      int             `json:"generated"`
+	Replayed       int             `json:"replayed"`
+	Pruned         int             `json:"pruned"`
+	Skipped        int             `json:"skipped"`
+	ReplayFailures int             `json:"replayFailures"`
+	Findings       []FindingRecord `json:"findings,omitempty"`
+}
+
+func (ReportEvent) EventType() string { return "report" }
+
+// ClassificationEvent reports the outcome of AUsER report ingestion:
+// the server-side replay → minimize → classify pipeline (Fig. 1).
+type ClassificationEvent struct {
+	Type string `json:"type"`
+	// Verdict is console-error, replay-failure, replay-halted, or
+	// no-repro.
+	Verdict string `json:"verdict"`
+	// Signal is the observation the classification rests on (first
+	// console error, first failed command).
+	Signal string `json:"signal,omitempty"`
+	// Commands and MinimizedCommands compare the reported trace with
+	// the minimized reproducer.
+	Commands          int `json:"commands"`
+	MinimizedCommands int `json:"minimizedCommands"`
+	// Replays counts the replays the minimizer spent.
+	Replays int `json:"replays"`
+}
+
+func (ClassificationEvent) EventType() string { return "classification" }
+
+// Encoder writes events as JSON lines: one object per line, exactly the
+// stream warr-replay -json prints and warr-serve's SSE data frames
+// carry.
+type Encoder struct {
+	enc *json.Encoder
+}
+
+// NewEncoder returns an encoder writing JSON lines to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{enc: json.NewEncoder(w)} }
+
+// Encode writes one event line.
+func (e *Encoder) Encode(ev Event) error { return e.enc.Encode(ev) }
+
+// EncodeEvent renders one event as its JSON line (trailing newline
+// included).
+func EncodeEvent(ev Event) ([]byte, error) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeEvent parses one JSON event line into its typed event, keyed by
+// the "type" field.
+func DecodeEvent(line []byte) (Event, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return nil, fmt.Errorf("jobs: decoding event: %w", err)
+	}
+	var ev Event
+	switch probe.Type {
+	case "step":
+		ev = &StepEvent{}
+	case "summary":
+		ev = &SummaryEvent{}
+	case "skipped":
+		ev = &SkippedEvent{}
+	case "state":
+		ev = &StateEvent{}
+	case "outcome":
+		ev = &OutcomeEvent{}
+	case "report":
+		ev = &ReportEvent{}
+	case "classification":
+		ev = &ClassificationEvent{}
+	default:
+		return nil, fmt.Errorf("jobs: unknown event type %q", probe.Type)
+	}
+	if err := json.Unmarshal(line, ev); err != nil {
+		return nil, fmt.Errorf("jobs: decoding %s event: %w", probe.Type, err)
+	}
+	switch v := ev.(type) {
+	case *StepEvent:
+		return *v, nil
+	case *SummaryEvent:
+		return *v, nil
+	case *SkippedEvent:
+		return *v, nil
+	case *StateEvent:
+		return *v, nil
+	case *OutcomeEvent:
+		return *v, nil
+	case *ReportEvent:
+		return *v, nil
+	case *ClassificationEvent:
+		return *v, nil
+	}
+	return nil, fmt.Errorf("jobs: unreachable event type %q", probe.Type)
+}

@@ -1,0 +1,232 @@
+package jobs
+
+// The encoding contract: the step/summary/skipped JSON lines are the
+// machine-readable format warr-replay -json has always printed. These
+// tests pin it byte-for-byte — against literal lines and against the
+// exact struct shapes the pre-engine CLI declared — and check that
+// every event round-trips through EncodeEvent/DecodeEvent unchanged.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// legacyStepRecord and legacySummaryRecord are verbatim copies of the
+// JSON shapes cmd/warr-replay declared before the job engine existed.
+// If a field is renamed, reordered, or re-tagged in the events package,
+// the byte comparison below fails.
+type legacyStepRecord struct {
+	Type      string `json:"type"`
+	Index     int    `json:"index"`
+	Action    string `json:"action"`
+	XPath     string `json:"xpath"`
+	Status    string `json:"status"`
+	UsedXPath string `json:"usedXPath,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+type legacySummaryRecord struct {
+	Type          string   `json:"type"`
+	Replica       int      `json:"replica"`
+	Commands      int      `json:"commands"`
+	Played        int      `json:"played"`
+	Failed        int      `json:"failed"`
+	Halted        bool     `json:"halted"`
+	Cancelled     bool     `json:"cancelled"`
+	Complete      bool     `json:"complete"`
+	FinalURL      string   `json:"finalURL,omitempty"`
+	Title         string   `json:"title,omitempty"`
+	ConsoleErrors []string `json:"consoleErrors,omitempty"`
+}
+
+func TestStepEventMatchesLegacyJSONByteForByte(t *testing.T) {
+	steps := []replayer.Step{
+		{
+			Index:  0,
+			Cmd:    command.Command{Action: command.Click, XPath: `//form/input[@name="signin"]`},
+			Status: replayer.StepOK,
+		},
+		{
+			Index:     3,
+			Cmd:       command.Command{Action: command.Type, XPath: `//div/input[@id="p"]`},
+			Status:    replayer.StepRelaxed,
+			UsedXPath: `//input[@id="p"]`,
+			Heuristic: "anchor-suffix",
+		},
+		{
+			Index:  7,
+			Cmd:    command.Command{Action: command.Click, XPath: `//div[@id="gone"]`},
+			Status: replayer.StepFailed,
+			Err:    errors.New("element not found"),
+		},
+	}
+	for _, step := range steps {
+		legacy := legacyStepRecord{
+			Type:      "step",
+			Index:     step.Index,
+			Action:    step.Cmd.Action.String(),
+			XPath:     step.Cmd.XPath,
+			Status:    step.Status.String(),
+			UsedXPath: step.UsedXPath,
+			Heuristic: step.Heuristic,
+		}
+		if step.Err != nil {
+			legacy.Error = step.Err.Error()
+		}
+		want, err := json.Marshal(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EncodeEvent(NewStepEvent(step))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSuffix(got, []byte("\n")), want) {
+			t.Errorf("step %d line diverged from the legacy -json format:\n got %s\nwant %s",
+				step.Index, got, want)
+		}
+	}
+}
+
+func TestSummaryEventMatchesLegacyJSONByteForByte(t *testing.T) {
+	res := &replayer.Result{Played: 15, Failed: 2}
+	legacy := legacySummaryRecord{
+		Type:     "summary",
+		Replica:  1,
+		Commands: 17,
+		Played:   res.Played,
+		Failed:   res.Failed,
+		Complete: res.Complete(),
+	}
+	want, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EncodeEvent(NewSummaryEvent(1, 17, res, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(got, []byte("\n")), want) {
+		t.Errorf("summary line diverged from the legacy -json format:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestEventLinesPinned pins one literal line per event type. These are
+// the bytes on the wire — CLI stdout and SSE data frames — so any
+// change here is a protocol change.
+func TestEventLinesPinned(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{
+			StepEvent{Type: "step", Index: 2, Action: "click", XPath: "//a", Status: "ok"},
+			`{"type":"step","index":2,"action":"click","xpath":"//a","status":"ok"}`,
+		},
+		{
+			SummaryEvent{Type: "summary", Commands: 3, Played: 3, Complete: true, FinalURL: "http://x.test/", Title: "X"},
+			`{"type":"summary","replica":0,"commands":3,"played":3,"failed":0,"halted":false,"cancelled":false,"complete":true,"finalURL":"http://x.test/","title":"X"}`,
+		},
+		{
+			SkippedEvent{Type: "skipped", Replica: 4},
+			`{"type":"skipped","replica":4}`,
+		},
+		{
+			StateEvent{Type: "state", Job: "job-1", Kind: "replay", State: "running"},
+			`{"type":"state","job":"job-1","kind":"replay","state":"running"}`,
+		},
+		{
+			OutcomeEvent{Type: "outcome", Index: 5, Injection: "skip task 1", Status: "replayed", Played: 9, Finding: true, Observed: "console errors: boom"},
+			`{"type":"outcome","index":5,"injection":"skip task 1","status":"replayed","played":9,"failed":0,"finding":true,"observed":"console errors: boom"}`,
+		},
+		{
+			ReportEvent{Type: "report", Campaign: "navigation", Generated: 12, Replayed: 8, Pruned: 4,
+				Findings: []FindingRecord{{Injection: "skip task 1", Observed: "console errors: boom"}}},
+			`{"type":"report","campaign":"navigation","generated":12,"replayed":8,"pruned":4,"skipped":0,"replayFailures":0,"findings":[{"injection":"skip task 1","observed":"console errors: boom"}]}`,
+		},
+		{
+			ClassificationEvent{Type: "classification", Verdict: "console-error", Signal: "TypeError", Commands: 2, MinimizedCommands: 2, Replays: 3},
+			`{"type":"classification","verdict":"console-error","signal":"TypeError","commands":2,"minimizedCommands":2,"replays":3}`,
+		},
+	}
+	for _, c := range cases {
+		got, err := EncodeEvent(c.ev)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ev.EventType(), err)
+		}
+		if string(got) != c.want+"\n" {
+			t.Errorf("%s line changed:\n got %swant %s\n", c.ev.EventType(), got, c.want)
+		}
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	events := []Event{
+		StepEvent{Type: "step", Index: 1, Action: "type", XPath: "//input", Status: "ok", UsedXPath: "//input", Heuristic: "h", Error: "e"},
+		SummaryEvent{Type: "summary", Replica: 2, Commands: 5, Played: 4, Failed: 1, Halted: true, ConsoleErrors: []string{"a", "b"}},
+		SkippedEvent{Type: "skipped", Replica: 3},
+		StateEvent{Type: "state", Job: "job-9", Kind: "report", State: "cancelled", Cause: "because"},
+		OutcomeEvent{Type: "outcome", Index: 7, Status: "pruned"},
+		ReportEvent{Type: "report", Campaign: "timing", Generated: 3, Replayed: 3,
+			Findings: []FindingRecord{{Injection: "i", Observed: "o"}}},
+		ClassificationEvent{Type: "classification", Verdict: "no-repro", Commands: 4, MinimizedCommands: 4, Replays: 1},
+	}
+	for _, ev := range events {
+		line, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", ev.EventType(), err)
+		}
+		back, err := DecodeEvent(line)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", ev.EventType(), err)
+		}
+		if !reflect.DeepEqual(ev, back) {
+			t.Errorf("%s did not round-trip:\n in  %#v\n out %#v", ev.EventType(), ev, back)
+		}
+	}
+}
+
+func TestDecodeEventRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"not json",
+		`{"type":"martian"}`,
+		`{"type":"step","index":"NaN"}`,
+	} {
+		if _, err := DecodeEvent([]byte(line)); err == nil {
+			t.Errorf("DecodeEvent(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestEncoderWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(SkippedEvent{Type: "skipped", Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(SkippedEvent{Type: "skipped", Replica: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("encoder wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		ev, err := DecodeEvent([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.(SkippedEvent).Replica != i {
+			t.Errorf("line %d decoded replica %d", i, ev.(SkippedEvent).Replica)
+		}
+	}
+}

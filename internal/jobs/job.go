@@ -1,0 +1,354 @@
+package jobs
+
+// Job kinds, states, specifications, and the Job record itself.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// Kind selects what a job does with its trace.
+type Kind int
+
+// Job kinds.
+const (
+	// KindReplay replays the trace once (or Replicas times concurrently)
+	// and streams each step.
+	KindReplay Kind = iota + 1
+	// KindNavigationCampaign infers the trace's interaction grammar and
+	// runs the WebErr navigation-error campaign over it (§V-A).
+	KindNavigationCampaign
+	// KindTimingCampaign runs the WebErr timing-error campaign over the
+	// trace (§V-B).
+	KindTimingCampaign
+	// KindReport ingests an AUsER user experience report: the reported
+	// trace is replayed, minimized to a shortest reproducer, and
+	// classified (the paper's Fig. 1 server side).
+	KindReport
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReplay:
+		return "replay"
+	case KindNavigationCampaign:
+		return "navigation-campaign"
+	case KindTimingCampaign:
+		return "timing-campaign"
+	case KindReport:
+		return "report"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseKind resolves a kind name ("replay", "navigation-campaign",
+// "timing-campaign", "report"); unknown names return 0.
+func ParseKind(s string) Kind {
+	for _, k := range []Kind{KindReplay, KindNavigationCampaign, KindTimingCampaign, KindReport} {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// State is a job's lifecycle position.
+type State int
+
+// Job states. Queued → Running → one of Done / Failed / Cancelled; a
+// cancelled job may be resumed as a new job.
+const (
+	StateQueued State = iota + 1
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return "unknown"
+	}
+}
+
+// States lists every job state, in lifecycle order — the metrics
+// exporter enumerates it so jobs-by-state series exist even at zero.
+func States() []State {
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+}
+
+// Spec is a typed job specification — everything a runner needs, and
+// nothing it can discover on its own.
+type Spec struct {
+	// Kind selects the runner.
+	Kind Kind
+	// Trace is the input trace (the correct trace for campaigns, the
+	// reported trace for report ingestion).
+	Trace command.Trace
+	// TraceName labels the trace in listings (scenario name, archive
+	// id).
+	TraceName string
+	// Mode is the browser build of the execution environments; zero
+	// means DeveloperMode, the replay-fidelity build every tool uses.
+	Mode browser.Mode
+	// Replayer configures the replay sessions. Hooks are in-process
+	// only; attaching them disables campaign prefix sharing exactly as
+	// it always has.
+	Replayer replayer.Options
+	// Replicas, for replay jobs, replays the trace N times concurrently
+	// in isolated environments (warr-replay -parallel). 0 or 1 replays
+	// once, streaming each step.
+	Replicas int
+	// Parallelism is the campaign executor's concurrency (0 or 1 =
+	// sequential).
+	Parallelism int
+	// MaxTraces bounds a navigation campaign (0 = all mutants).
+	MaxTraces int
+	// DisablePruning and DisablePrefixSharing are the campaign
+	// ablations.
+	DisablePruning       bool
+	DisablePrefixSharing bool
+	// Oracle overrides the campaign oracle (default ConsoleOracle). In-
+	// process only.
+	Oracle weberr.Oracle
+	// Grammar, for navigation campaigns, skips task-tree inference and
+	// injects errors into this grammar directly — for callers that
+	// already inferred it (the corpus runner fingerprints the grammar
+	// before running campaigns). In-process only.
+	Grammar *weberr.Grammar
+	// Description, for report jobs, is the user's bug description.
+	Description string
+}
+
+// Classification is the stored outcome of AUsER report ingestion.
+type Classification struct {
+	// Verdict is console-error, replay-failure, replay-halted, or
+	// no-repro.
+	Verdict string
+	// Signal is the observation the verdict rests on.
+	Signal string
+	// Minimized is the shortest prefix of the reported trace that still
+	// reproduces the signal (the full trace for no-repro).
+	Minimized command.Trace
+	// Replays counts the replays the minimizer spent.
+	Replays int
+}
+
+// Job is one unit of engine work: its spec, lifecycle state, event bus,
+// and — once finished — its results. All mutable fields are guarded;
+// accessors return snapshots safe to use from any goroutine.
+type Job struct {
+	// ID is the engine-assigned identifier ("job-1", "job-2", ...).
+	ID string
+	// Spec is the submitted specification (read-only after submit).
+	Spec Spec
+
+	bus    *Bus
+	engine *Engine
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	doneCh chan struct{}
+
+	// resumeFrom is the cancelled job this one continues (nil for fresh
+	// jobs).
+	resumeFrom *Job
+
+	mu       sync.Mutex
+	state    State
+	err      error // runner failure (StateFailed)
+	cause    error // cancellation cause (StateCancelled)
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// Results, by kind.
+	result   *replayer.Result   // replay: the (possibly partial) replay result
+	tab      *browser.Tab       // replay: final page state (single-session jobs)
+	session  *replayer.Session  // replay: retained for resume
+	plan     []campaign.Job     // campaigns: the executed trace plan, kept for resume
+	outcomes []campaign.Outcome // replicas and campaigns
+	report   *weberr.Report     // campaigns
+	tree     *weberr.TaskTree   // navigation campaigns
+	grammar  *weberr.Grammar    // navigation campaigns
+	class    *Classification    // report ingestion
+	resumed  string             // id of the job resuming this one
+}
+
+// Events returns the job's event bus.
+func (j *Job) Events() *Bus { return j.bus }
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the runner failure for StateFailed jobs.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// CancelCause returns why a cancelled job was cancelled.
+func (j *Job) CancelCause() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cause
+}
+
+// Result returns the replay result (nil for campaign jobs, partial for
+// cancelled jobs).
+func (j *Job) Result() *replayer.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Tab returns the final page of a single-session replay job, for
+// oracles that inspect it. It is only safe to use after the job
+// finished.
+func (j *Job) Tab() *browser.Tab {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tab
+}
+
+// Outcomes returns the per-trace campaign outcomes (or per-replica
+// outcomes for replicated replay jobs), in job order.
+func (j *Job) Outcomes() []campaign.Outcome {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcomes
+}
+
+// Report returns a campaign job's report.
+func (j *Job) Report() *weberr.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// TaskTree and Grammar return a navigation campaign's inferred
+// structures (nil until inference ran).
+func (j *Job) TaskTree() *weberr.TaskTree {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tree
+}
+
+// Grammar returns the grammar a navigation campaign injected errors
+// into.
+func (j *Job) Grammar() *weberr.Grammar {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.grammar
+}
+
+// Classification returns a report job's ingestion outcome.
+func (j *Job) Classification() *Classification {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.class
+}
+
+// ResumedBy returns the id of the job that resumed this one ("" if
+// none).
+func (j *Job) ResumedBy() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumed
+}
+
+// Created, Started and Finished return the job's lifecycle timestamps
+// (zero until reached).
+func (j *Job) Created() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created
+}
+
+// Started returns when a worker picked the job up.
+func (j *Job) Started() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
+}
+
+// Finished returns when the job reached a terminal state.
+func (j *Job) Finished() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires).
+func (j *Job) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// setState transitions the job and publishes the StateEvent; terminal
+// states release Wait.
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.started = now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = now()
+	}
+	terminal := s == StateDone || s == StateFailed || s == StateCancelled
+	j.mu.Unlock()
+	j.publishState()
+	if terminal {
+		close(j.doneCh)
+	}
+}
+
+// publishState emits a StateEvent for the job's current state.
+func (j *Job) publishState() {
+	j.mu.Lock()
+	ev := StateEvent{Type: "state", Job: j.ID, Kind: j.Spec.Kind.String(), State: j.state.String()}
+	if j.cause != nil {
+		ev.Cause = j.cause.Error()
+	}
+	if j.err != nil {
+		ev.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	j.bus.Publish(ev)
+}
+
+// now is the engine's wall clock (jobs run on real time; the simulated
+// worlds inside them keep their own virtual clocks).
+func now() time.Time { return time.Now() }

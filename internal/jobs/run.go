@@ -1,0 +1,418 @@
+package jobs
+
+// The per-kind job runners. Every runner executes on a worker
+// goroutine, drives the existing replayer.Session / campaign.Executor
+// APIs under the job's cancellable context, publishes its progress on
+// the job's event bus, and stores its results on the Job. A runner
+// returning a non-nil error fails the job; cancellation is not an
+// error — the engine derives the Cancelled state from the job context
+// afterwards.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// ---- replay ----
+
+// runReplay replays the spec trace once (streaming each step) or
+// Replicas times concurrently (streaming per-replica summaries).
+func (e *Engine) runReplay(job *Job) error {
+	if job.Spec.Replicas > 1 {
+		return e.runReplicated(job)
+	}
+	// Resuming: fork the retained session's world at the cancellation
+	// point and replay only the remaining commands. The already-replayed
+	// steps are re-published first, so a subscriber of the resumed job
+	// sees the exact stream an uninterrupted replay would have produced.
+	if rf := job.resumeFrom; rf != nil {
+		rf.mu.Lock()
+		prior := rf.session
+		rf.mu.Unlock()
+		if prior != nil {
+			if resumed, err := prior.Resume(job.ctx); err == nil {
+				for _, st := range resumed.Result().Steps {
+					job.bus.Publish(NewStepEvent(st))
+				}
+				return e.driveSession(job, resumed)
+			}
+			// The world cannot fork (plugin state without a Snapshotter,
+			// say): fall through to a fresh full replay — resumption must
+			// never drop a job just because the cheap path is closed.
+		}
+	}
+	if cause := context.Cause(job.ctx); cause != nil {
+		// Cancelled before any command: publish the same empty partial
+		// result an unstarted session reports on its first Next.
+		res := &replayer.Result{Cancelled: true, CancelCause: cause}
+		job.mu.Lock()
+		job.result = res
+		job.mu.Unlock()
+		job.bus.Publish(NewSummaryEvent(0, len(job.Spec.Trace.Commands), res, nil))
+		return nil
+	}
+	b := e.factory(job.Spec.Mode)()
+	session, err := replayer.New(b, job.Spec.Replayer).NewSession(job.ctx, job.Spec.Trace)
+	if err != nil {
+		return err
+	}
+	return e.driveSession(job, session)
+}
+
+// driveSession replays the session's remaining commands, streaming one
+// StepEvent per command and a closing SummaryEvent.
+func (e *Engine) driveSession(job *Job, session *replayer.Session) error {
+	already := len(session.Result().Steps)
+	start := time.Now()
+	allocs0 := readMallocs()
+	for {
+		step, ok := session.Next()
+		if !ok {
+			break
+		}
+		job.bus.Publish(NewStepEvent(step))
+	}
+	res := session.Result()
+	e.metrics.observeReplay(len(res.Steps)-already, time.Since(start), readMallocs()-allocs0)
+	job.mu.Lock()
+	job.result = res
+	job.tab = session.Tab()
+	job.session = session
+	job.mu.Unlock()
+	job.bus.Publish(NewSummaryEvent(0, len(session.Trace().Commands), res, session.Tab()))
+	return nil
+}
+
+// runReplicated replays the trace Replicas times concurrently over
+// isolated environments — warr-replay's -parallel determinism check.
+func (e *Engine) runReplicated(job *Job) error {
+	spec := job.Spec
+	plan := make([]campaign.Job, spec.Replicas)
+	for i := range plan {
+		plan[i] = campaign.Job{Trace: spec.Trace}
+	}
+	exec := campaign.New(e.factory(spec.Mode), campaign.Options{
+		Parallelism: spec.Replicas,
+		Replayer:    spec.Replayer,
+		// Replicas are identical; a failure must not prune the rest.
+		DisablePruning: true,
+	})
+	outcomes := e.executePlan(job, exec, plan)
+	job.mu.Lock()
+	job.plan = plan
+	job.outcomes = outcomes
+	job.mu.Unlock()
+	for i, out := range outcomes {
+		if out.Skipped {
+			job.bus.Publish(SkippedEvent{Type: "skipped", Replica: i})
+			continue
+		}
+		job.bus.Publish(NewSummaryEvent(i, len(spec.Trace.Commands), out.Result, nil))
+	}
+	return nil
+}
+
+// ---- campaigns ----
+
+// campaignOptions translates a job spec into weberr campaign options.
+func campaignOptions(spec Spec) weberr.CampaignOptions {
+	return weberr.CampaignOptions{
+		Oracle:               spec.Oracle,
+		Replayer:             spec.Replayer,
+		DisablePruning:       spec.DisablePruning,
+		DisablePrefixSharing: spec.DisablePrefixSharing,
+		MaxTraces:            spec.MaxTraces,
+		Parallelism:          spec.Parallelism,
+	}
+}
+
+// runNavigationCampaign infers the grammar and runs the WebErr
+// navigation-error campaign over it — the same plan → executor →
+// report path RunNavigationCampaign wraps.
+func (e *Engine) runNavigationCampaign(job *Job) error {
+	spec := job.Spec
+	copts := campaignOptions(spec)
+	newEnv := e.factory(spec.Mode)
+	plan := job.priorPlan()
+	if plan == nil {
+		g := spec.Grammar
+		if g == nil {
+			tree, err := weberr.InferTaskTree(newEnv, spec.Trace)
+			if err != nil {
+				return fmt.Errorf("jobs: inferring task tree: %w", err)
+			}
+			g = weberr.FromTaskTree(tree)
+			job.mu.Lock()
+			job.tree = tree
+			job.mu.Unlock()
+		}
+		job.mu.Lock()
+		job.grammar = g
+		job.mu.Unlock()
+		plan = weberr.NavigationPlan(g, copts)
+	}
+	outcomes := e.executePlan(job, weberr.NavigationExecutor(newEnv, copts), plan)
+	e.finishCampaign(job, "navigation", plan, outcomes)
+	return nil
+}
+
+// runTimingCampaign runs the WebErr timing-error campaign over the
+// trace.
+func (e *Engine) runTimingCampaign(job *Job) error {
+	spec := job.Spec
+	copts := campaignOptions(spec)
+	plan := job.priorPlan()
+	if plan == nil {
+		plan = weberr.TimingPlan(spec.Trace)
+	}
+	outcomes := e.executePlan(job, weberr.TimingExecutor(e.factory(spec.Mode), copts), plan)
+	e.finishCampaign(job, "timing", plan, outcomes)
+	return nil
+}
+
+// priorPlan returns the plan (and, for navigation campaigns, the
+// inferred structures) carried over from the job this one resumes, or
+// nil when the job is fresh or the cancelled run never got that far.
+func (j *Job) priorPlan() []campaign.Job {
+	rf := j.resumeFrom
+	if rf == nil {
+		return nil
+	}
+	rf.mu.Lock()
+	plan, tree, g := rf.plan, rf.tree, rf.grammar
+	rf.mu.Unlock()
+	j.mu.Lock()
+	j.tree, j.grammar = tree, g
+	j.mu.Unlock()
+	return plan
+}
+
+// executePlan runs the plan on the executor. When the job resumes a
+// cancelled one whose outcomes partially exist, only the traces that
+// never reached a judgeable end (skipped, or cancelled mid-replay) are
+// re-executed; finished outcomes — replayed, pruned, failed — are
+// merged from the cancelled run, so no replay is spent twice.
+func (e *Engine) executePlan(job *Job, exec *campaign.Executor, plan []campaign.Job) []campaign.Outcome {
+	var prior []campaign.Outcome
+	if rf := job.resumeFrom; rf != nil {
+		rf.mu.Lock()
+		prior = rf.outcomes
+		rf.mu.Unlock()
+	}
+	if len(prior) != len(plan) {
+		return exec.Execute(job.ctx, plan)
+	}
+	merged := append([]campaign.Outcome(nil), prior...)
+	var idxs []int
+	for i, out := range prior {
+		if out.Skipped || (out.Result != nil && out.Result.Cancelled) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return merged
+	}
+	sub := make([]campaign.Job, len(idxs))
+	for k, i := range idxs {
+		sub[k] = plan[i]
+	}
+	outs := exec.Execute(job.ctx, sub)
+	for k, out := range outs {
+		out.Index = idxs[k]
+		merged[idxs[k]] = out
+	}
+	return merged
+}
+
+// finishCampaign stores the campaign results and publishes the outcome
+// stream: one OutcomeEvent per trace in plan order, then the
+// ReportEvent.
+func (e *Engine) finishCampaign(job *Job, kind string, plan []campaign.Job, outcomes []campaign.Outcome) {
+	rep := weberr.ReportOutcomes(outcomes)
+	job.mu.Lock()
+	job.plan = plan
+	job.outcomes = outcomes
+	job.report = rep
+	job.mu.Unlock()
+	for _, out := range outcomes {
+		job.bus.Publish(newOutcomeEvent(out))
+	}
+	job.bus.Publish(newReportEvent(kind, rep))
+}
+
+// newOutcomeEvent converts one executor outcome into its event.
+func newOutcomeEvent(out campaign.Outcome) OutcomeEvent {
+	ev := OutcomeEvent{Type: "outcome", Index: out.Index}
+	if inj, ok := out.Job.Meta.(weberr.Injection); ok {
+		ev.Injection = inj.String()
+	}
+	switch {
+	case out.Skipped:
+		ev.Status = "skipped"
+	case out.Pruned:
+		ev.Status = "pruned"
+	case out.Result != nil && out.Result.Cancelled:
+		ev.Status = "cancelled"
+	default:
+		ev.Status = "replayed"
+	}
+	if out.Result != nil {
+		ev.Played = out.Result.Played
+		ev.Failed = out.Result.Failed
+	}
+	if ev.Status == "replayed" && out.Verdict != nil {
+		ev.Finding = true
+		ev.Observed = out.Verdict.Error()
+	}
+	return ev
+}
+
+// newReportEvent converts a campaign report into its event.
+func newReportEvent(kind string, rep *weberr.Report) ReportEvent {
+	ev := ReportEvent{
+		Type:           "report",
+		Campaign:       kind,
+		Generated:      rep.Generated,
+		Replayed:       rep.Replayed,
+		Pruned:         rep.Pruned,
+		Skipped:        rep.Skipped,
+		ReplayFailures: rep.ReplayFailures,
+	}
+	for _, f := range rep.Findings {
+		ev.Findings = append(ev.Findings, FindingRecord{
+			Injection: f.Injection.String(),
+			Observed:  f.Observed.Error(),
+		})
+	}
+	return ev
+}
+
+// ---- AUsER report ingestion ----
+
+// runReport is the server side of the paper's Fig. 1: a user error
+// report arrives, its trace is replayed (streamed step by step),
+// minimized to a shortest reproducer of the observed signal, and
+// classified. A cancelled ingestion resumes as a fresh full run.
+func (e *Engine) runReport(job *Job) error {
+	spec := job.Spec
+	if cause := context.Cause(job.ctx); cause != nil {
+		res := &replayer.Result{Cancelled: true, CancelCause: cause}
+		job.mu.Lock()
+		job.result = res
+		job.mu.Unlock()
+		job.bus.Publish(NewSummaryEvent(0, len(spec.Trace.Commands), res, nil))
+		return nil
+	}
+	b := e.factory(spec.Mode)()
+	session, err := replayer.New(b, spec.Replayer).NewSession(job.ctx, spec.Trace)
+	if err != nil {
+		return err
+	}
+	if err := e.driveSession(job, session); err != nil {
+		return err
+	}
+	res := session.Result()
+	if res.Cancelled {
+		return nil
+	}
+	cls := e.classify(job, res, session)
+	if cls == nil {
+		return nil // cancelled mid-minimization
+	}
+	job.mu.Lock()
+	job.class = cls
+	job.mu.Unlock()
+	job.bus.Publish(ClassificationEvent{
+		Type:              "classification",
+		Verdict:           cls.Verdict,
+		Signal:            cls.Signal,
+		Commands:          len(spec.Trace.Commands),
+		MinimizedCommands: len(cls.Minimized.Commands),
+		Replays:           cls.Replays,
+	})
+	return nil
+}
+
+// classify derives the ingestion verdict from the full replay and
+// minimizes the trace to the shortest prefix still showing the signal.
+// It returns nil when the job was cancelled mid-minimization.
+func (e *Engine) classify(job *Job, res *replayer.Result, session *replayer.Session) *Classification {
+	spec := job.Spec
+	tab := session.Tab()
+	replays := 1 // the ingestion replay itself
+	var verdict, signal string
+	var reproduces func(*replayer.Result, *replayer.Session) bool
+	switch {
+	case len(tab.ConsoleErrors()) > 0:
+		verdict, signal = "console-error", tab.ConsoleErrors()[0].Message
+		reproduces = func(r *replayer.Result, s *replayer.Session) bool {
+			return len(s.Tab().ConsoleErrors()) > 0
+		}
+	case res.Halted:
+		verdict, signal = "replay-halted", firstFailure(res)
+		reproduces = func(r *replayer.Result, s *replayer.Session) bool { return r.Halted }
+	case res.Failed > 0:
+		verdict, signal = "replay-failure", firstFailure(res)
+		reproduces = func(r *replayer.Result, s *replayer.Session) bool { return r.Failed > 0 }
+	default:
+		return &Classification{Verdict: "no-repro", Minimized: spec.Trace, Replays: replays}
+	}
+
+	// Binary search the shortest prefix reproducing the signal. The
+	// invariants: hi always reproduces (the full trace did), lo never
+	// does (lo == -1 is the vacuous floor). Console errors and replay
+	// failures accumulate — once a prefix shows them, every longer
+	// prefix does too — so the predicate is monotone over prefix length.
+	lo, hi := -1, len(spec.Trace.Commands)
+	for hi-lo > 1 {
+		if context.Cause(job.ctx) != nil {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		r, s, err := e.replayPrefix(job, mid)
+		replays++
+		if err == nil && r.Cancelled {
+			return nil
+		}
+		if err == nil && reproduces(r, s) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return &Classification{
+		Verdict:   verdict,
+		Signal:    signal,
+		Minimized: command.Trace{StartURL: spec.Trace.StartURL, Commands: spec.Trace.Commands[:hi]},
+		Replays:   replays,
+	}
+}
+
+// replayPrefix replays the first n commands of the job's trace in a
+// fresh environment.
+func (e *Engine) replayPrefix(job *Job, n int) (*replayer.Result, *replayer.Session, error) {
+	spec := job.Spec
+	sub := command.Trace{StartURL: spec.Trace.StartURL, Commands: spec.Trace.Commands[:n]}
+	b := e.factory(spec.Mode)()
+	s, err := replayer.New(b, spec.Replayer).NewSession(job.ctx, sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Run(), s, nil
+}
+
+// firstFailure describes the first failed step of a result.
+func firstFailure(res *replayer.Result) string {
+	for _, s := range res.Steps {
+		if s.Status == replayer.StepFailed {
+			return fmt.Sprintf("command %d (%s) failed: %v", s.Index, s.Cmd.Action, s.Err)
+		}
+	}
+	return ""
+}

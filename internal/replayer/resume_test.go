@@ -1,0 +1,118 @@
+package replayer
+
+// Session.Resume tests: a cancelled session resumed at every possible
+// cut point must finish with exactly the result an uninterrupted replay
+// produces, and the eligibility rules (only cancelled, never halted)
+// hold.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+)
+
+func TestResumeEquivalenceEveryCutPoint(t *testing.T) {
+	sc := apps.AuthenticateScenario()
+	tr := record(t, sc)
+	want, _, wantTab := replayInFreshEnv(t, tr, browser.DeveloperMode, Options{})
+
+	for cut := 0; cut < len(tr.Commands); cut++ {
+		// Cancel after `cut` commands have replayed.
+		ctx, cancel := context.WithCancelCause(context.Background())
+		env := apps.NewEnv(browser.DeveloperMode)
+		s, err := New(env.Browser, Options{}).NewSession(ctx, tr)
+		if err != nil {
+			t.Fatalf("cut %d: NewSession: %v", cut, err)
+		}
+		for i := 0; i < cut; i++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatalf("cut %d: trace exhausted at step %d", cut, i)
+			}
+		}
+		cause := errors.New("interrupted here")
+		cancel(cause)
+		res := s.Run()
+		if !res.Cancelled || !errors.Is(res.CancelCause, cause) {
+			t.Fatalf("cut %d: result not cancelled with the cause: %+v", cut, res)
+		}
+		if len(res.Steps) != cut {
+			t.Fatalf("cut %d: partial result has %d steps", cut, len(res.Steps))
+		}
+
+		resumed, err := s.Resume(context.Background())
+		if err != nil {
+			t.Fatalf("cut %d: Resume: %v", cut, err)
+		}
+		got := resumed.Run()
+		compareResults(t, "resumed replay", want, got)
+		if got.Cancelled || got.CancelCause != nil {
+			t.Errorf("cut %d: resumed result still carries the cancellation", cut)
+		}
+		if resumed.Tab().URL() != wantTab.URL() {
+			t.Errorf("cut %d: final URL %q, want %q", cut, resumed.Tab().URL(), wantTab.URL())
+		}
+		resEnv, ok := resumed.Tab().Browser().World().(*apps.Env)
+		if !ok {
+			t.Fatalf("cut %d: resumed browser has no Env world (got %T)", cut, resumed.Tab().Browser().World())
+		}
+		if err := sc.Verify(resEnv, resumed.Tab()); err != nil {
+			t.Errorf("cut %d: resumed session failed the scenario oracle: %v", cut, err)
+		}
+		// The original session is final: resuming it again forks the
+		// same checkpoint a second time.
+		again, err := s.Resume(context.Background())
+		if err != nil {
+			t.Fatalf("cut %d: second Resume: %v", cut, err)
+		}
+		compareResults(t, "second resume", want, again.Run())
+	}
+}
+
+func TestResumeRejectsLiveAndDoneSessions(t *testing.T) {
+	tr := record(t, apps.AuthenticateScenario())
+	env := apps.NewEnv(browser.DeveloperMode)
+	s, err := New(env.Browser, Options{}).NewSession(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not cancelled (still live): not resumable.
+	if _, err := s.Resume(context.Background()); err == nil {
+		t.Error("Resume of a live session succeeded")
+	}
+	if res := s.Run(); res.Cancelled {
+		t.Fatalf("uncancelled run reported cancelled: %+v", res)
+	}
+	// Finished cleanly: still not resumable.
+	if _, err := s.Resume(context.Background()); err == nil {
+		t.Error("Resume of a completed session succeeded")
+	}
+}
+
+func TestResumeClearsCancellationOnlyInTheCopy(t *testing.T) {
+	tr := record(t, apps.AuthenticateScenario())
+	ctx, cancel := context.WithCancelCause(context.Background())
+	env := apps.NewEnv(browser.DeveloperMode)
+	s, err := New(env.Browser, Options{}).NewSession(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Next()
+	cause := errors.New("stop")
+	cancel(cause)
+	s.Run()
+
+	resumed, err := s.Resume(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Result().Cancelled {
+		t.Error("resumed session starts out cancelled")
+	}
+	// The original stays cancelled — it is a final checkpoint.
+	if !s.Result().Cancelled || !errors.Is(s.Result().CancelCause, cause) {
+		t.Error("resuming mutated the original session's result")
+	}
+}

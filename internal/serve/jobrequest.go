@@ -1,0 +1,120 @@
+package serve
+
+// The job-submission wire format and its decoder. The decoder is
+// strict — unknown fields, trailing garbage, out-of-range numbers and
+// unknown enum names are all rejected with a diagnostic, never a panic
+// (it is fuzzed; see FuzzDecodeJobRequest).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// JobRequest is the POST /api/jobs body.
+type JobRequest struct {
+	// Kind is replay, navigation-campaign, timing-campaign, or report.
+	Kind string `json:"kind"`
+	// Trace names an uploaded trace (see POST /api/traces).
+	Trace string `json:"trace"`
+	// Mode is the execution browser build: "developer" (default) or
+	// "user".
+	Mode string `json:"mode,omitempty"`
+	// Pacing is "recorded" (default) or "none".
+	Pacing string `json:"pacing,omitempty"`
+	// Replicas, for replay jobs, replays the trace N times concurrently.
+	Replicas int `json:"replicas,omitempty"`
+	// Parallelism is the campaign executor's concurrency.
+	Parallelism int `json:"parallelism,omitempty"`
+	// MaxTraces bounds a navigation campaign (0 = all mutants).
+	MaxTraces int `json:"maxTraces,omitempty"`
+	// DisablePruning and DisablePrefixSharing are the campaign
+	// ablations.
+	DisablePruning       bool `json:"disablePruning,omitempty"`
+	DisablePrefixSharing bool `json:"disablePrefixSharing,omitempty"`
+	// Description annotates report jobs.
+	Description string `json:"description,omitempty"`
+}
+
+// bounds a submission may not exceed; far above any sensible run, they
+// exist so a hostile request cannot make the engine allocate per-unit
+// state without limit.
+const (
+	maxReplicas    = 1024
+	maxParallelism = 1024
+)
+
+// DecodeJobRequest parses and validates a job-submission body.
+func DecodeJobRequest(data []byte) (*JobRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: decoding job request: %w", err)
+	}
+	// One JSON value only: trailing non-space content is a malformed
+	// request, not an extra job.
+	if dec.More() {
+		return nil, errors.New("serve: decoding job request: trailing data after JSON object")
+	}
+	if req.Kind == "" {
+		return nil, errors.New("serve: job request missing kind")
+	}
+	if jobs.ParseKind(req.Kind) == 0 {
+		return nil, fmt.Errorf("serve: unknown job kind %q", req.Kind)
+	}
+	if req.Trace == "" {
+		return nil, errors.New("serve: job request missing trace")
+	}
+	switch req.Mode {
+	case "", "developer", "user":
+	default:
+		return nil, fmt.Errorf("serve: unknown mode %q (want developer or user)", req.Mode)
+	}
+	switch req.Pacing {
+	case "", "recorded", "none":
+	default:
+		return nil, fmt.Errorf("serve: unknown pacing %q (want recorded or none)", req.Pacing)
+	}
+	if req.Replicas < 0 || req.Replicas > maxReplicas {
+		return nil, fmt.Errorf("serve: replicas %d out of range [0, %d]", req.Replicas, maxReplicas)
+	}
+	if req.Parallelism < 0 || req.Parallelism > maxParallelism {
+		return nil, fmt.Errorf("serve: parallelism %d out of range [0, %d]", req.Parallelism, maxParallelism)
+	}
+	if req.MaxTraces < 0 {
+		return nil, fmt.Errorf("serve: maxTraces %d negative", req.MaxTraces)
+	}
+	return &req, nil
+}
+
+// specFor resolves a validated request into an engine spec.
+func (s *Server) specFor(req *JobRequest) (jobs.Spec, error) {
+	st, ok := s.Trace(req.Trace)
+	if !ok {
+		return jobs.Spec{}, fmt.Errorf("serve: unknown trace %q (upload it first)", req.Trace)
+	}
+	spec := jobs.Spec{
+		Kind:                 jobs.ParseKind(req.Kind),
+		Trace:                st.Trace,
+		TraceName:            st.Name,
+		Replicas:             req.Replicas,
+		Parallelism:          req.Parallelism,
+		MaxTraces:            req.MaxTraces,
+		DisablePruning:       req.DisablePruning,
+		DisablePrefixSharing: req.DisablePrefixSharing,
+		Description:          req.Description,
+	}
+	if req.Mode == "user" {
+		spec.Mode = browser.UserMode
+	}
+	if req.Pacing == "none" {
+		spec.Replayer.Pacing = replayer.PaceNone
+	}
+	return spec, nil
+}

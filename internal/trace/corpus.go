@@ -43,6 +43,7 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/apps"
 	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/record"
 	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
@@ -213,18 +214,49 @@ func RunArchive(path string) (*Outcome, error) {
 	gsum := sha256.Sum256([]byte(g.String()))
 	out.GrammarFingerprint = hex.EncodeToString(gsum[:8])
 
-	// Campaigns, when the archive asks for them.
-	for _, kind := range strings.Split(h.Extra[campaignsKey], ",") {
-		switch strings.TrimSpace(kind) {
-		case "":
-		case "navigation":
-			rep := weberr.RunNavigationCampaign(newEnv, g, weberr.CampaignOptions{})
-			out.Navigation = summarize(rep)
-		case "timing":
-			rep := weberr.RunTimingCampaign(newEnv, tr, weberr.CampaignOptions{})
-			out.Timing = summarize(rep)
-		default:
-			return nil, fmt.Errorf("%s: unknown %s kind %q", filepath.Base(path), campaignsKey, kind)
+	// Campaigns, when the archive asks for them — run as jobs on the
+	// shared engine (one worker, so execution stays sequential and the
+	// GMail id-counter determinism note above still holds). The engine's
+	// default environments are the same registry-backed worlds newEnv
+	// builds, so outcomes are identical to the historical direct calls.
+	kinds := strings.Split(h.Extra[campaignsKey], ",")
+	hasCampaign := false
+	for _, kind := range kinds {
+		if strings.TrimSpace(kind) != "" {
+			hasCampaign = true
+		}
+	}
+	if hasCampaign {
+		engine := jobs.New(jobs.Options{Workers: 1, QueueDepth: len(kinds)})
+		defer engine.Close()
+		for _, kind := range kinds {
+			var spec jobs.Spec
+			switch strings.TrimSpace(kind) {
+			case "":
+				continue
+			case "navigation":
+				// The grammar is already inferred (fingerprinted above);
+				// hand it to the job so inference does not replay again.
+				spec = jobs.Spec{Kind: jobs.KindNavigationCampaign, Trace: tr, Grammar: g}
+			case "timing":
+				spec = jobs.Spec{Kind: jobs.KindTimingCampaign, Trace: tr}
+			default:
+				return nil, fmt.Errorf("%s: unknown %s kind %q", filepath.Base(path), campaignsKey, kind)
+			}
+			job, err := engine.Submit(spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s campaign: %w", filepath.Base(path), strings.TrimSpace(kind), err)
+			}
+			_ = job.Wait(nil)
+			if err := job.Err(); err != nil {
+				return nil, fmt.Errorf("%s: %s campaign: %w", filepath.Base(path), strings.TrimSpace(kind), err)
+			}
+			switch strings.TrimSpace(kind) {
+			case "navigation":
+				out.Navigation = summarize(job.Report())
+			case "timing":
+				out.Timing = summarize(job.Report())
+			}
 		}
 	}
 	return out, nil

@@ -84,6 +84,50 @@ type CampaignOptions struct {
 	Parallelism int
 }
 
+// NavigationPlan derives the navigation campaign's work list from the
+// grammar: every single-error mutant expanded into an erroneous trace,
+// in mutant-generation order, bounded by MaxTraces. The plan is
+// deterministic for a given grammar, which is what lets a cancelled
+// campaign job resume: the remaining traces are re-derived (or stored)
+// and merged with the outcomes already reached.
+func NavigationPlan(g *Grammar, opts CampaignOptions) []campaign.Job {
+	mutants := Mutants(g, opts.Inject)
+	if opts.MaxTraces > 0 && len(mutants) > opts.MaxTraces {
+		mutants = mutants[:opts.MaxTraces]
+	}
+	jobs := make([]campaign.Job, len(mutants))
+	for i, m := range mutants {
+		jobs[i] = campaign.Job{Trace: m.Trace(), Meta: m.Injection}
+	}
+	return jobs
+}
+
+// NavigationExecutor builds the executor a navigation campaign runs on:
+// the oracle applies only to traces that replayed completely — a trace
+// broken by its own injected error is a replay failure, not a bug in
+// the application, and a context-cancelled partial replay must not be
+// judged at all: a half-replayed page could yield findings a completed
+// replay would not, breaking the findings-identical-at-any-parallelism
+// contract.
+func NavigationExecutor(newEnv EnvFactory, opts CampaignOptions) *campaign.Executor {
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = ConsoleOracle
+	}
+	return campaign.New(newEnv, campaign.Options{
+		Parallelism:          opts.Parallelism,
+		Replayer:             opts.Replayer,
+		DisablePruning:       opts.DisablePruning,
+		DisablePrefixSharing: opts.DisablePrefixSharing,
+		Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
+			if res.Failed > 0 || res.Cancelled {
+				return nil
+			}
+			return oracle(tab, res)
+		},
+	})
+}
+
 // RunNavigationCampaign tests an application against navigation errors:
 // it derives every single-error mutant of the grammar, expands each into
 // an erroneous trace, replays the traces in fresh environments, and
@@ -98,41 +142,51 @@ func RunNavigationCampaign(newEnv EnvFactory, g *Grammar, opts CampaignOptions) 
 
 // RunNavigationCampaignContext is RunNavigationCampaign under a context:
 // cancelling ctx stops in-flight replays at their next command boundary
-// and reports not-yet-started traces as Skipped.
+// and reports not-yet-started traces as Skipped. It is plan → executor
+// → report — exactly the path the jobs engine drives, so there is one
+// campaign execution path however it is invoked.
 func RunNavigationCampaignContext(ctx context.Context, newEnv EnvFactory, g *Grammar, opts CampaignOptions) *Report {
+	exec := NavigationExecutor(newEnv, opts)
+	return ReportOutcomes(exec.Execute(ctx, NavigationPlan(g, opts)))
+}
+
+// TimingPlan derives the timing campaign's work list: the correct
+// trace with no wait time, then at increasingly impatient speeds
+// (§V-B).
+func TimingPlan(tr command.Trace) []campaign.Job {
+	zero, zeroInj := TimingTrace(tr)
+	jobs := []campaign.Job{{Trace: zero, Pacing: replayer.PaceNone, Meta: zeroInj}}
+	for _, f := range []float64{0.5, 0.25} {
+		scaled, inj := ScaledTimingTrace(tr, f)
+		jobs = append(jobs, campaign.Job{Trace: scaled, Pacing: replayer.PaceRecorded, Meta: inj})
+	}
+	return jobs
+}
+
+// TimingExecutor builds the executor a timing campaign runs on. Pruning
+// is always off: timing variants intentionally replay the same command
+// sequence at different speeds, and prefix pruning would let the
+// zero-wait variant's failure veto the slower ones. A timing error
+// manifests through the oracle even when every command still resolved,
+// so the oracle applies to every replay that ran to its end — but never
+// to cancelled partial ones.
+func TimingExecutor(newEnv EnvFactory, opts CampaignOptions) *campaign.Executor {
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = ConsoleOracle
 	}
-
-	mutants := Mutants(g, opts.Inject)
-	if opts.MaxTraces > 0 && len(mutants) > opts.MaxTraces {
-		mutants = mutants[:opts.MaxTraces]
-	}
-	jobs := make([]campaign.Job, len(mutants))
-	for i, m := range mutants {
-		jobs[i] = campaign.Job{Trace: m.Trace(), Meta: m.Injection}
-	}
-
-	exec := campaign.New(newEnv, campaign.Options{
+	return campaign.New(newEnv, campaign.Options{
 		Parallelism:          opts.Parallelism,
 		Replayer:             opts.Replayer,
-		DisablePruning:       opts.DisablePruning,
 		DisablePrefixSharing: opts.DisablePrefixSharing,
-		// The oracle applies only to traces that replayed completely: a
-		// trace broken by its own injected error is a replay failure,
-		// not a bug in the application, and a context-cancelled partial
-		// replay must not be judged at all — a half-replayed page could
-		// yield findings a completed replay would not, breaking the
-		// findings-identical-at-any-parallelism contract.
+		DisablePruning:       true,
 		Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
-			if res.Failed > 0 || res.Cancelled {
+			if res.Cancelled {
 				return nil
 			}
 			return oracle(tab, res)
 		},
 	})
-	return report(exec.Execute(ctx, jobs))
 }
 
 // RunTimingCampaign tests an application against timing errors: the
@@ -142,44 +196,17 @@ func RunTimingCampaign(newEnv EnvFactory, tr command.Trace, opts CampaignOptions
 	return RunTimingCampaignContext(context.Background(), newEnv, tr, opts)
 }
 
-// RunTimingCampaignContext is RunTimingCampaign under a context.
+// RunTimingCampaignContext is RunTimingCampaign under a context. Like
+// the navigation campaign it is plan → executor → report, the one
+// execution path the jobs engine shares.
 func RunTimingCampaignContext(ctx context.Context, newEnv EnvFactory, tr command.Trace, opts CampaignOptions) *Report {
-	oracle := opts.Oracle
-	if oracle == nil {
-		oracle = ConsoleOracle
-	}
-
-	zero, zeroInj := TimingTrace(tr)
-	jobs := []campaign.Job{{Trace: zero, Pacing: replayer.PaceNone, Meta: zeroInj}}
-	for _, f := range []float64{0.5, 0.25} {
-		scaled, inj := ScaledTimingTrace(tr, f)
-		jobs = append(jobs, campaign.Job{Trace: scaled, Pacing: replayer.PaceRecorded, Meta: inj})
-	}
-
-	exec := campaign.New(newEnv, campaign.Options{
-		Parallelism:          opts.Parallelism,
-		Replayer:             opts.Replayer,
-		DisablePrefixSharing: opts.DisablePrefixSharing,
-		// Timing variants intentionally replay the same command
-		// sequence at different speeds; prefix pruning would let the
-		// zero-wait variant's failure veto the slower ones.
-		DisablePruning: true,
-		// A timing error manifests through the oracle even when every
-		// command still resolved, so the oracle applies to every replay
-		// that ran to its end — but never to cancelled partial ones.
-		Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
-			if res.Cancelled {
-				return nil
-			}
-			return oracle(tab, res)
-		},
-	})
-	return report(exec.Execute(ctx, jobs))
+	exec := TimingExecutor(newEnv, opts)
+	return ReportOutcomes(exec.Execute(ctx, TimingPlan(tr)))
 }
 
-// report aggregates executor outcomes into a campaign report, in
-// trace-generation order.
-func report(outcomes []campaign.Outcome) *Report {
+// ReportOutcomes aggregates executor outcomes into a campaign report,
+// in trace-generation order.
+func ReportOutcomes(outcomes []campaign.Outcome) *Report {
 	rep := &Report{Generated: len(outcomes)}
 	for _, out := range outcomes {
 		switch {
