@@ -55,6 +55,26 @@ type AppSnapshotter = registry.Snapshotter
 // state does not implement AppSnapshotter.
 type NotSnapshottableError = registry.NotSnapshottableError
 
+// AppImageMarshaler is the optional durable-image capability of an
+// AppState — the serialization counterpart of AppSnapshotter. States
+// implementing it can be written into WARR-IMAGE world images and
+// shipped to other processes (the distributed campaign executor's
+// transport). MarshalImage must be deterministic — identical states,
+// identical bytes — because images are identified by content digest;
+// UnmarshalImage restores into a state freshly built by NewState.
+// WebServer.ExportSessions / ImportSessions cover the session half.
+type AppImageMarshaler = registry.ImageMarshaler
+
+// NotImageableError reports an image operation against an application
+// whose state does not implement AppImageMarshaler.
+type NotImageableError = registry.NotImageableError
+
+// WebSessionsImage is a WebServer's serialized session state, as
+// exported by ExportSessions and restored by ImportSessions — the
+// building block AppImageMarshaler implementations use for their
+// session half.
+type WebSessionsImage = webapp.SessionsImage
+
 // AppRegistry maps names to App plugins and scenario factories; the
 // tools resolve applications and workloads through it.
 type AppRegistry = registry.Registry

@@ -14,6 +14,7 @@
 package calendar
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -89,6 +90,38 @@ func (s *State) Snapshot() warr.AppState {
 	s.mu.Unlock()
 	dup.srv.CopySessionsFrom(s.srv)
 	return dup
+}
+
+// calendarImage is the serialized form of a State.
+type calendarImage struct {
+	Events   []Event                `json:"events"`
+	Sessions *warr.WebSessionsImage `json:"sessions"`
+}
+
+// MarshalImage implements warr.AppImageMarshaler, making
+// calendar-hosting environments imageable: the bytes carry the same
+// events and issued sessions Snapshot copies, so the app participates
+// in distributed campaigns exactly like the built-in applications.
+func (s *State) MarshalImage() ([]byte, error) {
+	s.mu.Lock()
+	events := append([]Event(nil), s.events...)
+	s.mu.Unlock()
+	return json.Marshal(calendarImage{Events: events, Sessions: s.srv.ExportSessions()})
+}
+
+// UnmarshalImage implements warr.AppImageMarshaler.
+func (s *State) UnmarshalImage(data []byte) error {
+	var img calendarImage
+	if err := json.Unmarshal(data, &img); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.events = img.Events
+	s.mu.Unlock()
+	if img.Sessions != nil {
+		s.srv.ImportSessions(img.Sessions)
+	}
+	return nil
 }
 
 // Reset implements warr.AppState: it empties the agenda.

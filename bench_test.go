@@ -17,20 +17,29 @@ package warr_test
 //	BenchmarkWebErrCampaignPruning*     — §V-A heuristic 1 (prefix-failure pruning)
 //	BenchmarkEnvFork                    — one environment checkpoint (trie scheduler unit cost)
 //	BenchmarkCampaignSharedPrefix*      — trace-trie scheduler vs the flat-executor ablation
+//	BenchmarkImageWriteRead             — WARR-IMAGE serialize + restore round trip (per-shard shipping cost)
+//	BenchmarkCampaignDistributed        — the full campaign through the coordinator/worker wire protocol
 //	BenchmarkSealReport                 — AUsER report encryption (§VI)
 
 import (
+	"context"
 	"crypto/rsa"
+	"net/http/httptest"
 	"runtime/debug"
 	"sync"
 	"testing"
+	"time"
 
 	warr "github.com/dslab-epfl/warr"
 	"github.com/dslab-epfl/warr/internal/baseline"
+	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/distrib"
 	"github.com/dslab-epfl/warr/internal/dom"
 	"github.com/dslab-epfl/warr/internal/experiments"
 	"github.com/dslab-epfl/warr/internal/humanerr"
+	"github.com/dslab-epfl/warr/internal/image"
+	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
 	"github.com/dslab-epfl/warr/internal/xpath"
@@ -492,6 +501,117 @@ func benchSharedPrefixCampaign(b *testing.B, disableSharing bool) {
 		}
 	}
 	b.ReportMetric(float64(replays), "replays")
+}
+
+// BenchmarkImageWriteRead measures shipping one branch-point world to a
+// worker and back to life: capture the forked world mid-replay of the
+// edit-site trace, serialize it to WARR-IMAGE bytes (checksummed
+// sections included), decode and validate those bytes, and restore a
+// runnable environment plus replay session from them. This is the
+// per-shard overhead distributed campaigns pay instead of replaying the
+// shared prefix on every worker.
+func BenchmarkImageWriteRead(b *testing.B) {
+	edit, _ := benchTraces(b)
+	env := warr.NewDemoEnv(warr.DeveloperMode)
+	s, err := warr.NewReplaySession(nil, env.Browser, edit, warr.ReplayOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The same mid-trace point BenchmarkEnvFork checkpoints: the Edit
+	// click has queued the editor fetch, so the image carries pending
+	// AJAX — the expensive, realistic world.
+	for i := 0; i < len(edit.Commands)/2; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("session ended early")
+		}
+	}
+	var size int
+	b.ReportAllocs()
+	gcSettle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := image.Capture(env, s, image.Header{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, _, err := image.Encode(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(data)
+		decoded, _, err := image.Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := image.LoadSession(decoded, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(size), "image-bytes")
+}
+
+// BenchmarkCampaignDistributed runs the edit-site navigation campaign
+// through the full coordinator/worker machinery — trie planning, image
+// shipping over loopback HTTP, two workers restoring worlds and
+// executing shards, outcome merge — and is read against
+// BenchmarkNavigationCampaignParallel (the same campaign, same
+// semantics, in-process): their gap is the wire-protocol tax.
+func BenchmarkCampaignDistributed(b *testing.B) {
+	edit, _ := benchTraces(b)
+	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	tree, err := warr.InferTaskTree(fresh, edit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := warr.GrammarFromTaskTree(tree)
+	copts := weberr.CampaignOptions{
+		Replayer:       replayer.Options{Pacing: replayer.PaceNone},
+		DisablePruning: true,
+	}
+	plan := weberr.NavigationPlan(g, copts)
+	spec := jobs.DistSpec{
+		Campaign:       "navigation",
+		Mode:           browser.DeveloperMode,
+		Replayer:       copts.Replayer,
+		DisablePruning: true,
+	}
+
+	pool := distrib.NewPool(distrib.PoolOptions{})
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const workers = 2
+	for i := 0; i < workers; i++ {
+		w := distrib.NewWorker(distrib.WorkerOptions{
+			Coordinator:  srv.URL,
+			PollInterval: time.Millisecond,
+		})
+		go func() { _ = w.Run(ctx) }()
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	if err := pool.WaitForWorkers(wctx, workers); err != nil {
+		wcancel()
+		b.Fatal(err)
+	}
+	wcancel()
+
+	var rep *weberr.Report
+	b.ReportAllocs()
+	gcSettle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec := weberr.NavigationExecutor(fresh, copts)
+		outs, ok := pool.DistributeCampaign(ctx, exec, plan, spec)
+		if !ok {
+			b.Fatal("campaign was not distributed")
+		}
+		rep = weberr.ReportOutcomes(outs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Replayed), "replays")
+	b.ReportMetric(float64(len(rep.Findings)), "findings")
 }
 
 // BenchmarkSealReport measures AUsER's hybrid encryption of a full

@@ -26,6 +26,15 @@
 //	POST /api/jobs/{id}/cancel    stop at the next command boundary
 //	POST /api/jobs/{id}/resume    continue a cancelled job as a new job
 //	POST /api/reports             ingest an AUsER report (plain or sealed)
+//	POST /api/distrib/lease       warr-worker shard lease poll
+//	GET  /api/distrib/image/{d}   branch-point world image by digest
+//	POST /api/distrib/complete    worker shard completion
+//	POST /api/distrib/heartbeat   worker liveness
+//
+// The /api/distrib endpoints are the distributed-campaign coordinator:
+// point warr-worker processes at this server and campaign jobs are
+// sharded across them, falling back to in-process execution whenever no
+// worker is connected.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/dslab-epfl/warr/internal/distrib"
 	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/serve"
 )
@@ -55,16 +65,18 @@ func main() {
 	bench := flag.String("bench", "", "BENCH_BASELINE.json to export on /metrics (optional)")
 	devkey := flag.String("devkey", "", "PEM RSA private key for sealed AUsER reports (optional)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM; jobs still running after it are checkpointed resumable")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "distributed-campaign lease TTL; a warr-worker silent this long forfeits its shards")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *bench, *devkey, *drainTimeout); err != nil {
+	if err := run(*addr, *workers, *queue, *bench, *devkey, *drainTimeout, *leaseTTL); err != nil {
 		fmt.Fprintln(os.Stderr, "warr-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, bench, devkey string, drainTimeout time.Duration) error {
-	engine := jobs.New(jobs.Options{Workers: workers, QueueDepth: queue})
+func run(addr string, workers, queue int, bench, devkey string, drainTimeout, leaseTTL time.Duration) error {
+	pool := distrib.NewPool(distrib.PoolOptions{LeaseTTL: leaseTTL, Logf: log.Printf})
+	engine := jobs.New(jobs.Options{Workers: workers, QueueDepth: queue, Distributor: pool})
 	if bench != "" {
 		baseline, err := jobs.LoadBenchBaseline(bench)
 		if err != nil {
@@ -80,7 +92,7 @@ func run(addr string, workers, queue int, bench, devkey string, drainTimeout tim
 		}
 		key = k
 	}
-	srv := serve.New(serve.Options{Engine: engine, DeveloperKey: key})
+	srv := serve.New(serve.Options{Engine: engine, DeveloperKey: key, Distrib: pool})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -22,12 +22,23 @@
 //	weberr -scenario compose-email -campaign navigation -show-tree
 //	weberr -scenario edit-site -save edit.warr # archive the correct trace
 //	weberr -trace edit.warr                    # re-test a stored trace
+//	weberr -scenario edit-site -workers 4      # distributed campaign
+//
+// With -workers N the campaigns run distributed: a coordinator plans
+// the trace trie into shards, parks each branch-point world as a
+// durable image, and N worker processes (in-process here, but speaking
+// the same localhost HTTP/JSON protocol warr-worker uses against
+// warr-serve) restore the images and execute the shards. Findings are
+// identical to single-process execution at any worker count.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -37,6 +48,7 @@ import (
 	// scenario, making them campaign-testable like the paper workloads.
 	_ "github.com/dslab-epfl/warr/apps/calendar"
 	"github.com/dslab-epfl/warr/internal/cliutil"
+	"github.com/dslab-epfl/warr/internal/distrib"
 )
 
 func main() {
@@ -49,6 +61,7 @@ func main() {
 	showTree := flag.Bool("show-tree", false, "print the inferred task tree (Fig. 6)")
 	showGrammar := flag.Bool("show-grammar", false, "print the inferred grammar")
 	maxTraces := flag.Int("max-traces", 0, "bound the navigation campaign (0 = all mutants)")
+	workers := flag.Int("workers", 0, "distribute campaigns across this many workers over localhost HTTP (0 = in-process)")
 	list := flag.Bool("list", false, "list registered applications and scenarios, then exit")
 	flag.Parse()
 
@@ -57,7 +70,7 @@ func main() {
 		cliutil.PrintScenarios(os.Stdout, "\nregistered scenarios (testable with -scenario):", false)
 		return
 	}
-	if err := run(*scenario, *traceFile, *save, *campaign, *showTree, *showGrammar, *maxTraces); err != nil {
+	if err := run(*scenario, *traceFile, *save, *campaign, *showTree, *showGrammar, *maxTraces, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "weberr:", err)
 		os.Exit(1)
 	}
@@ -114,7 +127,43 @@ func correctTrace(scenario, traceFile string) (tr warr.Trace, h warr.TraceArchiv
 	return tr, warr.TraceArchiveHeader{Scenario: sc.Name, App: sc.App}, "", nil
 }
 
-func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool, maxTraces int) error {
+// startWorkerPool brings up the distributed-campaign fleet: a
+// coordinator pool behind a loopback HTTP listener and n workers
+// polling it — the same wire protocol warr-worker speaks against
+// warr-serve, collapsed into one process.
+func startWorkerPool(n int) (*distrib.Pool, func(), error) {
+	pool := distrib.NewPool(distrib.PoolOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("starting coordinator: %w", err)
+	}
+	hs := &http.Server{Handler: pool.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	ctx, cancel := context.WithCancel(context.Background())
+	coordinator := "http://" + ln.Addr().String()
+	for i := 0; i < n; i++ {
+		w := distrib.NewWorker(distrib.WorkerOptions{
+			Coordinator:  coordinator,
+			PollInterval: 10 * time.Millisecond,
+		})
+		go func() { _ = w.Run(ctx) }()
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	if err := pool.WaitForWorkers(wctx, n); err != nil {
+		cancel()
+		_ = hs.Close()
+		return nil, nil, err
+	}
+	stop := func() {
+		cancel()
+		_ = hs.Close()
+	}
+	fmt.Printf("distributing campaigns across %d workers via %s\n", n, coordinator)
+	return pool, stop, nil
+}
+
+func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool, maxTraces, workers int) error {
 	switch campaign {
 	case "navigation", "timing", "both":
 	default:
@@ -142,7 +191,16 @@ func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool,
 
 	// Both campaigns run as jobs on the shared engine — the same
 	// execution path a warr-serve daemon drives for submitted campaigns.
-	engine := warr.NewJobEngine(warr.JobEngineOptions{Workers: 1, QueueDepth: 2})
+	engineOpts := warr.JobEngineOptions{Workers: 1, QueueDepth: 2}
+	if workers > 0 {
+		pool, stop, err := startWorkerPool(workers)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		engineOpts.Distributor = pool
+	}
+	engine := warr.NewJobEngine(engineOpts)
 	defer engine.Close()
 
 	bugs := 0

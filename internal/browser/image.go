@@ -1,0 +1,837 @@
+package browser
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/event"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/script"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// This file serializes the browser half of a world for durable images
+// (WARR-IMAGE, internal/image): everything CloneOnto deep-copies —
+// cookies, tabs, frame trees, DOM documents, script interpreter state,
+// the event-listener registration log, and pending async work — encoded
+// as data instead of cloned as live structure. The encode/decode pair
+// follows CloneOnto's four phases exactly, so an image round trip and an
+// in-memory fork produce the same world:
+//
+//	1. structure: tab shells, frame trees, documents, fresh interpreters;
+//	2. pending async shells, so timer handles met during value encoding
+//	   resolve to their slot;
+//	3. state: script globals (filtered against pristine builtins),
+//	   listener-log replay, focus;
+//	4. pending async re-arm, in registration order.
+//
+// Host values are encoded as tokens naming what they were bound to —
+// a frame's builtin by name, an element by document position, a pending
+// timer by slot — and decoded against the rebuilt world. What a fork
+// deliberately shares with the parent (stale handles of dead frames,
+// callbacks of dead-frame timers) an image deliberately drops: the
+// dropped values are unreachable by execution (fireAsync refuses dead
+// frames), so replay behaviour is unchanged.
+
+// ErrNotImageable reports browser state a durable image cannot carry.
+// The one source is a script variable holding a freshly minted method
+// closure (e.g. a stored element.setAttribute): such a closure has no
+// stable identity to name in a token. The paper applications never do
+// this; the image round-trip tests prove it scenario by scenario.
+var ErrNotImageable = errors.New("browser: state not representable in a durable image")
+
+// NodeRef names one DOM node across the image boundary: the pre-order
+// position N inside either frame F's document, or — for nodes held only
+// by script values — detached tree D (F == -1).
+type NodeRef struct {
+	F int `json:"f"`
+	D int `json:"d,omitempty"`
+	N int `json:"n"`
+}
+
+// Image is the serialized form of a whole browser.
+type Image struct {
+	Mode     Mode                         `json:"mode"`
+	Cookies  map[string]map[string]string `json:"cookies,omitempty"`
+	Tabs     []*TabImage                  `json:"tabs"`
+	Detached []*dom.EncodedNode           `json:"detached,omitempty"`
+	Asyncs   []*AsyncImage                `json:"asyncs,omitempty"`
+	Heap     []*script.HeapRecord         `json:"heap,omitempty"`
+	Scopes   []*script.ScopeRecord        `json:"scopes,omitempty"`
+}
+
+// TabImage is one serialized tab.
+type TabImage struct {
+	Main       *FrameImage    `json:"main"`
+	Console    []ConsoleEntry `json:"console,omitempty"`
+	Popup      *Popup         `json:"popup,omitempty"`
+	Pending    []NavImage     `json:"pendingNavs,omitempty"`
+	ViewportW  int            `json:"viewportW"`
+	FocusFrame int            `json:"focusFrame"`
+}
+
+// NavImage is one queued navigation.
+type NavImage struct {
+	URL    string `json:"url"`
+	Method string `json:"method,omitempty"`
+	Body   string `json:"body,omitempty"`
+}
+
+// FrameImage is one serialized frame: its document, its non-pristine
+// script globals in sorted name order, and its listener registration
+// log. Children appear in document order.
+type FrameImage struct {
+	Name      string           `json:"name,omitempty"`
+	HasSrc    bool             `json:"hasSrc,omitempty"`
+	Alive     bool             `json:"alive"`
+	URL       string           `json:"url"`
+	Element   *NodeRef         `json:"element,omitempty"`
+	Doc       *dom.EncodedNode `json:"doc"`
+	MaxSteps  int              `json:"maxSteps,omitempty"`
+	Globals   []GlobalImage    `json:"globals,omitempty"`
+	Listeners []ListenerImage  `json:"listeners,omitempty"`
+	Focused   *NodeRef         `json:"focused,omitempty"`
+	Children  []*FrameImage    `json:"children,omitempty"`
+}
+
+// GlobalImage is one frame global still bound to user state (globals
+// bound to their pristine builtin are omitted; the decoded frame's
+// fresh binding wins, exactly as in a fork).
+type GlobalImage struct {
+	Name string              `json:"name"`
+	Val  script.EncodedValue `json:"val"`
+}
+
+// ListenerImage is one entry of a frame's listener registration log.
+type ListenerImage struct {
+	Node    NodeRef              `json:"node"`
+	Type    string               `json:"type"`
+	Capture bool                 `json:"capture,omitempty"`
+	Inline  bool                 `json:"inline,omitempty"`
+	Src     string               `json:"src,omitempty"`
+	Fn      *script.EncodedValue `json:"fn,omitempty"`
+}
+
+// AsyncImage is one pending async record: a setTimeout callback or an
+// in-flight httpGet, with its remaining delay. Records appear in
+// registration order and are re-armed in it, so same-deadline firing
+// order survives. A record whose frame died keeps its timer slot (clock
+// parity) but drops its callbacks — they can never run.
+type AsyncImage struct {
+	Frame   int                  `json:"frame"`
+	Kind    int                  `json:"kind"`
+	DelayNS int64                `json:"delayNS"`
+	RawURL  string               `json:"rawURL,omitempty"`
+	Fn      *script.EncodedValue `json:"fn,omitempty"`
+	Cb      *script.EncodedValue `json:"cb,omitempty"`
+	Req     *RequestImage        `json:"req,omitempty"`
+}
+
+// RequestImage is a serialized pending AJAX request.
+type RequestImage struct {
+	Method string            `json:"method"`
+	URL    string            `json:"url"`
+	Body   string            `json:"body,omitempty"`
+	Header map[string]string `json:"header,omitempty"`
+	Form   url.Values        `json:"form,omitempty"`
+}
+
+// hostToken names one host value across the image boundary.
+type hostToken struct {
+	K     string      `json:"k"` // builtin, elem, doc, win, loc, timer, event
+	F     int         `json:"f"`
+	Name  string      `json:"n,omitempty"`
+	Node  *NodeRef    `json:"node,omitempty"`
+	Async int         `json:"a,omitempty"` // timer slot; -1 = already fired (inert)
+	Ev    *eventToken `json:"ev,omitempty"`
+}
+
+// eventToken carries a script-visible event: its state plus its node
+// references, translated separately because event.State cannot name
+// nodes.
+type eventToken struct {
+	State   event.State `json:"state"`
+	Target  *NodeRef    `json:"target,omitempty"`
+	Current *NodeRef    `json:"current,omitempty"`
+}
+
+// ImageRefs exposes the frame and tab numbering an image was encoded
+// with, so companion codecs (the webdriver's) can name frames by index.
+type ImageRefs struct {
+	frameIDs map[*Frame]int
+	tabIDs   map[*Tab]int
+}
+
+// FrameID returns the image index of f.
+func (r *ImageRefs) FrameID(f *Frame) (int, bool) {
+	id, ok := r.frameIDs[f]
+	return id, ok
+}
+
+// TabID returns the image index of t.
+func (r *ImageRefs) TabID(t *Tab) (int, bool) {
+	id, ok := r.tabIDs[t]
+	return id, ok
+}
+
+// DecodedImage exposes the rebuilt world by the same numbering, so
+// companion codecs can resolve their stored indices.
+type DecodedImage struct {
+	browser *Browser
+	tabs    []*Tab
+	frames  []*Frame
+}
+
+// Browser returns the rebuilt browser.
+func (d *DecodedImage) Browser() *Browser { return d.browser }
+
+// Tab returns the tab at image index i, or nil.
+func (d *DecodedImage) Tab(i int) *Tab {
+	if i < 0 || i >= len(d.tabs) {
+		return nil
+	}
+	return d.tabs[i]
+}
+
+// Frame returns the frame at image index i, or nil.
+func (d *DecodedImage) Frame(i int) *Frame {
+	if i < 0 || i >= len(d.frames) {
+		return nil
+	}
+	return d.frames[i]
+}
+
+// NumTabs returns the number of decoded tabs.
+func (d *DecodedImage) NumTabs() int { return len(d.tabs) }
+
+// ---- encoding ----
+
+type imageEnc struct {
+	b   *Browser
+	img *Image
+
+	frames   []*Frame
+	frameImg []*FrameImage
+	frameIDs map[*Frame]int
+	tabIDs   map[*Tab]int
+
+	refs     map[*dom.Node]NodeRef
+	owners   map[script.Value]builtinOwner
+	asyncIdx map[*asyncRec]int
+	enc      *script.ValueEncoder
+}
+
+// EncodeImage serializes the browser. Like CloneOnto it requires every
+// pending clock timer to be owned by the browser's async records.
+func (b *Browser) EncodeImage() (*Image, *ImageRefs, error) {
+	pending := b.pendingAsyncs()
+	if n := b.clock.PendingTimers(); n != len(pending) {
+		return nil, nil, fmt.Errorf("%w: %d pending timer(s), %d owned record(s)",
+			ErrForeignPendingWork, n, len(pending))
+	}
+
+	st := &imageEnc{
+		b:        b,
+		img:      &Image{Mode: b.mode},
+		frameIDs: make(map[*Frame]int),
+		tabIDs:   make(map[*Tab]int),
+		refs:     make(map[*dom.Node]NodeRef),
+		owners:   make(map[script.Value]builtinOwner),
+		asyncIdx: make(map[*asyncRec]int),
+	}
+	st.enc = script.NewValueEncoder(st.encodeHost)
+
+	b.mu.Lock()
+	st.img.Cookies = make(map[string]map[string]string, len(b.cookies))
+	for host, jar := range b.cookies {
+		dup := make(map[string]string, len(jar))
+		for k, v := range jar {
+			dup[k] = v
+		}
+		st.img.Cookies[host] = dup
+	}
+	tabs := append([]*Tab(nil), b.tabs...)
+	b.mu.Unlock()
+
+	// Phase 1: structure — frame numbering, documents, builtin owners,
+	// scope tags.
+	for _, t := range tabs {
+		st.tabIDs[t] = len(st.img.Tabs)
+		ti := &TabImage{ViewportW: t.viewportW}
+		ti.Main = st.encodeFrameStructure(t.main)
+		ti.Console = append([]ConsoleEntry(nil), t.console...)
+		if t.popup != nil {
+			p := *t.popup
+			ti.Popup = &p
+		}
+		for _, nav := range t.pendingNavs {
+			ti.Pending = append(ti.Pending, NavImage{URL: nav.url, Method: nav.method, Body: nav.body})
+		}
+		if id, ok := st.frameIDs[t.focusFrame]; ok {
+			ti.FocusFrame = id
+		} else {
+			ti.FocusFrame = -1
+		}
+		st.img.Tabs = append(st.img.Tabs, ti)
+	}
+
+	// Phase 2: pending async slots, so TimerHandle values met during
+	// value encoding resolve to them.
+	for i, rec := range pending {
+		st.asyncIdx[rec] = i
+	}
+
+	// Phase 3: state — globals, listener logs, focus.
+	for i, f := range st.frames {
+		if err := st.encodeFrameState(f, st.frameImg[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Phase 4: pending async payloads, in registration order.
+	now := b.clock.Now()
+	for _, rec := range pending {
+		ai := &AsyncImage{Kind: int(rec.kind), DelayNS: int64(rec.deadline.Sub(now)), RawURL: rec.rawURL}
+		id, live := st.frameIDs[rec.frame]
+		if rec.frame != nil && rec.frame.alive && live {
+			ai.Frame = id
+			var err error
+			if ai.Fn, err = st.encodeValue(rec.fn); err != nil {
+				return nil, nil, err
+			}
+			if ai.Cb, err = st.encodeValue(rec.cb); err != nil {
+				return nil, nil, err
+			}
+			ai.Req = encodeRequest(rec.req)
+		} else {
+			// The frame died: the record can never run its callbacks, so
+			// only the timer slot is kept (clock parity, deadline order).
+			ai.Frame = -1
+		}
+		st.img.Asyncs = append(st.img.Asyncs, ai)
+	}
+
+	st.img.Heap = st.enc.Heap()
+	st.img.Scopes = st.enc.Scopes()
+	return st.img, &ImageRefs{frameIDs: st.frameIDs, tabIDs: st.tabIDs}, nil
+}
+
+func (st *imageEnc) encodeFrameStructure(f *Frame) *FrameImage {
+	id := len(st.frames)
+	st.frameIDs[f] = id
+	fi := &FrameImage{
+		Name:     f.name,
+		HasSrc:   f.hasSrc,
+		Alive:    f.alive,
+		URL:      f.doc.URL,
+		MaxSteps: f.interp.MaxSteps,
+	}
+	st.frames = append(st.frames, f)
+	st.frameImg = append(st.frameImg, fi)
+
+	if f.element != nil {
+		ref := st.nodeRef(f.element)
+		fi.Element = &ref
+	}
+	var ids map[*dom.Node]int
+	fi.Doc, ids = dom.EncodeTree(f.doc.Root())
+	for n, i := range ids {
+		st.refs[n] = NodeRef{F: id, N: i}
+	}
+	for name, v := range f.builtins {
+		st.owners[v] = builtinOwner{frame: f, name: name}
+	}
+	st.enc.TagScope(f.interp.Global, fmt.Sprintf("g:%d", id))
+
+	for _, c := range f.children {
+		fi.Children = append(fi.Children, st.encodeFrameStructure(c))
+	}
+	return fi
+}
+
+func (st *imageEnc) encodeFrameState(f *Frame, fi *FrameImage) error {
+	for _, name := range f.interp.Global.Names() {
+		v, _ := f.interp.Global.OwnLookup(name)
+		if orig, ok := f.builtins[name]; ok && orig == v {
+			continue
+		}
+		ev, err := st.enc.Encode(v)
+		if err != nil {
+			return st.imageErr(err)
+		}
+		fi.Globals = append(fi.Globals, GlobalImage{Name: name, Val: ev})
+	}
+	for _, rec := range f.listenerLog {
+		li := ListenerImage{Node: st.nodeRef(rec.node), Type: rec.typ, Capture: rec.capture, Inline: rec.inline, Src: rec.src}
+		if !rec.inline {
+			fn, err := st.encodeValue(rec.fn)
+			if err != nil {
+				return err
+			}
+			li.Fn = fn
+		}
+		fi.Listeners = append(fi.Listeners, li)
+	}
+	if f.focused != nil {
+		ref := st.nodeRef(f.focused)
+		fi.Focused = &ref
+	}
+	return nil
+}
+
+// encodeValue encodes a possibly-nil script value to a possibly-nil
+// encoded value.
+func (st *imageEnc) encodeValue(v script.Value) (*script.EncodedValue, error) {
+	if v == nil {
+		return nil, nil
+	}
+	ev, err := st.enc.Encode(v)
+	if err != nil {
+		return nil, st.imageErr(err)
+	}
+	return &ev, nil
+}
+
+func (st *imageEnc) imageErr(err error) error {
+	var ue *script.UnsupportedValueError
+	if errors.As(err, &ue) {
+		return fmt.Errorf("%w: %v", ErrNotImageable, err)
+	}
+	return err
+}
+
+// nodeRef names a node, encoding the whole detached tree holding it on
+// first sight (so aliases into one detached tree stay aliases, exactly
+// as mapNode clones whole roots).
+func (st *imageEnc) nodeRef(n *dom.Node) NodeRef {
+	if ref, ok := st.refs[n]; ok {
+		return ref
+	}
+	en, ids := dom.EncodeTree(n.Root())
+	d := len(st.img.Detached)
+	st.img.Detached = append(st.img.Detached, en)
+	for m, i := range ids {
+		st.refs[m] = NodeRef{F: -1, D: d, N: i}
+	}
+	return st.refs[n]
+}
+
+// encodeHost is the value encoder's hook: installed builtins are named
+// by owner, frame-bound handles by frame and node, pending timers by
+// slot. Anything else — a freshly minted method closure — is refused,
+// which surfaces as ErrNotImageable.
+func (st *imageEnc) encodeHost(v script.Value) (any, bool) {
+	if owner, ok := st.owners[v]; ok {
+		return hostToken{K: "builtin", F: st.frameIDs[owner.frame], Name: owner.name}, true
+	}
+	switch x := v.(type) {
+	case *ElementHandle:
+		id, ok := st.frameIDs[x.frame]
+		if !ok {
+			return nil, false
+		}
+		ref := st.nodeRef(x.node)
+		return hostToken{K: "elem", F: id, Node: &ref}, true
+	case *DocHandle:
+		if id, ok := st.frameIDs[x.frame]; ok {
+			return hostToken{K: "doc", F: id}, true
+		}
+		return nil, false
+	case *WindowHandle:
+		if id, ok := st.frameIDs[x.frame]; ok {
+			return hostToken{K: "win", F: id}, true
+		}
+		return nil, false
+	case *LocationHandle:
+		if id, ok := st.frameIDs[x.frame]; ok {
+			return hostToken{K: "loc", F: id}, true
+		}
+		return nil, false
+	case *TimerHandle:
+		slot := -1
+		if i, ok := st.asyncIdx[x.rec]; ok {
+			slot = i
+		}
+		return hostToken{K: "timer", Async: slot}, true
+	case *EventBinding:
+		id, ok := st.frameIDs[x.frame]
+		if !ok {
+			return nil, false
+		}
+		tok := hostToken{K: "event", F: id, Ev: &eventToken{State: x.ev.State()}}
+		if x.ev.Target != nil {
+			ref := st.nodeRef(x.ev.Target)
+			tok.Ev.Target = &ref
+		}
+		if x.ev.CurrentTarget != nil {
+			ref := st.nodeRef(x.ev.CurrentTarget)
+			tok.Ev.Current = &ref
+		}
+		return tok, true
+	}
+	return nil, false
+}
+
+func encodeRequest(req *netsim.Request) *RequestImage {
+	if req == nil {
+		return nil
+	}
+	ri := &RequestImage{Method: req.Method, URL: req.URL, Body: req.Body}
+	if len(req.Header) > 0 {
+		ri.Header = make(map[string]string, len(req.Header))
+		for k, v := range req.Header {
+			ri.Header[k] = v
+		}
+	}
+	if req.Form != nil {
+		ri.Form = make(url.Values, len(req.Form))
+		for k, vs := range req.Form {
+			ri.Form[k] = append([]string(nil), vs...)
+		}
+	}
+	return ri
+}
+
+// ---- decoding ----
+
+type imageDec struct {
+	img *Image
+	nb  *Browser
+
+	frames     []*Frame
+	frameNodes [][]*dom.Node
+	detached   [][]*dom.Node
+	recs       []*asyncRec
+	dec        *script.ValueDecoder
+}
+
+// DecodeImage rebuilds a browser from its image onto a fresh clock and
+// network. The network must already serve the imaged world's
+// application state; the clock instant is the caller's — pending work
+// is re-armed by its remaining delay.
+func DecodeImage(img *Image, clock *vclock.Clock, network *netsim.Network) (*DecodedImage, error) {
+	switch img.Mode {
+	case UserMode, DeveloperMode:
+	default:
+		return nil, fmt.Errorf("browser: image has unknown mode %d", int(img.Mode))
+	}
+	nb := New(clock, network, img.Mode)
+	for host, jar := range img.Cookies {
+		dup := make(map[string]string, len(jar))
+		for k, v := range jar {
+			dup[k] = v
+		}
+		nb.cookies[host] = dup
+	}
+
+	st := &imageDec{img: img, nb: nb}
+
+	// Phase 1: structure — tabs, frames, documents, detached trees.
+	out := &DecodedImage{browser: nb}
+	for i, ti := range img.Tabs {
+		if ti == nil || ti.Main == nil {
+			return nil, fmt.Errorf("browser: image tab %d has no main frame", i)
+		}
+		t := &Tab{browser: nb, viewportW: ti.ViewportW}
+		t.renderer = newRenderer(t)
+		main, err := st.decodeFrameStructure(ti.Main, t, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.main = main
+		t.console = append([]ConsoleEntry(nil), ti.Console...)
+		if ti.Popup != nil {
+			p := *ti.Popup
+			t.popup = &p
+		}
+		for _, nav := range ti.Pending {
+			t.pendingNavs = append(t.pendingNavs, pendingNav{url: nav.URL, method: nav.Method, body: nav.Body})
+		}
+		nb.tabs = append(nb.tabs, t)
+		out.tabs = append(out.tabs, t)
+	}
+	for _, en := range img.Detached {
+		_, nodes, err := dom.DecodeTree(en)
+		if err != nil {
+			return nil, err
+		}
+		st.detached = append(st.detached, nodes)
+	}
+
+	// Phase 2: pending async shells.
+	for _, ai := range img.Asyncs {
+		var f *Frame
+		if ai.Frame >= 0 {
+			if ai.Frame >= len(st.frames) {
+				return nil, fmt.Errorf("browser: async record names frame %d of %d", ai.Frame, len(st.frames))
+			}
+			f = st.frames[ai.Frame]
+		}
+		st.recs = append(st.recs, &asyncRec{frame: f, kind: asyncKind(ai.Kind), rawURL: ai.RawURL})
+	}
+
+	// Phase 3: state — resolve the value graph, fill globals, replay
+	// listener logs, restore focus.
+	st.dec = script.NewValueDecoder(img.Heap, img.Scopes, st.decodeHost)
+	for i, f := range st.frames {
+		st.dec.BindScope(fmt.Sprintf("g:%d", i), f.interp.Global)
+	}
+	if err := st.dec.Resolve(); err != nil {
+		return nil, err
+	}
+	flat := 0
+	for ti_i, ti := range img.Tabs {
+		t := out.tabs[ti_i]
+		if err := st.decodeFrameStates(ti.Main, &flat); err != nil {
+			return nil, err
+		}
+		if ff := out.frameAt(st, ti.FocusFrame); ff != nil && ff.tab == t {
+			t.focusFrame = ff
+		} else {
+			t.focusFrame = t.main
+		}
+	}
+
+	// Phase 4: re-arm pending work in registration order.
+	for i, ai := range img.Asyncs {
+		rec := st.recs[i]
+		var err error
+		if rec.fn, err = st.decodeValue(ai.Fn); err != nil {
+			return nil, err
+		}
+		if rec.cb, err = st.decodeValue(ai.Cb); err != nil {
+			return nil, err
+		}
+		rec.req = decodeRequest(ai.Req)
+		nb.scheduleAsync(rec, time.Duration(ai.DelayNS))
+	}
+
+	out.frames = st.frames
+	return out, nil
+}
+
+func (d *DecodedImage) frameAt(st *imageDec, i int) *Frame {
+	if i < 0 || i >= len(st.frames) {
+		return nil
+	}
+	return st.frames[i]
+}
+
+func (st *imageDec) decodeFrameStructure(fi *FrameImage, tab *Tab, parent *Frame) (*Frame, error) {
+	var element *dom.Node
+	if fi.Element != nil {
+		n, err := st.nodeFromRef(*fi.Element)
+		if err != nil {
+			return nil, err
+		}
+		element = n
+	}
+	nf := newFrame(tab, parent, element)
+	nf.name = fi.Name
+	nf.hasSrc = fi.HasSrc
+	nf.alive = fi.Alive
+	st.frames = append(st.frames, nf)
+
+	root, nodes, err := dom.DecodeTree(fi.Doc)
+	if err != nil {
+		return nil, err
+	}
+	if root.Type != dom.DocumentNode {
+		return nil, fmt.Errorf("browser: frame document decodes to a %v root", root.Type)
+	}
+	st.frameNodes = append(st.frameNodes, nodes)
+	nf.doc = dom.WrapDocument(root, fi.URL)
+	nf.interp = newFrameInterp(nf)
+	if fi.MaxSteps != 0 {
+		nf.interp.MaxSteps = fi.MaxSteps
+	}
+
+	for _, ci := range fi.Children {
+		c, err := st.decodeFrameStructure(ci, tab, nf)
+		if err != nil {
+			return nil, err
+		}
+		nf.children = append(nf.children, c)
+	}
+	return nf, nil
+}
+
+// decodeFrameStates walks the frame images in the same flattened order
+// the structure pass produced, filling script state.
+func (st *imageDec) decodeFrameStates(fi *FrameImage, flat *int) error {
+	nf := st.frames[*flat]
+	*flat++
+	for _, g := range fi.Globals {
+		v, err := st.dec.Decode(g.Val)
+		if err != nil {
+			return err
+		}
+		nf.interp.Global.Define(g.Name, v)
+	}
+	for _, li := range fi.Listeners {
+		n, err := st.nodeFromRef(li.Node)
+		if err != nil {
+			return err
+		}
+		if li.Inline {
+			nf.addInlineListener(n, li.Type, li.Src)
+		} else {
+			if li.Fn == nil {
+				return fmt.Errorf("browser: script listener image has no function")
+			}
+			fn, err := st.dec.Decode(*li.Fn)
+			if err != nil {
+				return err
+			}
+			nf.addScriptListener(n, li.Type, li.Capture, fn)
+		}
+	}
+	if fi.Focused != nil {
+		n, err := st.nodeFromRef(*fi.Focused)
+		if err != nil {
+			return err
+		}
+		nf.focused = n
+	}
+	for _, ci := range fi.Children {
+		if err := st.decodeFrameStates(ci, flat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *imageDec) decodeValue(ev *script.EncodedValue) (script.Value, error) {
+	if ev == nil {
+		return nil, nil
+	}
+	return st.dec.Decode(*ev)
+}
+
+func (st *imageDec) nodeFromRef(ref NodeRef) (*dom.Node, error) {
+	var nodes []*dom.Node
+	switch {
+	case ref.F >= 0 && ref.F < len(st.frameNodes):
+		nodes = st.frameNodes[ref.F]
+	case ref.F == -1 && ref.D >= 0 && ref.D < len(st.detached):
+		nodes = st.detached[ref.D]
+	default:
+		return nil, fmt.Errorf("browser: node reference into unknown tree (frame %d, detached %d)", ref.F, ref.D)
+	}
+	if ref.N < 0 || ref.N >= len(nodes) {
+		return nil, fmt.Errorf("browser: node reference %d outside tree of %d nodes", ref.N, len(nodes))
+	}
+	return nodes[ref.N], nil
+}
+
+func (st *imageDec) frameFromToken(tok hostToken) (*Frame, error) {
+	if tok.F < 0 || tok.F >= len(st.frames) {
+		return nil, fmt.Errorf("browser: host token names frame %d of %d", tok.F, len(st.frames))
+	}
+	return st.frames[tok.F], nil
+}
+
+// decodeHost rebuilds a host value from its token against the decoded
+// world.
+func (st *imageDec) decodeHost(raw json.RawMessage) (script.Value, error) {
+	var tok hostToken
+	if err := json.Unmarshal(raw, &tok); err != nil {
+		return nil, fmt.Errorf("browser: bad host token: %w", err)
+	}
+	switch tok.K {
+	case "builtin":
+		f, err := st.frameFromToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := f.builtins[tok.Name]
+		if !ok {
+			return nil, fmt.Errorf("browser: host token names unknown builtin %q", tok.Name)
+		}
+		return v, nil
+	case "elem":
+		f, err := st.frameFromToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		if tok.Node == nil {
+			return nil, fmt.Errorf("browser: element token has no node")
+		}
+		n, err := st.nodeFromRef(*tok.Node)
+		if err != nil {
+			return nil, err
+		}
+		return f.handleFor(n), nil
+	case "doc":
+		f, err := st.frameFromToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		return &DocHandle{frame: f}, nil
+	case "win":
+		f, err := st.frameFromToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		return &WindowHandle{frame: f}, nil
+	case "loc":
+		f, err := st.frameFromToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		return &LocationHandle{frame: f}, nil
+	case "timer":
+		var rec *asyncRec
+		if tok.Async >= 0 {
+			if tok.Async >= len(st.recs) {
+				return nil, fmt.Errorf("browser: timer token names slot %d of %d", tok.Async, len(st.recs))
+			}
+			rec = st.recs[tok.Async]
+		}
+		return &TimerHandle{browser: st.nb, rec: rec}, nil
+	case "event":
+		f, err := st.frameFromToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		if tok.Ev == nil {
+			return nil, fmt.Errorf("browser: event token has no state")
+		}
+		var target, current *dom.Node
+		if tok.Ev.Target != nil {
+			if target, err = st.nodeFromRef(*tok.Ev.Target); err != nil {
+				return nil, err
+			}
+		}
+		if tok.Ev.Current != nil {
+			if current, err = st.nodeFromRef(*tok.Ev.Current); err != nil {
+				return nil, err
+			}
+		}
+		return &EventBinding{frame: f, ev: event.FromState(tok.Ev.State, target, current)}, nil
+	default:
+		return nil, fmt.Errorf("browser: unknown host token kind %q", tok.K)
+	}
+}
+
+func decodeRequest(ri *RequestImage) *netsim.Request {
+	if ri == nil {
+		return nil
+	}
+	req := &netsim.Request{Method: ri.Method, URL: ri.URL, Body: ri.Body}
+	req.Header = make(map[string]string, len(ri.Header))
+	for k, v := range ri.Header {
+		req.Header[k] = v
+	}
+	if ri.Form != nil {
+		req.Form = make(url.Values, len(ri.Form))
+		for k, vs := range ri.Form {
+			req.Form[k] = append([]string(nil), vs...)
+		}
+	}
+	return req
+}

@@ -1,0 +1,339 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Distributed campaign support: the trace-trie scheduler (shared.go)
+// split across processes. A coordinator replays each root's shared
+// spine exactly once, captures the world at branch points as durable
+// images (internal/image), and hands out shards — disjoint subsets of
+// jobs plus the image they resume from — to workers. A worker restores
+// the image into a fresh process and continues the subtree with the
+// very same scheduler, so distributed execution is the in-process
+// shared path with process boundaries at branch points.
+//
+// Findings are identical to flat single-process execution under any
+// sharding: a pruned trace can never produce a finding (its replay
+// would fail at the shared prefix, and oracles skip failed replays),
+// so per-shard prune tables only shift the Replayed/Pruned split,
+// never the verdicts.
+
+// Imager captures a live replay session's whole world — browser,
+// page, pending work, and server-side application state — into a
+// durable image and returns a key (typically the image's content
+// digest) under which workers can fetch the serialized bytes. The
+// campaign package stays ignorant of the image format; internal/image
+// provides the canonical implementation.
+type Imager func(sess *replayer.Session) (key string, err error)
+
+// Shard is one unit of distributable campaign work: a subset of the
+// plan's jobs that share their first Depth commands, resumed from the
+// branch-point image stored under Image. Jobs are ascending original
+// job indices; a worker executes the shard with ExecuteSubtree and
+// returns one outcome per job, in Jobs order.
+type Shard struct {
+	Jobs  []int
+	Depth int
+	Image string
+}
+
+// ShardPlan is the coordinator's side of a distributed campaign:
+// shards to hand out, plus the outcomes the planning walk already
+// finalized locally (jobs whose traces end on a shared spine — their
+// oracle ran on the coordinator's live session, exactly as the
+// in-process scheduler would). Every job index appears in exactly one
+// shard or carries a finalized outcome; Merge fills the rest in as
+// workers report back.
+type ShardPlan struct {
+	Shards   []Shard
+	Outcomes []Outcome
+
+	jobs []Job
+}
+
+// Merge copies a shard's worker outcomes into the plan. Worker
+// outcomes are indexed by position in the shard and their Job carries
+// only what crossed the wire; Merge rebinds each to its original index
+// and the coordinator's job — restoring Meta, which never leaves the
+// coordinator.
+func (pl *ShardPlan) Merge(sh Shard, outcomes []Outcome) error {
+	if len(outcomes) != len(sh.Jobs) {
+		return fmt.Errorf("campaign: shard has %d jobs, merge got %d outcomes", len(sh.Jobs), len(outcomes))
+	}
+	for i, out := range outcomes {
+		ji := sh.Jobs[i]
+		if ji < 0 || ji >= len(pl.Outcomes) {
+			return fmt.Errorf("campaign: shard job index %d out of range [0,%d)", ji, len(pl.Outcomes))
+		}
+		out.Index = ji
+		out.Job = pl.jobs[ji]
+		pl.Outcomes[ji] = out
+	}
+	return nil
+}
+
+// PlanShards partitions a campaign for distributed execution. The
+// coordinator replays each trie root's shared spine once; at every
+// branch point it images the world and emits one shard per divergent
+// continuation small enough (at most maxJobs jobs — 0 means a single
+// level of sharding), descending into larger continuations to split
+// them further. Jobs whose traces end on a spine are finalized
+// locally, oracle included.
+//
+// maxJobs is a target, not a guarantee: when a spine command fails (an
+// injected error sitting on a shared prefix) or a world refuses to
+// fork, the planner stops descending there and ships that whole
+// subtree as one shard off the last good branch-point image — graceful
+// degradation to a coarser split rather than refusing the campaign.
+//
+// ok == false means the campaign is not distributable — sharing is
+// disabled, hooks are attached, too few jobs, or the world cannot be
+// imaged — and the caller should Execute locally. Planning has no side
+// effects a local Execute cannot repeat: oracles only inspect, and
+// nothing is recorded in the prune table.
+func (e *Executor) PlanShards(ctx context.Context, jobs []Job, maxJobs int, imager Imager) (*ShardPlan, bool) {
+	if imager == nil || e.opts.DisablePrefixSharing || len(jobs) < 2 || len(e.opts.Replayer.Hooks) > 0 {
+		return nil, false
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if maxJobs < 1 {
+		maxJobs = len(jobs)
+	}
+	defaultPacing := e.opts.Replayer.Pacing
+	if defaultPacing == 0 {
+		defaultPacing = replayer.PaceRecorded
+	}
+	p := &shardPlanner{
+		e: e, ctx: ctx, jobs: jobs, imager: imager, maxJobs: maxJobs,
+		plan: &ShardPlan{Outcomes: make([]Outcome, len(jobs)), jobs: jobs},
+	}
+	for _, root := range buildTrie(jobs, defaultPacing) {
+		if !p.planRoot(root) {
+			return nil, false
+		}
+	}
+	return p.plan, true
+}
+
+// shardPlanner walks trie spines on live sessions, imaging branch
+// points and emitting shards.
+type shardPlanner struct {
+	e       *Executor
+	ctx     context.Context
+	jobs    []Job
+	imager  Imager
+	maxJobs int
+	plan    *ShardPlan
+	// abort marks a hard planning failure — context cancellation or an
+	// imager error — that unwinds the whole plan. Soft failures (a
+	// failed spine command, an unforkable world) only coarsen the split.
+	abort bool
+}
+
+// planRoot opens a fresh environment on one trie root and plans its
+// subtree.
+func (p *shardPlanner) planRoot(root *trieRoot) bool {
+	if p.ctx.Err() != nil {
+		return false
+	}
+	ropts := p.e.opts.Replayer
+	ropts.Pacing = root.key.pacing
+	b := p.e.newEnv()
+	sess, err := replayer.New(b, ropts).NewSession(p.ctx, p.jobs[root.node.minJob()].Trace)
+	if err != nil {
+		return false
+	}
+	return p.planNode(sess, root.node, root.node.minJob())
+}
+
+// planNode consumes sess — positioned right after node's command —
+// finalizing jobs that end here, sharding small divergent
+// continuations off the imaged world, and descending into large ones.
+// It returns false only for hard failures (p.abort is then set).
+func (p *shardPlanner) planNode(sess *replayer.Session, node *trieNode, curJob int) bool {
+	for _, ji := range node.terminal {
+		p.plan.Outcomes[ji] = p.e.finalizeOutcome(ji, p.jobs[ji], sess, true)
+	}
+	units := branchUnits(node)
+	if len(units) == 0 {
+		return true
+	}
+	// A parked tail is one job; a child subtree within maxJobs ships
+	// whole. Larger subtrees are descended into and split at their own
+	// branch points. The image is captured before any descent — it is
+	// both the small units' resume point and the fallback for big units
+	// the planner cannot descend into.
+	var small, big []branchUnit
+	for _, u := range units {
+		if u.child != nil && len(u.child.collectJobs(nil)) > p.maxJobs {
+			big = append(big, u)
+		} else {
+			small = append(small, u)
+		}
+	}
+	key, err := p.imager(sess)
+	if err != nil {
+		p.abort = true
+		return false
+	}
+	shard := func(u branchUnit) {
+		var sj []int
+		if u.child != nil {
+			sj = u.child.collectJobs(nil)
+			sort.Ints(sj)
+		} else {
+			sj = []int{u.tail}
+		}
+		p.plan.Shards = append(p.plan.Shards, Shard{Jobs: sj, Depth: node.depth, Image: key})
+	}
+	for _, u := range small {
+		shard(u)
+	}
+	if len(big) == 0 {
+		return true
+	}
+	// As in runSubtree: continuations beyond the first get forks taken
+	// before the live session mutates; the first keeps the session. A
+	// world that refuses to fork ships that subtree whole instead.
+	forks := make([]*replayer.Session, len(big))
+	forks[0] = sess
+	for i := 1; i < len(big); i++ {
+		if f, err := sess.ForkFor(p.jobs[big[i].child.minJob()].Trace); err == nil {
+			forks[i] = f
+		}
+	}
+	for i, u := range big {
+		if forks[i] == nil {
+			shard(u)
+			continue
+		}
+		cur := curJob
+		if i > 0 {
+			// ForkFor already retargeted the fork to its subtree's
+			// minimum trace.
+			cur = u.child.minJob()
+		}
+		if !p.descend(forks[i], u.child, cur) {
+			if p.abort {
+				return false
+			}
+			// The subtree's spine failed mid-descent: its shared prefix
+			// carries an injected error. Ship it whole off this node's
+			// image — the workers will replay (and prune) the failure
+			// themselves, exactly as local execution would.
+			shard(u)
+		}
+	}
+	return true
+}
+
+// descend executes child's command on sess and continues planning in
+// child's subtree. A failed or refused command reports false so the
+// caller can ship the subtree unplanned; cancellation is a hard abort.
+func (p *shardPlanner) descend(sess *replayer.Session, child *trieNode, curJob int) bool {
+	if p.ctx.Err() != nil {
+		p.abort = true
+		return false
+	}
+	min := child.minJob()
+	if min != curJob {
+		if err := sess.Retarget(p.jobs[min].Trace); err != nil {
+			return false
+		}
+	}
+	step, ok := sess.Next()
+	if !ok || step.Status == replayer.StepFailed {
+		if p.ctx.Err() != nil {
+			p.abort = true
+		}
+		return false
+	}
+	return p.planNode(sess, child, min)
+}
+
+// ExecuteSubtree replays one shard of a distributed campaign: jobs are
+// the shard's jobs (outcomes are indexed by position in this slice,
+// not by the coordinator's indices — ShardPlan.Merge rebinds them),
+// sess is a session restored from the shard's branch-point image,
+// positioned right after command depth-1 of a trace every shard job
+// agrees with on that prefix. The shard continues through the same
+// trie scheduler in-process branches use, including the executor's
+// pruning, parallelism, and Inspect oracle; jobs that cannot ride the
+// restored session fall back to full flat replays in fresh local
+// environments.
+func (e *Executor) ExecuteSubtree(ctx context.Context, jobs []Job, sess *replayer.Session, depth int) []Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &sharedRun{e: e, ctx: ctx, jobs: jobs, outcomes: make([]Outcome, len(jobs))}
+	if e.opts.Parallelism > 1 {
+		r.sem = make(chan struct{}, e.opts.Parallelism-1)
+	}
+	r.execSubtreeAt(sess, depth)
+	r.wg.Wait()
+	return r.outcomes
+}
+
+// execSubtreeAt positions the shard's trie under the restored session
+// and hands the subtree to the shared scheduler.
+func (r *sharedRun) execSubtreeAt(sess *replayer.Session, depth int) {
+	if len(r.jobs) == 0 {
+		return
+	}
+	for _, j := range r.jobs {
+		if len(j.Trace.Commands) < depth {
+			// Not a prefix of the imaged world: the shard is malformed.
+			// Replay everything flat rather than lose jobs.
+			r.flatAll()
+			return
+		}
+	}
+	if len(r.jobs) == 1 {
+		// A single parked tail: no trie needed. curJob -1 forces the
+		// retarget from the imaged trace onto the job's own.
+		r.runTailFrom(sess, tracePrefixDigest(r.jobs[0].Trace, depth), depth, 0, -1, false)
+		return
+	}
+	defaultPacing := r.e.opts.Replayer.Pacing
+	if defaultPacing == 0 {
+		defaultPacing = replayer.PaceRecorded
+	}
+	roots := buildTrie(r.jobs, defaultPacing)
+	if len(roots) != 1 {
+		// Shard jobs share a start URL and pacing by construction.
+		r.flatAll()
+		return
+	}
+	// With two or more jobs sharing at least depth commands, the trie
+	// spine to depth is fully materialized (tail splitting creates one
+	// node per shared command); walk it without executing — the
+	// restored session already replayed those commands.
+	node := roots[0].node
+	for node.depth < depth {
+		if len(node.children) != 1 || len(node.terminal) > 0 || len(node.tails) > 0 {
+			r.flatAll()
+			return
+		}
+		node = node.children[0]
+	}
+	min := node.minJob()
+	if err := sess.Retarget(r.jobs[min].Trace); err != nil {
+		r.flatAll()
+		return
+	}
+	r.runSubtree(sess, node, min, false)
+}
+
+// flatAll replays every shard job through the classic flat path.
+func (r *sharedRun) flatAll() {
+	for ji := range r.jobs {
+		r.outcomes[ji] = r.e.runJob(r.ctx, ji, r.jobs[ji])
+	}
+}

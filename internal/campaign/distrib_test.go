@@ -1,0 +1,196 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/image"
+	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// storeImager returns an Imager writing branch-point images into store,
+// keyed by content digest — the same wiring the distrib coordinator
+// uses.
+func storeImager(store *image.Store) Imager {
+	return func(sess *replayer.Session) (string, error) {
+		env, ok := sess.Tab().Browser().World().(*registry.Env)
+		if !ok {
+			return "", fmt.Errorf("session browser has no registry world")
+		}
+		img, err := image.Capture(env, sess, image.Header{})
+		if err != nil {
+			return "", err
+		}
+		return store.Add(img)
+	}
+}
+
+// runShardsLocally simulates a worker fleet: every shard restores its
+// branch-point image into a brand-new executor (fresh environment
+// factory, fresh prune table — exactly what a separate process gets)
+// and the outcomes merge back into the plan. Meta is stripped from the
+// shard's jobs first, as the wire protocol strips it.
+func runShardsLocally(t *testing.T, plan *ShardPlan, jobs []Job, store *image.Store, opts Options) {
+	t.Helper()
+	for _, sh := range plan.Shards {
+		img, err := store.Get(sh.Image)
+		if err != nil {
+			t.Fatalf("fetching shard image: %v", err)
+		}
+		_, sess, err := image.LoadSession(img, nil, nil)
+		if err != nil {
+			t.Fatalf("restoring shard image: %v", err)
+		}
+		shardJobs := make([]Job, len(sh.Jobs))
+		for i, ji := range sh.Jobs {
+			shardJobs[i] = Job{Trace: jobs[ji].Trace, Pacing: jobs[ji].Pacing}
+		}
+		worker := New(freshBrowser, opts)
+		outs := worker.ExecuteSubtree(nil, shardJobs, sess, sh.Depth)
+		if err := plan.Merge(sh, outs); err != nil {
+			t.Fatalf("merging shard outcomes: %v", err)
+		}
+	}
+}
+
+// pageOracle is a deterministic per-job verdict: every completed
+// replay "finds" its final page, so any divergence between distributed
+// and flat execution — wrong page, wrong prefix, lost command —
+// surfaces as a verdict mismatch.
+func pageOracle(job Job, res *replayer.Result, tab *browser.Tab) error {
+	if res.Failed > 0 || res.Cancelled {
+		return nil
+	}
+	return fmt.Errorf("page %s %q", tab.URL(), tab.Title())
+}
+
+// TestShardedExecutionMatchesFlat: plan → restore-from-image →
+// ExecuteSubtree → merge reproduces flat execution for mutant-shaped
+// jobs, at several shard granularities. With pruning disabled the full
+// outcome — step lists included — must match; with pruning enabled the
+// Replayed/Pruned split may shift across shard boundaries (each worker
+// prunes locally) but every verdict must be identical, which is the
+// findings-byte-identical contract distributed campaigns promise.
+func TestShardedExecutionMatchesFlat(t *testing.T) {
+	jobs := editJobs(t)
+	for _, pruning := range []bool{false, true} {
+		opts := Options{
+			DisablePruning: !pruning,
+			Replayer:       replayer.Options{Pacing: replayer.PaceNone},
+			Inspect:        pageOracle,
+		}
+		flatOpts := opts
+		flatOpts.DisablePrefixSharing = true
+		flat := New(freshBrowser, flatOpts).Execute(nil, jobs)
+
+		for _, maxJobs := range []int{0, 3, 1} {
+			store := image.NewStore()
+			coord := New(freshBrowser, opts)
+			plan, ok := coord.PlanShards(nil, jobs, maxJobs, storeImager(store))
+			if !ok {
+				t.Fatalf("pruning=%v maxJobs=%d: campaign not distributable", pruning, maxJobs)
+			}
+			// Every job is in exactly one shard or already finalized.
+			seen := make(map[int]int)
+			for _, sh := range plan.Shards {
+				if len(sh.Jobs) == 0 {
+					t.Fatalf("maxJobs=%d: empty shard", maxJobs)
+				}
+				if maxJobs > 0 && len(sh.Jobs) > maxJobs {
+					t.Errorf("maxJobs=%d: shard with %d jobs", maxJobs, len(sh.Jobs))
+				}
+				for _, ji := range sh.Jobs {
+					seen[ji]++
+				}
+			}
+			for ji := range jobs {
+				if n := seen[ji]; n > 1 {
+					t.Errorf("job %d in %d shards", ji, n)
+				} else if n == 0 && plan.Outcomes[ji].Result == nil && !plan.Outcomes[ji].Pruned {
+					t.Errorf("job %d neither sharded nor finalized on a spine", ji)
+				}
+			}
+
+			runShardsLocally(t, plan, jobs, store, opts)
+
+			for i := range jobs {
+				got, want := plan.Outcomes[i], flat[i]
+				if !pruning {
+					if g, w := outcomeKey(got), outcomeKey(want); g != w {
+						t.Errorf("maxJobs=%d job %d:\nflat:    %s\nsharded: %s", maxJobs, i, w, g)
+					}
+					continue
+				}
+				gv, wv := fmt.Sprint(got.Verdict), fmt.Sprint(want.Verdict)
+				if gv != wv {
+					t.Errorf("pruning maxJobs=%d job %d: verdict %q, flat %q", maxJobs, i, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanShardsRefusals pins when planning must hand the campaign
+// back to local execution.
+func TestPlanShardsRefusals(t *testing.T) {
+	tr := recordEditSite(t)
+	jobs := []Job{{Trace: tr}, {Trace: tr.Clone()}}
+	jobs[1].Trace.Commands[len(tr.Commands)-1].XPath = `//div[@id="elsewhere"]`
+	imager := storeImager(image.NewStore())
+
+	if _, ok := New(freshBrowser, Options{}).PlanShards(nil, jobs, 0, nil); ok {
+		t.Error("planned without an imager")
+	}
+	if _, ok := New(freshBrowser, Options{DisablePrefixSharing: true}).PlanShards(nil, jobs, 0, imager); ok {
+		t.Error("planned with prefix sharing disabled")
+	}
+	if _, ok := New(freshBrowser, Options{}).PlanShards(nil, jobs[:1], 0, imager); ok {
+		t.Error("planned a single-job campaign")
+	}
+	hooked := Options{Replayer: replayer.Options{Hooks: []replayer.Hooks{{}}}}
+	if _, ok := New(freshBrowser, hooked).PlanShards(nil, jobs, 0, imager); ok {
+		t.Error("planned with replay hooks attached")
+	}
+
+	// A failing command on a shared spine coarsens the plan instead of
+	// refusing it: descending with maxJobs=1 makes the planner execute
+	// the bogus shared prefix, fail, and ship the whole subtree as one
+	// over-sized shard off the pre-descent image — the workers replay
+	// (and prune) the failure themselves.
+	bad := command.Trace{StartURL: tr.StartURL, Commands: []command.Command{
+		{Action: command.Click, XPath: `//div[@id="no-such-element"]`, Elapsed: 1},
+		tr.Commands[0],
+	}}
+	badJobs := []Job{{Trace: bad}, {Trace: bad.Clone()}}
+	badJobs[1].Trace.Commands[1] = tr.Commands[1]
+	// Strict resolution, or the coordinate fallback rescues the bogus
+	// click and the spine never fails.
+	strict := Options{Replayer: replayer.Options{
+		DisableRelaxation: true, DisableCoordinateFallback: true,
+	}}
+	plan, ok := New(freshBrowser, strict).PlanShards(nil, badJobs, 1, imager)
+	if !ok {
+		t.Fatal("failing shared spine refused the plan instead of coarsening it")
+	}
+	both := false
+	for _, sh := range plan.Shards {
+		if len(sh.Jobs) == 2 && sh.Depth == 0 {
+			both = true
+		}
+	}
+	if !both {
+		t.Fatalf("failing spine not shipped whole: shards %+v", plan.Shards)
+	}
+	// At single-level granularity the same jobs shard fine: the spine
+	// is never executed, the failure surfaces on workers.
+	plan, ok = New(freshBrowser, strict).PlanShards(nil, badJobs, 0, imager)
+	if !ok {
+		t.Fatal("single-level plan refused")
+	}
+	if len(plan.Shards) == 0 {
+		t.Fatal("single-level plan produced no shards")
+	}
+}

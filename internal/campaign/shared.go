@@ -139,7 +139,7 @@ func (r *sharedRun) runRoot(root *trieRoot) {
 // path (only possible with pruning disabled; with pruning on, a
 // failure ends trie descent immediately).
 func (r *sharedRun) runSubtree(sess *replayer.Session, node *trieNode, curJob int, failed bool) {
-	units := r.branchUnits(node)
+	units := branchUnits(node)
 	n := len(units)
 	for i, ji := range node.terminal {
 		// The last job finalized on a session that ends here owns the
@@ -202,7 +202,7 @@ func (u branchUnit) min() int {
 // branchUnits merges a node's children and tails in minimum-job order —
 // the order flat sequential execution would first reach each divergent
 // continuation. Both inputs are already sorted by minimum.
-func (r *sharedRun) branchUnits(node *trieNode) []branchUnit {
+func branchUnits(node *trieNode) []branchUnit {
 	if len(node.children) == 0 && len(node.tails) == 0 {
 		return nil
 	}
@@ -239,14 +239,22 @@ func (r *sharedRun) runUnit(sess *replayer.Session, node *trieNode, u branchUnit
 // flat path's Prunable over the whole trace, probed as each prefix is
 // about to execute.
 func (r *sharedRun) runTail(sess *replayer.Session, node *trieNode, t int, curJob int, failed bool) {
+	r.runTailFrom(sess, node.digest, node.depth, t, curJob, failed)
+}
+
+// runTailFrom is runTail starting from an explicit prefix position: h
+// is the chained digest of the first startDepth commands of job t's
+// trace, which sess has already replayed. Distributed shards use it
+// directly — a single-job shard resumes from a branch-point image with
+// no trie node to anchor to.
+func (r *sharedRun) runTailFrom(sess *replayer.Session, h prefixDigest, startDepth int, t int, curJob int, failed bool) {
 	if t != curJob {
 		if err := sess.Retarget(r.jobs[t].Trace); err != nil {
 			r.outcomes[t] = r.e.runJob(r.ctx, t, r.jobs[t])
 			return
 		}
 	}
-	h := node.digest
-	for _, cmd := range r.jobs[t].Trace.Commands[node.depth:] {
+	for _, cmd := range r.jobs[t].Trace.Commands[startDepth:] {
 		h = commandDigest(h, cmd)
 		if !r.e.opts.DisablePruning && !failed && r.e.prune.prunableDigest(h) {
 			r.outcomes[t] = Outcome{Index: t, Job: r.jobs[t], Pruned: true}
@@ -364,15 +372,24 @@ func (r *sharedRun) finalize(ji int, sess *replayer.Session) {
 // last job finalized on a session takes the live Result without a deep
 // copy — the majority of jobs end exactly where their session ends.
 func (r *sharedRun) finalizeShared(ji int, sess *replayer.Session, snapshot bool) {
+	r.outcomes[ji] = r.e.finalizeOutcome(ji, r.jobs[ji], sess, snapshot)
+}
+
+// finalizeOutcome builds a job's outcome from sess's result — a deep
+// copy when snapshot is set, the live Result otherwise — and runs the
+// campaign oracle on the session's page. The shard planner shares it
+// with the trie scheduler so spine-finalized jobs get outcomes of the
+// exact same shape.
+func (e *Executor) finalizeOutcome(ji int, job Job, sess *replayer.Session, snapshot bool) Outcome {
 	res := sess.Result()
 	if snapshot {
 		res = res.Clone()
 	}
-	out := Outcome{Index: ji, Job: r.jobs[ji], Result: res}
-	if r.e.opts.Inspect != nil {
-		out.Verdict = r.e.opts.Inspect(out.Job, out.Result, sess.Tab())
+	out := Outcome{Index: ji, Job: job, Result: res}
+	if e.opts.Inspect != nil {
+		out.Verdict = e.opts.Inspect(out.Job, out.Result, sess.Tab())
 	}
-	r.outcomes[ji] = out
+	return out
 }
 
 // finalizeSubtree gives every not-yet-finalized job of the subtree a

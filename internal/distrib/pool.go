@@ -1,0 +1,461 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/image"
+	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// PoolOptions configure a coordinator pool.
+type PoolOptions struct {
+	// LeaseTTL is how long a worker may go silent before its leases are
+	// forfeited and their shards re-queued (default 10s). Workers
+	// heartbeat at a fraction of this while executing.
+	LeaseTTL time.Duration
+	// ShardFactor is the target number of shards per connected worker
+	// (default 4): campaigns are split so every worker gets several
+	// shards, which is what lets an idle worker steal a parked tail
+	// from the queue instead of sitting out the stragglers.
+	ShardFactor int
+	// Logf, when set, receives re-queue and protocol notices.
+	Logf func(format string, args ...any)
+}
+
+// Pool is the coordinator side of a distributed campaign: it implements
+// jobs.Distributor over a fleet of polling workers. One campaign runs
+// at a time; while the pool is busy (or no worker is connected) it
+// refuses, and the engine executes locally — distribution is an
+// optimization, never a requirement.
+type Pool struct {
+	opts  PoolOptions
+	store *image.Store
+	mux   *http.ServeMux
+
+	mu        sync.Mutex
+	workers   map[string]time.Time
+	run       *poolRun
+	nextLease int
+
+	// imageOwner maps an image digest to the first worker that leased a
+	// shard resuming from it — the worker whose cache already holds the
+	// bytes. A single-job shard (a parked tail) granted to any other
+	// worker is a stolen tail: idle capacity pulling work that "belongs"
+	// to another worker's world.
+	imageOwner    map[string]string
+	imagesShipped int
+	stolenTails   int
+	campaigns     int
+}
+
+// poolRun is one campaign in flight.
+type poolRun struct {
+	jobs      []campaign.Job
+	plan      *campaign.ShardPlan
+	spec      jobs.DistSpec
+	queue     []int
+	leases    map[string]*lease
+	completed []bool
+	remaining int
+	done      chan struct{}
+}
+
+type lease struct {
+	id     string
+	shard  int
+	worker string
+}
+
+// NewPool returns an idle coordinator. Mount Handler somewhere workers
+// can reach (warr-serve mounts it under /api/distrib/) and hand the
+// pool to the job engine as its Distributor.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.ShardFactor < 1 {
+		opts.ShardFactor = 4
+	}
+	p := &Pool{
+		opts:       opts,
+		store:      image.NewStore(),
+		workers:    make(map[string]time.Time),
+		imageOwner: make(map[string]string),
+	}
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("POST /lease", p.handleLease)
+	p.mux.HandleFunc("GET /image/{digest}", p.handleImage)
+	p.mux.HandleFunc("POST /complete", p.handleComplete)
+	p.mux.HandleFunc("POST /heartbeat", p.handleHeartbeat)
+	return p
+}
+
+// Handler returns the coordinator's HTTP surface: POST /lease, GET
+// /image/{digest}, POST /complete, POST /heartbeat.
+func (p *Pool) Handler() http.Handler { return p.mux }
+
+// Store exposes the pool's content-addressed image store (the corpus
+// tool pins golden images through it).
+func (p *Pool) Store() *image.Store { return p.store }
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+// touch records contact from a worker; every request a worker makes —
+// lease polls, heartbeats, completions — renews its liveness.
+func (p *Pool) touch(worker string) {
+	p.mu.Lock()
+	p.workers[worker] = time.Now()
+	p.mu.Unlock()
+}
+
+func (p *Pool) connectedLocked() int {
+	n, now := 0, time.Now()
+	for _, last := range p.workers {
+		if now.Sub(last) <= p.opts.LeaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// ConnectedWorkers counts workers heard from within the lease TTL.
+func (p *Pool) ConnectedWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.connectedLocked()
+}
+
+// WaitForWorkers blocks until at least n workers are connected or ctx
+// expires.
+func (p *Pool) WaitForWorkers(ctx context.Context, n int) error {
+	for p.ConnectedWorkers() < n {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("distrib: %d of %d workers connected: %w", p.ConnectedWorkers(), n, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// imager captures branch-point worlds into the pool's store, keyed by
+// content digest.
+func (p *Pool) imager() campaign.Imager {
+	return func(sess *replayer.Session) (string, error) {
+		env, ok := sess.Tab().Browser().World().(*registry.Env)
+		if !ok {
+			return "", fmt.Errorf("distrib: session world is not a registry environment")
+		}
+		img, err := image.Capture(env, sess, image.Header{})
+		if err != nil {
+			return "", err
+		}
+		return p.store.Add(img)
+	}
+}
+
+// DistributeCampaign implements jobs.Distributor: plan the trie into
+// shards bounded so each connected worker gets ShardFactor of them,
+// park branch-point images in the store, and feed the shard queue to
+// polling workers until every outcome is merged. ok == false — no
+// workers, pool busy, the plan refused, or every worker died
+// mid-campaign — hands the campaign back for local execution, which is
+// always equivalent (planning runs no oracle side effects a local
+// Execute cannot repeat).
+func (p *Pool) DistributeCampaign(ctx context.Context, exec *campaign.Executor, plan []campaign.Job, spec jobs.DistSpec) ([]campaign.Outcome, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.Lock()
+	workers := p.connectedLocked()
+	if workers == 0 || p.run != nil {
+		p.mu.Unlock()
+		return nil, false
+	}
+	// Hold the slot with a placeholder while planning runs unlocked;
+	// lease polls see it and answer "wait".
+	placeholder := &poolRun{}
+	p.run = placeholder
+	p.mu.Unlock()
+
+	maxJobs := (len(plan) + p.opts.ShardFactor*workers - 1) / (p.opts.ShardFactor * workers)
+	sp, ok := exec.PlanShards(ctx, plan, maxJobs, p.imager())
+	if !ok {
+		p.clearRun(placeholder)
+		return nil, false
+	}
+	if len(sp.Shards) == 0 {
+		// Every job ended on a shared spine and was finalized during
+		// planning; there is nothing to distribute.
+		p.clearRun(placeholder)
+		return sp.Outcomes, true
+	}
+	run := &poolRun{
+		jobs: plan, plan: sp, spec: spec,
+		leases:    make(map[string]*lease),
+		completed: make([]bool, len(sp.Shards)),
+		remaining: len(sp.Shards),
+		done:      make(chan struct{}),
+	}
+	for i := range sp.Shards {
+		run.queue = append(run.queue, i)
+	}
+	p.mu.Lock()
+	p.run = run
+	p.campaigns++
+	p.mu.Unlock()
+
+	ok = p.await(ctx, run)
+	p.clearRun(run)
+	if !ok {
+		return nil, false
+	}
+	return sp.Outcomes, true
+}
+
+func (p *Pool) clearRun(run *poolRun) {
+	p.mu.Lock()
+	if p.run == run {
+		p.run = nil
+	}
+	p.mu.Unlock()
+}
+
+// await blocks until the run completes, reaping dead workers as it
+// waits. Context cancellation ends the campaign the way a local
+// cancelled campaign does: unfinished shards resolve to skipped
+// outcomes. Losing the whole fleet aborts to local execution.
+func (p *Pool) await(ctx context.Context, run *poolRun) bool {
+	tick := p.opts.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-run.done:
+			return true
+		case <-ctx.Done():
+			p.mu.Lock()
+			p.skipUnfinishedLocked(run)
+			p.mu.Unlock()
+			return true
+		case <-t.C:
+			if !p.reap(run) {
+				return false
+			}
+		}
+	}
+}
+
+// reap forfeits the leases of workers silent past the TTL and re-queues
+// their shards. It reports false — abort to local execution — when no
+// connected worker remains while work is outstanding.
+func (p *Pool) reap(run *poolRun) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	for w, last := range p.workers {
+		if now.Sub(last) <= p.opts.LeaseTTL {
+			continue
+		}
+		delete(p.workers, w)
+		for id, l := range run.leases {
+			if l.worker != w {
+				continue
+			}
+			delete(run.leases, id)
+			if !run.completed[l.shard] {
+				run.queue = append(run.queue, l.shard)
+				p.logf("distrib: worker %s silent past %v; re-queued shard %d", w, p.opts.LeaseTTL, l.shard)
+			}
+		}
+	}
+	return run.remaining == 0 || len(p.workers) > 0
+}
+
+// skipUnfinishedLocked resolves every unmerged shard to skipped
+// outcomes — the fate queued jobs meet in a locally cancelled campaign.
+func (p *Pool) skipUnfinishedLocked(run *poolRun) {
+	for si, done := range run.completed {
+		if done {
+			continue
+		}
+		sh := run.plan.Shards[si]
+		outs := make([]campaign.Outcome, len(sh.Jobs))
+		for i := range outs {
+			outs[i] = campaign.Outcome{Skipped: true}
+		}
+		if err := run.plan.Merge(sh, outs); err != nil {
+			p.logf("distrib: skipping shard %d: %v", si, err)
+		}
+		run.completed[si] = true
+		run.remaining--
+	}
+}
+
+// grant hands the next queued shard to a polling worker.
+func (p *Pool) grant(worker string) WireLease {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	run := p.run
+	if run == nil {
+		return WireLease{Status: StatusIdle}
+	}
+	if run.plan == nil || len(run.queue) == 0 {
+		return WireLease{Status: StatusWait}
+	}
+	si := run.queue[0]
+	run.queue = run.queue[1:]
+	p.nextLease++
+	l := &lease{id: fmt.Sprintf("lease-%d", p.nextLease), shard: si, worker: worker}
+	run.leases[l.id] = l
+	sh := run.plan.Shards[si]
+	if owner, ok := p.imageOwner[sh.Image]; !ok {
+		p.imageOwner[sh.Image] = worker
+	} else if owner != worker && len(sh.Jobs) == 1 {
+		p.stolenTails++
+	}
+	wl := WireLease{
+		Status:         StatusLease,
+		ID:             l.id,
+		Campaign:       run.spec.Campaign,
+		Mode:           run.spec.Mode,
+		Replayer:       wireReplayer(run.spec.Replayer),
+		DisablePruning: run.spec.DisablePruning,
+		Parallelism:    run.spec.Parallelism,
+		Image:          sh.Image,
+		Depth:          sh.Depth,
+		TTLMillis:      p.opts.LeaseTTL.Milliseconds(),
+	}
+	for _, ji := range sh.Jobs {
+		j := run.jobs[ji]
+		wl.Jobs = append(wl.Jobs, WireJob{Pacing: j.Pacing, Trace: j.Trace})
+	}
+	return wl
+}
+
+// complete merges a worker's shard report. Late or duplicate
+// completions — an expired lease whose shard was re-leased, a campaign
+// already over — are dropped: the first merge wins, and re-queued work
+// re-runs from the same image, so any completion is equivalent.
+func (p *Pool) complete(msg CompleteMsg) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	run := p.run
+	if run == nil || run.plan == nil {
+		return
+	}
+	l, ok := run.leases[msg.Lease]
+	if !ok {
+		return
+	}
+	delete(run.leases, msg.Lease)
+	if run.completed[l.shard] {
+		return
+	}
+	sh := run.plan.Shards[l.shard]
+	outs := make([]campaign.Outcome, len(msg.Outcomes))
+	for i, ev := range msg.Outcomes {
+		outs[i] = decodeOutcome(ev)
+	}
+	if err := run.plan.Merge(sh, outs); err != nil {
+		p.logf("distrib: rejecting shard %d report from %s: %v", l.shard, msg.Worker, err)
+		run.queue = append(run.queue, l.shard)
+		return
+	}
+	run.completed[l.shard] = true
+	run.remaining--
+	if run.remaining == 0 {
+		close(run.done)
+	}
+}
+
+func (p *Pool) handleLease(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		http.Error(w, "distrib: lease poll without worker id", http.StatusBadRequest)
+		return
+	}
+	p.touch(worker)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p.grant(worker))
+}
+
+func (p *Pool) handleImage(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	data, ok := p.store.Bytes(digest)
+	if !ok {
+		http.Error(w, "distrib: no such image", http.StatusNotFound)
+		return
+	}
+	p.mu.Lock()
+	p.imagesShipped++
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (p *Pool) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var msg CompleteMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		http.Error(w, fmt.Sprintf("distrib: decoding completion: %v", err), http.StatusBadRequest)
+		return
+	}
+	if msg.Worker != "" {
+		p.touch(msg.Worker)
+	}
+	p.complete(msg)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (p *Pool) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		http.Error(w, "distrib: heartbeat without worker id", http.StatusBadRequest)
+		return
+	}
+	p.touch(worker)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// WriteMetrics appends the pool's gauges and counters in Prometheus
+// text format; warr-serve concatenates them onto the engine's /metrics
+// page.
+func (p *Pool) WriteMetrics(w io.Writer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	leased := 0
+	if p.run != nil && p.run.leases != nil {
+		leased = len(p.run.leases)
+	}
+	fmt.Fprintf(w, "# HELP warr_distrib_workers_connected Worker processes heard from within the lease TTL.\n")
+	fmt.Fprintf(w, "# TYPE warr_distrib_workers_connected gauge\n")
+	fmt.Fprintf(w, "warr_distrib_workers_connected %d\n", p.connectedLocked())
+	fmt.Fprintf(w, "# HELP warr_distrib_leased_shards Shards currently leased to workers.\n")
+	fmt.Fprintf(w, "# TYPE warr_distrib_leased_shards gauge\n")
+	fmt.Fprintf(w, "warr_distrib_leased_shards %d\n", leased)
+	fmt.Fprintf(w, "# HELP warr_distrib_images_shipped_total Branch-point image downloads served to workers.\n")
+	fmt.Fprintf(w, "# TYPE warr_distrib_images_shipped_total counter\n")
+	fmt.Fprintf(w, "warr_distrib_images_shipped_total %d\n", p.imagesShipped)
+	fmt.Fprintf(w, "# HELP warr_distrib_stolen_tails_total Parked single-job tails leased to a worker other than the image's first lessee.\n")
+	fmt.Fprintf(w, "# TYPE warr_distrib_stolen_tails_total counter\n")
+	fmt.Fprintf(w, "warr_distrib_stolen_tails_total %d\n", p.stolenTails)
+	fmt.Fprintf(w, "# HELP warr_distrib_campaigns_total Campaigns the pool accepted for distribution.\n")
+	fmt.Fprintf(w, "# TYPE warr_distrib_campaigns_total counter\n")
+	fmt.Fprintf(w, "warr_distrib_campaigns_total %d\n", p.campaigns)
+}

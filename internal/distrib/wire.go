@@ -1,0 +1,164 @@
+// Package distrib runs a campaign across worker processes: a
+// coordinator plans the trace trie into shards (internal/campaign),
+// parks each shard's branch-point world as a durable image
+// (internal/image), and hands shards out over localhost HTTP/JSON to
+// workers that restore the image and continue the subtree with the
+// very same scheduler the in-process executor uses. The coordinator
+// side implements jobs.Distributor, so the shared job engine offers it
+// every campaign before falling back to local execution; the worker
+// side is a poll loop any process linking the app registry can run
+// (cmd/warr-worker, or weberr -workers N in-process).
+//
+// The protocol reuses the internal/jobs event vocabulary: a worker
+// reports its shard's results as jobs.OutcomeEvent lines, the exact
+// shape the engine publishes per trace — so a shard completion is
+// literally a slice of the campaign's event stream, indexed by
+// position within the shard.
+//
+// Fault tolerance is lease-based. A lease is live while its worker
+// keeps heartbeating; a worker that dies (or stalls past the TTL)
+// forfeits its leases and the coordinator re-queues those shards for
+// the surviving workers. Findings are identical to flat single-process
+// execution under any sharding, worker count, or mid-campaign worker
+// death: a pruned trace can never produce a finding, so per-shard
+// prune tables only shift the Replayed/Pruned split, never verdicts.
+package distrib
+
+import (
+	"errors"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Lease statuses.
+const (
+	// StatusLease grants a shard.
+	StatusLease = "lease"
+	// StatusWait means a campaign is running but no shard is queued
+	// right now; poll again soon (a re-queue may produce one).
+	StatusWait = "wait"
+	// StatusIdle means no campaign is running.
+	StatusIdle = "idle"
+)
+
+// WireJob is one shard job on the wire: the trace and its pacing
+// override. Meta never crosses the boundary — it is coordinator-side
+// context (e.g. weberr's Injection) rebound when outcomes merge.
+type WireJob struct {
+	Pacing replayer.Pacing `json:"pacing,omitempty"`
+	Trace  command.Trace   `json:"trace"`
+}
+
+// WireLease is the coordinator's reply to a lease poll. When Status is
+// StatusLease it carries one shard plus everything the worker needs to
+// rebuild the campaign's executor: the campaign kind names the oracle
+// (closures cannot cross processes), the browser mode names the
+// environment build, and the replayer options ride in their
+// serializable image form (hooks excluded — leases are never granted
+// for hooked campaigns).
+type WireLease struct {
+	Status string `json:"status"`
+	ID     string `json:"id,omitempty"`
+	// Campaign is "navigation" or "timing".
+	Campaign       string                `json:"campaign,omitempty"`
+	Mode           browser.Mode          `json:"mode,omitempty"`
+	Replayer       replayer.OptionsImage `json:"replayer"`
+	DisablePruning bool                  `json:"disablePruning,omitempty"`
+	Parallelism    int                   `json:"parallelism,omitempty"`
+	// Image is the content digest of the branch-point image; the worker
+	// fetches the bytes from GET /image/{digest}.
+	Image string `json:"image,omitempty"`
+	// Depth is how many commands of every job the imaged session has
+	// already replayed.
+	Depth int       `json:"depth,omitempty"`
+	Jobs  []WireJob `json:"jobs,omitempty"`
+	// TTLMillis is the lease's heartbeat deadline: the worker must
+	// contact the coordinator again within this interval or the shard
+	// is re-queued.
+	TTLMillis int64 `json:"ttlMillis,omitempty"`
+}
+
+// CompleteMsg reports a finished shard: one OutcomeEvent per shard job,
+// indexed by position within the shard.
+type CompleteMsg struct {
+	Worker   string              `json:"worker"`
+	Lease    string              `json:"lease"`
+	Outcomes []jobs.OutcomeEvent `json:"outcomes"`
+}
+
+// wireReplayer extracts the serializable subset of replayer options
+// for the lease. Hooked campaigns are never planned (PlanShards
+// refuses them), so nothing is lost.
+func wireReplayer(o replayer.Options) replayer.OptionsImage {
+	return replayer.OptionsImage{
+		Pacing:                    o.Pacing,
+		DisableRelaxation:         o.DisableRelaxation,
+		DisableCoordinateFallback: o.DisableCoordinateFallback,
+		Driver:                    o.Driver,
+	}
+}
+
+// unwireReplayer rebuilds worker-side replayer options from the lease.
+func unwireReplayer(o replayer.OptionsImage) replayer.Options {
+	return replayer.Options{
+		Pacing:                    o.Pacing,
+		DisableRelaxation:         o.DisableRelaxation,
+		DisableCoordinateFallback: o.DisableCoordinateFallback,
+		Driver:                    o.Driver,
+	}
+}
+
+// encodeOutcome renders one shard outcome as the engine's per-trace
+// event shape. Index is the outcome's position within the shard. The
+// status/finding semantics mirror the engine's own encoding: findings
+// are reported only for replays that ran to a judgeable end.
+func encodeOutcome(i int, out campaign.Outcome) jobs.OutcomeEvent {
+	ev := jobs.OutcomeEvent{Type: "outcome", Index: i}
+	switch {
+	case out.Skipped:
+		ev.Status = "skipped"
+	case out.Pruned:
+		ev.Status = "pruned"
+	case out.Result == nil:
+		// A session-level failure with no result behaves like a skip.
+		ev.Status = "skipped"
+	case out.Result.Cancelled:
+		ev.Status = "cancelled"
+		ev.Played, ev.Failed = out.Result.Played, out.Result.Failed
+	default:
+		ev.Status = "replayed"
+		ev.Played, ev.Failed = out.Result.Played, out.Result.Failed
+		if out.Verdict != nil {
+			ev.Finding = true
+			ev.Observed = out.Verdict.Error()
+		}
+	}
+	return ev
+}
+
+// decodeOutcome rebuilds a campaign outcome from its wire event. Step
+// lists do not cross the wire — campaign reports aggregate only
+// played/failed counts and verdicts, which survive exactly. The
+// verdict comes back as an opaque error carrying the observed message,
+// the same text the engine would publish for a local finding.
+func decodeOutcome(ev jobs.OutcomeEvent) campaign.Outcome {
+	var out campaign.Outcome
+	switch ev.Status {
+	case "skipped":
+		out.Skipped = true
+	case "pruned":
+		out.Pruned = true
+	case "cancelled":
+		out.Result = &replayer.Result{Played: ev.Played, Failed: ev.Failed, Cancelled: true}
+	default:
+		out.Result = &replayer.Result{Played: ev.Played, Failed: ev.Failed}
+		if ev.Finding {
+			out.Verdict = errors.New(ev.Observed)
+		}
+	}
+	return out
+}

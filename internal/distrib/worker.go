@@ -1,0 +1,279 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/image"
+	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// workerSeq disambiguates default worker ids within one process
+// (weberr -workers N runs several workers in-process).
+var workerSeq atomic.Int64
+
+// WorkerOptions configure a campaign worker.
+type WorkerOptions struct {
+	// Coordinator is the base URL of the pool's handler, e.g.
+	// http://127.0.0.1:8080/api/distrib.
+	Coordinator string
+	// ID names the worker to the coordinator; leases and liveness are
+	// keyed by it. Defaults to worker-<pid>-<n>.
+	ID string
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// PollInterval is the idle re-poll delay (default 50ms).
+	PollInterval time.Duration
+	// EnvFactory overrides how flat-fallback environments are built per
+	// browser mode; the default is the process's full app registry —
+	// the same worlds the engine uses.
+	EnvFactory func(mode browser.Mode) campaign.EnvFactory
+	// Logf, when set, receives per-lease notices.
+	Logf func(format string, args ...any)
+}
+
+// Worker is the executing side of a distributed campaign: it polls the
+// coordinator for shard leases, restores each lease's branch-point
+// image into a fresh world, continues the subtree through the standard
+// campaign scheduler, and reports outcomes in the jobs event
+// vocabulary. Image bytes are cached by content digest, so the many
+// shards forked from one branch point download their world once.
+type Worker struct {
+	opts  WorkerOptions
+	base  string
+	cache map[string]*image.Image
+}
+
+// NewWorker returns a worker ready to Run.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("worker-%d-%d", os.Getpid(), workerSeq.Add(1))
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 50 * time.Millisecond
+	}
+	if opts.EnvFactory == nil {
+		opts.EnvFactory = func(mode browser.Mode) campaign.EnvFactory {
+			return registry.BrowserFactory(mode)
+		}
+	}
+	return &Worker{
+		opts:  opts,
+		base:  strings.TrimSuffix(opts.Coordinator, "/"),
+		cache: make(map[string]*image.Image),
+	}
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.opts.ID }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// Run polls for leases until ctx is cancelled. A worker killed
+// mid-shard simply stops heartbeating: the coordinator re-queues the
+// lease, so Run never reports a partially-executed shard.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, err := w.lease(ctx)
+		if err != nil || l.Status != StatusLease {
+			if err != nil {
+				w.logf("distrib: %s: lease poll: %v", w.opts.ID, err)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.opts.PollInterval):
+			}
+			continue
+		}
+		outs := w.execute(ctx, l)
+		if ctx.Err() != nil {
+			// Dying mid-shard: report nothing. Partial outcomes must not
+			// merge — the lease expires and the shard re-runs whole.
+			return ctx.Err()
+		}
+		if err := w.complete(ctx, l, outs); err != nil {
+			w.logf("distrib: %s: reporting lease %s: %v", w.opts.ID, l.ID, err)
+		}
+	}
+}
+
+// lease polls the coordinator for work.
+func (w *Worker) lease(ctx context.Context) (*WireLease, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.base+"/lease?worker="+url.QueryEscape(w.opts.ID), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("distrib: lease poll: %s", resp.Status)
+	}
+	var l WireLease
+	if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// execute runs one leased shard: restore the branch-point image and
+// continue the subtree, falling back to full flat replays in fresh
+// local environments when the image cannot be fetched or restored. A
+// heartbeat loop keeps the lease alive for the duration.
+func (w *Worker) execute(ctx context.Context, l *WireLease) []jobs.OutcomeEvent {
+	hctx, stop := context.WithCancel(ctx)
+	defer stop()
+	go w.heartbeat(hctx, l)
+
+	cjobs := make([]campaign.Job, len(l.Jobs))
+	for i, wj := range l.Jobs {
+		cjobs[i] = campaign.Job{Trace: wj.Trace, Pacing: wj.Pacing}
+	}
+	exec := w.executor(l)
+	var outs []campaign.Outcome
+	if img, err := w.fetchImage(ctx, l.Image); err != nil {
+		w.logf("distrib: %s: fetching image %s: %v", w.opts.ID, l.Image, err)
+	} else if _, sess, err := image.LoadSession(img, ctx, nil); err != nil {
+		w.logf("distrib: %s: restoring image %s: %v", w.opts.ID, l.Image, err)
+	} else {
+		outs = exec.ExecuteSubtree(ctx, cjobs, sess, l.Depth)
+	}
+	if outs == nil {
+		outs = exec.Execute(ctx, cjobs)
+	}
+	evs := make([]jobs.OutcomeEvent, len(outs))
+	for i, out := range outs {
+		evs[i] = encodeOutcome(i, out)
+	}
+	return evs
+}
+
+// executor rebuilds the campaign's executor from the lease: the
+// campaign kind names the oracle (the default console oracle — specs
+// with custom oracles are never distributed), the mode names the
+// environment build, and the replayer options come off the wire.
+func (w *Worker) executor(l *WireLease) *campaign.Executor {
+	mode := l.Mode
+	if mode == 0 {
+		mode = browser.DeveloperMode
+	}
+	copts := weberr.CampaignOptions{
+		Replayer:       unwireReplayer(l.Replayer),
+		DisablePruning: l.DisablePruning,
+		Parallelism:    l.Parallelism,
+	}
+	newEnv := w.opts.EnvFactory(mode)
+	if l.Campaign == "timing" {
+		return weberr.TimingExecutor(newEnv, copts)
+	}
+	return weberr.NavigationExecutor(newEnv, copts)
+}
+
+// heartbeat renews the worker's liveness at a third of the lease TTL
+// until the shard finishes.
+func (w *Worker) heartbeat(ctx context.Context, l *WireLease) {
+	ttl := time.Duration(l.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	t := time.NewTicker(ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			w.base+"/heartbeat?worker="+url.QueryEscape(w.opts.ID), nil)
+		if err != nil {
+			return
+		}
+		if resp, err := w.opts.Client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// fetchImage downloads and validates a branch-point image, caching the
+// decoded form by digest.
+func (w *Worker) fetchImage(ctx context.Context, digest string) (*image.Image, error) {
+	if img, ok := w.cache[digest]; ok {
+		return img, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.base+"/image/"+url.PathEscape(digest), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("distrib: fetching image %s: %s", digest, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	img, got, err := image.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if got != digest {
+		return nil, fmt.Errorf("distrib: image digest mismatch: got %s, want %s", got, digest)
+	}
+	w.cache[digest] = img
+	return img, nil
+}
+
+// complete reports the shard's outcomes.
+func (w *Worker) complete(ctx context.Context, l *WireLease, outs []jobs.OutcomeEvent) error {
+	body, err := json.Marshal(CompleteMsg{Worker: w.opts.ID, Lease: l.ID, Outcomes: outs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/complete", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: completion rejected: %s", resp.Status)
+	}
+	return nil
+}

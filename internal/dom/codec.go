@@ -1,0 +1,92 @@
+package dom
+
+import "fmt"
+
+// This file serializes DOM trees for durable world images
+// (internal/image). A tree encodes to a nested record mirroring the
+// node structure — type, tag, character data, the value property,
+// attributes in document order, children in document order — plus a
+// deterministic pre-order numbering that lets the image reference
+// individual nodes (element handles, focus, event targets) across the
+// encode/decode boundary. Event listeners are never serialized: the
+// browser replays its listener registration log after decoding, the
+// same way forking does.
+
+// EncodedNode is one serialized DOM node.
+type EncodedNode struct {
+	Type  NodeType       `json:"type"`
+	Tag   string         `json:"tag,omitempty"`
+	Data  string         `json:"data,omitempty"`
+	Value string         `json:"value,omitempty"`
+	Attrs []Attr         `json:"attrs,omitempty"`
+	Kids  []*EncodedNode `json:"kids,omitempty"`
+}
+
+// EncodeTree serializes the tree rooted at root and returns the
+// pre-order id of every node in it (ids start at 0 for root itself).
+func EncodeTree(root *Node) (*EncodedNode, map[*Node]int) {
+	ids := make(map[*Node]int)
+	en := encodeNode(root, ids)
+	return en, ids
+}
+
+func encodeNode(n *Node, ids map[*Node]int) *EncodedNode {
+	ids[n] = len(ids)
+	en := &EncodedNode{Type: n.Type, Tag: n.Tag, Data: n.Data, Value: n.Value}
+	if len(n.attrs) > 0 {
+		en.Attrs = make([]Attr, len(n.attrs))
+		copy(en.Attrs, n.attrs)
+	}
+	if len(n.children) > 0 {
+		en.Kids = make([]*EncodedNode, len(n.children))
+		for i, c := range n.children {
+			en.Kids[i] = encodeNode(c, ids)
+		}
+	}
+	return en
+}
+
+// DecodeTree rebuilds a tree from its encoded form, returning the root
+// and every node indexed by the same pre-order numbering EncodeTree
+// produced. The tree is unindexed; wrap document roots with
+// WrapDocument to build their query index.
+func DecodeTree(en *EncodedNode) (*Node, []*Node, error) {
+	if en == nil {
+		return nil, nil, fmt.Errorf("dom: decoding a nil encoded tree")
+	}
+	var nodes []*Node
+	root, err := decodeNode(en, &nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, nodes, nil
+}
+
+func decodeNode(en *EncodedNode, nodes *[]*Node) (*Node, error) {
+	switch en.Type {
+	case ElementNode, TextNode, CommentNode, DocumentNode:
+	default:
+		return nil, fmt.Errorf("dom: encoded node has unknown type %d", int(en.Type))
+	}
+	n := &Node{Type: en.Type, Tag: en.Tag, Data: en.Data, Value: en.Value}
+	*nodes = append(*nodes, n)
+	if len(en.Attrs) > 0 {
+		n.attrs = make([]Attr, len(en.Attrs))
+		copy(n.attrs, en.Attrs)
+	}
+	if len(en.Kids) > 0 {
+		n.children = make([]*Node, len(en.Kids))
+		for i, kid := range en.Kids {
+			if kid == nil {
+				return nil, fmt.Errorf("dom: encoded node has a nil child")
+			}
+			c, err := decodeNode(kid, nodes)
+			if err != nil {
+				return nil, err
+			}
+			c.parent = n
+			n.children[i] = c
+		}
+	}
+	return n, nil
+}

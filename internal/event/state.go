@@ -1,0 +1,86 @@
+package event
+
+import "github.com/dslab-epfl/warr/internal/dom"
+
+// This file exports the serializable portion of an Event for durable
+// world images (internal/image). A frame's script globals can hold an
+// event past its dispatch — inline handlers bind the live event to the
+// interpreter's "event" global — so imaging a browser must capture
+// event state including the unexported policy flags. Node references
+// (Target, CurrentTarget) are deliberately excluded: the image codec
+// translates nodes by id itself.
+
+// State is everything an Event carries except its node references.
+type State struct {
+	Type    string     `json:"type"`
+	Phase   Phase      `json:"phase,omitempty"`
+	Bubbles bool       `json:"bubbles,omitempty"`
+	Trusted bool       `json:"trusted,omitempty"`
+	Mouse   *MouseData `json:"mouse,omitempty"`
+	Key     *KeyData   `json:"key,omitempty"`
+	Drag    *DragData  `json:"drag,omitempty"`
+
+	DeveloperMode      bool `json:"developerMode,omitempty"`
+	PropagationStopped bool `json:"propagationStopped,omitempty"`
+	DefaultPrevented   bool `json:"defaultPrevented,omitempty"`
+}
+
+// State captures the event's serializable state. Payloads are copied,
+// not aliased.
+func (e *Event) State() State {
+	st := State{
+		Type:               e.Type,
+		Phase:              e.Phase,
+		Bubbles:            e.Bubbles,
+		Trusted:            e.Trusted,
+		DeveloperMode:      e.developerMode,
+		PropagationStopped: e.propagationStopped,
+		DefaultPrevented:   e.defaultPrevented,
+	}
+	if e.Mouse != nil {
+		m := *e.Mouse
+		st.Mouse = &m
+	}
+	if e.Key != nil {
+		k := *e.Key
+		st.Key = &k
+	}
+	if e.Drag != nil {
+		d := *e.Drag
+		st.Drag = &d
+	}
+	return st
+}
+
+// FromState rebuilds an event from captured state, re-attaching the
+// given node references (which may be nil — an event read back after
+// dispatch has no current target).
+func FromState(st State, target, currentTarget *dom.Node) *Event {
+	e := &Event{
+		Type:               st.Type,
+		Target:             target,
+		CurrentTarget:      currentTarget,
+		Phase:              st.Phase,
+		Bubbles:            st.Bubbles,
+		Trusted:            st.Trusted,
+		developerMode:      st.DeveloperMode,
+		propagationStopped: st.PropagationStopped,
+		defaultPrevented:   st.DefaultPrevented,
+	}
+	// Payloads are written directly rather than through SetKeyData: the
+	// policy check guards scripts mutating live events, not a faithful
+	// restore of state that already passed it.
+	if st.Mouse != nil {
+		e.mouseData = *st.Mouse
+		e.Mouse = &e.mouseData
+	}
+	if st.Key != nil {
+		e.keyData = *st.Key
+		e.Key = &e.keyData
+	}
+	if st.Drag != nil {
+		e.dragData = *st.Drag
+		e.Drag = &e.dragData
+	}
+	return e
+}

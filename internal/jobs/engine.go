@@ -15,6 +15,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/replayer"
 )
 
 // Engine errors.
@@ -49,6 +50,40 @@ type Options struct {
 	// environments over the process's full app registry — the same
 	// worlds every CLI has always used.
 	EnvFactory func(mode browser.Mode) campaign.EnvFactory
+	// Distributor, when set, is offered every campaign plan before it
+	// executes in-process; internal/distrib implements it over a worker
+	// pool. A refusal (or an in-process-only spec: custom oracle, replay
+	// hooks, resumed job) falls back to the local executor — the engine
+	// always has a single-process path.
+	Distributor Distributor
+}
+
+// DistSpec describes a campaign to a Distributor in wire-safe terms:
+// everything a worker process needs to rebuild the exact executor the
+// engine would run locally. Closures (custom oracles, hooks) cannot
+// cross a process boundary, so specs carrying them are never offered.
+type DistSpec struct {
+	// Campaign is "navigation" or "timing" — it names the oracle and
+	// executor shape the worker reconstructs.
+	Campaign string
+	// Mode is the browser build of the worker's environments.
+	Mode browser.Mode
+	// Replayer configures the worker's replay sessions.
+	Replayer replayer.Options
+	// DisablePruning is the §V-A heuristic-1 ablation.
+	DisablePruning bool
+	// Parallelism is the per-worker executor concurrency.
+	Parallelism int
+}
+
+// Distributor executes a campaign plan across a worker pool. ok ==
+// false means the plan was not distributed (no workers connected, the
+// world cannot be imaged, a shared spine failed, ...) and the caller
+// must execute locally; when ok, outcomes are complete and in job
+// order, with findings identical to what flat local execution would
+// produce.
+type Distributor interface {
+	DistributeCampaign(ctx context.Context, exec *campaign.Executor, plan []campaign.Job, spec DistSpec) ([]campaign.Outcome, bool)
 }
 
 // Engine runs jobs over a bounded queue and a worker pool.

@@ -157,7 +157,11 @@ func (e *Engine) runNavigationCampaign(job *Job) error {
 		job.mu.Unlock()
 		plan = weberr.NavigationPlan(g, copts)
 	}
-	outcomes := e.executePlan(job, weberr.NavigationExecutor(newEnv, copts), plan)
+	exec := weberr.NavigationExecutor(newEnv, copts)
+	outcomes, ok := e.distribute(job, exec, plan, "navigation")
+	if !ok {
+		outcomes = e.executePlan(job, exec, plan)
+	}
 	e.finishCampaign(job, "navigation", plan, outcomes)
 	return nil
 }
@@ -171,9 +175,31 @@ func (e *Engine) runTimingCampaign(job *Job) error {
 	if plan == nil {
 		plan = weberr.TimingPlan(spec.Trace)
 	}
-	outcomes := e.executePlan(job, weberr.TimingExecutor(e.factory(spec.Mode), copts), plan)
+	exec := weberr.TimingExecutor(e.factory(spec.Mode), copts)
+	outcomes, ok := e.distribute(job, exec, plan, "timing")
+	if !ok {
+		outcomes = e.executePlan(job, exec, plan)
+	}
 	e.finishCampaign(job, "timing", plan, outcomes)
 	return nil
+}
+
+// distribute offers a campaign plan to the configured Distributor.
+// Fresh jobs with the default oracle are eligible; resumed jobs carry
+// partial outcomes only the local merge path understands, and closures
+// (custom oracles) cannot cross a process boundary.
+func (e *Engine) distribute(job *Job, exec *campaign.Executor, plan []campaign.Job, kind string) ([]campaign.Outcome, bool) {
+	d := e.opts.Distributor
+	if d == nil || job.resumeFrom != nil || job.Spec.Oracle != nil {
+		return nil, false
+	}
+	return d.DistributeCampaign(job.ctx, exec, plan, DistSpec{
+		Campaign:       kind,
+		Mode:           job.Spec.Mode,
+		Replayer:       job.Spec.Replayer,
+		DisablePruning: job.Spec.DisablePruning,
+		Parallelism:    job.Spec.Parallelism,
+	})
 }
 
 // priorPlan returns the plan (and, for navigation campaigns, the

@@ -1,0 +1,163 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/netsim"
+	"github.com/dslab-epfl/warr/internal/vclock"
+)
+
+// Durable environment images. Fork copies a world within one process;
+// an image is the same world as bytes — clock instant, network latency,
+// every hosted application's server state, and (decoded separately by
+// internal/browser) the whole browser stack. ImageMarshaler is the
+// serialization capability an AppState opts into, the durable
+// counterpart of Snapshotter: Snapshot deep-copies in memory, Marshal
+// round-trips through bytes, and both must land on a state the other
+// world cannot observe.
+
+// ImageMarshaler is the optional durable-image capability of an
+// AppState. MarshalImage serializes the state's mutable content — the
+// same content Snapshot would copy; for webapp-based servers that
+// includes the issued sessions (webapp.Server.ExportSessions).
+// UnmarshalImage restores that content into a state freshly built by
+// the App's NewState, replacing whatever NewState seeded. The encoding
+// is the application's own business, but it must be deterministic:
+// identical states must marshal to identical bytes, because image
+// identity (and the distributed executor's image store) is keyed by
+// content digest.
+type ImageMarshaler interface {
+	MarshalImage() ([]byte, error)
+	UnmarshalImage(data []byte) error
+}
+
+// NotImageableError reports an image operation against an application
+// whose state does not implement ImageMarshaler.
+type NotImageableError struct{ App string }
+
+func (e *NotImageableError) Error() string {
+	return fmt.Sprintf("registry: app %q state does not implement ImageMarshaler; image unavailable (replay the trace prefix instead)", e.App)
+}
+
+// AppImage is one application's serialized server state.
+type AppImage struct {
+	Name string          `json:"name"`
+	Data json.RawMessage `json:"data"`
+}
+
+// EnvImage is the environment-level half of a world image: the virtual
+// instant, the network latency, and every hosted application's state.
+// The browser half is a browser.Image, decoded onto the clock and
+// network this half reconstructs.
+type EnvImage struct {
+	Now     time.Time  `json:"now"`
+	Latency int64      `json:"latencyNS"`
+	Apps    []AppImage `json:"apps"`
+}
+
+// EncodeImage captures the environment half of a world image. It fails
+// with *NotImageableError when a hosted application's state does not
+// implement ImageMarshaler. Like State, it settles pending fork
+// snapshots before touching each state.
+func (e *Env) EncodeImage() (*EnvImage, error) {
+	img := &EnvImage{
+		Now:     e.Clock.Now(),
+		Latency: int64(e.Network.Latency()),
+		Apps:    make([]AppImage, 0, len(e.apps)),
+	}
+	for _, a := range e.apps {
+		name := a.Name()
+		st := e.cells[name].touch()
+		m, ok := st.(ImageMarshaler)
+		if !ok {
+			return nil, &NotImageableError{App: name}
+		}
+		data, err := m.MarshalImage()
+		if err != nil {
+			return nil, fmt.Errorf("registry: marshaling app %q: %w", name, err)
+		}
+		img.Apps = append(img.Apps, AppImage{Name: name, Data: data})
+	}
+	return img, nil
+}
+
+// RestoreEnv rebuilds an environment from its image halves: the clock
+// is recreated at the imaged instant, the network at the imaged
+// latency, each hosted application's state is built fresh and loaded
+// from its AppImage, and the browser image is decoded onto them. The
+// application selection works like NewEnv (default: the Default
+// registry) but serves as the pool of definitions the imaged names
+// resolve against: the image decides what the restored world hosts. A
+// process may well register more applications than the one that
+// captured the image — a worker linking a plugin the coordinator does
+// not — and must still restore it faithfully, because an image is a
+// closed world and widening it on restore would silently change what
+// the campaign tests. An imaged app with no definition in the
+// selection is unrecoverable.
+func RestoreEnv(img *EnvImage, bimg *browser.Image, opts ...EnvOption) (*Env, *browser.DecodedImage, error) {
+	cfg := envConfig{latency: DefaultAJAXLatency}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var selected []App
+	if cfg.registry != nil {
+		selected = cfg.registry.Apps()
+	} else if len(cfg.apps) == 0 {
+		selected = Default.Apps()
+	}
+	selected = append(selected, cfg.apps...)
+
+	pool := make(map[string]App, len(selected))
+	for _, a := range selected {
+		if _, dup := pool[a.Name()]; dup {
+			return nil, nil, &DuplicateAppError{Name: a.Name()}
+		}
+		pool[a.Name()] = a
+	}
+
+	clock := vclock.NewAt(img.Now)
+	network := netsim.New(clock)
+	network.SetLatency(time.Duration(img.Latency))
+
+	e := &Env{
+		Clock:   clock,
+		Network: network,
+		cells:   make(map[string]*stateCell, len(img.Apps)),
+	}
+	for _, ai := range img.Apps {
+		name := ai.Name
+		a, ok := pool[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("registry: image hosts app %q, which is not registered in this process", name)
+		}
+		if _, dup := e.cells[name]; dup {
+			return nil, nil, fmt.Errorf("registry: image lists app %q twice", name)
+		}
+		st := a.NewState()
+		if st == nil {
+			return nil, nil, fmt.Errorf("registry: app %q NewState returned nil", name)
+		}
+		m, ok := st.(ImageMarshaler)
+		if !ok {
+			return nil, nil, &NotImageableError{App: name}
+		}
+		if err := m.UnmarshalImage(ai.Data); err != nil {
+			return nil, nil, fmt.Errorf("registry: unmarshaling app %q: %w", name, err)
+		}
+		cell := &stateCell{app: a, st: st}
+		e.apps = append(e.apps, a)
+		e.cells[name] = cell
+		network.Register(a.Host(), &appPort{cell: cell})
+	}
+
+	dec, err := browser.DecodeImage(bimg, clock, network)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.Browser = dec.Browser()
+	e.Browser.SetWorld(e)
+	return e, dec, nil
+}

@@ -1,0 +1,869 @@
+package script
+
+// This file implements serialization of interpreter state — the script
+// half of durable world images (WARR-IMAGE). Where clone.go deep-copies
+// a value graph between two live interpreters, the codec here flattens
+// the same graph — objects, arrays, closures, the scope chains they
+// capture, and the host values a browser frame installed — into
+// JSON-marshalable records and rebuilds it in a fresh interpreter.
+//
+// The design mirrors Cloner exactly:
+//
+//   - primitives (null, undefined, bool, number, string) encode inline;
+//   - heap values (*Array, *Object, *Function) are assigned an id on
+//     first encounter, before recursing, so aliasing and cycles in the
+//     source survive the round trip;
+//   - host values (DOM handles, native functions, anything the script
+//     package does not own) are translated by a caller-supplied hook to
+//     an opaque token; the hook runs before the generic handling so a
+//     host can claim plain objects it installed (the browser's console
+//     object);
+//   - scope chains are flattened to records, except scopes the caller
+//     tagged (frame global scopes), which are referenced by token and
+//     whose variables are not serialized — the browser serializes frame
+//     globals itself, filtered against the frame's builtins.
+//
+// Function bodies are serialized as their AST. The node list in ast.go
+// is closed; the codec's switches are exhaustive over it and fail loudly
+// on anything unknown, so a new node type cannot silently produce a
+// lossy image.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// EncodedValue is one serialized script value: a primitive inline, a
+// reference into the encoder's heap, or an opaque host token.
+type EncodedValue struct {
+	// T is the value kind: "null", "undef", "bool", "num", "str",
+	// "ref" (heap id in ID), or "host" (token in H).
+	T string `json:"t"`
+	// B carries bool values.
+	B bool `json:"b,omitempty"`
+	// N carries numbers, formatted with strconv.FormatFloat 'g'/-1 so
+	// every float64 — including -0, NaN and the infinities — round-trips.
+	N string `json:"n,omitempty"`
+	// S carries strings.
+	S string `json:"s,omitempty"`
+	// ID references a HeapRecord (ids start at 1).
+	ID int `json:"id,omitempty"`
+	// H is the host token produced by the encoder's EncodeHost hook.
+	H json.RawMessage `json:"h,omitempty"`
+}
+
+// HeapRecord is one serialized heap value. Kind selects which fields
+// are meaningful.
+type HeapRecord struct {
+	ID   int    `json:"id"`
+	Kind string `json:"kind"` // "arr", "obj", or "fn"
+
+	// Elems holds array elements, in order.
+	Elems []EncodedValue `json:"elems,omitempty"`
+
+	// Keys/Vals hold object properties in sorted key order.
+	Keys []string       `json:"keys,omitempty"`
+	Vals []EncodedValue `json:"vals,omitempty"`
+
+	// Name, Params, Body and Env describe a function.
+	Name   string         `json:"name,omitempty"`
+	Params []string       `json:"params,omitempty"`
+	Body   []*EncodedNode `json:"body,omitempty"`
+	Env    *ScopeRef      `json:"env,omitempty"`
+}
+
+// ScopeRef references a scope: by record id for scopes the codec owns,
+// or by the caller's tag for pre-bound scopes (frame globals).
+type ScopeRef struct {
+	ID  int    `json:"id,omitempty"`
+	Tok string `json:"tok,omitempty"`
+}
+
+// ScopeRecord is one serialized scope: its parent link and its own
+// bindings in sorted name order. Tagged scopes are never recorded —
+// they appear only as ScopeRef tokens.
+type ScopeRecord struct {
+	ID     int            `json:"id"`
+	Parent *ScopeRef      `json:"parent,omitempty"`
+	Names  []string       `json:"names,omitempty"`
+	Vals   []EncodedValue `json:"vals,omitempty"`
+}
+
+// UnsupportedValueError reports a value the codec cannot serialize: a
+// host value the EncodeHost hook did not claim. The browser's hook
+// claims every host value it mints durably; what remains are ephemeral
+// method closures (element.setAttribute pulled into a variable), which
+// have no stable identity to serialize.
+type UnsupportedValueError struct {
+	// Value is the offending value.
+	Value Value
+}
+
+func (e *UnsupportedValueError) Error() string {
+	return fmt.Sprintf("script: value of type %s (%T) cannot be serialized into an image", TypeOf(e.Value), e.Value)
+}
+
+// encodeNumber formats a float64 so it round-trips exactly.
+func encodeNumber(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func decodeNumber(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("script: bad encoded number %q: %w", s, err)
+	}
+	return f, nil
+}
+
+// ---- encoding ----
+
+// ValueEncoder flattens a script value graph into heap and scope
+// records. It memoizes every heap value and scope it encodes, so
+// aliasing and cycles survive; encode as many roots as needed with
+// Encode, then collect Heap() and Scopes() once.
+type ValueEncoder struct {
+	// EncodeHost translates values the codec does not own — anything
+	// that is not a primitive, *Array, *Object or *Function — into a
+	// JSON-marshalable token. It runs before the generic handling, so a
+	// host can claim plain objects it installed. Returning ok == false
+	// for a value the codec does not own makes Encode fail with
+	// *UnsupportedValueError.
+	EncodeHost func(Value) (any, bool)
+
+	values    map[Value]EncodedValue
+	heap      []*HeapRecord
+	scopes    []*ScopeRecord
+	scopeIDs  map[*Scope]int
+	scopeToks map[*Scope]string
+}
+
+// NewValueEncoder returns an encoder using encodeHost (which may be
+// nil) for host values.
+func NewValueEncoder(encodeHost func(Value) (any, bool)) *ValueEncoder {
+	return &ValueEncoder{
+		EncodeHost: encodeHost,
+		values:     make(map[Value]EncodedValue),
+		scopeIDs:   make(map[*Scope]int),
+		scopeToks:  make(map[*Scope]string),
+	}
+}
+
+// TagScope registers a scope the caller owns: references to it encode
+// as the token, and its variables are not serialized. Frame global
+// scopes are tagged this way — the browser serializes frame globals
+// separately, filtered against the frame's builtins.
+func (e *ValueEncoder) TagScope(s *Scope, tok string) { e.scopeToks[s] = tok }
+
+// Heap returns the heap records accumulated so far, in id order.
+func (e *ValueEncoder) Heap() []*HeapRecord { return e.heap }
+
+// Scopes returns the scope records accumulated so far, in id order.
+func (e *ValueEncoder) Scopes() []*ScopeRecord { return e.scopes }
+
+// Encode serializes one value, recording reachable heap values and
+// scopes as a side effect.
+func (e *ValueEncoder) Encode(v Value) (EncodedValue, error) {
+	switch x := v.(type) {
+	case nil:
+		return EncodedValue{T: "null"}, nil
+	case undefinedType:
+		return EncodedValue{T: "undef"}, nil
+	case bool:
+		return EncodedValue{T: "bool", B: x}, nil
+	case float64:
+		return EncodedValue{T: "num", N: encodeNumber(x)}, nil
+	case string:
+		return EncodedValue{T: "str", S: x}, nil
+	}
+	if ev, ok := e.values[v]; ok {
+		return ev, nil
+	}
+	// The host hook runs before the generic handling, mirroring Cloner.
+	if e.EncodeHost != nil {
+		if tok, ok := e.EncodeHost(v); ok {
+			raw, err := json.Marshal(tok)
+			if err != nil {
+				return EncodedValue{}, fmt.Errorf("script: marshaling host token for %T: %w", v, err)
+			}
+			ev := EncodedValue{T: "host", H: raw}
+			e.values[v] = ev
+			return ev, nil
+		}
+	}
+	switch x := v.(type) {
+	case *Array:
+		rec := e.newHeapRecord("arr")
+		ev := EncodedValue{T: "ref", ID: rec.ID}
+		e.values[v] = ev // before recursing: cycles and aliasing
+		rec.Elems = make([]EncodedValue, len(x.Elems))
+		for i, el := range x.Elems {
+			enc, err := e.Encode(el)
+			if err != nil {
+				return EncodedValue{}, err
+			}
+			rec.Elems[i] = enc
+		}
+		return ev, nil
+	case *Object:
+		rec := e.newHeapRecord("obj")
+		ev := EncodedValue{T: "ref", ID: rec.ID}
+		e.values[v] = ev
+		rec.Keys = x.Keys()
+		rec.Vals = make([]EncodedValue, len(rec.Keys))
+		for i, k := range rec.Keys {
+			enc, err := e.Encode(x.props[k])
+			if err != nil {
+				return EncodedValue{}, err
+			}
+			rec.Vals[i] = enc
+		}
+		return ev, nil
+	case *Function:
+		rec := e.newHeapRecord("fn")
+		ev := EncodedValue{T: "ref", ID: rec.ID}
+		e.values[v] = ev
+		rec.Name = x.name
+		rec.Params = x.params
+		body, err := encodeNodes(x.body)
+		if err != nil {
+			return EncodedValue{}, err
+		}
+		rec.Body = body
+		env, err := e.encodeScope(x.env)
+		if err != nil {
+			return EncodedValue{}, err
+		}
+		rec.Env = env
+		return ev, nil
+	default:
+		return EncodedValue{}, &UnsupportedValueError{Value: v}
+	}
+}
+
+func (e *ValueEncoder) newHeapRecord(kind string) *HeapRecord {
+	rec := &HeapRecord{ID: len(e.heap) + 1, Kind: kind}
+	e.heap = append(e.heap, rec)
+	return rec
+}
+
+// encodeScope serializes a scope chain, following parents until a
+// tagged scope (or nil) is reached.
+func (e *ValueEncoder) encodeScope(s *Scope) (*ScopeRef, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if tok, ok := e.scopeToks[s]; ok {
+		return &ScopeRef{Tok: tok}, nil
+	}
+	if id, ok := e.scopeIDs[s]; ok {
+		return &ScopeRef{ID: id}, nil
+	}
+	rec := &ScopeRecord{ID: len(e.scopes) + 1}
+	e.scopes = append(e.scopes, rec)
+	e.scopeIDs[s] = rec.ID // before recursing: closures can alias chains
+	parent, err := e.encodeScope(s.parent)
+	if err != nil {
+		return nil, err
+	}
+	rec.Parent = parent
+	rec.Names = s.Names()
+	rec.Vals = make([]EncodedValue, len(rec.Names))
+	for i, name := range rec.Names {
+		enc, err := e.Encode(s.vars[name])
+		if err != nil {
+			return nil, err
+		}
+		rec.Vals[i] = enc
+	}
+	return &ScopeRef{ID: rec.ID}, nil
+}
+
+// ---- decoding ----
+
+// ValueDecoder rebuilds a value graph from heap and scope records.
+// Construction is two-phase: Resolve first creates every heap value and
+// scope as an empty shell, then fills them in — so cycles, aliasing,
+// and closures over serialized scopes all land correctly. Bind tagged
+// scopes with BindScope before calling Resolve.
+type ValueDecoder struct {
+	// DecodeHost rebuilds a host value from the token its encoder
+	// produced. It must be non-nil if any encoded value has kind "host".
+	DecodeHost func(json.RawMessage) (Value, error)
+
+	heap      []*HeapRecord
+	scopeRecs []*ScopeRecord
+	vals      map[int]Value
+	scopes    map[int]*Scope
+	byTok     map[string]*Scope
+	hosts     map[string]Value
+	resolved  bool
+}
+
+// NewValueDecoder returns a decoder over the encoder's heap and scope
+// records, using decodeHost (which may be nil when no host values were
+// encoded) for host tokens.
+func NewValueDecoder(heap []*HeapRecord, scopes []*ScopeRecord, decodeHost func(json.RawMessage) (Value, error)) *ValueDecoder {
+	return &ValueDecoder{
+		DecodeHost: decodeHost,
+		heap:       heap,
+		scopeRecs:  scopes,
+		vals:       make(map[int]Value),
+		scopes:     make(map[int]*Scope),
+		byTok:      make(map[string]*Scope),
+		hosts:      make(map[string]Value),
+	}
+}
+
+// BindScope binds a tagged scope token to a live scope — the decode
+// counterpart of TagScope. Frame global scopes are bound to the fresh
+// interpreter's global scope this way. Must precede Resolve.
+func (d *ValueDecoder) BindScope(tok string, s *Scope) { d.byTok[tok] = s }
+
+// Resolve materializes every heap value and scope: shells first, then
+// contents. It must be called exactly once, before Decode.
+func (d *ValueDecoder) Resolve() error {
+	if d.resolved {
+		return fmt.Errorf("script: ValueDecoder.Resolve called twice")
+	}
+	d.resolved = true
+	// Phase 1: shells. Function ASTs are decoded here — they carry no
+	// references into the graph.
+	for _, rec := range d.heap {
+		if _, dup := d.vals[rec.ID]; dup {
+			return fmt.Errorf("script: duplicate heap id %d", rec.ID)
+		}
+		switch rec.Kind {
+		case "arr":
+			d.vals[rec.ID] = &Array{Elems: make([]Value, len(rec.Elems))}
+		case "obj":
+			d.vals[rec.ID] = NewObject()
+		case "fn":
+			body, err := decodeNodes(rec.Body)
+			if err != nil {
+				return err
+			}
+			d.vals[rec.ID] = &Function{name: rec.Name, params: rec.Params, body: body}
+		default:
+			return fmt.Errorf("script: unknown heap record kind %q", rec.Kind)
+		}
+	}
+	for _, rec := range d.scopeRecs {
+		if _, dup := d.scopes[rec.ID]; dup {
+			return fmt.Errorf("script: duplicate scope id %d", rec.ID)
+		}
+		d.scopes[rec.ID] = &Scope{vars: make(map[string]Value, len(rec.Names))}
+	}
+	// Phase 2: fill. Every reference now resolves to a shell.
+	for _, rec := range d.heap {
+		switch rec.Kind {
+		case "arr":
+			arr := d.vals[rec.ID].(*Array)
+			for i, ev := range rec.Elems {
+				v, err := d.Decode(ev)
+				if err != nil {
+					return err
+				}
+				arr.Elems[i] = v
+			}
+		case "obj":
+			obj := d.vals[rec.ID].(*Object)
+			if len(rec.Keys) != len(rec.Vals) {
+				return fmt.Errorf("script: object record %d has %d keys but %d values", rec.ID, len(rec.Keys), len(rec.Vals))
+			}
+			for i, k := range rec.Keys {
+				v, err := d.Decode(rec.Vals[i])
+				if err != nil {
+					return err
+				}
+				obj.props[k] = v
+			}
+		case "fn":
+			fn := d.vals[rec.ID].(*Function)
+			env, err := d.resolveScope(rec.Env)
+			if err != nil {
+				return err
+			}
+			fn.env = env
+		}
+	}
+	for _, rec := range d.scopeRecs {
+		sc := d.scopes[rec.ID]
+		parent, err := d.resolveScope(rec.Parent)
+		if err != nil {
+			return err
+		}
+		sc.parent = parent
+		if len(rec.Names) != len(rec.Vals) {
+			return fmt.Errorf("script: scope record %d has %d names but %d values", rec.ID, len(rec.Names), len(rec.Vals))
+		}
+		for i, name := range rec.Names {
+			v, err := d.Decode(rec.Vals[i])
+			if err != nil {
+				return err
+			}
+			sc.vars[name] = v
+		}
+	}
+	return nil
+}
+
+// Decode rebuilds one value. Resolve must have run first.
+func (d *ValueDecoder) Decode(ev EncodedValue) (Value, error) {
+	switch ev.T {
+	case "null":
+		return nil, nil
+	case "undef":
+		return Undefined, nil
+	case "bool":
+		return ev.B, nil
+	case "num":
+		return decodeNumber(ev.N)
+	case "str":
+		return ev.S, nil
+	case "ref":
+		if !d.resolved {
+			return nil, fmt.Errorf("script: Decode before Resolve")
+		}
+		v, ok := d.vals[ev.ID]
+		if !ok {
+			return nil, fmt.Errorf("script: dangling heap reference %d", ev.ID)
+		}
+		return v, nil
+	case "host":
+		if d.DecodeHost == nil {
+			return nil, fmt.Errorf("script: encoded host value but no DecodeHost hook")
+		}
+		// Identical tokens decode to the identical value, mirroring the
+		// clone path's host memoization.
+		key := string(ev.H)
+		if v, ok := d.hosts[key]; ok {
+			return v, nil
+		}
+		v, err := d.DecodeHost(ev.H)
+		if err != nil {
+			return nil, err
+		}
+		d.hosts[key] = v
+		return v, nil
+	default:
+		return nil, fmt.Errorf("script: unknown encoded value kind %q", ev.T)
+	}
+}
+
+func (d *ValueDecoder) resolveScope(ref *ScopeRef) (*Scope, error) {
+	if ref == nil {
+		return nil, nil
+	}
+	if ref.Tok != "" {
+		s, ok := d.byTok[ref.Tok]
+		if !ok {
+			return nil, fmt.Errorf("script: unbound scope token %q", ref.Tok)
+		}
+		return s, nil
+	}
+	s, ok := d.scopes[ref.ID]
+	if !ok {
+		return nil, fmt.Errorf("script: dangling scope reference %d", ref.ID)
+	}
+	return s, nil
+}
+
+// ---- AST codec ----
+
+// EncodedNode is one serialized AST node. K selects the kind; the
+// remaining fields are reused across kinds (A/B/C for child nodes,
+// List/List2 for node slices).
+type EncodedNode struct {
+	K      string         `json:"k"`
+	Line   int            `json:"l,omitempty"`
+	Name   string         `json:"n,omitempty"`
+	Op     string         `json:"o,omitempty"`
+	Val    string         `json:"v,omitempty"`
+	Flag   bool           `json:"f,omitempty"`
+	Prop   string         `json:"p,omitempty"`
+	Params []string       `json:"ps,omitempty"`
+	Keys   []string       `json:"ks,omitempty"`
+	A      *EncodedNode   `json:"a,omitempty"`
+	B      *EncodedNode   `json:"b,omitempty"`
+	C      *EncodedNode   `json:"c,omitempty"`
+	List   []*EncodedNode `json:"xs,omitempty"`
+	List2  []*EncodedNode `json:"ys,omitempty"`
+}
+
+// encodeNodes serializes a statement or expression list; nil maps to
+// nil.
+func encodeNodes(nodes []node) ([]*EncodedNode, error) {
+	if nodes == nil {
+		return nil, nil
+	}
+	out := make([]*EncodedNode, len(nodes))
+	for i, n := range nodes {
+		en, err := encodeNode(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = en
+	}
+	return out, nil
+}
+
+// encodeNode serializes one AST node; nil maps to nil (optional
+// children: var initializers, for-loop clauses, member indexes).
+func encodeNode(n node) (*EncodedNode, error) {
+	if n == nil {
+		return nil, nil
+	}
+	en := &EncodedNode{Line: n.nodeLine()}
+	var err error
+	switch x := n.(type) {
+	case *program:
+		en.K = "prog"
+		en.List, err = encodeNodes(x.stmts)
+	case *varDecl:
+		en.K = "var"
+		en.Name = x.name
+		en.A, err = encodeNode(x.init)
+	case *funcDecl:
+		en.K = "fdecl"
+		en.Name = x.name
+		en.Params = x.params
+		en.List, err = encodeNodes(x.body)
+	case *exprStmt:
+		en.K = "expr"
+		en.A, err = encodeNode(x.expr)
+	case *ifStmt:
+		en.K = "if"
+		en.Flag = x.alt != nil
+		if en.A, err = encodeNode(x.cond); err == nil {
+			if en.List, err = encodeNodes(x.then); err == nil {
+				en.List2, err = encodeNodes(x.alt)
+			}
+		}
+	case *whileStmt:
+		en.K = "while"
+		if en.A, err = encodeNode(x.cond); err == nil {
+			en.List, err = encodeNodes(x.body)
+		}
+	case *forStmt:
+		en.K = "for"
+		if en.A, err = encodeNode(x.init); err == nil {
+			if en.B, err = encodeNode(x.cond); err == nil {
+				if en.C, err = encodeNode(x.post); err == nil {
+					en.List, err = encodeNodes(x.body)
+				}
+			}
+		}
+	case *returnStmt:
+		en.K = "ret"
+		en.A, err = encodeNode(x.expr)
+	case *breakStmt:
+		en.K = "brk"
+	case *continueStmt:
+		en.K = "cont"
+	case *numberLit:
+		en.K = "num"
+		en.Val = encodeNumber(x.val)
+	case *stringLit:
+		en.K = "str"
+		en.Val = x.val
+	case *boolLit:
+		en.K = "bool"
+		en.Flag = x.val
+	case *nullLit:
+		en.K = "null"
+	case *undefinedLit:
+		en.K = "undef"
+	case *identExpr:
+		en.K = "id"
+		en.Name = x.name
+	case *arrayLit:
+		en.K = "arr"
+		en.List, err = encodeNodes(x.elems)
+	case *objectLit:
+		en.K = "obj"
+		en.Keys = x.keys
+		en.List, err = encodeNodes(x.vals)
+	case *funcLit:
+		en.K = "flit"
+		en.Params = x.params
+		en.List, err = encodeNodes(x.body)
+	case *unaryExpr:
+		en.K = "un"
+		en.Op = x.op
+		en.A, err = encodeNode(x.operand)
+	case *updateExpr:
+		en.K = "upd"
+		en.Op = x.op
+		en.Flag = x.prefix
+		en.A, err = encodeNode(x.operand)
+	case *binaryExpr:
+		en.K = "bin"
+		en.Op = x.op
+		if en.A, err = encodeNode(x.left); err == nil {
+			en.B, err = encodeNode(x.right)
+		}
+	case *logicalExpr:
+		en.K = "log"
+		en.Op = x.op
+		if en.A, err = encodeNode(x.left); err == nil {
+			en.B, err = encodeNode(x.right)
+		}
+	case *condExpr:
+		en.K = "cond"
+		if en.A, err = encodeNode(x.cond); err == nil {
+			if en.B, err = encodeNode(x.then); err == nil {
+				en.C, err = encodeNode(x.alt)
+			}
+		}
+	case *assignExpr:
+		en.K = "asgn"
+		en.Op = x.op
+		if en.A, err = encodeNode(x.target); err == nil {
+			en.B, err = encodeNode(x.value)
+		}
+	case *callExpr:
+		en.K = "call"
+		if en.A, err = encodeNode(x.callee); err == nil {
+			en.List, err = encodeNodes(x.args)
+		}
+	case *memberExpr:
+		en.K = "mem"
+		en.Prop = x.property
+		if en.A, err = encodeNode(x.object); err == nil {
+			en.B, err = encodeNode(x.index)
+		}
+	default:
+		return nil, fmt.Errorf("script: unknown AST node type %T", n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return en, nil
+}
+
+// decodeNodes rebuilds a node list; nil maps to nil.
+func decodeNodes(ens []*EncodedNode) ([]node, error) {
+	if ens == nil {
+		return nil, nil
+	}
+	out := make([]node, len(ens))
+	for i, en := range ens {
+		n, err := decodeNode(en)
+		if err != nil {
+			return nil, err
+		}
+		if n == nil {
+			return nil, fmt.Errorf("script: nil node inside encoded node list")
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// decodeNode rebuilds one AST node; nil maps to nil.
+func decodeNode(en *EncodedNode) (node, error) {
+	if en == nil {
+		return nil, nil
+	}
+	b := base{line: en.Line}
+	switch en.K {
+	case "prog":
+		stmts, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &program{base: b, stmts: stmts}, nil
+	case "var":
+		init, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		return &varDecl{base: b, name: en.Name, init: init}, nil
+	case "fdecl":
+		body, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &funcDecl{base: b, name: en.Name, params: en.Params, body: body}, nil
+	case "expr":
+		expr, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{base: b, expr: expr}, nil
+	case "if":
+		cond, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		then, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		var alt []node
+		if en.Flag {
+			if alt, err = decodeNodes(en.List2); err != nil {
+				return nil, err
+			}
+			if alt == nil {
+				alt = []node{}
+			}
+		}
+		return &ifStmt{base: b, cond: cond, then: then, alt: alt}, nil
+	case "while":
+		cond, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		body, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{base: b, cond: cond, body: body}, nil
+	case "for":
+		init, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := decodeNode(en.B)
+		if err != nil {
+			return nil, err
+		}
+		post, err := decodeNode(en.C)
+		if err != nil {
+			return nil, err
+		}
+		body, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{base: b, init: init, cond: cond, post: post, body: body}, nil
+	case "ret":
+		expr, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		return &returnStmt{base: b, expr: expr}, nil
+	case "brk":
+		return &breakStmt{base: b}, nil
+	case "cont":
+		return &continueStmt{base: b}, nil
+	case "num":
+		f, err := decodeNumber(en.Val)
+		if err != nil {
+			return nil, err
+		}
+		return &numberLit{base: b, val: f}, nil
+	case "str":
+		return &stringLit{base: b, val: en.Val}, nil
+	case "bool":
+		return &boolLit{base: b, val: en.Flag}, nil
+	case "null":
+		return &nullLit{base: b}, nil
+	case "undef":
+		return &undefinedLit{base: b}, nil
+	case "id":
+		return &identExpr{base: b, name: en.Name}, nil
+	case "arr":
+		elems, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &arrayLit{base: b, elems: elems}, nil
+	case "obj":
+		vals, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		if len(en.Keys) != len(vals) {
+			return nil, fmt.Errorf("script: object literal with %d keys but %d values", len(en.Keys), len(vals))
+		}
+		return &objectLit{base: b, keys: en.Keys, vals: vals}, nil
+	case "flit":
+		body, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &funcLit{base: b, params: en.Params, body: body}, nil
+	case "un":
+		operand, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{base: b, op: en.Op, operand: operand}, nil
+	case "upd":
+		operand, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		return &updateExpr{base: b, op: en.Op, prefix: en.Flag, operand: operand}, nil
+	case "bin":
+		left, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		right, err := decodeNode(en.B)
+		if err != nil {
+			return nil, err
+		}
+		return &binaryExpr{base: b, op: en.Op, left: left, right: right}, nil
+	case "log":
+		left, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		right, err := decodeNode(en.B)
+		if err != nil {
+			return nil, err
+		}
+		return &logicalExpr{base: b, op: en.Op, left: left, right: right}, nil
+	case "cond":
+		cond, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		then, err := decodeNode(en.B)
+		if err != nil {
+			return nil, err
+		}
+		alt, err := decodeNode(en.C)
+		if err != nil {
+			return nil, err
+		}
+		return &condExpr{base: b, cond: cond, then: then, alt: alt}, nil
+	case "asgn":
+		target, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		value, err := decodeNode(en.B)
+		if err != nil {
+			return nil, err
+		}
+		return &assignExpr{base: b, op: en.Op, target: target, value: value}, nil
+	case "call":
+		callee, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		args, err := decodeNodes(en.List)
+		if err != nil {
+			return nil, err
+		}
+		return &callExpr{base: b, callee: callee, args: args}, nil
+	case "mem":
+		object, err := decodeNode(en.A)
+		if err != nil {
+			return nil, err
+		}
+		index, err := decodeNode(en.B)
+		if err != nil {
+			return nil, err
+		}
+		return &memberExpr{base: b, object: object, property: en.Prop, index: index}, nil
+	default:
+		return nil, fmt.Errorf("script: unknown encoded node kind %q", en.K)
+	}
+}

@@ -1,0 +1,309 @@
+package script
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// roundTrip encodes every global the script defined in src, pushes the
+// records through JSON (proving wire-safety), and decodes them into a
+// fresh interpreter. Both interpreters are returned for probing.
+func roundTrip(t *testing.T, src string, encodeHost func(Value) (any, bool), decodeHost func(json.RawMessage) (Value, error)) (orig, restored *Interp) {
+	t.Helper()
+	orig = New()
+	if _, err := orig.Run(src); err != nil {
+		t.Fatalf("running source: %v", err)
+	}
+
+	enc := NewValueEncoder(encodeHost)
+	enc.TagScope(orig.Global, "global")
+	type global struct {
+		Name string
+		Val  EncodedValue
+	}
+	var globals []global
+	for _, name := range orig.Global.Names() {
+		v, _ := orig.Global.OwnLookup(name)
+		ev, err := enc.Encode(v)
+		if err != nil {
+			t.Fatalf("encoding global %q: %v", name, err)
+		}
+		globals = append(globals, global{name, ev})
+	}
+
+	// Everything must survive JSON marshaling — the image container
+	// stores exactly these records.
+	wire, err := json.Marshal(struct {
+		Heap    []*HeapRecord
+		Scopes  []*ScopeRecord
+		Globals []global
+	}{enc.Heap(), enc.Scopes(), globals})
+	if err != nil {
+		t.Fatalf("marshaling records: %v", err)
+	}
+	var decoded struct {
+		Heap    []*HeapRecord
+		Scopes  []*ScopeRecord
+		Globals []global
+	}
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatalf("unmarshaling records: %v", err)
+	}
+
+	restored = New()
+	dec := NewValueDecoder(decoded.Heap, decoded.Scopes, decodeHost)
+	dec.BindScope("global", restored.Global)
+	if err := dec.Resolve(); err != nil {
+		t.Fatalf("resolving decoded graph: %v", err)
+	}
+	for _, g := range decoded.Globals {
+		v, err := dec.Decode(g.Val)
+		if err != nil {
+			t.Fatalf("decoding global %q: %v", g.Name, err)
+		}
+		restored.Define(g.Name, v)
+	}
+	return orig, restored
+}
+
+// probe runs src in both interpreters and asserts identical results.
+func probe(t *testing.T, orig, restored *Interp, src string) {
+	t.Helper()
+	want, err1 := orig.Run(src)
+	got, err2 := restored.Run(src)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("probe %q: original err %v, restored err %v", src, err1, err2)
+	}
+	if ToString(want) != ToString(got) {
+		t.Fatalf("probe %q: original %q, restored %q", src, ToString(want), ToString(got))
+	}
+}
+
+func TestCodecRoundTripPrimitivesAndHeap(t *testing.T) {
+	src := `
+var n = 42.5;
+var neg = -0.0;
+var s = "héllo\nworld";
+var b = true;
+var z = null;
+var u = undefined;
+var arr = [1, "two", [3, 4]];
+var alias = arr;
+var obj = {a: 1, nested: {deep: "yes"}, list: arr};
+obj.self = obj;
+var counter = 10;
+function inc() { counter = counter + 1; return counter; }
+var adder = function(x) { return function(y) { return x + y; }; };
+var add5 = adder(5);
+`
+	orig, restored := roundTrip(t, src, nil, nil)
+
+	for _, p := range []string{
+		`n + 1`,
+		`s.length`,
+		`b ? "t" : "f"`,
+		`typeof z`,
+		`typeof u`,
+		`arr[2][1]`,
+		`obj.nested.deep`,
+		`obj.self.a`,
+		`inc() + inc()`, // closure over global: mutates counter identically
+		`counter`,
+		`add5(7)`, // closure over a serialized local scope
+	} {
+		probe(t, orig, restored, p)
+	}
+
+	// Aliasing must survive: pushing through one name shows through the
+	// other, and through the object holding the same array.
+	probe(t, orig, restored, `alias.push(99); arr[arr.length - 1] + obj.list.length`)
+
+	// Independence: mutating the restored world must not touch the
+	// original.
+	if _, err := restored.Run(`counter = 1000; arr.push("x")`); err != nil {
+		t.Fatalf("mutating restored: %v", err)
+	}
+	v, err := orig.Run(`counter`)
+	if err != nil || ToString(v) != "12" {
+		t.Fatalf("original counter after restored mutation: %v (err %v), want 12", ToString(v), err)
+	}
+}
+
+func TestCodecRoundTripNonFiniteNumbers(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 1e308, 5e-324} {
+		ev, err := NewValueEncoder(nil).Encode(f)
+		if err != nil {
+			t.Fatalf("encoding %v: %v", f, err)
+		}
+		dec := NewValueDecoder(nil, nil, nil)
+		if err := dec.Resolve(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(ev)
+		if err != nil {
+			t.Fatalf("decoding %v: %v", f, err)
+		}
+		g, ok := got.(float64)
+		if !ok {
+			t.Fatalf("decoded %v to %T", f, got)
+		}
+		if math.IsNaN(f) {
+			if !math.IsNaN(g) {
+				t.Fatalf("NaN decoded to %v", g)
+			}
+		} else if g != f || math.Signbit(g) != math.Signbit(f) {
+			t.Fatalf("%v decoded to %v", f, g)
+		}
+	}
+}
+
+func TestCodecHostTokens(t *testing.T) {
+	clicks := 0
+	host := &NativeFunc{Name: "click", Fn: func([]Value) (Value, error) {
+		clicks++
+		return float64(clicks), nil
+	}}
+	orig := New()
+	orig.Define("click", host)
+	if _, err := orig.Run(`var saved = click; var box = {fn: click};`); err != nil {
+		t.Fatal(err)
+	}
+
+	enc := NewValueEncoder(func(v Value) (any, bool) {
+		if v == Value(host) {
+			return "host:click", true
+		}
+		return nil, false
+	})
+	enc.TagScope(orig.Global, "global")
+	encoded := map[string]EncodedValue{}
+	for _, name := range []string{"saved", "box"} {
+		v, _ := orig.Global.OwnLookup(name)
+		ev, err := enc.Encode(v)
+		if err != nil {
+			t.Fatalf("encoding %q: %v", name, err)
+		}
+		encoded[name] = ev
+	}
+
+	restoredClicks := 0
+	replacement := &NativeFunc{Name: "click", Fn: func([]Value) (Value, error) {
+		restoredClicks++
+		return float64(restoredClicks), nil
+	}}
+	decoded := 0
+	dec := NewValueDecoder(enc.Heap(), enc.Scopes(), func(raw json.RawMessage) (Value, error) {
+		var tok string
+		if err := json.Unmarshal(raw, &tok); err != nil {
+			return nil, err
+		}
+		if tok != "host:click" {
+			return nil, fmt.Errorf("unexpected token %q", tok)
+		}
+		decoded++
+		return replacement, nil
+	})
+	if err := dec.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	for name, ev := range encoded {
+		v, err := dec.Decode(ev)
+		if err != nil {
+			t.Fatalf("decoding %q: %v", name, err)
+		}
+		restored.Define(name, v)
+	}
+
+	// The same token decodes to the identical value everywhere it
+	// appears, mirroring the clone path's host memoization.
+	if decoded != 1 {
+		t.Fatalf("host hook invoked %d times, want 1 (memoized)", decoded)
+	}
+	sv, _ := restored.Global.OwnLookup("saved")
+	bv, _ := restored.Global.OwnLookup("box")
+	if sv != Value(replacement) {
+		t.Fatalf("saved decoded to %T, want the replacement host", sv)
+	}
+	if bv.(*Object).props["fn"] != Value(replacement) {
+		t.Fatal("box.fn is not the replacement host")
+	}
+	if v, err := restored.Run(`saved() + box.fn()`); err != nil || ToString(v) != "3" {
+		t.Fatalf("calling restored host: %v (err %v), want 3", ToString(v), err)
+	}
+	if clicks != 0 {
+		t.Fatalf("original host invoked %d times by restored world", clicks)
+	}
+}
+
+func TestCodecUnsupportedValue(t *testing.T) {
+	orphan := &NativeFunc{Name: "orphan", Fn: func([]Value) (Value, error) { return Undefined, nil }}
+	enc := NewValueEncoder(func(Value) (any, bool) { return nil, false })
+	_, err := enc.Encode(orphan)
+	var ue *UnsupportedValueError
+	if !errors.As(err, &ue) {
+		t.Fatalf("encoding unclaimed host: err %v, want *UnsupportedValueError", err)
+	}
+	if ue.Value != Value(orphan) {
+		t.Fatalf("error carries %v, want the orphan", ue.Value)
+	}
+}
+
+func TestCodecRejectsCorruptRecords(t *testing.T) {
+	dec := NewValueDecoder([]*HeapRecord{{ID: 1, Kind: "arr"}}, nil, nil)
+	if err := dec.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(EncodedValue{T: "ref", ID: 99}); err == nil {
+		t.Fatal("dangling heap reference decoded without error")
+	}
+	if _, err := dec.Decode(EncodedValue{T: "mystery"}); err == nil {
+		t.Fatal("unknown value kind decoded without error")
+	}
+
+	bad := NewValueDecoder([]*HeapRecord{{ID: 1, Kind: "wat"}}, nil, nil)
+	if err := bad.Resolve(); err == nil {
+		t.Fatal("unknown heap kind resolved without error")
+	}
+
+	unbound := NewValueDecoder([]*HeapRecord{{ID: 1, Kind: "fn", Env: &ScopeRef{Tok: "nowhere"}}}, nil, nil)
+	if err := unbound.Resolve(); err == nil {
+		t.Fatal("unbound scope token resolved without error")
+	}
+}
+
+func TestCodecASTRoundTripAllNodes(t *testing.T) {
+	// One function body exercising every AST node kind the parser can
+	// produce inside a function.
+	src := `
+function everything(a, b) {
+	var x = 1;
+	var noinit;
+	function inner(p) { return p * 2; }
+	if (a > b) { x = x + 1; } else { x = x - 1; }
+	if (x) { x = x; }
+	while (x < 5) { x = x + 1; if (x == 3) { continue; } if (x == 4) { break; } }
+	for (var i = 0; i < 3; i = i + 1) { x = x + i; }
+	for (;;) { break; }
+	var arr = [1, "two", true, null, undefined];
+	var obj = {k: 1, j: "s"};
+	var f = function(q) { return q; };
+	var t = typeof x;
+	var neg = -x;
+	var not = !x;
+	x++;
+	--x;
+	var cmp = (a >= b) && (a != b) || false;
+	var pick = x > 2 ? "big" : "small";
+	obj.k += arr[1 + 0].length;
+	return inner(x) + f(x) + obj.k + (noinit == undefined ? 1 : 0);
+}
+var everything = everything;
+`
+	orig, restored := roundTrip(t, src, nil, nil)
+	probe(t, orig, restored, `everything(7, 3)`)
+	probe(t, orig, restored, `everything(1, 9)`)
+}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/auser"
 	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/distrib"
 	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/trace"
 )
@@ -38,13 +39,20 @@ type Options struct {
 	// are opened with this private key. Plain reports are always
 	// accepted.
 	DeveloperKey *rsa.PrivateKey
+	// Distrib, when set, mounts the distributed-campaign coordinator
+	// under /api/distrib/ (lease polls, image downloads, completions,
+	// heartbeats for warr-worker processes) and appends its worker-pool
+	// gauges to /metrics. Pass the same pool to the engine as its
+	// Distributor, or campaigns will never be offered to the workers.
+	Distrib *distrib.Pool
 }
 
 // Server is the HTTP face of a job engine.
 type Server struct {
-	engine *jobs.Engine
-	key    *rsa.PrivateKey
-	mux    *http.ServeMux
+	engine  *jobs.Engine
+	key     *rsa.PrivateKey
+	distrib *distrib.Pool
+	mux     *http.ServeMux
 
 	mu     sync.Mutex
 	traces map[string]StoredTrace
@@ -68,10 +76,11 @@ func New(opts Options) *Server {
 		opts.Engine = jobs.New(jobs.Options{})
 	}
 	s := &Server{
-		engine: opts.Engine,
-		key:    opts.DeveloperKey,
-		mux:    http.NewServeMux(),
-		traces: make(map[string]StoredTrace),
+		engine:  opts.Engine,
+		key:     opts.DeveloperKey,
+		distrib: opts.Distrib,
+		mux:     http.NewServeMux(),
+		traces:  make(map[string]StoredTrace),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -84,6 +93,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /api/jobs/{id}/cancel", s.handleCancelJob)
 	s.mux.HandleFunc("POST /api/jobs/{id}/resume", s.handleResumeJob)
 	s.mux.HandleFunc("POST /api/reports", s.handleIngestReport)
+	if s.distrib != nil {
+		s.mux.Handle("/api/distrib/", http.StripPrefix("/api/distrib", s.distrib.Handler()))
+	}
 	return s
 }
 
@@ -149,6 +161,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.engine.WriteMetrics(w)
+	if s.distrib != nil {
+		s.distrib.WriteMetrics(w)
+	}
 }
 
 // traceView is the JSON shape traces list/upload responses use.

@@ -1,0 +1,62 @@
+package webapp
+
+import "sort"
+
+// This file serializes a server's session state for durable world
+// images (internal/image). Routes are code, reconstructed by the
+// application's constructor; what an image must carry is exactly what
+// CopySessionsFrom copies — the issued sessions, their values, and the
+// sid counter, so a restored server recognizes imaged cookies and mints
+// the same future sids a forked one would.
+
+// SessionImage is one serialized session.
+type SessionImage struct {
+	ID   string            `json:"id"`
+	Vals map[string]string `json:"vals,omitempty"`
+}
+
+// SessionsImage is a server's serialized session state.
+type SessionsImage struct {
+	NextSID  int            `json:"nextSID"`
+	Sessions []SessionImage `json:"sessions,omitempty"`
+}
+
+// ExportSessions captures the server's sessions, sorted by id for
+// deterministic encoding.
+func (s *Server) ExportSessions() *SessionsImage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img := &SessionsImage{NextSID: s.nextSID}
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sess := s.sessions[id]
+		sess.mu.Lock()
+		vals := make(map[string]string, len(sess.vals))
+		for k, v := range sess.vals {
+			vals[k] = v
+		}
+		sess.mu.Unlock()
+		img.Sessions = append(img.Sessions, SessionImage{ID: id, Vals: vals})
+	}
+	return img
+}
+
+// ImportSessions replaces the server's sessions with the imaged ones.
+func (s *Server) ImportSessions(img *SessionsImage) {
+	sessions := make(map[string]*Session, len(img.Sessions))
+	for _, si := range img.Sessions {
+		vals := make(map[string]string, len(si.Vals))
+		for k, v := range si.Vals {
+			vals[k] = v
+		}
+		sessions[si.ID] = &Session{ID: si.ID, vals: vals}
+	}
+	s.mu.Lock()
+	s.sessions = sessions
+	s.nextSID = img.NextSID
+	s.mu.Unlock()
+}

@@ -1,0 +1,85 @@
+package webdriver
+
+import (
+	"fmt"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+)
+
+// This file serializes the driver's master state for durable world
+// images (internal/image): the per-frame clients in load order, their
+// adopted src-less frames, and the active-client selection. It is the
+// data form of CloneFor — frames are named by the browser image's frame
+// numbering rather than mapped pointer-to-pointer.
+
+// Image is the serialized form of a driver.
+type Image struct {
+	Opts    Options       `json:"opts"`
+	Clients []ClientImage `json:"clients,omitempty"`
+	// Active indexes Clients; -1 means no active client (replay halted).
+	Active int `json:"active"`
+}
+
+// ClientImage is one serialized client: its frame and adopted frames by
+// image index.
+type ClientImage struct {
+	Frame   int   `json:"frame"`
+	Adopted []int `json:"adopted,omitempty"`
+}
+
+// EncodeImage serializes the driver, naming frames through frameID
+// (the browser image's numbering).
+func (d *Driver) EncodeImage(frameID func(*browser.Frame) (int, bool)) (*Image, error) {
+	img := &Image{Opts: d.opts, Active: -1}
+	for _, c := range d.loadOrder {
+		id, ok := frameID(c.frame)
+		if !ok {
+			return nil, fmt.Errorf("webdriver: client frame not present in the browser image")
+		}
+		ci := ClientImage{Frame: id}
+		for _, a := range c.adopted {
+			aid, ok := frameID(a)
+			if !ok {
+				return nil, fmt.Errorf("webdriver: adopted frame not present in the browser image")
+			}
+			ci.Adopted = append(ci.Adopted, aid)
+		}
+		if d.active == c {
+			img.Active = len(img.Clients)
+		}
+		img.Clients = append(img.Clients, ci)
+	}
+	return img, nil
+}
+
+// DecodeImage rebuilds a driver over the decoded tab, resolving frame
+// indices through frame. Like CloneFor it attaches as a frame observer
+// without re-deriving clients, so the active-client selection — the
+// state the paper's unload fix is about — survives exactly.
+func DecodeImage(img *Image, tab *browser.Tab, frame func(int) *browser.Frame) (*Driver, error) {
+	d := &Driver{tab: tab, opts: img.Opts, clients: make(map[*browser.Frame]*Client, len(img.Clients))}
+	tab.AddFrameObserver(d)
+	for i, ci := range img.Clients {
+		f := frame(ci.Frame)
+		if f == nil {
+			return nil, fmt.Errorf("webdriver: image client %d names unknown frame %d", i, ci.Frame)
+		}
+		c := &Client{frame: f}
+		for _, aid := range ci.Adopted {
+			a := frame(aid)
+			if a == nil {
+				return nil, fmt.Errorf("webdriver: image client %d adopts unknown frame %d", i, aid)
+			}
+			c.adopted = append(c.adopted, a)
+		}
+		d.clients[f] = c
+		d.loadOrder = append(d.loadOrder, c)
+		if img.Active == i {
+			d.active = c
+		}
+	}
+	if img.Active >= len(img.Clients) {
+		return nil, fmt.Errorf("webdriver: image active client %d of %d", img.Active, len(img.Clients))
+	}
+	return d, nil
+}
