@@ -69,6 +69,15 @@ type AppImageMarshaler = registry.ImageMarshaler
 // whose state does not implement AppImageMarshaler.
 type NotImageableError = registry.NotImageableError
 
+// AppCoverageSource is the optional coverage capability of an AppState:
+// states implementing it report their semantic state transitions as
+// stable marks, which the error-model fuzzing campaign folds into its
+// replay-coverage fingerprint. CoverageMarks must be a pure function of
+// the state — forked or image-restored worlds report the same marks.
+// States without it still fuzz; candidate dedup just degrades to the
+// trace-digest lane (weberr -list shows which apps implement it).
+type AppCoverageSource = registry.CoverageSource
+
 // WebSessionsImage is a WebServer's serialized session state, as
 // exported by ExportSessions and restored by ImportSessions — the
 // building block AppImageMarshaler implementations use for their
@@ -299,13 +308,15 @@ type JobSpec = jobs.Spec
 type JobKind = jobs.Kind
 
 // Job kinds: one-shot replay (optionally replicated), the WebErr
-// navigation and timing campaigns, and AUsER report ingestion
-// (replay → minimize → classify).
+// navigation and timing campaigns, AUsER report ingestion
+// (replay → minimize → classify), and the coverage-guided error-model
+// fuzzing campaign.
 const (
 	JobReplay             = jobs.KindReplay
 	JobNavigationCampaign = jobs.KindNavigationCampaign
 	JobTimingCampaign     = jobs.KindTimingCampaign
 	JobReport             = jobs.KindReport
+	JobFuzzCampaign       = jobs.KindFuzzCampaign
 )
 
 // ParseJobKind resolves a job kind name; unknown names return 0.
@@ -367,6 +378,7 @@ type (
 	JobStateEvent       = jobs.StateEvent
 	OutcomeEvent        = jobs.OutcomeEvent
 	CampaignReportEvent = jobs.ReportEvent
+	FuzzProgressEvent   = jobs.FuzzEvent
 	ClassificationEvent = jobs.ClassificationEvent
 )
 

@@ -124,6 +124,29 @@ func (s *State) UnmarshalImage(data []byte) error {
 	return nil
 }
 
+// CoverageMarks implements warr.AppCoverageSource: one mark per stored
+// event, derived purely from the current state — so the fuzzing
+// campaigns' coverage feedback sees calendar state transitions exactly
+// like the built-in applications'.
+func (s *State) CoverageMarks() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	marks := make([]uint64, 0, len(s.events))
+	for _, e := range s.events {
+		// FNV-1a over "calendar.event", day, title with NUL separators.
+		h := uint64(14695981039346656037)
+		for _, part := range []string{"calendar.event", e.Day, e.Title} {
+			for i := 0; i < len(part); i++ {
+				h ^= uint64(part[i])
+				h *= 1099511628211
+			}
+			h *= 1099511628211
+		}
+		marks = append(marks, h)
+	}
+	return marks
+}
+
 // Reset implements warr.AppState: it empties the agenda.
 func (s *State) Reset() {
 	s.mu.Lock()

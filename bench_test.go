@@ -19,6 +19,7 @@ package warr_test
 //	BenchmarkCampaignSharedPrefix*      — trace-trie scheduler vs the flat-executor ablation
 //	BenchmarkImageWriteRead             — WARR-IMAGE serialize + restore round trip (per-shard shipping cost)
 //	BenchmarkCampaignDistributed        — the full campaign through the coordinator/worker wire protocol
+//	BenchmarkFuzzCampaign               — one budgeted coverage-guided error-model fuzzing campaign
 //	BenchmarkSealReport                 — AUsER report encryption (§VI)
 
 import (
@@ -36,6 +37,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/distrib"
 	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/errmodel"
 	"github.com/dslab-epfl/warr/internal/experiments"
 	"github.com/dslab-epfl/warr/internal/humanerr"
 	"github.com/dslab-epfl/warr/internal/image"
@@ -612,6 +614,39 @@ func BenchmarkCampaignDistributed(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(rep.Replayed), "replays")
 	b.ReportMetric(float64(len(rep.Findings)), "findings")
+}
+
+// BenchmarkFuzzCampaign runs one budgeted coverage-guided fuzzing
+// campaign over the edit-site trace: seeded error-model enumeration and
+// mutation, digest/prune dedup, batched replay through the trie
+// scheduler, coverage fingerprinting, and corpus admission. The fixed
+// seed makes every iteration replay the identical candidate set, so
+// ns/op is comparable across runs — and the reported findings metric
+// doubles as a determinism canary in the gate.
+func BenchmarkFuzzCampaign(b *testing.B) {
+	edit, _ := benchTraces(b)
+	fresh := func() *warr.Browser { return warr.NewDemoEnv(warr.DeveloperMode).Browser }
+	var stats *campaign.FuzzStats
+	b.ReportAllocs()
+	gcSettle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx := campaign.NewFuzzExecutor(fresh, campaign.FuzzOptions{
+			Budget: 32,
+			Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
+				if res.Failed > 0 || res.Cancelled {
+					return nil
+				}
+				return weberr.ConsoleOracle(tab, res)
+			},
+			Coverage: errmodel.CampaignCoverage,
+		})
+		stats = fx.Run(nil, errmodel.NewMutator(edit, 1, nil))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(stats.Replayed), "replays")
+	b.ReportMetric(float64(len(stats.Findings)), "findings")
+	b.ReportMetric(float64(stats.CoverageBits), "coverage-bits")
 }
 
 // BenchmarkSealReport measures AUsER's hybrid encryption of a full

@@ -23,6 +23,7 @@
 //	weberr -scenario edit-site -save edit.warr # archive the correct trace
 //	weberr -trace edit.warr                    # re-test a stored trace
 //	weberr -scenario edit-site -workers 4      # distributed campaign
+//	weberr -scenario edit-site -fuzz -budget 64 # coverage-guided fuzzing
 //
 // With -workers N the campaigns run distributed: a coordinator plans
 // the trace trie into shards, parks each branch-point world as a
@@ -61,6 +62,9 @@ func main() {
 	showTree := flag.Bool("show-tree", false, "print the inferred task tree (Fig. 6)")
 	showGrammar := flag.Bool("show-grammar", false, "print the inferred grammar")
 	maxTraces := flag.Int("max-traces", 0, "bound the navigation campaign (0 = all mutants)")
+	fuzz := flag.Bool("fuzz", false, "run the coverage-guided error-model fuzzing campaign instead of the enumerated ones")
+	budget := flag.Int("budget", 0, "fuzzing replay budget (0 = engine default)")
+	fuzzSeed := flag.Int64("fuzz-seed", 1, "seed for the fuzzer's deterministic mutation stream")
 	workers := flag.Int("workers", 0, "distribute campaigns across this many workers over localhost HTTP (0 = in-process)")
 	list := flag.Bool("list", false, "list registered applications and scenarios, then exit")
 	flag.Parse()
@@ -70,7 +74,14 @@ func main() {
 		cliutil.PrintScenarios(os.Stdout, "\nregistered scenarios (testable with -scenario):", false)
 		return
 	}
-	if err := run(*scenario, *traceFile, *save, *campaign, *showTree, *showGrammar, *maxTraces, *workers); err != nil {
+	if *fuzz {
+		*campaign = "fuzz"
+	}
+	if err := run(runOptions{
+		scenario: *scenario, traceFile: *traceFile, save: *save, campaign: *campaign,
+		showTree: *showTree, showGrammar: *showGrammar, maxTraces: *maxTraces,
+		fuzzBudget: *budget, fuzzSeed: *fuzzSeed, workers: *workers,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "weberr:", err)
 		os.Exit(1)
 	}
@@ -163,11 +174,24 @@ func startWorkerPool(n int) (*distrib.Pool, func(), error) {
 	return pool, stop, nil
 }
 
-func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool, maxTraces, workers int) error {
+// runOptions carry the parsed flags into run.
+type runOptions struct {
+	scenario, traceFile, save, campaign string
+	showTree, showGrammar               bool
+	maxTraces                           int
+	fuzzBudget                          int
+	fuzzSeed                            int64
+	workers                             int
+}
+
+func run(o runOptions) error {
+	scenario, traceFile, save, campaign := o.scenario, o.traceFile, o.save, o.campaign
+	showTree, showGrammar := o.showTree, o.showGrammar
+	maxTraces, workers := o.maxTraces, o.workers
 	switch campaign {
-	case "navigation", "timing", "both":
+	case "navigation", "timing", "both", "fuzz":
 	default:
-		return fmt.Errorf("unknown -campaign %q (want navigation, timing, or both)", campaign)
+		return fmt.Errorf("unknown -campaign %q (want navigation, timing, both, or fuzz)", campaign)
 	}
 	tr, header, body, err := correctTrace(scenario, traceFile)
 	if err != nil {
@@ -246,6 +270,34 @@ func run(scenario, traceFile, save, campaign string, showTree, showGrammar bool,
 		}
 		fmt.Println("\ntiming-error campaign (impatient users):")
 		bugs += printReport(job.Report())
+	}
+
+	if campaign == "fuzz" {
+		job, err := engine.Submit(warr.JobSpec{
+			Kind:       warr.JobFuzzCampaign,
+			Trace:      tr,
+			TraceName:  header.Scenario,
+			FuzzBudget: o.fuzzBudget,
+			FuzzSeed:   o.fuzzSeed,
+		})
+		if err != nil {
+			return err
+		}
+		_ = job.Wait(nil)
+		if err := job.Err(); err != nil {
+			return err
+		}
+		fmt.Println("\ncoverage-guided error-model fuzzing campaign:")
+		if st := job.FuzzStats(); st != nil {
+			fmt.Printf("  candidates generated: %d, deduped: %d, pruned: %d, replayed: %d, replay failures: %d\n",
+				st.Generated, st.Deduped, st.Pruned, st.Replayed, st.ReplayFailures)
+			fmt.Printf("  coverage-novel: %d, corpus size: %d, coverage bits: %d (seed %d, budget spent %d)\n",
+				st.Novel, st.CorpusSize, st.CoverageBits, o.fuzzSeed, st.Spent())
+		}
+		for _, f := range job.Report().Findings {
+			fmt.Printf("  FINDING [%s]\n    %v\n", f.Injection, f.Observed)
+		}
+		bugs += len(job.Report().Findings)
 	}
 
 	if bugs > 0 {

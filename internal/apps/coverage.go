@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/dslab-epfl/warr/internal/fnv1a"
+	"github.com/dslab-epfl/warr/internal/spell"
+)
+
+// This file implements registry.CoverageSource for the five paper
+// applications: the per-app state-transition lane of the replay
+// coverage signal. Each state derives one 64-bit mark per distinct
+// observable fact — a stored page, a sent mail, a served query, a
+// bucketed counter — purely from its current contents, so a forked or
+// image-restored world reports exactly the marks of the original.
+
+// coverMark hashes a labelled tuple of strings into one coverage mark.
+// A NUL separator between parts keeps ("ab","c") distinct from
+// ("a","bc").
+func coverMark(parts ...string) uint64 {
+	h := fnv1a.Offset
+	for _, p := range parts {
+		h = fnv1a.AddString(h, p)
+		h = fnv1a.AddByte(h, 0)
+	}
+	return h
+}
+
+// countBucket collapses a counter into its power-of-two bucket, so a
+// counter contributes O(log n) distinct marks instead of one per value.
+func countBucket(n int) string {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return strconv.Itoa(b)
+}
+
+// CoverageMarks reports one mark per stored page (name and content)
+// plus the bucketed save counter.
+func (s *Sites) CoverageMarks() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	marks := make([]uint64, 0, len(s.pages)+1)
+	for name, content := range s.pages {
+		marks = append(marks, coverMark("sites.page", name, content))
+	}
+	marks = append(marks, coverMark("sites.saves", countBucket(s.saves)))
+	return marks
+}
+
+// CoverageMarks reports one mark per sent mail.
+func (g *GMail) CoverageMarks() []uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	marks := make([]uint64, 0, len(g.sent)+1)
+	for _, m := range g.sent {
+		marks = append(marks, coverMark("gmail.sent", m.To, m.Subject, m.Body))
+	}
+	marks = append(marks, coverMark("gmail.count", countBucket(len(g.sent))))
+	return marks
+}
+
+// CoverageMarks reports the bucketed login counter.
+func (y *Yahoo) CoverageMarks() []uint64 {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return []uint64{coverMark("yahoo.logins", countBucket(y.logins))}
+}
+
+// CoverageMarks reports one mark per spreadsheet cell.
+func (d *Docs) CoverageMarks() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	marks := make([]uint64, 0, len(d.cells))
+	for name, value := range d.cells {
+		marks = append(marks, coverMark("docs.cell", name, value))
+	}
+	return marks
+}
+
+// CoverageMarks reports one mark per distinct served query (as typed,
+// pre-correction) plus the bucketed query counter, namespaced by the
+// engine so Google/Bing/Yahoo! states never collide.
+func (e *SearchEngine) CoverageMarks() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	distinct := make(map[string]struct{}, len(e.queries))
+	for _, q := range e.queries {
+		distinct[q] = struct{}{}
+	}
+	qs := make([]string, 0, len(distinct))
+	for q := range distinct {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	marks := make([]uint64, 0, len(qs)+1)
+	for _, q := range qs {
+		marks = append(marks, coverMark("search.query", e.EngineName, q))
+	}
+	marks = append(marks, coverMark("search.count", e.EngineName, countBucket(len(e.queries))))
+	return marks
+}
+
+// QueryDictionary exposes the memoized full-corpus spell dictionary the
+// search engines correct against. The error-model fuzzer ranks typo
+// candidates by whether the mistyped word escapes this dictionary —
+// an in-dictionary typo is exactly what the engines auto-correct, so
+// out-of-dictionary results explore further.
+func QueryDictionary() *spell.Dictionary {
+	full, _ := corpusDictionaries()
+	return full
+}

@@ -63,6 +63,10 @@ type Outcome struct {
 	Result *replayer.Result
 	// Verdict is whatever Options.Inspect returned for this job.
 	Verdict error
+	// Coverage is whatever Options.Coverage returned for this job — an
+	// opaque fingerprint blob. Nil for pruned and skipped jobs, or when
+	// no Coverage callback is configured.
+	Coverage []byte
 	// Err is the session-level error (start-page navigation failure).
 	Err error
 }
@@ -85,6 +89,12 @@ type Options struct {
 	// stored in the job's Outcome.Verdict. It must not retain the tab
 	// past the call.
 	Inspect func(job Job, res *replayer.Result, tab *browser.Tab) error
+	// Coverage, when set, runs wherever Inspect runs — in the worker
+	// goroutine, with the finished session's tab — and its return value
+	// is stored in Outcome.Coverage. Fuzzing campaigns fingerprint the
+	// end-of-replay world here; like Inspect, it must not retain the
+	// tab past the call.
+	Coverage func(res *replayer.Result, tab *browser.Tab) []byte
 	// Prune, when set, is the shared pruning table; campaigns that span
 	// several Execute calls pass the same table. Nil means a fresh
 	// table per Executor.
@@ -196,6 +206,9 @@ func (e *Executor) runJob(ctx context.Context, idx int, job Job) Outcome {
 	}
 	if e.opts.Inspect != nil {
 		out.Verdict = e.opts.Inspect(job, out.Result, s.Tab())
+	}
+	if e.opts.Coverage != nil {
+		out.Coverage = e.opts.Coverage(out.Result, s.Tab())
 	}
 	return out
 }

@@ -123,6 +123,9 @@ func (r *sharedRun) runRoot(root *trieRoot) {
 			if r.e.opts.Inspect != nil {
 				out.Verdict = r.e.opts.Inspect(out.Job, out.Result, s.Tab())
 			}
+			if r.e.opts.Coverage != nil {
+				out.Coverage = r.e.opts.Coverage(out.Result, s.Tab())
+			}
 			r.outcomes[ji] = out
 		}
 		return
@@ -388,6 +391,9 @@ func (e *Executor) finalizeOutcome(ji int, job Job, sess *replayer.Session, snap
 	out := Outcome{Index: ji, Job: job, Result: res}
 	if e.opts.Inspect != nil {
 		out.Verdict = e.opts.Inspect(out.Job, out.Result, sess.Tab())
+	}
+	if e.opts.Coverage != nil {
+		out.Coverage = e.opts.Coverage(out.Result, sess.Tab())
 	}
 	return out
 }

@@ -10,12 +10,23 @@ import (
 )
 
 // PrintApps lists the registered applications in registration order
-// under the given heading.
+// under the given heading. The last column reports the fuzzing
+// campaign's coverage feedback for each app: "coverage" when its state
+// implements registry.CoverageSource (app-state marks feed the corpus),
+// "digest-only" when candidate dedup has only the trace-digest lane.
 func PrintApps(w io.Writer, heading string) {
 	fmt.Fprintln(w, heading)
 	for _, a := range registry.Apps() {
-		fmt.Fprintf(w, "  %-16s %-22s %s\n", a.Name(), a.Host(), a.StartURL())
+		fmt.Fprintf(w, "  %-16s %-22s %-28s %s\n", a.Name(), a.Host(), a.StartURL(), coverageTag(a))
 	}
+}
+
+// coverageTag names an app's fuzz-coverage capability.
+func coverageTag(a registry.App) string {
+	if registry.HasCoverageMarks(a) {
+		return "coverage"
+	}
+	return "digest-only"
 }
 
 // PrintScenarios lists the registered scenarios under the given
@@ -28,11 +39,15 @@ func PrintScenarios(w io.Writer, heading string, withSteps bool) {
 			fmt.Fprintf(w, "  %-18s (unresolvable: %v)\n", name, err)
 			continue
 		}
+		tag := ""
+		if a, err := registry.LookupApp(sc.App); err == nil && registry.HasCoverageMarks(a) {
+			tag = " [coverage]"
+		}
 		switch {
 		case len(sc.Steps) > 0:
-			fmt.Fprintf(w, "  %-18s %s / %s (%d steps)\n", name, sc.App, sc.Name, len(sc.Steps))
+			fmt.Fprintf(w, "  %-18s %s / %s (%d steps)%s\n", name, sc.App, sc.Name, len(sc.Steps), tag)
 		default:
-			fmt.Fprintf(w, "  %-18s %s / %s (custom Run)\n", name, sc.App, sc.Name)
+			fmt.Fprintf(w, "  %-18s %s / %s (custom Run)%s\n", name, sc.App, sc.Name, tag)
 		}
 		if withSteps {
 			for _, step := range sc.Steps {

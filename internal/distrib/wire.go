@@ -25,6 +25,7 @@
 package distrib
 
 import (
+	"encoding/hex"
 	"errors"
 
 	"github.com/dslab-epfl/warr/internal/browser"
@@ -63,7 +64,7 @@ type WireJob struct {
 type WireLease struct {
 	Status string `json:"status"`
 	ID     string `json:"id,omitempty"`
-	// Campaign is "navigation" or "timing".
+	// Campaign is "navigation", "timing", or "fuzz".
 	Campaign       string                `json:"campaign,omitempty"`
 	Mode           browser.Mode          `json:"mode,omitempty"`
 	Replayer       replayer.OptionsImage `json:"replayer"`
@@ -137,6 +138,12 @@ func encodeOutcome(i int, out campaign.Outcome) jobs.OutcomeEvent {
 			ev.Observed = out.Verdict.Error()
 		}
 	}
+	if len(out.Coverage) > 0 {
+		// Fuzz campaigns: the coverage fingerprint rides the wire hex-
+		// encoded so the coordinator's fuzz loop can merge worker
+		// coverage into its corpus.
+		ev.Coverage = hex.EncodeToString(out.Coverage)
+	}
 	return ev
 }
 
@@ -158,6 +165,11 @@ func decodeOutcome(ev jobs.OutcomeEvent) campaign.Outcome {
 		out.Result = &replayer.Result{Played: ev.Played, Failed: ev.Failed}
 		if ev.Finding {
 			out.Verdict = errors.New(ev.Observed)
+		}
+	}
+	if ev.Coverage != "" {
+		if cov, err := hex.DecodeString(ev.Coverage); err == nil {
+			out.Coverage = cov
 		}
 	}
 	return out

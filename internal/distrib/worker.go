@@ -15,9 +15,11 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/errmodel"
 	"github.com/dslab-epfl/warr/internal/image"
 	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
 
@@ -190,8 +192,30 @@ func (w *Worker) executor(l *WireLease) *campaign.Executor {
 		Parallelism:    l.Parallelism,
 	}
 	newEnv := w.opts.EnvFactory(mode)
-	if l.Campaign == "timing" {
+	switch l.Campaign {
+	case "timing":
 		return weberr.TimingExecutor(newEnv, copts)
+	case "fuzz":
+		// Fuzz shards replay under the coordinator's determinism
+		// contract: pruning stays off (the fuzz loop owns the prune
+		// table), the oracle gates like the navigation campaign, and
+		// every replay reports its coverage fingerprint back. One
+		// caveat: durable images do not carry the in-memory event-
+		// dispatch counters, so a restored shard's event-lane coverage
+		// is relative to its suffix — findings are still identical to
+		// local execution, only the corpus-admission split may shift.
+		return campaign.New(newEnv, campaign.Options{
+			Parallelism:    l.Parallelism,
+			Replayer:       unwireReplayer(l.Replayer),
+			DisablePruning: true,
+			Inspect: func(job campaign.Job, res *replayer.Result, tab *browser.Tab) error {
+				if res.Failed > 0 || res.Cancelled {
+					return nil
+				}
+				return weberr.ConsoleOracle(tab, res)
+			},
+			Coverage: errmodel.CampaignCoverage,
+		})
 	}
 	return weberr.NavigationExecutor(newEnv, copts)
 }

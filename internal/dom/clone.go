@@ -38,6 +38,15 @@ func (d *Document) CloneWithIndex() (*Document, map[*Node]*Node) {
 			byTag:  translateBuckets(ix.byTag, nodeMap),
 			byAttr: translateBuckets(ix.byAttr, nodeMap),
 		}
+		// Event-dispatch counters carry over so a forked session's
+		// coverage fingerprint stays cumulative: clone-time counts plus
+		// the suffix's own dispatches equal a flat replay's counts.
+		if len(ix.events) > 0 {
+			dup.events = make(map[EventKey]uint64, len(ix.events))
+			for k, c := range ix.events {
+				dup.events[k] = c
+			}
+		}
 		for _, n := range nodeMap {
 			n.qidx = dup
 		}

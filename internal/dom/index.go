@@ -21,6 +21,20 @@ type QueryIndex struct {
 	byID   map[string]map[*Node]struct{}
 	byTag  map[string]map[*Node]struct{}
 	byAttr map[attrKey]map[*Node]struct{}
+
+	// events counts dispatched events per (type, target tag, target id)
+	// — the event-handler lane of the replay coverage signal. Counters
+	// are observational only: they never affect queries and do not bump
+	// the generation counter, so layout caches stay valid across them.
+	events map[EventKey]uint64
+}
+
+// EventKey identifies one event-dispatch counter: the event type plus
+// the target element's tag and id attribute (either may be empty).
+type EventKey struct {
+	Type string
+	Tag  string
+	ID   string
 }
 
 // attrKey identifies one (attribute name, attribute value) bucket.
@@ -175,6 +189,24 @@ func (ix *QueryIndex) attrRemoved(n *Node, name, value string) {
 
 // dataChanged records a character-data mutation (text or comment nodes).
 func (ix *QueryIndex) dataChanged() { ix.gen++ }
+
+// NoteEvent counts one dispatched event against the tree. The map is
+// lazily allocated so documents that never see a dispatch pay nothing.
+func (ix *QueryIndex) NoteEvent(k EventKey) {
+	if ix.events == nil {
+		ix.events = make(map[EventKey]uint64)
+	}
+	ix.events[k]++
+}
+
+// VisitEvents calls fn for every event-dispatch counter, in no
+// particular order. Callers folding the counters into a coverage
+// fingerprint must combine commutatively.
+func (ix *QueryIndex) VisitEvents(fn func(k EventKey, count uint64)) {
+	for k, c := range ix.events {
+		fn(k, c)
+	}
+}
 
 func addTo[K comparable](m map[K]map[*Node]struct{}, k K, n *Node) {
 	b := m[k]

@@ -113,6 +113,15 @@ func (n *Node) Parent() *Node { return n.parent }
 // when the tree is not indexed (detached subtrees, bare NewElement trees).
 func (n *Node) QueryIndex() *QueryIndex { return n.qidx }
 
+// NoteEvent counts a dispatched event of the given type against the
+// node's tree index. Dispatches to detached (unindexed) targets are
+// not counted — coverage only tracks the live document.
+func (n *Node) NoteEvent(typ string) {
+	if n.qidx != nil {
+		n.qidx.NoteEvent(EventKey{Type: typ, Tag: n.Tag, ID: n.AttrOr("id", "")})
+	}
+}
+
 // Children returns the node's children. The returned slice is a copy; the
 // tree can only be mutated through the mutation methods.
 func (n *Node) Children() []*Node {

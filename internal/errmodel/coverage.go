@@ -1,0 +1,175 @@
+package errmodel
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/dom"
+	"github.com/dslab-epfl/warr/internal/fnv1a"
+	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// BitmapSize is the coverage fingerprint width in bytes (1024 bits).
+// Fixed-size so fingerprints travel as opaque blobs — over the distrib
+// wire, through campaign outcomes — and merge by plain OR.
+const BitmapSize = 128
+
+// Bitmap is the compact replay-coverage fingerprint: three lanes of
+// marks — DOM-node touches, event-handler dispatches, per-app state
+// transitions — folded into a fixed bit set. Collisions are benign:
+// they only make the corpus admit slightly fewer candidates.
+type Bitmap [BitmapSize]byte
+
+// Set folds one mark into the bitmap.
+func (b *Bitmap) Set(mark uint64) {
+	bit := mark % (BitmapSize * 8)
+	b[bit/8] |= 1 << (bit % 8)
+}
+
+// Merge ORs src (a Bytes() blob) into b and reports whether any bit
+// was new. Blobs of the wrong width are ignored.
+func (b *Bitmap) Merge(src []byte) bool {
+	if len(src) != BitmapSize {
+		return false
+	}
+	novel := false
+	for i, v := range src {
+		if v&^b[i] != 0 {
+			novel = true
+		}
+		b[i] |= v
+	}
+	return novel
+}
+
+// Bits returns the population count.
+func (b *Bitmap) Bits() int {
+	n := 0
+	for _, v := range b {
+		n += bits.OnesCount8(v)
+	}
+	return n
+}
+
+// Bytes returns a copy of the raw fingerprint.
+func (b *Bitmap) Bytes() []byte {
+	out := make([]byte, BitmapSize)
+	copy(out, b[:])
+	return out
+}
+
+// Fingerprint renders a short stable digest of the bitmap for logs.
+func (b *Bitmap) Fingerprint() string {
+	h := fnv1a.Offset
+	for _, v := range b {
+		h = fnv1a.AddByte(h, v)
+	}
+	return strconv.FormatUint(h, 16)
+}
+
+// Snapshot fingerprints a tab's current world: every frame's DOM
+// shape, the accumulated event-dispatch counters, and — for hosted
+// applications implementing registry.CoverageSource — the app-state
+// marks. A pure function of world state, so a forked session's
+// snapshot equals a flat replay's.
+func Snapshot(tab *browser.Tab) *Bitmap {
+	var bm Bitmap
+	if tab == nil {
+		return &bm
+	}
+	for fi, frame := range tab.MainFrame().Descendants() {
+		doc := frame.Doc()
+		if doc == nil {
+			continue
+		}
+		fmark := fnv1a.AddUint64(fnv1a.AddString(fnv1a.Offset, "frame"), uint64(fi))
+		doc.Root().Walk(func(n *dom.Node) bool {
+			if n.Type == dom.ElementNode {
+				h := fnv1a.AddString(fmark, n.Tag)
+				h = fnv1a.AddByte(h, 0)
+				h = fnv1a.AddString(h, stableID(n.AttrOr("id", "")))
+				h = fnv1a.AddByte(h, 0)
+				h = fnv1a.AddString(h, n.AttrOr("name", ""))
+				h = fnv1a.AddUint64(h, uint64(n.Depth()))
+				bm.Set(h)
+			}
+			return true
+		})
+		if ix := doc.Index(); ix != nil {
+			ix.VisitEvents(func(k dom.EventKey, count uint64) {
+				h := fnv1a.AddString(fmark, "event")
+				h = fnv1a.AddString(h, k.Type)
+				h = fnv1a.AddByte(h, 0)
+				h = fnv1a.AddString(h, k.Tag)
+				h = fnv1a.AddByte(h, 0)
+				h = fnv1a.AddString(h, stableID(k.ID))
+				h = fnv1a.AddUint64(h, uint64(bits.Len64(count)))
+				bm.Set(h)
+			})
+		}
+	}
+	if env, ok := tab.Browser().World().(*registry.Env); ok && env != nil {
+		for _, name := range env.AppNames() {
+			st, ok := env.State(name)
+			if !ok {
+				continue
+			}
+			cs, ok := st.(registry.CoverageSource)
+			if !ok {
+				continue
+			}
+			amark := fnv1a.AddString(fnv1a.AddString(fnv1a.Offset, "app"), name)
+			for _, m := range cs.CoverageMarks() {
+				bm.Set(fnv1a.AddUint64(amark, m))
+			}
+		}
+	}
+	return &bm
+}
+
+// stableID normalizes session-volatile element ids out of coverage
+// marks. GMail-style machine-minted ids (":17", fresh on every render
+// — §IV-C) would otherwise make fingerprints differ across identical
+// replays and poison corpus-admission determinism.
+func stableID(id string) string {
+	if strings.HasPrefix(id, ":") {
+		return ":volatile"
+	}
+	return id
+}
+
+// CampaignCoverage is the campaign executor's Coverage callback: it
+// fingerprints the end-of-replay world. Cancelled replays report no
+// coverage — a half-observed world must not steer corpus admission.
+func CampaignCoverage(res *replayer.Result, tab *browser.Tab) []byte {
+	if tab == nil || (res != nil && res.Cancelled) {
+		return nil
+	}
+	return Snapshot(tab).Bytes()
+}
+
+// Collector accumulates step-granular coverage through replay hooks —
+// the AfterStep bridge the native-fuzz harness drives, observing the
+// intermediate worlds a trace passes through, not just its end state.
+type Collector struct {
+	bm Bitmap
+}
+
+// Hooks returns the replayer hooks that feed the collector.
+func (c *Collector) Hooks() replayer.Hooks {
+	return replayer.Hooks{
+		AfterStep: func(step replayer.Step, tab *browser.Tab) { c.Observe(tab) },
+	}
+}
+
+// Observe folds the tab's current snapshot into the collected bitmap.
+func (c *Collector) Observe(tab *browser.Tab) {
+	s := Snapshot(tab)
+	c.bm.Merge(s.Bytes())
+}
+
+// Bitmap returns the accumulated fingerprint.
+func (c *Collector) Bitmap() *Bitmap { return &c.bm }

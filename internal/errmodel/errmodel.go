@@ -1,0 +1,291 @@
+// Package errmodel generalizes the paper's §V human-error model into a
+// composable mutation DSL over recorded traces. Where WebErr enumerates
+// a fixed grammar of navigation and timing mistakes (forget, reorder,
+// substitute, no-wait), errmodel expresses the same Table I/II error
+// classes as typed, serializable operators — omissions, reorderings,
+// double-submits, keyboard typos, and timing perturbations on the
+// virtual clock — that compose into programs. A program applied to the
+// correct trace yields a candidate erroneous trace; a seeded Mutator
+// enumerates and recombines programs deterministically, so a fuzzing
+// campaign with a fixed seed and budget replays byte-identically.
+//
+// Programs have a strict textual form ("omit:3;pace:1/2") that doubles
+// as the native-fuzz input format: FuzzErrorModel feeds arbitrary
+// program strings through Parse and Apply, and the committed seed
+// corpus under testdata/fuzz is exactly the interesting programs a
+// coverage-guided campaign discovered.
+package errmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/humanerr"
+	"github.com/dslab-epfl/warr/internal/replayer"
+)
+
+// Limits keeping programs (and fuzz inputs) bounded.
+const (
+	// MaxOps bounds a program's length: realistic human error chains
+	// are short, and short programs keep mutated traces close to the
+	// correct one — where the oracle-relevant behavior lives.
+	MaxOps = 8
+	// maxIndex bounds any index operand at parse time, far above any
+	// recorded trace length.
+	maxIndex = 4096
+	// maxPace bounds pace numerators and denominators.
+	maxPace = 16
+)
+
+// Op is one typed trace mutator. The concrete types — Omit, Swap,
+// Double, Typo, Pace — are the Table I/II error classes; apply is
+// unexported, so the op set is closed and Parse can rely on it.
+type Op interface {
+	// String renders the op in the program codec.
+	String() string
+	// apply mutates a private copy of the trace, or reports why the op
+	// does not fit it (index out of range, no typo-able word, ...).
+	apply(tr command.Trace) (command.Trace, error)
+}
+
+// Omit drops command Index — the §V "forget an action" class at trace
+// granularity.
+type Omit struct{ Index int }
+
+func (o Omit) String() string { return fmt.Sprintf("omit:%d", o.Index) }
+
+func (o Omit) apply(tr command.Trace) (command.Trace, error) {
+	if o.Index < 0 || o.Index >= len(tr.Commands) {
+		return tr, fmt.Errorf("errmodel: omit index %d out of range [0,%d)", o.Index, len(tr.Commands))
+	}
+	tr.Commands = append(tr.Commands[:o.Index], tr.Commands[o.Index+1:]...)
+	return tr, nil
+}
+
+// Swap exchanges commands Index and Index+1 — the §V "reorder actions"
+// class confined to adjacent commands.
+type Swap struct{ Index int }
+
+func (s Swap) String() string { return fmt.Sprintf("swap:%d", s.Index) }
+
+func (s Swap) apply(tr command.Trace) (command.Trace, error) {
+	if s.Index < 0 || s.Index >= len(tr.Commands)-1 {
+		return tr, fmt.Errorf("errmodel: swap index %d out of range [0,%d)", s.Index, len(tr.Commands)-1)
+	}
+	tr.Commands[s.Index], tr.Commands[s.Index+1] = tr.Commands[s.Index+1], tr.Commands[s.Index]
+	return tr, nil
+}
+
+// Double repeats command Index immediately — the impatient
+// double-submit. It only applies to submit-like commands (clicks,
+// double-clicks, Enter keystrokes); doubling a plain keystroke is a
+// Typo insertion, not a double-submit.
+type Double struct{ Index int }
+
+func (d Double) String() string { return fmt.Sprintf("double:%d", d.Index) }
+
+func (d Double) apply(tr command.Trace) (command.Trace, error) {
+	if d.Index < 0 || d.Index >= len(tr.Commands) {
+		return tr, fmt.Errorf("errmodel: double index %d out of range [0,%d)", d.Index, len(tr.Commands))
+	}
+	if !submitLike(tr.Commands[d.Index]) {
+		return tr, fmt.Errorf("errmodel: double index %d is not a submit-like command", d.Index)
+	}
+	tr.Commands = append(tr.Commands, command.Command{})
+	copy(tr.Commands[d.Index+1:], tr.Commands[d.Index:])
+	return tr, nil
+}
+
+// submitLike reports whether doubling c models a double-submit.
+func submitLike(c command.Command) bool {
+	switch c.Action {
+	case command.Click, command.DoubleClick:
+		return true
+	case command.Type:
+		return c.Key == "Enter"
+	}
+	return false
+}
+
+// Typo injects one keyboard slip (humanerr's four models) into the
+// Word'th typed word of the trace. Alt deterministically selects the
+// keystroke position and — for substitution/insertion — the adjacent
+// key, so a Typo value fully determines the mutated trace; the Mutator
+// enumerates Alt values and ranks them against the spell dictionary
+// the search engines correct with.
+type Typo struct {
+	Word int
+	Kind humanerr.TypoKind
+	Alt  int
+}
+
+func (t Typo) String() string { return fmt.Sprintf("typo:%d:%s:%d", t.Word, t.Kind, t.Alt) }
+
+func (t Typo) apply(tr command.Trace) (command.Trace, error) {
+	ws := words(tr)
+	if t.Word < 0 || t.Word >= len(ws) {
+		return tr, fmt.Errorf("errmodel: typo word %d out of range [0,%d)", t.Word, len(ws))
+	}
+	if t.Alt < 0 {
+		return tr, fmt.Errorf("errmodel: negative typo alt %d", t.Alt)
+	}
+	w := ws[t.Word]
+	pos, nb := typoPlan(len(w.indexes), t.Alt)
+	ci := w.indexes[pos]
+	cur := tr.Commands[ci].Key[0]
+	switch t.Kind {
+	case humanerr.Substitution:
+		adj := adjacentCased(cur, nb)
+		tr.Commands[ci].Key = string(adj)
+		tr.Commands[ci].Code = int(adj &^ 0x20)
+	case humanerr.Omission:
+		tr.Commands = append(tr.Commands[:ci], tr.Commands[ci+1:]...)
+	case humanerr.Insertion:
+		adj := adjacentCased(cur, nb)
+		tr.Commands = append(tr.Commands, command.Command{})
+		copy(tr.Commands[ci+1:], tr.Commands[ci:])
+		ins := tr.Commands[ci]
+		ins.Key = string(adj)
+		ins.Code = int(adj &^ 0x20)
+		tr.Commands[ci+1] = ins
+	case humanerr.Transposition:
+		if pos == len(w.indexes)-1 {
+			pos--
+		}
+		a, b := w.indexes[pos], w.indexes[pos+1]
+		tr.Commands[a].Key, tr.Commands[b].Key = tr.Commands[b].Key, tr.Commands[a].Key
+		tr.Commands[a].Code, tr.Commands[b].Code = tr.Commands[b].Code, tr.Commands[a].Code
+	default:
+		return tr, fmt.Errorf("errmodel: unknown typo kind %d", int(t.Kind))
+	}
+	return tr, nil
+}
+
+// typoPlan derives the keystroke position (first character kept, as in
+// humanerr) and neighbor selector from an Alt value, for a word of L
+// keystrokes. Total function: any Alt >= 0 maps into range.
+func typoPlan(L, alt int) (pos, nb int) {
+	return 1 + (alt/4)%(L-1), alt % 4
+}
+
+// adjacentCased picks the nb'th QWERTY neighbor of cur, preserving the
+// original keystroke's case.
+func adjacentCased(cur byte, nb int) byte {
+	lower := cur | 0x20
+	keys := humanerr.AdjacentKeys(lower)
+	adj := keys[nb%len(keys)]
+	if cur >= 'A' && cur <= 'Z' {
+		adj &^= 0x20
+	}
+	return adj
+}
+
+// Pace rescales every inter-command delay by Num/Den on the virtual
+// clock — the §V timing-error class generalized from "no wait" to any
+// rational speedup or slowdown. Num 0 strips delays entirely (the
+// paper's impatient user).
+type Pace struct{ Num, Den int }
+
+func (p Pace) String() string { return fmt.Sprintf("pace:%d/%d", p.Num, p.Den) }
+
+func (p Pace) apply(tr command.Trace) (command.Trace, error) {
+	if p.Num < 0 || p.Num > maxPace || p.Den < 1 || p.Den > maxPace {
+		return tr, fmt.Errorf("errmodel: pace %d/%d out of range", p.Num, p.Den)
+	}
+	if p.Num == 0 {
+		return humanerr.StripDelays(tr), nil
+	}
+	for i := range tr.Commands {
+		tr.Commands[i].Elapsed = tr.Commands[i].Elapsed * p.Num / p.Den
+	}
+	return tr, nil
+}
+
+// Program is an ordered op composition. The zero value is the identity
+// program: it yields the correct trace, the root every mutation chain
+// grows from.
+type Program []Op
+
+// String renders the program in the strict codec Parse accepts. The
+// identity program renders as "id".
+func (p Program) String() string {
+	if len(p) == 0 {
+		return "id"
+	}
+	parts := make([]string, len(p))
+	for i, op := range p {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Apply runs the program over a copy of base, each op seeing the
+// previous op's output. base is never mutated, even on error.
+func (p Program) Apply(base command.Trace) (command.Trace, error) {
+	if len(p) > MaxOps {
+		return command.Trace{}, fmt.Errorf("errmodel: program has %d ops, max %d", len(p), MaxOps)
+	}
+	tr := base.Clone()
+	for _, op := range p {
+		var err error
+		if tr, err = op.apply(tr); err != nil {
+			return command.Trace{}, err
+		}
+	}
+	return tr, nil
+}
+
+// Pacing returns the replay pacing the mutated trace should run under:
+// PaceNone when the program strips delays (mirroring WebErr's timing
+// campaign), zero otherwise — inherit the campaign default.
+func (p Program) Pacing() replayer.Pacing {
+	for _, op := range p {
+		if pc, ok := op.(Pace); ok && pc.Num == 0 {
+			return replayer.PaceNone
+		}
+	}
+	return 0
+}
+
+// wordRun is one maximal run of single-letter keystrokes typed into the
+// same element — a "word" for typo purposes. Runs shorter than 3
+// keystrokes are not collected (humanerr's threshold: users rarely
+// mistype them).
+type wordRun struct {
+	indexes []int
+	letters []byte
+}
+
+// words extracts the typo-able words of a trace, in trace order. A run
+// breaks on any non-Type command, multi-character key, non-letter
+// character, or target change.
+func words(tr command.Trace) []wordRun {
+	var out []wordRun
+	var cur wordRun
+	var curXPath string
+	flush := func() {
+		if len(cur.indexes) >= 3 {
+			out = append(out, cur)
+		}
+		cur = wordRun{}
+	}
+	for i, c := range tr.Commands {
+		if c.Action != command.Type || len(c.Key) != 1 || !isLetter(c.Key[0]) {
+			flush()
+			continue
+		}
+		if len(cur.indexes) > 0 && c.XPath != curXPath {
+			flush()
+		}
+		curXPath = c.XPath
+		cur.indexes = append(cur.indexes, i)
+		cur.letters = append(cur.letters, c.Key[0])
+	}
+	flush()
+	return out
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

@@ -1,0 +1,391 @@
+package errmodel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/humanerr"
+	"github.com/dslab-epfl/warr/internal/spell"
+)
+
+// testTrace is a synthetic session: open, type "cat", submit with
+// Enter, save. It exercises every op class — clicks for double-submit,
+// a three-keystroke word for typos, and delays for pacing.
+func testTrace() command.Trace {
+	return command.Trace{
+		StartURL: "http://app.example/",
+		Commands: []command.Command{
+			{Action: command.Click, XPath: `//button[@id="open"]`, X: 1, Y: 2, Elapsed: 5},
+			{Action: command.Type, XPath: `//input[@id="q"]`, Key: "c", Code: 'C', Elapsed: 2},
+			{Action: command.Type, XPath: `//input[@id="q"]`, Key: "a", Code: 'A', Elapsed: 1},
+			{Action: command.Type, XPath: `//input[@id="q"]`, Key: "t", Code: 'T', Elapsed: 1},
+			{Action: command.Type, XPath: `//input[@id="q"]`, Key: "Enter", Code: 13, Elapsed: 3},
+			{Action: command.Click, XPath: `//button[@id="save"]`, X: 3, Y: 4, Elapsed: 10},
+		},
+	}
+}
+
+func mustApply(t *testing.T, p Program, base command.Trace) command.Trace {
+	t.Helper()
+	tr, err := p.Apply(base)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", p, err)
+	}
+	return tr
+}
+
+func TestOmitApply(t *testing.T) {
+	base := testTrace()
+	tr := mustApply(t, Program{Omit{Index: 0}}, base)
+	if len(tr.Commands) != 5 {
+		t.Fatalf("omit:0 left %d commands, want 5", len(tr.Commands))
+	}
+	if tr.Commands[0].Key != "c" {
+		t.Fatalf("omit:0 first command = %v, want the 'c' keystroke", tr.Commands[0])
+	}
+	if _, err := (Program{Omit{Index: 6}}).Apply(base); err == nil {
+		t.Fatal("omit:6 on a 6-command trace should not apply")
+	}
+}
+
+func TestSwapApply(t *testing.T) {
+	base := testTrace()
+	tr := mustApply(t, Program{Swap{Index: 0}}, base)
+	if tr.Commands[0].Action != command.Type || tr.Commands[1].Action != command.Click {
+		t.Fatalf("swap:0 did not exchange commands 0 and 1: %v / %v", tr.Commands[0], tr.Commands[1])
+	}
+	// The last valid swap index is len-2.
+	if _, err := (Program{Swap{Index: 5}}).Apply(base); err == nil {
+		t.Fatal("swap:5 on a 6-command trace should not apply")
+	}
+}
+
+func TestDoubleApply(t *testing.T) {
+	base := testTrace()
+	tr := mustApply(t, Program{Double{Index: 5}}, base)
+	if len(tr.Commands) != 7 {
+		t.Fatalf("double:5 left %d commands, want 7", len(tr.Commands))
+	}
+	if tr.Commands[5] != tr.Commands[6] {
+		t.Fatalf("double:5 did not duplicate the save click: %v / %v", tr.Commands[5], tr.Commands[6])
+	}
+	// Enter is submit-like; a plain keystroke is not (that slip is a
+	// Typo insertion, not a double-submit).
+	if _, err := (Program{Double{Index: 4}}).Apply(base); err != nil {
+		t.Fatalf("double:4 (Enter) should apply: %v", err)
+	}
+	if _, err := (Program{Double{Index: 1}}).Apply(base); err == nil {
+		t.Fatal("double:1 (plain keystroke) should not apply")
+	}
+}
+
+func TestTypoApply(t *testing.T) {
+	base := testTrace()
+	word := func(tr command.Trace) string {
+		var b strings.Builder
+		for _, c := range tr.Commands {
+			if c.Action == command.Type && len(c.Key) == 1 {
+				b.WriteString(c.Key)
+			}
+		}
+		return b.String()
+	}
+	for _, tc := range []struct {
+		kind    humanerr.TypoKind
+		wantLen int
+	}{
+		{humanerr.Substitution, 3},
+		{humanerr.Omission, 2},
+		{humanerr.Insertion, 4},
+		{humanerr.Transposition, 3},
+	} {
+		op := Typo{Word: 0, Kind: tc.kind, Alt: 0}
+		tr := mustApply(t, Program{op}, base)
+		got := word(tr)
+		if len(got) != tc.wantLen {
+			t.Errorf("%s: typed word %q, want %d letters", op, got, tc.wantLen)
+		}
+		if got == "cat" {
+			t.Errorf("%s: word unchanged", op)
+		}
+		// The enumeration-side simulator must agree with the trace-side
+		// mutation — rankAlts depends on this mirror being exact.
+		if sim := typoWord([]byte("cat"), tc.kind, 0); sim != got {
+			t.Errorf("%s: typoWord simulated %q, apply produced %q", op, sim, got)
+		}
+	}
+	if _, err := (Program{Typo{Word: 1, Kind: humanerr.Substitution, Alt: 0}}).Apply(base); err == nil {
+		t.Fatal("typo on word 1 should not apply: the trace types one word")
+	}
+}
+
+func TestPaceApply(t *testing.T) {
+	base := testTrace()
+	tr := mustApply(t, Program{Pace{Num: 0, Den: 1}}, base)
+	for i, c := range tr.Commands {
+		if c.Elapsed != 0 {
+			t.Fatalf("pace:0/1 left command %d with elapsed %d", i, c.Elapsed)
+		}
+	}
+	tr = mustApply(t, Program{Pace{Num: 1, Den: 2}}, base)
+	if tr.Commands[0].Elapsed != 2 || tr.Commands[5].Elapsed != 5 {
+		t.Fatalf("pace:1/2 elapsed = %d, %d; want 2, 5", tr.Commands[0].Elapsed, tr.Commands[5].Elapsed)
+	}
+	tr = mustApply(t, Program{Pace{Num: 2, Den: 1}}, base)
+	if tr.Commands[0].Elapsed != 10 {
+		t.Fatalf("pace:2/1 elapsed = %d, want 10", tr.Commands[0].Elapsed)
+	}
+}
+
+func TestPacingStripsOnlyForNoWait(t *testing.T) {
+	if p := (Program{Pace{Num: 0, Den: 1}}).Pacing(); p == 0 {
+		t.Fatal("pace:0/1 program should request no-wait pacing")
+	}
+	if p := (Program{Pace{Num: 1, Den: 2}}).Pacing(); p != 0 {
+		t.Fatal("pace:1/2 program should inherit the campaign default pacing")
+	}
+}
+
+func TestApplyDoesNotMutateBase(t *testing.T) {
+	base := testTrace()
+	want := base.Text()
+	progs := []Program{
+		{Omit{Index: 0}},
+		{Swap{Index: 2}},
+		{Double{Index: 0}},
+		{Typo{Word: 0, Kind: humanerr.Omission, Alt: 1}},
+		{Pace{Num: 0, Den: 1}},
+		{Omit{Index: 0}, Omit{Index: 0}, Swap{Index: 0}},
+		{Omit{Index: 99}}, // errors must not mutate either
+	}
+	for _, p := range progs {
+		_, _ = p.Apply(base)
+		if got := base.Text(); got != want {
+			t.Fatalf("Apply(%s) mutated the base trace:\n%s", p, got)
+		}
+	}
+}
+
+func TestProgramStringParseRoundTrip(t *testing.T) {
+	base := testTrace()
+	m := NewMutator(base, 1, nil)
+	progs := []Program{
+		{}, // identity renders as "id"
+		{Omit{Index: 3}},
+		{Pace{Num: 1, Den: 4}},
+		{Typo{Word: 0, Kind: humanerr.Transposition, Alt: 2}},
+		{Omit{Index: 1}, Swap{Index: 0}, Double{Index: 2}, Pace{Num: 2, Den: 1}},
+	}
+	for _, op := range m.Universe() {
+		progs = append(progs, Program{op})
+	}
+	for _, p := range progs {
+		s := p.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("round trip %q -> %q", s, back.String())
+		}
+	}
+}
+
+func TestParseStrict(t *testing.T) {
+	for _, bad := range []string{
+		"",                // the identity spells "id"
+		"omit",            // missing operand
+		"omit:",           // empty operand
+		"omit:+1",         // non-canonical number
+		"omit:007",        // non-canonical number
+		"omit:-1",         // negative
+		"omit:99999",      // beyond maxIndex
+		"swap:1;bogus:2",  // unknown op mid-program
+		"pace:1",          // missing denominator
+		"pace:1/0",        // zero denominator
+		"pace:17/1",       // beyond maxPace
+		"typo:0:zap:0",    // unknown typo kind
+		"typo:0:omission", // missing alt
+		"omit:1;;omit:2",  // empty op
+		strings.Repeat("omit:0;", MaxOps) + "omit:0", // overlong
+	} {
+		if p, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted as %q, want error", bad, p)
+		}
+	}
+	if p, err := Parse("id"); err != nil || len(p) != 0 {
+		t.Fatalf("Parse(id) = %v, %v; want identity", p, err)
+	}
+}
+
+func TestUniverseOrder(t *testing.T) {
+	base := testTrace()
+	u := NewMutator(base, 1, nil).Universe()
+	wantHead := []string{"pace:0/1", "pace:1/2", "pace:1/4", "pace:2/1"}
+	for i, w := range wantHead {
+		if u[i].String() != w {
+			t.Fatalf("universe[%d] = %s, want %s", i, u[i], w)
+		}
+	}
+	// Then omissions for every command, adjacent swaps, double-submits
+	// only at submit-like commands, then typos.
+	i := len(wantHead)
+	for k := 0; k < 6; k++ {
+		if got, want := u[i].String(), (Omit{Index: k}).String(); got != want {
+			t.Fatalf("universe[%d] = %s, want %s", i, got, want)
+		}
+		i++
+	}
+	for k := 0; k < 5; k++ {
+		if got, want := u[i].String(), (Swap{Index: k}).String(); got != want {
+			t.Fatalf("universe[%d] = %s, want %s", i, got, want)
+		}
+		i++
+	}
+	for _, k := range []int{0, 4, 5} { // clicks at 0 and 5, Enter at 4
+		if got, want := u[i].String(), (Double{Index: k}).String(); got != want {
+			t.Fatalf("universe[%d] = %s, want %s", i, got, want)
+		}
+		i++
+	}
+	for ; i < len(u); i++ {
+		if _, ok := u[i].(Typo); !ok {
+			t.Fatalf("universe[%d] = %s, want a typo op", i, u[i])
+		}
+	}
+}
+
+func TestRankAltsPrefersDictionaryEscapes(t *testing.T) {
+	// Every distinct substitution slip of "cat" that lands back in the
+	// dictionary ("cut" via a->u? no — adjacency is physical) is ranked
+	// after the slips the search engines cannot silently correct. Build
+	// a dictionary containing one reachable slip and verify it sinks.
+	letters := []byte("cat")
+	free := rankAlts(letters, humanerr.Substitution, nil)
+	if len(free) == 0 {
+		t.Fatal("substitution alts of a 3-letter word should not be empty")
+	}
+	// Put the first free alt's result in the dictionary; it must no
+	// longer rank first.
+	snared := typoWord(letters, humanerr.Substitution, free[0])
+	dict := spell.NewDictionary([]string{snared})
+	ranked := rankAlts(letters, humanerr.Substitution, dict)
+	if len(ranked) == 0 {
+		t.Fatal("ranking with a dictionary emptied the alt list")
+	}
+	if got := typoWord(letters, humanerr.Substitution, ranked[0]); got == snared {
+		t.Fatalf("alt producing in-dictionary %q still ranks first", snared)
+	}
+}
+
+func TestMutatorDeterministicStream(t *testing.T) {
+	base := testTrace()
+	dict := spell.NewDictionary([]string{"cat", "cart", "act"})
+	a := NewMutator(base, 42, dict)
+	b := NewMutator(base, 42, dict)
+
+	sa, sb := a.Seeds(0), b.Seeds(0)
+	if len(sa) == 0 || len(sa) != len(sb) {
+		t.Fatalf("seed streams differ in length: %d vs %d", len(sa), len(sb))
+	}
+	if sa[0].Program != "id" {
+		t.Fatalf("first seed = %q, want the identity program", sa[0].Program)
+	}
+	for i := range sa {
+		if sa[i].Program != sb[i].Program || sa[i].Pacing != sb[i].Pacing ||
+			sa[i].Trace.Text() != sb[i].Trace.Text() {
+			t.Fatalf("seed %d differs: %q vs %q", i, sa[i].Program, sb[i].Program)
+		}
+	}
+
+	// Same call sequence ⇒ byte-identical mutation stream.
+	ca, cb := sa[0], sb[0]
+	for i := 0; i < 300; i++ {
+		na, oka := a.Mutate(ca)
+		nb, okb := b.Mutate(cb)
+		if oka != okb {
+			t.Fatalf("step %d: ok diverged: %v vs %v", i, oka, okb)
+		}
+		if !oka {
+			continue
+		}
+		if na.Program != nb.Program || na.Trace.Text() != nb.Trace.Text() || na.Pacing != nb.Pacing {
+			t.Fatalf("step %d: candidates diverged: %q vs %q", i, na.Program, nb.Program)
+		}
+		ca, cb = na, nb
+		if i%7 == 0 { // periodically restart the chain from a seed
+			ca, cb = sa[i%len(sa)], sb[i%len(sb)]
+		}
+	}
+
+	// A different seed must diverge somewhere — the stream is seeded,
+	// not constant.
+	c := NewMutator(base, 43, dict)
+	diverged := false
+	cc := c.Seeds(0)[0]
+	d := NewMutator(base, 42, dict)
+	cd := d.Seeds(0)[0]
+	for i := 0; i < 50 && !diverged; i++ {
+		nc, okc := c.Mutate(cc)
+		nd, okd := d.Mutate(cd)
+		if okc != okd || (okc && nc.Program != nd.Program) {
+			diverged = true
+		}
+		if okc {
+			cc = nc
+		}
+		if okd {
+			cd = nd
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical 50-step mutation streams")
+	}
+}
+
+func TestMutateRespectsMaxOps(t *testing.T) {
+	base := testTrace()
+	m := NewMutator(base, 7, nil)
+	c := m.Seeds(1)[0]
+	for i := 0; i < 500; i++ {
+		n, ok := m.Mutate(c)
+		if !ok {
+			continue
+		}
+		p, err := Parse(n.Program)
+		if err != nil {
+			t.Fatalf("mutated program %q does not parse: %v", n.Program, err)
+		}
+		if len(p) > MaxOps {
+			t.Fatalf("mutated program %q has %d ops, max %d", n.Program, len(p), MaxOps)
+		}
+		c = n
+	}
+}
+
+func TestWordsExtraction(t *testing.T) {
+	base := testTrace()
+	ws := words(base)
+	if len(ws) != 1 {
+		t.Fatalf("words = %d runs, want 1", len(ws))
+	}
+	if !reflect.DeepEqual(ws[0].indexes, []int{1, 2, 3}) {
+		t.Fatalf("word run indexes = %v, want [1 2 3]", ws[0].indexes)
+	}
+	if string(ws[0].letters) != "cat" {
+		t.Fatalf("word run letters = %q, want cat", ws[0].letters)
+	}
+	// Runs under 3 keystrokes, target changes, and non-letter keys all
+	// break words.
+	short := command.Trace{Commands: []command.Command{
+		{Action: command.Type, XPath: "//a", Key: "h", Code: 'H'},
+		{Action: command.Type, XPath: "//a", Key: "i", Code: 'I'},
+		{Action: command.Type, XPath: "//b", Key: "x", Code: 'X'},
+		{Action: command.Type, XPath: "//b", Key: "1", Code: '1'},
+	}}
+	if ws := words(short); len(ws) != 0 {
+		t.Fatalf("short/broken runs produced %d words, want 0", len(ws))
+	}
+}

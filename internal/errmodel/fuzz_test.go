@@ -1,0 +1,131 @@
+package errmodel_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	// Register the paper's applications: the fuzz harness replays
+	// mutated traces against the same simulated worlds the campaigns
+	// test.
+	_ "github.com/dslab-epfl/warr/internal/apps"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/errmodel"
+	"github.com/dslab-epfl/warr/internal/registry"
+	"github.com/dslab-epfl/warr/internal/replayer"
+	"github.com/dslab-epfl/warr/internal/trace"
+)
+
+// loadCorpusTrace reads a committed correct trace from the repository's
+// trace corpus.
+func loadCorpusTrace(tb testing.TB, name string) command.Trace {
+	tb.Helper()
+	data, err := os.ReadFile("../../testdata/corpus/" + name)
+	if err != nil {
+		tb.Fatalf("reading corpus trace: %v", err)
+	}
+	rd, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		tb.Fatalf("opening corpus trace %s: %v", name, err)
+	}
+	tr, err := rd.Trace()
+	if err != nil {
+		tb.Fatalf("decoding corpus trace %s: %v", name, err)
+	}
+	return tr
+}
+
+// FuzzErrorModel drives arbitrary mutation programs through the full
+// error-model stack: parse, apply to the committed correct edit-site
+// trace, replay the mutated trace against the simulated application,
+// and fingerprint coverage. The invariants are the ones the fuzzing
+// campaign's determinism rests on:
+//
+//   - any accepted program round-trips byte-identically through String
+//   - Apply never mutates the base trace and is itself deterministic
+//   - replay coverage is a fixed-width fingerprint, and the end-state
+//     snapshot never contains bits the step-granular collector missed
+//
+// The committed seeds under testdata/fuzz are the interesting programs
+// a coverage-guided campaign discovered — including the pace programs
+// that reproduce the §V-C Google Sites bug.
+func FuzzErrorModel(f *testing.F) {
+	base := loadCorpusTrace(f, "edit-site.warr")
+	for _, seed := range []string{
+		"id",
+		"pace:0/1",
+		"pace:1/4",
+		"omit:3",
+		"swap:0",
+		"double:0",
+		"typo:0:substitution:1",
+		"typo:0:transposition:0",
+		"omit:1;swap:2;pace:1/2",
+		"omit:+1", // rejected: non-canonical
+		"bogus:9",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, prog string) {
+		p, err := errmodel.Parse(prog)
+		if err != nil {
+			return // rejected program: nothing to run
+		}
+		s := p.String()
+		p2, err := errmodel.Parse(s)
+		if err != nil {
+			t.Fatalf("errmodel.Parse accepted %q, but its String %q does not re-parse: %v", prog, s, err)
+		}
+		if p2.String() != s {
+			t.Fatalf("program round trip changed: %q -> %q", s, p2.String())
+		}
+
+		baseText := base.Text()
+		tr, err := p.Apply(base)
+		if got := base.Text(); got != baseText {
+			t.Fatalf("Apply(%q) mutated the base trace", s)
+		}
+		if err != nil {
+			return // the program does not fit this trace
+		}
+		if len(tr.Commands) > len(base.Commands)+errmodel.MaxOps {
+			t.Fatalf("Apply(%q) grew the trace to %d commands from %d", s, len(tr.Commands), len(base.Commands))
+		}
+		tr2, err := p.Apply(base)
+		if err != nil || tr2.Text() != tr.Text() {
+			t.Fatalf("Apply(%q) is not deterministic: %v", s, err)
+		}
+
+		pacing := replayer.PaceRecorded
+		if p.Pacing() != 0 {
+			pacing = p.Pacing()
+		}
+		var col errmodel.Collector
+		b := registry.BrowserFactory(browser.DeveloperMode)()
+		r := replayer.New(b, replayer.Options{
+			Pacing: pacing,
+			Hooks:  []replayer.Hooks{col.Hooks()},
+		})
+		res, tab, err := r.Replay(tr)
+		if err != nil || res == nil || res.Cancelled || tab == nil {
+			return // the erroneous trace did not replay to an observable world
+		}
+		cov := errmodel.CampaignCoverage(res, tab)
+		if len(cov) != errmodel.BitmapSize {
+			t.Fatalf("coverage fingerprint is %d bytes, want %d", len(cov), errmodel.BitmapSize)
+		}
+		if !bytes.Equal(errmodel.Snapshot(tab).Bytes(), cov) {
+			t.Fatalf("two snapshots of the same world differ (program %q)", s)
+		}
+		// The step collector observed the world after every command; the
+		// end state is the last of those worlds, so its fingerprint must
+		// be a subset of the accumulated one.
+		acc := *col.Bitmap()
+		if acc.Merge(cov) {
+			t.Fatalf("end-state coverage has bits the step collector never saw (program %q)", s)
+		}
+	})
+}

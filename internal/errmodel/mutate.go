@@ -1,0 +1,201 @@
+package errmodel
+
+import (
+	"math/rand"
+
+	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/humanerr"
+	"github.com/dslab-epfl/warr/internal/spell"
+)
+
+// maxTypoAlts caps how many Alt values the universe keeps per
+// (word, kind): ranked dictionary-escaping slips first, the rest only
+// as filler. The full Alt space is explored by mutation, not
+// enumeration.
+const maxTypoAlts = 2
+
+// Mutator generates candidate programs over one base trace: a
+// deterministic enumeration of every single-op error (the seeds), plus
+// seeded random recombination growing programs from coverage-novel
+// corpus entries. Same base, seed, and call sequence ⇒ byte-identical
+// candidate stream — the determinism the fuzz campaign's reproducible
+// findings rest on.
+//
+// The typo ops are dictionary-aware: Alt values whose mistyped word
+// escapes the given spell dictionary (the one internal/apps' search
+// engines correct against) rank first, because an in-dictionary slip
+// is exactly what the engines silently repair. A nil dictionary
+// disables the ranking, nothing else.
+//
+// Mutator implements campaign.FuzzSource.
+type Mutator struct {
+	base     command.Trace
+	rng      *rand.Rand
+	universe []Op
+}
+
+// NewMutator returns a mutator over base, seeded for a deterministic
+// stream. dict may be nil.
+func NewMutator(base command.Trace, seed int64, dict *spell.Dictionary) *Mutator {
+	return &Mutator{
+		base:     base,
+		rng:      rand.New(rand.NewSource(seed)),
+		universe: buildUniverse(base, dict),
+	}
+}
+
+// Universe returns the enumerated single-op error space, in the fixed
+// order seeds are drawn from.
+func (m *Mutator) Universe() []Op { return append([]Op(nil), m.universe...) }
+
+// buildUniverse enumerates every single-op mutation of base, in a
+// fixed order: timing perturbations first (cheap, and the paper's
+// §V-C no-wait bug lives there), then omissions, reorderings,
+// double-submits, and ranked typos.
+func buildUniverse(base command.Trace, dict *spell.Dictionary) []Op {
+	n := len(base.Commands)
+	var u []Op
+	for _, p := range []Pace{{0, 1}, {1, 2}, {1, 4}, {2, 1}} {
+		u = append(u, p)
+	}
+	for i := 0; i < n; i++ {
+		u = append(u, Omit{Index: i})
+	}
+	for i := 0; i+1 < n; i++ {
+		u = append(u, Swap{Index: i})
+	}
+	for i := 0; i < n; i++ {
+		if submitLike(base.Commands[i]) {
+			u = append(u, Double{Index: i})
+		}
+	}
+	for wi, w := range words(base) {
+		for _, kind := range []humanerr.TypoKind{
+			humanerr.Substitution, humanerr.Omission, humanerr.Insertion, humanerr.Transposition,
+		} {
+			for _, alt := range rankAlts(w.letters, kind, dict) {
+				u = append(u, Typo{Word: wi, Kind: kind, Alt: alt})
+			}
+		}
+	}
+	return u
+}
+
+// rankAlts orders the Alt space of one (word, kind) by dictionary
+// escape — alts whose result the dictionary does not contain first,
+// ascending within each class — and keeps the top maxTypoAlts distinct
+// results.
+func rankAlts(letters []byte, kind humanerr.TypoKind, dict *spell.Dictionary) []int {
+	L := len(letters)
+	space := 4 * (L - 1)
+	var escaping, corrected []int
+	seen := make(map[string]struct{}, space)
+	for alt := 0; alt < space; alt++ {
+		res := typoWord(letters, kind, alt)
+		if res == string(letters) {
+			continue
+		}
+		if _, dup := seen[res]; dup {
+			continue
+		}
+		seen[res] = struct{}{}
+		if dict != nil && dict.Contains(lowerWord(res)) {
+			corrected = append(corrected, alt)
+		} else {
+			escaping = append(escaping, alt)
+		}
+	}
+	ranked := append(escaping, corrected...)
+	if len(ranked) > maxTypoAlts {
+		ranked = ranked[:maxTypoAlts]
+	}
+	return ranked
+}
+
+// typoWord simulates the word a Typo op with the given kind and alt
+// produces, mirroring Typo.apply exactly.
+func typoWord(letters []byte, kind humanerr.TypoKind, alt int) string {
+	pos, nb := typoPlan(len(letters), alt)
+	switch kind {
+	case humanerr.Substitution:
+		out := append([]byte(nil), letters...)
+		out[pos] = adjacentCased(letters[pos], nb)
+		return string(out)
+	case humanerr.Omission:
+		out := append([]byte(nil), letters[:pos]...)
+		return string(append(out, letters[pos+1:]...))
+	case humanerr.Insertion:
+		out := append([]byte(nil), letters[:pos+1]...)
+		out = append(out, adjacentCased(letters[pos], nb))
+		return string(append(out, letters[pos+1:]...))
+	case humanerr.Transposition:
+		if pos == len(letters)-1 {
+			pos--
+		}
+		out := append([]byte(nil), letters...)
+		out[pos], out[pos+1] = out[pos+1], out[pos]
+		return string(out)
+	}
+	return string(letters)
+}
+
+func lowerWord(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] |= 0x20
+		}
+	}
+	return string(b)
+}
+
+// Seeds implements campaign.FuzzSource: the identity program first
+// (the correct trace — baseline coverage and mutation root), then one
+// candidate per enumerated single-op error, capped at limit (0 = all).
+func (m *Mutator) Seeds(limit int) []campaign.FuzzCandidate {
+	out := make([]campaign.FuzzCandidate, 0, len(m.universe)+1)
+	if c, ok := m.render(Program{}); ok {
+		out = append(out, c)
+	}
+	for _, op := range m.universe {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		if c, ok := m.render(Program{op}); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Mutate implements campaign.FuzzSource: it grows (or, at MaxOps,
+// rewrites) the candidate's program by one op drawn from the universe.
+// A composition that no longer fits the trace reports !ok; the caller
+// simply draws again from another corpus entry.
+func (m *Mutator) Mutate(from campaign.FuzzCandidate) (campaign.FuzzCandidate, bool) {
+	if len(m.universe) == 0 {
+		return campaign.FuzzCandidate{}, false
+	}
+	p, err := Parse(from.Program)
+	if err != nil {
+		return campaign.FuzzCandidate{}, false
+	}
+	child := append(Program(nil), p...)
+	op := m.universe[m.rng.Intn(len(m.universe))]
+	if len(child) >= MaxOps {
+		child[m.rng.Intn(len(child))] = op
+	} else {
+		child = append(child, op)
+	}
+	return m.render(child)
+}
+
+// render materializes a program into a schedulable candidate.
+func (m *Mutator) render(p Program) (campaign.FuzzCandidate, bool) {
+	tr, err := p.Apply(m.base)
+	if err != nil {
+		return campaign.FuzzCandidate{}, false
+	}
+	return campaign.FuzzCandidate{Program: p.String(), Trace: tr, Pacing: p.Pacing()}, true
+}

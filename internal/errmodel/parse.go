@@ -1,0 +1,128 @@
+package errmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dslab-epfl/warr/internal/humanerr"
+)
+
+// Parse decodes a program from its textual form: ";"-separated ops
+// ("omit:3;pace:1/2"), or "id" for the identity program. The codec is
+// strict — unknown ops, missing operands, out-of-range numbers, and
+// overlong programs are errors, never silently clamped — because the
+// same strings arrive as native-fuzz inputs and as corpus archives,
+// and both must round-trip through String unchanged.
+func Parse(s string) (Program, error) {
+	if s == "id" {
+		return Program{}, nil
+	}
+	if s == "" {
+		return nil, fmt.Errorf("errmodel: empty program (the identity program spells \"id\")")
+	}
+	parts := strings.Split(s, ";")
+	if len(parts) > MaxOps {
+		return nil, fmt.Errorf("errmodel: program has %d ops, max %d", len(parts), MaxOps)
+	}
+	p := make(Program, 0, len(parts))
+	for _, part := range parts {
+		op, err := parseOp(part)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, op)
+	}
+	return p, nil
+}
+
+// parseOp decodes one "name:operands" op.
+func parseOp(s string) (Op, error) {
+	name, rest, _ := strings.Cut(s, ":")
+	switch name {
+	case "omit":
+		i, err := parseIndex(rest)
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: omit: %w", err)
+		}
+		return Omit{Index: i}, nil
+	case "swap":
+		i, err := parseIndex(rest)
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: swap: %w", err)
+		}
+		return Swap{Index: i}, nil
+	case "double":
+		i, err := parseIndex(rest)
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: double: %w", err)
+		}
+		return Double{Index: i}, nil
+	case "typo":
+		fields := strings.Split(rest, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("errmodel: typo wants word:kind:alt, got %q", rest)
+		}
+		w, err := parseIndex(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: typo word: %w", err)
+		}
+		kind, err := parseTypoKind(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		alt, err := parseIndex(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: typo alt: %w", err)
+		}
+		return Typo{Word: w, Kind: kind, Alt: alt}, nil
+	case "pace":
+		num, den, ok := strings.Cut(rest, "/")
+		if !ok {
+			return nil, fmt.Errorf("errmodel: pace wants num/den, got %q", rest)
+		}
+		n, err := parseIndex(num)
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: pace numerator: %w", err)
+		}
+		d, err := parseIndex(den)
+		if err != nil {
+			return nil, fmt.Errorf("errmodel: pace denominator: %w", err)
+		}
+		if n > maxPace || d < 1 || d > maxPace {
+			return nil, fmt.Errorf("errmodel: pace %d/%d out of range [0,%d]/[1,%d]", n, d, maxPace, maxPace)
+		}
+		return Pace{Num: n, Den: d}, nil
+	default:
+		return nil, fmt.Errorf("errmodel: unknown op %q", name)
+	}
+}
+
+// parseIndex decodes a canonical non-negative decimal within maxIndex.
+func parseIndex(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if n < 0 || n > maxIndex {
+		return 0, fmt.Errorf("number %d out of range [0,%d]", n, maxIndex)
+	}
+	// Reject non-canonical spellings ("+1", "007") so every accepted
+	// program round-trips byte-identically through String.
+	if s != strconv.Itoa(n) {
+		return 0, fmt.Errorf("non-canonical number %q", s)
+	}
+	return n, nil
+}
+
+// parseTypoKind decodes a humanerr.TypoKind from its String form.
+func parseTypoKind(s string) (humanerr.TypoKind, error) {
+	for _, k := range []humanerr.TypoKind{
+		humanerr.Substitution, humanerr.Omission, humanerr.Insertion, humanerr.Transposition,
+	} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("errmodel: unknown typo kind %q", s)
+}

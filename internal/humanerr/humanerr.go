@@ -84,9 +84,12 @@ var keyboardRows = []string{
 	"zxcvbnm",
 }
 
-// AdjacentKey returns a key physically adjacent to ch on a QWERTY
-// keyboard (deterministic given the rng).
-func AdjacentKey(rng *rand.Rand, ch byte) byte {
+// AdjacentKeys returns the keys physically adjacent to ch on a QWERTY
+// keyboard, in a fixed order (row left, row right, row above, row
+// below). Characters outside the letter rows degrade to the fixed slip
+// 'x', so the result is never empty — an enumerator can index into it
+// deterministically.
+func AdjacentKeys(ch byte) []byte {
 	for r, row := range keyboardRows {
 		i := strings.IndexByte(row, ch)
 		if i < 0 {
@@ -105,13 +108,20 @@ func AdjacentKey(rng *rand.Rand, ch byte) byte {
 		if r < len(keyboardRows)-1 && i < len(keyboardRows[r+1]) {
 			neighbors = append(neighbors, keyboardRows[r+1][i])
 		}
-		if len(neighbors) == 0 {
-			break
+		if len(neighbors) > 0 {
+			return neighbors
 		}
-		return neighbors[rng.Intn(len(neighbors))]
+		break
 	}
 	// Non-letter characters degrade to a fixed slip.
-	return 'x'
+	return []byte{'x'}
+}
+
+// AdjacentKey returns a key physically adjacent to ch on a QWERTY
+// keyboard (deterministic given the rng).
+func AdjacentKey(rng *rand.Rand, ch byte) byte {
+	keys := AdjacentKeys(ch)
+	return keys[rng.Intn(len(keys))]
 }
 
 // InjectTypoWord applies a typo of the given kind to word at a

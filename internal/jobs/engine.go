@@ -63,8 +63,8 @@ type Options struct {
 // engine would run locally. Closures (custom oracles, hooks) cannot
 // cross a process boundary, so specs carrying them are never offered.
 type DistSpec struct {
-	// Campaign is "navigation" or "timing" — it names the oracle and
-	// executor shape the worker reconstructs.
+	// Campaign is "navigation", "timing", or "fuzz" — it names the
+	// oracle and executor shape the worker reconstructs.
 	Campaign string
 	// Mode is the browser build of the worker's environments.
 	Mode browser.Mode
@@ -348,6 +348,8 @@ func (e *Engine) run(job *Job) {
 		err = e.runTimingCampaign(job)
 	case KindReport:
 		err = e.runReport(job)
+	case KindFuzzCampaign:
+		err = e.runFuzzCampaign(job)
 	default:
 		err = fmt.Errorf("jobs: unknown job kind %d", job.Spec.Kind)
 	}

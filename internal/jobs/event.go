@@ -144,6 +144,11 @@ type OutcomeEvent struct {
 	Finding bool   `json:"finding"`
 	// Observed is the oracle's observation for findings.
 	Observed string `json:"observed,omitempty"`
+	// Coverage is the hex-encoded coverage fingerprint of the replay
+	// (fuzz campaigns only; empty otherwise). It rides the same outcome
+	// shape over the distrib wire so the coordinator can merge worker
+	// coverage deterministically.
+	Coverage string `json:"coverage,omitempty"`
 }
 
 func (OutcomeEvent) EventType() string { return "outcome" }
@@ -168,6 +173,26 @@ type ReportEvent struct {
 }
 
 func (ReportEvent) EventType() string { return "report" }
+
+// FuzzEvent reports a fuzz campaign's running stats, published after
+// every absorbed batch — the SSE progress lane of `weberr -fuzz` and
+// warr-serve fuzz jobs.
+type FuzzEvent struct {
+	Type         string `json:"type"`
+	Generated    int    `json:"generated"`
+	Deduped      int    `json:"deduped"`
+	Pruned       int    `json:"pruned"`
+	Replayed     int    `json:"replayed"`
+	Skipped      int    `json:"skipped"`
+	Novel        int    `json:"novel"`
+	CorpusSize   int    `json:"corpusSize"`
+	CoverageBits int    `json:"coverageBits"`
+	Findings     int    `json:"findings"`
+	Budget       int    `json:"budget"`
+	Spent        int    `json:"spent"`
+}
+
+func (FuzzEvent) EventType() string { return "fuzz" }
 
 // ClassificationEvent reports the outcome of AUsER report ingestion:
 // the server-side replay → minimize → classify pipeline (Fig. 1).
@@ -235,6 +260,8 @@ func DecodeEvent(line []byte) (Event, error) {
 		ev = &OutcomeEvent{}
 	case "report":
 		ev = &ReportEvent{}
+	case "fuzz":
+		ev = &FuzzEvent{}
 	case "classification":
 		ev = &ClassificationEvent{}
 	default:
@@ -255,6 +282,8 @@ func DecodeEvent(line []byte) (Event, error) {
 	case *OutcomeEvent:
 		return *v, nil
 	case *ReportEvent:
+		return *v, nil
+	case *FuzzEvent:
 		return *v, nil
 	case *ClassificationEvent:
 		return *v, nil

@@ -156,6 +156,18 @@ func TestEventLinesPinned(t *testing.T) {
 			ClassificationEvent{Type: "classification", Verdict: "console-error", Signal: "TypeError", Commands: 2, MinimizedCommands: 2, Replays: 3},
 			`{"type":"classification","verdict":"console-error","signal":"TypeError","commands":2,"minimizedCommands":2,"replays":3}`,
 		},
+		{
+			FuzzEvent{Type: "fuzz", Generated: 26, Deduped: 2, Replayed: 24, Novel: 14, CorpusSize: 14, CoverageBits: 50, Findings: 2, Budget: 24, Spent: 24},
+			`{"type":"fuzz","generated":26,"deduped":2,"pruned":0,"replayed":24,"skipped":0,"novel":14,"corpusSize":14,"coverageBits":50,"findings":2,"budget":24,"spent":24}`,
+		},
+		{
+			// The outcome line of a fuzz campaign: the injection is the
+			// mutation program, and the coverage fingerprint rides along
+			// as hex. Both fields are omitempty, so enumerated-campaign
+			// outcome lines are unchanged.
+			OutcomeEvent{Type: "outcome", Index: 1, Injection: "fuzz: pace:0/1", Status: "replayed", Played: 14, Finding: true, Observed: "console errors: boom", Coverage: "00ff"},
+			`{"type":"outcome","index":1,"injection":"fuzz: pace:0/1","status":"replayed","played":14,"failed":0,"finding":true,"observed":"console errors: boom","coverage":"00ff"}`,
+		},
 	}
 	for _, c := range cases {
 		got, err := EncodeEvent(c.ev)
@@ -178,6 +190,8 @@ func TestEventRoundTrip(t *testing.T) {
 		ReportEvent{Type: "report", Campaign: "timing", Generated: 3, Replayed: 3,
 			Findings: []FindingRecord{{Injection: "i", Observed: "o"}}},
 		ClassificationEvent{Type: "classification", Verdict: "no-repro", Commands: 4, MinimizedCommands: 4, Replays: 1},
+		FuzzEvent{Type: "fuzz", Generated: 9, Deduped: 1, Pruned: 1, Replayed: 6, Skipped: 1, Novel: 3, CorpusSize: 3, CoverageBits: 17, Findings: 1, Budget: 8, Spent: 7},
+		OutcomeEvent{Type: "outcome", Index: 2, Injection: "fuzz: omit:3", Status: "replayed", Coverage: "deadbeef"},
 	}
 	for _, ev := range events {
 		line, err := EncodeEvent(ev)

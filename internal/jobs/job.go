@@ -32,6 +32,11 @@ const (
 	// trace is replayed, minimized to a shortest reproducer, and
 	// classified (the paper's Fig. 1 server side).
 	KindReport
+	// KindFuzzCampaign runs the coverage-guided error-model fuzzing
+	// campaign: candidates from the composable human-error DSL
+	// (internal/errmodel), scheduled through the campaign executor with
+	// replay-coverage feedback.
+	KindFuzzCampaign
 )
 
 func (k Kind) String() string {
@@ -44,15 +49,17 @@ func (k Kind) String() string {
 		return "timing-campaign"
 	case KindReport:
 		return "report"
+	case KindFuzzCampaign:
+		return "fuzz-campaign"
 	default:
 		return "unknown"
 	}
 }
 
 // ParseKind resolves a kind name ("replay", "navigation-campaign",
-// "timing-campaign", "report"); unknown names return 0.
+// "timing-campaign", "report", "fuzz-campaign"); unknown names return 0.
 func ParseKind(s string) Kind {
-	for _, k := range []Kind{KindReplay, KindNavigationCampaign, KindTimingCampaign, KindReport} {
+	for _, k := range Kinds() {
 		if k.String() == s {
 			return k
 		}
@@ -130,6 +137,12 @@ type Spec struct {
 	// Oracle overrides the campaign oracle (default ConsoleOracle). In-
 	// process only.
 	Oracle weberr.Oracle
+	// FuzzBudget, for fuzz campaigns, bounds how many replays the
+	// campaign spends (0 = campaign.DefaultFuzzBudget).
+	FuzzBudget int
+	// FuzzSeed seeds the fuzz campaign's mutation stream; a fixed seed
+	// and budget make the findings report byte-identical across runs.
+	FuzzSeed int64
 	// Grammar, for navigation campaigns, skips task-tree inference and
 	// injects errors into this grammar directly — for callers that
 	// already inferred it (the corpus runner fingerprints the grammar
@@ -182,16 +195,17 @@ type Job struct {
 	finished time.Time
 
 	// Results, by kind.
-	result   *replayer.Result   // replay: the (possibly partial) replay result
-	tab      *browser.Tab       // replay: final page state (single-session jobs)
-	session  *replayer.Session  // replay: retained for resume
-	plan     []campaign.Job     // campaigns: the executed trace plan, kept for resume
-	outcomes []campaign.Outcome // replicas and campaigns
-	report   *weberr.Report     // campaigns
-	tree     *weberr.TaskTree   // navigation campaigns
-	grammar  *weberr.Grammar    // navigation campaigns
-	class    *Classification    // report ingestion
-	resumed  string             // id of the job resuming this one
+	result   *replayer.Result    // replay: the (possibly partial) replay result
+	tab      *browser.Tab        // replay: final page state (single-session jobs)
+	session  *replayer.Session   // replay: retained for resume
+	plan     []campaign.Job      // campaigns: the executed trace plan, kept for resume
+	outcomes []campaign.Outcome  // replicas and campaigns
+	report   *weberr.Report      // campaigns
+	tree     *weberr.TaskTree    // navigation campaigns
+	grammar  *weberr.Grammar     // navigation campaigns
+	fuzz     *campaign.FuzzStats // fuzz campaigns
+	class    *Classification     // report ingestion
+	resumed  string              // id of the job resuming this one
 }
 
 // Events returns the job's event bus.
@@ -264,6 +278,14 @@ func (j *Job) Grammar() *weberr.Grammar {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.grammar
+}
+
+// FuzzStats returns a fuzz campaign's aggregate stats (nil until the
+// campaign ran).
+func (j *Job) FuzzStats() *campaign.FuzzStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fuzz
 }
 
 // Classification returns a report job's ingestion outcome.

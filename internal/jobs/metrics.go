@@ -29,8 +29,23 @@ type metrics struct {
 	ns       atomic.Int64
 	allocs   atomic.Int64
 
+	// Fuzz-campaign counters, accumulated over every finished fuzz
+	// campaign the engine ran.
+	fuzzGenerated atomic.Int64
+	fuzzDeduped   atomic.Int64
+	fuzzNovel     atomic.Int64
+	fuzzFindings  atomic.Int64
+
 	mu       sync.Mutex
 	baseline BenchBaseline
+}
+
+// observeFuzz accumulates one finished fuzz campaign's stats.
+func (m *metrics) observeFuzz(generated, deduped, novel, findings int) {
+	m.fuzzGenerated.Add(int64(generated))
+	m.fuzzDeduped.Add(int64(deduped))
+	m.fuzzNovel.Add(int64(novel))
+	m.fuzzFindings.Add(int64(findings))
 }
 
 // observeReplay records one driven session: steps replayed, wall time,
@@ -134,6 +149,11 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	gauge("warr_replay_ns_per_step", "Mean wall nanoseconds per replayed command.", perStep(ns))
 	gauge("warr_replay_allocs_per_step", "Mean heap allocations per replayed command.", perStep(allocs))
 
+	counter("warr_fuzz_candidates_total", "Candidates generated by fuzz campaigns.", m.fuzzGenerated.Load())
+	counter("warr_fuzz_deduped_total", "Fuzz candidates dropped by chained-digest dedupe.", m.fuzzDeduped.Load())
+	counter("warr_fuzz_coverage_novel_total", "Fuzz replays that set a new coverage bit.", m.fuzzNovel.Load())
+	counter("warr_fuzz_findings_total", "Oracle findings discovered by fuzz campaigns.", m.fuzzFindings.Load())
+
 	m.mu.Lock()
 	baseline := m.baseline
 	m.mu.Unlock()
@@ -162,5 +182,5 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 // Kinds lists every job kind — the metrics exporter enumerates it so
 // jobs-by-kind series exist even at zero.
 func Kinds() []Kind {
-	return []Kind{KindReplay, KindNavigationCampaign, KindTimingCampaign, KindReport}
+	return []Kind{KindReplay, KindNavigationCampaign, KindTimingCampaign, KindReport, KindFuzzCampaign}
 }

@@ -10,11 +10,16 @@ package jobs
 
 import (
 	"context"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"time"
 
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/errmodel"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
@@ -275,8 +280,14 @@ func (e *Engine) finishCampaign(job *Job, kind string, plan []campaign.Job, outc
 // newOutcomeEvent converts one executor outcome into its event.
 func newOutcomeEvent(out campaign.Outcome) OutcomeEvent {
 	ev := OutcomeEvent{Type: "outcome", Index: out.Index}
-	if inj, ok := out.Job.Meta.(weberr.Injection); ok {
-		ev.Injection = inj.String()
+	switch m := out.Job.Meta.(type) {
+	case weberr.Injection:
+		ev.Injection = m.String()
+	case campaign.FuzzCandidate:
+		ev.Injection = weberr.Injection{Kind: weberr.Fuzz, Detail: m.Program}.String()
+	}
+	if len(out.Coverage) > 0 {
+		ev.Coverage = hex.EncodeToString(out.Coverage)
 	}
 	switch {
 	case out.Skipped:
@@ -317,6 +328,122 @@ func newReportEvent(kind string, rep *weberr.Report) ReportEvent {
 		})
 	}
 	return ev
+}
+
+// ---- fuzz campaign ----
+
+// runFuzzCampaign runs the coverage-guided error-model fuzzing loop:
+// candidates from the composable human-error DSL over the spec trace,
+// scheduled in batches through the campaign executor, with replay
+// coverage feeding the mutation corpus. With a fixed FuzzSeed and
+// FuzzBudget the findings report is byte-identical across runs, so a
+// resumed fuzz job simply re-runs from scratch — determinism is the
+// checkpoint.
+func (e *Engine) runFuzzCampaign(job *Job) error {
+	spec := job.Spec
+	oracle := spec.Oracle
+	if oracle == nil {
+		oracle = weberr.ConsoleOracle
+	}
+	budget := spec.FuzzBudget
+	if budget <= 0 {
+		budget = campaign.DefaultFuzzBudget
+	}
+	fopts := campaign.FuzzOptions{
+		Budget:               budget,
+		Parallelism:          spec.Parallelism,
+		Replayer:             spec.Replayer,
+		DisablePrefixSharing: spec.DisablePrefixSharing,
+		// Same gating as the navigation campaign: a trace broken by its
+		// own injected error is a replay failure, not an app bug, and a
+		// cancelled partial replay must not be judged.
+		Inspect: func(cj campaign.Job, res *replayer.Result, tab *browser.Tab) error {
+			if res.Failed > 0 || res.Cancelled {
+				return nil
+			}
+			return oracle(tab, res)
+		},
+		Coverage: errmodel.CampaignCoverage,
+	}
+	// Offer each batch to the distributor under the same eligibility
+	// rules as enumerated campaigns; a refusal falls back to the local
+	// executor mid-loop.
+	if d := e.opts.Distributor; d != nil && spec.Oracle == nil && job.resumeFrom == nil {
+		dspec := DistSpec{
+			Campaign: "fuzz",
+			Mode:     spec.Mode,
+			Replayer: spec.Replayer,
+			// The fuzz loop owns pruning (determinism contract); workers
+			// must not prune on their own.
+			DisablePruning: true,
+			Parallelism:    spec.Parallelism,
+		}
+		fopts.Execute = func(ctx context.Context, exec *campaign.Executor, batch []campaign.Job) []campaign.Outcome {
+			if outs, ok := d.DistributeCampaign(ctx, exec, batch, dspec); ok {
+				return outs
+			}
+			return exec.Execute(ctx, batch)
+		}
+	}
+	fx := campaign.NewFuzzExecutor(e.factory(spec.Mode), fopts)
+	fx.OnBatch = func(st campaign.FuzzStats) {
+		job.bus.Publish(newFuzzEvent(st, budget))
+	}
+	src := errmodel.NewMutator(spec.Trace, spec.FuzzSeed, apps.QueryDictionary())
+	stats := fx.Run(job.ctx, src)
+	rep := fuzzReport(stats)
+	outcomes := fx.Outcomes()
+	job.mu.Lock()
+	job.outcomes = outcomes
+	job.report = rep
+	job.fuzz = stats
+	job.mu.Unlock()
+	e.metrics.observeFuzz(stats.Generated, stats.Deduped, stats.Novel, len(stats.Findings))
+	for _, out := range outcomes {
+		job.bus.Publish(newOutcomeEvent(out))
+	}
+	job.bus.Publish(newFuzzEvent(*stats, budget))
+	job.bus.Publish(newReportEvent("fuzz", rep))
+	return nil
+}
+
+// newFuzzEvent renders the campaign's running stats as an event frame.
+func newFuzzEvent(st campaign.FuzzStats, budget int) FuzzEvent {
+	return FuzzEvent{
+		Type:         "fuzz",
+		Generated:    st.Generated,
+		Deduped:      st.Deduped,
+		Pruned:       st.Pruned,
+		Replayed:     st.Replayed,
+		Skipped:      st.Skipped,
+		Novel:        st.Novel,
+		CorpusSize:   st.CorpusSize,
+		CoverageBits: st.CoverageBits,
+		Findings:     len(st.Findings),
+		Budget:       budget,
+		Spent:        st.Spent(),
+	}
+}
+
+// fuzzReport translates the fuzz campaign's stats into the shared
+// weberr report shape: each finding's injection is the Fuzz kind
+// carrying its serialized mutation program.
+func fuzzReport(st *campaign.FuzzStats) *weberr.Report {
+	rep := &weberr.Report{
+		Generated:      st.Generated,
+		Replayed:       st.Replayed,
+		Pruned:         st.Pruned,
+		Skipped:        st.Skipped,
+		ReplayFailures: st.ReplayFailures,
+	}
+	for _, f := range st.Findings {
+		rep.Findings = append(rep.Findings, weberr.Finding{
+			Injection: weberr.Injection{Kind: weberr.Fuzz, Detail: f.Program},
+			Trace:     f.Trace,
+			Observed:  errors.New(f.Observed),
+		})
+	}
+	return rep
 }
 
 // ---- AUsER report ingestion ----

@@ -78,6 +78,32 @@ type Snapshotter interface {
 	Snapshot() AppState
 }
 
+// CoverageSource is the optional coverage capability of an AppState:
+// the per-app state-transition lane of the replay coverage signal.
+// CoverageMarks derives a set of 64-bit marks from the current server
+// state — one mark per distinct observable fact (a stored page, a sent
+// mail, a served query, a bucketed counter). Marks must be a pure
+// function of the state: a forked or image-restored world reports the
+// same marks as the original, and no history beyond what the state
+// itself records is required.
+//
+// States without a CoverageSource still fuzz fine — their campaigns
+// fall back to digest-only dedup plus the DOM/event lanes of the
+// coverage fingerprint; `weberr -list` surfaces which apps degrade.
+type CoverageSource interface {
+	CoverageMarks() []uint64
+}
+
+// HasCoverageMarks probes whether an application's states implement
+// CoverageSource, by building one throwaway state.
+func HasCoverageMarks(a App) bool {
+	if a == nil {
+		return false
+	}
+	_, ok := a.NewState().(CoverageSource)
+	return ok
+}
+
 // NotSnapshottableError reports an Env.Fork against an application
 // whose state does not implement Snapshotter.
 type NotSnapshottableError struct{ App string }

@@ -18,7 +18,8 @@ import (
 
 // JobRequest is the POST /api/jobs body.
 type JobRequest struct {
-	// Kind is replay, navigation-campaign, timing-campaign, or report.
+	// Kind is replay, navigation-campaign, timing-campaign, report, or
+	// fuzz-campaign.
 	Kind string `json:"kind"`
 	// Trace names an uploaded trace (see POST /api/traces).
 	Trace string `json:"trace"`
@@ -37,6 +38,10 @@ type JobRequest struct {
 	// ablations.
 	DisablePruning       bool `json:"disablePruning,omitempty"`
 	DisablePrefixSharing bool `json:"disablePrefixSharing,omitempty"`
+	// FuzzBudget bounds a fuzz campaign's replay spend (0 = the engine
+	// default); FuzzSeed seeds its deterministic mutation stream.
+	FuzzBudget int   `json:"fuzzBudget,omitempty"`
+	FuzzSeed   int64 `json:"fuzzSeed,omitempty"`
 	// Description annotates report jobs.
 	Description string `json:"description,omitempty"`
 }
@@ -47,6 +52,7 @@ type JobRequest struct {
 const (
 	maxReplicas    = 1024
 	maxParallelism = 1024
+	maxFuzzBudget  = 65536
 )
 
 // DecodeJobRequest parses and validates a job-submission body.
@@ -90,6 +96,9 @@ func DecodeJobRequest(data []byte) (*JobRequest, error) {
 	if req.MaxTraces < 0 {
 		return nil, fmt.Errorf("serve: maxTraces %d negative", req.MaxTraces)
 	}
+	if req.FuzzBudget < 0 || req.FuzzBudget > maxFuzzBudget {
+		return nil, fmt.Errorf("serve: fuzzBudget %d out of range [0, %d]", req.FuzzBudget, maxFuzzBudget)
+	}
 	return &req, nil
 }
 
@@ -108,6 +117,8 @@ func (s *Server) specFor(req *JobRequest) (jobs.Spec, error) {
 		MaxTraces:            req.MaxTraces,
 		DisablePruning:       req.DisablePruning,
 		DisablePrefixSharing: req.DisablePrefixSharing,
+		FuzzBudget:           req.FuzzBudget,
+		FuzzSeed:             req.FuzzSeed,
 		Description:          req.Description,
 	}
 	if req.Mode == "user" {

@@ -734,3 +734,99 @@ func TestJobListOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestFuzzCampaignJobOverHTTP drives a fuzz campaign as a first-class
+// service job: submit with a budget and seed, watch the SSE stream's
+// fuzz-progress lane, and check the final report. Validation bounds on
+// the budget are exercised alongside.
+func TestFuzzCampaignJobOverHTTP(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	sc := apps.EditSiteScenario()
+	tr := recordScenario(t, sc)
+	name := uploadTrace(t, ts.URL, archiveBytes(t, sc, tr))
+
+	// Budget validation: negative and absurd budgets are rejected
+	// before a job is created.
+	for _, body := range []string{
+		`{"kind":"fuzz-campaign","trace":"` + name + `","fuzzBudget":-1}`,
+		`{"kind":"fuzz-campaign","trace":"` + name + `","fuzzBudget":1000000}`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, out := postJSON(t, ts.URL+"/api/jobs", JobRequest{
+		Kind: "fuzz-campaign", Trace: name, FuzzBudget: 24, FuzzSeed: 1,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, out)
+	}
+	var created JobView
+	if err := json.Unmarshal(out, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Kind != "fuzz-campaign" {
+		t.Errorf("created job kind %q", created.Kind)
+	}
+
+	frames := readSSE(t, ts.URL+"/api/jobs/"+created.ID+"/events")
+	var fuzzEvents, outcomes int
+	var last jobs.FuzzEvent
+	var report *jobs.ReportEvent
+	for _, f := range frames {
+		ev, err := jobs.DecodeEvent(f.Data)
+		if err != nil {
+			t.Fatalf("frame %q undecodable: %v", f.Data, err)
+		}
+		switch v := ev.(type) {
+		case jobs.FuzzEvent:
+			fuzzEvents++
+			if v.Spent < last.Spent || v.Generated < last.Generated {
+				t.Errorf("fuzz progress went backwards: %+v after %+v", v, last)
+			}
+			last = v
+		case jobs.OutcomeEvent:
+			outcomes++
+			if v.Injection == "" || !strings.HasPrefix(v.Injection, "fuzz: ") {
+				t.Errorf("outcome injection %q does not name its program", v.Injection)
+			}
+			if v.Status == "replayed" && v.Coverage == "" {
+				t.Errorf("replayed outcome %d carries no coverage fingerprint", v.Index)
+			}
+		case jobs.ReportEvent:
+			report = &v
+		}
+	}
+	if fuzzEvents < 2 { // at least one per-batch event plus the final one
+		t.Fatalf("stream carried %d fuzz events, want >= 2", fuzzEvents)
+	}
+	if last.Budget != 24 || last.Spent > 24 {
+		t.Errorf("final fuzz event budget=%d spent=%d", last.Budget, last.Spent)
+	}
+	if outcomes != last.Generated-last.Deduped {
+		t.Errorf("stream carried %d outcomes; stats say %d scheduled or pruned",
+			outcomes, last.Generated-last.Deduped)
+	}
+	if report == nil || report.Campaign != "fuzz" {
+		t.Fatalf("stream carried no fuzz report: %+v", report)
+	}
+	if len(report.Findings) == 0 {
+		t.Error("fuzz campaign on edit-site found nothing; the §V-C timing bug should fall out of the pace seeds")
+	}
+	for _, f := range report.Findings {
+		if !strings.HasPrefix(f.Injection, "fuzz: ") {
+			t.Errorf("finding injection %q not in fuzz form", f.Injection)
+		}
+	}
+
+	final := waitTerminal(t, ts.URL, created.ID)
+	if final.State != "done" || final.Findings != len(report.Findings) {
+		t.Errorf("final job view %+v, want done with %d findings", final, len(report.Findings))
+	}
+}

@@ -23,6 +23,10 @@ const (
 	Substitute
 	// Timing replays the correct trace with no wait time (§V-B).
 	Timing
+	// Fuzz marks a finding discovered by the coverage-guided error-model
+	// fuzzer (internal/errmodel); Detail carries the serialized mutation
+	// program that produced the erroneous trace.
+	Fuzz
 )
 
 func (k ErrorKind) String() string {
@@ -35,6 +39,8 @@ func (k ErrorKind) String() string {
 		return "substitute"
 	case Timing:
 		return "timing"
+	case Fuzz:
+		return "fuzz"
 	default:
 		return "unknown"
 	}

@@ -3,6 +3,7 @@ package warr
 import (
 	"context"
 
+	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
 
@@ -24,12 +25,14 @@ type Grammar = weberr.Grammar
 // ErrorKind enumerates the human-error operators.
 type ErrorKind = weberr.ErrorKind
 
-// Error kinds (§V-A navigation errors, §V-B timing errors).
+// Error kinds (§V-A navigation errors, §V-B timing errors, plus the
+// fuzzing campaign's marker kind).
 const (
 	Forget     = weberr.Forget
 	Reorder    = weberr.Reorder
 	Substitute = weberr.Substitute
 	Timing     = weberr.Timing
+	FuzzKind   = weberr.Fuzz
 )
 
 // Mutant is one single-error erroneous grammar.
@@ -97,3 +100,15 @@ func RunTimingCampaignContext(ctx context.Context, newEnv EnvFactory, tr Trace, 
 // ConsoleOracle flags any error-level console output — the oracle that
 // exposed the Google Sites uninitialized-variable bug (§V-C).
 var ConsoleOracle Oracle = weberr.ConsoleOracle
+
+// FuzzCampaignStats is the aggregate outcome of a fuzz-campaign job
+// (Job.FuzzStats): candidates generated / deduped / pruned / replayed,
+// coverage-novel corpus admissions, and the findings in discovery
+// order. With a fixed JobSpec.FuzzSeed and FuzzBudget it is
+// byte-identical across runs.
+type FuzzCampaignStats = campaign.FuzzStats
+
+// FuzzCampaignFinding is one oracle hit discovered by a fuzz campaign;
+// Program is the serialized human-error mutation program that produced
+// the erroneous trace.
+type FuzzCampaignFinding = campaign.FuzzFinding
