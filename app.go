@@ -309,14 +309,15 @@ type JobKind = jobs.Kind
 
 // Job kinds: one-shot replay (optionally replicated), the WebErr
 // navigation and timing campaigns, AUsER report ingestion
-// (replay → minimize → classify), and the coverage-guided error-model
-// fuzzing campaign.
+// (replay → minimize → classify), the coverage-guided error-model
+// fuzzing campaign, and the multi-user shared-world load campaign.
 const (
 	JobReplay             = jobs.KindReplay
 	JobNavigationCampaign = jobs.KindNavigationCampaign
 	JobTimingCampaign     = jobs.KindTimingCampaign
 	JobReport             = jobs.KindReport
 	JobFuzzCampaign       = jobs.KindFuzzCampaign
+	JobLoadCampaign       = jobs.KindLoadCampaign
 )
 
 // ParseJobKind resolves a job kind name; unknown names return 0.
@@ -379,6 +380,7 @@ type (
 	OutcomeEvent        = jobs.OutcomeEvent
 	CampaignReportEvent = jobs.ReportEvent
 	FuzzProgressEvent   = jobs.FuzzEvent
+	LoadProgressEvent   = jobs.LoadEvent
 	ClassificationEvent = jobs.ClassificationEvent
 )
 

@@ -20,6 +20,7 @@ package warr_test
 //	BenchmarkImageWriteRead             — WARR-IMAGE serialize + restore round trip (per-shard shipping cost)
 //	BenchmarkCampaignDistributed        — the full campaign through the coordinator/worker wire protocol
 //	BenchmarkFuzzCampaign               — one budgeted coverage-guided error-model fuzzing campaign
+//	BenchmarkLoadCampaign               — one multi-user load campaign (users/s on virtual time)
 //	BenchmarkSealReport                 — AUsER report encryption (§VI)
 
 import (
@@ -647,6 +648,33 @@ func BenchmarkFuzzCampaign(b *testing.B) {
 	b.ReportMetric(float64(stats.Replayed), "replays")
 	b.ReportMetric(float64(len(stats.Findings)), "findings")
 	b.ReportMetric(float64(stats.CoverageBits), "coverage-bits")
+}
+
+// BenchmarkLoadCampaign runs one multi-user load campaign over the
+// mixed workload: schedule exploration, shared-world absorption with
+// result sharing by world shape, and the interference checks. The
+// fixed seed makes every iteration explore the identical schedule set,
+// so ns/op is comparable across runs — and the findings metric doubles
+// as a determinism canary in the gate. users/s is the domain metric:
+// virtual users priced per wall-clock second.
+func BenchmarkLoadCampaign(b *testing.B) {
+	var rep *warr.LoadReport
+	b.ReportAllocs()
+	gcSettle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = warr.RunLoadCampaign(context.Background(), warr.LoadOptions{
+			Workload: "mixed", Users: 10000, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Users)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+	b.ReportMetric(float64(len(rep.Findings)), "findings")
+	b.ReportMetric(float64(rep.CoverageBits), "coverage-bits")
 }
 
 // BenchmarkSealReport measures AUsER's hybrid encryption of a full

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/fnv1a"
 	"github.com/dslab-epfl/warr/internal/spell"
+	"github.com/dslab-epfl/warr/internal/webapp"
 )
 
 // This file implements registry.CoverageSource for the five paper
@@ -48,6 +49,11 @@ func (s *Sites) CoverageMarks() []uint64 {
 		marks = append(marks, coverMark("sites.page", name, content))
 	}
 	marks = append(marks, coverMark("sites.saves", countBucket(s.saves)))
+	// Note marks only exist once notes do, so worlds that never touch
+	// the shared notes list report exactly the marks they always have.
+	for i, n := range s.notes {
+		marks = append(marks, coverMark("sites.note", strconv.Itoa(i), n))
+	}
 	return marks
 }
 
@@ -67,7 +73,11 @@ func (g *GMail) CoverageMarks() []uint64 {
 func (y *Yahoo) CoverageMarks() []uint64 {
 	y.mu.Lock()
 	defer y.mu.Unlock()
-	return []uint64{coverMark("yahoo.logins", countBucket(y.logins))}
+	marks := []uint64{coverMark("yahoo.logins", countBucket(y.logins))}
+	if y.lastName != "" {
+		marks = append(marks, coverMark("yahoo.presence", y.lastName))
+	}
+	return marks
 }
 
 // CoverageMarks reports one mark per spreadsheet cell.
@@ -77,6 +87,9 @@ func (d *Docs) CoverageMarks() []uint64 {
 	marks := make([]uint64, 0, len(d.cells))
 	for name, value := range d.cells {
 		marks = append(marks, coverMark("docs.cell", name, value))
+	}
+	if d.tally > 0 {
+		marks = append(marks, coverMark("docs.tally", countBucket(d.tally)))
 	}
 	return marks
 }
@@ -102,6 +115,40 @@ func (e *SearchEngine) CoverageMarks() []uint64 {
 	}
 	marks = append(marks, coverMark("search.count", e.EngineName, countBucket(len(e.queries))))
 	return marks
+}
+
+// sessionMarks hashes every live server-side session into one mark —
+// id plus sorted values — implementing the per-session coverage lane
+// (registry.SessionCoverageSource) for the webapp-based applications.
+// Session ids are minted in request order, so the marks are a pure
+// function of the request history the world has served.
+func sessionMarks(app string, srv *webapp.Server) []uint64 {
+	snaps := srv.SessionSnapshots()
+	marks := make([]uint64, 0, len(snaps))
+	for _, sn := range snaps {
+		parts := make([]string, 0, len(sn.Values)+2)
+		parts = append(parts, app+".session", sn.ID)
+		parts = append(parts, sn.Values...)
+		marks = append(marks, coverMark(parts...))
+	}
+	return marks
+}
+
+// SessionCoverageMarks implements registry.SessionCoverageSource.
+func (s *Sites) SessionCoverageMarks() []uint64 { return sessionMarks("sites", s.srv) }
+
+// SessionCoverageMarks implements registry.SessionCoverageSource.
+func (g *GMail) SessionCoverageMarks() []uint64 { return sessionMarks("gmail", g.srv) }
+
+// SessionCoverageMarks implements registry.SessionCoverageSource.
+func (y *Yahoo) SessionCoverageMarks() []uint64 { return sessionMarks("yahoo", y.srv) }
+
+// SessionCoverageMarks implements registry.SessionCoverageSource.
+func (d *Docs) SessionCoverageMarks() []uint64 { return sessionMarks("docs", d.srv) }
+
+// SessionCoverageMarks implements registry.SessionCoverageSource.
+func (e *SearchEngine) SessionCoverageMarks() []uint64 {
+	return sessionMarks("search."+e.EngineName, e.srv)
 }
 
 // QueryDictionary exposes the memoized full-corpus spell dictionary the

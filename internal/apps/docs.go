@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -43,6 +44,7 @@ type Docs struct {
 
 	mu    sync.Mutex
 	cells map[string]string
+	tally int
 }
 
 // docsSeed is the initial sheet: first-column labels only.
@@ -60,6 +62,8 @@ func NewDocs() *Docs {
 	srv := webapp.NewServer("docs")
 	srv.Handle("/", d.sheet)
 	srv.Handle("/set", d.set)
+	srv.Handle("/tally", d.tallyView)
+	srv.Handle("/tally/bump", d.tallyBump)
 	d.srv = srv
 	return d
 }
@@ -79,6 +83,7 @@ func (d *Docs) Snapshot() registry.AppState {
 	for k, v := range d.cells {
 		dup.cells[k] = v
 	}
+	dup.tally = d.tally
 	d.mu.Unlock()
 	dup.srv.CopySessionsFrom(d.srv)
 	return dup
@@ -88,6 +93,7 @@ func (d *Docs) Snapshot() registry.AppState {
 func (d *Docs) Reset() {
 	d.mu.Lock()
 	d.cells = docsSeed()
+	d.tally = 0
 	d.mu.Unlock()
 	d.srv.ResetSessions()
 }
@@ -154,6 +160,51 @@ function cellKey(event, id) {
 }
 `
 	return netsim.OK(webapp.Page("Budget - Google Docs", body, script))
+}
+
+// Tally returns the shared sheet counter.
+func (d *Docs) Tally() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tally
+}
+
+// tallyView renders the shared sheet counter with a "+1" control. The
+// control carries the successor value computed at render time: the
+// page reads tally=N and bakes N+1 into the bump URL, so the eventual
+// write stores an absolute value derived from a possibly stale read.
+// Single-user flows never notice; two users who both render N commit
+// N+1 twice and one increment vanishes (the seeded stale-read bug).
+func (d *Docs) tallyView(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	d.mu.Lock()
+	n := d.tally
+	d.mu.Unlock()
+
+	body := fmt.Sprintf(`
+<div id="title">Edit tally - Google Docs</div>
+<div id="tally">%d</div>
+<div id="bump" onclick="bumpTally()">+1</div>`, n)
+
+	script := fmt.Sprintf(`
+function bumpTally() {
+	window.location = "/tally/bump?v=%d";
+}
+`, n+1)
+
+	return netsim.OK(webapp.Page("Edit tally - Google Docs", body, script))
+}
+
+// tallyBump stores the absolute successor the page computed at render
+// time (the seeded stale-read bug; see tallyView).
+func (d *Docs) tallyBump(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	v, err := strconv.Atoi(req.Form.Get("v"))
+	if err != nil {
+		return netsim.NotFound()
+	}
+	d.mu.Lock()
+	d.tally = v
+	d.mu.Unlock()
+	return webapp.Redirect("/tally")
 }
 
 // set commits one cell value and re-renders the sheet.

@@ -2,6 +2,8 @@ package apps
 
 import (
 	"fmt"
+	"net/url"
+	"strings"
 	"sync"
 
 	"github.com/dslab-epfl/warr/internal/netsim"
@@ -40,6 +42,7 @@ type Sites struct {
 	mu    sync.Mutex
 	pages map[string]string
 	saves int
+	notes []string
 }
 
 // NewSites returns a Sites application with one empty page, "home".
@@ -49,6 +52,8 @@ func NewSites() *Sites {
 	srv.Handle("/", s.view)
 	srv.Handle("/content", s.content)
 	srv.Handle("/save", s.save)
+	srv.Handle("/notes", s.notesView)
+	srv.Handle("/notes/save", s.notesSave)
 	s.srv = srv
 	return s
 }
@@ -69,6 +74,7 @@ func (s *Sites) Snapshot() registry.AppState {
 		dup.pages[k] = v
 	}
 	dup.saves = s.saves
+	dup.notes = append([]string(nil), s.notes...)
 	s.mu.Unlock()
 	dup.srv.CopySessionsFrom(s.srv)
 	return dup
@@ -79,6 +85,7 @@ func (s *Sites) Reset() {
 	s.mu.Lock()
 	s.pages = map[string]string{"home": ""}
 	s.saves = 0
+	s.notes = nil
 	s.mu.Unlock()
 	s.srv.ResetSessions()
 }
@@ -180,6 +187,71 @@ func (s *Sites) save(req *netsim.Request, sess *webapp.Session) *netsim.Response
 	s.saves++
 	s.mu.Unlock()
 	return webapp.Redirect("/?page=" + page)
+}
+
+// Notes returns the shared notes list in stored order.
+func (s *Sites) Notes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.notes...)
+}
+
+// notesView renders the shared notes list of the site. The "Add note"
+// control is wired the way many early AJAX apps wired collection
+// edits: the server composes the save URL at render time, baking the
+// list AS READ NOW into the link — a read-modify-write whose read
+// happens when the page renders and whose write happens when the user
+// clicks. With one user that is indistinguishable from correct; with
+// concurrent users, two renders of the same list make the second save
+// overwrite the first user's note (a lost update).
+func (s *Sites) notesView(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	me := req.Form.Get("me")
+	s.mu.Lock()
+	notes := append([]string(nil), s.notes...)
+	s.mu.Unlock()
+
+	var list strings.Builder
+	if len(notes) == 0 {
+		list.WriteString(`<div class="note">No notes yet.</div>`)
+	}
+	for _, n := range notes {
+		fmt.Fprintf(&list, `<div class="note">%s</div>`, htmlEscape(n))
+	}
+
+	body := fmt.Sprintf(`
+<div id="sitehdr">Site notes</div>
+<div id="notes">%s</div>
+<div id="addnote" onclick="addNote()">Add note</div>`, list.String())
+
+	saveURL := "/notes/save?me=" + url.QueryEscape(me) +
+		"&list=" + url.QueryEscape(strings.Join(notes, ","))
+	script := fmt.Sprintf(`
+function addNote() {
+	window.location = %q;
+}
+`, saveURL)
+
+	return netsim.OK(webapp.Page("Site notes - Google Sites", body, script))
+}
+
+// notesSave stores the submitted list plus the submitter's note —
+// trusting the list the page read at render time (the seeded
+// lost-update bug; see notesView).
+func (s *Sites) notesSave(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	var notes []string
+	for _, n := range strings.Split(req.Form.Get("list"), ",") {
+		if n != "" {
+			notes = append(notes, n)
+		}
+	}
+	if me := req.Form.Get("me"); me != "" {
+		notes = append(notes, me)
+	}
+	s.mu.Lock()
+	s.notes = notes
+	s.saves++
+	s.mu.Unlock()
+	return webapp.Redirect("/notes?me=" + url.QueryEscape(req.Form.Get("me")))
 }
 
 func pageName(req *netsim.Request) string {

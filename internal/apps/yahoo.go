@@ -31,8 +31,9 @@ func init() { registry.MustRegisterApp(yahooApp{}) }
 type Yahoo struct {
 	srv *webapp.Server
 
-	mu     sync.Mutex
-	logins int
+	mu       sync.Mutex
+	logins   int
+	lastName string
 }
 
 // NewYahoo returns a fresh portal.
@@ -41,6 +42,8 @@ func NewYahoo() *Yahoo {
 	srv := webapp.NewServer("yahoo")
 	srv.Handle("/", y.home)
 	srv.Handle("/login", y.login)
+	srv.Handle("/presence/hello", y.presenceHello)
+	srv.Handle("/presence", y.presence)
 	y.srv = srv
 	return y
 }
@@ -57,6 +60,7 @@ func (y *Yahoo) Snapshot() registry.AppState {
 	dup := NewYahoo()
 	y.mu.Lock()
 	dup.logins = y.logins
+	dup.lastName = y.lastName
 	y.mu.Unlock()
 	dup.srv.CopySessionsFrom(y.srv)
 	return dup
@@ -66,6 +70,7 @@ func (y *Yahoo) Snapshot() registry.AppState {
 func (y *Yahoo) Reset() {
 	y.mu.Lock()
 	y.logins = 0
+	y.lastName = ""
 	y.mu.Unlock()
 	y.srv.ResetSessions()
 }
@@ -106,6 +111,44 @@ func (y *Yahoo) home(req *netsim.Request, sess *webapp.Session) *netsim.Response
 %s`, account)
 
 	return netsim.OK(webapp.Page("Yahoo!", body, ""))
+}
+
+// LastPresence returns the portal-global last-arrival slot (test
+// introspection for the seeded session-collision bug).
+func (y *Yahoo) LastPresence() string {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return y.lastName
+}
+
+// presenceHello announces a user. The name is stored in the session —
+// and also in a portal-global "last arrival" slot, a classic shortcut
+// from the single-user test environment where the two are always the
+// same user.
+func (y *Yahoo) presenceHello(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	name := req.Form.Get("name")
+	sess.Set("pname", name)
+	y.mu.Lock()
+	y.lastName = name
+	y.mu.Unlock()
+	return webapp.Redirect("/presence")
+}
+
+// presence greets the visitor. The greeting should read the session's
+// pname — instead it reads the portal-global slot (the seeded
+// session-collision bug): correct whenever the visitor was the last
+// arrival, i.e. always in single-user runs, and wrong exactly when
+// another user said hello in between.
+func (y *Yahoo) presence(req *netsim.Request, sess *webapp.Session) *netsim.Response {
+	y.mu.Lock()
+	name := y.lastName
+	y.mu.Unlock()
+
+	body := fmt.Sprintf(`
+<div id="masthead">Yahoo!</div>
+<div id="who">Hello, %s</div>`, htmlEscape(name))
+
+	return netsim.OK(webapp.Page("Yahoo! Presence", body, ""))
 }
 
 // login accepts any account with a non-empty ID and password.

@@ -12,6 +12,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/image"
 	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
 )
@@ -55,9 +56,11 @@ type Pool struct {
 	imagesShipped int
 	stolenTails   int
 	campaigns     int
+	loadCampaigns int
 }
 
-// poolRun is one campaign in flight.
+// poolRun is one campaign in flight: a trace campaign (plan set) or a
+// load campaign (loadShards set).
 type poolRun struct {
 	jobs      []campaign.Job
 	plan      *campaign.ShardPlan
@@ -67,6 +70,12 @@ type poolRun struct {
 	completed []bool
 	remaining int
 	done      chan struct{}
+
+	// Load campaigns: shards of schedule jobs keyed by schedule prefix,
+	// and the merged results (any order — the campaign reorders by job
+	// index).
+	loadShards [][]multiuser.ScheduleJob
+	loadOut    []multiuser.ScheduleResult
 }
 
 type lease struct {
@@ -226,6 +235,72 @@ func (p *Pool) DistributeCampaign(ctx context.Context, exec *campaign.Executor, 
 	return sp.Outcomes, true
 }
 
+// DistributeLoad implements jobs.LoadDistributor: shard the campaign's
+// deduplicated schedule jobs by schedule prefix (jobs whose
+// interleavings start at the same user land on the same worker, so a
+// worker explores one contention neighbourhood at a time) and feed the
+// shard queue to polling workers. Schedule execution is deterministic,
+// so a re-queued shard re-run by a surviving worker — or a duplicate
+// completion dropped by first-merge-wins — yields the same results,
+// and findings are identical to local execution under any sharding.
+func (p *Pool) DistributeLoad(ctx context.Context, sjobs []multiuser.ScheduleJob) ([]multiuser.ScheduleResult, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(sjobs) == 0 {
+		return nil, true
+	}
+	p.mu.Lock()
+	if p.connectedLocked() == 0 || p.run != nil {
+		p.mu.Unlock()
+		return nil, false
+	}
+	shards := shardSchedules(sjobs)
+	run := &poolRun{
+		leases:     make(map[string]*lease),
+		completed:  make([]bool, len(shards)),
+		remaining:  len(shards),
+		done:       make(chan struct{}),
+		loadShards: shards,
+		loadOut:    make([]multiuser.ScheduleResult, 0, len(sjobs)),
+	}
+	for i := range shards {
+		run.queue = append(run.queue, i)
+	}
+	p.run = run
+	p.loadCampaigns++
+	p.mu.Unlock()
+
+	ok := p.await(ctx, run)
+	p.clearRun(run)
+	if !ok {
+		return nil, false
+	}
+	return run.loadOut, true
+}
+
+// shardSchedules groups schedule jobs by prefix: world size plus the
+// first scheduled user. Grouping is deterministic (first-appearance
+// order) and independent of worker count.
+func shardSchedules(sjobs []multiuser.ScheduleJob) [][]multiuser.ScheduleJob {
+	index := make(map[string]int)
+	var shards [][]multiuser.ScheduleJob
+	for _, sj := range sjobs {
+		key := sj.Workload + "\x00" + sj.Schedule
+		if s, err := multiuser.ParseSchedule(sj.Schedule); err == nil && len(s.Slots) > 0 {
+			key = fmt.Sprintf("%s\x00%d:%d", sj.Workload, sj.Users, s.Slots[0])
+		}
+		si, ok := index[key]
+		if !ok {
+			si = len(shards)
+			index[key] = si
+			shards = append(shards, nil)
+		}
+		shards[si] = append(shards[si], sj)
+	}
+	return shards
+}
+
 func (p *Pool) clearRun(run *poolRun) {
 	p.mu.Lock()
 	if p.run == run {
@@ -251,6 +326,13 @@ func (p *Pool) await(ctx context.Context, run *poolRun) bool {
 			return true
 		case <-ctx.Done():
 			p.mu.Lock()
+			if run.loadShards != nil {
+				// A load campaign has no skipped-outcome shape: hand the
+				// campaign back, and the local path reports the
+				// cancellation.
+				p.mu.Unlock()
+				return false
+			}
 			p.skipUnfinishedLocked(run)
 			p.mu.Unlock()
 			return true
@@ -316,7 +398,7 @@ func (p *Pool) grant(worker string) WireLease {
 	if run == nil {
 		return WireLease{Status: StatusIdle}
 	}
-	if run.plan == nil || len(run.queue) == 0 {
+	if (run.plan == nil && run.loadShards == nil) || len(run.queue) == 0 {
 		return WireLease{Status: StatusWait}
 	}
 	si := run.queue[0]
@@ -324,6 +406,15 @@ func (p *Pool) grant(worker string) WireLease {
 	p.nextLease++
 	l := &lease{id: fmt.Sprintf("lease-%d", p.nextLease), shard: si, worker: worker}
 	run.leases[l.id] = l
+	if run.loadShards != nil {
+		return WireLease{
+			Status:    StatusLease,
+			ID:        l.id,
+			Campaign:  "load",
+			TTLMillis: p.opts.LeaseTTL.Milliseconds(),
+			LoadJobs:  run.loadShards[si],
+		}
+	}
 	sh := run.plan.Shards[si]
 	if owner, ok := p.imageOwner[sh.Image]; !ok {
 		p.imageOwner[sh.Image] = worker
@@ -357,7 +448,7 @@ func (p *Pool) complete(msg CompleteMsg) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	run := p.run
-	if run == nil || run.plan == nil {
+	if run == nil || (run.plan == nil && run.loadShards == nil) {
 		return
 	}
 	l, ok := run.leases[msg.Lease]
@@ -366,6 +457,30 @@ func (p *Pool) complete(msg CompleteMsg) {
 	}
 	delete(run.leases, msg.Lease)
 	if run.completed[l.shard] {
+		return
+	}
+	if run.loadShards != nil {
+		shard := run.loadShards[l.shard]
+		if len(msg.LoadResults) != len(shard) {
+			p.logf("distrib: rejecting load shard %d report from %s: %d results for %d jobs",
+				l.shard, msg.Worker, len(msg.LoadResults), len(shard))
+			run.queue = append(run.queue, l.shard)
+			return
+		}
+		for i, r := range msg.LoadResults {
+			if r.Index != shard[i].Index {
+				p.logf("distrib: rejecting load shard %d report from %s: job index %d at position %d, want %d",
+					l.shard, msg.Worker, r.Index, i, shard[i].Index)
+				run.queue = append(run.queue, l.shard)
+				return
+			}
+		}
+		run.loadOut = append(run.loadOut, msg.LoadResults...)
+		run.completed[l.shard] = true
+		run.remaining--
+		if run.remaining == 0 {
+			close(run.done)
+		}
 		return
 	}
 	sh := run.plan.Shards[l.shard]
@@ -458,4 +573,7 @@ func (p *Pool) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP warr_distrib_campaigns_total Campaigns the pool accepted for distribution.\n")
 	fmt.Fprintf(w, "# TYPE warr_distrib_campaigns_total counter\n")
 	fmt.Fprintf(w, "warr_distrib_campaigns_total %d\n", p.campaigns)
+	fmt.Fprintf(w, "# HELP warr_distrib_load_campaigns_total Load campaigns the pool accepted for distribution.\n")
+	fmt.Fprintf(w, "# TYPE warr_distrib_load_campaigns_total counter\n")
+	fmt.Fprintf(w, "warr_distrib_load_campaigns_total %d\n", p.loadCampaigns)
 }

@@ -32,6 +32,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/command"
 	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/replayer"
 )
 
@@ -64,7 +65,7 @@ type WireJob struct {
 type WireLease struct {
 	Status string `json:"status"`
 	ID     string `json:"id,omitempty"`
-	// Campaign is "navigation", "timing", or "fuzz".
+	// Campaign is "navigation", "timing", "fuzz", or "load".
 	Campaign       string                `json:"campaign,omitempty"`
 	Mode           browser.Mode          `json:"mode,omitempty"`
 	Replayer       replayer.OptionsImage `json:"replayer"`
@@ -81,14 +82,21 @@ type WireLease struct {
 	// contact the coordinator again within this interval or the shard
 	// is re-queued.
 	TTLMillis int64 `json:"ttlMillis,omitempty"`
+	// LoadJobs is a load-campaign shard ("load" leases carry these
+	// instead of Image/Jobs): self-describing multi-user schedule jobs
+	// the worker executes in fresh shared worlds of its own.
+	LoadJobs []multiuser.ScheduleJob `json:"loadJobs,omitempty"`
 }
 
 // CompleteMsg reports a finished shard: one OutcomeEvent per shard job,
-// indexed by position within the shard.
+// indexed by position within the shard — or, for load leases, one
+// ScheduleResult per schedule job, carrying the lease's original job
+// indices.
 type CompleteMsg struct {
-	Worker   string              `json:"worker"`
-	Lease    string              `json:"lease"`
-	Outcomes []jobs.OutcomeEvent `json:"outcomes"`
+	Worker      string                     `json:"worker"`
+	Lease       string                     `json:"lease"`
+	Outcomes    []jobs.OutcomeEvent        `json:"outcomes,omitempty"`
+	LoadResults []multiuser.ScheduleResult `json:"loadResults,omitempty"`
 }
 
 // wireReplayer extracts the serializable subset of replayer options

@@ -18,6 +18,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/errmodel"
 	"github.com/dslab-epfl/warr/internal/image"
 	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
@@ -111,13 +112,18 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		outs := w.execute(ctx, l)
+		msg := CompleteMsg{Worker: w.opts.ID, Lease: l.ID}
+		if l.Campaign == "load" {
+			msg.LoadResults = w.executeLoad(ctx, l)
+		} else {
+			msg.Outcomes = w.execute(ctx, l)
+		}
 		if ctx.Err() != nil {
 			// Dying mid-shard: report nothing. Partial outcomes must not
 			// merge — the lease expires and the shard re-runs whole.
 			return ctx.Err()
 		}
-		if err := w.complete(ctx, l, outs); err != nil {
+		if err := w.complete(ctx, msg); err != nil {
 			w.logf("distrib: %s: reporting lease %s: %v", w.opts.ID, l.ID, err)
 		}
 	}
@@ -175,6 +181,25 @@ func (w *Worker) execute(ctx context.Context, l *WireLease) []jobs.OutcomeEvent 
 		evs[i] = encodeOutcome(i, out)
 	}
 	return evs
+}
+
+// executeLoad runs one leased load shard: each schedule job rebuilds
+// its shared world from the process's workload registry and executes
+// deterministically — no image crosses the wire, the schedule codec is
+// the whole recipe. A heartbeat loop keeps the lease alive.
+func (w *Worker) executeLoad(ctx context.Context, l *WireLease) []multiuser.ScheduleResult {
+	hctx, stop := context.WithCancel(ctx)
+	defer stop()
+	go w.heartbeat(hctx, l)
+
+	results := make([]multiuser.ScheduleResult, 0, len(l.LoadJobs))
+	for _, sj := range l.LoadJobs {
+		if ctx.Err() != nil {
+			return nil
+		}
+		results = append(results, multiuser.ExecuteScheduleJob(sj))
+	}
+	return results
 }
 
 // executor rebuilds the campaign's executor from the lease: the
@@ -281,8 +306,8 @@ func (w *Worker) fetchImage(ctx context.Context, digest string) (*image.Image, e
 }
 
 // complete reports the shard's outcomes.
-func (w *Worker) complete(ctx context.Context, l *WireLease, outs []jobs.OutcomeEvent) error {
-	body, err := json.Marshal(CompleteMsg{Worker: w.opts.ID, Lease: l.ID, Outcomes: outs})
+func (w *Worker) complete(ctx context.Context, msg CompleteMsg) error {
+	body, err := json.Marshal(msg)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
 )
@@ -84,6 +85,17 @@ type DistSpec struct {
 // produce.
 type Distributor interface {
 	DistributeCampaign(ctx context.Context, exec *campaign.Executor, plan []campaign.Job, spec DistSpec) ([]campaign.Outcome, bool)
+}
+
+// LoadDistributor is the optional capability a Distributor may add to
+// execute multi-user load-campaign schedules across the worker pool.
+// Schedule jobs are self-describing wire values (workload name, user
+// count, schedule codec, mode, gap), so any worker can rebuild the
+// exact shared world locally; ok == false falls back to in-process
+// execution, and when ok the results must be complete and keyed by the
+// jobs' indices — the campaign reassembles them deterministically.
+type LoadDistributor interface {
+	DistributeLoad(ctx context.Context, sjobs []multiuser.ScheduleJob) ([]multiuser.ScheduleResult, bool)
 }
 
 // Engine runs jobs over a bounded queue and a worker pool.
@@ -350,6 +362,8 @@ func (e *Engine) run(job *Job) {
 		err = e.runReport(job)
 	case KindFuzzCampaign:
 		err = e.runFuzzCampaign(job)
+	case KindLoadCampaign:
+		err = e.runLoadCampaign(job)
 	default:
 		err = fmt.Errorf("jobs: unknown job kind %d", job.Spec.Kind)
 	}

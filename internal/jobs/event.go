@@ -194,6 +194,28 @@ type FuzzEvent struct {
 
 func (FuzzEvent) EventType() string { return "fuzz" }
 
+// LoadEvent reports a load campaign's running progress, published as
+// worlds are absorbed — the SSE progress lane of warr-load and
+// warr-serve load jobs. The closing frame carries the final counters.
+type LoadEvent struct {
+	Type     string `json:"type"`
+	Workload string `json:"workload"`
+	// Users is the campaign's total virtual user count.
+	Users int `json:"users"`
+	// Worlds and WorldsDone track shared-world absorption.
+	Worlds     int `json:"worlds"`
+	WorldsDone int `json:"worldsDone"`
+	// Executed counts schedules actually run; Shared counts world
+	// schedules served from an identical already-executed run.
+	Executed int `json:"executed"`
+	Shared   int `json:"shared"`
+	// CoverageBits and Findings are only set on the closing frame.
+	CoverageBits int `json:"coverageBits,omitempty"`
+	Findings     int `json:"findings,omitempty"`
+}
+
+func (LoadEvent) EventType() string { return "load" }
+
 // ClassificationEvent reports the outcome of AUsER report ingestion:
 // the server-side replay → minimize → classify pipeline (Fig. 1).
 type ClassificationEvent struct {
@@ -262,6 +284,8 @@ func DecodeEvent(line []byte) (Event, error) {
 		ev = &ReportEvent{}
 	case "fuzz":
 		ev = &FuzzEvent{}
+	case "load":
+		ev = &LoadEvent{}
 	case "classification":
 		ev = &ClassificationEvent{}
 	default:
@@ -284,6 +308,8 @@ func DecodeEvent(line []byte) (Event, error) {
 	case *ReportEvent:
 		return *v, nil
 	case *FuzzEvent:
+		return *v, nil
+	case *LoadEvent:
 		return *v, nil
 	case *ClassificationEvent:
 		return *v, nil

@@ -161,6 +161,14 @@ func TestEventLinesPinned(t *testing.T) {
 			`{"type":"fuzz","generated":26,"deduped":2,"pruned":0,"replayed":24,"skipped":0,"novel":14,"corpusSize":14,"coverageBits":50,"findings":2,"budget":24,"spent":24}`,
 		},
 		{
+			LoadEvent{Type: "load", Workload: "sites-notes", Users: 8, Worlds: 2, WorldsDone: 1, Executed: 3, Shared: 1},
+			`{"type":"load","workload":"sites-notes","users":8,"worlds":2,"worldsDone":1,"executed":3,"shared":1}`,
+		},
+		{
+			LoadEvent{Type: "load", Workload: "docs-tally", Users: 8, Worlds: 2, WorldsDone: 2, Executed: 4, Shared: 2, CoverageBits: 11, Findings: 1},
+			`{"type":"load","workload":"docs-tally","users":8,"worlds":2,"worldsDone":2,"executed":4,"shared":2,"coverageBits":11,"findings":1}`,
+		},
+		{
 			// The outcome line of a fuzz campaign: the injection is the
 			// mutation program, and the coverage fingerprint rides along
 			// as hex. Both fields are omitempty, so enumerated-campaign
@@ -191,6 +199,7 @@ func TestEventRoundTrip(t *testing.T) {
 			Findings: []FindingRecord{{Injection: "i", Observed: "o"}}},
 		ClassificationEvent{Type: "classification", Verdict: "no-repro", Commands: 4, MinimizedCommands: 4, Replays: 1},
 		FuzzEvent{Type: "fuzz", Generated: 9, Deduped: 1, Pruned: 1, Replayed: 6, Skipped: 1, Novel: 3, CorpusSize: 3, CoverageBits: 17, Findings: 1, Budget: 8, Spent: 7},
+		LoadEvent{Type: "load", Workload: "mixed", Users: 12, Worlds: 3, WorldsDone: 3, Executed: 6, Shared: 3, CoverageBits: 21, Findings: 2},
 		OutcomeEvent{Type: "outcome", Index: 2, Injection: "fuzz: omit:3", Status: "replayed", Coverage: "deadbeef"},
 	}
 	for _, ev := range events {

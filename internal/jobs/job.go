@@ -10,6 +10,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
@@ -37,6 +38,11 @@ const (
 	// (internal/errmodel), scheduled through the campaign executor with
 	// replay-coverage feedback.
 	KindFuzzCampaign
+	// KindLoadCampaign runs the multi-user load campaign: Users virtual
+	// users in shared worlds, interleavings explored per world by the
+	// deterministic schedule explorer (internal/multiuser), surfacing
+	// contention-only findings no single-user campaign can reach.
+	KindLoadCampaign
 )
 
 func (k Kind) String() string {
@@ -51,13 +57,16 @@ func (k Kind) String() string {
 		return "report"
 	case KindFuzzCampaign:
 		return "fuzz-campaign"
+	case KindLoadCampaign:
+		return "load-campaign"
 	default:
 		return "unknown"
 	}
 }
 
 // ParseKind resolves a kind name ("replay", "navigation-campaign",
-// "timing-campaign", "report", "fuzz-campaign"); unknown names return 0.
+// "timing-campaign", "report", "fuzz-campaign", "load-campaign");
+// unknown names return 0.
 func ParseKind(s string) Kind {
 	for _, k := range Kinds() {
 		if k.String() == s {
@@ -150,6 +159,24 @@ type Spec struct {
 	Grammar *weberr.Grammar
 	// Description, for report jobs, is the user's bug description.
 	Description string
+	// Workload, for load campaigns, names the multi-user workload (load
+	// campaigns take a workload, not a trace).
+	Workload string
+	// Users is a load campaign's total virtual user count; Cohort is how
+	// many share one world; ScheduleBudget bounds the interleavings
+	// explored per world size (0s take the multiuser defaults).
+	Users          int
+	Cohort         int
+	ScheduleBudget int
+	// ScheduleSeed seeds the interleaving explorer; a fixed seed and
+	// budget make the findings report byte-identical across runs.
+	ScheduleSeed int64
+	// Duration, for load campaigns, is each world's virtual time budget
+	// (0 = default per-slot pacing).
+	Duration time.Duration
+	// LoadSharing disabled re-executes identical world schedules instead
+	// of sharing their results — the load campaign's cost ablation.
+	DisableLoadSharing bool
 }
 
 // Classification is the stored outcome of AUsER report ingestion.
@@ -204,6 +231,7 @@ type Job struct {
 	tree     *weberr.TaskTree    // navigation campaigns
 	grammar  *weberr.Grammar     // navigation campaigns
 	fuzz     *campaign.FuzzStats // fuzz campaigns
+	load     *multiuser.Report   // load campaigns
 	class    *Classification     // report ingestion
 	resumed  string              // id of the job resuming this one
 }
@@ -286,6 +314,14 @@ func (j *Job) FuzzStats() *campaign.FuzzStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.fuzz
+}
+
+// LoadReport returns a load campaign's report (nil until the campaign
+// ran).
+func (j *Job) LoadReport() *multiuser.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.load
 }
 
 // Classification returns a report job's ingestion outcome.

@@ -36,8 +36,27 @@ type metrics struct {
 	fuzzNovel     atomic.Int64
 	fuzzFindings  atomic.Int64
 
+	// Load-campaign counters, accumulated over every finished load
+	// campaign, plus the last campaign's user count as a gauge.
+	loadUsers     atomic.Int64
+	loadWorlds    atomic.Int64
+	loadSchedules atomic.Int64
+	loadShared    atomic.Int64
+	loadFindings  atomic.Int64
+	loadLastUsers atomic.Int64
+
 	mu       sync.Mutex
 	baseline BenchBaseline
+}
+
+// observeLoad accumulates one finished load campaign's stats.
+func (m *metrics) observeLoad(users, worlds, executed, shared, findings int) {
+	m.loadUsers.Add(int64(users))
+	m.loadWorlds.Add(int64(worlds))
+	m.loadSchedules.Add(int64(executed))
+	m.loadShared.Add(int64(shared))
+	m.loadFindings.Add(int64(findings))
+	m.loadLastUsers.Store(int64(users))
 }
 
 // observeFuzz accumulates one finished fuzz campaign's stats.
@@ -154,6 +173,13 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	counter("warr_fuzz_coverage_novel_total", "Fuzz replays that set a new coverage bit.", m.fuzzNovel.Load())
 	counter("warr_fuzz_findings_total", "Oracle findings discovered by fuzz campaigns.", m.fuzzFindings.Load())
 
+	counter("warr_load_users_total", "Virtual users hosted by load campaigns.", m.loadUsers.Load())
+	counter("warr_load_worlds_total", "Shared worlds absorbed by load campaigns.", m.loadWorlds.Load())
+	counter("warr_load_schedules_total", "Schedules executed by load campaigns.", m.loadSchedules.Load())
+	counter("warr_load_shared_total", "World schedules served from shared results.", m.loadShared.Load())
+	counter("warr_load_findings_total", "Interference findings discovered by load campaigns.", m.loadFindings.Load())
+	gauge("warr_load_last_users", "Virtual user count of the most recent load campaign.", m.loadLastUsers.Load())
+
 	m.mu.Lock()
 	baseline := m.baseline
 	m.mu.Unlock()
@@ -182,5 +208,5 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 // Kinds lists every job kind — the metrics exporter enumerates it so
 // jobs-by-kind series exist even at zero.
 func Kinds() []Kind {
-	return []Kind{KindReplay, KindNavigationCampaign, KindTimingCampaign, KindReport, KindFuzzCampaign}
+	return []Kind{KindReplay, KindNavigationCampaign, KindTimingCampaign, KindReport, KindFuzzCampaign, KindLoadCampaign}
 }

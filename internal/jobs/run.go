@@ -20,6 +20,7 @@ import (
 	"github.com/dslab-epfl/warr/internal/campaign"
 	"github.com/dslab-epfl/warr/internal/command"
 	"github.com/dslab-epfl/warr/internal/errmodel"
+	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/replayer"
 	"github.com/dslab-epfl/warr/internal/weberr"
 )
@@ -444,6 +445,101 @@ func fuzzReport(st *campaign.FuzzStats) *weberr.Report {
 		})
 	}
 	return rep
+}
+
+// ---- load campaign ----
+
+// runLoadCampaign runs the multi-user shared-world load campaign: the
+// interleaving explorer perturbs per-world schedules, worlds execute
+// them over shared environments, and violations aggregate into
+// interference findings. With a fixed seed the findings report is
+// byte-identical across runs, parallelism, and sharing modes, so a
+// resumed load job simply re-runs from scratch — determinism is the
+// checkpoint (same contract as the fuzz campaign).
+func (e *Engine) runLoadCampaign(job *Job) error {
+	spec := job.Spec
+	o := multiuser.Options{
+		Workload:       spec.Workload,
+		Users:          spec.Users,
+		Cohort:         spec.Cohort,
+		Budget:         spec.ScheduleBudget,
+		Seed:           spec.ScheduleSeed,
+		Duration:       spec.Duration,
+		Mode:           spec.Mode,
+		Parallelism:    spec.Parallelism,
+		DisableSharing: spec.DisableLoadSharing,
+		OnProgress: func(p multiuser.Progress) {
+			// The bus retains full history; a million-user campaign
+			// absorbs hundreds of thousands of worlds, so progress
+			// frames publish at ~1% granularity (the closing frame
+			// always carries the final counters).
+			step := p.Worlds / 100
+			if step < 1 {
+				step = 1
+			}
+			if p.WorldsDone%step != 0 && p.WorldsDone != p.Worlds {
+				return
+			}
+			job.bus.Publish(LoadEvent{
+				Type:       "load",
+				Workload:   spec.Workload,
+				Users:      p.Users,
+				Worlds:     p.Worlds,
+				WorldsDone: p.WorldsDone,
+				Executed:   p.Executed,
+				Shared:     p.Shared,
+			})
+		},
+	}
+	// Offer the deduplicated schedule jobs to the distributor when it
+	// speaks the load capability; schedules are wire-safe values, so the
+	// only ineligible jobs are resumed ones (local-only by convention
+	// with the other campaigns).
+	if d, ok := e.opts.Distributor.(LoadDistributor); ok && job.resumeFrom == nil {
+		o.Execute = func(ctx context.Context, sjobs []multiuser.ScheduleJob) ([]multiuser.ScheduleResult, bool) {
+			return d.DistributeLoad(ctx, sjobs)
+		}
+	}
+	rep, err := multiuser.Run(job.ctx, o)
+	if err != nil {
+		return err
+	}
+	wrep := loadReport(rep)
+	job.mu.Lock()
+	job.load = rep
+	job.report = wrep
+	job.mu.Unlock()
+	e.metrics.observeLoad(rep.Users, rep.Worlds, rep.Executed, rep.Shared, len(rep.Findings))
+	job.bus.Publish(LoadEvent{
+		Type:         "load",
+		Workload:     rep.Workload,
+		Users:        rep.Users,
+		Worlds:       rep.Worlds,
+		WorldsDone:   rep.Worlds,
+		Executed:     rep.Executed,
+		Shared:       rep.Shared,
+		CoverageBits: rep.CoverageBits,
+		Findings:     len(rep.Findings),
+	})
+	job.bus.Publish(newReportEvent("load", wrep))
+	return nil
+}
+
+// loadReport translates a load-campaign report into the shared weberr
+// report shape: each finding's injection is the Interleave kind
+// carrying the reproducing schedule.
+func loadReport(rep *multiuser.Report) *weberr.Report {
+	w := &weberr.Report{
+		Generated: rep.Executed + rep.Shared,
+		Replayed:  rep.Executed,
+	}
+	for _, f := range rep.Findings {
+		w.Findings = append(w.Findings, weberr.Finding{
+			Injection: weberr.Injection{Kind: weberr.Interleave, Detail: f.Schedule},
+			Observed:  fmt.Errorf("[%s] %s", f.Kind, f.Detail),
+		})
+	}
+	return w
 }
 
 // ---- AUsER report ingestion ----

@@ -1,0 +1,330 @@
+package multiuser
+
+// Workloads: the multi-user scripts the load campaign runs. A workload
+// names the applications one shared world hosts, gives every virtual
+// user an op script, and checks the finished world for interference
+// violations — the contention-only finding class (lost updates, stale
+// reads, session collisions) that no single-user campaign can reach.
+//
+// Workloads are a registry of their own, deliberately separate from
+// the scenario registry: scenarios are single-user traces the corpus
+// tool records and archives, workloads are parameterized multi-user
+// scripts with no recorded form.
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/registry"
+)
+
+// Violation is one interference finding a workload check raised.
+type Violation struct {
+	// Kind is "lost-update", "stale-read", or "session-collision" (new
+	// workloads may add kinds; the campaign treats them as opaque).
+	Kind string `json:"kind"`
+	// Detail describes the specific violation.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// Op is one atomic user interaction: one turn of the schedule.
+type Op struct {
+	// Desc names the op in -list style introspection.
+	Desc string
+	// Do performs the interaction against the user's tab.
+	Do func(w *World, u *User) error
+}
+
+// UserScript is one user's role and op chain.
+type UserScript struct {
+	// Tag names the role; workload checks filter users by it.
+	Tag string
+	// Ops is the chain the schedule interleaves.
+	Ops []Op
+}
+
+// Workload is a multi-user script over a set of applications.
+type Workload struct {
+	// Name is the registry key ("sites-notes", ...).
+	Name string
+	// Desc is the one-line description -list prints.
+	Desc string
+	// Apps returns the application plugins one shared world hosts.
+	Apps func() []registry.App
+	// Script returns user u's role and op chain in an n-user world.
+	Script func(u, n int) UserScript
+	// Check inspects the finished world for interference violations.
+	Check func(w *World) []Violation
+}
+
+// OpCounts returns the per-user op counts of an n-user world — the
+// chain lengths schedules are linear extensions of.
+func (wl Workload) OpCounts(n int) []int {
+	counts := make([]int, n)
+	for u := 0; u < n; u++ {
+		counts[u] = len(wl.Script(u, n).Ops)
+	}
+	return counts
+}
+
+var (
+	workloadMu  sync.Mutex
+	workloads   = make(map[string]Workload)
+	workloadSeq []string
+)
+
+// RegisterWorkload adds a workload to the registry; duplicate names
+// are a programming error.
+func RegisterWorkload(wl Workload) error {
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if wl.Name == "" || wl.Apps == nil || wl.Script == nil || wl.Check == nil {
+		return fmt.Errorf("multiuser: workload %q is incomplete", wl.Name)
+	}
+	if _, dup := workloads[wl.Name]; dup {
+		return fmt.Errorf("multiuser: workload %q already registered", wl.Name)
+	}
+	workloads[wl.Name] = wl
+	workloadSeq = append(workloadSeq, wl.Name)
+	return nil
+}
+
+func mustRegisterWorkload(wl Workload) {
+	if err := RegisterWorkload(wl); err != nil {
+		panic(err)
+	}
+}
+
+// LookupWorkload resolves a workload by name.
+func LookupWorkload(name string) (Workload, error) {
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	wl, ok := workloads[name]
+	if !ok {
+		known := append([]string(nil), workloadSeq...)
+		sort.Strings(known)
+		return Workload{}, fmt.Errorf("multiuser: unknown workload %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	return wl, nil
+}
+
+// WorkloadNames lists the registered workloads, sorted.
+func WorkloadNames() []string {
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	names := append([]string(nil), workloadSeq...)
+	sort.Strings(names)
+	return names
+}
+
+// Workloads lists the registered workloads in name order.
+func Workloads() []Workload {
+	out := make([]Workload, 0)
+	for _, name := range WorkloadNames() {
+		wl, _ := LookupWorkload(name)
+		out = append(out, wl)
+	}
+	return out
+}
+
+// navOp navigates the user's tab to a URL.
+func navOp(desc, rawURL string) Op {
+	return Op{Desc: desc, Do: func(w *World, u *User) error {
+		return u.Tab.Navigate(rawURL)
+	}}
+}
+
+// clickOp clicks the element the locator finds.
+func clickOp(desc string, target registry.Locator) Op {
+	return Op{Desc: desc, Do: func(w *World, u *User) error {
+		frame, n := registry.Locate(u.Tab, target)
+		if n == nil {
+			return fmt.Errorf("multiuser: no element %s on %s", target, u.Tab.URL())
+		}
+		x, y, ok := u.Tab.AbsoluteCenter(frame, n)
+		if !ok {
+			return fmt.Errorf("multiuser: element %s has no layout box", target)
+		}
+		u.Tab.Click(x, y)
+		return nil
+	}}
+}
+
+// noteName is user u's note in the sites-notes workload.
+func noteName(u int) string { return fmt.Sprintf("note-u%d", u) }
+
+// userName is user u's identity in the yahoo-presence workload.
+func userName(u int) string { return fmt.Sprintf("user-%d", u) }
+
+// completed reports whether the user ran every op without error.
+func (u *User) completed() bool { return u.Err == nil && u.next == len(u.ops) }
+
+// sitesNotesScript: open the shared notes page (the server composes the
+// add-note URL from the list it reads NOW), then click "Add note"
+// (which writes back the list as read at render time, plus the user's
+// own note) — a read-modify-write whose read happens one schedule turn
+// before its write.
+func sitesNotesScript(u int) UserScript {
+	me := noteName(u)
+	return UserScript{Tag: "sites-notes", Ops: []Op{
+		navOp("open shared notes as "+me,
+			"http://"+apps.SitesHost+"/notes?me="+url.QueryEscape(me)),
+		clickOp("add note "+me, registry.ByID("addnote")),
+	}}
+}
+
+// sitesNotesCheck: every completed user's note must survive into the
+// final list; a missing note was overwritten by a concurrent save.
+func sitesNotesCheck(w *World) []Violation {
+	st := w.Env.MustState(apps.SitesName).(*apps.Sites)
+	final := st.Notes()
+	have := make(map[string]bool, len(final))
+	for _, n := range final {
+		have[n] = true
+	}
+	var out []Violation
+	for _, u := range w.Users {
+		if u.Tag != "sites-notes" || !u.completed() {
+			continue
+		}
+		if !have[noteName(u.Index)] {
+			out = append(out, Violation{
+				Kind: "lost-update",
+				Detail: fmt.Sprintf("sites notes: %s overwritten (final list %q)",
+					noteName(u.Index), strings.Join(final, "|")),
+			})
+		}
+	}
+	return out
+}
+
+// docsTallyScript: open the shared tally (the page bakes the successor
+// value N+1 into the bump control at render time), then click "+1"
+// (which stores that stale successor absolutely).
+func docsTallyScript() UserScript {
+	return UserScript{Tag: "docs-tally", Ops: []Op{
+		navOp("open shared tally", "http://"+apps.DocsHost+"/tally"),
+		clickOp("bump tally", registry.ByID("bump")),
+	}}
+}
+
+// docsTallyCheck: the tally must equal the number of completed
+// bumpers; anything less means increments were computed from stale
+// reads.
+func docsTallyCheck(w *World) []Violation {
+	st := w.Env.MustState(apps.DocsName).(*apps.Docs)
+	bumpers := 0
+	for _, u := range w.Users {
+		if u.Tag == "docs-tally" && u.completed() {
+			bumpers++
+		}
+	}
+	if got := st.Tally(); bumpers > 0 && got != bumpers {
+		return []Violation{{
+			Kind:   "stale-read",
+			Detail: fmt.Sprintf("docs tally: %d of %d increments survived", got, bumpers),
+		}}
+	}
+	return nil
+}
+
+// yahooPresenceScript: announce presence (the portal stores the name in
+// the session AND in a global last-arrival slot), then reload the
+// presence page and record who it greets. The page greets the global
+// slot — a session collision whenever another user arrived in between.
+func yahooPresenceScript(u int) UserScript {
+	me := userName(u)
+	return UserScript{Tag: "yahoo-presence", Ops: []Op{
+		navOp("announce presence as "+me,
+			"http://"+apps.YahooHost+"/presence/hello?name="+url.QueryEscape(me)),
+		{Desc: "read presence greeting", Do: func(w *World, u *User) error {
+			if err := u.Tab.Navigate("http://" + apps.YahooHost + "/presence"); err != nil {
+				return err
+			}
+			n := registry.Find(u.Tab, registry.ByID("who"))
+			if n == nil {
+				return fmt.Errorf("multiuser: presence page has no #who on %s", u.Tab.URL())
+			}
+			u.Obs = append(u.Obs, strings.TrimSpace(n.TextContent()))
+			return nil
+		}},
+	}}
+}
+
+// yahooPresenceCheck: each completed user must be greeted by their own
+// name; being greeted as someone else is cross-session leakage.
+func yahooPresenceCheck(w *World) []Violation {
+	var out []Violation
+	for _, u := range w.Users {
+		if u.Tag != "yahoo-presence" || !u.completed() || len(u.Obs) == 0 {
+			continue
+		}
+		want := "Hello, " + userName(u.Index)
+		if got := u.Obs[len(u.Obs)-1]; got != want {
+			out = append(out, Violation{
+				Kind:   "session-collision",
+				Detail: fmt.Sprintf("yahoo presence: %s greeted as %q", userName(u.Index), got),
+			})
+		}
+	}
+	return out
+}
+
+func init() {
+	mustRegisterWorkload(Workload{
+		Name: "sites-notes",
+		Desc: "shared Sites notes list; saves write back the list as read at render time (lost updates)",
+		Apps: func() []registry.App { return []registry.App{apps.SitesApp()} },
+		Script: func(u, n int) UserScript {
+			return sitesNotesScript(u)
+		},
+		Check: sitesNotesCheck,
+	})
+	mustRegisterWorkload(Workload{
+		Name: "docs-tally",
+		Desc: "shared Docs counter; the +1 control carries the successor read at render time (stale reads)",
+		Apps: func() []registry.App { return []registry.App{apps.DocsApp()} },
+		Script: func(u, n int) UserScript {
+			return docsTallyScript()
+		},
+		Check: docsTallyCheck,
+	})
+	mustRegisterWorkload(Workload{
+		Name: "yahoo-presence",
+		Desc: "Yahoo presence greeting rendered from a portal-global slot instead of the session (session collisions)",
+		Apps: func() []registry.App { return []registry.App{apps.YahooApp()} },
+		Script: func(u, n int) UserScript {
+			return yahooPresenceScript(u)
+		},
+		Check: yahooPresenceCheck,
+	})
+	mustRegisterWorkload(Workload{
+		Name: "mixed",
+		Desc: "Sites, Docs, and Yahoo users sharing one world (all three interference classes)",
+		Apps: func() []registry.App {
+			return []registry.App{apps.SitesApp(), apps.DocsApp(), apps.YahooApp()}
+		},
+		Script: func(u, n int) UserScript {
+			switch u % 3 {
+			case 0:
+				return sitesNotesScript(u)
+			case 1:
+				return docsTallyScript()
+			default:
+				return yahooPresenceScript(u)
+			}
+		},
+		Check: func(w *World) []Violation {
+			out := sitesNotesCheck(w)
+			out = append(out, docsTallyCheck(w)...)
+			out = append(out, yahooPresenceCheck(w)...)
+			return out
+		},
+	})
+}

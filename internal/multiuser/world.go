@@ -1,0 +1,176 @@
+package multiuser
+
+// World: N virtual users sharing ONE registry.Env. Every user gets a
+// private browser (own cookie jar, so webapp.Server keys a session per
+// user) on the environment's shared clock and network — the server
+// state is the only thing they share, which is exactly the paper's
+// deployment picture of Sites/Docs/GMail serving many sessions of one
+// backing store.
+//
+// Concurrency is simulated, not raced: a schedule serializes the
+// users' ops onto the virtual clock, one op per slot, with a fixed
+// virtual gap after each. The world is single-goroutine and fully
+// deterministic — the same schedule always produces the same server
+// state, the same observations, and the same coverage bitmap — so a
+// schedule value is a complete reproduction recipe.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/errmodel"
+	"github.com/dslab-epfl/warr/internal/fnv1a"
+	"github.com/dslab-epfl/warr/internal/registry"
+)
+
+// User is one virtual user: a private browser and tab, a script, and
+// what running it observed.
+type User struct {
+	// Index is the user's position in the world (schedule slots name it).
+	Index int
+	// Tag is the script's role tag; checks filter users by it.
+	Tag string
+	// Browser is the user's private browser (own cookies — own session).
+	Browser *browser.Browser
+	// Tab is the user's single tab.
+	Tab *browser.Tab
+	// Obs collects observations ops record (page text the user saw).
+	Obs []string
+	// Err is the first op failure; later ops are skipped, later slots
+	// still consume virtual time, and checks treat the user as
+	// incomplete.
+	Err error
+
+	ops  []Op
+	next int
+}
+
+// World is one shared environment plus its virtual users.
+type World struct {
+	// Env is the shared world: one clock, one network, one state per app.
+	Env *registry.Env
+	// Users are the virtual users in index order.
+	Users []*User
+
+	wl  Workload
+	gap time.Duration
+	cov errmodel.Bitmap
+}
+
+// NewWorld builds a shared world for the workload with n users. gap is
+// the virtual time between schedule slots; 0 means registry.ActionGap
+// (comfortably past the AJAX latency, like single-user replay pacing).
+func NewWorld(wl Workload, n int, mode browser.Mode, gap time.Duration) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("multiuser: world needs at least 1 user, got %d", n)
+	}
+	if gap <= 0 {
+		gap = registry.ActionGap
+	}
+	env, err := registry.NewEnv(mode, registry.WithApps(wl.Apps()...))
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Env: env, wl: wl, gap: gap}
+	for u := 0; u < n; u++ {
+		script := wl.Script(u, n)
+		b := browser.New(env.Clock, env.Network, mode)
+		w.Users = append(w.Users, &User{
+			Index:   u,
+			Tag:     script.Tag,
+			Browser: b,
+			Tab:     b.NewTab(),
+			ops:     script.Ops,
+		})
+	}
+	return w, nil
+}
+
+// OpCounts returns the world's per-user op counts.
+func (w *World) OpCounts() []int {
+	counts := make([]int, len(w.Users))
+	for i, u := range w.Users {
+		counts[i] = len(u.ops)
+	}
+	return counts
+}
+
+// RunSchedule drives the world through the schedule: slot k runs the
+// named user's next op, pumps that user's navigations, advances the
+// shared clock by the gap, and pumps every tab in user order so async
+// work (AJAX, timers) lands identically run after run.
+func (w *World) RunSchedule(s Schedule) error {
+	if err := s.validate(w.OpCounts()); err != nil {
+		return err
+	}
+	for _, idx := range s.Slots {
+		w.step(w.Users[idx])
+	}
+	w.observe()
+	return nil
+}
+
+// step runs one schedule slot for user u.
+func (w *World) step(u *User) {
+	op := u.ops[u.next]
+	u.next++
+	if u.Err == nil {
+		if err := op.Do(w, u); err != nil {
+			u.Err = fmt.Errorf("multiuser: user %d op %q: %w", u.Index, op.Desc, err)
+		}
+		// Click handlers assign window.location; pumping performs the
+		// pending navigation inside the user's own slot.
+		u.Tab.Pump()
+	}
+	w.Env.Clock.Advance(w.gap)
+	for _, v := range w.Users {
+		v.Tab.Pump()
+	}
+	w.observe()
+}
+
+// observe folds the shared server state into the world's coverage
+// bitmap: the per-app state lane (registry.CoverageSource, chained
+// exactly like errmodel.Snapshot) plus the per-session lane
+// (registry.SessionCoverageSource), which is what lets the explorer
+// tell cross-user interference from single-user novelty.
+func (w *World) observe() {
+	for _, name := range w.Env.AppNames() {
+		st, ok := w.Env.State(name)
+		if !ok {
+			continue
+		}
+		if cs, ok := st.(registry.CoverageSource); ok {
+			amark := fnv1a.AddString(fnv1a.AddString(fnv1a.Offset, "app"), name)
+			for _, m := range cs.CoverageMarks() {
+				w.cov.Set(fnv1a.AddUint64(amark, m))
+			}
+		}
+		if scs, ok := st.(registry.SessionCoverageSource); ok {
+			smark := fnv1a.AddString(fnv1a.AddString(fnv1a.Offset, "session"), name)
+			for _, m := range scs.SessionCoverageMarks() {
+				w.cov.Set(fnv1a.AddUint64(smark, m))
+			}
+		}
+	}
+}
+
+// Coverage returns the world's accumulated coverage bitmap.
+func (w *World) Coverage() *errmodel.Bitmap {
+	bm := w.cov
+	return &bm
+}
+
+// Violations runs the workload check over the finished world. Op
+// failures surface first, as "op-error" violations — a user whose
+// script broke must be visible, not silently excluded from checks.
+func (w *World) Violations() []Violation {
+	var out []Violation
+	for _, u := range w.Users {
+		if u.Err != nil {
+			out = append(out, Violation{Kind: "op-error", Detail: u.Err.Error()})
+		}
+	}
+	return append(out, w.wl.Check(w)...)
+}

@@ -94,6 +94,19 @@ type CoverageSource interface {
 	CoverageMarks() []uint64
 }
 
+// SessionCoverageSource is the optional per-session coverage lane of
+// an AppState. Where CoverageMarks hashes what the application stores,
+// SessionCoverageMarks hashes WHO the application knows: one mark per
+// live server-side session, covering its id and values. In a
+// single-user world the lane is one mark that moves with that user's
+// session; in a shared multi-user world it separates cross-user
+// interference (another session's values changed) from single-user
+// novelty, which is exactly the distinction the interleaving
+// explorer's coverage bitmap needs.
+type SessionCoverageSource interface {
+	SessionCoverageMarks() []uint64
+}
+
 // HasCoverageMarks probes whether an application's states implement
 // CoverageSource, by building one throwaway state.
 func HasCoverageMarks(a App) bool {

@@ -1,0 +1,147 @@
+package serve
+
+// Load campaigns over HTTP: the warr-serve face of internal/multiuser.
+// The parity contract under test — a load-campaign job submitted over
+// the API produces, on its SSE stream, exactly the findings a direct
+// in-process run (what warr-load prints) produces: same injection
+// strings, same schedules, same coverage, for the same (seed, budget).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/dslab-epfl/warr/internal/jobs"
+	"github.com/dslab-epfl/warr/internal/multiuser"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+func TestLoadCampaignOverHTTPMatchesDirectRun(t *testing.T) {
+	direct, err := multiuser.Run(context.Background(), multiuser.Options{
+		Workload: "sites-notes", Users: 2, Cohort: 2, Budget: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Findings) == 0 {
+		t.Fatal("the reference run surfaced no findings; the test needs a contention bug")
+	}
+
+	_, ts := testServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/api/jobs", map[string]any{
+		"kind":           "load-campaign",
+		"workload":       "sites-notes",
+		"users":          2,
+		"cohort":         2,
+		"scheduleBudget": 4,
+		"scheduleSeed":   1,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Kind != "load-campaign" {
+		t.Errorf("job kind = %q, want load-campaign", view.Kind)
+	}
+
+	final := waitTerminal(t, ts.URL, view.ID)
+	if final.State != "done" {
+		t.Fatalf("job state = %s (error %q), want done", final.State, final.Error)
+	}
+	if final.Findings != len(direct.Findings) {
+		t.Errorf("job view findings = %d, want %d", final.Findings, len(direct.Findings))
+	}
+
+	var loads []jobs.LoadEvent
+	var reports []jobs.ReportEvent
+	for _, fr := range readSSE(t, ts.URL+"/api/jobs/"+view.ID+"/events") {
+		ev, err := jobs.DecodeEvent(fr.Data)
+		if err != nil {
+			t.Fatalf("decoding %s frame: %v", fr.Event, err)
+		}
+		switch v := ev.(type) {
+		case jobs.LoadEvent:
+			loads = append(loads, v)
+		case jobs.ReportEvent:
+			reports = append(reports, v)
+		}
+	}
+	if len(loads) == 0 {
+		t.Fatal("no load frames on the SSE stream")
+	}
+	closing := loads[len(loads)-1]
+	if closing.CoverageBits != direct.CoverageBits || closing.Findings != len(direct.Findings) ||
+		closing.Users != direct.Users || closing.Worlds != direct.Worlds {
+		t.Errorf("closing frame %+v does not match direct report %+v", closing, direct)
+	}
+	if len(reports) != 1 || reports[0].Campaign != "load" {
+		t.Fatalf("report frames = %+v, want one load report", reports)
+	}
+	if len(reports[0].Findings) != len(direct.Findings) {
+		t.Fatalf("SSE findings = %d, want %d", len(reports[0].Findings), len(direct.Findings))
+	}
+	for i, f := range direct.Findings {
+		wantInj := weberr.Injection{Kind: weberr.Interleave, Detail: f.Schedule}.String()
+		wantObs := fmt.Sprintf("[%s] %s", f.Kind, f.Detail)
+		got := reports[0].Findings[i]
+		if got.Injection != wantInj || got.Observed != wantObs {
+			t.Errorf("finding %d = %+v, want injection %q observed %q", i, got, wantInj, wantObs)
+		}
+	}
+
+	// The campaign's counters surfaced on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"warr_load_users_total 2",
+		"warr_load_last_users 2",
+		fmt.Sprintf("warr_load_findings_total %d", len(direct.Findings)),
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
+func TestLoadCampaignRequestValidation(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	cases := []struct {
+		name string
+		body map[string]any
+		want string
+	}{
+		{"missing workload", map[string]any{"kind": "load-campaign"}, "missing workload"},
+		{"unknown workload", map[string]any{"kind": "load-campaign", "workload": "nope"}, "unknown workload"},
+		{"trace on load job", map[string]any{"kind": "load-campaign", "workload": "mixed", "trace": "t"}, "not traces"},
+		{"load fields on replay", map[string]any{"kind": "replay", "trace": "t", "users": 4}, "not valid"},
+		{"users out of range", map[string]any{"kind": "load-campaign", "workload": "mixed", "users": 1 << 30}, "out of range"},
+		{"cohort out of range", map[string]any{"kind": "load-campaign", "workload": "mixed", "cohort": 65}, "out of range"},
+		{"budget out of range", map[string]any{"kind": "load-campaign", "workload": "mixed", "scheduleBudget": 4097}, "out of range"},
+		{"bad duration", map[string]any{"kind": "load-campaign", "workload": "mixed", "duration": "fast"}, "parsing duration"},
+		{"excessive duration", map[string]any{"kind": "load-campaign", "workload": "mixed", "duration": "25h"}, "out of range"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/api/jobs", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400 (%s)", c.name, resp.StatusCode, body)
+			continue
+		}
+		if !strings.Contains(string(body), c.want) {
+			t.Errorf("%s: error %s lacks %q", c.name, body, c.want)
+		}
+	}
+}

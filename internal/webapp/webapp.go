@@ -7,6 +7,7 @@ package webapp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -103,6 +104,39 @@ func (s *Server) CopySessionsFrom(src *Server) {
 	s.sessions = sessions
 	s.nextSID = nextSID
 	s.mu.Unlock()
+}
+
+// SessionSnapshot is one session's identity and values, in a stable
+// form: Values holds "key=value" pairs sorted by key.
+type SessionSnapshot struct {
+	ID     string
+	Values []string
+}
+
+// SessionSnapshots returns every live session sorted by id — the
+// deterministic view the per-session coverage lanes hash. Sids are
+// minted in request order, so under a fixed schedule the snapshot is
+// identical run to run.
+func (s *Server) SessionSnapshots() []SessionSnapshot {
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+	out := make([]SessionSnapshot, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		vals := make([]string, 0, len(sess.vals))
+		for k, v := range sess.vals {
+			vals = append(vals, k+"="+v)
+		}
+		sess.mu.Unlock()
+		sort.Strings(vals)
+		out = append(out, SessionSnapshot{ID: sess.ID, Values: vals})
+	}
+	return out
 }
 
 // ResetSessions forgets every server-side session — part of an

@@ -27,6 +27,10 @@ const (
 	// fuzzer (internal/errmodel); Detail carries the serialized mutation
 	// program that produced the erroneous trace.
 	Fuzz
+	// Interleave marks a contention finding discovered by the multi-user
+	// interleaving explorer (internal/multiuser); Detail carries the
+	// schedule (in its codec form) that reproduces the interleaving.
+	Interleave
 )
 
 func (k ErrorKind) String() string {
@@ -41,6 +45,8 @@ func (k ErrorKind) String() string {
 		return "timing"
 	case Fuzz:
 		return "fuzz"
+	case Interleave:
+		return "interleave"
 	default:
 		return "unknown"
 	}

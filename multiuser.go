@@ -1,0 +1,58 @@
+package warr
+
+// The multi-user face: deterministic shared worlds. A load campaign
+// runs N virtual users against one shared application environment —
+// per-user browsers and cookie jars over one server state — serialized
+// onto the virtual clock by an explicit schedule, so every interleaving
+// is a replayable value. The interleaving explorer perturbs schedules
+// (seeded, bounded, deduplicated) to surface contention-only findings:
+// lost updates, stale reads, session collisions that no single-user
+// campaign can reach. warr-load is the CLI face; warr-serve accepts
+// load-campaign jobs over the same engine.
+
+import (
+	"context"
+
+	"github.com/dslab-epfl/warr/internal/multiuser"
+)
+
+// LoadWorkload is a registered multi-user workload: the apps it
+// installs, the per-user script, and the invariant check that turns
+// interference into violations.
+type LoadWorkload = multiuser.Workload
+
+// LoadSchedule is one deterministic interleaving: a linear extension of
+// the users' per-op orders, serialized as "users:N;slots:a,b,c".
+type LoadSchedule = multiuser.Schedule
+
+// ParseLoadSchedule parses the schedule codec.
+func ParseLoadSchedule(s string) (LoadSchedule, error) { return multiuser.ParseSchedule(s) }
+
+// LoadOptions configure a load campaign.
+type LoadOptions = multiuser.Options
+
+// LoadReport is a finished load campaign; Render prints the canonical
+// findings report (byte-identical across parallelism, sharing, and
+// execution placement for a fixed seed).
+type LoadReport = multiuser.Report
+
+// LoadFinding is one aggregated interference finding with its
+// reproducing schedule.
+type LoadFinding = multiuser.Finding
+
+// RunLoadCampaign runs a load campaign in-process (the engine's
+// load-campaign jobs execute the same path).
+func RunLoadCampaign(ctx context.Context, o LoadOptions) (*LoadReport, error) {
+	return multiuser.Run(ctx, o)
+}
+
+// LoadWorkloadNames lists the registered workloads in registration
+// order.
+func LoadWorkloadNames() []string { return multiuser.WorkloadNames() }
+
+// LoadWorkloads lists the registered workloads in name order.
+func LoadWorkloads() []LoadWorkload { return multiuser.Workloads() }
+
+// RegisterLoadWorkload adds a workload to the multi-user registry, the
+// way plugin packages register apps and scenarios.
+func RegisterLoadWorkload(wl LoadWorkload) error { return multiuser.RegisterWorkload(wl) }

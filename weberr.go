@@ -26,13 +26,14 @@ type Grammar = weberr.Grammar
 type ErrorKind = weberr.ErrorKind
 
 // Error kinds (§V-A navigation errors, §V-B timing errors, plus the
-// fuzzing campaign's marker kind).
+// fuzzing and multi-user campaigns' marker kinds).
 const (
-	Forget     = weberr.Forget
-	Reorder    = weberr.Reorder
-	Substitute = weberr.Substitute
-	Timing     = weberr.Timing
-	FuzzKind   = weberr.Fuzz
+	Forget         = weberr.Forget
+	Reorder        = weberr.Reorder
+	Substitute     = weberr.Substitute
+	Timing         = weberr.Timing
+	FuzzKind       = weberr.Fuzz
+	InterleaveKind = weberr.Interleave
 )
 
 // Mutant is one single-error erroneous grammar.
