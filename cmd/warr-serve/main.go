@@ -12,6 +12,8 @@
 //	warr-serve -addr :9000 -workers 4 -queue 128
 //	warr-serve -bench BENCH_BASELINE.json        # export pinned bench counters
 //	warr-serve -devkey developer_key.pem         # accept sealed AUsER reports
+//	warr-serve -journal jobs.journal             # crash-safe: journaled jobs resume on reboot
+//	warr-serve -faults drop:lease/2;crash:w1@shard3  # chaos-test the distrib protocol
 //
 // The API:
 //
@@ -54,6 +56,7 @@ import (
 	"time"
 
 	"github.com/dslab-epfl/warr/internal/distrib"
+	"github.com/dslab-epfl/warr/internal/faults"
 	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/serve"
 )
@@ -66,17 +69,42 @@ func main() {
 	devkey := flag.String("devkey", "", "PEM RSA private key for sealed AUsER reports (optional)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM; jobs still running after it are checkpointed resumable")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "distributed-campaign lease TTL; a warr-worker silent this long forfeits its shards")
+	journal := flag.String("journal", "", "write-ahead job journal file; submissions are journaled before they run and a killed server resumes them on the next boot (optional)")
+	faultSched := flag.String("faults", "", "fault schedule injected into the coordinator's distrib endpoints, e.g. drop:lease/2;delay:image/50ms;crash:w1@shard3 (testing)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *bench, *devkey, *drainTimeout, *leaseTTL); err != nil {
+	if err := run(*addr, *workers, *queue, *bench, *devkey, *journal, *faultSched, *drainTimeout, *leaseTTL); err != nil {
 		fmt.Fprintln(os.Stderr, "warr-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, bench, devkey string, drainTimeout, leaseTTL time.Duration) error {
-	pool := distrib.NewPool(distrib.PoolOptions{LeaseTTL: leaseTTL, Logf: log.Printf})
-	engine := jobs.New(jobs.Options{Workers: workers, QueueDepth: queue, Distributor: pool})
+func run(addr string, workers, queue int, bench, devkey, journal, faultSched string, drainTimeout, leaseTTL time.Duration) error {
+	popts := distrib.PoolOptions{LeaseTTL: leaseTTL, Logf: log.Printf}
+	if faultSched != "" {
+		sched, err := faults.Parse(faultSched)
+		if err != nil {
+			return fmt.Errorf("parsing -faults: %w", err)
+		}
+		popts.Faults = faults.NewInjector(sched, log.Printf)
+		log.Printf("warr-serve injecting faults: %s", sched)
+	}
+	pool := distrib.NewPool(popts)
+	eopts := jobs.Options{Workers: workers, QueueDepth: queue, Distributor: pool}
+	var recovered []jobs.RecoveredJob
+	if journal != "" {
+		j, rec, err := jobs.OpenJournal(journal, log.Printf)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		eopts.Journal = j
+		recovered = rec
+	}
+	engine := jobs.New(eopts)
+	if n := len(engine.Revive(recovered)); n > 0 {
+		log.Printf("warr-serve revived %d journaled job(s)", n)
+	}
 	if bench != "" {
 		baseline, err := jobs.LoadBenchBaseline(bench)
 		if err != nil {

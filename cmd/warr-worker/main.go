@@ -53,7 +53,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+	err := w.Run(ctx)
+	switch {
+	case errors.Is(err, distrib.ErrCrashed):
+		// A coordinator running with -faults killed us on purpose; die
+		// with a distinct status so chaos harnesses can tell an injected
+		// crash from a real failure.
+		log.Printf("warr-worker %s: %v", w.ID(), err)
+		os.Exit(7)
+	case err != nil && !errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "warr-worker:", err)
 		os.Exit(1)
 	}

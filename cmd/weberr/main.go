@@ -50,6 +50,7 @@ import (
 	_ "github.com/dslab-epfl/warr/apps/calendar"
 	"github.com/dslab-epfl/warr/internal/cliutil"
 	"github.com/dslab-epfl/warr/internal/distrib"
+	"github.com/dslab-epfl/warr/internal/faults"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	budget := flag.Int("budget", 0, "fuzzing replay budget (0 = engine default)")
 	fuzzSeed := flag.Int64("fuzz-seed", 1, "seed for the fuzzer's deterministic mutation stream")
 	workers := flag.Int("workers", 0, "distribute campaigns across this many workers over localhost HTTP (0 = in-process)")
+	faultSched := flag.String("faults", "", "fault schedule injected into the worker pool's wire protocol, e.g. drop:lease/2;crash:worker1@shard3 (requires -workers)")
 	list := flag.Bool("list", false, "list registered applications and scenarios, then exit")
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 	if err := run(runOptions{
 		scenario: *scenario, traceFile: *traceFile, save: *save, campaign: *campaign,
 		showTree: *showTree, showGrammar: *showGrammar, maxTraces: *maxTraces,
-		fuzzBudget: *budget, fuzzSeed: *fuzzSeed, workers: *workers,
+		fuzzBudget: *budget, fuzzSeed: *fuzzSeed, workers: *workers, faults: *faultSched,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "weberr:", err)
 		os.Exit(1)
@@ -142,8 +144,19 @@ func correctTrace(scenario, traceFile string) (tr warr.Trace, h warr.TraceArchiv
 // coordinator pool behind a loopback HTTP listener and n workers
 // polling it — the same wire protocol warr-worker speaks against
 // warr-serve, collapsed into one process.
-func startWorkerPool(n int) (*distrib.Pool, func(), error) {
-	pool := distrib.NewPool(distrib.PoolOptions{})
+func startWorkerPool(n int, faultSched string) (*distrib.Pool, func(), error) {
+	popts := distrib.PoolOptions{}
+	if faultSched != "" {
+		sched, err := faults.Parse(faultSched)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing -faults: %w", err)
+		}
+		popts.Faults = faults.NewInjector(sched, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
+		fmt.Printf("injecting faults: %s\n", sched)
+	}
+	pool := distrib.NewPool(popts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, fmt.Errorf("starting coordinator: %w", err)
@@ -182,6 +195,7 @@ type runOptions struct {
 	fuzzBudget                          int
 	fuzzSeed                            int64
 	workers                             int
+	faults                              string
 }
 
 func run(o runOptions) error {
@@ -217,7 +231,7 @@ func run(o runOptions) error {
 	// execution path a warr-serve daemon drives for submitted campaigns.
 	engineOpts := warr.JobEngineOptions{Workers: 1, QueueDepth: 2}
 	if workers > 0 {
-		pool, stop, err := startWorkerPool(workers)
+		pool, stop, err := startWorkerPool(workers, o.faults)
 		if err != nil {
 			return err
 		}

@@ -6,14 +6,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/faults"
 	"github.com/dslab-epfl/warr/internal/image"
 	"github.com/dslab-epfl/warr/internal/jobs"
 	"github.com/dslab-epfl/warr/internal/multiuser"
-	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
 )
 
@@ -28,6 +30,12 @@ type PoolOptions struct {
 	// shards, which is what lets an idle worker steal a parked tail
 	// from the queue instead of sitting out the stragglers.
 	ShardFactor int
+	// Faults, when armed, injects the schedule's coordinator-side
+	// faults: lease/image/complete/heartbeat requests are dropped,
+	// delayed, or corrupted before the handlers serve them, and crash
+	// ops mark granted leases with the worker-death directive. nil
+	// injects nothing and costs one nil check per request.
+	Faults *faults.Injector
 	// Logf, when set, receives re-queue and protocol notices.
 	Logf func(format string, args ...any)
 }
@@ -46,6 +54,7 @@ type Pool struct {
 	workers   map[string]time.Time
 	run       *poolRun
 	nextLease int
+	runSeq    int
 
 	// imageOwner maps an image digest to the first worker that leased a
 	// shard resuming from it — the worker whose cache already holds the
@@ -57,6 +66,13 @@ type Pool struct {
 	stolenTails   int
 	campaigns     int
 	loadCampaigns int
+
+	// completionsDeduped counts completion reports acknowledged but not
+	// merged: duplicates of an already-merged shard, or reports from a
+	// campaign that is long over. retriesReported accumulates the
+	// request retries workers spent (CompleteMsg.Retries).
+	completionsDeduped int
+	retriesReported    int64
 }
 
 // poolRun is one campaign in flight: a trace campaign (plan set) or a
@@ -65,6 +81,7 @@ type poolRun struct {
 	jobs      []campaign.Job
 	plan      *campaign.ShardPlan
 	spec      jobs.DistSpec
+	token     string // completion-token prefix, unique per run
 	queue     []int
 	leases    map[string]*lease
 	completed []bool
@@ -164,11 +181,7 @@ func (p *Pool) WaitForWorkers(ctx context.Context, n int) error {
 // content digest.
 func (p *Pool) imager() campaign.Imager {
 	return func(sess *replayer.Session) (string, error) {
-		env, ok := sess.Tab().Browser().World().(*registry.Env)
-		if !ok {
-			return "", fmt.Errorf("distrib: session world is not a registry environment")
-		}
-		img, err := image.Capture(env, sess, image.Header{})
+		img, err := image.CaptureSession(sess, image.Header{})
 		if err != nil {
 			return "", err
 		}
@@ -223,6 +236,8 @@ func (p *Pool) DistributeCampaign(ctx context.Context, exec *campaign.Executor, 
 		run.queue = append(run.queue, i)
 	}
 	p.mu.Lock()
+	p.runSeq++
+	run.token = fmt.Sprintf("run-%d", p.runSeq)
 	p.run = run
 	p.campaigns++
 	p.mu.Unlock()
@@ -267,6 +282,8 @@ func (p *Pool) DistributeLoad(ctx context.Context, sjobs []multiuser.ScheduleJob
 	for i := range shards {
 		run.queue = append(run.queue, i)
 	}
+	p.runSeq++
+	run.token = fmt.Sprintf("run-%d", p.runSeq)
 	p.run = run
 	p.loadCampaigns++
 	p.mu.Unlock()
@@ -356,6 +373,14 @@ func (p *Pool) reap(run *poolRun) bool {
 			continue
 		}
 		delete(p.workers, w)
+		// Forget the dead worker's image affinities: re-granting its
+		// parked tails to a survivor is forced failover, not stealing,
+		// and must not skew the stolen-tails counter.
+		for digest, owner := range p.imageOwner {
+			if owner == w {
+				delete(p.imageOwner, digest)
+			}
+		}
 		for id, l := range run.leases {
 			if l.worker != w {
 				continue
@@ -398,20 +423,36 @@ func (p *Pool) grant(worker string) WireLease {
 	if run == nil {
 		return WireLease{Status: StatusIdle}
 	}
-	if (run.plan == nil && run.loadShards == nil) || len(run.queue) == 0 {
+	if run.plan == nil && run.loadShards == nil {
 		return WireLease{Status: StatusWait}
 	}
-	si := run.queue[0]
-	run.queue = run.queue[1:]
+	// Skip queue entries whose shard already completed: a reaped shard
+	// re-queued and then credited through a late completion token must
+	// not be executed again.
+	si := -1
+	for len(run.queue) > 0 {
+		si = run.queue[0]
+		run.queue = run.queue[1:]
+		if !run.completed[si] {
+			break
+		}
+		si = -1
+	}
+	if si < 0 {
+		return WireLease{Status: StatusWait}
+	}
 	p.nextLease++
 	l := &lease{id: fmt.Sprintf("lease-%d", p.nextLease), shard: si, worker: worker}
 	run.leases[l.id] = l
+	crash := p.opts.Faults.OnGrant(worker)
 	if run.loadShards != nil {
 		return WireLease{
 			Status:    StatusLease,
 			ID:        l.id,
 			Campaign:  "load",
 			TTLMillis: p.opts.LeaseTTL.Milliseconds(),
+			Token:     fmt.Sprintf("%s/%d", run.token, si),
+			Crash:     crash,
 			LoadJobs:  run.loadShards[si],
 		}
 	}
@@ -432,6 +473,8 @@ func (p *Pool) grant(worker string) WireLease {
 		Image:          sh.Image,
 		Depth:          sh.Depth,
 		TTLMillis:      p.opts.LeaseTTL.Milliseconds(),
+		Token:          fmt.Sprintf("%s/%d", run.token, si),
+		Crash:          crash,
 	}
 	for _, ji := range sh.Jobs {
 		j := run.jobs[ji]
@@ -440,64 +483,127 @@ func (p *Pool) grant(worker string) WireLease {
 	return wl
 }
 
-// complete merges a worker's shard report. Late or duplicate
-// completions — an expired lease whose shard was re-leased, a campaign
-// already over — are dropped: the first merge wins, and re-queued work
-// re-runs from the same image, so any completion is equivalent.
+// parseToken splits a completion token into its run prefix and shard
+// index.
+func parseToken(tok string) (run string, shard int, ok bool) {
+	i := strings.LastIndexByte(tok, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(tok[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return tok[:i], n, true
+}
+
+// complete merges a worker's shard report. Completions are idempotent
+// through the lease token: a late report from a reaped lease still
+// credits its shard (the work is valid — the worker was slow, not
+// wrong), while duplicates of an already-merged shard and reports from
+// a campaign long over are acknowledged but not double-counted. The
+// first merge wins either way; re-queued work re-runs from the same
+// image, so any completion is equivalent.
 func (p *Pool) complete(msg CompleteMsg) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.retriesReported += msg.Retries
 	run := p.run
 	if run == nil || (run.plan == nil && run.loadShards == nil) {
+		p.completionsDeduped++
 		return
 	}
-	l, ok := run.leases[msg.Lease]
-	if !ok {
-		return
+	si := -1
+	if l, ok := run.leases[msg.Lease]; ok {
+		si = l.shard
+		delete(run.leases, msg.Lease)
+	} else if prefix, shard, ok := parseToken(msg.Token); ok &&
+		prefix == run.token && shard < len(run.completed) {
+		// The lease was reaped, but the token proves the report belongs
+		// to this run's shard.
+		si = shard
 	}
-	delete(run.leases, msg.Lease)
-	if run.completed[l.shard] {
+	if si < 0 || run.completed[si] {
+		p.completionsDeduped++
+		if si >= 0 {
+			p.logf("distrib: deduplicated completion of shard %d from %s", si, msg.Worker)
+		}
 		return
 	}
 	if run.loadShards != nil {
-		shard := run.loadShards[l.shard]
+		shard := run.loadShards[si]
 		if len(msg.LoadResults) != len(shard) {
 			p.logf("distrib: rejecting load shard %d report from %s: %d results for %d jobs",
-				l.shard, msg.Worker, len(msg.LoadResults), len(shard))
-			run.queue = append(run.queue, l.shard)
+				si, msg.Worker, len(msg.LoadResults), len(shard))
+			p.requeueLocked(run, si)
 			return
 		}
 		for i, r := range msg.LoadResults {
 			if r.Index != shard[i].Index {
 				p.logf("distrib: rejecting load shard %d report from %s: job index %d at position %d, want %d",
-					l.shard, msg.Worker, r.Index, i, shard[i].Index)
-				run.queue = append(run.queue, l.shard)
+					si, msg.Worker, r.Index, i, shard[i].Index)
+				p.requeueLocked(run, si)
 				return
 			}
 		}
 		run.loadOut = append(run.loadOut, msg.LoadResults...)
-		run.completed[l.shard] = true
-		run.remaining--
-		if run.remaining == 0 {
-			close(run.done)
-		}
+		p.finishShardLocked(run, si)
 		return
 	}
-	sh := run.plan.Shards[l.shard]
+	sh := run.plan.Shards[si]
 	outs := make([]campaign.Outcome, len(msg.Outcomes))
 	for i, ev := range msg.Outcomes {
 		outs[i] = decodeOutcome(ev)
 	}
 	if err := run.plan.Merge(sh, outs); err != nil {
-		p.logf("distrib: rejecting shard %d report from %s: %v", l.shard, msg.Worker, err)
-		run.queue = append(run.queue, l.shard)
+		p.logf("distrib: rejecting shard %d report from %s: %v", si, msg.Worker, err)
+		p.requeueLocked(run, si)
 		return
 	}
-	run.completed[l.shard] = true
+	p.finishShardLocked(run, si)
+}
+
+// finishShardLocked marks a shard merged and closes the run when it was
+// the last one.
+func (p *Pool) finishShardLocked(run *poolRun, si int) {
+	run.completed[si] = true
 	run.remaining--
 	if run.remaining == 0 {
 		close(run.done)
 	}
+}
+
+// requeueLocked puts a shard back on the queue unless it is already
+// waiting there (a reaped shard whose late report was then rejected
+// must not be granted twice).
+func (p *Pool) requeueLocked(run *poolRun, si int) {
+	for _, q := range run.queue {
+		if q == si {
+			return
+		}
+	}
+	run.queue = append(run.queue, si)
+}
+
+// inject applies the armed fault schedule to one inbound request:
+// delays hold the handler, drops answer 503 without serving (the
+// worker's retry policy or the lease TTL recovers). It reports whether
+// the request survived; the returned action's Corrupt flag is the
+// handler's to honor on the bytes it transfers.
+func (p *Pool) inject(w http.ResponseWriter, r *http.Request, path faults.Path) (faults.Action, bool) {
+	act := p.opts.Faults.Request(path)
+	if act.Delay > 0 {
+		select {
+		case <-r.Context().Done():
+			return act, false
+		case <-time.After(time.Duration(act.Delay)):
+		}
+	}
+	if act.Drop {
+		http.Error(w, fmt.Sprintf("distrib: fault injected: dropped %s request", path), http.StatusServiceUnavailable)
+		return act, false
+	}
+	return act, true
 }
 
 func (p *Pool) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -506,17 +612,29 @@ func (p *Pool) handleLease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "distrib: lease poll without worker id", http.StatusBadRequest)
 		return
 	}
+	if _, ok := p.inject(w, r, faults.PathLease); !ok {
+		return
+	}
 	p.touch(worker)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(p.grant(worker))
 }
 
 func (p *Pool) handleImage(w http.ResponseWriter, r *http.Request) {
+	act, ok := p.inject(w, r, faults.PathImage)
+	if !ok {
+		return
+	}
 	digest := r.PathValue("digest")
 	data, ok := p.store.Bytes(digest)
 	if !ok {
 		http.Error(w, "distrib: no such image", http.StatusNotFound)
 		return
+	}
+	if act.Corrupt {
+		// Corrupt a copy: the store's bytes are shared and must stay
+		// intact for the retry this worker is about to make.
+		data = faults.CorruptBody(append([]byte(nil), data...))
 	}
 	p.mu.Lock()
 	p.imagesShipped++
@@ -526,9 +644,28 @@ func (p *Pool) handleImage(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Pool) handleComplete(w http.ResponseWriter, r *http.Request) {
+	act, ok := p.inject(w, r, faults.PathComplete)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("distrib: reading completion: %v", err), http.StatusBadRequest)
+		return
+	}
+	if act.Corrupt {
+		body = faults.CorruptBody(body)
+	}
 	var msg CompleteMsg
-	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+	if err := json.Unmarshal(body, &msg); err != nil {
 		http.Error(w, fmt.Sprintf("distrib: decoding completion: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !msg.Verify() {
+		// A flipped byte inside a JSON string still decodes; the checksum
+		// is what keeps corrupted results out of the merge. The worker's
+		// retry resends the same sealed message over a clean transfer.
+		http.Error(w, "distrib: completion failed checksum verification", http.StatusBadRequest)
 		return
 	}
 	if msg.Worker != "" {
@@ -542,6 +679,9 @@ func (p *Pool) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("worker")
 	if worker == "" {
 		http.Error(w, "distrib: heartbeat without worker id", http.StatusBadRequest)
+		return
+	}
+	if _, ok := p.inject(w, r, faults.PathHeartbeat); !ok {
 		return
 	}
 	p.touch(worker)
@@ -576,4 +716,13 @@ func (p *Pool) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP warr_distrib_load_campaigns_total Load campaigns the pool accepted for distribution.\n")
 	fmt.Fprintf(w, "# TYPE warr_distrib_load_campaigns_total counter\n")
 	fmt.Fprintf(w, "warr_distrib_load_campaigns_total %d\n", p.loadCampaigns)
+	fmt.Fprintf(w, "# HELP warr_faults_injected_total Faults the armed schedule injected into coordinator-side request handling.\n")
+	fmt.Fprintf(w, "# TYPE warr_faults_injected_total counter\n")
+	fmt.Fprintf(w, "warr_faults_injected_total %d\n", p.opts.Faults.Total())
+	fmt.Fprintf(w, "# HELP warr_retries_total Request retries workers reported spending against dropped, delayed, or corrupted transfers.\n")
+	fmt.Fprintf(w, "# TYPE warr_retries_total counter\n")
+	fmt.Fprintf(w, "warr_retries_total %d\n", p.retriesReported)
+	fmt.Fprintf(w, "# HELP warr_completions_deduped_total Completion reports acknowledged without merging: duplicates of an already-merged shard or reports for a finished campaign.\n")
+	fmt.Fprintf(w, "# TYPE warr_completions_deduped_total counter\n")
+	fmt.Fprintf(w, "warr_completions_deduped_total %d\n", p.completionsDeduped)
 }

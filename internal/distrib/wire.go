@@ -26,7 +26,9 @@ package distrib
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"hash/fnv"
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
@@ -82,6 +84,15 @@ type WireLease struct {
 	// contact the coordinator again within this interval or the shard
 	// is re-queued.
 	TTLMillis int64 `json:"ttlMillis,omitempty"`
+	// Token is the idempotent completion token: "<run>/<shard>", echoed
+	// back in CompleteMsg so the coordinator can credit a late
+	// completion to its shard even after the lease was reaped — and
+	// acknowledge (not double-count) a duplicate.
+	Token string `json:"token,omitempty"`
+	// Crash directs the worker to die on receipt without executing or
+	// reporting — the coordinator-side fault injector's worker-crash op.
+	// The lease then expires through the normal TTL reaping path.
+	Crash bool `json:"crash,omitempty"`
 	// LoadJobs is a load-campaign shard ("load" leases carry these
 	// instead of Image/Jobs): self-describing multi-user schedule jobs
 	// the worker executes in fresh shared worlds of its own.
@@ -97,6 +108,51 @@ type CompleteMsg struct {
 	Lease       string                     `json:"lease"`
 	Outcomes    []jobs.OutcomeEvent        `json:"outcomes,omitempty"`
 	LoadResults []multiuser.ScheduleResult `json:"loadResults,omitempty"`
+	// Token echoes the lease's completion token, so the report stays
+	// creditable after the lease itself was reaped.
+	Token string `json:"token,omitempty"`
+	// Retries is the number of request retries the worker spent since
+	// its last report — the coordinator accumulates them into
+	// warr_retries_total.
+	Retries int64 `json:"retries,omitempty"`
+	// Sum is the FNV-1a checksum of the message's canonical encoding
+	// with Sum zeroed (see Seal). A corrupted transfer that still
+	// decodes as JSON — a flipped byte inside a string value — would
+	// otherwise merge garbage into the campaign; the checksum turns
+	// every corruption into a rejection the worker's retry recovers
+	// from. 0 means unsealed (accepted for mixed-version tolerance).
+	Sum uint64 `json:"sum,omitempty"`
+}
+
+// Seal stamps the message's integrity checksum; call it last, after
+// every other field is final.
+func (m *CompleteMsg) Seal() error {
+	m.Sum = 0
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	m.Sum = h.Sum64()
+	return nil
+}
+
+// Verify checks the integrity checksum of a received message. Unsealed
+// messages (Sum 0) pass.
+func (m CompleteMsg) Verify() bool {
+	sum := m.Sum
+	if sum == 0 {
+		return true
+	}
+	m.Sum = 0
+	b, err := json.Marshal(m)
+	if err != nil {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64() == sum
 }
 
 // wireReplayer extracts the serializable subset of replayer options

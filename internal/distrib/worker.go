@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +32,12 @@ import (
 // (weberr -workers N runs several workers in-process).
 var workerSeq atomic.Int64
 
+// ErrCrashed is returned by Run when a lease carries the fault
+// injector's crash directive: the worker dies on the spot — no
+// execution, no heartbeat, no report — and its leases expire through
+// the coordinator's normal TTL reaping.
+var ErrCrashed = errors.New("distrib: worker killed by crash directive")
+
 // WorkerOptions configure a campaign worker.
 type WorkerOptions struct {
 	// Coordinator is the base URL of the pool's handler, e.g.
@@ -36,10 +46,23 @@ type WorkerOptions struct {
 	// ID names the worker to the coordinator; leases and liveness are
 	// keyed by it. Defaults to worker-<pid>-<n>.
 	ID string
-	// Client is the HTTP client (default http.DefaultClient).
+	// Client is the HTTP client. The default carries a 30s overall
+	// timeout — a worker must never hang forever on a stuck coordinator
+	// socket.
 	Client *http.Client
-	// PollInterval is the idle re-poll delay (default 50ms).
+	// PollInterval is the idle re-poll delay (default 50ms). Failing
+	// polls back off exponentially from this up to RetryCap.
 	PollInterval time.Duration
+	// RequestTimeout bounds each control request — lease polls,
+	// heartbeats, completions (default 5s). Image downloads get four
+	// times this.
+	RequestTimeout time.Duration
+	// RetryAttempts is how many times a failed image fetch or completion
+	// report is retried (default 6) with capped jittered exponential
+	// backoff from RetryBase (default 25ms) up to RetryCap (default 2s).
+	RetryAttempts int
+	RetryBase     time.Duration
+	RetryCap      time.Duration
 	// EnvFactory overrides how flat-fallback environments are built per
 	// browser mode; the default is the process's full app registry —
 	// the same worlds the engine uses.
@@ -58,6 +81,16 @@ type Worker struct {
 	opts  WorkerOptions
 	base  string
 	cache map[string]*image.Image
+
+	// retries tallies request retries since the last completion report;
+	// each report carries the tally to the coordinator's
+	// warr_retries_total counter.
+	retries atomic.Int64
+
+	// rng drives backoff jitter, seeded from the worker's ID so a fleet
+	// retrying the same outage spreads out deterministically per worker.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewWorker returns a worker ready to Run.
@@ -66,20 +99,35 @@ func NewWorker(opts WorkerOptions) *Worker {
 		opts.ID = fmt.Sprintf("worker-%d-%d", os.Getpid(), workerSeq.Add(1))
 	}
 	if opts.Client == nil {
-		opts.Client = http.DefaultClient
+		opts.Client = &http.Client{Timeout: 30 * time.Second}
 	}
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 50 * time.Millisecond
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	if opts.RetryAttempts <= 0 {
+		opts.RetryAttempts = 6
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 25 * time.Millisecond
+	}
+	if opts.RetryCap <= 0 {
+		opts.RetryCap = 2 * time.Second
 	}
 	if opts.EnvFactory == nil {
 		opts.EnvFactory = func(mode browser.Mode) campaign.EnvFactory {
 			return registry.BrowserFactory(mode)
 		}
 	}
+	h := fnv.New64a()
+	h.Write([]byte(opts.ID))
 	return &Worker{
 		opts:  opts,
 		base:  strings.TrimSuffix(opts.Coordinator, "/"),
 		cache: make(map[string]*image.Image),
+		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
 	}
 }
 
@@ -96,23 +144,40 @@ func (w *Worker) logf(format string, args ...any) {
 // mid-shard simply stops heartbeating: the coordinator re-queues the
 // lease, so Run never reports a partially-executed shard.
 func (w *Worker) Run(ctx context.Context) error {
+	pollDelay := w.opts.PollInterval
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		l, err := w.lease(ctx)
 		if err != nil || l.Status != StatusLease {
+			delay := w.opts.PollInterval
 			if err != nil {
+				// A failing poll backs off exponentially (with jitter, up
+				// to RetryCap) so a fleet does not hammer a struggling
+				// coordinator; an idle poll keeps the configured cadence.
 				w.logf("distrib: %s: lease poll: %v", w.opts.ID, err)
+				w.retries.Add(1)
+				delay = pollDelay + w.jitter(pollDelay)
+				if pollDelay *= 2; pollDelay > w.opts.RetryCap {
+					pollDelay = w.opts.RetryCap
+				}
+			} else {
+				pollDelay = w.opts.PollInterval
 			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(w.opts.PollInterval):
+			case <-time.After(delay):
 			}
 			continue
 		}
-		msg := CompleteMsg{Worker: w.opts.ID, Lease: l.ID}
+		pollDelay = w.opts.PollInterval
+		if l.Crash {
+			w.logf("distrib: %s: crash directive on lease %s; dying", w.opts.ID, l.ID)
+			return ErrCrashed
+		}
+		msg := CompleteMsg{Worker: w.opts.ID, Lease: l.ID, Token: l.Token}
 		if l.Campaign == "load" {
 			msg.LoadResults = w.executeLoad(ctx, l)
 		} else {
@@ -129,9 +194,51 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// jitter draws a random delay in [0, d/2] from the worker's seeded rng.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return time.Duration(w.rng.Int63n(int64(d)/2 + 1))
+}
+
+// retry runs fn under capped jittered exponential backoff. Every extra
+// attempt counts into the worker's retry tally, which rides the next
+// completion report into warr_retries_total.
+func (w *Worker) retry(ctx context.Context, what string, fn func() error) error {
+	var err error
+	backoff := w.opts.RetryBase
+	for attempt := 0; attempt <= w.opts.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			w.retries.Add(1)
+			d := backoff + w.jitter(backoff)
+			if backoff *= 2; backoff > w.opts.RetryCap {
+				backoff = w.opts.RetryCap
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		w.logf("distrib: %s: %s (attempt %d): %v", w.opts.ID, what, attempt+1, err)
+	}
+	return err
+}
+
 // lease polls the coordinator for work.
 func (w *Worker) lease(ctx context.Context) (*WireLease, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	rctx, cancel := context.WithTimeout(ctx, w.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost,
 		w.base+"/lease?worker="+url.QueryEscape(w.opts.ID), nil)
 	if err != nil {
 		return nil, err
@@ -260,69 +367,101 @@ func (w *Worker) heartbeat(ctx context.Context, l *WireLease) {
 			return
 		case <-t.C:
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			w.base+"/heartbeat?worker="+url.QueryEscape(w.opts.ID), nil)
-		if err != nil {
-			return
-		}
-		if resp, err := w.opts.Client.Do(req); err == nil {
-			resp.Body.Close()
-		}
+		// One bounded attempt per tick, no retry: a missed heartbeat is
+		// recovered by the next tick, and a worker stuck waiting on one
+		// would miss its TTL anyway.
+		func() {
+			rctx, cancel := context.WithTimeout(ctx, w.opts.RequestTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(rctx, http.MethodPost,
+				w.base+"/heartbeat?worker="+url.QueryEscape(w.opts.ID), nil)
+			if err != nil {
+				return
+			}
+			if resp, err := w.opts.Client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}()
 	}
 }
 
 // fetchImage downloads and validates a branch-point image, caching the
-// decoded form by digest.
+// decoded form by digest. The whole fetch retries under backoff, and
+// the retry covers digest mismatches too: a transfer corrupted on the
+// wire fails content addressing and the next attempt pulls clean bytes.
 func (w *Worker) fetchImage(ctx context.Context, digest string) (*image.Image, error) {
 	if img, ok := w.cache[digest]; ok {
 		return img, nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		w.base+"/image/"+url.PathEscape(digest), nil)
+	var img *image.Image
+	err := w.retry(ctx, "fetching image "+digest, func() error {
+		rctx, cancel := context.WithTimeout(ctx, 4*w.opts.RequestTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+			w.base+"/image/"+url.PathEscape(digest), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := w.opts.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("distrib: fetching image %s: %s", digest, resp.Status)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		decoded, got, err := image.Decode(data)
+		if err != nil {
+			return err
+		}
+		if got != digest {
+			return fmt.Errorf("distrib: image digest mismatch: got %s, want %s", got, digest)
+		}
+		img = decoded
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	resp, err := w.opts.Client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("distrib: fetching image %s: %s", digest, resp.Status)
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	img, got, err := image.Decode(data)
-	if err != nil {
-		return nil, err
-	}
-	if got != digest {
-		return nil, fmt.Errorf("distrib: image digest mismatch: got %s, want %s", got, digest)
 	}
 	w.cache[digest] = img
 	return img, nil
 }
 
-// complete reports the shard's outcomes.
+// complete reports the shard's outcomes, retrying under backoff: a
+// dropped or corrupted transfer resends the same sealed message, and
+// the coordinator's completion tokens make any duplicate harmless.
 func (w *Worker) complete(ctx context.Context, msg CompleteMsg) error {
-	body, err := json.Marshal(msg)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/complete", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.opts.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("distrib: completion rejected: %s", resp.Status)
-	}
-	return nil
+	return w.retry(ctx, "reporting lease "+msg.Lease, func() error {
+		// Fold the retries spent so far — including this loop's own —
+		// into the report, and seal last: the checksum covers the final
+		// shape, so a transfer flipping any byte is rejected server-side.
+		msg.Retries += w.retries.Swap(0)
+		if err := msg.Seal(); err != nil {
+			return err
+		}
+		body, err := json.Marshal(msg)
+		if err != nil {
+			return err
+		}
+		rctx, cancel := context.WithTimeout(ctx, w.opts.RequestTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.base+"/complete", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.opts.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("distrib: completion rejected: %s", resp.Status)
+		}
+		return nil
+	})
 }

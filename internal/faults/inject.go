@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Action is the injector's verdict for one wire request: apply Delay,
+// then — when Drop — fail the request without serving it, otherwise
+// serve it and — when Corrupt — flip a byte in the transferred body.
+type Action struct {
+	Drop    bool
+	Delay   int64 // nanoseconds, summed over matching delay ops
+	Corrupt bool
+}
+
+// Zero reports whether the action injects nothing.
+func (a Action) Zero() bool { return !a.Drop && !a.Corrupt && a.Delay == 0 }
+
+// Injector arms a schedule and answers, per wire request and per lease
+// grant, which faults fire. Decisions are a pure function of the
+// schedule and the per-path request ordinals (and per-worker grant
+// ordinals for crashes), so one schedule misbehaves identically on
+// every run with the same request ordering. All methods are safe for
+// concurrent use and safe on a nil receiver — a nil *Injector injects
+// nothing, which is what keeps the unarmed hot path at a single nil
+// check.
+type Injector struct {
+	mu      sync.Mutex
+	sched   Schedule
+	seen    map[Path]int   // requests observed per path (1-based ordinals)
+	granted map[string]int // leases granted per worker
+	fired   map[string]int64
+	total   int64
+	logf    func(format string, args ...any)
+}
+
+// NewInjector arms a schedule. logf, when non-nil, receives one notice
+// per injected fault.
+func NewInjector(sched Schedule, logf func(format string, args ...any)) *Injector {
+	return &Injector{
+		sched:   sched,
+		seen:    make(map[Path]int),
+		granted: make(map[string]int),
+		fired:   make(map[string]int64),
+		logf:    logf,
+	}
+}
+
+// Schedule returns the armed schedule (nil for a nil injector).
+func (in *Injector) Schedule() Schedule {
+	if in == nil {
+		return nil
+	}
+	return in.sched
+}
+
+// Request records one wire request on a path and returns the faults to
+// apply to it.
+func (in *Injector) Request(p Path) Action {
+	if in == nil {
+		return Action{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen[p]++
+	ord := in.seen[p]
+	var act Action
+	for _, op := range in.sched {
+		switch op := op.(type) {
+		case Drop:
+			if op.Path == p && op.N == ord {
+				act.Drop = true
+				in.firedLocked("drop", op)
+			}
+		case Delay:
+			if op.Path == p {
+				act.Delay += int64(op.Dur)
+				in.firedLocked("delay", op)
+			}
+		case Corrupt:
+			if op.Path == p && op.N == ord {
+				act.Corrupt = true
+				in.firedLocked("corrupt", op)
+			}
+		}
+	}
+	return act
+}
+
+// OnGrant records one lease grant to a worker and reports whether a
+// crash op fires: the caller must direct the worker to die without
+// executing or reporting the shard.
+func (in *Injector) OnGrant(worker string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.granted[worker]++
+	ord := in.granted[worker]
+	crash := false
+	for _, op := range in.sched {
+		if op, ok := op.(Crash); ok && op.Worker == worker && op.N == ord {
+			crash = true
+			in.firedLocked("crash", op)
+		}
+	}
+	return crash
+}
+
+func (in *Injector) firedLocked(kind string, op Op) {
+	in.fired[kind]++
+	in.total++
+	if in.logf != nil {
+		in.logf("faults: injected %s", op)
+	}
+}
+
+// Total counts every fault injected so far (0 for a nil injector).
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Fired returns the per-kind injection counts ("drop", "delay",
+// "corrupt", "crash").
+func (in *Injector) Fired() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// CorruptBody flips one byte of a transferred body in place — enough
+// for any digest or strict decoder to reject it, deterministic in
+// where it bites. Empty bodies are returned unchanged.
+func CorruptBody(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	data[len(data)/2] ^= 0xFF
+	return data
+}
+
+// Error is the failure a dropped request reports.
+type Error struct {
+	Path Path
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected drop of %s request", e.Path)
+}

@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse decodes a schedule from its textual form: ";"-separated ops
+// ("drop:lease/2;crash:worker1@shard3"), or "none" for the empty
+// schedule. The codec is strict — unknown ops, unknown paths, missing
+// operands, out-of-range ordinals, and non-canonical spellings are
+// errors, never silently clamped — because the same strings arrive as
+// CLI flags, native-fuzz inputs, and generated corpora, and all must
+// round-trip through String unchanged.
+func Parse(s string) (Schedule, error) {
+	if s == Identity {
+		return nil, nil
+	}
+	if s == "" {
+		return nil, fmt.Errorf("faults: empty schedule (the empty schedule spells %q)", Identity)
+	}
+	parts := strings.Split(s, ";")
+	if len(parts) > MaxOps {
+		return nil, fmt.Errorf("faults: schedule has %d ops, max %d", len(parts), MaxOps)
+	}
+	sched := make(Schedule, 0, len(parts))
+	for _, part := range parts {
+		op, err := parseOp(part)
+		if err != nil {
+			return nil, err
+		}
+		sched = append(sched, op)
+	}
+	return sched, nil
+}
+
+// parseOp decodes one "name:operands" op.
+func parseOp(s string) (Op, error) {
+	name, rest, _ := strings.Cut(s, ":")
+	switch name {
+	case "drop":
+		p, n, err := parsePathOrdinal(rest)
+		if err != nil {
+			return nil, fmt.Errorf("faults: drop: %w", err)
+		}
+		return Drop{Path: p, N: n}, nil
+	case "corrupt":
+		p, n, err := parsePathOrdinal(rest)
+		if err != nil {
+			return nil, fmt.Errorf("faults: corrupt: %w", err)
+		}
+		return Corrupt{Path: p, N: n}, nil
+	case "delay":
+		path, durs, ok := strings.Cut(rest, "/")
+		if !ok {
+			return nil, fmt.Errorf("faults: delay wants path/duration, got %q", rest)
+		}
+		p := Path(path)
+		if !validPath(p) {
+			return nil, fmt.Errorf("faults: delay: unknown path %q", path)
+		}
+		d, err := parseDuration(durs)
+		if err != nil {
+			return nil, fmt.Errorf("faults: delay: %w", err)
+		}
+		return Delay{Path: p, Dur: d}, nil
+	case "crash":
+		worker, shard, ok := strings.Cut(rest, "@shard")
+		if !ok {
+			return nil, fmt.Errorf("faults: crash wants worker@shardN, got %q", rest)
+		}
+		if err := validWorkerName(worker); err != nil {
+			return nil, fmt.Errorf("faults: crash: %w", err)
+		}
+		n, err := parseOrdinal(shard)
+		if err != nil {
+			return nil, fmt.Errorf("faults: crash shard: %w", err)
+		}
+		return Crash{Worker: worker, N: n}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown op %q", name)
+	}
+}
+
+// parsePathOrdinal decodes the "path/N" operand shape shared by drop
+// and corrupt.
+func parsePathOrdinal(s string) (Path, int, error) {
+	path, ord, ok := strings.Cut(s, "/")
+	if !ok {
+		return "", 0, fmt.Errorf("wants path/N, got %q", s)
+	}
+	p := Path(path)
+	if !validPath(p) {
+		return "", 0, fmt.Errorf("unknown path %q", path)
+	}
+	n, err := parseOrdinal(ord)
+	if err != nil {
+		return "", 0, err
+	}
+	return p, n, nil
+}
+
+// parseOrdinal decodes a canonical positive decimal within MaxOrdinal.
+// Ordinals are 1-based: "the 1st request", never "the 0th".
+func parseOrdinal(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if n < 1 || n > MaxOrdinal {
+		return 0, fmt.Errorf("ordinal %d out of range [1,%d]", n, MaxOrdinal)
+	}
+	// Reject non-canonical spellings ("+1", "007") so every accepted
+	// schedule round-trips byte-identically through String.
+	if s != strconv.Itoa(n) {
+		return 0, fmt.Errorf("non-canonical number %q", s)
+	}
+	return n, nil
+}
+
+// parseDuration decodes a canonical positive duration within MaxDelay.
+// Canonical means time.Duration's own String spelling ("50ms", "1.5s"),
+// so delays round-trip byte-identically too.
+func parseDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if d <= 0 || d > MaxDelay {
+		return 0, fmt.Errorf("delay %s out of range (0,%s]", d, MaxDelay)
+	}
+	if s != d.String() {
+		return 0, fmt.Errorf("non-canonical duration %q (canonical: %q)", s, d)
+	}
+	return d, nil
+}
+
+// validWorkerName bounds crash targets to names that survive the codec:
+// non-empty, within MaxWorkerName, and free of the DSL's own
+// metacharacters.
+func validWorkerName(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty worker name")
+	}
+	if len(s) > MaxWorkerName {
+		return fmt.Errorf("worker name %d bytes long, max %d", len(s), MaxWorkerName)
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("worker name %q contains %q (allowed: letters, digits, '-', '_', '.')", s, r)
+		}
+	}
+	return nil
+}

@@ -179,6 +179,18 @@ func Capture(env *registry.Env, sess *replayer.Session, h Header) (*Image, error
 	return img, nil
 }
 
+// CaptureSession images the live world a replay session runs in,
+// resolving the environment from the session itself: its tab's browser
+// must be hosted by a registry environment — the shape every session
+// built through the engine or the CLIs has.
+func CaptureSession(sess *replayer.Session, h Header) (*Image, error) {
+	env, ok := sess.Tab().Browser().World().(*registry.Env)
+	if !ok {
+		return nil, fmt.Errorf("image: session world is not a registry environment")
+	}
+	return Capture(env, sess, h)
+}
+
 // ---- restore ----
 
 // LoadEnv rebuilds the imaged world: an environment with its clock at

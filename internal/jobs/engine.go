@@ -14,6 +14,7 @@ import (
 
 	"github.com/dslab-epfl/warr/internal/browser"
 	"github.com/dslab-epfl/warr/internal/campaign"
+	"github.com/dslab-epfl/warr/internal/image"
 	"github.com/dslab-epfl/warr/internal/multiuser"
 	"github.com/dslab-epfl/warr/internal/registry"
 	"github.com/dslab-epfl/warr/internal/replayer"
@@ -57,6 +58,12 @@ type Options struct {
 	// hooks, resumed job) falls back to the local executor — the engine
 	// always has a single-process path.
 	Distributor Distributor
+	// Journal, when set, records every journalable submission and
+	// terminal state to the write-ahead job journal, making the engine
+	// crash-safe: open it with OpenJournal, hand the recovered jobs to
+	// Revive, and a SIGKILL'd process resumes every journaled job on the
+	// next boot. The engine does not close it.
+	Journal *Journal
 }
 
 // DistSpec describes a campaign to a Distributor in wire-safe terms:
@@ -169,11 +176,13 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	if spec.Mode == 0 {
 		spec.Mode = browser.DeveloperMode
 	}
-	return e.enqueue(spec, nil)
+	return e.enqueue(spec, nil, nil)
 }
 
 // enqueue creates the Job record and offers it to the queue.
-func (e *Engine) enqueue(spec Spec, resumeFrom *Job) (*Job, error) {
+// resumeImage, when set, is an encoded checkpoint world the job's
+// runner resumes from (journal revival).
+func (e *Engine) enqueue(spec Spec, resumeFrom *Job, resumeImage []byte) (*Job, error) {
 	e.mu.Lock()
 	if e.draining {
 		e.mu.Unlock()
@@ -181,12 +190,13 @@ func (e *Engine) enqueue(spec Spec, resumeFrom *Job) (*Job, error) {
 	}
 	e.nextID++
 	job := &Job{
-		ID:         fmt.Sprintf("job-%d", e.nextID),
-		Spec:       spec,
-		bus:        NewBus(),
-		engine:     e,
-		doneCh:     make(chan struct{}),
-		resumeFrom: resumeFrom,
+		ID:          fmt.Sprintf("job-%d", e.nextID),
+		Spec:        spec,
+		bus:         NewBus(),
+		engine:      e,
+		doneCh:      make(chan struct{}),
+		resumeFrom:  resumeFrom,
+		resumeImage: resumeImage,
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	job.ctx, job.cancel = ctx, cancel
@@ -205,6 +215,12 @@ func (e *Engine) enqueue(spec Spec, resumeFrom *Job) (*Job, error) {
 	e.jobs[job.ID] = job
 	e.order = append(e.order, job)
 	e.mu.Unlock()
+	// Write-ahead: the accepted submission hits the journal before the
+	// caller learns the job id, so an acknowledged job is a durable job.
+	if j := e.opts.Journal; j != nil && journalable(spec) {
+		si := imageSpec(spec)
+		j.note(journalRecord{Rec: "submit", Job: job.ID, Spec: &si})
+	}
 	job.publishState()
 	return job, nil
 }
@@ -274,14 +290,52 @@ func (e *Engine) Resume(id string) (*Job, error) {
 		return nil, fmt.Errorf("jobs: %s already resumed as %s", id, resumed)
 	}
 	job.mu.Unlock()
-	nj, err := e.enqueue(job.Spec, job)
+	nj, err := e.enqueue(job.Spec, job, nil)
 	if err != nil {
 		return nil, err
 	}
 	job.mu.Lock()
 	job.resumed = nj.ID
 	job.mu.Unlock()
+	// The resumed record keeps recovery from reviving the old job next
+	// boot — its continuation is journaled under the new id.
+	if j := e.opts.Journal; j != nil && journalable(job.Spec) {
+		j.note(journalRecord{Rec: "resumed", Job: job.ID, As: nj.ID})
+	}
 	return nj, nil
+}
+
+// Revive resubmits journal-recovered jobs through the normal queue —
+// call it once after New, with the jobs OpenJournal returned. A
+// recovered replay job carrying a checkpoint image resumes from it;
+// everything else re-runs whole (campaign specs are seeded, so a re-run
+// reproduces the same findings — determinism is the checkpoint). Each
+// revival is journaled, so a second crash never revives twice.
+func (e *Engine) Revive(recovered []RecoveredJob) []*Job {
+	j := e.opts.Journal
+	var out []*Job
+	for _, rj := range recovered {
+		if rj.Spec.Kind == 0 {
+			if j != nil {
+				j.warnf("jobs: not reviving epoch %d %s: unknown kind", rj.Epoch, rj.ID)
+			}
+			continue
+		}
+		job, err := e.enqueue(rj.Spec, nil, rj.Image)
+		if err != nil {
+			if j != nil {
+				j.warnf("jobs: reviving epoch %d %s: %v", rj.Epoch, rj.ID, err)
+			}
+			continue
+		}
+		if j != nil {
+			j.note(journalRecord{Rec: "revived", OfEpoch: rj.Epoch, Job: rj.ID})
+			j.warnf("jobs: revived epoch %d %s as %s", rj.Epoch, rj.ID, job.ID)
+		}
+		e.metrics.journalReplayed.Add(1)
+		out = append(out, job)
+	}
+	return out
 }
 
 // Drain shuts the engine down gracefully: no new submissions, queued
@@ -383,5 +437,39 @@ func (e *Engine) run(job *Job) {
 	default:
 		job.setState(StateDone)
 	}
+	e.journalFinish(job)
 	job.bus.Close()
+}
+
+// journalFinish records a job's terminal state in the write-ahead
+// journal, first checkpointing a cancelled single-session replay's
+// world so revival can resume mid-trace instead of re-running. A
+// capture that fails only costs the checkpoint — the job still revives
+// as a full re-run.
+func (e *Engine) journalFinish(job *Job) {
+	j := e.opts.Journal
+	if j == nil || !journalable(job.Spec) {
+		return
+	}
+	job.mu.Lock()
+	state, cause, err := job.state, job.cause, job.err
+	sess := job.session
+	job.mu.Unlock()
+	if state == StateCancelled && sess != nil && job.Spec.Kind == KindReplay {
+		if img, cerr := image.CaptureSession(sess, image.Header{}); cerr != nil {
+			j.warnf("jobs: checkpointing %s: %v", job.ID, cerr)
+		} else if data, _, eerr := image.Encode(img); eerr != nil {
+			j.warnf("jobs: encoding %s checkpoint: %v", job.ID, eerr)
+		} else {
+			j.note(journalRecord{Rec: "checkpoint", Job: job.ID, Image: data})
+		}
+	}
+	rec := journalRecord{Rec: "state", Job: job.ID, State: state.String()}
+	if cause != nil {
+		rec.Cause = cause.Error()
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	j.note(rec)
 }

@@ -210,8 +210,10 @@ type Job struct {
 	doneCh chan struct{}
 
 	// resumeFrom is the cancelled job this one continues (nil for fresh
-	// jobs).
-	resumeFrom *Job
+	// jobs). resumeImage is the encoded checkpoint world a
+	// journal-revived job resumes from instead (nil otherwise).
+	resumeFrom  *Job
+	resumeImage []byte
 
 	mu       sync.Mutex
 	state    State

@@ -1,0 +1,459 @@
+package jobs
+
+// Write-ahead journal tests: the crash-safety contract. A SIGKILL'd
+// engine is simulated by copying the journal file at the kill instant —
+// appends are fsync'd, so the copy is byte-faithful to what a killed
+// process would leave behind — and replaying the copy into a fresh
+// engine, which must resume every journaled job with results identical
+// to an uninterrupted run.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dslab-epfl/warr/internal/apps"
+	"github.com/dslab-epfl/warr/internal/browser"
+	"github.com/dslab-epfl/warr/internal/command"
+	"github.com/dslab-epfl/warr/internal/replayer"
+	"github.com/dslab-epfl/warr/internal/weberr"
+)
+
+// copyJournal snapshots the journal file — the state a SIGKILL at this
+// instant would leave on disk.
+func copyJournal(t *testing.T, src string) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "killed.journal")
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func engineMetric(t *testing.T, e *Engine, name string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := e.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not present in:\n%s", name, b.String())
+	return ""
+}
+
+// TestJournalRevivesKilledJobs is the SIGKILL restart path: an engine
+// with a running job and a queued backlog is "killed" (journal copied
+// mid-flight), and a fresh engine booted from the copy must revive
+// every journaled job — running and queued alike — and finish them
+// with results identical to uninterrupted runs. Non-journalable
+// submissions (in-process grammar closures) must stay out of the
+// journal rather than revive broken.
+func TestJournalRevivesKilledJobs(t *testing.T) {
+	tr := recordScenario(t, apps.AuthenticateScenario())
+	ctr := recordScenario(t, apps.EditSiteScenario())
+
+	// Uninterrupted references.
+	ref := New(Options{Workers: 1, QueueDepth: 8})
+	refReplay, err := ref.Submit(Spec{Kind: KindReplay, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCampaign, err := ref.Submit(Spec{Kind: KindNavigationCampaign, Trace: ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, refReplay)
+	waitJob(t, refCampaign)
+	ref.Close()
+
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j1, recovered, err := OpenJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j1.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("fresh journal recovered %d jobs", len(recovered))
+	}
+
+	e1 := New(Options{Workers: 1, QueueDepth: 8, Journal: j1})
+	defer e1.Close()
+
+	// The running job blocks on its first step, pinning the queue.
+	release := make(chan struct{})
+	var once sync.Once
+	blocker := Spec{Kind: KindReplay, Trace: tr, Replayer: replayer.Options{
+		Hooks: []replayer.Hooks{{
+			BeforeStep: func(idx int, cmd command.Command, tab *browser.Tab) {
+				once.Do(func() { <-release })
+			},
+		}},
+	}}
+	if _, err := e1.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Submit(Spec{Kind: KindReplay, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Submit(Spec{Kind: KindNavigationCampaign, Trace: ctr}); err != nil {
+		t.Fatal(err)
+	}
+	// A grammar-injected campaign cannot cross the process boundary and
+	// must not be journaled.
+	tree, err := weberr.InferTaskTree(apps.BrowserFactory(browser.DeveloperMode), ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Submit(Spec{Kind: KindNavigationCampaign, Grammar: weberr.FromTaskTree(tree)}); err != nil {
+		t.Fatal(err)
+	}
+
+	killed := copyJournal(t, path) // SIGKILL happens here
+	close(release)
+
+	j2, recovered, err := OpenJournal(killed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recovered) != 3 {
+		ids := make([]string, len(recovered))
+		for i, rj := range recovered {
+			ids[i] = fmt.Sprintf("epoch %d %s", rj.Epoch, rj.ID)
+		}
+		t.Fatalf("recovered %d jobs (%v), want the 3 journalable ones", len(recovered), ids)
+	}
+
+	e2 := New(Options{Workers: 1, QueueDepth: 8, Journal: j2})
+	defer e2.Close()
+	revived := e2.Revive(recovered)
+	if len(revived) != 3 {
+		t.Fatalf("revived %d jobs, want 3", len(revived))
+	}
+	for _, job := range revived {
+		waitJob(t, job)
+		if job.State() != StateDone {
+			t.Fatalf("revived job %s ended %s (err %v)", job.ID, job.State(), job.Err())
+		}
+	}
+	if got := engineMetric(t, e2, "warr_journal_replayed_jobs"); got != "3" {
+		t.Errorf("warr_journal_replayed_jobs = %s, want 3", got)
+	}
+
+	// Revived replays (the blocker re-runs whole — hooks are observers
+	// and never journaled) must match the uninterrupted reference.
+	want := refReplay.Result()
+	for _, job := range revived[:2] {
+		res := job.Result()
+		if res.Played != want.Played || res.Failed != want.Failed || len(res.Steps) != len(want.Steps) {
+			t.Errorf("revived %s result (%d/%d, %d steps) diverged from uninterrupted (%d/%d, %d steps)",
+				job.ID, res.Played, res.Failed, len(res.Steps), want.Played, want.Failed, len(want.Steps))
+		}
+	}
+	// The revived campaign's final report must be unchanged.
+	rep := revived[2].Report()
+	if rep == nil {
+		t.Fatal("revived campaign produced no report")
+	}
+	if !reflect.DeepEqual(findingKeys(refCampaign.Report()), findingKeys(rep)) {
+		t.Errorf("revived campaign findings diverged\nuninterrupted: %v\nrevived:       %v",
+			findingKeys(refCampaign.Report()), findingKeys(rep))
+	}
+
+	// A second crash never revives twice: rebooting from the same
+	// journal after the revived jobs finished recovers nothing.
+	j2.Close()
+	j3, again, err := OpenJournal(killed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(again) != 0 {
+		t.Fatalf("second boot recovered %d jobs, want 0", len(again))
+	}
+}
+
+// TestJournalRevivesDrainCheckpointedReplay is the warr-serve shutdown
+// contract: a replay interrupted by an exhausted drain is checkpointed
+// (world image in the journal), and the next boot resumes it
+// mid-trace to the same final result as an uninterrupted run.
+func TestJournalRevivesDrainCheckpointedReplay(t *testing.T) {
+	tr := recordScenario(t, apps.AuthenticateScenario())
+	if len(tr.Commands) < 4 {
+		t.Fatalf("scenario too short to interrupt: %d commands", len(tr.Commands))
+	}
+
+	ref := New(Options{Workers: 1, QueueDepth: 2})
+	refJob, err := ref.Submit(Spec{Kind: KindReplay, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, refJob)
+	want := refJob.Result()
+	ref.Close()
+
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j1, _, err := OpenJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j1.Close()
+	e1 := New(Options{Workers: 1, QueueDepth: 2, Journal: j1})
+
+	// Slow replay: the drain must catch it mid-trace.
+	stepped := make(chan struct{}, len(tr.Commands))
+	slow := Spec{Kind: KindReplay, Trace: tr, Replayer: replayer.Options{
+		Hooks: []replayer.Hooks{{
+			AfterStep: func(step replayer.Step, tab *browser.Tab) {
+				stepped <- struct{}{}
+				time.Sleep(25 * time.Millisecond)
+			},
+		}},
+	}}
+	job, err := e1.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stepped:
+	case <-time.After(30 * time.Second):
+		t.Fatal("the slow replay never started stepping")
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = e1.Drain(expired)
+	if job.State() != StateCancelled {
+		t.Fatalf("drained job ended %s, want cancelled", job.State())
+	}
+	partial := len(job.Result().Steps)
+	if partial == 0 || partial >= len(tr.Commands) {
+		t.Fatalf("drain was not mid-trace: %d of %d steps", partial, len(tr.Commands))
+	}
+
+	killed := copyJournal(t, path)
+	j2, recovered, err := OpenJournal(killed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want the drained one", len(recovered))
+	}
+	if len(recovered[0].Image) == 0 {
+		t.Fatal("drained replay recovered without its checkpoint image")
+	}
+
+	e2 := New(Options{Workers: 1, QueueDepth: 2, Journal: j2})
+	defer e2.Close()
+	revived := e2.Revive(recovered)
+	if len(revived) != 1 {
+		t.Fatalf("revived %d jobs, want 1", len(revived))
+	}
+	waitJob(t, revived[0])
+	if revived[0].State() != StateDone {
+		t.Fatalf("revived job ended %s (err %v)", revived[0].State(), revived[0].Err())
+	}
+	res := revived[0].Result()
+	if res.Cancelled || res.Played != want.Played || res.Failed != want.Failed || len(res.Steps) != len(want.Steps) {
+		t.Fatalf("revived result (%d/%d, %d steps, cancelled=%v) diverged from uninterrupted (%d/%d, %d steps)",
+			res.Played, res.Failed, len(res.Steps), res.Cancelled, want.Played, want.Failed, len(want.Steps))
+	}
+	for i := range res.Steps {
+		if res.Steps[i].Status != want.Steps[i].Status {
+			t.Errorf("step %d: revived %v, uninterrupted %v", i, res.Steps[i].Status, want.Steps[i].Status)
+		}
+	}
+	// The revived stream re-publishes the checkpointed prefix, so a
+	// subscriber sees every command exactly once.
+	var steps int
+	for _, ev := range drainEvents(t, revived[0]) {
+		if _, ok := ev.(StepEvent); ok {
+			steps++
+		}
+	}
+	if steps != len(tr.Commands) {
+		t.Errorf("revived stream carried %d step events, want %d", steps, len(tr.Commands))
+	}
+}
+
+// TestJournalSkipsUserCancelledJobs pins the revival filter: a job the
+// user cancelled on purpose reached its terminal state deliberately
+// and must stay dead across reboots — only drain-checkpointed
+// cancellations revive.
+func TestJournalSkipsUserCancelledJobs(t *testing.T) {
+	tr := recordScenario(t, apps.AuthenticateScenario())
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j1, _, err := OpenJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j1.Close()
+	e1 := New(Options{Workers: 1, QueueDepth: 2, Journal: j1})
+	defer e1.Close()
+
+	stepped := make(chan struct{}, len(tr.Commands))
+	slow := Spec{Kind: KindReplay, Trace: tr, Replayer: replayer.Options{
+		Hooks: []replayer.Hooks{{
+			AfterStep: func(step replayer.Step, tab *browser.Tab) {
+				stepped <- struct{}{}
+				time.Sleep(10 * time.Millisecond)
+			},
+		}},
+	}}
+	job, err := e1.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stepped:
+	case <-time.After(30 * time.Second):
+		t.Fatal("the slow replay never started stepping")
+	}
+	if err := e1.Cancel(job.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, job)
+	if job.State() != StateCancelled {
+		t.Fatalf("job ended %s, want cancelled", job.State())
+	}
+
+	killed := copyJournal(t, path)
+	j2, recovered, err := OpenJournal(killed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %d jobs, want 0: user cancellation is deliberate", len(recovered))
+	}
+}
+
+// TestJournalTornTailRecovery pins the corrupted-journal contract: the
+// torn or garbled last write of a crash is detected, warned about, and
+// truncated away — never a panic, and never poison for the records
+// before it or after the next boot.
+func TestJournalTornTailRecovery(t *testing.T) {
+	si := imageSpec(Spec{Kind: KindReplay})
+	cases := []struct {
+		name string
+		tail string
+		warn string
+	}{
+		{"truncated", `{"rec":"state","job":"job-1","state":"done"`, "truncated record"},
+		{"corrupted", "not json at all\x01\xff\n", "corrupted record"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "jobs.journal")
+			j1, _, err := OpenJournal(path, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j1.note(journalRecord{Rec: "submit", Job: "job-1", Spec: &si})
+			j1.note(journalRecord{Rec: "submit", Job: "job-2", Spec: &si})
+			if err := j1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(c.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			var mu sync.Mutex
+			var warnings []string
+			logf := func(format string, args ...any) {
+				mu.Lock()
+				warnings = append(warnings, fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}
+			j2, recovered, err := OpenJournal(path, logf)
+			if err != nil {
+				t.Fatalf("reopening journal with a %s tail: %v", c.name, err)
+			}
+			if len(recovered) != 2 {
+				t.Fatalf("recovered %d jobs, want both good submits", len(recovered))
+			}
+			warned := false
+			for _, w := range warnings {
+				if strings.Contains(w, c.warn) {
+					warned = true
+				}
+			}
+			if !warned {
+				t.Errorf("no %q warning in %q", c.warn, warnings)
+			}
+			// New records append cleanly past the truncation point and
+			// the next scan reads the whole history undisturbed: marking
+			// epoch-1 job-1 revived (what Engine.Revive writes) must
+			// keep it from recovering again.
+			j2.note(journalRecord{Rec: "revived", OfEpoch: 1, Job: "job-1"})
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j3, recovered, err := OpenJournal(path, func(format string, args ...any) {
+				t.Errorf("clean reopen warned: "+format, args...)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			if len(recovered) != 1 || recovered[0].ID != "job-2" || recovered[0].Epoch != 1 {
+				t.Fatalf("final recovery %+v, want exactly epoch-1 job-2 (job-1 was revived after the repair)", recovered)
+			}
+		})
+	}
+}
+
+// TestJournalForwardReadable pins forward compatibility: record kinds a
+// newer build might write pass through an older scan without warnings,
+// truncation, or recovery damage.
+func TestJournalForwardReadable(t *testing.T) {
+	si := imageSpec(Spec{Kind: KindReplay})
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j1, _, err := OpenJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.note(journalRecord{Rec: "submit", Job: "job-1", Spec: &si})
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"rec":"shiny-new-thing","payload":42}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recovered, err := OpenJournal(path, func(format string, args ...any) {
+		t.Errorf("forward-compatible record warned: "+format, args...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recovered) != 1 || recovered[0].ID != "job-1" {
+		t.Fatalf("recovery %+v, want job-1 untouched by the unknown record", recovered)
+	}
+}

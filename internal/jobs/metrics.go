@@ -45,6 +45,10 @@ type metrics struct {
 	loadFindings  atomic.Int64
 	loadLastUsers atomic.Int64
 
+	// journalReplayed counts jobs revived from the write-ahead journal
+	// at boot.
+	journalReplayed atomic.Int64
+
 	mu       sync.Mutex
 	baseline BenchBaseline
 }
@@ -179,6 +183,8 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	counter("warr_load_shared_total", "World schedules served from shared results.", m.loadShared.Load())
 	counter("warr_load_findings_total", "Interference findings discovered by load campaigns.", m.loadFindings.Load())
 	gauge("warr_load_last_users", "Virtual user count of the most recent load campaign.", m.loadLastUsers.Load())
+
+	counter("warr_journal_replayed_jobs", "Jobs revived from the write-ahead journal at boot.", m.journalReplayed.Load())
 
 	m.mu.Lock()
 	baseline := m.baseline

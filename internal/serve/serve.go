@@ -236,12 +236,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) submit(w http.ResponseWriter, spec jobs.Spec) {
 	job, err := s.engine.Submit(spec)
 	if err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrDraining) {
 			// Backpressure, never silent dropping: the client retries.
-			status = http.StatusServiceUnavailable
+			httpUnavailable(w, err)
+			return
 		}
-		httpError(w, status, err)
+		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, viewJob(job))
@@ -338,7 +338,7 @@ func (s *Server) handleResumeJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err)
 		return
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrDraining):
-		httpError(w, http.StatusServiceUnavailable, err)
+		httpUnavailable(w, err)
 		return
 	case err != nil:
 		httpError(w, http.StatusConflict, err)
@@ -469,4 +469,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// httpUnavailable answers backpressure with 503 plus a Retry-After
+// hint, so well-behaved clients pace their retries instead of hammering
+// a full queue.
+func httpUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, err)
 }
